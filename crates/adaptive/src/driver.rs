@@ -1,0 +1,535 @@
+//! The adaptive test driver: select → answer → re-estimate → stop.
+
+use std::collections::HashSet;
+use std::error::Error as StdError;
+use std::fmt;
+
+use mine_core::ProblemId;
+use mine_simulator::ItemParams;
+
+use crate::estimate::{eap_estimate, AbilityEstimate};
+use crate::select::{max_information, random_item, randomesque, SelectionStrategy};
+
+/// The calibrated item pool an adaptive test draws from.
+#[derive(Debug, Clone, Default)]
+pub struct ItemPool {
+    items: Vec<(ProblemId, ItemParams)>,
+    subjects: std::collections::BTreeMap<ProblemId, String>,
+}
+
+impl ItemPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a calibrated item.
+    pub fn add(&mut self, id: ProblemId, params: ItemParams) {
+        self.items.push((id, params));
+    }
+
+    /// Adds a calibrated item tagged with its subject (enables
+    /// content-balanced selection).
+    pub fn add_with_subject(
+        &mut self,
+        id: ProblemId,
+        params: ItemParams,
+        subject: impl Into<String>,
+    ) {
+        self.subjects.insert(id.clone(), subject.into());
+        self.items.push((id, params));
+    }
+
+    /// The subject an item was tagged with, if any.
+    #[must_use]
+    pub fn subject_of(&self, id: &ProblemId) -> Option<&str> {
+        self.subjects.get(id).map(String::as_str)
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the pool is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The items as a slice.
+    #[must_use]
+    pub fn items(&self) -> &[(ProblemId, ItemParams)] {
+        &self.items
+    }
+
+    /// Looks up an item's parameters.
+    #[must_use]
+    pub fn params(&self, id: &ProblemId) -> Option<ItemParams> {
+        self.items
+            .iter()
+            .find(|(item, _)| item == id)
+            .map(|(_, p)| *p)
+    }
+}
+
+impl FromIterator<(ProblemId, ItemParams)> for ItemPool {
+    fn from_iter<I: IntoIterator<Item = (ProblemId, ItemParams)>>(iter: I) -> Self {
+        Self {
+            items: iter.into_iter().collect(),
+            subjects: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+/// When the adaptive test stops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopRule {
+    /// Never ask fewer than this many items.
+    pub min_items: usize,
+    /// Never ask more than this many items.
+    pub max_items: usize,
+    /// Stop once the ability standard error drops to this value.
+    pub se_target: f64,
+}
+
+impl Default for StopRule {
+    /// 5–20 items, SE target 0.35.
+    fn default() -> Self {
+        Self {
+            min_items: 5,
+            max_items: 20,
+            se_target: 0.35,
+        }
+    }
+}
+
+/// Errors raised by the adaptive driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdaptiveError {
+    /// `record` was called for an item that was not the pending one.
+    UnexpectedItem {
+        /// The item recorded.
+        got: String,
+    },
+    /// `record` was called with no item pending.
+    NothingPending,
+}
+
+impl fmt::Display for AdaptiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdaptiveError::UnexpectedItem { got } => {
+                write!(
+                    f,
+                    "recorded answer for {got:?} which is not the pending item"
+                )
+            }
+            AdaptiveError::NothingPending => write!(f, "no item is pending an answer"),
+        }
+    }
+}
+
+impl StdError for AdaptiveError {}
+
+/// One adaptive sitting.
+///
+/// Call [`AdaptiveTest::next_item`] to obtain the next question, then
+/// [`AdaptiveTest::record`] with the graded outcome; repeat until
+/// `next_item` returns `None`.
+#[derive(Debug, Clone)]
+pub struct AdaptiveTest {
+    pool: ItemPool,
+    rule: StopRule,
+    strategy: SelectionStrategy,
+    /// Content quotas: subject → target count across the sitting.
+    balance: Option<std::collections::BTreeMap<String, usize>>,
+    used: HashSet<ProblemId>,
+    pending: Option<ProblemId>,
+    responses: Vec<(ItemParams, bool)>,
+    administered: Vec<(ProblemId, bool)>,
+    estimate: AbilityEstimate,
+}
+
+impl AdaptiveTest {
+    /// Starts a sitting with max-information selection.
+    #[must_use]
+    pub fn new(pool: ItemPool, rule: StopRule) -> Self {
+        Self::with_strategy(pool, rule, SelectionStrategy::MaxInformation)
+    }
+
+    /// Starts a sitting with an explicit selection strategy.
+    #[must_use]
+    pub fn with_strategy(pool: ItemPool, rule: StopRule, strategy: SelectionStrategy) -> Self {
+        Self {
+            pool,
+            rule,
+            strategy,
+            balance: None,
+            used: HashSet::new(),
+            pending: None,
+            responses: Vec::new(),
+            administered: Vec::new(),
+            estimate: AbilityEstimate::default(),
+        }
+    }
+
+    /// Enables content balancing: selection follows the subject with the
+    /// largest remaining quota deficit (items must be tagged via
+    /// [`ItemPool::add_with_subject`]); once every quota is met, or when
+    /// the needy subject has no unused items, selection falls back to
+    /// the whole pool.
+    #[must_use]
+    pub fn with_balancing(mut self, quotas: std::collections::BTreeMap<String, usize>) -> Self {
+        self.balance = Some(quotas);
+        self
+    }
+
+    /// The subject with the largest unmet quota that still has unused
+    /// items, if balancing is enabled.
+    fn needy_subject(&self) -> Option<&str> {
+        let quotas = self.balance.as_ref()?;
+        let mut administered: std::collections::BTreeMap<&str, usize> =
+            std::collections::BTreeMap::new();
+        for (id, _) in &self.administered {
+            if let Some(subject) = self.pool.subject_of(id) {
+                *administered.entry(subject).or_insert(0) += 1;
+            }
+        }
+        quotas
+            .iter()
+            .filter_map(|(subject, &quota)| {
+                let given = administered.get(subject.as_str()).copied().unwrap_or(0);
+                let deficit = quota.checked_sub(given).filter(|d| *d > 0)?;
+                let has_unused = self.pool.items().iter().any(|(id, _)| {
+                    !self.used.contains(id) && self.pool.subject_of(id) == Some(subject)
+                });
+                has_unused.then_some((deficit, subject.as_str()))
+            })
+            .max_by_key(|(deficit, _)| *deficit)
+            .map(|(_, subject)| subject)
+    }
+
+    /// The current ability estimate.
+    #[must_use]
+    pub fn estimate(&self) -> AbilityEstimate {
+        self.estimate
+    }
+
+    /// Items administered so far with their outcomes.
+    #[must_use]
+    pub fn administered(&self) -> &[(ProblemId, bool)] {
+        &self.administered
+    }
+
+    /// Whether the stopping rule is satisfied.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        let asked = self.administered.len();
+        if asked >= self.rule.max_items {
+            return true;
+        }
+        if asked >= self.pool.len() {
+            return true;
+        }
+        asked >= self.rule.min_items && self.estimate.se <= self.rule.se_target
+    }
+
+    /// Selects (and remembers) the next item, or `None` when the test is
+    /// over. Calling again without recording returns the same item.
+    pub fn next_item(&mut self) -> Option<(ProblemId, ItemParams)> {
+        if let Some(pending) = &self.pending {
+            let params = self.pool.params(pending).expect("pending item is pooled");
+            return Some((pending.clone(), params));
+        }
+        if self.is_done() {
+            return None;
+        }
+        // Content balancing narrows the candidate set to the needy
+        // subject before the strategy picks within it.
+        let restricted: Option<Vec<(ProblemId, ItemParams)>> =
+            self.needy_subject().map(|subject| {
+                self.pool
+                    .items()
+                    .iter()
+                    .filter(|(id, _)| self.pool.subject_of(id) == Some(subject))
+                    .cloned()
+                    .collect()
+            });
+        let candidates: &[(ProblemId, ItemParams)] = match &restricted {
+            Some(items) => items,
+            None => self.pool.items(),
+        };
+        let picked = match self.strategy {
+            SelectionStrategy::MaxInformation => {
+                max_information(candidates, &self.used, self.estimate.theta)
+            }
+            SelectionStrategy::Random { seed } => {
+                random_item(candidates, &self.used, seed, self.administered.len())
+            }
+            SelectionStrategy::Randomesque { top_k, seed } => randomesque(
+                candidates,
+                &self.used,
+                self.estimate.theta,
+                top_k,
+                seed,
+                self.administered.len(),
+            ),
+        }?;
+        let (id, params) = picked.clone();
+        self.pending = Some(id.clone());
+        Some((id, params))
+    }
+
+    /// Records the graded outcome of the pending item and re-estimates
+    /// ability.
+    ///
+    /// # Errors
+    ///
+    /// * [`AdaptiveError::NothingPending`] when no item was selected,
+    /// * [`AdaptiveError::UnexpectedItem`] when `item` differs from the
+    ///   pending selection.
+    pub fn record(&mut self, item: ProblemId, correct: bool) -> Result<(), AdaptiveError> {
+        match &self.pending {
+            None => return Err(AdaptiveError::NothingPending),
+            Some(pending) if pending != &item => {
+                return Err(AdaptiveError::UnexpectedItem {
+                    got: item.to_string(),
+                })
+            }
+            Some(_) => {}
+        }
+        let params = self.pool.params(&item).expect("pending item is pooled");
+        self.pending = None;
+        self.used.insert(item.clone());
+        self.responses.push((params, correct));
+        self.administered.push((item, correct));
+        self.estimate = eap_estimate(&self.responses, 0.0, 1.0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize) -> ItemPool {
+        (0..n)
+            .map(|i| {
+                (
+                    format!("q{i:02}").parse().unwrap(),
+                    ItemParams::new(1.5, (i as f64 / n as f64) * 6.0 - 3.0, 0.0),
+                )
+            })
+            .collect()
+    }
+
+    /// Runs a deterministic student of true ability θ through the test.
+    fn run(theta: f64, mut test: AdaptiveTest) -> AdaptiveTest {
+        while let Some((item, params)) = test.next_item() {
+            let correct = params.p_correct(theta) > 0.5;
+            test.record(item, correct).unwrap();
+        }
+        test
+    }
+
+    #[test]
+    fn converges_toward_true_ability() {
+        let test = run(1.2, AdaptiveTest::new(pool(60), StopRule::default()));
+        let estimate = test.estimate();
+        assert!(
+            (estimate.theta - 1.2).abs() < 0.6,
+            "θ̂ = {} for θ = 1.2",
+            estimate.theta
+        );
+        assert!(estimate.se <= 0.4, "se = {}", estimate.se);
+    }
+
+    #[test]
+    fn stops_within_budget() {
+        let rule = StopRule {
+            min_items: 3,
+            max_items: 8,
+            se_target: 0.0, // never reached → max_items governs
+        };
+        let test = run(0.0, AdaptiveTest::new(pool(60), rule));
+        assert_eq!(test.administered().len(), 8);
+    }
+
+    #[test]
+    fn stops_early_when_se_target_met() {
+        let rule = StopRule {
+            min_items: 3,
+            max_items: 50,
+            se_target: 0.5,
+        };
+        let test = run(0.0, AdaptiveTest::new(pool(60), rule));
+        assert!(test.administered().len() < 50);
+        assert!(test.estimate().se <= 0.5);
+        assert!(test.administered().len() >= 3);
+    }
+
+    #[test]
+    fn exhausting_a_small_pool_ends_the_test() {
+        let test = run(0.0, AdaptiveTest::new(pool(4), StopRule::default()));
+        assert_eq!(test.administered().len(), 4);
+    }
+
+    #[test]
+    fn next_item_is_idempotent_until_recorded() {
+        let mut test = AdaptiveTest::new(pool(10), StopRule::default());
+        let (a, _) = test.next_item().unwrap();
+        let (b, _) = test.next_item().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn record_requires_the_pending_item() {
+        let mut test = AdaptiveTest::new(pool(10), StopRule::default());
+        assert_eq!(
+            test.record("q00".parse().unwrap(), true).unwrap_err(),
+            AdaptiveError::NothingPending
+        );
+        let (item, _) = test.next_item().unwrap();
+        let wrong: ProblemId = "zz".parse().unwrap();
+        assert!(matches!(
+            test.record(wrong, true).unwrap_err(),
+            AdaptiveError::UnexpectedItem { .. }
+        ));
+        test.record(item, true).unwrap();
+    }
+
+    #[test]
+    fn no_item_repeats() {
+        let test = run(0.3, AdaptiveTest::new(pool(30), StopRule::default()));
+        let ids: HashSet<&ProblemId> = test.administered().iter().map(|(id, _)| id).collect();
+        assert_eq!(ids.len(), test.administered().len());
+    }
+
+    #[test]
+    fn content_balancing_meets_quotas() {
+        let mut pool = ItemPool::new();
+        for i in 0..20 {
+            let subject = if i % 2 == 0 { "algorithms" } else { "systems" };
+            pool.add_with_subject(
+                format!("q{i:02}").parse().unwrap(),
+                ItemParams::new(1.2, (i as f64 - 10.0) / 4.0, 0.0),
+                subject,
+            );
+        }
+        let quotas: std::collections::BTreeMap<String, usize> =
+            [("algorithms".to_string(), 4), ("systems".to_string(), 2)]
+                .into_iter()
+                .collect();
+        let rule = StopRule {
+            min_items: 6,
+            max_items: 6,
+            se_target: 0.0,
+        };
+        let test = run(
+            0.0,
+            AdaptiveTest::new(pool.clone(), rule).with_balancing(quotas),
+        );
+        let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+        for (id, _) in test.administered() {
+            *counts.entry(pool.subject_of(id).unwrap()).or_insert(0) += 1;
+        }
+        assert_eq!(counts["algorithms"], 4);
+        assert_eq!(counts["systems"], 2);
+    }
+
+    #[test]
+    fn balancing_falls_back_when_quota_exceeds_pool() {
+        let mut pool = ItemPool::new();
+        pool.add_with_subject("only".parse().unwrap(), ItemParams::default(), "rare");
+        for i in 0..8 {
+            pool.add_with_subject(
+                format!("c{i}").parse().unwrap(),
+                ItemParams::default(),
+                "common",
+            );
+        }
+        let quotas: std::collections::BTreeMap<String, usize> =
+            [("rare".to_string(), 5)].into_iter().collect();
+        let rule = StopRule {
+            min_items: 4,
+            max_items: 4,
+            se_target: 0.0,
+        };
+        let test = run(0.0, AdaptiveTest::new(pool, rule).with_balancing(quotas));
+        // The single rare item is given, then selection falls back.
+        assert_eq!(test.administered().len(), 4);
+        assert!(test
+            .administered()
+            .iter()
+            .any(|(id, _)| id.as_str() == "only"));
+    }
+
+    #[test]
+    fn randomesque_spreads_first_items_across_examinees() {
+        // With pure max-information every examinee starts on the same
+        // item; randomesque top-5 spreads the opening item.
+        let rule = StopRule {
+            min_items: 3,
+            max_items: 3,
+            se_target: 0.0,
+        };
+        let mut max_info_firsts = HashSet::new();
+        let mut randomesque_firsts = HashSet::new();
+        for examinee in 0..10u64 {
+            let mut a = AdaptiveTest::new(pool(40), rule);
+            let (first, _) = a.next_item().unwrap();
+            max_info_firsts.insert(first);
+            let mut b = AdaptiveTest::with_strategy(
+                pool(40),
+                rule,
+                SelectionStrategy::Randomesque {
+                    top_k: 5,
+                    seed: examinee,
+                },
+            );
+            let (first, _) = b.next_item().unwrap();
+            randomesque_firsts.insert(first);
+        }
+        assert_eq!(max_info_firsts.len(), 1);
+        assert!(randomesque_firsts.len() > 1);
+    }
+
+    #[test]
+    fn randomesque_still_converges() {
+        let test = run(
+            1.0,
+            AdaptiveTest::with_strategy(
+                pool(60),
+                StopRule::default(),
+                SelectionStrategy::Randomesque { top_k: 4, seed: 3 },
+            ),
+        );
+        assert!((test.estimate().theta - 1.0).abs() < 0.8);
+    }
+
+    #[test]
+    fn max_information_beats_random_on_se() {
+        // At the same item budget the adaptive rule should measure at
+        // least as precisely as random selection (ablation A3).
+        let rule = StopRule {
+            min_items: 12,
+            max_items: 12,
+            se_target: 0.0,
+        };
+        let adaptive = run(1.0, AdaptiveTest::new(pool(60), rule));
+        let random = run(
+            1.0,
+            AdaptiveTest::with_strategy(pool(60), rule, SelectionStrategy::Random { seed: 5 }),
+        );
+        assert!(
+            adaptive.estimate().se <= random.estimate().se + 1e-9,
+            "adaptive se {} vs random se {}",
+            adaptive.estimate().se,
+            random.estimate().se
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Ability estimation from scored responses.
+
+use mine_simulator::ItemParams;
+
+/// An ability estimate with its uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbilityEstimate {
+    /// The estimated latent ability θ.
+    pub theta: f64,
+    /// Standard error of the estimate.
+    pub se: f64,
+}
+
+impl Default for AbilityEstimate {
+    /// The standard-normal prior: θ = 0, SE = 1.
+    fn default() -> Self {
+        Self {
+            theta: 0.0,
+            se: 1.0,
+        }
+    }
+}
+
+/// Expected-a-posteriori estimate over a fixed quadrature grid with a
+/// normal prior.
+///
+/// Robust for short tests and all-correct/all-wrong patterns (where
+/// maximum likelihood diverges).
+#[must_use]
+pub fn eap_estimate(
+    responses: &[(ItemParams, bool)],
+    prior_mean: f64,
+    prior_sd: f64,
+) -> AbilityEstimate {
+    const GRID: usize = 81;
+    const SPAN: f64 = 4.0;
+    let sd = prior_sd.max(1e-6);
+    let mut numerator = 0.0;
+    let mut denominator = 0.0;
+    let mut second_moment = 0.0;
+    let mut weights = Vec::with_capacity(GRID);
+    let mut thetas = Vec::with_capacity(GRID);
+    for i in 0..GRID {
+        let theta = prior_mean - SPAN * sd + 2.0 * SPAN * sd * i as f64 / (GRID - 1) as f64;
+        let z = (theta - prior_mean) / sd;
+        // Work in log space to avoid underflow on long tests.
+        let mut log_w = -0.5 * z * z;
+        for (params, correct) in responses {
+            let p = params.p_correct(theta).clamp(1e-9, 1.0 - 1e-9);
+            log_w += if *correct { p.ln() } else { (1.0 - p).ln() };
+        }
+        thetas.push(theta);
+        weights.push(log_w);
+    }
+    let max_log = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    for (theta, log_w) in thetas.iter().zip(&weights) {
+        let w = (log_w - max_log).exp();
+        numerator += theta * w;
+        denominator += w;
+    }
+    let mean = numerator / denominator;
+    for (theta, log_w) in thetas.iter().zip(&weights) {
+        let w = (log_w - max_log).exp();
+        second_moment += (theta - mean) * (theta - mean) * w;
+    }
+    AbilityEstimate {
+        theta: mean,
+        se: (second_moment / denominator).sqrt(),
+    }
+}
+
+/// Maximum-likelihood estimate via Newton–Raphson, starting from `start`
+/// and clamped to `[-4, 4]`.
+///
+/// Returns `None` when the response pattern has no interior maximum
+/// (all correct or all wrong) or the iteration fails to converge.
+#[must_use]
+pub fn mle_estimate(responses: &[(ItemParams, bool)], start: f64) -> Option<AbilityEstimate> {
+    if responses.is_empty()
+        || responses.iter().all(|(_, c)| *c)
+        || responses.iter().all(|(_, c)| !*c)
+    {
+        return None;
+    }
+    let mut theta = start.clamp(-4.0, 4.0);
+    for _ in 0..50 {
+        let mut score = 0.0; // dL/dθ
+        let mut info = 0.0; // −E[d²L/dθ²]
+        for (params, correct) in responses {
+            let p = params.p_correct(theta).clamp(1e-9, 1.0 - 1e-9);
+            // 3PL score function component.
+            let w = (p - params.c) / (p * (1.0 - params.c));
+            let y = if *correct { 1.0 } else { 0.0 };
+            score += params.a * w * (y - p);
+            info += params.information(theta);
+        }
+        if info <= 1e-9 {
+            return None;
+        }
+        let step = (score / info).clamp(-1.0, 1.0);
+        theta = (theta + step).clamp(-4.0, 4.0);
+        if step.abs() < 1e-6 {
+            return Some(AbilityEstimate {
+                theta,
+                se: 1.0 / info.sqrt(),
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder(n: usize) -> Vec<ItemParams> {
+        (0..n)
+            .map(|i| ItemParams::new(1.5, (i as f64 / n as f64) * 4.0 - 2.0, 0.0))
+            .collect()
+    }
+
+    /// A deterministic student of ability θ answers correctly iff
+    /// `p_correct(θ) > 0.5`.
+    fn answers(theta: f64, items: &[ItemParams]) -> Vec<(ItemParams, bool)> {
+        items
+            .iter()
+            .map(|p| (*p, p.p_correct(theta) > 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn eap_recovers_ability_direction() {
+        let items = ladder(30);
+        let strong = eap_estimate(&answers(1.5, &items), 0.0, 1.0);
+        let weak = eap_estimate(&answers(-1.5, &items), 0.0, 1.0);
+        assert!(strong.theta > 0.8, "strong θ = {}", strong.theta);
+        assert!(weak.theta < -0.8, "weak θ = {}", weak.theta);
+    }
+
+    #[test]
+    fn eap_with_no_responses_returns_prior() {
+        let estimate = eap_estimate(&[], 0.3, 1.0);
+        assert!((estimate.theta - 0.3).abs() < 1e-6);
+        assert!((estimate.se - 1.0).abs() < 0.05, "se ≈ prior sd");
+    }
+
+    #[test]
+    fn eap_se_shrinks_with_more_items() {
+        let short = eap_estimate(&answers(0.5, &ladder(5)), 0.0, 1.0);
+        let long = eap_estimate(&answers(0.5, &ladder(40)), 0.0, 1.0);
+        assert!(long.se < short.se, "{} < {}", long.se, short.se);
+    }
+
+    #[test]
+    fn eap_handles_extreme_patterns() {
+        let items = ladder(10);
+        let all_correct: Vec<_> = items.iter().map(|p| (*p, true)).collect();
+        let estimate = eap_estimate(&all_correct, 0.0, 1.0);
+        assert!(estimate.theta > 1.0);
+        assert!(estimate.theta.is_finite());
+        let all_wrong: Vec<_> = items.iter().map(|p| (*p, false)).collect();
+        assert!(eap_estimate(&all_wrong, 0.0, 1.0).theta < -1.0);
+    }
+
+    #[test]
+    fn mle_agrees_with_eap_on_long_tests() {
+        let items = ladder(40);
+        let responses = answers(0.7, &items);
+        let eap = eap_estimate(&responses, 0.0, 1.0);
+        let mle = mle_estimate(&responses, 0.0).expect("mixed pattern converges");
+        assert!(
+            (eap.theta - mle.theta).abs() < 0.3,
+            "eap {} vs mle {}",
+            eap.theta,
+            mle.theta
+        );
+        assert!(mle.se > 0.0);
+    }
+
+    #[test]
+    fn mle_rejects_degenerate_patterns() {
+        let items = ladder(10);
+        let all: Vec<_> = items.iter().map(|p| (*p, true)).collect();
+        assert!(mle_estimate(&all, 0.0).is_none());
+        assert!(mle_estimate(&[], 0.0).is_none());
+    }
+
+    #[test]
+    fn estimates_are_monotone_in_correct_count() {
+        // More correct answers on the same ladder → higher θ.
+        let items = ladder(20);
+        let mut last = f64::NEG_INFINITY;
+        for k in [5, 10, 15, 20] {
+            let responses: Vec<_> = items.iter().enumerate().map(|(i, p)| (*p, i < k)).collect();
+            let estimate = eap_estimate(&responses, 0.0, 1.0);
+            assert!(estimate.theta > last, "k={k}");
+            last = estimate.theta;
+        }
+    }
+}

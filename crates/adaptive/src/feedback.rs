@@ -1,0 +1,258 @@
+//! Assessment feedback (§6 future work).
+//!
+//! "Assessment responses to the learners in terms of what is the major
+//! and most important part in each subject and course" (§1). Given a
+//! graded [`StudentRecord`] and the exam's problems, this module builds
+//! the learner-facing summary: estimated ability, the subjects they
+//! struggled with, and the Bloom levels to revisit.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use mine_core::{CognitionLevel, StudentId, StudentRecord};
+use mine_itembank::Problem;
+
+use crate::driver::ItemPool;
+use crate::estimate::{eap_estimate, AbilityEstimate};
+use mine_simulator::ItemParams;
+
+/// Feedback for one learner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudentFeedback {
+    /// The learner.
+    pub student: StudentId,
+    /// Estimated ability θ.
+    pub theta: f64,
+    /// Standard error of the estimate.
+    pub se: f64,
+    /// Per subject: `(correct, attempted)`.
+    pub subject_breakdown: BTreeMap<String, (usize, usize)>,
+    /// Subjects with below-half accuracy, worst first.
+    pub weak_subjects: Vec<String>,
+    /// Bloom levels with below-half accuracy, shallowest first.
+    pub weak_levels: Vec<CognitionLevel>,
+}
+
+impl StudentFeedback {
+    /// Renders the feedback as learner-facing text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Feedback for {} — estimated ability {:+.2} (±{:.2})\n",
+            self.student, self.theta, self.se
+        );
+        for (subject, (correct, attempted)) in &self.subject_breakdown {
+            out.push_str(&format!("  {subject}: {correct}/{attempted} correct\n"));
+        }
+        if self.weak_subjects.is_empty() {
+            out.push_str("  no weak subjects — well done\n");
+        } else {
+            out.push_str(&format!(
+                "  review these subjects: {}\n",
+                self.weak_subjects.join(", ")
+            ));
+        }
+        if !self.weak_levels.is_empty() {
+            let levels: Vec<&str> = self.weak_levels.iter().map(|l| l.name()).collect();
+            out.push_str(&format!("  practice at levels: {}\n", levels.join(", ")));
+        }
+        out
+    }
+}
+
+/// Builds feedback from a graded record.
+///
+/// `pool` supplies IRT parameters for ability estimation; problems
+/// missing from the pool fall back to default parameters.
+#[must_use]
+pub fn generate_feedback(
+    record: &StudentRecord,
+    problems: &[Problem],
+    pool: &ItemPool,
+) -> StudentFeedback {
+    let mut responses: Vec<(ItemParams, bool)> = Vec::new();
+    let mut by_subject: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    let mut by_level: BTreeMap<CognitionLevel, (usize, usize)> = BTreeMap::new();
+
+    for response in &record.responses {
+        let Some(problem) = problems.iter().find(|p| p.id() == &response.problem) else {
+            continue;
+        };
+        let params = pool.params(&response.problem).unwrap_or_default();
+        responses.push((params, response.is_correct));
+
+        let subject = problem.subject().as_str().to_string();
+        if !subject.is_empty() {
+            let slot = by_subject.entry(subject).or_insert((0, 0));
+            slot.1 += 1;
+            if response.is_correct {
+                slot.0 += 1;
+            }
+        }
+        if let Some(level) = problem.cognition_level() {
+            let slot = by_level.entry(level).or_insert((0, 0));
+            slot.1 += 1;
+            if response.is_correct {
+                slot.0 += 1;
+            }
+        }
+    }
+
+    let estimate: AbilityEstimate = eap_estimate(&responses, 0.0, 1.0);
+    let mut weak_subjects: Vec<(String, f64)> = by_subject
+        .iter()
+        .filter(|(_, (correct, attempted))| (*correct as f64) < 0.5 * *attempted as f64)
+        .map(|(subject, (correct, attempted))| {
+            (subject.clone(), *correct as f64 / *attempted as f64)
+        })
+        .collect();
+    weak_subjects.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let weak_levels: Vec<CognitionLevel> = CognitionLevel::ALL
+        .into_iter()
+        .filter(|level| {
+            by_level
+                .get(level)
+                .is_some_and(|(correct, attempted)| (*correct as f64) < 0.5 * *attempted as f64)
+        })
+        .collect();
+
+    StudentFeedback {
+        student: record.student.clone(),
+        theta: estimate.theta,
+        se: estimate.se,
+        subject_breakdown: by_subject,
+        weak_subjects: weak_subjects.into_iter().map(|(s, _)| s).collect(),
+        weak_levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_core::{Answer, ItemResponse};
+
+    fn problems() -> Vec<Problem> {
+        vec![
+            Problem::true_false("q1", "a", true)
+                .unwrap()
+                .with_subject("tcp")
+                .with_cognition_level(CognitionLevel::Knowledge),
+            Problem::true_false("q2", "b", true)
+                .unwrap()
+                .with_subject("tcp")
+                .with_cognition_level(CognitionLevel::Knowledge),
+            Problem::true_false("q3", "c", true)
+                .unwrap()
+                .with_subject("routing")
+                .with_cognition_level(CognitionLevel::Analysis),
+            Problem::true_false("q4", "d", true)
+                .unwrap()
+                .with_subject("routing")
+                .with_cognition_level(CognitionLevel::Analysis),
+        ]
+    }
+
+    fn record(correct: [bool; 4]) -> StudentRecord {
+        let responses = correct
+            .iter()
+            .enumerate()
+            .map(|(i, &ok)| {
+                let pid = format!("q{}", i + 1).parse().unwrap();
+                if ok {
+                    ItemResponse::correct(pid, Answer::TrueFalse(true), 1.0)
+                } else {
+                    ItemResponse::incorrect(pid, Answer::TrueFalse(false), 1.0)
+                }
+            })
+            .collect();
+        StudentRecord::new("alice".parse().unwrap(), responses)
+    }
+
+    #[test]
+    fn weak_subject_and_level_detected() {
+        let feedback = generate_feedback(
+            &record([true, true, false, false]),
+            &problems(),
+            &ItemPool::new(),
+        );
+        assert_eq!(feedback.weak_subjects, vec!["routing".to_string()]);
+        assert_eq!(feedback.weak_levels, vec![CognitionLevel::Analysis]);
+        assert_eq!(feedback.subject_breakdown["tcp"], (2, 2));
+        assert_eq!(feedback.subject_breakdown["routing"], (0, 2));
+    }
+
+    #[test]
+    fn perfect_record_has_no_weaknesses_and_positive_theta() {
+        let feedback = generate_feedback(
+            &record([true, true, true, true]),
+            &problems(),
+            &ItemPool::new(),
+        );
+        assert!(feedback.weak_subjects.is_empty());
+        assert!(feedback.weak_levels.is_empty());
+        assert!(feedback.theta > 0.0);
+    }
+
+    #[test]
+    fn failing_record_has_negative_theta() {
+        let feedback = generate_feedback(
+            &record([false, false, false, false]),
+            &problems(),
+            &ItemPool::new(),
+        );
+        assert!(feedback.theta < 0.0);
+        assert_eq!(feedback.weak_subjects.len(), 2);
+    }
+
+    #[test]
+    fn pool_parameters_influence_estimate() {
+        let mut pool = ItemPool::new();
+        for i in 1..=4 {
+            // Very hard items: answering them right means high ability.
+            pool.add(
+                format!("q{i}").parse().unwrap(),
+                ItemParams::new(1.5, 2.0, 0.0),
+            );
+        }
+        let with_pool = generate_feedback(&record([true, true, true, true]), &problems(), &pool);
+        let without = generate_feedback(
+            &record([true, true, true, true]),
+            &problems(),
+            &ItemPool::new(),
+        );
+        assert!(with_pool.theta > without.theta);
+    }
+
+    #[test]
+    fn render_mentions_weak_subjects() {
+        let feedback = generate_feedback(
+            &record([true, true, false, false]),
+            &problems(),
+            &ItemPool::new(),
+        );
+        let text = feedback.render();
+        assert!(text.contains("routing"));
+        assert!(text.contains("Analysis"));
+        assert!(text.contains("alice"));
+    }
+
+    #[test]
+    fn unknown_problems_are_skipped() {
+        let mut rec = record([true, true, true, true]);
+        rec.responses.push(ItemResponse::correct(
+            "ghost".parse().unwrap(),
+            Answer::TrueFalse(true),
+            1.0,
+        ));
+        let feedback = generate_feedback(&rec, &problems(), &ItemPool::new());
+        assert_eq!(
+            feedback
+                .subject_breakdown
+                .values()
+                .map(|(_, attempted)| attempted)
+                .sum::<usize>(),
+            4
+        );
+    }
+}

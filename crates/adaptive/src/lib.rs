@@ -1,0 +1,50 @@
+//! Adaptive testing — the extension the paper's conclusion promises.
+//!
+//! "In the near future, we will add the adaptive test algorithm and
+//! assessment feedback in our assessment system" (§6). This crate
+//! delivers both on top of the item bank and the simulator's IRT model:
+//!
+//! * [`estimate`] — ability estimation from response patterns
+//!   (expected-a-posteriori over a quadrature grid, plus a
+//!   Newton–Raphson maximum-likelihood refinement),
+//! * [`select`] — item selection: maximum Fisher information at the
+//!   current ability estimate, with a random baseline for the ablation
+//!   bench,
+//! * [`driver`] — [`AdaptiveTest`], the select → answer → re-estimate
+//!   loop with stopping rules (standard-error target or item budget),
+//! * [`feedback`] — per-student assessment feedback: estimated ability,
+//!   weak subjects, and the cognition levels to revisit.
+//!
+//! # Examples
+//!
+//! ```
+//! use mine_adaptive::{AdaptiveTest, ItemPool, StopRule};
+//! use mine_simulator::ItemParams;
+//!
+//! let mut pool = ItemPool::new();
+//! for i in 0..30 {
+//!     let b = (i as f64 - 15.0) / 5.0;
+//!     pool.add(format!("q{i}").parse()?, ItemParams::new(1.2, b, 0.0));
+//! }
+//! let mut test = AdaptiveTest::new(pool, StopRule::default());
+//! // A strong student: answers correctly whenever b < 1.0.
+//! while let Some((item, params)) = test.next_item() {
+//!     let correct = params.b < 1.0;
+//!     test.record(item, correct)?;
+//! }
+//! assert!(test.estimate().theta > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod estimate;
+pub mod feedback;
+pub mod select;
+
+pub use driver::{AdaptiveError, AdaptiveTest, ItemPool, StopRule};
+pub use estimate::{eap_estimate, mle_estimate, AbilityEstimate};
+pub use feedback::{generate_feedback, StudentFeedback};
+pub use select::{max_information, random_item, SelectionStrategy};

@@ -1,0 +1,236 @@
+//! Item selection strategies.
+
+use std::collections::HashSet;
+
+use mine_core::ProblemId;
+use mine_simulator::ItemParams;
+
+/// How the adaptive driver picks the next item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SelectionStrategy {
+    /// Maximum Fisher information at the current ability estimate — the
+    /// standard CAT rule.
+    #[default]
+    MaxInformation,
+    /// Uniform random among unused items — the ablation baseline.
+    Random {
+        /// Seed for the deterministic pseudo-random pick.
+        seed: u64,
+    },
+    /// Randomesque exposure control (Kingsbury–Zara): pick uniformly
+    /// among the `top_k` most informative unused items, so the same few
+    /// items are not shown to every examinee.
+    Randomesque {
+        /// How many of the most informative items to draw from.
+        top_k: usize,
+        /// Seed for the deterministic pseudo-random pick.
+        seed: u64,
+    },
+}
+
+/// Picks the unused item with maximum information at `theta`.
+///
+/// Ties break toward the lexicographically smallest id for determinism.
+#[must_use]
+pub fn max_information<'a>(
+    pool: &'a [(ProblemId, ItemParams)],
+    used: &HashSet<ProblemId>,
+    theta: f64,
+) -> Option<&'a (ProblemId, ItemParams)> {
+    pool.iter()
+        .filter(|(id, _)| !used.contains(id))
+        .max_by(|(id_a, a), (id_b, b)| {
+            a.information(theta)
+                .partial_cmp(&b.information(theta))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| id_b.cmp(id_a))
+        })
+}
+
+/// Picks a pseudo-random unused item, deterministic in `(seed, step)`.
+#[must_use]
+pub fn random_item<'a>(
+    pool: &'a [(ProblemId, ItemParams)],
+    used: &HashSet<ProblemId>,
+    seed: u64,
+    step: usize,
+) -> Option<&'a (ProblemId, ItemParams)> {
+    let remaining: Vec<&(ProblemId, ItemParams)> =
+        pool.iter().filter(|(id, _)| !used.contains(id)).collect();
+    if remaining.is_empty() {
+        return None;
+    }
+    // SplitMix64 over (seed, step) — no RNG state to carry.
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(step as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    Some(remaining[(z % remaining.len() as u64) as usize])
+}
+
+/// Picks uniformly among the `top_k` most informative unused items.
+///
+/// With `top_k = 1` this degenerates to [`max_information`]. Ties and
+/// ordering are deterministic (information descending, then id), and the
+/// draw is deterministic in `(seed, step)`.
+#[must_use]
+pub fn randomesque<'a>(
+    pool: &'a [(ProblemId, ItemParams)],
+    used: &HashSet<ProblemId>,
+    theta: f64,
+    top_k: usize,
+    seed: u64,
+    step: usize,
+) -> Option<&'a (ProblemId, ItemParams)> {
+    let mut remaining: Vec<&(ProblemId, ItemParams)> =
+        pool.iter().filter(|(id, _)| !used.contains(id)).collect();
+    if remaining.is_empty() {
+        return None;
+    }
+    remaining.sort_by(|(id_a, a), (id_b, b)| {
+        b.information(theta)
+            .partial_cmp(&a.information(theta))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| id_a.cmp(id_b))
+    });
+    let k = top_k.clamp(1, remaining.len());
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(step as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    Some(remaining[(z % k as u64) as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Vec<(ProblemId, ItemParams)> {
+        (0..10)
+            .map(|i| {
+                (
+                    format!("q{i}").parse().unwrap(),
+                    ItemParams::new(1.0, i as f64 - 5.0, 0.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn max_information_picks_item_near_theta() {
+        let pool = pool();
+        let used = HashSet::new();
+        // θ = 0 → closest difficulty is b = 0 (q5).
+        let (id, params) = max_information(&pool, &used, 0.0).unwrap();
+        assert_eq!(id.as_str(), "q5");
+        assert_eq!(params.b, 0.0);
+        // θ = −4 → the item with b = −4 (q1) is the most informative.
+        assert_eq!(
+            max_information(&pool, &used, -4.0).unwrap().0.as_str(),
+            "q1"
+        );
+    }
+
+    #[test]
+    fn used_items_are_skipped_until_pool_exhausts() {
+        let pool = pool();
+        let mut used = HashSet::new();
+        for _ in 0..10 {
+            let (id, _) = *max_information(&pool, &used, 0.0).as_ref().unwrap();
+            assert!(used.insert(id.clone()));
+        }
+        assert!(max_information(&pool, &used, 0.0).is_none());
+    }
+
+    #[test]
+    fn max_information_tie_breaks_deterministically() {
+        let pool: Vec<(ProblemId, ItemParams)> = vec![
+            ("b".parse().unwrap(), ItemParams::new(1.0, 0.0, 0.0)),
+            ("a".parse().unwrap(), ItemParams::new(1.0, 0.0, 0.0)),
+        ];
+        let used = HashSet::new();
+        assert_eq!(max_information(&pool, &used, 0.0).unwrap().0.as_str(), "a");
+    }
+
+    #[test]
+    fn random_item_is_deterministic_and_respects_used() {
+        let pool = pool();
+        let mut used = HashSet::new();
+        let first = random_item(&pool, &used, 7, 0).unwrap().0.clone();
+        assert_eq!(random_item(&pool, &used, 7, 0).unwrap().0, first);
+        used.insert(first.clone());
+        let second = random_item(&pool, &used, 7, 1).unwrap().0.clone();
+        assert_ne!(second, first);
+        // Exhausting the pool returns None.
+        for (id, _) in &pool {
+            used.insert(id.clone());
+        }
+        assert!(random_item(&pool, &used, 7, 2).is_none());
+    }
+
+    #[test]
+    fn randomesque_one_equals_max_information() {
+        let pool = pool();
+        let used = HashSet::new();
+        for theta in [-2.0, 0.0, 2.0] {
+            assert_eq!(
+                randomesque(&pool, &used, theta, 1, 7, 0).unwrap().0,
+                max_information(&pool, &used, theta).unwrap().0,
+            );
+        }
+    }
+
+    #[test]
+    fn randomesque_stays_within_top_k() {
+        let pool = pool();
+        let used = HashSet::new();
+        // θ = 0: the top-3 by information are b ∈ {0, ±1} → q4, q5, q6.
+        let allowed = ["q4", "q5", "q6"];
+        for step in 0..40 {
+            let (id, _) = randomesque(&pool, &used, 0.0, 3, 11, step).unwrap();
+            assert!(allowed.contains(&id.as_str()), "picked {id}");
+        }
+    }
+
+    #[test]
+    fn randomesque_spreads_exposure() {
+        let pool = pool();
+        let used = HashSet::new();
+        let picks: HashSet<String> = (0..60)
+            .map(|step| {
+                randomesque(&pool, &used, 0.0, 3, 11, step)
+                    .unwrap()
+                    .0
+                    .to_string()
+            })
+            .collect();
+        assert!(
+            picks.len() >= 2,
+            "top-3 draw should not always pick one item"
+        );
+    }
+
+    #[test]
+    fn randomesque_exhausts_pool() {
+        let pool = pool();
+        let mut used = HashSet::new();
+        for (id, _) in &pool {
+            used.insert(id.clone());
+        }
+        assert!(randomesque(&pool, &used, 0.0, 3, 1, 0).is_none());
+    }
+
+    #[test]
+    fn different_seeds_vary_the_pick() {
+        let pool = pool();
+        let used = HashSet::new();
+        let picks: HashSet<String> = (0..20)
+            .map(|seed| random_item(&pool, &used, seed, 0).unwrap().0.to_string())
+            .collect();
+        assert!(picks.len() > 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Baseline discrimination: the point-biserial correlation.
+//!
+//! Moodle/Open-edX-style item analysis measures discrimination with the
+//! point-biserial correlation between getting an item right and the
+//! total score, rather than the paper's high/low-group difference
+//! `D = PH − PL`. This module provides that baseline plus a Spearman
+//! rank-agreement helper so the benches can quantify how closely the two
+//! indices rank the same items (ablation A2 in DESIGN.md).
+
+use mine_core::{ExamRecord, ProblemId};
+
+use crate::error::AnalysisError;
+
+/// Point-biserial correlation between item correctness and total score.
+///
+/// `r_pb = (M₁ − M₀)/σ · √(p·q)` where `M₁`/`M₀` are mean total scores
+/// of students who got the item right/wrong, `σ` the population standard
+/// deviation of scores, `p` the fraction correct, `q = 1 − p`.
+///
+/// Returns 0 when the item or the scores have no variance.
+///
+/// # Errors
+///
+/// * [`AnalysisError::EmptyRecord`] for an empty class,
+/// * [`AnalysisError::MissingResponse`] when a student lacks the item.
+pub fn point_biserial(record: &ExamRecord, problem: &ProblemId) -> Result<f64, AnalysisError> {
+    if record.students.is_empty() {
+        return Err(AnalysisError::EmptyRecord);
+    }
+    let n = record.students.len() as f64;
+    let mut scores = Vec::with_capacity(record.students.len());
+    let mut correct_flags = Vec::with_capacity(record.students.len());
+    for student in &record.students {
+        let response =
+            student
+                .response_to(problem)
+                .ok_or_else(|| AnalysisError::MissingResponse {
+                    student: student.student.to_string(),
+                    problem: problem.to_string(),
+                })?;
+        scores.push(student.score());
+        correct_flags.push(response.is_correct);
+    }
+    let mean = scores.iter().sum::<f64>() / n;
+    let variance = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+    let sd = variance.sqrt();
+    let p = correct_flags.iter().filter(|&&c| c).count() as f64 / n;
+    let q = 1.0 - p;
+    if sd == 0.0 || p == 0.0 || q == 0.0 {
+        return Ok(0.0);
+    }
+    let mean_correct = scores
+        .iter()
+        .zip(&correct_flags)
+        .filter(|(_, &c)| c)
+        .map(|(s, _)| *s)
+        .sum::<f64>()
+        / (p * n);
+    let mean_incorrect = scores
+        .iter()
+        .zip(&correct_flags)
+        .filter(|(_, &c)| !c)
+        .map(|(s, _)| *s)
+        .sum::<f64>()
+        / (q * n);
+    Ok((mean_correct - mean_incorrect) / sd * (p * q).sqrt())
+}
+
+/// Spearman rank correlation between two paired samples.
+///
+/// Ties receive their average rank. Returns 0 for fewer than two pairs.
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+#[must_use]
+pub fn spearman_rank(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "paired samples must match in length");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    // Pearson correlation of the ranks (handles ties correctly).
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (ma, mb) = (mean(&ra), mean(&rb));
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = ra[i] - ma;
+        let db = rb[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&i, &j| {
+        values[i]
+            .partial_cmp(&values[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &index in &order[i..=j] {
+            out[index] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_core::{Answer, ExamId, ItemResponse, StudentRecord};
+
+    /// Students score 0..n−1 on filler; the target item is answered
+    /// correctly by those in `correct_set`.
+    fn record(n: usize, correct_set: &[usize]) -> ExamRecord {
+        let students = (0..n)
+            .map(|i| {
+                let target = if correct_set.contains(&i) {
+                    ItemResponse::correct("t".parse().unwrap(), Answer::TrueFalse(true), 1.0)
+                } else {
+                    ItemResponse::incorrect("t".parse().unwrap(), Answer::TrueFalse(false), 1.0)
+                };
+                let mut filler =
+                    ItemResponse::correct("f".parse().unwrap(), Answer::TrueFalse(true), i as f64);
+                filler.points_possible = n as f64;
+                StudentRecord::new(format!("s{i:02}").parse().unwrap(), vec![target, filler])
+            })
+            .collect();
+        ExamRecord::new(ExamId::new("e").unwrap(), students)
+    }
+
+    #[test]
+    fn discriminating_item_has_positive_r() {
+        // Top half gets it right.
+        let correct: Vec<usize> = (5..10).collect();
+        let r = point_biserial(&record(10, &correct), &"t".parse().unwrap()).unwrap();
+        assert!(r > 0.7, "r = {r}");
+    }
+
+    #[test]
+    fn inverted_item_has_negative_r() {
+        let correct: Vec<usize> = (0..5).collect();
+        let r = point_biserial(&record(10, &correct), &"t".parse().unwrap()).unwrap();
+        assert!(r < -0.7, "r = {r}");
+    }
+
+    #[test]
+    fn no_variance_items_return_zero() {
+        let all: Vec<usize> = (0..10).collect();
+        assert_eq!(
+            point_biserial(&record(10, &all), &"t".parse().unwrap()).unwrap(),
+            0.0
+        );
+        assert_eq!(
+            point_biserial(&record(10, &[]), &"t".parse().unwrap()).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn r_is_bounded() {
+        for pattern in [[0usize, 2, 4, 6, 8], [1, 3, 5, 7, 9], [0, 1, 8, 9, 5]] {
+            let r = point_biserial(&record(10, &pattern), &"t".parse().unwrap()).unwrap();
+            assert!((-1.0..=1.0).contains(&r), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn empty_record_errors() {
+        let record = ExamRecord::new(ExamId::new("e").unwrap(), vec![]);
+        assert!(point_biserial(&record, &"t".parse().unwrap()).is_err());
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman_rank(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [40.0, 30.0, 20.0, 10.0];
+        assert!((spearman_rank(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 2.0, 3.0];
+        assert!((spearman_rank(&a, &b) - 1.0).abs() < 1e-12);
+        let flat = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(spearman_rank(&a, &flat), 0.0);
+    }
+
+    #[test]
+    fn spearman_degenerate_lengths() {
+        assert_eq!(spearman_rank(&[], &[]), 0.0);
+        assert_eq!(spearman_rank(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "match in length")]
+    fn spearman_mismatched_lengths_panic() {
+        let _ = spearman_rank(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Configuration of the analysis pipeline.
+
+use serde::{Deserialize, Serialize};
+
+use mine_core::GroupFraction;
+
+use crate::signal::SignalPolicy;
+
+/// Tunable parameters of the analysis model.
+///
+/// Defaults pin the paper's choices: 25 % score groups (§4.1.1 — "we
+/// tried to define the percentage 25 % in this paper"), the Table 3
+/// signal thresholds, and the 20 % flatness margin of Rules 3/4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Fraction of the class in each of the high and low groups.
+    pub group_fraction: GroupFraction,
+    /// Traffic-light thresholds (Table 3).
+    pub signal: SignalPolicy,
+    /// Rules 3/4 margin: the group "lacks concept" when
+    /// `max − min ≤ flatness × total` across its option counts.
+    pub flatness: f64,
+    /// Exam pass mark as a fraction of the maximum score (used by the
+    /// exam statistics, not by the paper's per-question rules).
+    pub pass_mark: f64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        Self {
+            group_fraction: GroupFraction::PAPER,
+            signal: SignalPolicy::default(),
+            flatness: 0.2,
+            pass_mark: 0.6,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// The paper's configuration (same as `Default`).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Kelly's recommended 27 % groups, other knobs unchanged.
+    #[must_use]
+    pub fn kelly() -> Self {
+        Self {
+            group_fraction: GroupFraction::KELLY_OPTIMAL,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style group fraction override.
+    #[must_use]
+    pub fn with_group_fraction(mut self, fraction: GroupFraction) -> Self {
+        self.group_fraction = fraction;
+        self
+    }
+
+    /// Builder-style flatness override (clamped to `(0, 1]`).
+    #[must_use]
+    pub fn with_flatness(mut self, flatness: f64) -> Self {
+        self.flatness = flatness.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let config = AnalysisConfig::default();
+        assert_eq!(config.group_fraction, GroupFraction::PAPER);
+        assert_eq!(config.flatness, 0.2);
+        assert_eq!(config.signal, SignalPolicy::default());
+    }
+
+    #[test]
+    fn kelly_uses_27_percent() {
+        assert_eq!(
+            AnalysisConfig::kelly().group_fraction,
+            GroupFraction::KELLY_OPTIMAL
+        );
+    }
+
+    #[test]
+    fn flatness_is_clamped() {
+        assert_eq!(AnalysisConfig::default().with_flatness(2.0).flatness, 1.0);
+        assert!(AnalysisConfig::default().with_flatness(-1.0).flatness > 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Distractor analysis (§3.3-V).
+//!
+//! "Distraction: With the analysis, define students' distraction." The
+//! IndividualTest metadata reserves a slot for *which wrong options
+//! distract whom*; this module computes it from the Table 1 matrix:
+//! every distractor is classified by whom it attracts and whether it is
+//! doing its job (pulling low-group students while leaving the high
+//! group alone).
+
+use serde::{Deserialize, Serialize};
+
+use mine_core::OptionKey;
+
+use crate::option_matrix::OptionMatrix;
+
+/// How a single distractor behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistractorRole {
+    /// Attracts low-group students and few high-group ones — a healthy
+    /// distractor.
+    Effective,
+    /// Attracts nobody in the low group (Rule 1's "allure is low").
+    Dead,
+    /// Attracts the high group at least as much as the low group — it
+    /// confuses good students (Rule 2 territory).
+    Confusing,
+    /// Attracts both groups roughly equally — noise, not diagnosis.
+    Indiscriminate,
+}
+
+/// Analysis of one distractor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistractorReport {
+    /// The option analyzed (never the correct one).
+    pub option: OptionKey,
+    /// High-group selections.
+    pub high: usize,
+    /// Low-group selections.
+    pub low: usize,
+    /// The behavioural classification.
+    pub role: DistractorRole,
+}
+
+impl DistractorReport {
+    /// A metadata-ready sentence (the string stored in
+    /// `IndividualTest.distraction`).
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self.role {
+            DistractorRole::Effective => format!(
+                "option {} distracts the low group effectively ({} low vs {} high)",
+                self.option, self.low, self.high
+            ),
+            DistractorRole::Dead => {
+                format!(
+                    "option {} attracts nobody in the low group; replace it",
+                    self.option
+                )
+            }
+            DistractorRole::Confusing => format!(
+                "option {} confuses strong students ({} high vs {} low); reword it",
+                self.option, self.high, self.low
+            ),
+            DistractorRole::Indiscriminate => format!(
+                "option {} pulls both groups alike ({} high, {} low); it does not diagnose",
+                self.option, self.high, self.low
+            ),
+        }
+    }
+}
+
+/// Classifies every distractor of a question.
+///
+/// The correct option is skipped — it is not a distractor.
+#[must_use]
+pub fn analyze_distractors(matrix: &OptionMatrix) -> Vec<DistractorReport> {
+    matrix
+        .keys()
+        .filter(|key| *key != matrix.correct)
+        .map(|option| {
+            let high = matrix.high_count(option);
+            let low = matrix.low_count(option);
+            let role = if low == 0 {
+                DistractorRole::Dead
+            } else if high >= low {
+                DistractorRole::Confusing
+            } else if high * 2 >= low {
+                // High group takes at least half as often as low —
+                // pulls both sides.
+                DistractorRole::Indiscriminate
+            } else {
+                DistractorRole::Effective
+            };
+            DistractorReport {
+                option,
+                high,
+                low,
+                role,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(correct: OptionKey, high: Vec<usize>, low: Vec<usize>) -> OptionMatrix {
+        OptionMatrix::from_counts("q".parse().unwrap(), correct, high, low)
+    }
+
+    #[test]
+    fn paper_example_1_has_a_dead_distractor() {
+        let m = matrix(OptionKey::A, vec![12, 2, 0, 3, 3], vec![6, 4, 0, 5, 5]);
+        let reports = analyze_distractors(&m);
+        assert_eq!(reports.len(), 4, "correct option A skipped");
+        let c = reports.iter().find(|r| r.option == OptionKey::C).unwrap();
+        assert_eq!(c.role, DistractorRole::Dead);
+        assert!(c.describe().contains("nobody"));
+    }
+
+    #[test]
+    fn effective_distractor_detected() {
+        // D pulls 5 low, 0 high.
+        let m = matrix(OptionKey::A, vec![15, 2, 2, 0, 1], vec![5, 4, 5, 4, 2]);
+        let d = analyze_distractors(&m)
+            .into_iter()
+            .find(|r| r.option == OptionKey::D)
+            .unwrap();
+        assert_eq!(d.role, DistractorRole::Effective);
+    }
+
+    #[test]
+    fn confusing_distractor_detected() {
+        // Paper example 2: E pulls 7 high vs 2 low.
+        let m = matrix(OptionKey::C, vec![1, 2, 10, 0, 7], vec![2, 2, 13, 1, 2]);
+        let e = analyze_distractors(&m)
+            .into_iter()
+            .find(|r| r.option == OptionKey::E)
+            .unwrap();
+        assert_eq!(e.role, DistractorRole::Confusing);
+        assert!(e.describe().contains("confuses"));
+    }
+
+    #[test]
+    fn indiscriminate_distractor_detected() {
+        // B pulls 3 high and 5 low: high*2 = 6 >= 5 but high < low.
+        let m = matrix(OptionKey::A, vec![10, 3], vec![2, 5]);
+        let b = analyze_distractors(&m)
+            .into_iter()
+            .find(|r| r.option == OptionKey::B)
+            .unwrap();
+        assert_eq!(b.role, DistractorRole::Indiscriminate);
+    }
+
+    #[test]
+    fn all_descriptions_name_the_option() {
+        let m = matrix(OptionKey::A, vec![10, 3, 0, 6], vec![2, 7, 0, 6]);
+        for report in analyze_distractors(&m) {
+            assert!(report
+                .describe()
+                .contains(&report.option.letter().to_string()));
+        }
+    }
+
+    #[test]
+    fn two_option_question_has_one_distractor() {
+        let m = matrix(OptionKey::B, vec![2, 9], vec![7, 4]);
+        let reports = analyze_distractors(&m);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].option, OptionKey::A);
+        assert_eq!(reports[0].role, DistractorRole::Effective);
+    }
+}

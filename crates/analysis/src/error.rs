@@ -1,0 +1,91 @@
+//! Error type of the analysis model.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use mine_core::CoreError;
+
+/// Errors raised while analyzing exam records.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The record holds no students.
+    EmptyRecord,
+    /// The class is too small to form distinct high/low groups.
+    ClassTooSmall {
+        /// Students present.
+        class_size: usize,
+    },
+    /// A student's record lacks a response to an exam problem.
+    MissingResponse {
+        /// The student.
+        student: String,
+        /// The problem.
+        problem: String,
+    },
+    /// An operation needed a choice problem but got another style.
+    NotAChoiceProblem {
+        /// The problem.
+        problem: String,
+    },
+    /// A problem referenced by the record was not supplied.
+    UnknownProblem {
+        /// The problem.
+        problem: String,
+    },
+    /// The record failed core consistency validation.
+    Core(CoreError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::EmptyRecord => write!(f, "exam record has no students"),
+            AnalysisError::ClassTooSmall { class_size } => write!(
+                f,
+                "class of {class_size} cannot form distinct high/low score groups"
+            ),
+            AnalysisError::MissingResponse { student, problem } => {
+                write!(f, "student {student} has no response to {problem}")
+            }
+            AnalysisError::NotAChoiceProblem { problem } => {
+                write!(f, "problem {problem} is not a choice problem")
+            }
+            AnalysisError::UnknownProblem { problem } => {
+                write!(f, "problem {problem} was not supplied to the analysis")
+            }
+            AnalysisError::Core(err) => write!(f, "inconsistent record: {err}"),
+        }
+    }
+}
+
+impl StdError for AnalysisError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            AnalysisError::Core(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for AnalysisError {
+    fn from(err: CoreError) -> Self {
+        AnalysisError::Core(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            AnalysisError::EmptyRecord.to_string(),
+            "exam record has no students"
+        );
+        assert!(AnalysisError::ClassTooSmall { class_size: 1 }
+            .to_string()
+            .contains('1'));
+    }
+}

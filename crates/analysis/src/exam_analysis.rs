@@ -1,0 +1,426 @@
+//! The assembled analysis: everything §4 produces for one sitting.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use mine_core::{ExamRecord, ProblemId};
+use mine_itembank::{Problem, ProblemBody};
+use mine_metadata::ExamMeta;
+use mine_metadata::QuestionStyle;
+
+use crate::config::AnalysisConfig;
+use crate::distraction::{analyze_distractors, DistractorReport};
+use crate::error::AnalysisError;
+use crate::figures::Figures;
+use crate::groups::ScoreGroups;
+use crate::indices::QuestionIndices;
+use crate::option_matrix::OptionMatrix;
+use crate::reliability::{cronbach_alpha, Reliability};
+use crate::rules::{evaluate_rules, RuleFindings};
+use crate::signal::Signal;
+use crate::status::StatusFlags;
+use crate::two_way::TwoWayTable;
+
+/// The full single-question analysis of §4.1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuestionAnalysis {
+    /// The §4.1.1 numbers (PH, PL, D, P).
+    pub indices: QuestionIndices,
+    /// Table 1, for choice questions (None for other styles — the
+    /// option-level rules need options).
+    pub matrix: Option<OptionMatrix>,
+    /// Rules 1–4 (empty findings for non-choice styles).
+    pub findings: RuleFindings,
+    /// Table 2 status columns.
+    pub status: StatusFlags,
+    /// §3.3-V distractor analysis (empty for non-choice styles).
+    pub distractors: Vec<DistractorReport>,
+    /// Table 3 light.
+    pub signal: Signal,
+    /// Teacher-facing advice line.
+    pub advice: String,
+}
+
+/// Whole-test descriptive statistics (§4.2 context, §3.4 metadata).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExamStatistics {
+    /// Students analyzed.
+    pub class_size: usize,
+    /// Mean total score.
+    pub mean_score: f64,
+    /// Median total score.
+    pub median_score: f64,
+    /// Population standard deviation of scores.
+    pub std_dev: f64,
+    /// Maximum attainable score.
+    pub max_score: f64,
+    /// Fraction of students at or above the pass mark.
+    pub pass_rate: f64,
+    /// "Average Time" of §3.4-I: mean total sitting time.
+    pub average_time: Duration,
+    /// Mean number of attempted questions.
+    pub mean_attempted: f64,
+}
+
+/// Everything the analysis model produces for one exam sitting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExamAnalysis {
+    /// The high/low group split used throughout.
+    pub groups: ScoreGroups,
+    /// Per-question analyses in exam order.
+    pub questions: Vec<QuestionAnalysis>,
+    /// Whole-test statistics.
+    pub statistics: ExamStatistics,
+    /// The §4.2.1 figures.
+    pub figures: Figures,
+    /// The Table 4 two-way specification table.
+    pub two_way: TwoWayTable,
+    /// Test-level reliability (Cronbach's alpha).
+    pub reliability: Reliability,
+    /// Questionnaire prompts excluded from item analysis (no correct
+    /// answer to analyze) — summarize them with
+    /// [`crate::questionnaire::summarize_questionnaire`].
+    pub surveys: Vec<ProblemId>,
+}
+
+impl ExamAnalysis {
+    /// Runs the complete §4 pipeline.
+    ///
+    /// `problems` must cover every problem in the record.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::EmptyRecord`] / [`AnalysisError::ClassTooSmall`]
+    ///   from the group split,
+    /// * [`AnalysisError::UnknownProblem`] when the record references a
+    ///   problem not supplied,
+    /// * [`AnalysisError::MissingResponse`] for incomplete records.
+    pub fn analyze(
+        record: &ExamRecord,
+        problems: &[Problem],
+        config: &AnalysisConfig,
+    ) -> Result<Self, AnalysisError> {
+        let groups = ScoreGroups::split(record, config.group_fraction)?;
+        let problem_ids = record.problems();
+        let find = |id: &ProblemId| -> Result<&Problem, AnalysisError> {
+            problems
+                .iter()
+                .find(|p| p.id() == id)
+                .ok_or_else(|| AnalysisError::UnknownProblem {
+                    problem: id.to_string(),
+                })
+        };
+
+        let mut questions = Vec::with_capacity(problem_ids.len());
+        let mut surveys = Vec::new();
+        let mut number = 0usize;
+        for problem_id in &problem_ids {
+            let problem = find(problem_id)?;
+            // Questionnaires have no correct answer; item analysis does
+            // not apply (§3.2-VI vs §3.3).
+            if problem.style() == QuestionStyle::Questionnaire {
+                surveys.push(problem_id.clone());
+                continue;
+            }
+            number += 1;
+            let indices = QuestionIndices::compute(record, &groups, number, problem_id)?;
+            let matrix = match problem.body() {
+                ProblemBody::MultipleChoice {
+                    options, correct, ..
+                } => Some(OptionMatrix::from_record(
+                    record,
+                    &groups,
+                    problem_id,
+                    options.len(),
+                    *correct,
+                )?),
+                _ => None,
+            };
+            let findings = matrix
+                .as_ref()
+                .map(|m| evaluate_rules(m, config.flatness))
+                .unwrap_or_default();
+            let status = StatusFlags::from_rules(&findings);
+            let distractors = matrix.as_ref().map(analyze_distractors).unwrap_or_default();
+            let signal = config.signal.classify(indices.discrimination);
+            let advice = config.signal.advice(indices.discrimination, &findings);
+            questions.push(QuestionAnalysis {
+                indices,
+                matrix,
+                findings,
+                status,
+                distractors,
+                signal,
+                advice,
+            });
+        }
+
+        let statistics = Self::statistics(record, config);
+        let indices_only: Vec<QuestionIndices> =
+            questions.iter().map(|q| q.indices.clone()).collect();
+        let exam_problems: Vec<Problem> = problem_ids
+            .iter()
+            .map(|id| find(id).cloned())
+            .collect::<Result<_, _>>()?;
+        let figures = Figures::build(record, &exam_problems, &indices_only, 20);
+        let two_way = TwoWayTable::from_problems(&exam_problems);
+        let reliability = cronbach_alpha(record)?;
+
+        Ok(Self {
+            groups,
+            questions,
+            statistics,
+            figures,
+            two_way,
+            reliability,
+            surveys,
+        })
+    }
+
+    fn statistics(record: &ExamRecord, config: &AnalysisConfig) -> ExamStatistics {
+        let n = record.students.len();
+        let mut scores: Vec<f64> = record.students.iter().map(|s| s.score()).collect();
+        scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mean = scores.iter().sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            scores[n / 2]
+        } else {
+            (scores[n / 2 - 1] + scores[n / 2]) / 2.0
+        };
+        let variance = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        let max_score = record
+            .students
+            .first()
+            .map(mine_core::StudentRecord::max_score)
+            .unwrap_or(0.0);
+        let pass_line = max_score * config.pass_mark;
+        let pass_rate = scores.iter().filter(|&&s| s >= pass_line).count() as f64 / n as f64;
+        let total_time: Duration = record.students.iter().map(|s| s.total_time).sum();
+        let mean_attempted = record
+            .students
+            .iter()
+            .map(|s| s.attempted_count())
+            .sum::<usize>() as f64
+            / n as f64;
+        ExamStatistics {
+            class_size: n,
+            mean_score: mean,
+            median_score: median,
+            std_dev: variance.sqrt(),
+            max_score,
+            pass_rate,
+            average_time: total_time / n as u32,
+            mean_attempted,
+        }
+    }
+
+    /// Builds the §3.4 exam metadata update: the measured average time
+    /// (and leaves test time / ISI untouched for the caller to merge).
+    #[must_use]
+    pub fn exam_meta_update(&self) -> ExamMeta {
+        ExamMeta {
+            average_time: Some(self.statistics.average_time),
+            test_time: None,
+            instructional_sensitivity: None,
+        }
+    }
+
+    /// Questions whose signal is not green — the teacher's worklist.
+    pub fn problematic_questions(&self) -> impl Iterator<Item = &QuestionAnalysis> {
+        self.questions.iter().filter(|q| q.signal != Signal::Green)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_core::OptionKey;
+    use mine_itembank::{ChoiceOption, Exam};
+    use mine_simulator::{CohortSpec, DistractorWeights, ItemParams, Simulation};
+
+    fn problems() -> Vec<Problem> {
+        let mut out: Vec<Problem> = (0..5)
+            .map(|i| {
+                Problem::multiple_choice(
+                    format!("q{i}"),
+                    format!("Question {i}"),
+                    OptionKey::first(5).map(|k| ChoiceOption::new(k, format!("{k}"))),
+                    OptionKey::A,
+                )
+                .unwrap()
+                .with_subject(if i < 3 { "tcp" } else { "routing" })
+                .with_cognition_level(if i < 2 {
+                    mine_core::CognitionLevel::Knowledge
+                } else {
+                    mine_core::CognitionLevel::Comprehension
+                })
+            })
+            .collect();
+        out.push(Problem::true_false("tf", "True?", true).unwrap());
+        out
+    }
+
+    fn exam() -> Exam {
+        let mut builder = Exam::builder("analyzed").unwrap();
+        for i in 0..5 {
+            builder = builder.entry(format!("q{i}").parse().unwrap());
+        }
+        builder.entry("tf".parse().unwrap()).build().unwrap()
+    }
+
+    fn simulated() -> ExamRecord {
+        Simulation::new(exam(), problems())
+            .cohort(CohortSpec::new(44).seed(3))
+            // q4 discriminates badly: nearly flat ability response.
+            .item_params("q4".parse().unwrap(), ItemParams::new(0.05, 0.0, 0.2))
+            // q1 has a dead distractor (E never chosen) for rule 1.
+            .distractors(
+                "q1".parse().unwrap(),
+                DistractorWeights::new(vec![0.0, 1.0, 1.0, 1.0, 0.0]),
+            )
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_runs() {
+        let record = simulated();
+        let analysis =
+            ExamAnalysis::analyze(&record, &problems(), &AnalysisConfig::default()).unwrap();
+        assert_eq!(analysis.questions.len(), 6);
+        assert_eq!(analysis.statistics.class_size, 44);
+        assert_eq!(analysis.groups.group_size(), 11);
+        // Choice questions carry matrices, the true/false one does not.
+        assert!(analysis.questions[0].matrix.is_some());
+        assert!(analysis.questions[5].matrix.is_none());
+        // Figures and two-way table exist.
+        assert!(!analysis.figures.time_answered.is_empty());
+        assert_eq!(analysis.two_way.sum_concept("tcp"), 3);
+    }
+
+    #[test]
+    fn dead_distractor_triggers_rule_1() {
+        let record = simulated();
+        let analysis =
+            ExamAnalysis::analyze(&record, &problems(), &AnalysisConfig::default()).unwrap();
+        let q1 = &analysis.questions[1];
+        assert!(
+            q1.findings.low_allure.contains(&OptionKey::E),
+            "E was weighted 0: {:?}",
+            q1.findings
+        );
+        assert!(q1.status.option_allure_low);
+        assert!(q1.advice.contains("allure"));
+    }
+
+    #[test]
+    fn flat_item_signals_red() {
+        // A non-discriminating item (a ≈ 0) should go red. To keep the
+        // test sharp we weight the noise item 0 in the exam so it cannot
+        // inflate its own D through the total-score ranking (part-whole
+        // correlation), and use a large cohort to shrink sampling noise.
+        let mut problems = problems();
+        problems[4].set_points(0.0);
+        let mut builder = Exam::builder("flat").unwrap();
+        for i in 0..5 {
+            builder = builder.entry(format!("q{i}").parse().unwrap());
+        }
+        let exam = builder.entry("tf".parse().unwrap()).build().unwrap();
+        let record = Simulation::new(exam, problems.clone())
+            .cohort(CohortSpec::new(400).seed(3))
+            .item_params("q4".parse().unwrap(), ItemParams::new(0.05, 0.0, 0.2))
+            .run()
+            .unwrap();
+        let analysis =
+            ExamAnalysis::analyze(&record, &problems, &AnalysisConfig::default()).unwrap();
+        let q4 = &analysis.questions[4];
+        assert_eq!(
+            q4.signal,
+            Signal::Red,
+            "a = 0.05 item cannot discriminate: D = {:.2}",
+            q4.indices.discrimination.value()
+        );
+        assert!(analysis.problematic_questions().count() >= 1);
+    }
+
+    #[test]
+    fn statistics_are_sane() {
+        let record = simulated();
+        let analysis =
+            ExamAnalysis::analyze(&record, &problems(), &AnalysisConfig::default()).unwrap();
+        let stats = &analysis.statistics;
+        assert!(stats.mean_score >= 0.0 && stats.mean_score <= stats.max_score);
+        assert!(stats.median_score >= 0.0 && stats.median_score <= stats.max_score);
+        assert!(stats.std_dev >= 0.0);
+        assert!((0.0..=1.0).contains(&stats.pass_rate));
+        assert!(stats.average_time > Duration::ZERO);
+        assert!(stats.mean_attempted > 0.0 && stats.mean_attempted <= 6.0);
+        assert_eq!(stats.max_score, 6.0);
+    }
+
+    #[test]
+    fn exam_meta_update_carries_average_time() {
+        let record = simulated();
+        let analysis =
+            ExamAnalysis::analyze(&record, &problems(), &AnalysisConfig::default()).unwrap();
+        let meta = analysis.exam_meta_update();
+        assert_eq!(meta.average_time, Some(analysis.statistics.average_time));
+        assert!(meta.test_time.is_none());
+    }
+
+    #[test]
+    fn unknown_problem_is_reported() {
+        let record = simulated();
+        let err = ExamAnalysis::analyze(&record, &problems()[..3], &AnalysisConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, AnalysisError::UnknownProblem { .. }));
+    }
+
+    #[test]
+    fn questionnaires_are_excluded_from_item_analysis() {
+        use mine_itembank::ChoiceOption;
+        let mut problems = problems();
+        problems.push(
+            Problem::questionnaire(
+                "survey",
+                "rate the course",
+                OptionKey::first(5).map(|k| ChoiceOption::new(k, format!("{k}"))),
+            )
+            .unwrap(),
+        );
+        let mut builder = Exam::builder("with-survey").unwrap();
+        for i in 0..5 {
+            builder = builder.entry(format!("q{i}").parse().unwrap());
+        }
+        let exam = builder
+            .entry("tf".parse().unwrap())
+            .entry("survey".parse().unwrap())
+            .build()
+            .unwrap();
+        let record = Simulation::new(exam, problems.clone())
+            .cohort(CohortSpec::new(44).seed(3))
+            .run()
+            .unwrap();
+        let analysis =
+            ExamAnalysis::analyze(&record, &problems, &AnalysisConfig::default()).unwrap();
+        assert_eq!(analysis.questions.len(), 6, "survey skipped");
+        assert_eq!(analysis.surveys, vec!["survey".parse().unwrap()]);
+        // Numbers stay consecutive despite the skip.
+        let numbers: Vec<usize> = analysis
+            .questions
+            .iter()
+            .map(|q| q.indices.number)
+            .collect();
+        assert_eq!(numbers, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn kelly_fraction_changes_group_size_not_question_count() {
+        let record = simulated();
+        let analysis =
+            ExamAnalysis::analyze(&record, &problems(), &AnalysisConfig::kelly()).unwrap();
+        assert_eq!(analysis.groups.group_size(), 12, "27 % of 44 ≈ 12");
+        assert_eq!(analysis.questions.len(), 6);
+    }
+}

@@ -1,0 +1,206 @@
+//! High/low score groups (§4.1.1, steps 1–2).
+//!
+//! "1st step: according to score height arrange the examination paper.
+//! 2nd step: we define PH the higher 25 % of total student as the higher
+//! group and then PL the lower 25 % of total student as the lower
+//! group."
+
+use mine_core::{ExamRecord, GroupFraction, StudentId};
+
+use crate::error::AnalysisError;
+
+/// The class split into high and low score groups.
+///
+/// Membership is deterministic: students are ordered by total score
+/// (descending) with ties broken by student id, so repeated analyses of
+/// the same record agree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreGroups {
+    high: Vec<StudentId>,
+    low: Vec<StudentId>,
+    class_size: usize,
+    fraction: GroupFraction,
+}
+
+impl ScoreGroups {
+    /// Splits the record's students.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::EmptyRecord`] for zero students,
+    /// * [`AnalysisError::ClassTooSmall`] when high and low would share a
+    ///   student (class of one),
+    /// * [`AnalysisError::Core`] when the record is inconsistent.
+    pub fn split(record: &ExamRecord, fraction: GroupFraction) -> Result<Self, AnalysisError> {
+        record.validate()?;
+        let class_size = record.class_size();
+        if class_size == 0 {
+            return Err(AnalysisError::EmptyRecord);
+        }
+        let group_size = fraction.group_size(class_size);
+        if 2 * group_size > class_size {
+            return Err(AnalysisError::ClassTooSmall { class_size });
+        }
+
+        let mut ranked: Vec<(&StudentId, f64)> = record
+            .students
+            .iter()
+            .map(|s| (&s.student, s.score()))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(b.0))
+        });
+
+        let high = ranked[..group_size]
+            .iter()
+            .map(|(id, _)| (*id).clone())
+            .collect();
+        let low = ranked[class_size - group_size..]
+            .iter()
+            .map(|(id, _)| (*id).clone())
+            .collect();
+        Ok(Self {
+            high,
+            low,
+            class_size,
+            fraction,
+        })
+    }
+
+    /// The high-score group, best first.
+    #[must_use]
+    pub fn high(&self) -> &[StudentId] {
+        &self.high
+    }
+
+    /// The low-score group, ordered like the ranking (the group's best
+    /// student first).
+    #[must_use]
+    pub fn low(&self) -> &[StudentId] {
+        &self.low
+    }
+
+    /// Students per group.
+    #[must_use]
+    pub fn group_size(&self) -> usize {
+        self.high.len()
+    }
+
+    /// Class size the split was computed from.
+    #[must_use]
+    pub fn class_size(&self) -> usize {
+        self.class_size
+    }
+
+    /// The fraction used.
+    #[must_use]
+    pub fn fraction(&self) -> GroupFraction {
+        self.fraction
+    }
+
+    /// Whether a student is in the high group.
+    #[must_use]
+    pub fn is_high(&self, student: &StudentId) -> bool {
+        self.high.contains(student)
+    }
+
+    /// Whether a student is in the low group.
+    #[must_use]
+    pub fn is_low(&self, student: &StudentId) -> bool {
+        self.low.contains(student)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_core::{Answer, ExamId, ItemResponse, StudentRecord};
+
+    /// A class where student `sNN` scores exactly `NN` points.
+    fn record(n: usize) -> ExamRecord {
+        let students = (0..n)
+            .map(|i| {
+                let mut responses = Vec::new();
+                for q in 0..n {
+                    let pid = format!("q{q}").parse().unwrap();
+                    responses.push(if q < i {
+                        ItemResponse::correct(pid, Answer::TrueFalse(true), 1.0)
+                    } else {
+                        ItemResponse::incorrect(pid, Answer::TrueFalse(false), 1.0)
+                    });
+                }
+                StudentRecord::new(format!("s{i:02}").parse().unwrap(), responses)
+            })
+            .collect();
+        ExamRecord::new(ExamId::new("e").unwrap(), students)
+    }
+
+    #[test]
+    fn paper_class_of_44_gives_groups_of_11() {
+        let groups = ScoreGroups::split(&record(44), GroupFraction::PAPER).unwrap();
+        assert_eq!(groups.group_size(), 11);
+        assert_eq!(groups.class_size(), 44);
+        // Top scorer s43 is in high, bottom scorer s00 is in low.
+        assert!(groups.is_high(&"s43".parse().unwrap()));
+        assert!(groups.is_low(&"s00".parse().unwrap()));
+        assert!(!groups.is_low(&"s43".parse().unwrap()));
+    }
+
+    #[test]
+    fn groups_never_overlap() {
+        for n in 2..60 {
+            let groups = ScoreGroups::split(&record(n), GroupFraction::PAPER).unwrap();
+            for student in groups.high() {
+                assert!(!groups.is_low(student), "overlap at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn kelly_27_percent_changes_group_size() {
+        let groups = ScoreGroups::split(&record(100), GroupFraction::KELLY_OPTIMAL).unwrap();
+        assert_eq!(groups.group_size(), 27);
+    }
+
+    #[test]
+    fn empty_record_is_an_error() {
+        let record = ExamRecord::new(ExamId::new("e").unwrap(), vec![]);
+        assert_eq!(
+            ScoreGroups::split(&record, GroupFraction::PAPER).unwrap_err(),
+            AnalysisError::EmptyRecord
+        );
+    }
+
+    #[test]
+    fn class_of_one_is_too_small() {
+        assert!(matches!(
+            ScoreGroups::split(&record(1), GroupFraction::PAPER).unwrap_err(),
+            AnalysisError::ClassTooSmall { class_size: 1 }
+        ));
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_id() {
+        // Everyone scores the same.
+        let students = (0..8)
+            .map(|i| {
+                StudentRecord::new(
+                    format!("s{i}").parse().unwrap(),
+                    vec![ItemResponse::correct(
+                        "q0".parse().unwrap(),
+                        Answer::TrueFalse(true),
+                        1.0,
+                    )],
+                )
+            })
+            .collect();
+        let record = ExamRecord::new(ExamId::new("e").unwrap(), students);
+        let a = ScoreGroups::split(&record, GroupFraction::PAPER).unwrap();
+        let b = ScoreGroups::split(&record, GroupFraction::PAPER).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.high(), &["s0".parse().unwrap(), "s1".parse().unwrap()]);
+        assert_eq!(a.low(), &["s6".parse().unwrap(), "s7".parse().unwrap()]);
+    }
+}

@@ -1,0 +1,166 @@
+//! The Instructional Sensitivity Index (§3.4-III).
+//!
+//! "With the comparison between the test result before teaching and the
+//! test result after teaching to analysis Instructional Sensitivity
+//! Index." Per question the index is the whole-class correct rate after
+//! instruction minus the rate before; a question insensitive to teaching
+//! (or taught badly) scores near zero.
+
+use serde::{Deserialize, Serialize};
+
+use mine_core::{ExamRecord, ProblemId};
+
+use crate::error::AnalysisError;
+
+/// ISI results for one exam sat before and after instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstructionalSensitivity {
+    /// Per question: `(problem, P_pre, P_post, ISI = P_post − P_pre)`.
+    pub per_question: Vec<QuestionSensitivity>,
+    /// Mean ISI across questions — the exam-level index stored in
+    /// [`mine_metadata::ExamMeta::instructional_sensitivity`].
+    pub exam_level: f64,
+}
+
+/// One question's sensitivity record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuestionSensitivity {
+    /// The question.
+    pub problem: ProblemId,
+    /// Whole-class correct rate before teaching.
+    pub p_pre: f64,
+    /// Whole-class correct rate after teaching.
+    pub p_post: f64,
+    /// `p_post − p_pre`.
+    pub isi: f64,
+}
+
+/// Whole-class correct rate of one problem.
+fn correct_rate(record: &ExamRecord, problem: &ProblemId) -> Result<f64, AnalysisError> {
+    if record.students.is_empty() {
+        return Err(AnalysisError::EmptyRecord);
+    }
+    let mut correct = 0usize;
+    for student in &record.students {
+        let response =
+            student
+                .response_to(problem)
+                .ok_or_else(|| AnalysisError::MissingResponse {
+                    student: student.student.to_string(),
+                    problem: problem.to_string(),
+                })?;
+        if response.is_correct {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / record.students.len() as f64)
+}
+
+/// Computes the ISI from pre- and post-instruction sittings of the same
+/// exam.
+///
+/// # Errors
+///
+/// * [`AnalysisError::EmptyRecord`] when either sitting is empty,
+/// * [`AnalysisError::MissingResponse`] when a student record lacks a
+///   problem that appears in the pre-instruction sitting.
+pub fn instructional_sensitivity(
+    pre: &ExamRecord,
+    post: &ExamRecord,
+) -> Result<InstructionalSensitivity, AnalysisError> {
+    let problems = pre.problems();
+    if problems.is_empty() || post.students.is_empty() {
+        return Err(AnalysisError::EmptyRecord);
+    }
+    let mut per_question = Vec::with_capacity(problems.len());
+    for problem in &problems {
+        let p_pre = correct_rate(pre, problem)?;
+        let p_post = correct_rate(post, problem)?;
+        per_question.push(QuestionSensitivity {
+            problem: problem.clone(),
+            p_pre,
+            p_post,
+            isi: p_post - p_pre,
+        });
+    }
+    let exam_level = per_question.iter().map(|q| q.isi).sum::<f64>() / per_question.len() as f64;
+    Ok(InstructionalSensitivity {
+        per_question,
+        exam_level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_core::{Answer, ExamId, ItemResponse, StudentRecord};
+
+    /// Builds a record where `rates[q]` of students answer question q
+    /// correctly.
+    fn record(rates: &[f64], class: usize) -> ExamRecord {
+        let students = (0..class)
+            .map(|i| {
+                let responses = rates
+                    .iter()
+                    .enumerate()
+                    .map(|(q, &rate)| {
+                        let pid = format!("q{q}").parse().unwrap();
+                        if (i as f64) < rate * class as f64 {
+                            ItemResponse::correct(pid, Answer::TrueFalse(true), 1.0)
+                        } else {
+                            ItemResponse::incorrect(pid, Answer::TrueFalse(false), 1.0)
+                        }
+                    })
+                    .collect();
+                StudentRecord::new(format!("s{i:03}").parse().unwrap(), responses)
+            })
+            .collect();
+        ExamRecord::new(ExamId::new("e").unwrap(), students)
+    }
+
+    #[test]
+    fn isi_is_post_minus_pre() {
+        let pre = record(&[0.2, 0.5], 10);
+        let post = record(&[0.8, 0.5], 10);
+        let isi = instructional_sensitivity(&pre, &post).unwrap();
+        assert_eq!(isi.per_question.len(), 2);
+        assert!((isi.per_question[0].isi - 0.6).abs() < 1e-9);
+        assert!((isi.per_question[1].isi - 0.0).abs() < 1e-9);
+        assert!((isi.exam_level - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_isi_when_teaching_hurts() {
+        let pre = record(&[0.9], 10);
+        let post = record(&[0.4], 10);
+        let isi = instructional_sensitivity(&pre, &post).unwrap();
+        assert!(isi.exam_level < 0.0);
+    }
+
+    #[test]
+    fn different_class_sizes_are_fine() {
+        let pre = record(&[0.5], 10);
+        let post = record(&[0.75], 40);
+        let isi = instructional_sensitivity(&pre, &post).unwrap();
+        assert!((isi.per_question[0].p_pre - 0.5).abs() < 1e-9);
+        assert!((isi.per_question[0].p_post - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_records_error() {
+        let pre = record(&[0.5], 10);
+        let empty = ExamRecord::new(ExamId::new("e").unwrap(), vec![]);
+        assert!(instructional_sensitivity(&empty, &pre).is_err());
+        assert!(instructional_sensitivity(&pre, &empty).is_err());
+    }
+
+    #[test]
+    fn post_missing_a_problem_errors() {
+        let pre = record(&[0.5, 0.5], 10);
+        let post = record(&[0.5], 10);
+        assert!(matches!(
+            instructional_sensitivity(&pre, &post).unwrap_err(),
+            AnalysisError::MissingResponse { .. }
+        ));
+    }
+}

@@ -1,0 +1,301 @@
+//! The per-option response matrix (Table 1).
+//!
+//! "In table 1, we defined a single problem item attribute. HA means the
+//! number of students in high score group select option A. The other HB,
+//! HC, HD, HE, LA, LB, LC, LD and LE are the same meaning."
+
+use serde::{Deserialize, Serialize};
+
+use mine_core::{ExamRecord, OptionKey, ProblemId, StudentId};
+
+use crate::error::AnalysisError;
+use crate::groups::ScoreGroups;
+
+/// Table 1 for one question: per-option counts in the high and low
+/// score groups.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptionMatrix {
+    /// The problem.
+    pub problem: ProblemId,
+    /// Key of the correct option.
+    pub correct: OptionKey,
+    /// `high[i]` = students in the high group choosing option `i`
+    /// (`HA`, `HB`, …).
+    pub high: Vec<usize>,
+    /// `low[i]` = students in the low group choosing option `i`
+    /// (`LA`, `LB`, …).
+    pub low: Vec<usize>,
+}
+
+impl OptionMatrix {
+    /// Builds the matrix directly from counts (the form the paper's
+    /// examples give).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `high` and `low` differ in length, are empty, or the
+    /// correct key is out of range.
+    #[must_use]
+    pub fn from_counts(
+        problem: ProblemId,
+        correct: OptionKey,
+        high: Vec<usize>,
+        low: Vec<usize>,
+    ) -> Self {
+        assert_eq!(high.len(), low.len(), "groups must cover the same options");
+        assert!(!high.is_empty(), "matrix needs at least one option");
+        assert!(correct.index() < high.len(), "correct key out of range");
+        Self {
+            problem,
+            correct,
+            high,
+            low,
+        }
+    }
+
+    /// Extracts the matrix for one choice problem from an exam record.
+    ///
+    /// Skipped/other answers are not counted in any option column (the
+    /// paper's examples always have every group member choosing an
+    /// option, but real data may not).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::MissingResponse`] when a group member
+    /// never saw the problem.
+    pub fn from_record(
+        record: &ExamRecord,
+        groups: &ScoreGroups,
+        problem: &ProblemId,
+        option_count: usize,
+        correct: OptionKey,
+    ) -> Result<Self, AnalysisError> {
+        let tally = |members: &[StudentId]| -> Result<Vec<usize>, AnalysisError> {
+            let mut counts = vec![0usize; option_count];
+            for member in members {
+                let student = record
+                    .students
+                    .iter()
+                    .find(|s| &s.student == member)
+                    .expect("group members come from the record");
+                let response =
+                    student
+                        .response_to(problem)
+                        .ok_or_else(|| AnalysisError::MissingResponse {
+                            student: member.to_string(),
+                            problem: problem.to_string(),
+                        })?;
+                if let Some(key) = response.answer.chosen_option() {
+                    if key.index() < option_count {
+                        counts[key.index()] += 1;
+                    }
+                }
+            }
+            Ok(counts)
+        };
+        Ok(Self {
+            problem: problem.clone(),
+            correct,
+            high: tally(groups.high())?,
+            low: tally(groups.low())?,
+        })
+    }
+
+    /// Number of options.
+    #[must_use]
+    pub fn option_count(&self) -> usize {
+        self.high.len()
+    }
+
+    /// `H` count of one option.
+    #[must_use]
+    pub fn high_count(&self, key: OptionKey) -> usize {
+        self.high.get(key.index()).copied().unwrap_or(0)
+    }
+
+    /// `L` count of one option.
+    #[must_use]
+    pub fn low_count(&self, key: OptionKey) -> usize {
+        self.low.get(key.index()).copied().unwrap_or(0)
+    }
+
+    /// `HS`: total high-group selections.
+    #[must_use]
+    pub fn high_sum(&self) -> usize {
+        self.high.iter().sum()
+    }
+
+    /// `LS`: total low-group selections.
+    #[must_use]
+    pub fn low_sum(&self) -> usize {
+        self.low.iter().sum()
+    }
+
+    /// `HM`/`Hm`: max and min high-group counts.
+    #[must_use]
+    pub fn high_extremes(&self) -> (usize, usize) {
+        extremes(&self.high)
+    }
+
+    /// `LM`/`Lm`: max and min low-group counts.
+    #[must_use]
+    pub fn low_extremes(&self) -> (usize, usize) {
+        extremes(&self.low)
+    }
+
+    /// Iterates over option keys.
+    pub fn keys(&self) -> impl Iterator<Item = OptionKey> {
+        OptionKey::first(self.option_count())
+    }
+
+    /// Renders Table 1 as text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("                 ");
+        for key in self.keys() {
+            out.push_str(&format!("Option {} ", key.letter()));
+        }
+        out.push('\n');
+        out.push_str("High Score Group ");
+        for count in &self.high {
+            out.push_str(&format!("{count:<9}"));
+        }
+        out.push('\n');
+        out.push_str("Low Score Group  ");
+        for count in &self.low {
+            out.push_str(&format!("{count:<9}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+fn extremes(counts: &[usize]) -> (usize, usize) {
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let min = counts.iter().copied().min().unwrap_or(0);
+    (max, min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_core::{Answer, ExamId, GroupFraction, ItemResponse, StudentRecord};
+
+    fn pid() -> ProblemId {
+        "q".parse().unwrap()
+    }
+
+    #[test]
+    fn paper_example_1_counts() {
+        // §4.1.2 Example 1.
+        let matrix = OptionMatrix::from_counts(
+            pid(),
+            OptionKey::A,
+            vec![12, 2, 0, 3, 3],
+            vec![6, 4, 0, 5, 5],
+        );
+        assert_eq!(matrix.option_count(), 5);
+        assert_eq!(matrix.high_sum(), 20);
+        assert_eq!(matrix.low_sum(), 20);
+        assert_eq!(matrix.low_count(OptionKey::C), 0);
+        assert_eq!(matrix.high_extremes(), (12, 0));
+    }
+
+    #[test]
+    fn paper_example_3_extremes() {
+        // §4.1.2 Example 3: LM=5, Lm=2, LS=20.
+        let matrix = OptionMatrix::from_counts(
+            pid(),
+            OptionKey::A,
+            vec![15, 2, 2, 0, 1],
+            vec![5, 4, 5, 4, 2],
+        );
+        assert_eq!(matrix.low_extremes(), (5, 2));
+        assert_eq!(matrix.low_sum(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "same options")]
+    fn mismatched_group_lengths_panic() {
+        let _ = OptionMatrix::from_counts(pid(), OptionKey::A, vec![1, 2], vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn correct_key_out_of_range_panics() {
+        let _ = OptionMatrix::from_counts(pid(), OptionKey::E, vec![1, 2], vec![1, 2]);
+    }
+
+    #[test]
+    fn from_record_tallies_choices() {
+        // 8 students: scores descending s0..s7, group size 2.
+        // s0 picks A, s1 picks B (high group); s6 picks C, s7 skips (low).
+        let choices = [
+            Some(OptionKey::A),
+            Some(OptionKey::B),
+            Some(OptionKey::A),
+            Some(OptionKey::A),
+            Some(OptionKey::B),
+            Some(OptionKey::C),
+            Some(OptionKey::C),
+            None,
+        ];
+        let students = choices
+            .iter()
+            .enumerate()
+            .map(|(i, choice)| {
+                let answer = match choice {
+                    Some(key) => Answer::Choice(*key),
+                    None => Answer::Skipped,
+                };
+                let response = ItemResponse {
+                    problem: pid(),
+                    answer,
+                    is_correct: *choice == Some(OptionKey::A),
+                    points_awarded: 0.0,
+                    points_possible: 1.0,
+                    time_spent: std::time::Duration::ZERO,
+                    answered_at: None,
+                };
+                // Filler fixes the ranking: s0 highest.
+                let mut filler = ItemResponse::correct(
+                    "rank".parse().unwrap(),
+                    Answer::TrueFalse(true),
+                    (8 - i) as f64,
+                );
+                filler.points_possible = 8.0;
+                StudentRecord::new(format!("s{i}").parse().unwrap(), vec![response, filler])
+            })
+            .collect();
+        let record = ExamRecord::new(ExamId::new("e").unwrap(), students);
+        let groups = ScoreGroups::split(&record, GroupFraction::PAPER).unwrap();
+        let matrix = OptionMatrix::from_record(&record, &groups, &pid(), 3, OptionKey::A).unwrap();
+        assert_eq!(matrix.high, vec![1, 1, 0]);
+        // Low group: s6 picked C, s7 skipped (uncounted).
+        assert_eq!(matrix.low, vec![0, 0, 1]);
+        assert_eq!(matrix.low_sum(), 1);
+    }
+
+    #[test]
+    fn render_contains_all_counts() {
+        let matrix = OptionMatrix::from_counts(
+            pid(),
+            OptionKey::A,
+            vec![12, 2, 0, 3, 3],
+            vec![6, 4, 0, 5, 5],
+        );
+        let text = matrix.render();
+        assert!(text.contains("Option A"));
+        assert!(text.contains("Option E"));
+        assert!(text.contains("12"));
+        assert!(text.contains("High Score Group"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let matrix = OptionMatrix::from_counts(pid(), OptionKey::B, vec![1, 2, 3], vec![3, 2, 1]);
+        let json = serde_json::to_string(&matrix).unwrap();
+        let back: OptionMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, matrix);
+    }
+}

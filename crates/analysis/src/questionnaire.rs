@@ -1,0 +1,223 @@
+//! Questionnaire analysis (§3.2-VI).
+//!
+//! Questionnaires have no correct answer; their analysis is the
+//! distribution of responses per option — how the class *felt*. This
+//! module summarizes one questionnaire prompt across a sitting: counts,
+//! proportions, the modal option, and (for Likert-style ordered scales)
+//! the mean position.
+
+use serde::{Deserialize, Serialize};
+
+use mine_core::{ExamRecord, OptionKey, ProblemId};
+
+use crate::error::AnalysisError;
+
+/// Response distribution of one questionnaire prompt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuestionnaireSummary {
+    /// The prompt analyzed.
+    pub problem: ProblemId,
+    /// `counts[i]` = students choosing option `i`.
+    pub counts: Vec<usize>,
+    /// Students who answered at all.
+    pub respondents: usize,
+    /// Students who skipped.
+    pub skipped: usize,
+    /// The most chosen option (smallest key on ties), if anyone answered.
+    pub modal: Option<OptionKey>,
+    /// Mean 0-based option position — meaningful for ordered (Likert)
+    /// scales; `None` when nobody answered.
+    pub mean_position: Option<f64>,
+}
+
+impl QuestionnaireSummary {
+    /// Proportion choosing `option` among respondents (0 when nobody
+    /// answered).
+    #[must_use]
+    pub fn proportion(&self, option: OptionKey) -> f64 {
+        if self.respondents == 0 {
+            return 0.0;
+        }
+        self.counts.get(option.index()).copied().unwrap_or(0) as f64 / self.respondents as f64
+    }
+
+    /// A text histogram of the distribution.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "questionnaire {} — {} respondents, {} skipped\n",
+            self.problem, self.respondents, self.skipped
+        );
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &count) in self.counts.iter().enumerate() {
+            let key = OptionKey::from_index(i).expect("counts within alphabet");
+            let bar = "#".repeat(count * 40 / max);
+            out.push_str(&format!("  {} {:>4} |{}\n", key.letter(), count, bar));
+        }
+        if let Some(mean) = self.mean_position {
+            out.push_str(&format!("  mean position: {mean:.2}\n"));
+        }
+        out
+    }
+}
+
+/// Summarizes one questionnaire prompt across the whole class.
+///
+/// # Errors
+///
+/// * [`AnalysisError::EmptyRecord`] for an empty class,
+/// * [`AnalysisError::MissingResponse`] when a student never saw the
+///   prompt.
+pub fn summarize_questionnaire(
+    record: &ExamRecord,
+    problem: &ProblemId,
+    option_count: usize,
+) -> Result<QuestionnaireSummary, AnalysisError> {
+    if record.students.is_empty() {
+        return Err(AnalysisError::EmptyRecord);
+    }
+    let mut counts = vec![0usize; option_count];
+    let mut respondents = 0usize;
+    let mut skipped = 0usize;
+    for student in &record.students {
+        let response =
+            student
+                .response_to(problem)
+                .ok_or_else(|| AnalysisError::MissingResponse {
+                    student: student.student.to_string(),
+                    problem: problem.to_string(),
+                })?;
+        match response.answer.chosen_option() {
+            Some(key) if key.index() < option_count => {
+                counts[key.index()] += 1;
+                respondents += 1;
+            }
+            _ => skipped += 1,
+        }
+    }
+    let modal = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| OptionKey::from_index(i).expect("within alphabet"));
+    let mean_position = if respondents > 0 {
+        Some(
+            counts
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| i as f64 * c as f64)
+                .sum::<f64>()
+                / respondents as f64,
+        )
+    } else {
+        None
+    };
+    Ok(QuestionnaireSummary {
+        problem: problem.clone(),
+        counts,
+        respondents,
+        skipped,
+        modal,
+        mean_position,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_core::{Answer, ExamId, ItemResponse, StudentRecord};
+
+    fn record(choices: &[Option<OptionKey>]) -> (ExamRecord, ProblemId) {
+        let pid: ProblemId = "survey".parse().unwrap();
+        let students = choices
+            .iter()
+            .enumerate()
+            .map(|(i, choice)| {
+                let answer = choice.map_or(Answer::Skipped, Answer::Choice);
+                let response = ItemResponse {
+                    problem: pid.clone(),
+                    answer,
+                    is_correct: false,
+                    points_awarded: 0.0,
+                    points_possible: 0.0,
+                    time_spent: std::time::Duration::ZERO,
+                    answered_at: None,
+                };
+                StudentRecord::new(format!("s{i:02}").parse().unwrap(), vec![response])
+            })
+            .collect();
+        (ExamRecord::new(ExamId::new("e").unwrap(), students), pid)
+    }
+
+    #[test]
+    fn counts_and_modal() {
+        let (rec, pid) = record(&[
+            Some(OptionKey::A),
+            Some(OptionKey::B),
+            Some(OptionKey::B),
+            Some(OptionKey::C),
+            None,
+        ]);
+        let summary = summarize_questionnaire(&rec, &pid, 4).unwrap();
+        assert_eq!(summary.counts, vec![1, 2, 1, 0]);
+        assert_eq!(summary.respondents, 4);
+        assert_eq!(summary.skipped, 1);
+        assert_eq!(summary.modal, Some(OptionKey::B));
+        assert!((summary.proportion(OptionKey::B) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_position_for_likert() {
+        // Two at position 0, two at position 4 → mean 2.0.
+        let (rec, pid) = record(&[
+            Some(OptionKey::A),
+            Some(OptionKey::A),
+            Some(OptionKey::E),
+            Some(OptionKey::E),
+        ]);
+        let summary = summarize_questionnaire(&rec, &pid, 5).unwrap();
+        assert_eq!(summary.mean_position, Some(2.0));
+    }
+
+    #[test]
+    fn all_skipped_has_no_modal() {
+        let (rec, pid) = record(&[None, None]);
+        let summary = summarize_questionnaire(&rec, &pid, 3).unwrap();
+        assert_eq!(summary.modal, None);
+        assert_eq!(summary.mean_position, None);
+        assert_eq!(summary.skipped, 2);
+        assert_eq!(summary.proportion(OptionKey::A), 0.0);
+    }
+
+    #[test]
+    fn modal_tie_prefers_smaller_key() {
+        let (rec, pid) = record(&[Some(OptionKey::A), Some(OptionKey::C)]);
+        let summary = summarize_questionnaire(&rec, &pid, 3).unwrap();
+        assert_eq!(summary.modal, Some(OptionKey::A));
+    }
+
+    #[test]
+    fn render_shows_bars() {
+        let (rec, pid) = record(&[Some(OptionKey::A), Some(OptionKey::A), Some(OptionKey::B)]);
+        let text = summarize_questionnaire(&rec, &pid, 2).unwrap().render();
+        assert!(text.contains("A    2"));
+        assert!(text.contains('#'));
+        assert!(text.contains("mean position"));
+    }
+
+    #[test]
+    fn empty_class_errors() {
+        let rec = ExamRecord::new(ExamId::new("e").unwrap(), vec![]);
+        assert!(summarize_questionnaire(&rec, &"s".parse().unwrap(), 3).is_err());
+    }
+
+    #[test]
+    fn missing_prompt_errors() {
+        let (rec, _) = record(&[Some(OptionKey::A)]);
+        assert!(matches!(
+            summarize_questionnaire(&rec, &"other".parse().unwrap(), 3),
+            Err(AnalysisError::MissingResponse { .. })
+        ));
+    }
+}

@@ -1,0 +1,204 @@
+//! Whole-test reliability: Cronbach's alpha and KR-20.
+//!
+//! The paper's analysis stops at per-item indices; any production item
+//! bank also reports test-level reliability, so teachers know whether
+//! the *exam as a whole* measures consistently before they trust the
+//! per-item lights. For dichotomously scored items Cronbach's alpha
+//! reduces to KR-20; we compute alpha on awarded points, which handles
+//! partial credit too.
+
+use mine_core::ExamRecord;
+
+use crate::error::AnalysisError;
+
+/// Reliability summary of one sitting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reliability {
+    /// Cronbach's alpha over item scores (None when undefined —
+    /// fewer than two items or zero score variance).
+    pub alpha: Option<f64>,
+    /// Number of items.
+    pub items: usize,
+    /// Population variance of total scores.
+    pub score_variance: f64,
+    /// Standard error of measurement `SD · √(1 − α)` (None when alpha
+    /// is undefined or negative).
+    pub sem: Option<f64>,
+}
+
+/// Computes Cronbach's alpha for the sitting.
+///
+/// `α = k/(k−1) · (1 − Σ σᵢ² / σₓ²)` with `k` items, `σᵢ²` the variance
+/// of item `i`'s awarded points, and `σₓ²` the variance of total scores.
+///
+/// # Errors
+///
+/// * [`AnalysisError::EmptyRecord`] for an empty class,
+/// * [`AnalysisError::Core`] when the record is inconsistent.
+pub fn cronbach_alpha(record: &ExamRecord) -> Result<Reliability, AnalysisError> {
+    record.validate()?;
+    let n = record.students.len();
+    if n == 0 {
+        return Err(AnalysisError::EmptyRecord);
+    }
+    let problems = record.problems();
+    let k = problems.len();
+
+    // Item scores matrix in canonical problem order.
+    let mut item_sums = vec![0.0f64; k];
+    let mut item_sq_sums = vec![0.0f64; k];
+    let mut totals = Vec::with_capacity(n);
+    for student in &record.students {
+        let mut total = 0.0;
+        for (i, problem) in problems.iter().enumerate() {
+            let points = student
+                .response_to(problem)
+                .map_or(0.0, |r| r.points_awarded);
+            item_sums[i] += points;
+            item_sq_sums[i] += points * points;
+            total += points;
+        }
+        totals.push(total);
+    }
+
+    let nf = n as f64;
+    let total_mean = totals.iter().sum::<f64>() / nf;
+    let score_variance = totals.iter().map(|t| (t - total_mean).powi(2)).sum::<f64>() / nf;
+
+    if k < 2 || score_variance == 0.0 {
+        return Ok(Reliability {
+            alpha: None,
+            items: k,
+            score_variance,
+            sem: None,
+        });
+    }
+
+    let item_variance_sum: f64 = (0..k)
+        .map(|i| {
+            let mean = item_sums[i] / nf;
+            item_sq_sums[i] / nf - mean * mean
+        })
+        .sum();
+    let kf = k as f64;
+    let alpha = kf / (kf - 1.0) * (1.0 - item_variance_sum / score_variance);
+    let sem = if (0.0..=1.0).contains(&alpha) {
+        Some(score_variance.sqrt() * (1.0 - alpha).sqrt())
+    } else {
+        None
+    };
+    Ok(Reliability {
+        alpha: Some(alpha),
+        items: k,
+        score_variance,
+        sem,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_core::{Answer, ExamId, ItemResponse, StudentRecord};
+
+    /// Students answer item i correctly iff `pattern[student][item]`.
+    fn record(pattern: &[&[bool]]) -> ExamRecord {
+        let students = pattern
+            .iter()
+            .enumerate()
+            .map(|(s, row)| {
+                let responses = row
+                    .iter()
+                    .enumerate()
+                    .map(|(q, &ok)| {
+                        let pid = format!("q{q}").parse().unwrap();
+                        if ok {
+                            ItemResponse::correct(pid, Answer::TrueFalse(true), 1.0)
+                        } else {
+                            ItemResponse::incorrect(pid, Answer::TrueFalse(false), 1.0)
+                        }
+                    })
+                    .collect();
+                StudentRecord::new(format!("s{s:02}").parse().unwrap(), responses)
+            })
+            .collect();
+        ExamRecord::new(ExamId::new("e").unwrap(), students)
+    }
+
+    #[test]
+    fn perfectly_consistent_test_has_alpha_one() {
+        // Guttman pattern where every item agrees with the total:
+        // strong students get everything, weak get nothing.
+        let rec = record(&[
+            &[true, true, true],
+            &[true, true, true],
+            &[false, false, false],
+            &[false, false, false],
+        ]);
+        let reliability = cronbach_alpha(&rec).unwrap();
+        assert!((reliability.alpha.unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(reliability.sem.unwrap(), 0.0);
+    }
+
+    #[test]
+    fn inconsistent_items_lower_alpha() {
+        // Items disagree with each other (anti-correlated).
+        let rec = record(&[
+            &[true, false],
+            &[false, true],
+            &[true, false],
+            &[false, true],
+        ]);
+        let reliability = cronbach_alpha(&rec).unwrap();
+        // Total variance is zero (everyone scores 1) → alpha undefined.
+        assert!(reliability.alpha.is_none());
+    }
+
+    #[test]
+    fn mixed_pattern_gives_intermediate_alpha() {
+        let rec = record(&[
+            &[true, true, true, false],
+            &[true, true, false, true],
+            &[true, false, false, false],
+            &[false, true, false, false],
+            &[false, false, false, false],
+            &[true, true, true, true],
+        ]);
+        let reliability = cronbach_alpha(&rec).unwrap();
+        let alpha = reliability.alpha.unwrap();
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha = {alpha}");
+        assert!(reliability.sem.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn single_item_is_undefined() {
+        let rec = record(&[&[true], &[false]]);
+        let reliability = cronbach_alpha(&rec).unwrap();
+        assert!(reliability.alpha.is_none());
+        assert_eq!(reliability.items, 1);
+    }
+
+    #[test]
+    fn empty_record_errors() {
+        let rec = ExamRecord::new(ExamId::new("e").unwrap(), vec![]);
+        assert!(cronbach_alpha(&rec).is_err());
+    }
+
+    #[test]
+    fn simulated_coherent_exam_has_decent_alpha() {
+        use mine_itembank::Problem;
+        use mine_simulator::{CohortSpec, Simulation};
+        let problems: Vec<Problem> = (0..12)
+            .map(|i| Problem::true_false(format!("q{i}"), "s", true).unwrap())
+            .collect();
+        let mut builder = mine_itembank::Exam::builder("r").unwrap();
+        for i in 0..12 {
+            builder = builder.entry(format!("q{i}").parse().unwrap());
+        }
+        let record = Simulation::new(builder.build().unwrap(), problems)
+            .cohort(CohortSpec::new(200).ability(0.0, 1.5).seed(3))
+            .run()
+            .unwrap();
+        let alpha = cronbach_alpha(&record).unwrap().alpha.unwrap();
+        assert!(alpha > 0.4, "ability-driven items should cohere: {alpha}");
+    }
+}

@@ -1,0 +1,199 @@
+//! The whole-test signal interface (Figure 2).
+//!
+//! Figure 2 of the paper shows a row of traffic lights, one per
+//! question, with the computed indices beside them. This module renders
+//! that interface as text so the teacher (or the bench harness) can see
+//! the entire test at a glance.
+
+use crate::exam_analysis::ExamAnalysis;
+use crate::signal::Signal;
+
+/// Renders the Figure 2 signal report.
+///
+/// One line per question: number, light, `D`, `P`, `PH`, `PL`, and the
+/// advice. A summary line counts the lights.
+#[must_use]
+pub fn render_signal_report(analysis: &ExamAnalysis) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Signal report — class of {}, groups of {} ({} each side)\n",
+        analysis.statistics.class_size,
+        analysis.groups.group_size(),
+        analysis.groups.fraction(),
+    ));
+    out.push_str("No.  Light  D      P      PH     PL     Advice\n");
+    let mut counts = [0usize; 3];
+    for question in &analysis.questions {
+        let signal = question.signal;
+        counts[match signal {
+            Signal::Green => 0,
+            Signal::Yellow => 1,
+            Signal::Red => 2,
+        }] += 1;
+        out.push_str(&format!(
+            "{:<4} [{}]    {:<6.2} {:<6.2} {:<6.2} {:<6.2} {}\n",
+            question.indices.number,
+            signal.glyph(),
+            question.indices.discrimination.value(),
+            question.indices.difficulty.value(),
+            question.indices.ph,
+            question.indices.pl,
+            question.advice,
+        ));
+    }
+    out.push_str(&format!(
+        "lights: {} green, {} yellow, {} red\n",
+        counts[0], counts[1], counts[2]
+    ));
+    out
+}
+
+/// Renders the complete teacher-facing report: statistics and
+/// reliability, the Figure 2 signal table, per-question detail for every
+/// non-green question (Table 1 matrix, statuses, distractor notes), and
+/// the whole-test views (Table 4 + paint).
+#[must_use]
+pub fn render_full_report(analysis: &ExamAnalysis) -> String {
+    let mut out = String::new();
+    let stats = &analysis.statistics;
+    out.push_str("==== EXAM ANALYSIS REPORT ====\n\n");
+    out.push_str(&format!(
+        "class {}  mean {:.2}/{:.0}  median {:.2}  sd {:.2}  pass rate {:.0}%  avg time {:?}\n",
+        stats.class_size,
+        stats.mean_score,
+        stats.max_score,
+        stats.median_score,
+        stats.std_dev,
+        stats.pass_rate * 100.0,
+        stats.average_time,
+    ));
+    match analysis.reliability.alpha {
+        Some(alpha) => out.push_str(&format!(
+            "reliability: Cronbach's alpha = {:.3}{}\n",
+            alpha,
+            analysis
+                .reliability
+                .sem
+                .map(|sem| format!(", SEM = {sem:.2}"))
+                .unwrap_or_default()
+        )),
+        None => out.push_str("reliability: undefined (no score variance or single item)\n"),
+    }
+    out.push('\n');
+    out.push_str(&render_signal_report(analysis));
+
+    for question in analysis.problematic_questions() {
+        out.push_str(&format!(
+            "\n--- question {} ({}) ---\n",
+            question.indices.number, question.indices.problem
+        ));
+        if let Some(matrix) = &question.matrix {
+            out.push_str(&matrix.render());
+        }
+        for label in question.status.labels() {
+            out.push_str(&format!("  status: {label}\n"));
+        }
+        for distractor in &question.distractors {
+            out.push_str(&format!("  {}\n", distractor.describe()));
+        }
+    }
+
+    if !analysis.surveys.is_empty() {
+        out.push_str("\nquestionnaire prompts (not item-analyzed): ");
+        let names: Vec<&str> = analysis.surveys.iter().map(|p| p.as_str()).collect();
+        out.push_str(&names.join(", "));
+        out.push('\n');
+    }
+
+    out.push_str("\n==== TWO-WAY SPECIFICATION TABLE ====\n");
+    out.push_str(&analysis.two_way.render());
+    out.push_str("\npaint view:\n");
+    out.push_str(&analysis.two_way.render_paint());
+    match analysis.two_way.cognition_pyramid_violation() {
+        None => out.push_str("cognition pyramid: holds\n"),
+        Some((left, right)) => out.push_str(&format!(
+            "cognition pyramid VIOLATED: SUM({left}) < SUM({right})\n"
+        )),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+    use mine_core::OptionKey;
+    use mine_itembank::{ChoiceOption, Exam, Problem};
+    use mine_simulator::{CohortSpec, ItemParams, Simulation};
+
+    fn analysis() -> ExamAnalysis {
+        let problems: Vec<Problem> = (0..4)
+            .map(|i| {
+                Problem::multiple_choice(
+                    format!("q{i}"),
+                    format!("Q{i}"),
+                    OptionKey::first(4).map(|k| ChoiceOption::new(k, format!("{k}"))),
+                    OptionKey::A,
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut builder = Exam::builder("report").unwrap();
+        for i in 0..4 {
+            builder = builder.entry(format!("q{i}").parse().unwrap());
+        }
+        let exam = builder.build().unwrap();
+        let record = Simulation::new(exam, problems.clone())
+            .cohort(CohortSpec::new(44).seed(9))
+            .item_params("q3".parse().unwrap(), ItemParams::new(0.05, 0.0, 0.25))
+            .run()
+            .unwrap();
+        ExamAnalysis::analyze(&record, &problems, &AnalysisConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn report_has_one_line_per_question_plus_header_and_summary() {
+        let analysis = analysis();
+        let report = render_signal_report(&analysis);
+        let lines: Vec<&str> = report.lines().collect();
+        assert_eq!(lines.len(), 2 + 4 + 1);
+        assert!(lines[0].contains("class of 44"));
+        assert!(lines.last().unwrap().starts_with("lights:"));
+    }
+
+    #[test]
+    fn light_counts_sum_to_question_count() {
+        let analysis = analysis();
+        let report = render_signal_report(&analysis);
+        let summary = report.lines().last().unwrap().to_string();
+        let numbers: Vec<usize> = summary
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert_eq!(numbers.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn full_report_contains_all_sections() {
+        let analysis = analysis();
+        let report = render_full_report(&analysis);
+        assert!(report.contains("EXAM ANALYSIS REPORT"));
+        assert!(report.contains("Cronbach"));
+        assert!(report.contains("TWO-WAY SPECIFICATION TABLE"));
+        assert!(report.contains("paint view:"));
+        // Every non-green question gets a detail block with its matrix.
+        if analysis.problematic_questions().count() > 0 {
+            assert!(report.contains("High Score Group"));
+        }
+    }
+
+    #[test]
+    fn glyphs_match_signals() {
+        let analysis = analysis();
+        let report = render_signal_report(&analysis);
+        for (line, question) in report.lines().skip(2).zip(&analysis.questions) {
+            assert!(line.contains(&format!("[{}]", question.signal.glyph())));
+        }
+    }
+}

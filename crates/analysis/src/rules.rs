@@ -1,0 +1,236 @@
+//! The four diagnostic rules (§4.1.2).
+//!
+//! * **Rule 1** — `If (LA|LB|LC|LD|LE)=0 then the option's allure is
+//!   low`: an option nobody in the low group picked is not doing its
+//!   job as a distractor.
+//! * **Rule 2** — a *correct* option the high group picks **less** than
+//!   the low group, or a *wrong* option the high group picks **more**,
+//!   "is not well-defined".
+//! * **Rule 3** — when the low group's counts are flat
+//!   (`|LM − Lm| ≤ LS × 20 %`), "people in low score group lack
+//!   concept".
+//! * **Rule 4** — when both groups are flat, everyone lacks the concept
+//!   and whole-class remediation is called for.
+
+use serde::{Deserialize, Serialize};
+
+use mine_core::OptionKey;
+
+use crate::option_matrix::OptionMatrix;
+
+/// A Rule 2 finding for one option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule2Finding {
+    /// The option that is not well-defined.
+    pub option: OptionKey,
+    /// Whether the flagged option is the correct answer.
+    pub is_correct_option: bool,
+    /// High-group count of the option.
+    pub high: usize,
+    /// Low-group count of the option.
+    pub low: usize,
+}
+
+/// Everything the four rules found for one question.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct RuleFindings {
+    /// Rule 1: options with zero low-group selections.
+    pub low_allure: Vec<OptionKey>,
+    /// Rule 2: options whose high/low counts point the wrong way.
+    pub not_well_defined: Vec<Rule2Finding>,
+    /// Rule 3: low group responded flat — lacks the concept.
+    pub low_group_lacks_concept: bool,
+    /// Rule 4: both groups responded flat.
+    pub both_groups_lack_concept: bool,
+}
+
+impl RuleFindings {
+    /// Whether any rule fired.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        !self.low_allure.is_empty()
+            || !self.not_well_defined.is_empty()
+            || self.low_group_lacks_concept
+            || self.both_groups_lack_concept
+    }
+
+    /// Whether Rule 1 fired.
+    #[must_use]
+    pub fn rule1(&self) -> bool {
+        !self.low_allure.is_empty()
+    }
+
+    /// Whether Rule 2 fired.
+    #[must_use]
+    pub fn rule2(&self) -> bool {
+        !self.not_well_defined.is_empty()
+    }
+}
+
+/// Runs Rules 1–4 on a Table 1 matrix with the given flatness margin
+/// (the paper uses 20 %, i.e. `flatness = 0.2`).
+#[must_use]
+pub fn evaluate_rules(matrix: &OptionMatrix, flatness: f64) -> RuleFindings {
+    let mut findings = RuleFindings::default();
+
+    // Rule 1: any option with L? = 0.
+    for key in matrix.keys() {
+        if matrix.low_count(key) == 0 {
+            findings.low_allure.push(key);
+        }
+    }
+
+    // Rule 2: direction of preference contradicts correctness.
+    for key in matrix.keys() {
+        let high = matrix.high_count(key);
+        let low = matrix.low_count(key);
+        let is_correct = key == matrix.correct;
+        let flagged = if is_correct { high < low } else { high > low };
+        if flagged {
+            findings.not_well_defined.push(Rule2Finding {
+                option: key,
+                is_correct_option: is_correct,
+                high,
+                low,
+            });
+        }
+    }
+
+    // Rules 3 and 4: flat response distributions.
+    let (lm, l_min) = matrix.low_extremes();
+    let ls = matrix.low_sum();
+    let low_flat = ls > 0 && (lm - l_min) as f64 <= ls as f64 * flatness;
+    let (hm, h_min) = matrix.high_extremes();
+    let hs = matrix.high_sum();
+    let high_flat = hs > 0 && (hm - h_min) as f64 <= hs as f64 * flatness;
+
+    findings.low_group_lacks_concept = low_flat;
+    findings.both_groups_lack_concept = low_flat && high_flat;
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_core::ProblemId;
+
+    fn pid() -> ProblemId {
+        "q".parse().unwrap()
+    }
+
+    const FLATNESS: f64 = 0.2;
+
+    #[test]
+    fn paper_example_1_rule_1_flags_option_c() {
+        // High [12,2,0,3,3], low [6,4,0,5,5], correct A.
+        let matrix = OptionMatrix::from_counts(
+            pid(),
+            OptionKey::A,
+            vec![12, 2, 0, 3, 3],
+            vec![6, 4, 0, 5, 5],
+        );
+        let findings = evaluate_rules(&matrix, FLATNESS);
+        assert_eq!(findings.low_allure, vec![OptionKey::C]);
+        assert!(findings.rule1());
+        // No other rule fires in example 1.
+        assert!(!findings.rule2());
+        assert!(!findings.low_group_lacks_concept);
+    }
+
+    #[test]
+    fn paper_example_2_rule_2_flags_c_and_e() {
+        // High [1,2,10,0,7], low [2,2,13,1,2], correct C.
+        let matrix = OptionMatrix::from_counts(
+            pid(),
+            OptionKey::C,
+            vec![1, 2, 10, 0, 7],
+            vec![2, 2, 13, 1, 2],
+        );
+        let findings = evaluate_rules(&matrix, FLATNESS);
+        let flagged: Vec<OptionKey> = findings.not_well_defined.iter().map(|f| f.option).collect();
+        // C is correct but HC (10) < LC (13); E is wrong but HE (7) > LE (2).
+        assert!(flagged.contains(&OptionKey::C));
+        assert!(flagged.contains(&OptionKey::E));
+        let c = findings
+            .not_well_defined
+            .iter()
+            .find(|f| f.option == OptionKey::C)
+            .unwrap();
+        assert!(c.is_correct_option);
+        assert_eq!((c.high, c.low), (10, 13));
+    }
+
+    #[test]
+    fn paper_example_3_rule_3_low_group_flat() {
+        // High [15,2,2,0,1], low [5,4,5,4,2], correct A.
+        let matrix = OptionMatrix::from_counts(
+            pid(),
+            OptionKey::A,
+            vec![15, 2, 2, 0, 1],
+            vec![5, 4, 5, 4, 2],
+        );
+        let findings = evaluate_rules(&matrix, FLATNESS);
+        // |LM−Lm| = 3 ≤ 4 = LS×20 %.
+        assert!(findings.low_group_lacks_concept);
+        // High group is peaked (15 vs 0), so Rule 4 does not fire.
+        assert!(!findings.both_groups_lack_concept);
+    }
+
+    #[test]
+    fn paper_example_4_rule_4_both_groups_flat() {
+        // High [4,4,4,2,6], low [5,4,5,4,2], correct A.
+        let matrix = OptionMatrix::from_counts(
+            pid(),
+            OptionKey::A,
+            vec![4, 4, 4, 2, 6],
+            vec![5, 4, 5, 4, 2],
+        );
+        let findings = evaluate_rules(&matrix, FLATNESS);
+        // |LM−Lm| = 3 ≤ 4 and |HM−Hm| = 4 ≤ 4.
+        assert!(findings.low_group_lacks_concept);
+        assert!(findings.both_groups_lack_concept);
+    }
+
+    #[test]
+    fn paper_question_no6_rule_1_option_a() {
+        // §4.1.2 second worked example: high [1,1,4,5], low [0,2,4,4],
+        // correct D, 11 per group.
+        let matrix =
+            OptionMatrix::from_counts(pid(), OptionKey::D, vec![1, 1, 4, 5], vec![0, 2, 4, 4]);
+        let findings = evaluate_rules(&matrix, FLATNESS);
+        assert_eq!(findings.low_allure, vec![OptionKey::A]);
+    }
+
+    #[test]
+    fn healthy_question_fires_nothing() {
+        // Strong discrimination, every distractor pulls some low students.
+        let matrix =
+            OptionMatrix::from_counts(pid(), OptionKey::B, vec![1, 16, 2, 1], vec![9, 3, 5, 3]);
+        let findings = evaluate_rules(&matrix, FLATNESS);
+        assert!(!findings.any(), "{findings:?}");
+    }
+
+    #[test]
+    fn flatness_margin_is_respected() {
+        // Low [5, 3]: diff 2, LS 8. 20% → 1.6 < 2 (not flat); 30% → 2.4 ≥ 2.
+        let matrix = OptionMatrix::from_counts(pid(), OptionKey::A, vec![8, 0], vec![5, 3]);
+        assert!(!evaluate_rules(&matrix, 0.2).low_group_lacks_concept);
+        assert!(evaluate_rules(&matrix, 0.3).low_group_lacks_concept);
+    }
+
+    #[test]
+    fn empty_groups_do_not_fire_flatness_rules() {
+        let matrix = OptionMatrix::from_counts(pid(), OptionKey::A, vec![0, 0], vec![0, 0]);
+        let findings = evaluate_rules(&matrix, FLATNESS);
+        assert!(!findings.low_group_lacks_concept);
+        assert!(!findings.both_groups_lack_concept);
+        // But rule 1 fires for every option (nobody picked them).
+        assert_eq!(findings.low_allure.len(), 2);
+    }
+
+    #[test]
+    fn equal_counts_do_not_trigger_rule_2() {
+        let matrix = OptionMatrix::from_counts(pid(), OptionKey::A, vec![5, 5], vec![5, 5]);
+        assert!(!evaluate_rules(&matrix, FLATNESS).rule2());
+    }
+}

@@ -1,0 +1,210 @@
+//! The traffic-light signal and advice (Table 3, Figure 2).
+//!
+//! "With signal presentation, the advice to teacher becomes more easy
+//! and simple." Table 3 maps the Item Discrimination Index `D` to a
+//! light: green ("Good") for `D ≥ 0.30`, yellow ("Fix") for
+//! `0.20 ≤ D ≤ 0.29`, red ("Eliminate or fix") for `D ≤ 0.19`; the
+//! yellow row's rule columns annotate the advice with which rules
+//! matched.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use mine_metadata::DiscriminationIndex;
+
+use crate::rules::RuleFindings;
+
+/// The light colour of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Signal {
+    /// "Good" — keep the question.
+    Green,
+    /// "Fix" — the question needs work.
+    Yellow,
+    /// "Eliminate or fix" — the question discriminates too poorly.
+    Red,
+}
+
+impl Signal {
+    /// The Table 3 status word for the light.
+    #[must_use]
+    pub fn status_word(self) -> &'static str {
+        match self {
+            Signal::Green => "Good",
+            Signal::Yellow => "Fix",
+            Signal::Red => "Eliminate or fix",
+        }
+    }
+
+    /// A one-character glyph for text reports.
+    #[must_use]
+    pub fn glyph(self) -> char {
+        match self {
+            Signal::Green => 'G',
+            Signal::Yellow => 'Y',
+            Signal::Red => 'R',
+        }
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Signal::Green => "green",
+            Signal::Yellow => "yellow",
+            Signal::Red => "red",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Thresholds of the Table 3 bands.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignalPolicy {
+    /// Smallest `D` that is green (paper: 0.30).
+    pub green_min: f64,
+    /// Smallest `D` that is yellow (paper: 0.20); below is red.
+    pub yellow_min: f64,
+}
+
+impl Default for SignalPolicy {
+    fn default() -> Self {
+        Self {
+            green_min: 0.30,
+            yellow_min: 0.20,
+        }
+    }
+}
+
+impl SignalPolicy {
+    /// Classifies a discrimination index.
+    ///
+    /// The comparison happens on the value rounded to two decimals,
+    /// matching the paper's presentation (D = 0.295 reads as 0.30 →
+    /// green; the band "0.2–0.29" is inclusive).
+    #[must_use]
+    pub fn classify(&self, d: DiscriminationIndex) -> Signal {
+        let rounded = (d.value() * 100.0).round() / 100.0;
+        if rounded >= self.green_min {
+            Signal::Green
+        } else if rounded >= self.yellow_min {
+            Signal::Yellow
+        } else {
+            Signal::Red
+        }
+    }
+
+    /// Produces the teacher-facing advice line for a question: the
+    /// Table 3 status word plus the §4.1.2 rule annotations.
+    #[must_use]
+    pub fn advice(&self, d: DiscriminationIndex, findings: &RuleFindings) -> String {
+        let signal = self.classify(d);
+        let mut advice = format!("{} (D={:.2})", signal.status_word(), d.value());
+        let mut notes = Vec::new();
+        for option in &findings.low_allure {
+            notes.push(format!("the allure of option {option} is low"));
+        }
+        for finding in &findings.not_well_defined {
+            if finding.is_correct_option {
+                notes.push(format!(
+                    "correct option {} attracts the low group more ({} vs {})",
+                    finding.option, finding.high, finding.low
+                ));
+            } else {
+                notes.push(format!(
+                    "wrong option {} attracts the high group more ({} vs {})",
+                    finding.option, finding.high, finding.low
+                ));
+            }
+        }
+        if findings.both_groups_lack_concept {
+            notes.push("whole class lacks the concept; remedial teaching advised".to_string());
+        } else if findings.low_group_lacks_concept {
+            notes.push("low score group lacks the concept; remedial course advised".to_string());
+        }
+        if !notes.is_empty() {
+            advice.push_str(": ");
+            advice.push_str(&notes.join("; "));
+        }
+        advice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(value: f64) -> DiscriminationIndex {
+        DiscriminationIndex::new(value).unwrap()
+    }
+
+    #[test]
+    fn paper_thresholds() {
+        let policy = SignalPolicy::default();
+        assert_eq!(policy.classify(d(0.55)), Signal::Green, "question no. 2");
+        assert_eq!(policy.classify(d(0.30)), Signal::Green);
+        assert_eq!(policy.classify(d(0.29)), Signal::Yellow);
+        assert_eq!(policy.classify(d(0.20)), Signal::Yellow);
+        assert_eq!(policy.classify(d(0.19)), Signal::Red);
+        assert_eq!(policy.classify(d(0.09)), Signal::Red, "question no. 6");
+        assert_eq!(policy.classify(d(-0.5)), Signal::Red);
+    }
+
+    #[test]
+    fn rounding_matches_presentation() {
+        let policy = SignalPolicy::default();
+        // 0.295 displays as 0.30 → green; 0.195 displays as 0.20 → yellow.
+        assert_eq!(policy.classify(d(0.295)), Signal::Green);
+        assert_eq!(policy.classify(d(0.195)), Signal::Yellow);
+        assert_eq!(policy.classify(d(0.194)), Signal::Red);
+    }
+
+    #[test]
+    fn status_words_match_table_3() {
+        assert_eq!(Signal::Green.status_word(), "Good");
+        assert_eq!(Signal::Yellow.status_word(), "Fix");
+        assert_eq!(Signal::Red.status_word(), "Eliminate or fix");
+    }
+
+    #[test]
+    fn advice_mentions_rule_findings() {
+        use crate::option_matrix::OptionMatrix;
+        use crate::rules::evaluate_rules;
+        use mine_core::OptionKey;
+
+        // Question no. 6: D = 0.09, rule 1 flags option A.
+        let matrix = OptionMatrix::from_counts(
+            "no6".parse().unwrap(),
+            OptionKey::D,
+            vec![1, 1, 4, 5],
+            vec![0, 2, 4, 4],
+        );
+        let findings = evaluate_rules(&matrix, 0.2);
+        let advice = SignalPolicy::default().advice(d(0.09), &findings);
+        assert!(advice.starts_with("Eliminate or fix"));
+        assert!(advice.contains("allure of option A is low"));
+    }
+
+    #[test]
+    fn advice_for_clean_green_question_is_short() {
+        let advice = SignalPolicy::default().advice(d(0.55), &RuleFindings::default());
+        assert_eq!(advice, "Good (D=0.55)");
+    }
+
+    #[test]
+    fn custom_policy_shifts_bands() {
+        let strict = SignalPolicy {
+            green_min: 0.4,
+            yellow_min: 0.3,
+        };
+        assert_eq!(strict.classify(d(0.35)), Signal::Yellow);
+        assert_eq!(strict.classify(d(0.29)), Signal::Red);
+    }
+
+    #[test]
+    fn glyphs_and_display() {
+        assert_eq!(Signal::Green.glyph(), 'G');
+        assert_eq!(Signal::Red.to_string(), "red");
+    }
+}

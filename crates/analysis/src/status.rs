@@ -1,0 +1,193 @@
+//! Rule-to-status mapping (Table 2).
+//!
+//! "From each rule we can identify what kind of status in our test. Some
+//! of the information is useful for correcting the improper questions
+//! given in the exam, and the others are useful for instructors to
+//! realize students' learning."
+//!
+//! Table 2 columns: the option's allure is low / the option meaning is
+//! not clear / careless / not only one exact answer / low score group
+//! lack concept / high score group lack concept. Rule 1 maps to the
+//! first; Rule 2 to the next three; Rule 3 to the fifth; Rule 4 to the
+//! last two.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rules::RuleFindings;
+
+/// The Table 2 status columns for one question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct StatusFlags {
+    /// "The option's allure is low" (Rule 1).
+    pub option_allure_low: bool,
+    /// "The option meaning is not clear" (Rule 2).
+    pub option_meaning_unclear: bool,
+    /// "Careless" (Rule 2).
+    pub careless: bool,
+    /// "Not only one exact answer" (Rule 2).
+    pub multiple_exact_answers: bool,
+    /// "Low score group lack concept" (Rules 3 and 4).
+    pub low_group_lacks_concept: bool,
+    /// "High score group lack concept" (Rule 4).
+    pub high_group_lacks_concept: bool,
+}
+
+impl StatusFlags {
+    /// Derives the status columns from rule findings per Table 2.
+    #[must_use]
+    pub fn from_rules(findings: &RuleFindings) -> Self {
+        let rule2 = findings.rule2();
+        Self {
+            option_allure_low: findings.rule1(),
+            option_meaning_unclear: rule2,
+            careless: rule2,
+            multiple_exact_answers: rule2,
+            low_group_lacks_concept: findings.low_group_lacks_concept
+                || findings.both_groups_lack_concept,
+            high_group_lacks_concept: findings.both_groups_lack_concept,
+        }
+    }
+
+    /// Whether any status column is set.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.option_allure_low
+            || self.option_meaning_unclear
+            || self.careless
+            || self.multiple_exact_answers
+            || self.low_group_lacks_concept
+            || self.high_group_lacks_concept
+    }
+
+    /// The set columns as human-readable labels (Table 2 headers).
+    #[must_use]
+    pub fn labels(&self) -> Vec<&'static str> {
+        let mut labels = Vec::new();
+        if self.option_allure_low {
+            labels.push("The option's allure is low");
+        }
+        if self.option_meaning_unclear {
+            labels.push("The option meaning is not clear");
+        }
+        if self.careless {
+            labels.push("Careless");
+        }
+        if self.multiple_exact_answers {
+            labels.push("Not only one exact answer");
+        }
+        if self.low_group_lacks_concept {
+            labels.push("Low score group lack concept");
+        }
+        if self.high_group_lacks_concept {
+            labels.push("High score group lack concept");
+        }
+        labels
+    }
+}
+
+/// Renders the static Table 2 (which rule can raise which status).
+#[must_use]
+pub fn render_rule_status_table() -> String {
+    let headers = [
+        "The option's allure is low",
+        "The option meaning is not clear",
+        "Careless",
+        "Not only one exact answer",
+        "Low score group lack concept",
+        "High score group lack concept",
+    ];
+    // Table 2 of the paper, row per rule: V = can raise, X = cannot.
+    let rows: [(&str, [bool; 6]); 4] = [
+        ("Rule 1", [true, false, false, false, false, false]),
+        ("Rule 2", [false, true, true, true, false, false]),
+        ("Rule 3", [false, false, false, false, true, false]),
+        ("Rule 4", [false, false, false, false, true, true]),
+    ];
+    let mut out = String::from("        ");
+    for header in headers {
+        out.push_str(&format!("| {header} "));
+    }
+    out.push('\n');
+    for (rule, cells) in rows {
+        out.push_str(&format!("{rule:<8}"));
+        for (cell, header) in cells.iter().zip(headers) {
+            let mark = if *cell { "V" } else { "X" };
+            out.push_str(&format!("| {mark:^width$} ", width = header.len()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::option_matrix::OptionMatrix;
+    use crate::rules::evaluate_rules;
+    use mine_core::OptionKey;
+
+    #[test]
+    fn rule1_maps_to_allure_only() {
+        let matrix = OptionMatrix::from_counts(
+            "q".parse().unwrap(),
+            OptionKey::A,
+            vec![12, 2, 0, 3, 3],
+            vec![6, 4, 0, 5, 5],
+        );
+        let status = StatusFlags::from_rules(&evaluate_rules(&matrix, 0.2));
+        assert!(status.option_allure_low);
+        assert!(!status.option_meaning_unclear);
+        assert!(!status.low_group_lacks_concept);
+        assert_eq!(status.labels(), vec!["The option's allure is low"]);
+    }
+
+    #[test]
+    fn rule2_maps_to_three_statuses() {
+        let matrix = OptionMatrix::from_counts(
+            "q".parse().unwrap(),
+            OptionKey::C,
+            vec![1, 2, 10, 0, 7],
+            vec![2, 2, 13, 1, 2],
+        );
+        let findings = evaluate_rules(&matrix, 0.2);
+        let status = StatusFlags::from_rules(&findings);
+        assert!(status.option_meaning_unclear);
+        assert!(status.careless);
+        assert!(status.multiple_exact_answers);
+    }
+
+    #[test]
+    fn rule4_maps_to_both_concept_columns() {
+        let matrix = OptionMatrix::from_counts(
+            "q".parse().unwrap(),
+            OptionKey::A,
+            vec![4, 4, 4, 2, 6],
+            vec![5, 4, 5, 4, 2],
+        );
+        let status = StatusFlags::from_rules(&evaluate_rules(&matrix, 0.2));
+        assert!(status.low_group_lacks_concept);
+        assert!(status.high_group_lacks_concept);
+    }
+
+    #[test]
+    fn clean_findings_have_no_flags() {
+        let status = StatusFlags::from_rules(&RuleFindings::default());
+        assert!(!status.any());
+        assert!(status.labels().is_empty());
+    }
+
+    #[test]
+    fn static_table_matches_paper() {
+        let table = render_rule_status_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Rule 1 row: exactly one V in the first column.
+        assert_eq!(lines[1].matches('V').count(), 1);
+        // Rule 2 row: three Vs.
+        assert_eq!(lines[2].matches('V').count(), 3);
+        // Rule 3 row: one V.
+        assert_eq!(lines[3].matches('V').count(), 1);
+        // Rule 4 row: two Vs.
+        assert_eq!(lines[4].matches('V').count(), 2);
+    }
+}

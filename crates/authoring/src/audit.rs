@@ -1,0 +1,141 @@
+//! The audit trail: who did what in the authoring system.
+//!
+//! The paper distinguishes authors, instructors, tutors, administrators
+//! and learners (§5); the audit log records each actor's mutating
+//! actions so an administrator "controls the database" with visibility.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One recorded action.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// Who acted (free-form actor name).
+    pub actor: String,
+    /// The action verb (e.g. `author-problem`, `export-scorm`).
+    pub action: String,
+    /// The entity acted on.
+    pub target: String,
+}
+
+/// A shared, append-only audit log.
+#[derive(Debug, Clone, Default)]
+pub struct AuditLog {
+    entries: Arc<Mutex<Vec<AuditEntry>>>,
+}
+
+impl AuditLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry, returning its sequence number.
+    pub fn record(
+        &self,
+        actor: impl Into<String>,
+        action: impl Into<String>,
+        target: impl Into<String>,
+    ) -> u64 {
+        let mut entries = self.entries.lock();
+        let seq = entries.len() as u64;
+        entries.push(AuditEntry {
+            seq,
+            actor: actor.into(),
+            action: action.into(),
+            target: target.into(),
+        });
+        seq
+    }
+
+    /// A snapshot of all entries.
+    #[must_use]
+    pub fn entries(&self) -> Vec<AuditEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// Entries by one actor.
+    #[must_use]
+    pub fn by_actor(&self, actor: &str) -> Vec<AuditEntry> {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|e| e.actor == actor)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of recorded entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_monotonic() {
+        let log = AuditLog::new();
+        assert_eq!(log.record("hung", "author-problem", "q1"), 0);
+        assert_eq!(log.record("lin", "author-exam", "midterm"), 1);
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn by_actor_filters() {
+        let log = AuditLog::new();
+        log.record("hung", "a", "x");
+        log.record("lin", "b", "y");
+        log.record("hung", "c", "z");
+        let entries = log.by_actor("hung");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].action, "c");
+    }
+
+    #[test]
+    fn clones_share_the_log() {
+        let log = AuditLog::new();
+        let clone = log.clone();
+        clone.record("admin", "delete-problem", "q9");
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_appends_do_not_lose_entries() {
+        let log = AuditLog::new();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let log = log.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        log.record(format!("actor{t}"), "act", format!("target{i}"));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(log.len(), 400);
+        // Sequence numbers are unique.
+        let mut seqs: Vec<u64> = log.entries().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 400);
+    }
+}

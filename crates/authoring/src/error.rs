@@ -1,0 +1,118 @@
+//! Error type of the authoring facade.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use mine_analysis::AnalysisError;
+use mine_delivery::DeliveryError;
+use mine_itembank::BankError;
+use mine_qti::QtiError;
+use mine_scorm::ScormError;
+
+/// Errors surfaced by the authoring system.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AuthoringError {
+    /// Item bank operation failed.
+    Bank(BankError),
+    /// SCORM packaging failed.
+    Scorm(ScormError),
+    /// QTI interchange failed.
+    Qti(QtiError),
+    /// Exam delivery failed.
+    Delivery(DeliveryError),
+    /// Analysis failed.
+    Analysis(AnalysisError),
+    /// A package to import collided with existing content.
+    ImportConflict {
+        /// What collided.
+        reason: String,
+    },
+    /// The role policy denied the action.
+    Forbidden(crate::roles::Denied),
+}
+
+impl fmt::Display for AuthoringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthoringError::Bank(err) => write!(f, "item bank: {err}"),
+            AuthoringError::Scorm(err) => write!(f, "scorm: {err}"),
+            AuthoringError::Qti(err) => write!(f, "qti: {err}"),
+            AuthoringError::Delivery(err) => write!(f, "delivery: {err}"),
+            AuthoringError::Analysis(err) => write!(f, "analysis: {err}"),
+            AuthoringError::ImportConflict { reason } => write!(f, "import conflict: {reason}"),
+            AuthoringError::Forbidden(denied) => write!(f, "forbidden: {denied}"),
+        }
+    }
+}
+
+impl StdError for AuthoringError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            AuthoringError::Bank(err) => Some(err),
+            AuthoringError::Scorm(err) => Some(err),
+            AuthoringError::Qti(err) => Some(err),
+            AuthoringError::Delivery(err) => Some(err),
+            AuthoringError::Analysis(err) => Some(err),
+            AuthoringError::ImportConflict { .. } => None,
+            AuthoringError::Forbidden(denied) => Some(denied),
+        }
+    }
+}
+
+impl From<BankError> for AuthoringError {
+    fn from(err: BankError) -> Self {
+        AuthoringError::Bank(err)
+    }
+}
+
+impl From<ScormError> for AuthoringError {
+    fn from(err: ScormError) -> Self {
+        AuthoringError::Scorm(err)
+    }
+}
+
+impl From<QtiError> for AuthoringError {
+    fn from(err: QtiError) -> Self {
+        AuthoringError::Qti(err)
+    }
+}
+
+impl From<DeliveryError> for AuthoringError {
+    fn from(err: DeliveryError) -> Self {
+        AuthoringError::Delivery(err)
+    }
+}
+
+impl From<AnalysisError> for AuthoringError {
+    fn from(err: AnalysisError) -> Self {
+        AuthoringError::Analysis(err)
+    }
+}
+
+impl From<crate::roles::Denied> for AuthoringError {
+    fn from(denied: crate::roles::Denied) -> Self {
+        AuthoringError::Forbidden(denied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_every_layer() {
+        let bank: AuthoringError = BankError::NotFound {
+            kind: "problem",
+            id: "x".into(),
+        }
+        .into();
+        assert!(bank.source().is_some());
+        assert!(bank.to_string().starts_with("item bank"));
+        let conflict = AuthoringError::ImportConflict {
+            reason: "problem q1 exists".into(),
+        };
+        assert!(conflict.source().is_none());
+        assert!(conflict.to_string().contains("q1"));
+    }
+}

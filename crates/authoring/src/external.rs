@@ -1,0 +1,140 @@
+//! The SCORM-compatible external repository (§5).
+//!
+//! "In order to share the material of our problem and exam, our system
+//! provides SCORM format package output service … Other instructors may
+//! reuse the problem and exam files from SCORM compatible external
+//! repository." This is that repository, simulated in-process: packages
+//! travel as their file maps (exactly what would be zipped and uploaded),
+//! so publishing and fetching exercise the full serialize → parse path.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mine_scorm::{ContentPackage, ScormError};
+
+/// A shared store of published SCORM packages.
+#[derive(Debug, Clone, Default)]
+pub struct ExternalRepository {
+    packages: Arc<RwLock<BTreeMap<String, BTreeMap<String, String>>>>,
+}
+
+impl ExternalRepository {
+    /// Creates an empty repository.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a package under a name. The package is stored as its
+    /// file map — the wire format — and re-parsed on fetch.
+    ///
+    /// Republishing a name replaces the stored package.
+    pub fn publish(&self, name: impl Into<String>, package: ContentPackage) {
+        self.packages
+            .write()
+            .insert(name.into(), package.into_files());
+    }
+
+    /// Fetches and re-validates a package.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScormError::MissingManifest`] when the name is unknown,
+    /// or any parse/validation error from the stored files.
+    pub fn fetch(&self, name: &str) -> Result<ContentPackage, ScormError> {
+        let files = self
+            .packages
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or(ScormError::MissingManifest)?;
+        ContentPackage::from_files(files)
+    }
+
+    /// Names of all published packages.
+    #[must_use]
+    pub fn list(&self) -> Vec<String> {
+        self.packages.read().keys().cloned().collect()
+    }
+
+    /// Removes a published package; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.packages.write().remove(name).is_some()
+    }
+
+    /// Number of published packages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.packages.read().len()
+    }
+
+    /// Whether the repository is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.packages.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_itembank::Problem;
+
+    fn package() -> ContentPackage {
+        ContentPackage::builder("PKG-1")
+            .problem(Problem::true_false("q1", "shared?", true).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn publish_fetch_round_trip() {
+        let repo = ExternalRepository::new();
+        repo.publish("networking-quiz", package());
+        assert_eq!(repo.list(), vec!["networking-quiz".to_string()]);
+        let fetched = repo.fetch("networking-quiz").unwrap();
+        assert_eq!(fetched.manifest.identifier, "PKG-1");
+        assert_eq!(fetched.extract_problems().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let repo = ExternalRepository::new();
+        assert!(matches!(
+            repo.fetch("ghost"),
+            Err(ScormError::MissingManifest)
+        ));
+    }
+
+    #[test]
+    fn republish_replaces() {
+        let repo = ExternalRepository::new();
+        repo.publish("quiz", package());
+        let other = ContentPackage::builder("PKG-2")
+            .problem(Problem::true_false("q2", "other", false).unwrap())
+            .build()
+            .unwrap();
+        repo.publish("quiz", other);
+        assert_eq!(repo.len(), 1);
+        assert_eq!(repo.fetch("quiz").unwrap().manifest.identifier, "PKG-2");
+    }
+
+    #[test]
+    fn remove_and_empty() {
+        let repo = ExternalRepository::new();
+        assert!(repo.is_empty());
+        repo.publish("quiz", package());
+        assert!(repo.remove("quiz"));
+        assert!(!repo.remove("quiz"));
+        assert!(repo.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let repo = ExternalRepository::new();
+        repo.clone().publish("quiz", package());
+        assert_eq!(repo.len(), 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! Longitudinal item history: how P and D move across administrations.
+//!
+//! The paper's loop ("teachers can see the analysis of test result and
+//! fix problematic questions") repeats every term. The history store
+//! keeps each administration's measured indices per question so the
+//! teacher can see *trends* — an item drifting easier (leaked? taught to
+//! the test?) or losing discrimination (stale distractors) — instead of
+//! only the latest snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use mine_analysis::ExamAnalysis;
+use mine_core::ProblemId;
+
+/// One administration's measurements for one question.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdministrationStats {
+    /// 0-based administration sequence number (per problem).
+    pub sequence: u64,
+    /// Class size of the sitting.
+    pub class_size: usize,
+    /// Measured Item Difficulty Index `P`.
+    pub difficulty: f64,
+    /// Measured Item Discrimination Index `D`.
+    pub discrimination: f64,
+}
+
+/// The direction an item's index is moving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trend {
+    /// Fewer than two administrations — nothing to compare.
+    Insufficient,
+    /// Change within the tolerance band.
+    Stable,
+    /// The index rose beyond tolerance.
+    Rising,
+    /// The index fell beyond tolerance.
+    Falling,
+}
+
+/// Shared store of administration histories (clones share state).
+#[derive(Debug, Clone, Default)]
+pub struct HistoryStore {
+    inner: Arc<RwLock<BTreeMap<ProblemId, Vec<AdministrationStats>>>>,
+}
+
+impl HistoryStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends every question of an analysis as a new administration.
+    pub fn record_analysis(&self, analysis: &ExamAnalysis) {
+        let mut inner = self.inner.write();
+        for question in &analysis.questions {
+            let entries = inner.entry(question.indices.problem.clone()).or_default();
+            entries.push(AdministrationStats {
+                sequence: entries.len() as u64,
+                class_size: analysis.statistics.class_size,
+                difficulty: question.indices.difficulty.value(),
+                discrimination: question.indices.discrimination.value(),
+            });
+        }
+    }
+
+    /// The administrations of one problem, oldest first.
+    #[must_use]
+    pub fn history(&self, problem: &ProblemId) -> Vec<AdministrationStats> {
+        self.inner.read().get(problem).cloned().unwrap_or_default()
+    }
+
+    /// Number of problems with any history.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Trend of the difficulty index: compares the latest administration
+    /// against the mean of all earlier ones, with `tolerance` as the
+    /// dead band (e.g. 0.1).
+    #[must_use]
+    pub fn difficulty_trend(&self, problem: &ProblemId, tolerance: f64) -> Trend {
+        self.trend_of(problem, tolerance, |s| s.difficulty)
+    }
+
+    /// Trend of the discrimination index (same comparison rule).
+    #[must_use]
+    pub fn discrimination_trend(&self, problem: &ProblemId, tolerance: f64) -> Trend {
+        self.trend_of(problem, tolerance, |s| s.discrimination)
+    }
+
+    fn trend_of(
+        &self,
+        problem: &ProblemId,
+        tolerance: f64,
+        value: impl Fn(&AdministrationStats) -> f64,
+    ) -> Trend {
+        let history = self.history(problem);
+        if history.len() < 2 {
+            return Trend::Insufficient;
+        }
+        let (earlier, latest) = history.split_at(history.len() - 1);
+        let baseline = earlier.iter().map(&value).sum::<f64>() / earlier.len() as f64;
+        let delta = value(&latest[0]) - baseline;
+        if delta > tolerance {
+            Trend::Rising
+        } else if delta < -tolerance {
+            Trend::Falling
+        } else {
+            Trend::Stable
+        }
+    }
+
+    /// Problems whose difficulty rose beyond `tolerance` on the latest
+    /// administration — candidates for leak/staleness review.
+    #[must_use]
+    pub fn drifting_easier(&self, tolerance: f64) -> Vec<ProblemId> {
+        self.inner
+            .read()
+            .keys()
+            .filter(|problem| self.difficulty_trend(problem, tolerance) == Trend::Rising)
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_analysis::AnalysisConfig;
+    use mine_core::OptionKey;
+    use mine_itembank::{ChoiceOption, Exam, Problem};
+    use mine_simulator::{CohortSpec, ItemParams, Simulation};
+
+    fn analysis(ability: f64, seed: u64) -> ExamAnalysis {
+        let problems: Vec<Problem> = (0..4)
+            .map(|i| {
+                Problem::multiple_choice(
+                    format!("q{i}"),
+                    format!("Q{i}"),
+                    OptionKey::first(4).map(|k| ChoiceOption::new(k, format!("{k}"))),
+                    OptionKey::A,
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut builder = Exam::builder("hist").unwrap();
+        for i in 0..4 {
+            builder = builder.entry(format!("q{i}").parse().unwrap());
+        }
+        let mut simulation = Simulation::new(builder.build().unwrap(), problems.clone())
+            .cohort(CohortSpec::new(120).ability(ability, 0.5).seed(seed));
+        for i in 0..4 {
+            simulation = simulation.item_params(
+                format!("q{i}").parse().unwrap(),
+                ItemParams::multiple_choice(1.2, 0.0, 4),
+            );
+        }
+        let record = simulation.run().unwrap();
+        ExamAnalysis::analyze(&record, &problems, &AnalysisConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn records_accumulate_in_sequence() {
+        let store = HistoryStore::new();
+        store.record_analysis(&analysis(0.0, 1));
+        store.record_analysis(&analysis(0.0, 2));
+        let history = store.history(&"q0".parse().unwrap());
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].sequence, 0);
+        assert_eq!(history[1].sequence, 1);
+        assert_eq!(history[0].class_size, 120);
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
+    fn single_administration_is_insufficient() {
+        let store = HistoryStore::new();
+        store.record_analysis(&analysis(0.0, 1));
+        assert_eq!(
+            store.difficulty_trend(&"q0".parse().unwrap(), 0.1),
+            Trend::Insufficient
+        );
+        assert_eq!(
+            store.difficulty_trend(&"ghost".parse().unwrap(), 0.1),
+            Trend::Insufficient
+        );
+    }
+
+    #[test]
+    fn leaked_item_reads_as_rising_difficulty_index() {
+        // Same items, but the second cohort is far stronger — as if the
+        // answers leaked. P (ease) rises sharply.
+        let store = HistoryStore::new();
+        store.record_analysis(&analysis(-0.5, 1));
+        store.record_analysis(&analysis(2.5, 2));
+        let q0: ProblemId = "q0".parse().unwrap();
+        assert_eq!(store.difficulty_trend(&q0, 0.1), Trend::Rising);
+        assert!(!store.drifting_easier(0.1).is_empty());
+    }
+
+    #[test]
+    fn comparable_cohorts_read_stable() {
+        let store = HistoryStore::new();
+        store.record_analysis(&analysis(0.0, 1));
+        store.record_analysis(&analysis(0.0, 2));
+        let q0: ProblemId = "q0".parse().unwrap();
+        assert_eq!(store.difficulty_trend(&q0, 0.15), Trend::Stable);
+    }
+
+    #[test]
+    fn falling_difficulty_detected() {
+        let store = HistoryStore::new();
+        store.record_analysis(&analysis(2.0, 1));
+        store.record_analysis(&analysis(-2.0, 2));
+        let q0: ProblemId = "q0".parse().unwrap();
+        assert_eq!(store.difficulty_trend(&q0, 0.1), Trend::Falling);
+        assert!(store.drifting_easier(0.1).is_empty());
+    }
+
+    #[test]
+    fn clones_share_history() {
+        let store = HistoryStore::new();
+        store.clone().record_analysis(&analysis(0.0, 1));
+        assert!(!store.is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! The assessment authoring system (§5) — the facade over the whole
+//! workspace.
+//!
+//! The paper's architecture (Figure 3's surrounding text) names the
+//! pieces: "assessment authoring system includes problem search, exam
+//! authoring, problem authoring and SCORM format output service. Another
+//! one is on-line exam monitor subsystem … Authors, instructors and
+//! tutors use the assessment authoring system to edit problems or exam …
+//! Administrator control the database … Learners take the exam."
+//!
+//! [`AuthoringSystem`] wires those pieces together over the
+//! [`mine_itembank::Repository`]:
+//!
+//! * problem/exam/template authoring with validation and audit trail,
+//! * problem search and similar-problem lookup,
+//! * SCORM format output service + a simulated
+//!   [`ExternalRepository`] for package exchange,
+//! * QTI export/import,
+//! * exam delivery with the monitor subsystem attached,
+//! * the analysis loop: run the §4 model and write the measured
+//!   difficulty/discrimination back into problem metadata.
+//!
+//! # Examples
+//!
+//! ```
+//! use mine_authoring::AuthoringSystem;
+//! use mine_itembank::Problem;
+//!
+//! let system = AuthoringSystem::new();
+//! system.author_problem(
+//!     "hung",
+//!     Problem::true_false("q1", "SCORM is an ADL standard.", true)?,
+//! )?;
+//! assert_eq!(system.repository().problem_count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod error;
+pub mod external;
+pub mod history;
+pub mod roles;
+pub mod system;
+
+pub use audit::{AuditEntry, AuditLog};
+pub use error::AuthoringError;
+pub use external::ExternalRepository;
+pub use history::{AdministrationStats, HistoryStore, Trend};
+pub use roles::{Action, Denied, Role, RolePolicy};
+pub use system::{AuthoringSystem, ImportReport};

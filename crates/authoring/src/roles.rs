@@ -1,0 +1,233 @@
+//! Role-based access control over the authoring system.
+//!
+//! §5 names the actors: "Authors, instructors and tutors use the
+//! assessment authoring system to edit problems or exam … Administrator
+//! control the database and learning management (LMS) monitor function.
+//! Learners take the exam." This module gives those roles teeth: a
+//! [`RolePolicy`] registered on the system decides which [`Action`]s an
+//! actor may perform.
+//!
+//! Enforcement is opt-in — a fresh [`RolePolicy`] with no registrations
+//! permits everything, so embedding code that does not care about roles
+//! keeps working.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// The §5 actor roles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Writes problems and templates.
+    Author,
+    /// Assembles exams, runs analyses, publishes packages.
+    Instructor,
+    /// Reads and searches; assists learners.
+    Tutor,
+    /// "Controls the database": everything, including deletion.
+    Administrator,
+    /// Takes exams; no authoring rights.
+    Learner,
+}
+
+/// The operations the policy gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Action {
+    /// Create or edit a problem or template.
+    AuthorContent,
+    /// Create or edit an exam.
+    AuthorExam,
+    /// Delete problems/templates from the database.
+    Delete,
+    /// Export/publish/import packages.
+    Exchange,
+    /// Run analyses and write indices back.
+    Analyze,
+    /// Sit an exam.
+    TakeExam,
+}
+
+impl Role {
+    /// Whether the role may perform an action (the default matrix).
+    #[must_use]
+    pub fn may(self, action: Action) -> bool {
+        match self {
+            Role::Administrator => true,
+            Role::Author => matches!(
+                action,
+                Action::AuthorContent | Action::AuthorExam | Action::Exchange | Action::TakeExam
+            ),
+            Role::Instructor => matches!(
+                action,
+                Action::AuthorContent
+                    | Action::AuthorExam
+                    | Action::Exchange
+                    | Action::Analyze
+                    | Action::TakeExam
+            ),
+            Role::Tutor => matches!(action, Action::Analyze | Action::TakeExam),
+            Role::Learner => matches!(action, Action::TakeExam),
+        }
+    }
+}
+
+/// An actor registry with opt-in enforcement.
+///
+/// Cloning shares the registry.
+#[derive(Debug, Clone, Default)]
+pub struct RolePolicy {
+    inner: Arc<RwLock<PolicyInner>>,
+}
+
+#[derive(Debug, Default)]
+struct PolicyInner {
+    roles: BTreeMap<String, Role>,
+    enforcing: bool,
+}
+
+/// Why an action was denied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Denied {
+    /// The actor that was denied.
+    pub actor: String,
+    /// The action attempted.
+    pub action: Action,
+    /// The actor's role, when registered.
+    pub role: Option<Role>,
+}
+
+impl std::fmt::Display for Denied {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.role {
+            Some(role) => write!(
+                f,
+                "actor {:?} with role {role:?} may not {:?}",
+                self.actor, self.action
+            ),
+            None => write!(f, "actor {:?} is not registered", self.actor),
+        }
+    }
+}
+
+impl std::error::Error for Denied {}
+
+impl RolePolicy {
+    /// Creates a permissive (non-enforcing) policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-registers) an actor's role.
+    pub fn register(&self, actor: impl Into<String>, role: Role) {
+        self.inner.write().roles.insert(actor.into(), role);
+    }
+
+    /// Turns enforcement on: unregistered actors are denied everything.
+    pub fn enforce(&self) {
+        self.inner.write().enforcing = true;
+    }
+
+    /// Whether enforcement is on.
+    #[must_use]
+    pub fn is_enforcing(&self) -> bool {
+        self.inner.read().enforcing
+    }
+
+    /// The registered role of an actor.
+    #[must_use]
+    pub fn role_of(&self, actor: &str) -> Option<Role> {
+        self.inner.read().roles.get(actor).copied()
+    }
+
+    /// Checks an action; `Ok` when permitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Denied`] when enforcement is on and the actor is
+    /// unregistered or its role forbids the action.
+    pub fn check(&self, actor: &str, action: Action) -> Result<(), Denied> {
+        let inner = self.inner.read();
+        if !inner.enforcing {
+            return Ok(());
+        }
+        match inner.roles.get(actor) {
+            Some(role) if role.may(action) => Ok(()),
+            role => Err(Denied {
+                actor: actor.to_string(),
+                action,
+                role: role.copied(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matrix_matches_the_paper_roles() {
+        assert!(Role::Administrator.may(Action::Delete));
+        assert!(!Role::Author.may(Action::Delete));
+        assert!(!Role::Instructor.may(Action::Delete));
+        assert!(Role::Instructor.may(Action::Analyze));
+        assert!(!Role::Author.may(Action::Analyze));
+        assert!(Role::Tutor.may(Action::Analyze));
+        assert!(!Role::Tutor.may(Action::AuthorContent));
+        assert!(Role::Learner.may(Action::TakeExam));
+        assert!(!Role::Learner.may(Action::AuthorExam));
+    }
+
+    #[test]
+    fn permissive_by_default() {
+        let policy = RolePolicy::new();
+        assert!(policy.check("anyone", Action::Delete).is_ok());
+        assert!(!policy.is_enforcing());
+    }
+
+    #[test]
+    fn enforcement_denies_unregistered_actors() {
+        let policy = RolePolicy::new();
+        policy.enforce();
+        let denied = policy.check("ghost", Action::TakeExam).unwrap_err();
+        assert_eq!(denied.role, None);
+        assert!(denied.to_string().contains("not registered"));
+    }
+
+    #[test]
+    fn enforcement_applies_the_matrix() {
+        let policy = RolePolicy::new();
+        policy.register("hung", Role::Author);
+        policy.register("admin", Role::Administrator);
+        policy.enforce();
+        assert!(policy.check("hung", Action::AuthorContent).is_ok());
+        let denied = policy.check("hung", Action::Delete).unwrap_err();
+        assert_eq!(denied.role, Some(Role::Author));
+        assert!(policy.check("admin", Action::Delete).is_ok());
+    }
+
+    #[test]
+    fn reregistration_changes_the_role() {
+        let policy = RolePolicy::new();
+        policy.register("x", Role::Learner);
+        policy.enforce();
+        assert!(policy.check("x", Action::AuthorExam).is_err());
+        policy.register("x", Role::Instructor);
+        assert!(policy.check("x", Action::AuthorExam).is_ok());
+        assert_eq!(policy.role_of("x"), Some(Role::Instructor));
+    }
+
+    #[test]
+    fn clones_share_registrations() {
+        let policy = RolePolicy::new();
+        let clone = policy.clone();
+        clone.register("y", Role::Tutor);
+        clone.enforce();
+        assert!(policy.is_enforcing());
+        assert_eq!(policy.role_of("y"), Some(Role::Tutor));
+    }
+}

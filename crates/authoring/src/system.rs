@@ -1,0 +1,845 @@
+//! The authoring system facade.
+
+use mine_analysis::{AnalysisConfig, ExamAnalysis};
+use mine_core::{ExamId, ExamRecord, ProblemId, StudentId, TemplateId};
+use mine_delivery::{DeliveryOptions, ExamSession, Monitor, MonitorHub, SnapshotPolicy};
+use mine_itembank::{Exam, Problem, Query, Repository, SearchHit, Template};
+use mine_metadata::{DifficultyIndex, DiscriminationIndex, IndividualTestMeta};
+use mine_qti::QtiAssessment;
+use mine_scorm::ContentPackage;
+use mine_xml::Document;
+
+use crate::audit::AuditLog;
+use crate::error::AuthoringError;
+use crate::external::ExternalRepository;
+use crate::history::HistoryStore;
+use crate::roles::{Action, RolePolicy};
+
+/// Outcome of importing a package (§5 reuse flow).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ImportReport {
+    /// Problems newly inserted.
+    pub imported_problems: Vec<ProblemId>,
+    /// Problems skipped because the id already existed.
+    pub skipped_problems: Vec<ProblemId>,
+    /// The exam imported, if the package carried one and it did not
+    /// collide.
+    pub imported_exam: Option<ExamId>,
+}
+
+/// The assessment authoring system: repository + monitor hub + audit log
+/// behind one API.
+///
+/// Cheap to clone; clones share all state.
+#[derive(Debug, Clone, Default)]
+pub struct AuthoringSystem {
+    repository: Repository,
+    monitor_hub: std::sync::Arc<MonitorHub>,
+    audit: AuditLog,
+    policy: RolePolicy,
+    history: HistoryStore,
+}
+
+impl AuthoringSystem {
+    /// Creates a system with an empty database.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying problem & exam database.
+    #[must_use]
+    pub fn repository(&self) -> &Repository {
+        &self.repository
+    }
+
+    /// The proctor's monitor hub.
+    #[must_use]
+    pub fn monitor_hub(&self) -> &MonitorHub {
+        &self.monitor_hub
+    }
+
+    /// The audit trail.
+    #[must_use]
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// The role policy (§5 actors). Permissive until
+    /// [`RolePolicy::enforce`] is called.
+    #[must_use]
+    pub fn policy(&self) -> &RolePolicy {
+        &self.policy
+    }
+
+    /// The longitudinal administration history (appended by
+    /// [`AuthoringSystem::apply_analysis`]).
+    #[must_use]
+    pub fn history(&self) -> &HistoryStore {
+        &self.history
+    }
+
+    // ----- problem authoring (§5.1–5.2) ------------------------------
+
+    /// Authors a new problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthoringError::Bank`] for duplicates or invalid bodies.
+    pub fn author_problem(&self, actor: &str, problem: Problem) -> Result<(), AuthoringError> {
+        self.policy.check(actor, Action::AuthorContent)?;
+        let id = problem.id().clone();
+        self.repository.insert_problem(problem)?;
+        self.audit.record(actor, "author-problem", id.as_str());
+        Ok(())
+    }
+
+    /// Edits an existing problem under the write lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthoringError::Bank`] when absent or the edit fails
+    /// validation.
+    pub fn edit_problem<F>(
+        &self,
+        actor: &str,
+        id: &ProblemId,
+        edit: F,
+    ) -> Result<u64, AuthoringError>
+    where
+        F: FnOnce(&mut Problem) -> Result<(), mine_itembank::BankError>,
+    {
+        self.policy.check(actor, Action::AuthorContent)?;
+        let version = self.repository.update_problem(id, edit)?;
+        self.audit.record(actor, "edit-problem", id.as_str());
+        Ok(version)
+    }
+
+    /// Deletes a problem (administrator action).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthoringError::Bank`] when absent.
+    pub fn delete_problem(&self, actor: &str, id: &ProblemId) -> Result<Problem, AuthoringError> {
+        self.policy.check(actor, Action::Delete)?;
+        let problem = self.repository.remove_problem(id)?;
+        self.audit.record(actor, "delete-problem", id.as_str());
+        Ok(problem)
+    }
+
+    // ----- search (§5) ------------------------------------------------
+
+    /// "Search similar or specific subject or related problems from
+    /// problem & exam database."
+    #[must_use]
+    pub fn search_problems(&self, query: &Query) -> Vec<SearchHit> {
+        self.repository.search(query)
+    }
+
+    /// Problems similar to a given one.
+    #[must_use]
+    pub fn similar_problems(&self, id: &ProblemId, limit: usize) -> Vec<SearchHit> {
+        self.repository.similar_to(id, limit)
+    }
+
+    // ----- templates (§5.3) -------------------------------------------
+
+    /// Adds a presentation template.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthoringError::Bank`] for a duplicate id.
+    pub fn add_template(&self, actor: &str, template: Template) -> Result<(), AuthoringError> {
+        self.policy.check(actor, Action::AuthorContent)?;
+        let id = template.id().clone();
+        self.repository.insert_template(template)?;
+        self.audit.record(actor, "add-template", id.as_str());
+        Ok(())
+    }
+
+    /// Duplicates a template for reuse ("he wanted to copy the problem
+    /// structure for reuse").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthoringError::Bank`] when the source is absent or the
+    /// new id is taken.
+    pub fn duplicate_template(
+        &self,
+        actor: &str,
+        source: &TemplateId,
+        new_id: TemplateId,
+        new_name: &str,
+    ) -> Result<(), AuthoringError> {
+        let template = self.repository.template(source)?;
+        let copy = template.duplicate(new_id.clone(), new_name);
+        self.repository.insert_template(copy)?;
+        self.audit
+            .record(actor, "duplicate-template", new_id.as_str());
+        Ok(())
+    }
+
+    /// Deletes a template.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthoringError::Bank`] when absent.
+    pub fn delete_template(&self, actor: &str, id: &TemplateId) -> Result<(), AuthoringError> {
+        self.policy.check(actor, Action::Delete)?;
+        self.repository.remove_template(id)?;
+        self.audit.record(actor, "delete-template", id.as_str());
+        Ok(())
+    }
+
+    // ----- exam authoring (§5.4) --------------------------------------
+
+    /// Authors a new exam (every referenced problem must exist).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthoringError::Bank`] for duplicates or dangling
+    /// references.
+    pub fn author_exam(&self, actor: &str, exam: Exam) -> Result<(), AuthoringError> {
+        self.policy.check(actor, Action::AuthorExam)?;
+        let id = exam.id().clone();
+        self.repository.insert_exam(exam)?;
+        self.audit.record(actor, "author-exam", id.as_str());
+        Ok(())
+    }
+
+    /// Edits an exam under the write lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthoringError::Bank`] when absent or invalid.
+    pub fn edit_exam<F>(&self, actor: &str, id: &ExamId, edit: F) -> Result<u64, AuthoringError>
+    where
+        F: FnOnce(&mut Exam) -> Result<(), mine_itembank::BankError>,
+    {
+        self.policy.check(actor, Action::AuthorExam)?;
+        let version = self.repository.update_exam(id, edit)?;
+        self.audit.record(actor, "edit-exam", id.as_str());
+        Ok(version)
+    }
+
+    /// Assembles and stores a new exam from a blueprint: the bank must
+    /// supply every (concept × cognition level) cell the blueprint
+    /// demands (the Table 4 coverage check, run *before* the exam is
+    /// given instead of after).
+    ///
+    /// # Errors
+    ///
+    /// * [`AuthoringError::Forbidden`] under role enforcement,
+    /// * [`AuthoringError::ImportConflict`] when the blueprint cannot be
+    ///   satisfied (the message lists every deficient cell),
+    /// * [`AuthoringError::Bank`] when the exam id is taken.
+    pub fn assemble_exam(
+        &self,
+        actor: &str,
+        exam_id: &str,
+        title: &str,
+        blueprint: &mine_itembank::Blueprint,
+    ) -> Result<Exam, AuthoringError> {
+        self.policy.check(actor, Action::AuthorExam)?;
+        let bank: Vec<Problem> = self
+            .repository
+            .problem_ids()
+            .into_iter()
+            .filter_map(|id| self.repository.problem(&id).ok())
+            .collect();
+        let chosen = mine_itembank::assemble_from_blueprint(&bank, blueprint).map_err(|err| {
+            AuthoringError::ImportConflict {
+                reason: err.to_string(),
+            }
+        })?;
+        let mut builder = Exam::builder(exam_id)?.title(title);
+        for problem in chosen {
+            builder = builder.entry(problem);
+        }
+        let exam = builder.build()?;
+        self.repository.insert_exam(exam.clone())?;
+        self.audit.record(actor, "assemble-exam", exam_id);
+        Ok(exam)
+    }
+
+    // ----- SCORM output / reuse (§5.5) --------------------------------
+
+    /// The SCORM format output service: packages an exam with all its
+    /// problems and descriptors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthoringError::Bank`] for an unknown exam and
+    /// [`AuthoringError::Scorm`] for packaging failures.
+    pub fn export_scorm(
+        &self,
+        actor: &str,
+        exam_id: &ExamId,
+    ) -> Result<ContentPackage, AuthoringError> {
+        self.policy.check(actor, Action::Exchange)?;
+        let (exam, problems) = self.repository.resolve_exam(exam_id)?;
+        let package = ContentPackage::builder(format!("PKG-{exam_id}"))
+            .exam(exam)
+            .problems(problems)
+            .build()?;
+        self.audit.record(actor, "export-scorm", exam_id.as_str());
+        Ok(package)
+    }
+
+    /// Publishes an exam's package to an external repository.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AuthoringSystem::export_scorm`].
+    pub fn publish(
+        &self,
+        actor: &str,
+        exam_id: &ExamId,
+        external: &ExternalRepository,
+        name: &str,
+    ) -> Result<(), AuthoringError> {
+        let package = self.export_scorm(actor, exam_id)?;
+        external.publish(name, package);
+        self.audit.record(actor, "publish", name);
+        Ok(())
+    }
+
+    /// Imports a package's problems (and exam, when present) into the
+    /// database — the §5 reuse flow. Problems whose ids already exist are
+    /// skipped; a colliding exam id is an error.
+    ///
+    /// # Errors
+    ///
+    /// * [`AuthoringError::Scorm`] when extraction fails,
+    /// * [`AuthoringError::ImportConflict`] when the package's exam id is
+    ///   already taken.
+    pub fn import_package(
+        &self,
+        actor: &str,
+        package: &ContentPackage,
+    ) -> Result<ImportReport, AuthoringError> {
+        self.policy.check(actor, Action::Exchange)?;
+        let mut report = ImportReport::default();
+        for problem in package.extract_problems()? {
+            let id = problem.id().clone();
+            match self.repository.insert_problem(problem) {
+                Ok(()) => report.imported_problems.push(id),
+                Err(mine_itembank::BankError::Duplicate { .. }) => {
+                    report.skipped_problems.push(id);
+                }
+                Err(err) => return Err(err.into()),
+            }
+        }
+        if let Some(exam) = package.extract_exam()? {
+            let id = exam.id().clone();
+            match self.repository.insert_exam(exam) {
+                Ok(()) => report.imported_exam = Some(id),
+                Err(mine_itembank::BankError::Duplicate { .. }) => {
+                    return Err(AuthoringError::ImportConflict {
+                        reason: format!("exam {id} already exists"),
+                    })
+                }
+                Err(err) => return Err(err.into()),
+            }
+        }
+        self.audit
+            .record(actor, "import-package", &package.manifest.identifier);
+        Ok(report)
+    }
+
+    // ----- QTI interchange (§2.3) --------------------------------------
+
+    /// Exports an exam as a QTI `questestinterop` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthoringError::Bank`] for an unknown exam and
+    /// [`AuthoringError::Qti`] for encoding failures.
+    pub fn export_qti(&self, actor: &str, exam_id: &ExamId) -> Result<Document, AuthoringError> {
+        self.policy.check(actor, Action::Exchange)?;
+        let (exam, problems) = self.repository.resolve_exam(exam_id)?;
+        let doc = mine_qti::assessment_to_qti(&exam, &problems)?;
+        self.audit.record(actor, "export-qti", exam_id.as_str());
+        Ok(doc)
+    }
+
+    /// Imports a QTI document: problems are inserted (skipping
+    /// duplicates) and the assessment becomes an exam.
+    ///
+    /// # Errors
+    ///
+    /// * [`AuthoringError::Qti`] for decoding failures,
+    /// * [`AuthoringError::ImportConflict`] when the exam id is taken.
+    pub fn import_qti(&self, actor: &str, doc: &Document) -> Result<ImportReport, AuthoringError> {
+        self.policy.check(actor, Action::Exchange)?;
+        let QtiAssessment { exam, problems } = mine_qti::assessment_from_qti(doc)?;
+        let mut report = ImportReport::default();
+        for problem in problems {
+            let id = problem.id().clone();
+            match self.repository.insert_problem(problem) {
+                Ok(()) => report.imported_problems.push(id),
+                Err(mine_itembank::BankError::Duplicate { .. }) => {
+                    report.skipped_problems.push(id);
+                }
+                Err(err) => return Err(err.into()),
+            }
+        }
+        let id = exam.id().clone();
+        match self.repository.insert_exam(exam) {
+            Ok(()) => report.imported_exam = Some(id),
+            Err(mine_itembank::BankError::Duplicate { .. }) => {
+                return Err(AuthoringError::ImportConflict {
+                    reason: format!("exam {id} already exists"),
+                })
+            }
+            Err(err) => return Err(err.into()),
+        }
+        self.audit.record(
+            actor,
+            "import-qti",
+            report.imported_exam.as_ref().map_or("-", ExamId::as_str),
+        );
+        Ok(report)
+    }
+
+    /// Exports a graded sitting as a QTI results report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthoringError::Forbidden`] under role enforcement.
+    pub fn export_results_qti(
+        &self,
+        actor: &str,
+        record: &ExamRecord,
+    ) -> Result<Document, AuthoringError> {
+        self.policy.check(actor, Action::Exchange)?;
+        let doc = mine_qti::results_to_qti(record);
+        self.audit
+            .record(actor, "export-results", record.exam.as_str());
+        Ok(doc)
+    }
+
+    // ----- delivery + monitor (§5) -------------------------------------
+
+    /// Starts a monitored exam session for a learner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthoringError::Bank`] for an unknown exam and
+    /// [`AuthoringError::Delivery`] for session failures.
+    pub fn deliver(
+        &self,
+        exam_id: &ExamId,
+        student: StudentId,
+        options: DeliveryOptions,
+    ) -> Result<(ExamSession, Monitor), AuthoringError> {
+        let (exam, problems) = self.repository.resolve_exam(exam_id)?;
+        let session = ExamSession::start(&exam, problems, student.clone(), options)?;
+        let monitor =
+            self.monitor_hub
+                .monitor(session.id().clone(), student, SnapshotPolicy::default());
+        Ok((session, monitor))
+    }
+
+    // ----- the analysis loop (§4) --------------------------------------
+
+    /// Runs the §4 analysis for a sitting of a stored exam.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthoringError::Bank`] for an unknown exam and
+    /// [`AuthoringError::Analysis`] for analysis failures.
+    pub fn analyze(
+        &self,
+        exam_id: &ExamId,
+        record: &ExamRecord,
+        config: &AnalysisConfig,
+    ) -> Result<ExamAnalysis, AuthoringError> {
+        let (_, problems) = self.repository.resolve_exam(exam_id)?;
+        Ok(ExamAnalysis::analyze(record, &problems, config)?)
+    }
+
+    /// Writes the measured indices back into problem metadata and the
+    /// measured average time into the exam metadata — closing the
+    /// paper's loop where "teachers can see the analysis of test result
+    /// and fix problematic questions".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthoringError::Bank`] when the exam or a problem
+    /// vanished between analysis and write-back.
+    pub fn apply_analysis(
+        &self,
+        actor: &str,
+        exam_id: &ExamId,
+        analysis: &ExamAnalysis,
+    ) -> Result<(), AuthoringError> {
+        self.policy.check(actor, Action::Analyze)?;
+        self.history.record_analysis(analysis);
+        for question in &analysis.questions {
+            let difficulty = DifficultyIndex::new(question.indices.difficulty.value())
+                .expect("index already validated");
+            let discrimination = DiscriminationIndex::new(question.indices.discrimination.value())
+                .expect("index already validated");
+            let mut notes = vec![question.advice.clone()];
+            notes.extend(question.distractors.iter().map(|d| d.describe()));
+            self.repository
+                .update_problem(&question.indices.problem, move |problem| {
+                    let test = problem
+                        .metadata_mut()
+                        .individual_test
+                        .get_or_insert_with(IndividualTestMeta::default);
+                    test.difficulty = Some(difficulty);
+                    test.discrimination = Some(discrimination);
+                    test.distraction = notes;
+                    Ok(())
+                })?;
+        }
+        let average_time = analysis.statistics.average_time;
+        self.repository.update_exam(exam_id, move |exam| {
+            exam.meta_mut().average_time = Some(average_time);
+            Ok(())
+        })?;
+        self.audit.record(actor, "apply-analysis", exam_id.as_str());
+        Ok(())
+    }
+
+    // ----- persistence --------------------------------------------------
+
+    /// Saves the whole database (problems, exams, templates) to a JSON
+    /// snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] on filesystem or encoding failure.
+    pub fn save_database(
+        &self,
+        actor: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<()> {
+        let snapshot = mine_itembank::RepositorySnapshot::capture(&self.repository);
+        snapshot.save(&path)?;
+        self.audit
+            .record(actor, "save-database", path.as_ref().display().to_string());
+        Ok(())
+    }
+
+    /// Loads a database snapshot file into a fresh authoring system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] on filesystem/decoding failure, or when
+    /// the snapshot's contents fail item-bank validation.
+    pub fn load_database(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let snapshot = mine_itembank::RepositorySnapshot::load(path)?;
+        let repository = snapshot
+            .restore()
+            .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string()))?;
+        Ok(Self {
+            repository,
+            monitor_hub: std::sync::Arc::new(MonitorHub::new()),
+            audit: AuditLog::new(),
+            policy: RolePolicy::new(),
+            history: HistoryStore::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_core::OptionKey;
+    use mine_itembank::ChoiceOption;
+    use mine_simulator::{CohortSpec, Simulation};
+
+    fn system_with_exam() -> (AuthoringSystem, ExamId) {
+        let system = AuthoringSystem::new();
+        for i in 0..5 {
+            system
+                .author_problem(
+                    "hung",
+                    Problem::multiple_choice(
+                        format!("q{i}"),
+                        format!("Question {i} about networking"),
+                        OptionKey::first(4).map(|k| ChoiceOption::new(k, format!("{k}"))),
+                        OptionKey::A,
+                    )
+                    .unwrap()
+                    .with_subject("networking"),
+                )
+                .unwrap();
+        }
+        let mut builder = Exam::builder("midterm").unwrap().title("Midterm");
+        for i in 0..5 {
+            builder = builder.entry(format!("q{i}").parse().unwrap());
+        }
+        system.author_exam("lin", builder.build().unwrap()).unwrap();
+        (system, "midterm".parse().unwrap())
+    }
+
+    #[test]
+    fn authoring_records_audit_entries() {
+        let (system, _) = system_with_exam();
+        assert_eq!(system.audit().len(), 6);
+        assert_eq!(system.audit().by_actor("lin").len(), 1);
+    }
+
+    #[test]
+    fn search_finds_authored_problems() {
+        let (system, _) = system_with_exam();
+        let hits = system.search_problems(&Query::text("networking"));
+        assert_eq!(hits.len(), 5);
+        let similar = system.similar_problems(&"q0".parse().unwrap(), 3);
+        assert_eq!(similar.len(), 3);
+    }
+
+    #[test]
+    fn scorm_export_publish_import_round_trip() {
+        let (system, exam_id) = system_with_exam();
+        let external = ExternalRepository::new();
+        system
+            .publish("lin", &exam_id, &external, "midterm-pkg")
+            .unwrap();
+        let fetched = external.fetch("midterm-pkg").unwrap();
+
+        // A fresh system imports everything.
+        let other = AuthoringSystem::new();
+        let report = other.import_package("chen", &fetched).unwrap();
+        assert_eq!(report.imported_problems.len(), 5);
+        assert!(report.skipped_problems.is_empty());
+        assert_eq!(report.imported_exam, Some(exam_id.clone()));
+        assert_eq!(other.repository().problem_count(), 5);
+        assert_eq!(other.repository().exam_count(), 1);
+
+        // Importing again skips problems and conflicts on the exam.
+        let err = other.import_package("chen", &fetched).unwrap_err();
+        assert!(matches!(err, AuthoringError::ImportConflict { .. }));
+    }
+
+    #[test]
+    fn qti_export_import_round_trip() {
+        let (system, exam_id) = system_with_exam();
+        let doc = system.export_qti("lin", &exam_id).unwrap();
+        let text = doc.to_xml_string();
+        let parsed = mine_xml::parse_document(&text).unwrap();
+        let other = AuthoringSystem::new();
+        let report = other.import_qti("chen", &parsed).unwrap();
+        assert_eq!(report.imported_problems.len(), 5);
+        assert_eq!(report.imported_exam, Some(exam_id));
+    }
+
+    #[test]
+    fn deliver_attaches_monitor() {
+        let (system, exam_id) = system_with_exam();
+        let (mut session, _monitor) = system
+            .deliver(
+                &exam_id,
+                "alice".parse().unwrap(),
+                DeliveryOptions::default(),
+            )
+            .unwrap();
+        session
+            .answer(
+                mine_core::Answer::Choice(OptionKey::A),
+                std::time::Duration::from_secs(5),
+            )
+            .unwrap();
+        let events = system.monitor_hub().drain();
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn analysis_loop_writes_back_metadata() {
+        let (system, exam_id) = system_with_exam();
+        let (exam, problems) = system.repository().resolve_exam(&exam_id).unwrap();
+        let record = Simulation::new(exam, problems)
+            .cohort(CohortSpec::new(44).seed(5))
+            .run()
+            .unwrap();
+        let analysis = system
+            .analyze(&exam_id, &record, &AnalysisConfig::default())
+            .unwrap();
+        system.apply_analysis("lin", &exam_id, &analysis).unwrap();
+
+        let q0 = system.repository().problem(&"q0".parse().unwrap()).unwrap();
+        let test = q0.metadata().individual_test.as_ref().unwrap();
+        assert!(test.difficulty.is_some());
+        assert!(test.discrimination.is_some());
+        assert!(!test.distraction.is_empty());
+        let exam = system.repository().exam(&exam_id).unwrap();
+        assert!(exam.meta().average_time.is_some());
+    }
+
+    #[test]
+    fn template_workflows() {
+        let system = AuthoringSystem::new();
+        let template = Template::new("t1".parse().unwrap(), "base layout");
+        system.add_template("hung", template).unwrap();
+        system
+            .duplicate_template(
+                "hung",
+                &"t1".parse().unwrap(),
+                "t2".parse().unwrap(),
+                "copy",
+            )
+            .unwrap();
+        assert_eq!(system.repository().template_count(), 2);
+        system
+            .delete_template("admin", &"t2".parse().unwrap())
+            .unwrap();
+        assert_eq!(system.repository().template_count(), 1);
+        assert!(system
+            .delete_template("admin", &"t2".parse().unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn edit_problem_bumps_version() {
+        let (system, _) = system_with_exam();
+        let id: ProblemId = "q0".parse().unwrap();
+        let version = system
+            .edit_problem("hung", &id, |p| {
+                p.set_subject("transport");
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(
+            system.repository().problem(&id).unwrap().subject().as_str(),
+            "transport"
+        );
+    }
+
+    #[test]
+    fn assemble_exam_from_blueprint() {
+        use mine_core::CognitionLevel;
+        let (system, _) = system_with_exam();
+        // Give the fixture problems cognition levels so the blueprint
+        // cells resolve: q0-q2 Knowledge, q3-q4 Comprehension.
+        for i in 0..5 {
+            system
+                .edit_problem("hung", &format!("q{i}").parse().unwrap(), |p| {
+                    p.set_cognition_level(if i < 3 {
+                        CognitionLevel::Knowledge
+                    } else {
+                        CognitionLevel::Comprehension
+                    });
+                    Ok(())
+                })
+                .unwrap();
+        }
+        let blueprint = mine_itembank::Blueprint::new()
+            .require("networking", CognitionLevel::Knowledge, 2)
+            .require("networking", CognitionLevel::Comprehension, 1);
+        let exam = system
+            .assemble_exam("lin", "blueprinted", "Blueprinted exam", &blueprint)
+            .unwrap();
+        assert_eq!(exam.len(), 3);
+        assert_eq!(system.repository().exam_count(), 2);
+
+        // Unsatisfiable blueprint reports the cells.
+        let impossible =
+            mine_itembank::Blueprint::new().require("networking", CognitionLevel::Evaluation, 1);
+        let err = system
+            .assemble_exam("lin", "impossible", "x", &impossible)
+            .unwrap_err();
+        assert!(err.to_string().contains("networking × F"), "{err}");
+    }
+
+    #[test]
+    fn role_enforcement_gates_operations() {
+        use crate::roles::Role;
+        let (system, exam_id) = system_with_exam();
+        system.policy().register("hung", Role::Author);
+        system.policy().register("lin", Role::Instructor);
+        system.policy().register("boss", Role::Administrator);
+        system.policy().register("kid", Role::Learner);
+        system.policy().enforce();
+
+        // Author can add content but not delete or analyze.
+        assert!(system
+            .author_problem("hung", Problem::true_false("extra", "x", true).unwrap())
+            .is_ok());
+        assert!(matches!(
+            system.delete_problem("hung", &"extra".parse().unwrap()),
+            Err(AuthoringError::Forbidden(_))
+        ));
+        // Learner can do none of the authoring actions.
+        assert!(matches!(
+            system.author_exam("kid", Exam::builder("nope").unwrap().build().unwrap()),
+            Err(AuthoringError::Forbidden(_))
+        ));
+        assert!(matches!(
+            system.export_scorm("kid", &exam_id),
+            Err(AuthoringError::Forbidden(_))
+        ));
+        // Unregistered actors are denied once enforcing.
+        assert!(matches!(
+            system.author_problem("ghost", Problem::true_false("g", "x", true).unwrap()),
+            Err(AuthoringError::Forbidden(_))
+        ));
+        // Administrator can delete.
+        assert!(system
+            .delete_problem("boss", &"extra".parse().unwrap())
+            .is_ok());
+        // Instructor can export.
+        assert!(system.export_scorm("lin", &exam_id).is_ok());
+    }
+
+    #[test]
+    fn apply_analysis_appends_history() {
+        let (system, exam_id) = system_with_exam();
+        let (exam, problems) = system.repository().resolve_exam(&exam_id).unwrap();
+        for seed in [5u64, 6] {
+            let record = Simulation::new(exam.clone(), problems.clone())
+                .cohort(CohortSpec::new(44).seed(seed))
+                .run()
+                .unwrap();
+            let analysis = system
+                .analyze(&exam_id, &record, &AnalysisConfig::default())
+                .unwrap();
+            system.apply_analysis("lin", &exam_id, &analysis).unwrap();
+        }
+        let history = system.history().history(&"q0".parse().unwrap());
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[1].sequence, 1);
+    }
+
+    #[test]
+    fn database_save_load_round_trip() {
+        let (system, exam_id) = system_with_exam();
+        let dir = std::env::temp_dir().join(format!("mine-auth-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        system.save_database("admin", &path).unwrap();
+        let loaded = AuthoringSystem::load_database(&path).unwrap();
+        assert_eq!(loaded.repository().problem_count(), 5);
+        assert_eq!(loaded.repository().exam_count(), 1);
+        let (exam, problems) = loaded.repository().resolve_exam(&exam_id).unwrap();
+        assert_eq!(exam.len(), 5);
+        assert_eq!(problems.len(), 5);
+        // Search index is rebuilt on restore.
+        assert_eq!(loaded.search_problems(&Query::text("networking")).len(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_database_rejects_corrupt_files() {
+        let dir = std::env::temp_dir().join(format!("mine-auth-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(AuthoringSystem::load_database(&path).is_err());
+        assert!(AuthoringSystem::load_database(dir.join("missing.json")).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delete_problem_then_exam_resolution_fails() {
+        let (system, exam_id) = system_with_exam();
+        system
+            .delete_problem("admin", &"q0".parse().unwrap())
+            .unwrap();
+        assert!(system.repository().resolve_exam(&exam_id).is_err());
+    }
+}

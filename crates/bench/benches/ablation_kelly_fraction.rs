@@ -1,0 +1,63 @@
+//! Ablation A1: the paper fixes the score-group fraction at 25 %; Kelly
+//! (1939) recommends 27 % with 25–33 % acceptable. Sweep the fraction on
+//! a fixed cohort and report how the discrimination estimates and
+//! signal mix move.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mine_analysis::{AnalysisConfig, ExamAnalysis, Signal};
+use mine_bench::{criterion_config, standard_problems, standard_record};
+use mine_core::GroupFraction;
+
+fn bench(c: &mut Criterion) {
+    let record = standard_record(15, 200, 11);
+    let problems = standard_problems(15);
+
+    println!("=== Ablation: group fraction 25% vs 27% vs 33% ===");
+    println!("fraction  mean D   greens  yellows  reds");
+    for fraction in [0.25, 0.27, 0.33] {
+        let config =
+            AnalysisConfig::default().with_group_fraction(GroupFraction::new(fraction).unwrap());
+        let analysis = ExamAnalysis::analyze(&record, &problems, &config).unwrap();
+        let mean_d: f64 = analysis
+            .questions
+            .iter()
+            .map(|q| q.indices.discrimination.value())
+            .sum::<f64>()
+            / analysis.questions.len() as f64;
+        let count = |signal: Signal| {
+            analysis
+                .questions
+                .iter()
+                .filter(|q| q.signal == signal)
+                .count()
+        };
+        println!(
+            "{:<9} {:+.3}   {:<7} {:<8} {}",
+            format!("{:.0}%", fraction * 100.0),
+            mean_d,
+            count(Signal::Green),
+            count(Signal::Yellow),
+            count(Signal::Red),
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_kelly");
+    for &fraction in &[0.25f64, 0.27, 0.33] {
+        let config =
+            AnalysisConfig::default().with_group_fraction(GroupFraction::new(fraction).unwrap());
+        group.bench_with_input(
+            BenchmarkId::new("analyze", format!("{:.0}pct", fraction * 100.0)),
+            &config,
+            |b, config| b.iter(|| ExamAnalysis::analyze(&record, &problems, config).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

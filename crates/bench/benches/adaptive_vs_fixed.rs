@@ -1,0 +1,107 @@
+//! Ablation A3 (the §6 extension): adaptive max-information testing vs.
+//! random selection at the same item budget — measurement error and
+//! runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mine_adaptive::{AdaptiveTest, ItemPool, SelectionStrategy, StopRule};
+use mine_bench::criterion_config;
+use mine_simulator::{CohortSpec, ItemParams};
+use rand::Rng;
+use rand::SeedableRng;
+
+fn pool(n: usize) -> ItemPool {
+    (0..n)
+        .map(|i| {
+            (
+                format!("item{i:03}").parse().unwrap(),
+                ItemParams::new(1.4, (i as f64 / (n - 1) as f64) * 6.0 - 3.0, 0.0),
+            )
+        })
+        .collect()
+}
+
+fn rmse(strategy_for: impl Fn(usize) -> SelectionStrategy, budget: usize) -> f64 {
+    let pool = pool(80);
+    let cohort = CohortSpec::new(60).seed(17).generate();
+    let rule = StopRule {
+        min_items: budget,
+        max_items: budget,
+        se_target: 0.0,
+    };
+    let mut sum_sq = 0.0;
+    for (i, student) in cohort.iter().enumerate() {
+        let mut test = AdaptiveTest::with_strategy(pool.clone(), rule, strategy_for(i));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9000 + i as u64);
+        while let Some((item, params)) = test.next_item() {
+            let correct = rng.gen_bool(params.p_correct(student.ability));
+            test.record(item, correct).unwrap();
+        }
+        sum_sq += (test.estimate().theta - student.ability).powi(2);
+    }
+    (sum_sq / cohort.len() as f64).sqrt()
+}
+
+fn bench(c: &mut Criterion) {
+    println!("=== Adaptive (max-information) vs randomesque vs random selection ===");
+    println!("budget  max-info RMSE  randomesque(5) RMSE  random RMSE");
+    for budget in [6usize, 12, 24] {
+        let adaptive = rmse(|_| SelectionStrategy::MaxInformation, budget);
+        let randomesque = rmse(
+            |i| SelectionStrategy::Randomesque {
+                top_k: 5,
+                seed: i as u64,
+            },
+            budget,
+        );
+        let random = rmse(|i| SelectionStrategy::Random { seed: i as u64 }, budget);
+        println!("{budget:<7} {adaptive:<14.3} {randomesque:<20.3} {random:.3}");
+    }
+
+    c.bench_function("adaptive/sitting_12_items_max_info", |b| {
+        let pool = pool(80);
+        b.iter(|| {
+            let mut test = AdaptiveTest::new(
+                pool.clone(),
+                StopRule {
+                    min_items: 12,
+                    max_items: 12,
+                    se_target: 0.0,
+                },
+            );
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            while let Some((item, params)) = test.next_item() {
+                let correct = rng.gen_bool(params.p_correct(0.5));
+                test.record(item, correct).unwrap();
+            }
+            test.estimate().theta
+        })
+    });
+    c.bench_function("adaptive/sitting_12_items_random", |b| {
+        let pool = pool(80);
+        b.iter(|| {
+            let mut test = AdaptiveTest::with_strategy(
+                pool.clone(),
+                StopRule {
+                    min_items: 12,
+                    max_items: 12,
+                    se_target: 0.0,
+                },
+                SelectionStrategy::Random { seed: 2 },
+            );
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            while let Some((item, params)) = test.next_item() {
+                let correct = rng.gen_bool(params.p_correct(0.5));
+                test.record(item, correct).unwrap();
+            }
+            test.estimate().theta
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Experiment F3–F5: throughput of the authoring flows behind the
+//! paper's interface figures — problem authoring, search, exam assembly
+//! with the group service, and SCORM export.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mine_authoring::AuthoringSystem;
+use mine_bench::{criterion_config, standard_exam, standard_problems};
+use mine_itembank::Query;
+
+fn loaded_system(n: usize) -> AuthoringSystem {
+    let system = AuthoringSystem::new();
+    for problem in standard_problems(n) {
+        system.author_problem("bench", problem).unwrap();
+    }
+    system.author_exam("bench", standard_exam(20)).unwrap();
+    system
+}
+
+fn bench(c: &mut Criterion) {
+    let system = loaded_system(500);
+    println!("=== Authoring flows (Figures 3-5) ===");
+    println!(
+        "bank: {} problems, {} exams",
+        system.repository().problem_count(),
+        system.repository().exam_count()
+    );
+    let hits = system.search_problems(&Query::builder().subject("tcp").build());
+    println!("subject search 'tcp' hits: {}", hits.len());
+
+    c.bench_function("authoring/author_problem", |b| {
+        // Criterion re-enters the routine for warmup and sampling; a
+        // process-wide counter keeps the ids unique across passes.
+        static COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        b.iter(|| {
+            let i = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let problem = mine_itembank::Problem::true_false(
+                format!("bench-new-{i}"),
+                "fresh statement",
+                true,
+            )
+            .unwrap();
+            system.author_problem("bench", problem).unwrap();
+        })
+    });
+
+    c.bench_function("authoring/search_text_500_bank", |b| {
+        let query = Query::text("question text benchmarking");
+        b.iter(|| system.search_problems(&query).len())
+    });
+
+    c.bench_function("authoring/similar_problems", |b| {
+        let id = "q001".parse().unwrap();
+        b.iter(|| system.similar_problems(&id, 10).len())
+    });
+
+    c.bench_function("authoring/export_scorm_20q_exam", |b| {
+        let exam_id = "bench-exam".parse().unwrap();
+        b.iter(|| system.export_scorm("bench", &exam_id).unwrap().total_size())
+    });
+
+    c.bench_function("authoring/export_qti_20q_exam", |b| {
+        let exam_id = "bench-exam".parse().unwrap();
+        b.iter(|| {
+            system
+                .export_qti("bench", &exam_id)
+                .unwrap()
+                .to_xml_string()
+                .len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation A2: the paper's D = PH − PL vs. the point-biserial
+//! correlation used by Moodle-style item analysis. Both should rank the
+//! items nearly identically (high Spearman agreement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mine_analysis::baseline::spearman_rank;
+use mine_analysis::{point_biserial, AnalysisConfig, ExamAnalysis};
+use mine_bench::{criterion_config, standard_problems, standard_record};
+
+fn bench(c: &mut Criterion) {
+    let record = standard_record(20, 300, 13);
+    let problems = standard_problems(20);
+    let analysis = ExamAnalysis::analyze(&record, &problems, &AnalysisConfig::default()).unwrap();
+
+    let d_values: Vec<f64> = analysis
+        .questions
+        .iter()
+        .map(|q| q.indices.discrimination.value())
+        .collect();
+    let r_values: Vec<f64> = record
+        .problems()
+        .iter()
+        .map(|p| point_biserial(&record, p).unwrap())
+        .collect();
+
+    println!("=== Baseline: D = PH−PL vs point-biserial r ===");
+    println!("question   D       r_pb");
+    for (i, (d, r)) in d_values.iter().zip(&r_values).enumerate() {
+        println!("q{i:03}       {d:+.3}  {r:+.3}");
+    }
+    let rho = spearman_rank(&d_values, &r_values);
+    println!("\nSpearman rank agreement: {rho:.3} (strongly positive expected: both indices rank items similarly)");
+
+    c.bench_function("baseline/point_biserial_one_item", |b| {
+        let problem = &record.problems()[0];
+        b.iter(|| point_biserial(&record, problem).unwrap())
+    });
+    c.bench_function("baseline/point_biserial_all_20", |b| {
+        b.iter(|| {
+            record
+                .problems()
+                .iter()
+                .map(|p| point_biserial(&record, p).unwrap())
+                .sum::<f64>()
+        })
+    });
+    c.bench_function("baseline/spearman_agreement", |b| {
+        b.iter(|| spearman_rank(&d_values, &r_values))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

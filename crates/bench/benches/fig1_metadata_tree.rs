@@ -1,0 +1,70 @@
+//! Experiment F1: regenerate Figure 1 — the MINE SCORM Meta-data tree
+//! with its ten sections — and measure metadata XML binding.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mine_bench::criterion_config;
+use mine_core::{Answer, CognitionLevel, OptionKey, Subject};
+use mine_metadata::{
+    CognitionMeta, Contributor, DifficultyIndex, DiscriminationIndex, DisplayOrder, ExamMeta,
+    IndividualTestMeta, MineMetadata, QuestionStyle, QuestionnaireMeta,
+};
+
+fn full_metadata() -> MineMetadata {
+    MineMetadata::builder("mine-q2")
+        .title("Question no. 2")
+        .description("The §4.1.2 worked example")
+        .language("en")
+        .keyword("tcp")
+        .keyword("assessment")
+        .contributor(Contributor::new("author", "Jason C. Hung"))
+        .cognition(
+            CognitionMeta::new(CognitionLevel::Comprehension)
+                .with_objective("explain flow control"),
+        )
+        .style(QuestionStyle::MultipleChoice)
+        .questionnaire(QuestionnaireMeta {
+            resumable: true,
+            display_type: DisplayOrder::Fixed,
+        })
+        .individual_test(IndividualTestMeta {
+            answer: Some(Answer::Choice(OptionKey::C)),
+            subject: Subject::new("networking"),
+            difficulty: Some(DifficultyIndex::new(0.635).unwrap()),
+            discrimination: Some(DiscriminationIndex::new(0.55).unwrap()),
+            distraction: vec!["option B lures the low group".into()],
+        })
+        .exam(ExamMeta {
+            average_time: Some(Duration::from_secs(40)),
+            test_time: Some(Duration::from_secs(3600)),
+            instructional_sensitivity: Some(0.22),
+        })
+        .build()
+}
+
+fn bench(c: &mut Criterion) {
+    let meta = full_metadata();
+    println!("=== Figure 1 (the MINE SCORM Meta-data tree, ten sections) ===");
+    print!("{}", meta.render_tree());
+    println!("\nXML binding sample:");
+    println!("{}", meta.to_xml_element().to_xml_string());
+
+    c.bench_function("fig1/render_tree", |b| b.iter(|| meta.render_tree()));
+    c.bench_function("fig1/to_xml", |b| b.iter(|| meta.to_xml_element()));
+    let text = meta.to_xml_element().to_xml_string();
+    c.bench_function("fig1/xml_round_trip", |b| {
+        b.iter(|| {
+            let parsed = mine_xml::parse_document(&text).unwrap();
+            MineMetadata::from_xml_element(&parsed.root).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Experiment F2: regenerate the Figure 2 whole-test signal interface
+//! for a 44-student class (the paper's worked setting: groups of 11),
+//! including the no. 2 / no. 6 style verdicts, and measure the full
+//! analysis + report path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mine_analysis::{render_signal_report, AnalysisConfig, ExamAnalysis};
+use mine_bench::{criterion_config, standard_problems, standard_record};
+use mine_metadata::{DifficultyIndex, DiscriminationIndex};
+
+fn bench(c: &mut Criterion) {
+    // The paper's class: 44 students, groups of 11.
+    let record = standard_record(10, 44, 2004);
+    let problems = standard_problems(10);
+    let analysis = ExamAnalysis::analyze(&record, &problems, &AnalysisConfig::default()).unwrap();
+
+    println!("=== Figure 2 (whole-test signal interface) ===");
+    print!("{}", render_signal_report(&analysis));
+
+    println!("\npaper worked values for reference:");
+    let ph = DifficultyIndex::from_counts(10, 11).unwrap();
+    let pl = DifficultyIndex::from_counts(4, 11).unwrap();
+    let d = DiscriminationIndex::from_groups(ph, pl);
+    println!(
+        "  no. 2: PH={:.2} PL={:.2} D={:.2} P={:.3} → green",
+        ph.value(),
+        pl.value(),
+        d.value(),
+        (ph.value() + pl.value()) / 2.0,
+    );
+    let ph6 = DifficultyIndex::from_counts(5, 11).unwrap();
+    let d6 = DiscriminationIndex::from_groups(ph6, pl);
+    println!(
+        "  no. 6: PH={:.2} PL={:.2} D={:.2} → red, rule 1 on option A",
+        ph6.value(),
+        pl.value(),
+        d6.value(),
+    );
+
+    c.bench_function("fig2/analyze_44_students_10_questions", |b| {
+        b.iter(|| ExamAnalysis::analyze(&record, &problems, &AnalysisConfig::default()).unwrap())
+    });
+    c.bench_function("fig2/render_report", |b| {
+        b.iter(|| render_signal_report(&analysis))
+    });
+
+    // Scaling: a big lecture course.
+    let big_record = standard_record(30, 400, 7);
+    let big_problems = standard_problems(30);
+    c.bench_function("fig2/analyze_400_students_30_questions", |b| {
+        b.iter(|| {
+            ExamAnalysis::analyze(&big_record, &big_problems, &AnalysisConfig::default()).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Experiment F-cog: regenerate §4.2.1 figure (3) — cognition level (x)
+//! vs. learning-content subject (y) — and measure matrix construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mine_analysis::figures::cognition_subject_matrix;
+use mine_bench::{criterion_config, standard_problems};
+use mine_core::CognitionLevel;
+
+fn bench(c: &mut Criterion) {
+    let problems = standard_problems(30);
+    let matrix = cognition_subject_matrix(&problems);
+
+    println!("=== Figure: cognition level vs. subject (§4.2.1-3) ===");
+    print!("{:<12}", "subject");
+    for level in CognitionLevel::ALL {
+        print!("{:<4}", level.letter());
+    }
+    println!();
+    for (subject, row) in &matrix {
+        print!("{subject:<12}");
+        for count in row {
+            print!("{count:<4}");
+        }
+        println!();
+    }
+
+    c.bench_function("fig_cog/matrix_30_problems", |b| {
+        b.iter(|| cognition_subject_matrix(&problems))
+    });
+    let big = standard_problems(1000);
+    c.bench_function("fig_cog/matrix_1000_problems", |b| {
+        b.iter(|| cognition_subject_matrix(&big))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Experiment F-score: regenerate §4.2.1 figure (2) — test score (x)
+//! vs. degree of difficulty (y), "the distribution of score and
+//! difficulty" — and measure scatter construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mine_analysis::figures::{render_ascii, score_difficulty_scatter};
+use mine_analysis::{AnalysisConfig, ExamAnalysis, QuestionIndices, ScoreGroups};
+use mine_bench::{criterion_config, standard_problems, standard_record};
+use mine_core::GroupFraction;
+
+fn bench(c: &mut Criterion) {
+    let record = standard_record(20, 120, 5);
+    let problems = standard_problems(20);
+    let analysis = ExamAnalysis::analyze(&record, &problems, &AnalysisConfig::default()).unwrap();
+
+    println!("=== Figure: score vs. difficulty (§4.2.1-2) ===");
+    println!("(x = student total score, y = mean P of their correct answers;");
+    println!(" weak students survive only on easy items → downward slope)");
+    print!(
+        "{}",
+        render_ascii(&analysis.figures.score_difficulty, 60, 12)
+    );
+
+    let groups = ScoreGroups::split(&record, GroupFraction::PAPER).unwrap();
+    let indices = QuestionIndices::table(&record, &groups, &record.problems()).unwrap();
+    c.bench_function("fig_score/scatter_120_students", |b| {
+        b.iter(|| score_difficulty_scatter(&record, &indices))
+    });
+
+    let big_record = standard_record(20, 600, 6);
+    let big_groups = ScoreGroups::split(&big_record, GroupFraction::PAPER).unwrap();
+    let big_indices =
+        QuestionIndices::table(&big_record, &big_groups, &big_record.problems()).unwrap();
+    c.bench_function("fig_score/scatter_600_students", |b| {
+        b.iter(|| score_difficulty_scatter(&big_record, &big_indices))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Experiment F-time: regenerate §4.2.1 figure (1) — time (x) vs.
+//! number of answered questions (y), which "shows the test time is
+//! enough or not" — and measure series construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mine_analysis::figures::{render_ascii, time_answered_series};
+use mine_bench::{criterion_config, standard_exam, standard_problems};
+use mine_simulator::{CohortSpec, PacingModel, Simulation};
+
+fn bench(c: &mut Criterion) {
+    // A generous sitting vs. a squeezed one: same class, half the limit.
+    let relaxed = Simulation::new(standard_exam(15), standard_problems(15))
+        .cohort(CohortSpec::new(44).seed(3))
+        .pacing(PacingModel {
+            base_seconds: 40.0,
+            jitter: 0.3,
+        })
+        .run()
+        .unwrap();
+    let mut squeezed_exam = standard_exam(15);
+    squeezed_exam.meta_mut().test_time = Some(std::time::Duration::from_secs(300));
+    let squeezed = Simulation::new(squeezed_exam, standard_problems(15))
+        .cohort(CohortSpec::new(44).seed(3))
+        .pacing(PacingModel {
+            base_seconds: 40.0,
+            jitter: 0.3,
+        })
+        .run()
+        .unwrap();
+
+    println!("=== Figure: time vs. questions answered (§4.2.1-1) ===");
+    println!("unlimited time (class finishes):");
+    print!(
+        "{}",
+        render_ascii(&time_answered_series(&relaxed, 24), 60, 10)
+    );
+    println!("\n300-second limit (curve flattens early → time not enough):");
+    print!(
+        "{}",
+        render_ascii(&time_answered_series(&squeezed, 24), 60, 10)
+    );
+    let final_relaxed = time_answered_series(&relaxed, 24).last().unwrap().y;
+    let final_squeezed = time_answered_series(&squeezed, 24).last().unwrap().y;
+    println!(
+        "\nfinal mean answered: unlimited {final_relaxed:.1}/15 vs limited {final_squeezed:.1}/15"
+    );
+
+    c.bench_function("fig_time/series_44_students", |b| {
+        b.iter(|| time_answered_series(&relaxed, 24))
+    });
+    let big = Simulation::new(standard_exam(15), standard_problems(15))
+        .cohort(CohortSpec::new(500).seed(4))
+        .run()
+        .unwrap();
+    c.bench_function("fig_time/series_500_students", |b| {
+        b.iter(|| time_answered_series(&big, 24))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

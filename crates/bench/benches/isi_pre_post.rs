@@ -1,0 +1,56 @@
+//! Experiment ISI: the §3.4-III Instructional Sensitivity Index from
+//! pre/post-instruction sittings of the same cohort.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mine_analysis::isi::instructional_sensitivity;
+use mine_bench::{criterion_config, standard_exam, standard_problems};
+use mine_simulator::{CohortSpec, Simulation};
+
+fn bench(c: &mut Criterion) {
+    let simulation = Simulation::new(standard_exam(12), standard_problems(12));
+    let (pre, post) = simulation
+        .run_pre_post(CohortSpec::new(120).seed(42), 1.0)
+        .unwrap();
+    let isi = instructional_sensitivity(&pre, &post).unwrap();
+
+    println!("=== Instructional Sensitivity Index (§3.4-III) ===");
+    println!("question       P_pre  P_post  ISI");
+    for q in &isi.per_question {
+        println!(
+            "{:<14} {:.2}   {:.2}    {:+.2}",
+            q.problem.as_str(),
+            q.p_pre,
+            q.p_post,
+            q.isi
+        );
+    }
+    println!("exam-level ISI: {:+.3}", isi.exam_level);
+    println!(
+        "(instruction gain of +1.0 ability should yield a clearly positive index: {})",
+        if isi.exam_level > 0.05 {
+            "yes"
+        } else {
+            "NO — check the model"
+        }
+    );
+
+    c.bench_function("isi/compute_120_students_12_questions", |b| {
+        b.iter(|| instructional_sensitivity(&pre, &post).unwrap())
+    });
+    c.bench_function("isi/simulate_and_compute", |b| {
+        b.iter(|| {
+            let (pre, post) = simulation
+                .run_pre_post(CohortSpec::new(40).seed(1), 1.0)
+                .unwrap();
+            instructional_sensitivity(&pre, &post).unwrap().exam_level
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Experiment §4.1.1 number representation: regenerate the
+//! `No | PH | PL | D | P` table and measure index computation end to
+//! end, including the five-step procedure (sort, split, count, P, D).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mine_analysis::{QuestionIndices, ScoreGroups};
+use mine_bench::{criterion_config, standard_record};
+use mine_core::GroupFraction;
+
+fn bench(c: &mut Criterion) {
+    let record = standard_record(10, 44, 2004);
+    let groups = ScoreGroups::split(&record, GroupFraction::PAPER).unwrap();
+    let rows = QuestionIndices::table(&record, &groups, &record.problems()).unwrap();
+
+    println!("=== §4.1.1 number representation table ===");
+    print!("{}", QuestionIndices::render_table(&rows));
+
+    let mut group = c.benchmark_group("number_table");
+    for &(questions, class) in &[(10usize, 44usize), (30, 200), (50, 1000)] {
+        let record = standard_record(questions, class, 3);
+        group.bench_with_input(
+            BenchmarkId::new("split_and_table", format!("{questions}q_{class}s")),
+            &record,
+            |b, record| {
+                b.iter(|| {
+                    let groups = ScoreGroups::split(record, GroupFraction::PAPER).unwrap();
+                    QuestionIndices::table(record, &groups, &record.problems()).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Experiment S1: the §5.5 SCORM format output service — package
+//! build / serialize / re-parse across bank sizes, plus RTE API call
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mine_bench::{criterion_config, standard_exam, standard_problems};
+use mine_scorm::{ApiAdapter, ContentPackage};
+
+fn bench(c: &mut Criterion) {
+    let package = ContentPackage::builder("PKG-BENCH")
+        .exam(standard_exam(10))
+        .problems(standard_problems(10))
+        .build()
+        .unwrap();
+    println!("=== SCORM package output (§5.5) ===");
+    println!(
+        "10-problem package: {} files, {} bytes",
+        package.files.len(),
+        package.total_size()
+    );
+    println!("manifest head:");
+    for line in package.files["imsmanifest.xml"].lines().take(8) {
+        println!("  {line}");
+    }
+
+    let mut group = c.benchmark_group("scorm_package");
+    for &n in &[5usize, 25, 100] {
+        let problems = standard_problems(n);
+        let exam = standard_exam(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| {
+                ContentPackage::builder("PKG")
+                    .exam(exam.clone())
+                    .problems(problems.clone())
+                    .build()
+                    .unwrap()
+            })
+        });
+        let files = ContentPackage::builder("PKG")
+            .exam(exam.clone())
+            .problems(problems.clone())
+            .build()
+            .unwrap()
+            .into_files();
+        group.bench_with_input(BenchmarkId::new("parse", n), &n, |b, _| {
+            b.iter(|| ContentPackage::from_files(files.clone()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("extract_problems", n), &n, |b, _| {
+            let pkg = ContentPackage::from_files(files.clone()).unwrap();
+            b.iter(|| pkg.extract_problems().unwrap())
+        });
+    }
+    group.finish();
+
+    c.bench_function("scorm_rte/full_session_protocol", |b| {
+        b.iter(|| {
+            let mut api = ApiAdapter::new();
+            api.lms_initialize("");
+            for i in 0..10 {
+                api.lms_set_value(&format!("cmi.interactions.{i}.id"), "q")
+                    .unwrap();
+                api.lms_set_value(&format!("cmi.interactions.{i}.result"), "correct")
+                    .unwrap();
+            }
+            api.lms_set_value("cmi.core.score.raw", "90").unwrap();
+            api.lms_set_value("cmi.core.lesson_status", "passed")
+                .unwrap();
+            api.lms_commit("");
+            api.lms_finish("");
+            api.commit_count()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

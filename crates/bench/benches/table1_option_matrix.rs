@@ -1,0 +1,110 @@
+//! Experiment T1 + R1–R4: regenerate Table 1 (the problem-attribute
+//! matrix) and the four rule examples of §4.1.2, then measure matrix
+//! extraction and rule evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use mine_analysis::rules::evaluate_rules;
+use mine_analysis::{OptionMatrix, ScoreGroups};
+use mine_bench::{criterion_config, standard_record};
+use mine_core::{GroupFraction, OptionKey};
+
+fn print_paper_examples() {
+    println!("=== Table 1 / Rules 1-4 (paper §4.1.2) ===");
+    let examples: [(&str, OptionKey, [usize; 5], [usize; 5]); 4] = [
+        (
+            "Example 1 (Rule 1)",
+            OptionKey::A,
+            [12, 2, 0, 3, 3],
+            [6, 4, 0, 5, 5],
+        ),
+        (
+            "Example 2 (Rule 2)",
+            OptionKey::C,
+            [1, 2, 10, 0, 7],
+            [2, 2, 13, 1, 2],
+        ),
+        (
+            "Example 3 (Rule 3)",
+            OptionKey::A,
+            [15, 2, 2, 0, 1],
+            [5, 4, 5, 4, 2],
+        ),
+        (
+            "Example 4 (Rule 4)",
+            OptionKey::A,
+            [4, 4, 4, 2, 6],
+            [5, 4, 5, 4, 2],
+        ),
+    ];
+    for (name, correct, high, low) in examples {
+        let matrix = OptionMatrix::from_counts(
+            "example".parse().unwrap(),
+            correct,
+            high.to_vec(),
+            low.to_vec(),
+        );
+        let findings = evaluate_rules(&matrix, 0.2);
+        println!("{name}:");
+        print!("{}", matrix.render());
+        println!(
+            "  rule1 (low allure): {:?} | rule2 (not well defined): {:?} | rule3: {} | rule4: {}",
+            findings
+                .low_allure
+                .iter()
+                .map(|k| k.letter())
+                .collect::<Vec<_>>(),
+            findings
+                .not_well_defined
+                .iter()
+                .map(|f| f.option.letter())
+                .collect::<Vec<_>>(),
+            findings.low_group_lacks_concept,
+            findings.both_groups_lack_concept,
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_paper_examples();
+
+    let record = standard_record(20, 200, 1);
+    let groups = ScoreGroups::split(&record, GroupFraction::PAPER).unwrap();
+    let problems = record.problems();
+
+    c.bench_function("table1/matrix_from_record_200_students", |b| {
+        b.iter(|| {
+            OptionMatrix::from_record(&record, &groups, &problems[0], 5, OptionKey::A).unwrap()
+        })
+    });
+
+    let matrix =
+        OptionMatrix::from_record(&record, &groups, &problems[0], 5, OptionKey::A).unwrap();
+    c.bench_function("table1/evaluate_rules", |b| {
+        b.iter_batched(
+            || matrix.clone(),
+            |m| evaluate_rules(&m, 0.2),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("table1/all_questions_20", |b| {
+        b.iter(|| {
+            problems
+                .iter()
+                .map(|p| {
+                    let m =
+                        OptionMatrix::from_record(&record, &groups, p, 5, OptionKey::A).unwrap();
+                    evaluate_rules(&m, 0.2)
+                })
+                .count()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Experiment T2: regenerate Table 2 (rule → status matrix) and measure
+//! the status mapping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mine_analysis::rules::evaluate_rules;
+use mine_analysis::status::render_rule_status_table;
+use mine_analysis::{OptionMatrix, StatusFlags};
+use mine_bench::criterion_config;
+use mine_core::OptionKey;
+
+fn bench(c: &mut Criterion) {
+    println!("=== Table 2 (rule → status) ===");
+    print!("{}", render_rule_status_table());
+
+    let matrices: Vec<OptionMatrix> = [
+        ([12usize, 2, 0, 3, 3], [6usize, 4, 0, 5, 5], OptionKey::A),
+        ([1, 2, 10, 0, 7], [2, 2, 13, 1, 2], OptionKey::C),
+        ([15, 2, 2, 0, 1], [5, 4, 5, 4, 2], OptionKey::A),
+        ([4, 4, 4, 2, 6], [5, 4, 5, 4, 2], OptionKey::A),
+    ]
+    .into_iter()
+    .map(|(high, low, correct)| {
+        OptionMatrix::from_counts("m".parse().unwrap(), correct, high.to_vec(), low.to_vec())
+    })
+    .collect();
+
+    println!("\nstatus labels per example:");
+    for (i, matrix) in matrices.iter().enumerate() {
+        let status = StatusFlags::from_rules(&evaluate_rules(matrix, 0.2));
+        println!("  example {}: {:?}", i + 1, status.labels());
+    }
+
+    c.bench_function("table2/status_from_rules_x4", |b| {
+        b.iter(|| {
+            matrices
+                .iter()
+                .map(|m| StatusFlags::from_rules(&evaluate_rules(m, 0.2)))
+                .filter(StatusFlags::any)
+                .count()
+        })
+    });
+
+    c.bench_function("table2/render_static_table", |b| {
+        b.iter(render_rule_status_table)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Experiment T3: regenerate Table 3 (signal bands and advice) across a
+//! D sweep and measure classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mine_analysis::rules::RuleFindings;
+use mine_analysis::SignalPolicy;
+use mine_bench::criterion_config;
+use mine_metadata::DiscriminationIndex;
+
+fn bench(c: &mut Criterion) {
+    let policy = SignalPolicy::default();
+
+    println!("=== Table 3 (signal bands) ===");
+    println!("Status            Light   D band");
+    println!("Good              Green   D ≥ 0.30");
+    println!("Fix               Yellow  0.20 ≤ D ≤ 0.29");
+    println!("Eliminate or fix  Red     D ≤ 0.19");
+    println!("\nD sweep:");
+    for step in 0..=10 {
+        let d = DiscriminationIndex::new(step as f64 / 10.0).unwrap();
+        println!(
+            "  D = {:.2} → {:<6} ({})",
+            d.value(),
+            policy.classify(d).to_string(),
+            policy.advice(d, &RuleFindings::default()),
+        );
+    }
+
+    let sweep: Vec<DiscriminationIndex> = (-100..=100)
+        .map(|i| DiscriminationIndex::new(f64::from(i) / 100.0).unwrap())
+        .collect();
+    c.bench_function("table3/classify_sweep_201", |b| {
+        b.iter(|| {
+            sweep
+                .iter()
+                .map(|&d| policy.classify(d))
+                .filter(|s| *s == mine_analysis::Signal::Green)
+                .count()
+        })
+    });
+    c.bench_function("table3/advice_generation", |b| {
+        let d = DiscriminationIndex::new(0.25).unwrap();
+        b.iter(|| policy.advice(d, &RuleFindings::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

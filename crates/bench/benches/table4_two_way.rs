@@ -1,0 +1,50 @@
+//! Experiment T4: regenerate Table 4 (the two-way specification table)
+//! with the §4.2.3 analyses (concept lost, cognition pyramid, paint
+//! distribution) and measure table construction across bank sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mine_analysis::TwoWayTable;
+use mine_bench::{criterion_config, standard_problems};
+
+fn bench(c: &mut Criterion) {
+    let problems = standard_problems(24);
+    let table = TwoWayTable::from_problems(&problems);
+
+    println!("=== Table 4 (two-way specification table) ===");
+    print!("{}", table.render());
+    println!("\npaint distribution (§4.2.3-3):");
+    print!("{}", table.render_paint());
+    println!(
+        "concept lost check vs syllabus [tcp, routing, dns, qos]: {:?}",
+        table.lost_concepts(&["tcp", "routing", "dns", "qos"]),
+    );
+    match table.cognition_pyramid_violation() {
+        None => println!("cognition pyramid SUM(A) ≥ … ≥ SUM(F): holds"),
+        Some((a, b)) => println!("cognition pyramid violated: SUM({a}) < SUM({b})"),
+    }
+
+    let mut group = c.benchmark_group("table4");
+    for &n in &[10usize, 100, 1000] {
+        let problems = standard_problems(n);
+        group.bench_with_input(BenchmarkId::new("build", n), &problems, |b, problems| {
+            b.iter(|| TwoWayTable::from_problems(problems))
+        });
+    }
+    group.finish();
+
+    c.bench_function("table4/analyses", |b| {
+        b.iter(|| {
+            let lost = table.lost_concepts(&["tcp", "routing", "dns", "qos"]).len();
+            (lost, table.cognition_pyramid_ok(), table.total())
+        })
+    });
+    c.bench_function("table4/render_paint", |b| b.iter(|| table.render_paint()));
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Shared workloads and configuration for the benchmark harness.
+//!
+//! Every bench regenerates one table or figure of the paper (see
+//! `DESIGN.md` §4 for the experiment index): it first *prints* the
+//! artifact once, then measures the code path that produces it with
+//! Criterion.
+
+use std::time::Duration;
+
+use criterion::Criterion;
+
+use mine_core::{CognitionLevel, ExamRecord, OptionKey};
+use mine_itembank::{ChoiceOption, Exam, Problem};
+use mine_simulator::{CohortSpec, ItemParams, Simulation};
+
+/// Criterion tuned for a large suite: short warmup/measurement.
+#[must_use]
+pub fn criterion_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700))
+        .sample_size(10)
+        .configure_from_args()
+}
+
+/// A standard bank of `n` five-option choice problems across three
+/// subjects and all six Bloom levels.
+#[must_use]
+pub fn standard_problems(n: usize) -> Vec<Problem> {
+    (0..n)
+        .map(|i| {
+            Problem::multiple_choice(
+                format!("q{i:03}"),
+                format!("Question {i} text body for benchmarking"),
+                OptionKey::first(5).map(|k| ChoiceOption::new(k, format!("option {k}"))),
+                OptionKey::A,
+            )
+            .unwrap()
+            .with_subject(["tcp", "routing", "dns"][i % 3])
+            .with_cognition_level(CognitionLevel::ALL[i % 6])
+        })
+        .collect()
+}
+
+/// An exam over [`standard_problems`]`(n)`.
+///
+/// # Panics
+///
+/// Panics only on programmer error (identifiers are statically valid).
+#[must_use]
+pub fn standard_exam(n: usize) -> Exam {
+    let mut builder = Exam::builder("bench-exam").unwrap().title("Bench exam");
+    for i in 0..n {
+        builder = builder.entry(format!("q{i:03}").parse().unwrap());
+    }
+    builder.build().unwrap()
+}
+
+/// A simulated sitting of the standard exam: `class` students, items
+/// laddered in difficulty so the analysis has structure to find.
+#[must_use]
+pub fn standard_record(n_questions: usize, class: usize, seed: u64) -> ExamRecord {
+    let mut simulation =
+        Simulation::new(standard_exam(n_questions), standard_problems(n_questions))
+            .cohort(CohortSpec::new(class).seed(seed));
+    for i in 0..n_questions {
+        let b = (i as f64 / n_questions.max(2) as f64) * 3.0 - 1.5;
+        simulation = simulation.item_params(
+            format!("q{i:03}").parse().unwrap(),
+            ItemParams::multiple_choice(1.2, b, 5),
+        );
+    }
+    simulation.run().expect("standard simulation runs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_workloads_are_consistent() {
+        let problems = standard_problems(12);
+        let exam = standard_exam(12);
+        assert_eq!(problems.len(), exam.len());
+        let record = standard_record(12, 20, 1);
+        assert_eq!(record.class_size(), 20);
+        record.validate().unwrap();
+    }
+}

@@ -1,0 +1,265 @@
+//! Bloom's taxonomy of the cognitive domain (§3.1 of the paper).
+//!
+//! The paper adopts the six levels of Bloom's cognitive domain and names
+//! them `A` through `F` in its two-way specification table (§4.2.2):
+//! Knowledge, Comprehension, Application, Analysis, Synthesis, Evaluation.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+
+/// One of the six levels of Bloom's cognitive domain.
+///
+/// Levels are totally ordered from the shallowest ([`Knowledge`]) to the
+/// deepest ([`Evaluation`]); the paper's whole-test analysis (§4.2.3) checks
+/// that a well-formed exam asks *at least as many* questions at each
+/// shallower level as at the next deeper one.
+///
+/// # Examples
+///
+/// ```
+/// use mine_core::CognitionLevel;
+///
+/// let all: Vec<_> = CognitionLevel::ALL.to_vec();
+/// assert_eq!(all.len(), 6);
+/// assert_eq!(CognitionLevel::Knowledge.letter(), 'A');
+/// assert_eq!("Synthesis".parse::<CognitionLevel>().unwrap(), CognitionLevel::Synthesis);
+/// ```
+///
+/// [`Knowledge`]: CognitionLevel::Knowledge
+/// [`Evaluation`]: CognitionLevel::Evaluation
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum CognitionLevel {
+    /// Recall of facts and terminology (level `A`).
+    #[default]
+    Knowledge,
+    /// Grasping the meaning of material (level `B`).
+    Comprehension,
+    /// Using learned material in new situations (level `C`).
+    Application,
+    /// Breaking material into its parts (level `D`).
+    Analysis,
+    /// Putting parts together into a new whole (level `E`).
+    Synthesis,
+    /// Judging the value of material (level `F`).
+    Evaluation,
+}
+
+impl CognitionLevel {
+    /// All six levels, ordered `A` → `F`.
+    pub const ALL: [CognitionLevel; 6] = [
+        CognitionLevel::Knowledge,
+        CognitionLevel::Comprehension,
+        CognitionLevel::Application,
+        CognitionLevel::Analysis,
+        CognitionLevel::Synthesis,
+        CognitionLevel::Evaluation,
+    ];
+
+    /// The number of levels in the taxonomy.
+    pub const COUNT: usize = 6;
+
+    /// The single-letter code (`'A'`–`'F'`) used by the paper's two-way
+    /// specification table (§4.2.2, definition 1).
+    ///
+    /// ```
+    /// use mine_core::CognitionLevel;
+    /// assert_eq!(CognitionLevel::Evaluation.letter(), 'F');
+    /// ```
+    #[must_use]
+    pub fn letter(self) -> char {
+        (b'A' + self.index() as u8) as char
+    }
+
+    /// Zero-based position of the level (`Knowledge` = 0 … `Evaluation` = 5).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a level from its zero-based index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCognitionLevel`] when `index > 5`.
+    pub fn from_index(index: usize) -> Result<Self, CoreError> {
+        Self::ALL
+            .get(index)
+            .copied()
+            .ok_or(CoreError::InvalidCognitionLevel(index.to_string()))
+    }
+
+    /// Builds a level from its letter code (`'A'`–`'F'`, case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCognitionLevel`] for letters outside
+    /// `A`–`F`.
+    pub fn from_letter(letter: char) -> Result<Self, CoreError> {
+        let upper = letter.to_ascii_uppercase();
+        if !upper.is_ascii_uppercase() {
+            return Err(CoreError::InvalidCognitionLevel(letter.to_string()));
+        }
+        Self::from_index((upper as u8).wrapping_sub(b'A') as usize)
+            .map_err(|_| CoreError::InvalidCognitionLevel(letter.to_string()))
+    }
+
+    /// The next deeper level, or `None` at `Evaluation`.
+    ///
+    /// ```
+    /// use mine_core::CognitionLevel;
+    /// assert_eq!(
+    ///     CognitionLevel::Knowledge.deeper(),
+    ///     Some(CognitionLevel::Comprehension)
+    /// );
+    /// assert_eq!(CognitionLevel::Evaluation.deeper(), None);
+    /// ```
+    #[must_use]
+    pub fn deeper(self) -> Option<Self> {
+        Self::from_index(self.index() + 1).ok()
+    }
+
+    /// The next shallower level, or `None` at `Knowledge`.
+    #[must_use]
+    pub fn shallower(self) -> Option<Self> {
+        self.index()
+            .checked_sub(1)
+            .and_then(|i| Self::from_index(i).ok())
+    }
+
+    /// The canonical English name used in the paper ("Knowledge", …).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CognitionLevel::Knowledge => "Knowledge",
+            CognitionLevel::Comprehension => "Comprehension",
+            CognitionLevel::Application => "Application",
+            CognitionLevel::Analysis => "Analysis",
+            CognitionLevel::Synthesis => "Synthesis",
+            CognitionLevel::Evaluation => "Evaluation",
+        }
+    }
+}
+
+impl fmt::Display for CognitionLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for CognitionLevel {
+    type Err = CoreError;
+
+    /// Parses either the full English name (case-insensitive) or the
+    /// single-letter code.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        if trimmed.len() == 1 {
+            return Self::from_letter(trimmed.chars().next().expect("len checked"));
+        }
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|level| level.name().eq_ignore_ascii_case(trimmed))
+            .ok_or_else(|| CoreError::InvalidCognitionLevel(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_shallow_to_deep() {
+        for pair in CognitionLevel::ALL.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "{:?} should precede {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn letters_span_a_to_f() {
+        let letters: String = CognitionLevel::ALL.iter().map(|l| l.letter()).collect();
+        assert_eq!(letters, "ABCDEF");
+    }
+
+    #[test]
+    fn from_letter_accepts_lowercase() {
+        assert_eq!(
+            CognitionLevel::from_letter('d').unwrap(),
+            CognitionLevel::Analysis
+        );
+    }
+
+    #[test]
+    fn from_letter_rejects_out_of_range() {
+        assert!(CognitionLevel::from_letter('G').is_err());
+        assert!(CognitionLevel::from_letter('1').is_err());
+        assert!(CognitionLevel::from_letter('@').is_err());
+    }
+
+    #[test]
+    fn from_index_round_trips() {
+        for level in CognitionLevel::ALL {
+            assert_eq!(CognitionLevel::from_index(level.index()).unwrap(), level);
+        }
+        assert!(CognitionLevel::from_index(6).is_err());
+    }
+
+    #[test]
+    fn parse_full_names_case_insensitive() {
+        assert_eq!(
+            "comprehension".parse::<CognitionLevel>().unwrap(),
+            CognitionLevel::Comprehension
+        );
+        assert_eq!(
+            "  Evaluation ".parse::<CognitionLevel>().unwrap(),
+            CognitionLevel::Evaluation
+        );
+        assert!("Remembering".parse::<CognitionLevel>().is_err());
+    }
+
+    #[test]
+    fn deeper_and_shallower_walk_the_chain() {
+        let mut level = CognitionLevel::Knowledge;
+        let mut seen = vec![level];
+        while let Some(next) = level.deeper() {
+            seen.push(next);
+            level = next;
+        }
+        assert_eq!(seen, CognitionLevel::ALL);
+        assert_eq!(CognitionLevel::Knowledge.shallower(), None);
+        assert_eq!(
+            CognitionLevel::Evaluation.shallower(),
+            Some(CognitionLevel::Synthesis)
+        );
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(CognitionLevel::Synthesis.to_string(), "Synthesis");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for level in CognitionLevel::ALL {
+            let json = serde_json::to_string(&level).unwrap();
+            let back: CognitionLevel = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, level);
+        }
+    }
+
+    #[test]
+    fn default_is_knowledge() {
+        assert_eq!(CognitionLevel::default(), CognitionLevel::Knowledge);
+    }
+}

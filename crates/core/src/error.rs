@@ -1,0 +1,126 @@
+//! The common error type shared across the workspace.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenience alias for results whose error is [`CoreError`].
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+/// Errors raised by the core vocabulary types.
+///
+/// Higher-level crates define their own error enums and wrap `CoreError`
+/// via `From` where they surface core validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A cognition level letter, name, or index was out of range.
+    InvalidCognitionLevel(String),
+    /// A group fraction was outside `(0, 0.5]`.
+    InvalidGroupFraction(FloatBits),
+    /// An option key index exceeded the supported alphabet (`A`–`Z`).
+    InvalidOptionKey(String),
+    /// An identifier was empty or contained forbidden characters.
+    InvalidIdentifier {
+        /// Which identifier type rejected the input.
+        kind: &'static str,
+        /// The offending input.
+        value: String,
+    },
+    /// A response record was internally inconsistent.
+    InconsistentRecord(String),
+}
+
+/// An `f64` stored by bit pattern so the error enum can be `Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloatBits(u64);
+
+impl FloatBits {
+    /// Wraps a float.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        Self(value.to_bits())
+    }
+
+    /// Recovers the float.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
+impl From<f64> for FloatBits {
+    fn from(value: f64) -> Self {
+        Self::new(value)
+    }
+}
+
+impl fmt::Display for FloatBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidCognitionLevel(input) => {
+                write!(f, "invalid cognition level: {input:?}")
+            }
+            CoreError::InvalidGroupFraction(bits) => write!(
+                f,
+                "group fraction {bits} is outside the open-closed interval (0, 0.5]"
+            ),
+            CoreError::InvalidOptionKey(input) => write!(f, "invalid option key: {input:?}"),
+            CoreError::InvalidIdentifier { kind, value } => {
+                write!(f, "invalid {kind} identifier: {value:?}")
+            }
+            CoreError::InconsistentRecord(reason) => {
+                write!(f, "inconsistent response record: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_trailing_punctuation() {
+        let errors = [
+            CoreError::InvalidCognitionLevel("G".into()),
+            CoreError::InvalidGroupFraction(0.9.into()),
+            CoreError::InvalidOptionKey("?".into()),
+            CoreError::InvalidIdentifier {
+                kind: "problem",
+                value: String::new(),
+            },
+            CoreError::InconsistentRecord("zero students".into()),
+        ];
+        for err in errors {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(!text.ends_with('.'), "no trailing period: {text}");
+            assert!(
+                text.chars().next().unwrap().is_lowercase(),
+                "starts lowercase: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn float_bits_round_trips_including_nan() {
+        assert_eq!(FloatBits::new(0.27).value(), 0.27);
+        let nan = FloatBits::new(f64::NAN);
+        assert!(nan.value().is_nan());
+        assert_eq!(nan, FloatBits::new(f64::NAN));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_traits<T: StdError + Send + Sync + 'static>() {}
+        assert_traits::<CoreError>();
+    }
+}

@@ -1,0 +1,180 @@
+//! Score-group fractions for high/low group splits (§4.1.1).
+//!
+//! The paper's single-question analysis sorts the class by total score and
+//! takes the top and bottom `f` of students as the *high* and *low* score
+//! groups. The paper fixes `f = 25 %`; it cites Kelly (1939) for the
+//! optimum of 27 % and an acceptable band of 25–33 %.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+
+/// The fraction of the class placed in each of the high and low score
+/// groups.
+///
+/// The value is validated on construction to lie in `(0, 0.5]` — any more
+/// than half the class in each group would make the groups overlap.
+///
+/// # Examples
+///
+/// ```
+/// use mine_core::GroupFraction;
+///
+/// let kelly = GroupFraction::KELLY_OPTIMAL;
+/// assert_eq!(kelly.value(), 0.27);
+/// assert!(kelly.is_acceptable());
+///
+/// // Each group of a 44-student class at the paper's 25 % holds 11 students.
+/// assert_eq!(GroupFraction::PAPER.group_size(44), 11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct GroupFraction(f64);
+
+impl GroupFraction {
+    /// The fraction the paper fixes: 25 %.
+    pub const PAPER: GroupFraction = GroupFraction(0.25);
+
+    /// Kelly's (1939) optimal fraction: 27 %.
+    pub const KELLY_OPTIMAL: GroupFraction = GroupFraction(0.27);
+
+    /// Lower edge of Kelly's acceptable band: 25 %.
+    pub const ACCEPTABLE_MIN: GroupFraction = GroupFraction(0.25);
+
+    /// Upper edge of Kelly's acceptable band: 33 %.
+    pub const ACCEPTABLE_MAX: GroupFraction = GroupFraction(0.33);
+
+    /// Creates a validated fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidGroupFraction`] unless
+    /// `0 < fraction <= 0.5` (NaN is rejected).
+    pub fn new(fraction: f64) -> Result<Self, CoreError> {
+        if fraction.is_finite() && fraction > 0.0 && fraction <= 0.5 {
+            Ok(Self(fraction))
+        } else {
+            Err(CoreError::InvalidGroupFraction(fraction.into()))
+        }
+    }
+
+    /// The raw fraction in `(0, 0.5]`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Whether the fraction falls in Kelly's acceptable 25–33 % band.
+    #[must_use]
+    pub fn is_acceptable(self) -> bool {
+        (Self::ACCEPTABLE_MIN.0..=Self::ACCEPTABLE_MAX.0).contains(&self.0)
+    }
+
+    /// How many students land in each group for a class of `class_size`.
+    ///
+    /// The count is rounded to the nearest integer but always at least 1
+    /// for a non-empty class, matching the paper's worked example where a
+    /// 44-student class at 25 % yields groups of 11.
+    #[must_use]
+    pub fn group_size(self, class_size: usize) -> usize {
+        if class_size == 0 {
+            return 0;
+        }
+        let raw = (class_size as f64 * self.0).round() as usize;
+        let half = (class_size / 2).max(1);
+        raw.clamp(1, half).min(class_size)
+    }
+}
+
+impl Default for GroupFraction {
+    /// Defaults to the paper's 25 %.
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+impl fmt::Display for GroupFraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}%", self.0 * 100.0)
+    }
+}
+
+impl TryFrom<f64> for GroupFraction {
+    type Error = CoreError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+impl From<GroupFraction> for f64 {
+    fn from(fraction: GroupFraction) -> f64 {
+        fraction.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_44_students_gives_groups_of_11() {
+        assert_eq!(GroupFraction::PAPER.group_size(44), 11);
+    }
+
+    #[test]
+    fn paper_example_40_students_gives_groups_of_10() {
+        // Examples 1-4 in §4.1.2 assume high = low = 20 for an 80-student
+        // class; at 25 % that is exactly 80 * 0.25 = 20.
+        assert_eq!(GroupFraction::PAPER.group_size(80), 20);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(GroupFraction::new(0.0).is_err());
+        assert!(GroupFraction::new(-0.1).is_err());
+        assert!(GroupFraction::new(0.51).is_err());
+        assert!(GroupFraction::new(f64::NAN).is_err());
+        assert!(GroupFraction::new(f64::INFINITY).is_err());
+        assert!(GroupFraction::new(0.5).is_ok());
+        assert!(GroupFraction::new(1e-9).is_ok());
+    }
+
+    #[test]
+    fn acceptable_band_matches_kelly() {
+        assert!(GroupFraction::PAPER.is_acceptable());
+        assert!(GroupFraction::KELLY_OPTIMAL.is_acceptable());
+        assert!(GroupFraction::new(0.33).unwrap().is_acceptable());
+        assert!(!GroupFraction::new(0.34).unwrap().is_acceptable());
+        assert!(!GroupFraction::new(0.2).unwrap().is_acceptable());
+    }
+
+    #[test]
+    fn group_size_never_exceeds_half_the_class() {
+        for class in 1..200 {
+            for f in [0.25, 0.27, 0.33, 0.5] {
+                let size = GroupFraction::new(f).unwrap().group_size(class);
+                assert!(size >= 1);
+                assert!(size <= class.div_ceil(2), "class={class} f={f} size={size}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_size_of_empty_class_is_zero() {
+        assert_eq!(GroupFraction::PAPER.group_size(0), 0);
+    }
+
+    #[test]
+    fn display_shows_percentage() {
+        assert_eq!(GroupFraction::KELLY_OPTIMAL.to_string(), "27%");
+    }
+
+    #[test]
+    fn serde_rejects_invalid_fraction() {
+        assert!(serde_json::from_str::<GroupFraction>("0.27").is_ok());
+        assert!(serde_json::from_str::<GroupFraction>("0.75").is_err());
+    }
+}

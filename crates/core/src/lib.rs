@@ -1,0 +1,41 @@
+//! Shared vocabulary for the MINE cognition assessment system.
+//!
+//! This crate holds the types that every other crate in the workspace speaks:
+//! identifiers, Bloom-taxonomy [`CognitionLevel`]s, answer/response records,
+//! score-group fractions, and the common error type.
+//!
+//! The model follows Hung et al., *A Cognition Assessment Authoring System
+//! for E-Learning* (ICDCS 2004 Workshops). Section references in the
+//! documentation (e.g. "§3.1") point into that paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use mine_core::{CognitionLevel, GroupFraction, OptionKey};
+//!
+//! // Bloom's cognitive domain is ordered from Knowledge (A) to Evaluation (F).
+//! assert!(CognitionLevel::Knowledge < CognitionLevel::Evaluation);
+//! assert_eq!(CognitionLevel::Application.letter(), 'C');
+//!
+//! // The paper splits score groups at 25 %; Kelly (1939) recommends 27 %.
+//! let paper = GroupFraction::PAPER;
+//! assert!(paper.is_acceptable());
+//! assert_eq!(OptionKey::A.letter(), 'A');
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cognition;
+pub mod error;
+pub mod fraction;
+pub mod id;
+pub mod response;
+pub mod subject;
+
+pub use cognition::CognitionLevel;
+pub use error::{CoreError, Result};
+pub use fraction::GroupFraction;
+pub use id::{ConceptId, ExamId, GroupId, ProblemId, SessionId, StudentId, TemplateId};
+pub use response::{Answer, ExamRecord, ItemResponse, OptionKey, StudentRecord};
+pub use subject::{Concept, Subject};

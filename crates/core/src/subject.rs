@@ -1,0 +1,120 @@
+//! Subjects and concepts: what a question is *about* (§3.3-II, §4.2.2).
+//!
+//! The paper attaches a *subject* to each question and organizes the
+//! whole-test analysis around *concepts* — the rows of the two-way
+//! specification table (Table 4).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::ConceptId;
+
+/// The main subject a problem belongs to (§3.3-II).
+///
+/// A thin wrapper over a display string; unlike the identifiers it is not
+/// validated, since it is descriptive free text.
+///
+/// # Examples
+///
+/// ```
+/// use mine_core::Subject;
+///
+/// let subject = Subject::new("TCP congestion control");
+/// assert_eq!(subject.as_str(), "TCP congestion control");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Subject(String);
+
+impl Subject {
+    /// Wraps a subject string.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// The subject text.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Subject {
+    fn from(value: &str) -> Self {
+        Self::new(value)
+    }
+}
+
+impl From<String> for Subject {
+    fn from(value: String) -> Self {
+        Self(value)
+    }
+}
+
+impl AsRef<str> for Subject {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A teachable concept: one row of the two-way specification table.
+///
+/// Concepts are numbered 1…i in the paper (§4.2.2, definition 2); here
+/// they carry an identifier plus a human-readable name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Concept {
+    /// Stable identifier used to correlate questions with table rows.
+    pub id: ConceptId,
+    /// Display name of the concept.
+    pub name: String,
+}
+
+impl Concept {
+    /// Creates a concept.
+    #[must_use]
+    pub fn new(id: ConceptId, name: impl Into<String>) -> Self {
+        Self {
+            id,
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for Concept {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subject_round_trips() {
+        let s = Subject::from("routing");
+        assert_eq!(s.as_str(), "routing");
+        assert_eq!(s.to_string(), "routing");
+        assert_eq!(Subject::from(String::from("routing")), s);
+    }
+
+    #[test]
+    fn subject_default_is_empty_but_debug_nonempty() {
+        let s = Subject::default();
+        assert_eq!(s.as_str(), "");
+        assert_eq!(format!("{s:?}"), "Subject(\"\")");
+    }
+
+    #[test]
+    fn concept_display_includes_id_and_name() {
+        let c = Concept::new(ConceptId::new("c1").unwrap(), "Sliding windows");
+        assert_eq!(c.to_string(), "Sliding windows (c1)");
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type of exam delivery.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use mine_itembank::BankError;
+
+/// Errors raised while running an exam session.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeliveryError {
+    /// The exam definition and supplied problems disagree.
+    ProblemSetMismatch {
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+    /// An operation was attempted in the wrong session state.
+    WrongState {
+        /// The operation attempted.
+        operation: &'static str,
+        /// The state the session was in.
+        state: &'static str,
+    },
+    /// The test time limit has expired.
+    TimeExpired,
+    /// The session is not resumable but a checkpoint was requested.
+    NotResumable,
+    /// A checkpoint did not match the exam it was resumed against.
+    CheckpointMismatch {
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+    /// Navigation past the ends of the exam.
+    OutOfBounds,
+    /// Grading failed (answer kind did not fit the problem).
+    Grading(BankError),
+}
+
+impl fmt::Display for DeliveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeliveryError::ProblemSetMismatch { reason } => {
+                write!(f, "problem set mismatch: {reason}")
+            }
+            DeliveryError::WrongState { operation, state } => {
+                write!(f, "cannot {operation} while session is {state}")
+            }
+            DeliveryError::TimeExpired => write!(f, "test time limit expired"),
+            DeliveryError::NotResumable => write!(f, "session is not resumable"),
+            DeliveryError::CheckpointMismatch { reason } => {
+                write!(f, "checkpoint mismatch: {reason}")
+            }
+            DeliveryError::OutOfBounds => write!(f, "navigation out of bounds"),
+            DeliveryError::Grading(err) => write!(f, "grading failed: {err}"),
+        }
+    }
+}
+
+impl StdError for DeliveryError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            DeliveryError::Grading(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<BankError> for DeliveryError {
+    fn from(err: BankError) -> Self {
+        DeliveryError::Grading(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            DeliveryError::TimeExpired.to_string(),
+            "test time limit expired"
+        );
+        let err = DeliveryError::WrongState {
+            operation: "answer",
+            state: "finished",
+        };
+        assert_eq!(err.to_string(), "cannot answer while session is finished");
+    }
+}

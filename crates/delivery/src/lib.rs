@@ -1,0 +1,54 @@
+//! Exam delivery: sessions, ordering, monitoring, and LMS tracking (§5).
+//!
+//! "Learners take the exam or the problems with Internet browser. When
+//! learners take the exam, monitor function captures the client picture
+//! for monitoring the exam progress." This crate is the server side of
+//! that flow, built to be driven deterministically (a logical clock, a
+//! seeded shuffle) so the simulator and the tests produce identical runs:
+//!
+//! * [`ExamSession`] — one learner sitting one exam: presentation order
+//!   (fixed/random + per-group shuffle, §3.2-VI-C / §5.4), answer
+//!   collection with grading, a time limit, and pause/resume
+//!   checkpoints ("Resumable", §3.2-VI-B),
+//! * [`Monitor`]/[`MonitorHub`] — the on-line exam monitor subsystem:
+//!   timestamped snapshot events with synthetic frame payloads,
+//! * [`RteBridge`] — drives a SCORM [`mine_scorm::ApiAdapter`] from the
+//!   session lifecycle (initialize → interactions → score/status →
+//!   finish).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::time::Duration;
+//! use mine_core::Answer;
+//! use mine_delivery::{DeliveryOptions, ExamSession};
+//! use mine_itembank::{Exam, Problem};
+//!
+//! let problems = vec![Problem::true_false("q1", "1 + 1 = 2", true)?];
+//! let exam = Exam::builder("quiz")?.entry("q1".parse()?).build()?;
+//! let mut session = ExamSession::start(
+//!     &exam,
+//!     problems,
+//!     "student-1".parse()?,
+//!     DeliveryOptions::default(),
+//! )?;
+//! session.answer(Answer::TrueFalse(true), Duration::from_secs(10))?;
+//! let record = session.finish()?;
+//! assert_eq!(record.correct_count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod monitor;
+pub mod order;
+pub mod rte_bridge;
+pub mod session;
+
+pub use error::DeliveryError;
+pub use monitor::{Monitor, MonitorEvent, MonitorHub, SnapshotPolicy};
+pub use order::presentation_order;
+pub use rte_bridge::RteBridge;
+pub use session::{DeliveryOptions, ExamSession, SessionCheckpoint, SessionState};

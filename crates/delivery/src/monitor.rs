@@ -1,0 +1,459 @@
+//! The on-line exam monitor subsystem (§5).
+//!
+//! "When learners take the exam, monitor function captures the client
+//! picture for monitoring the exam progress." The paper's subsystem
+//! grabs webcam frames from the browser; here a [`Monitor`] attached to a
+//! session emits [`MonitorEvent`]s — including synthetic snapshot frames —
+//! over a crossbeam channel into a [`MonitorHub`] where a proctor (or a
+//! test) observes the whole class.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use mine_core::{SessionId, StudentId};
+
+/// When the monitor captures a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotPolicy {
+    /// Capture a frame every `n` answered questions (0 disables).
+    pub every_answers: usize,
+    /// Capture a frame whenever this much logical time passed since the
+    /// previous frame (zero disables).
+    pub every_elapsed: Duration,
+    /// Flag answers committed faster than this (zero disables) — a
+    /// too-fast pace suggests the learner is not reading the questions.
+    pub min_answer_time: Duration,
+}
+
+impl Default for SnapshotPolicy {
+    /// Every 3 answers or every 5 minutes, whichever first.
+    fn default() -> Self {
+        Self {
+            every_answers: 3,
+            every_elapsed: Duration::from_secs(300),
+            min_answer_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// An event observed by the proctor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorEvent {
+    /// A learner started a session.
+    SessionStarted {
+        /// The session.
+        session: SessionId,
+        /// The learner.
+        student: StudentId,
+    },
+    /// A snapshot frame was captured.
+    Snapshot {
+        /// The session.
+        session: SessionId,
+        /// The learner.
+        student: StudentId,
+        /// Monotonic frame number within the session.
+        seq: u64,
+        /// Logical time of the capture.
+        at: Duration,
+        /// The frame payload (synthetic in this reproduction).
+        frame: Bytes,
+    },
+    /// A learner paused their session.
+    SessionPaused {
+        /// The session.
+        session: SessionId,
+    },
+    /// The monitor flagged suspicious activity for proctor review.
+    Flagged {
+        /// The session.
+        session: SessionId,
+        /// What looked suspicious.
+        reason: String,
+        /// Logical time of the flag.
+        at: Duration,
+    },
+    /// A learner finished; final progress counters attached.
+    SessionFinished {
+        /// The session.
+        session: SessionId,
+        /// Questions answered.
+        answered: usize,
+        /// Total logical time of the sitting.
+        total_time: Duration,
+    },
+}
+
+/// The proctor's end: collects events from all monitored sessions.
+#[derive(Debug)]
+pub struct MonitorHub {
+    sender: Sender<MonitorEvent>,
+    receiver: Receiver<MonitorEvent>,
+}
+
+impl Default for MonitorHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MonitorHub {
+    /// Creates a hub.
+    #[must_use]
+    pub fn new() -> Self {
+        let (sender, receiver) = unbounded();
+        Self { sender, receiver }
+    }
+
+    /// Attaches a monitor for one session.
+    #[must_use]
+    pub fn monitor(
+        &self,
+        session: SessionId,
+        student: StudentId,
+        policy: SnapshotPolicy,
+    ) -> Monitor {
+        let monitor = Monitor {
+            session,
+            student,
+            policy,
+            sender: self.sender.clone(),
+            seq: 0,
+            answers_since_snapshot: 0,
+            last_snapshot_at: Duration::ZERO,
+            last_answer_at: Duration::ZERO,
+        };
+        let _ = monitor.sender.send(MonitorEvent::SessionStarted {
+            session: monitor.session.clone(),
+            student: monitor.student.clone(),
+        });
+        monitor
+    }
+
+    /// Drains all pending events.
+    #[must_use]
+    pub fn drain(&self) -> Vec<MonitorEvent> {
+        let mut events = Vec::new();
+        while let Ok(event) = self.receiver.try_recv() {
+            events.push(event);
+        }
+        events
+    }
+
+    /// Blocking receive with timeout (for threaded proctoring).
+    #[must_use]
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<MonitorEvent> {
+        self.receiver.recv_timeout(timeout).ok()
+    }
+}
+
+/// The session's end of the monitor: reports progress and captures
+/// synthetic frames per policy.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    session: SessionId,
+    student: StudentId,
+    policy: SnapshotPolicy,
+    sender: Sender<MonitorEvent>,
+    seq: u64,
+    answers_since_snapshot: usize,
+    last_snapshot_at: Duration,
+    last_answer_at: Duration,
+}
+
+impl Monitor {
+    /// Notifies the hub that an answer was committed; captures a frame
+    /// when the policy fires and emits a [`MonitorEvent::Flagged`] when
+    /// the answer came faster than the policy's pace floor. Returns
+    /// whether a snapshot was taken.
+    pub fn on_answer(&mut self, elapsed: Duration) -> bool {
+        if !self.policy.min_answer_time.is_zero()
+            && elapsed.saturating_sub(self.last_answer_at) < self.policy.min_answer_time
+        {
+            self.flag("answered faster than the pace floor", elapsed);
+        }
+        self.last_answer_at = elapsed;
+        self.answers_since_snapshot += 1;
+        let by_count = self.policy.every_answers > 0
+            && self.answers_since_snapshot >= self.policy.every_answers;
+        let by_time = !self.policy.every_elapsed.is_zero()
+            && elapsed.saturating_sub(self.last_snapshot_at) >= self.policy.every_elapsed;
+        if by_count || by_time {
+            self.capture(elapsed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Raises a proctor flag.
+    pub fn flag(&self, reason: impl Into<String>, elapsed: Duration) {
+        let _ = self.sender.send(MonitorEvent::Flagged {
+            session: self.session.clone(),
+            reason: reason.into(),
+            at: elapsed,
+        });
+    }
+
+    /// Forces a snapshot capture now (proctor-initiated).
+    pub fn capture(&mut self, elapsed: Duration) {
+        let frame = synth_frame(&self.student, self.seq);
+        let _ = self.sender.send(MonitorEvent::Snapshot {
+            session: self.session.clone(),
+            student: self.student.clone(),
+            seq: self.seq,
+            at: elapsed,
+            frame,
+        });
+        self.seq += 1;
+        self.answers_since_snapshot = 0;
+        self.last_snapshot_at = elapsed;
+    }
+
+    /// Reports a pause.
+    pub fn on_pause(&self) {
+        let _ = self.sender.send(MonitorEvent::SessionPaused {
+            session: self.session.clone(),
+        });
+    }
+
+    /// Reports the finish with final counters.
+    pub fn on_finish(&self, answered: usize, total_time: Duration) {
+        let _ = self.sender.send(MonitorEvent::SessionFinished {
+            session: self.session.clone(),
+            answered,
+            total_time,
+        });
+    }
+
+    /// Frames captured so far.
+    #[must_use]
+    pub fn frames_captured(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// Builds a deterministic synthetic "webcam frame": a tagged header plus
+/// a pseudo-random payload derived from the student id and sequence
+/// number, standing in for the real picture the paper captures.
+#[must_use]
+pub fn synth_frame(student: &StudentId, seq: u64) -> Bytes {
+    let mut data = Vec::with_capacity(64);
+    data.extend_from_slice(b"FRAME");
+    data.extend_from_slice(&seq.to_be_bytes());
+    let mut state = seq.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for byte in student.as_str().bytes() {
+        state = state.rotate_left(7) ^ u64::from(byte);
+    }
+    for _ in 0..6 {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        data.extend_from_slice(&state.to_be_bytes());
+    }
+    Bytes::from(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(s: &str) -> SessionId {
+        s.parse().unwrap()
+    }
+
+    fn stid(s: &str) -> StudentId {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn start_event_emitted_on_attach() {
+        let hub = MonitorHub::new();
+        let _monitor = hub.monitor(sid("sess"), stid("alice"), SnapshotPolicy::default());
+        let events = hub.drain();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], MonitorEvent::SessionStarted { .. }));
+    }
+
+    #[test]
+    fn snapshots_fire_by_answer_count() {
+        let hub = MonitorHub::new();
+        let mut monitor = hub.monitor(
+            sid("sess"),
+            stid("alice"),
+            SnapshotPolicy {
+                every_answers: 2,
+                every_elapsed: Duration::ZERO,
+                min_answer_time: Duration::ZERO,
+            },
+        );
+        assert!(!monitor.on_answer(Duration::from_secs(10)));
+        assert!(monitor.on_answer(Duration::from_secs(20)));
+        assert!(!monitor.on_answer(Duration::from_secs(30)));
+        assert!(monitor.on_answer(Duration::from_secs(40)));
+        assert_eq!(monitor.frames_captured(), 2);
+        let snapshots = hub
+            .drain()
+            .into_iter()
+            .filter(|e| matches!(e, MonitorEvent::Snapshot { .. }))
+            .count();
+        assert_eq!(snapshots, 2);
+    }
+
+    #[test]
+    fn snapshots_fire_by_elapsed_time() {
+        let hub = MonitorHub::new();
+        let mut monitor = hub.monitor(
+            sid("sess"),
+            stid("bob"),
+            SnapshotPolicy {
+                every_answers: 0,
+                every_elapsed: Duration::from_secs(60),
+                min_answer_time: Duration::ZERO,
+            },
+        );
+        assert!(!monitor.on_answer(Duration::from_secs(30)));
+        assert!(monitor.on_answer(Duration::from_secs(61)));
+        assert!(!monitor.on_answer(Duration::from_secs(100)));
+        assert!(monitor.on_answer(Duration::from_secs(121)));
+    }
+
+    #[test]
+    fn frames_are_deterministic_per_student_and_seq() {
+        assert_eq!(
+            synth_frame(&stid("alice"), 0),
+            synth_frame(&stid("alice"), 0)
+        );
+        assert_ne!(
+            synth_frame(&stid("alice"), 0),
+            synth_frame(&stid("alice"), 1)
+        );
+        assert_ne!(synth_frame(&stid("alice"), 0), synth_frame(&stid("bob"), 0));
+        let frame = synth_frame(&stid("alice"), 3);
+        assert!(frame.starts_with(b"FRAME"));
+        assert_eq!(frame.len(), 5 + 8 + 48);
+    }
+
+    #[test]
+    fn sequence_numbers_increase_monotonically() {
+        let hub = MonitorHub::new();
+        let mut monitor = hub.monitor(sid("s"), stid("x"), SnapshotPolicy::default());
+        for _ in 0..5 {
+            monitor.capture(Duration::ZERO);
+        }
+        let seqs: Vec<u64> = hub
+            .drain()
+            .into_iter()
+            .filter_map(|e| match e {
+                MonitorEvent::Snapshot { seq, .. } => Some(seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pause_and_finish_events() {
+        let hub = MonitorHub::new();
+        let monitor = hub.monitor(sid("s"), stid("x"), SnapshotPolicy::default());
+        monitor.on_pause();
+        monitor.on_finish(7, Duration::from_secs(500));
+        let events = hub.drain();
+        assert!(matches!(events[1], MonitorEvent::SessionPaused { .. }));
+        match &events[2] {
+            MonitorEvent::SessionFinished {
+                answered,
+                total_time,
+                ..
+            } => {
+                assert_eq!(*answered, 7);
+                assert_eq!(*total_time, Duration::from_secs(500));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hub_collects_from_multiple_threads() {
+        let hub = MonitorHub::new();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let mut monitor = hub.monitor(
+                    sid(&format!("s{i}")),
+                    stid(&format!("learner{i}")),
+                    SnapshotPolicy {
+                        every_answers: 1,
+                        every_elapsed: Duration::ZERO,
+                        min_answer_time: Duration::ZERO,
+                    },
+                );
+                std::thread::spawn(move || {
+                    for answer in 0..10 {
+                        monitor.on_answer(Duration::from_secs(answer));
+                    }
+                    monitor.on_finish(10, Duration::from_secs(10));
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let events = hub.drain();
+        let snapshots = events
+            .iter()
+            .filter(|e| matches!(e, MonitorEvent::Snapshot { .. }))
+            .count();
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, MonitorEvent::SessionFinished { .. }))
+            .count();
+        assert_eq!(snapshots, 40);
+        assert_eq!(finishes, 4);
+    }
+
+    #[test]
+    fn too_fast_answers_are_flagged() {
+        let hub = MonitorHub::new();
+        let mut monitor = hub.monitor(
+            sid("s"),
+            stid("racer"),
+            SnapshotPolicy {
+                every_answers: 0,
+                every_elapsed: Duration::ZERO,
+                min_answer_time: Duration::from_secs(5),
+            },
+        );
+        monitor.on_answer(Duration::from_secs(1)); // 1s after start → flag
+        monitor.on_answer(Duration::from_secs(30)); // 29s gap → fine
+        monitor.on_answer(Duration::from_secs(32)); // 2s gap → flag
+        let flags: Vec<_> = hub
+            .drain()
+            .into_iter()
+            .filter(|e| matches!(e, MonitorEvent::Flagged { .. }))
+            .collect();
+        assert_eq!(flags.len(), 2);
+        if let MonitorEvent::Flagged { reason, at, .. } = &flags[1] {
+            assert!(reason.contains("pace"));
+            assert_eq!(*at, Duration::from_secs(32));
+        }
+    }
+
+    #[test]
+    fn proctor_can_flag_manually() {
+        let hub = MonitorHub::new();
+        let monitor = hub.monitor(sid("s"), stid("x"), SnapshotPolicy::default());
+        monitor.flag("looked away from camera", Duration::from_secs(10));
+        let events = hub.drain();
+        assert!(events.iter().any(
+            |e| matches!(e, MonitorEvent::Flagged { reason, .. } if reason.contains("camera"))
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_idle() {
+        let hub = MonitorHub::new();
+        assert!(hub.recv_timeout(Duration::from_millis(10)).is_none());
+    }
+}

@@ -1,0 +1,161 @@
+//! Presentation order computation (§3.2-VI-C, §5.4).
+//!
+//! Fixed order keeps the authored entry sequence. Random order shuffles
+//! the whole exam. Independently, a presentation group marked
+//! `shuffle_within` shuffles its own questions while the group block
+//! stays in place. All shuffles derive from a caller-supplied seed so a
+//! session can be replayed (and a resumed session sees the same order).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use mine_core::ProblemId;
+use mine_itembank::Exam;
+use mine_metadata::DisplayOrder;
+
+/// Computes the order problems are shown for one sitting.
+///
+/// # Examples
+///
+/// ```
+/// use mine_delivery::presentation_order;
+/// use mine_itembank::Exam;
+///
+/// let exam = Exam::builder("e")?
+///     .entry("q1".parse()?)
+///     .entry("q2".parse()?)
+///     .build()?;
+/// // Fixed order is the authored order regardless of seed.
+/// assert_eq!(
+///     presentation_order(&exam, 7),
+///     vec!["q1".parse()?, "q2".parse()?],
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn presentation_order(exam: &Exam, seed: u64) -> Vec<ProblemId> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    match exam.display_order() {
+        DisplayOrder::Random => {
+            let mut order = exam.problem_ids();
+            order.shuffle(&mut rng);
+            order
+        }
+        DisplayOrder::Fixed => {
+            // Walk entries in authored order, emitting each group block at
+            // the position of its first entry; shuffle within blocks that
+            // ask for it.
+            let mut order: Vec<ProblemId> = Vec::with_capacity(exam.len());
+            let mut emitted_groups: Vec<&mine_core::GroupId> = Vec::new();
+            for entry in exam.entries() {
+                match &entry.group {
+                    None => order.push(entry.problem.clone()),
+                    Some(group_id) => {
+                        if emitted_groups.contains(&group_id) {
+                            continue;
+                        }
+                        emitted_groups.push(group_id);
+                        let mut block: Vec<ProblemId> = exam
+                            .entries_in_group(group_id)
+                            .map(|e| e.problem.clone())
+                            .collect();
+                        let shuffle = exam.group(group_id).is_some_and(|g| g.style.shuffle_within);
+                        if shuffle {
+                            block.shuffle(&mut rng);
+                        }
+                        order.extend(block);
+                    }
+                }
+            }
+            order
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_itembank::{ExamEntry, GroupStyle, PresentationGroup};
+
+    fn pid(s: &str) -> ProblemId {
+        s.parse().unwrap()
+    }
+
+    fn exam_with_groups(shuffle_within: bool) -> Exam {
+        Exam::builder("e")
+            .unwrap()
+            .group(
+                PresentationGroup::new("g".parse().unwrap()).with_style(GroupStyle {
+                    shuffle_within,
+                    ..GroupStyle::default()
+                }),
+            )
+            .entry(pid("q1"))
+            .entry_with(ExamEntry::new(pid("q2")).in_group("g".parse().unwrap()))
+            .entry_with(ExamEntry::new(pid("q3")).in_group("g".parse().unwrap()))
+            .entry_with(ExamEntry::new(pid("q4")).in_group("g".parse().unwrap()))
+            .entry(pid("q5"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fixed_order_without_shuffle_is_authored_order() {
+        let exam = exam_with_groups(false);
+        for seed in 0..5 {
+            assert_eq!(
+                presentation_order(&exam, seed),
+                vec![pid("q1"), pid("q2"), pid("q3"), pid("q4"), pid("q5")]
+            );
+        }
+    }
+
+    #[test]
+    fn group_shuffle_keeps_block_in_place() {
+        let exam = exam_with_groups(true);
+        for seed in 0..20 {
+            let order = presentation_order(&exam, seed);
+            assert_eq!(order[0], pid("q1"), "seed {seed}");
+            assert_eq!(order[4], pid("q5"), "seed {seed}");
+            let mut middle: Vec<_> = order[1..4].to_vec();
+            middle.sort();
+            assert_eq!(middle, vec![pid("q2"), pid("q3"), pid("q4")]);
+        }
+        // Some seed actually permutes the block.
+        let baseline = presentation_order(&exam_with_groups(false), 0);
+        assert!(
+            (0..20).any(|seed| presentation_order(&exam, seed) != baseline),
+            "shuffle_within never changed the order"
+        );
+    }
+
+    #[test]
+    fn random_order_is_seed_deterministic_permutation() {
+        let exam = Exam::builder("e")
+            .unwrap()
+            .display_order(DisplayOrder::Random)
+            .entry(pid("q1"))
+            .entry(pid("q2"))
+            .entry(pid("q3"))
+            .entry(pid("q4"))
+            .build()
+            .unwrap();
+        let a = presentation_order(&exam, 42);
+        let b = presentation_order(&exam, 42);
+        assert_eq!(a, b, "same seed replays identically");
+        let mut sorted = a.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![pid("q1"), pid("q2"), pid("q3"), pid("q4")]);
+        assert!(
+            (0..20).any(|seed| presentation_order(&exam, seed) != a),
+            "different seeds should eventually differ"
+        );
+    }
+
+    #[test]
+    fn empty_exam_yields_empty_order() {
+        let exam = Exam::builder("e").unwrap().build().unwrap();
+        assert!(presentation_order(&exam, 1).is_empty());
+    }
+}

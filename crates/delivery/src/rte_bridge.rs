@@ -1,0 +1,304 @@
+//! Driving the SCORM RTE from a delivery session (§5.5).
+//!
+//! The paper's packages ship JavaScript that calls `LMSSetValue` for
+//! "learner record, learner progress, learner status". [`RteBridge`]
+//! performs those calls natively against [`mine_scorm::ApiAdapter`]:
+//! one `LMSInitialize` when the sitting starts, one interaction record
+//! per answer, and score/status/session-time on finish.
+
+use std::time::Duration;
+
+use mine_core::{Answer, StudentId, StudentRecord};
+use mine_scorm::rte::format_timespan;
+use mine_scorm::{ApiAdapter, CmiDataModel, ScormError};
+
+/// Pass mark used to map a score to `passed`/`failed`.
+pub const DEFAULT_PASS_MARK: f64 = 0.6;
+
+/// Bridges a session's lifecycle onto a SCORM API adapter.
+#[derive(Debug)]
+pub struct RteBridge {
+    api: ApiAdapter,
+    interactions: usize,
+    pass_mark: f64,
+}
+
+impl RteBridge {
+    /// Launches the adapter for a learner and initializes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScormError::Api`] when initialization is rejected.
+    pub fn launch(student: &StudentId, student_name: &str) -> Result<Self, ScormError> {
+        let model = CmiDataModel::for_student(student.as_str(), student_name);
+        Self::launch_with_model(model)
+    }
+
+    /// Launches over an existing model (e.g. a resumed attempt carrying
+    /// accumulated total time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScormError::Api`] when initialization is rejected.
+    pub fn launch_with_model(model: CmiDataModel) -> Result<Self, ScormError> {
+        let mut api = ApiAdapter::with_model(model);
+        if api.lms_initialize("") != "true" {
+            return Err(ScormError::Api(api.last_error()));
+        }
+        let mut bridge = Self {
+            api,
+            interactions: 0,
+            pass_mark: DEFAULT_PASS_MARK,
+        };
+        bridge
+            .set("cmi.core.lesson_status", "incomplete")
+            .expect("fresh adapter accepts lesson_status");
+        Ok(bridge)
+    }
+
+    /// Overrides the pass mark (fraction of max score).
+    pub fn set_pass_mark(&mut self, pass_mark: f64) {
+        assert!(
+            (0.0..=1.0).contains(&pass_mark),
+            "pass mark must be a fraction"
+        );
+        self.pass_mark = pass_mark;
+    }
+
+    fn set(&mut self, element: &str, value: &str) -> Result<(), ScormError> {
+        self.api
+            .lms_set_value(element, value)
+            .map(|_| ())
+            .map_err(|_| ScormError::Api(self.api.last_error()))
+    }
+
+    /// Records one answered question as a `cmi.interactions.n` entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScormError::Api`] when the adapter rejects a write.
+    pub fn record_answer(
+        &mut self,
+        problem_id: &str,
+        answer: &Answer,
+        is_correct: bool,
+        time_spent: Duration,
+    ) -> Result<(), ScormError> {
+        let n = self.interactions;
+        let interaction_type = match answer {
+            Answer::Choice(_) | Answer::MultiChoice(_) => "choice",
+            Answer::TrueFalse(_) => "true-false",
+            Answer::Text(_) | Answer::Completion(_) => "fill-in",
+            Answer::Match(_) => "matching",
+            Answer::Skipped => "choice",
+        };
+        let response = match answer {
+            Answer::Choice(key) => key.letter().to_string(),
+            Answer::MultiChoice(keys) => keys.iter().map(|k| k.letter()).collect(),
+            Answer::TrueFalse(v) => if *v { "t" } else { "f" }.to_string(),
+            Answer::Text(text) => text.chars().take(255).collect(),
+            Answer::Completion(blanks) => blanks.join(","),
+            Answer::Match(pairs) => pairs
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+            Answer::Skipped => String::new(),
+        };
+        self.set(&format!("cmi.interactions.{n}.id"), problem_id)?;
+        self.set(&format!("cmi.interactions.{n}.type"), interaction_type)?;
+        self.set(&format!("cmi.interactions.{n}.student_response"), &response)?;
+        self.set(
+            &format!("cmi.interactions.{n}.result"),
+            if is_correct { "correct" } else { "wrong" },
+        )?;
+        self.set(
+            &format!("cmi.interactions.{n}.latency"),
+            &format_timespan(time_spent),
+        )?;
+        self.interactions += 1;
+        Ok(())
+    }
+
+    /// Finalizes the attempt from the graded record: score, status,
+    /// session time, then `LMSFinish`.
+    ///
+    /// Consumes the bridge and returns the terminated adapter for
+    /// inspection/export.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScormError::Api`] when a write or the finish call is
+    /// rejected.
+    pub fn finish(mut self, record: &StudentRecord) -> Result<ApiAdapter, ScormError> {
+        let max = record.max_score();
+        let percent = if max > 0.0 {
+            (record.score() / max * 100.0).clamp(0.0, 100.0)
+        } else {
+            0.0
+        };
+        self.set("cmi.core.score.raw", &format!("{percent:.2}"))?;
+        self.set("cmi.core.score.min", "0")?;
+        self.set("cmi.core.score.max", "100")?;
+        let status = if percent >= self.pass_mark * 100.0 {
+            "passed"
+        } else {
+            "failed"
+        };
+        self.set("cmi.core.lesson_status", status)?;
+        self.set("cmi.core.session_time", &format_timespan(record.total_time))?;
+        if self.api.lms_finish("") != "true" {
+            return Err(ScormError::Api(self.api.last_error()));
+        }
+        Ok(self.api)
+    }
+
+    /// Stores a suspend checkpoint and finishes with `exit = suspend`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScormError::Api`] when a write is rejected (e.g. the
+    /// checkpoint exceeds the 4096-char suspend_data limit).
+    pub fn suspend(
+        mut self,
+        checkpoint_json: &str,
+        elapsed: Duration,
+    ) -> Result<ApiAdapter, ScormError> {
+        self.set("cmi.suspend_data", checkpoint_json)?;
+        self.set("cmi.core.exit", "suspend")?;
+        self.set("cmi.core.session_time", &format_timespan(elapsed))?;
+        if self.api.lms_finish("") != "true" {
+            return Err(ScormError::Api(self.api.last_error()));
+        }
+        Ok(self.api)
+    }
+
+    /// Access to the live adapter (e.g. for `LMSGetValue` checks).
+    #[must_use]
+    pub fn api(&self) -> &ApiAdapter {
+        &self.api
+    }
+
+    /// Interactions recorded so far.
+    #[must_use]
+    pub fn interaction_count(&self) -> usize {
+        self.interactions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_core::{ItemResponse, OptionKey};
+
+    fn record(correct: usize, total: usize) -> StudentRecord {
+        let responses = (0..total)
+            .map(|i| {
+                let pid = format!("q{i}").parse().unwrap();
+                if i < correct {
+                    ItemResponse::correct(pid, Answer::TrueFalse(true), 1.0)
+                } else {
+                    ItemResponse::incorrect(pid, Answer::TrueFalse(false), 1.0)
+                }
+            })
+            .collect();
+        let mut record = StudentRecord::new("s1".parse().unwrap(), responses);
+        record.total_time = Duration::from_secs(300);
+        record
+    }
+
+    #[test]
+    fn launch_initializes_and_marks_incomplete() {
+        let bridge = RteBridge::launch(&"s1".parse().unwrap(), "Alice").unwrap();
+        assert_eq!(bridge.api().model().lesson_status, "incomplete");
+        assert_eq!(bridge.api().model().student_id, "s1");
+    }
+
+    #[test]
+    fn answers_become_interactions() {
+        let mut bridge = RteBridge::launch(&"s1".parse().unwrap(), "Alice").unwrap();
+        bridge
+            .record_answer(
+                "q1",
+                &Answer::Choice(OptionKey::C),
+                true,
+                Duration::from_secs(42),
+            )
+            .unwrap();
+        bridge
+            .record_answer(
+                "q2",
+                &Answer::TrueFalse(false),
+                false,
+                Duration::from_secs(10),
+            )
+            .unwrap();
+        assert_eq!(bridge.interaction_count(), 2);
+        let model = bridge.api().model();
+        assert_eq!(model.interactions[0].id, "q1");
+        assert_eq!(model.interactions[0].student_response, "C");
+        assert_eq!(model.interactions[0].result, "correct");
+        assert_eq!(model.interactions[0].latency, "00:00:42.00");
+        assert_eq!(model.interactions[1].result, "wrong");
+        assert_eq!(model.interactions[1].student_response, "f");
+    }
+
+    #[test]
+    fn finish_sets_score_status_and_time() {
+        let bridge = RteBridge::launch(&"s1".parse().unwrap(), "Alice").unwrap();
+        let api = bridge.finish(&record(8, 10)).unwrap();
+        let model = api.model();
+        assert_eq!(model.score_raw, Some(80.0));
+        assert_eq!(model.lesson_status, "passed");
+        assert_eq!(model.total_time, Duration::from_secs(300));
+        assert_eq!(api.commit_count(), 1);
+    }
+
+    #[test]
+    fn failing_score_maps_to_failed() {
+        let bridge = RteBridge::launch(&"s1".parse().unwrap(), "Alice").unwrap();
+        let api = bridge.finish(&record(5, 10)).unwrap();
+        assert_eq!(api.model().lesson_status, "failed");
+    }
+
+    #[test]
+    fn custom_pass_mark() {
+        let mut bridge = RteBridge::launch(&"s1".parse().unwrap(), "Alice").unwrap();
+        bridge.set_pass_mark(0.5);
+        let api = bridge.finish(&record(5, 10)).unwrap();
+        assert_eq!(api.model().lesson_status, "passed");
+    }
+
+    #[test]
+    fn empty_record_scores_zero() {
+        let bridge = RteBridge::launch(&"s1".parse().unwrap(), "Alice").unwrap();
+        let api = bridge.finish(&record(0, 0)).unwrap();
+        assert_eq!(api.model().score_raw, Some(0.0));
+        assert_eq!(api.model().lesson_status, "failed");
+    }
+
+    #[test]
+    fn suspend_stores_checkpoint() {
+        let bridge = RteBridge::launch(&"s1".parse().unwrap(), "Alice").unwrap();
+        let api = bridge
+            .suspend("{\"cursor\":3}", Duration::from_secs(120))
+            .unwrap();
+        assert_eq!(api.model().suspend_data, "{\"cursor\":3}");
+        assert_eq!(api.model().exit, "suspend");
+        assert_eq!(api.model().total_time, Duration::from_secs(120));
+    }
+
+    #[test]
+    fn oversized_suspend_data_is_rejected() {
+        let bridge = RteBridge::launch(&"s1".parse().unwrap(), "Alice").unwrap();
+        let huge = "x".repeat(5000);
+        assert!(bridge.suspend(&huge, Duration::ZERO).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn pass_mark_must_be_fraction() {
+        let mut bridge = RteBridge::launch(&"s1".parse().unwrap(), "A").unwrap();
+        bridge.set_pass_mark(60.0);
+    }
+}

@@ -1,0 +1,381 @@
+//! Exam assembly from the bank: blueprints and parallel forms.
+//!
+//! The paper's whole-test analysis exists so that "with the cognition
+//! level analysis, teachers can avoid missing items in teaching" (§1) —
+//! the two-way specification table says what an exam *should* cover.
+//! [`Blueprint`] turns that around: specify the target table (concept ×
+//! Bloom level → question count) and assemble an exam from the bank that
+//! satisfies it.
+//!
+//! [`assemble_parallel_forms`] builds equivalent exam forms (A/B/…) by
+//! dealing difficulty-sorted items round-robin, so every form sees the
+//! same difficulty spread — the classical balanced-forms construction.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use mine_core::{CognitionLevel, ProblemId};
+
+use crate::problem::Problem;
+
+/// A target two-way specification: how many questions each
+/// (concept, level) cell must contribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Blueprint {
+    targets: BTreeMap<(String, CognitionLevel), usize>,
+}
+
+impl Blueprint {
+    /// Creates an empty blueprint.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style cell requirement: `count` questions about
+    /// `concept` at `level`.
+    #[must_use]
+    pub fn require(
+        mut self,
+        concept: impl Into<String>,
+        level: CognitionLevel,
+        count: usize,
+    ) -> Self {
+        if count > 0 {
+            *self.targets.entry((concept.into(), level)).or_insert(0) += count;
+        }
+        self
+    }
+
+    /// Total questions the blueprint demands.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.targets.values().sum()
+    }
+
+    /// The demanded cells.
+    pub fn cells(&self) -> impl Iterator<Item = (&str, CognitionLevel, usize)> {
+        self.targets
+            .iter()
+            .map(|((concept, level), count)| (concept.as_str(), *level, *count))
+    }
+}
+
+/// A cell the bank could not fill.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shortfall {
+    /// The concept (subject).
+    pub concept: String,
+    /// The Bloom level.
+    pub level: CognitionLevel,
+    /// Questions demanded.
+    pub wanted: usize,
+    /// Questions available in the bank.
+    pub available: usize,
+}
+
+/// Error of [`assemble_from_blueprint`]: the bank cannot satisfy the
+/// blueprint; every deficient cell is listed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlueprintUnsatisfied {
+    /// The deficient cells.
+    pub shortfalls: Vec<Shortfall>,
+}
+
+impl std::fmt::Display for BlueprintUnsatisfied {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "blueprint unsatisfied in {} cell(s):",
+            self.shortfalls.len()
+        )?;
+        for s in &self.shortfalls {
+            write!(
+                f,
+                " [{} × {}: want {}, have {}]",
+                s.concept,
+                s.level.letter(),
+                s.wanted,
+                s.available
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for BlueprintUnsatisfied {}
+
+/// Picks problems from `bank` to satisfy `blueprint`, preferring (within
+/// each cell) problems whose recorded difficulty is closest to moderate
+/// (`P = 0.5`); problems without a recorded difficulty come last, in id
+/// order.
+///
+/// Returns the chosen problem ids grouped per demand cell order.
+///
+/// # Errors
+///
+/// Returns [`BlueprintUnsatisfied`] listing every cell the bank cannot
+/// fill; nothing is partially assembled.
+pub fn assemble_from_blueprint(
+    bank: &[Problem],
+    blueprint: &Blueprint,
+) -> Result<Vec<ProblemId>, BlueprintUnsatisfied> {
+    let mut chosen = Vec::with_capacity(blueprint.total());
+    let mut shortfalls = Vec::new();
+    for (concept, level, wanted) in blueprint.cells() {
+        let mut candidates: Vec<&Problem> = bank
+            .iter()
+            .filter(|p| p.cognition_level() == Some(level) && p.subject().as_str() == concept)
+            .collect();
+        candidates.sort_by(|a, b| {
+            let moderation = |p: &Problem| {
+                p.metadata()
+                    .individual_test
+                    .as_ref()
+                    .and_then(|t| t.difficulty)
+                    .map(|d| (d.value() - 0.5).abs())
+            };
+            match (moderation(a), moderation(b)) {
+                (Some(x), Some(y)) => x
+                    .partial_cmp(&y)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.id().cmp(b.id())),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => a.id().cmp(b.id()),
+            }
+        });
+        if candidates.len() < wanted {
+            shortfalls.push(Shortfall {
+                concept: concept.to_string(),
+                level,
+                wanted,
+                available: candidates.len(),
+            });
+            continue;
+        }
+        chosen.extend(candidates[..wanted].iter().map(|p| p.id().clone()));
+    }
+    if shortfalls.is_empty() {
+        Ok(chosen)
+    } else {
+        Err(BlueprintUnsatisfied { shortfalls })
+    }
+}
+
+/// Deals `bank` into `forms` difficulty-balanced parallel forms of
+/// `per_form` problems each.
+///
+/// Problems are ordered by recorded difficulty (unrecorded ones sort to
+/// the middle at `P = 0.5`) and dealt boustrophedon (A-B-B-A) so each
+/// form receives the same spread. Returns `forms` id lists.
+///
+/// # Errors
+///
+/// Returns the number of problems missing when the bank is too small.
+pub fn assemble_parallel_forms(
+    bank: &[Problem],
+    forms: usize,
+    per_form: usize,
+) -> Result<Vec<Vec<ProblemId>>, usize> {
+    let needed = forms * per_form;
+    if bank.len() < needed {
+        return Err(needed - bank.len());
+    }
+    if forms == 0 {
+        return Ok(Vec::new());
+    }
+    let mut ordered: Vec<&Problem> = bank.iter().collect();
+    ordered.sort_by(|a, b| {
+        let difficulty = |p: &Problem| {
+            p.metadata()
+                .individual_test
+                .as_ref()
+                .and_then(|t| t.difficulty)
+                .map_or(0.5, |d| d.value())
+        };
+        difficulty(a)
+            .partial_cmp(&difficulty(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id().cmp(b.id()))
+    });
+    let mut out = vec![Vec::with_capacity(per_form); forms];
+    for (i, problem) in ordered[..needed].iter().enumerate() {
+        // Boustrophedon dealing: 0,1,…,f-1,f-1,…,1,0,0,1,…
+        let round = i / forms;
+        let position = i % forms;
+        let form = if round.is_multiple_of(2) {
+            position
+        } else {
+            forms - 1 - position
+        };
+        out[form].push(problem.id().clone());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_metadata::{DifficultyIndex, IndividualTestMeta};
+
+    fn problem(id: &str, subject: &str, level: CognitionLevel, p: Option<f64>) -> Problem {
+        let mut problem = Problem::true_false(id, "stem", true)
+            .unwrap()
+            .with_subject(subject)
+            .with_cognition_level(level);
+        if let Some(p) = p {
+            problem
+                .metadata_mut()
+                .individual_test
+                .get_or_insert_with(IndividualTestMeta::default)
+                .difficulty = Some(DifficultyIndex::new(p).unwrap());
+        }
+        problem
+    }
+
+    fn bank() -> Vec<Problem> {
+        vec![
+            problem("k1", "tcp", CognitionLevel::Knowledge, Some(0.9)),
+            problem("k2", "tcp", CognitionLevel::Knowledge, Some(0.55)),
+            problem("k3", "tcp", CognitionLevel::Knowledge, None),
+            problem("c1", "tcp", CognitionLevel::Comprehension, Some(0.4)),
+            problem("r1", "routing", CognitionLevel::Knowledge, Some(0.5)),
+            problem("r2", "routing", CognitionLevel::Application, Some(0.2)),
+        ]
+    }
+
+    #[test]
+    fn blueprint_assembles_and_prefers_moderate_difficulty() {
+        let blueprint = Blueprint::new()
+            .require("tcp", CognitionLevel::Knowledge, 2)
+            .require("routing", CognitionLevel::Application, 1);
+        let chosen = assemble_from_blueprint(&bank(), &blueprint).unwrap();
+        assert_eq!(chosen.len(), 3);
+        // tcp/Knowledge: k2 (P=0.55, closest to 0.5) before k1 (0.9);
+        // k3 (no record) is last and not taken.
+        assert!(chosen.contains(&"k2".parse().unwrap()));
+        assert!(chosen.contains(&"k1".parse().unwrap()));
+        assert!(!chosen.contains(&"k3".parse().unwrap()));
+        assert!(chosen.contains(&"r2".parse().unwrap()));
+    }
+
+    #[test]
+    fn blueprint_reports_every_shortfall() {
+        let blueprint = Blueprint::new()
+            .require("tcp", CognitionLevel::Knowledge, 5)
+            .require("dns", CognitionLevel::Evaluation, 2)
+            .require("routing", CognitionLevel::Knowledge, 1);
+        let err = assemble_from_blueprint(&bank(), &blueprint).unwrap_err();
+        assert_eq!(err.shortfalls.len(), 2);
+        let text = err.to_string();
+        assert!(text.contains("tcp × A: want 5, have 3"), "{text}");
+        assert!(text.contains("dns × F: want 2, have 0"), "{text}");
+    }
+
+    #[test]
+    fn blueprint_requires_nothing_yields_nothing() {
+        let chosen = assemble_from_blueprint(&bank(), &Blueprint::new()).unwrap();
+        assert!(chosen.is_empty());
+        assert_eq!(Blueprint::new().total(), 0);
+    }
+
+    #[test]
+    fn repeated_require_accumulates() {
+        let blueprint = Blueprint::new()
+            .require("tcp", CognitionLevel::Knowledge, 1)
+            .require("tcp", CognitionLevel::Knowledge, 2);
+        assert_eq!(blueprint.total(), 3);
+    }
+
+    #[test]
+    fn parallel_forms_are_disjoint_and_balanced() {
+        // 12 problems with difficulties 0.05 … 0.60.
+        let bank: Vec<Problem> = (0..12)
+            .map(|i| {
+                problem(
+                    &format!("p{i:02}"),
+                    "s",
+                    CognitionLevel::Knowledge,
+                    Some(0.05 * (i + 1) as f64),
+                )
+            })
+            .collect();
+        let forms = assemble_parallel_forms(&bank, 2, 6).unwrap();
+        assert_eq!(forms.len(), 2);
+        assert_eq!(forms[0].len(), 6);
+        // Disjoint.
+        let all: std::collections::HashSet<_> = forms.iter().flatten().collect();
+        assert_eq!(all.len(), 12);
+        // Balanced: mean difficulty per form within 0.03 of each other.
+        let mean = |ids: &Vec<ProblemId>| {
+            ids.iter()
+                .map(|id| {
+                    bank.iter()
+                        .find(|p| p.id() == id)
+                        .unwrap()
+                        .metadata()
+                        .individual_test
+                        .as_ref()
+                        .unwrap()
+                        .difficulty
+                        .unwrap()
+                        .value()
+                })
+                .sum::<f64>()
+                / ids.len() as f64
+        };
+        assert!(
+            (mean(&forms[0]) - mean(&forms[1])).abs() < 0.03,
+            "form means {} vs {}",
+            mean(&forms[0]),
+            mean(&forms[1])
+        );
+    }
+
+    #[test]
+    fn parallel_forms_insufficient_bank_reports_missing_count() {
+        let err = assemble_parallel_forms(&bank(), 3, 4).unwrap_err();
+        assert_eq!(err, 6, "need 12, have 6");
+        assert!(assemble_parallel_forms(&bank(), 0, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn three_forms_stay_balanced() {
+        let bank: Vec<Problem> = (0..18)
+            .map(|i| {
+                problem(
+                    &format!("p{i:02}"),
+                    "s",
+                    CognitionLevel::Knowledge,
+                    Some(0.05 + 0.05 * i as f64),
+                )
+            })
+            .collect();
+        let forms = assemble_parallel_forms(&bank, 3, 6).unwrap();
+        let means: Vec<f64> = forms
+            .iter()
+            .map(|ids| {
+                ids.iter()
+                    .map(|id| {
+                        bank.iter()
+                            .find(|p| p.id() == id)
+                            .unwrap()
+                            .metadata()
+                            .individual_test
+                            .as_ref()
+                            .unwrap()
+                            .difficulty
+                            .unwrap()
+                            .value()
+                    })
+                    .sum::<f64>()
+                    / ids.len() as f64
+            })
+            .collect();
+        let spread = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - means.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread < 0.05, "means {means:?}");
+    }
+}

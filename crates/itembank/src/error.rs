@@ -1,0 +1,109 @@
+//! Error type of the item bank.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use mine_core::CoreError;
+
+/// Errors raised by problem construction, grading, and the repository.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BankError {
+    /// No entity with the given identifier exists.
+    NotFound {
+        /// Entity kind ("problem", "exam", "template", …).
+        kind: &'static str,
+        /// The identifier looked up.
+        id: String,
+    },
+    /// An entity with the same identifier already exists.
+    Duplicate {
+        /// Entity kind.
+        kind: &'static str,
+        /// The colliding identifier.
+        id: String,
+    },
+    /// A problem definition failed validation.
+    InvalidProblem {
+        /// Which problem.
+        id: String,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// An exam definition failed validation.
+    InvalidExam {
+        /// Which exam.
+        id: String,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// An answer could not be graded against the problem type.
+    AnswerMismatch {
+        /// The problem being graded.
+        problem: String,
+        /// What kind of answer the problem expects.
+        expected: &'static str,
+    },
+    /// A core vocabulary error surfaced.
+    Core(CoreError),
+}
+
+impl fmt::Display for BankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BankError::NotFound { kind, id } => write!(f, "{kind} {id:?} not found"),
+            BankError::Duplicate { kind, id } => write!(f, "{kind} {id:?} already exists"),
+            BankError::InvalidProblem { id, reason } => {
+                write!(f, "invalid problem {id:?}: {reason}")
+            }
+            BankError::InvalidExam { id, reason } => write!(f, "invalid exam {id:?}: {reason}"),
+            BankError::AnswerMismatch { problem, expected } => {
+                write!(
+                    f,
+                    "answer to {problem:?} does not match the expected {expected} form"
+                )
+            }
+            BankError::Core(err) => write!(f, "core error: {err}"),
+        }
+    }
+}
+
+impl StdError for BankError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            BankError::Core(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for BankError {
+    fn from(err: CoreError) -> Self {
+        BankError::Core(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let err = BankError::NotFound {
+            kind: "problem",
+            id: "q9".into(),
+        };
+        assert_eq!(err.to_string(), "problem \"q9\" not found");
+        let err = BankError::AnswerMismatch {
+            problem: "q1".into(),
+            expected: "choice",
+        };
+        assert!(err.to_string().contains("choice"));
+    }
+
+    #[test]
+    fn wraps_core_errors() {
+        let err: BankError = CoreError::InvalidOptionKey("9".into()).into();
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,518 @@
+//! Exams and the presentation-style group service (§5.4).
+//!
+//! "There are various kinds of exam presentation style. It is hard to
+//! design all possible exam presentation styles. In order to solve the
+//! problem, instructors can use group service to make all possible
+//! presentation style." An [`Exam`] is an ordered list of
+//! [`ExamEntry`]s, each optionally assigned to a [`PresentationGroup`]
+//! that controls how its questions render and shuffle.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use mine_core::{ExamId, GroupId, ProblemId};
+use mine_metadata::{DisplayOrder, ExamMeta};
+
+use crate::error::BankError;
+
+/// Rendering/shuffling style of a presentation group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupStyle {
+    /// Columns used when rendering the group's questions.
+    pub columns: u8,
+    /// Shuffle question order *within* the group on delivery.
+    pub shuffle_within: bool,
+    /// Start the group on a fresh page/screen.
+    pub page_break: bool,
+    /// Heading shown above the group.
+    pub heading: String,
+}
+
+impl Default for GroupStyle {
+    fn default() -> Self {
+        Self {
+            columns: 1,
+            shuffle_within: false,
+            page_break: false,
+            heading: String::new(),
+        }
+    }
+}
+
+/// A named presentation group (§5.4 group service).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PresentationGroup {
+    /// Group identifier, referenced by entries.
+    pub id: GroupId,
+    /// Rendering style.
+    pub style: GroupStyle,
+}
+
+impl PresentationGroup {
+    /// Creates a group with the default style.
+    #[must_use]
+    pub fn new(id: GroupId) -> Self {
+        Self {
+            id,
+            style: GroupStyle::default(),
+        }
+    }
+
+    /// Builder-style style setter.
+    #[must_use]
+    pub fn with_style(mut self, style: GroupStyle) -> Self {
+        self.style = style;
+        self
+    }
+}
+
+/// One slot of an exam: a problem plus exam-local overrides.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExamEntry {
+    /// The referenced problem.
+    pub problem: ProblemId,
+    /// Points this problem is worth *in this exam* (overrides the
+    /// problem's own default when set).
+    pub points: Option<f64>,
+    /// The presentation group the entry belongs to, if any.
+    pub group: Option<GroupId>,
+}
+
+impl ExamEntry {
+    /// Creates an ungrouped entry with default points.
+    #[must_use]
+    pub fn new(problem: ProblemId) -> Self {
+        Self {
+            problem,
+            points: None,
+            group: None,
+        }
+    }
+
+    /// Builder-style group assignment.
+    #[must_use]
+    pub fn in_group(mut self, group: GroupId) -> Self {
+        self.group = Some(group);
+        self
+    }
+
+    /// Builder-style point override.
+    #[must_use]
+    pub fn worth(mut self, points: f64) -> Self {
+        self.points = Some(points);
+        self
+    }
+}
+
+/// An exam: ordered entries, presentation groups, display order, and
+/// exam-level metadata (§3.4).
+///
+/// # Examples
+///
+/// ```
+/// use mine_itembank::Exam;
+///
+/// let exam = Exam::builder("midterm")?
+///     .title("Midterm 2004")
+///     .entry("q1".parse()?)
+///     .entry("q2".parse()?)
+///     .build()?;
+/// assert_eq!(exam.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exam {
+    id: ExamId,
+    title: String,
+    entries: Vec<ExamEntry>,
+    groups: Vec<PresentationGroup>,
+    display_order: DisplayOrder,
+    meta: ExamMeta,
+}
+
+impl Exam {
+    /// Starts building an exam.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::Core`] for an invalid identifier.
+    pub fn builder(id: impl Into<String>) -> Result<ExamBuilder, BankError> {
+        Ok(ExamBuilder {
+            exam: Exam {
+                id: ExamId::new(id.into())?,
+                title: String::new(),
+                entries: Vec::new(),
+                groups: Vec::new(),
+                display_order: DisplayOrder::Fixed,
+                meta: ExamMeta::default(),
+            },
+        })
+    }
+
+    /// The exam identifier.
+    #[must_use]
+    pub fn id(&self) -> &ExamId {
+        &self.id
+    }
+
+    /// The exam title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The ordered entries.
+    #[must_use]
+    pub fn entries(&self) -> &[ExamEntry] {
+        &self.entries
+    }
+
+    /// The presentation groups.
+    #[must_use]
+    pub fn groups(&self) -> &[PresentationGroup] {
+        &self.groups
+    }
+
+    /// Looks up a group by id.
+    #[must_use]
+    pub fn group(&self, id: &GroupId) -> Option<&PresentationGroup> {
+        self.groups.iter().find(|g| &g.id == id)
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the exam has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fixed or random overall display order (§3.2-VI-C).
+    #[must_use]
+    pub fn display_order(&self) -> DisplayOrder {
+        self.display_order
+    }
+
+    /// Exam-level metadata (test time, average time, ISI).
+    #[must_use]
+    pub fn meta(&self) -> &ExamMeta {
+        &self.meta
+    }
+
+    /// Mutable exam-level metadata.
+    pub fn meta_mut(&mut self) -> &mut ExamMeta {
+        &mut self.meta
+    }
+
+    /// The problems in entry order.
+    #[must_use]
+    pub fn problem_ids(&self) -> Vec<ProblemId> {
+        self.entries.iter().map(|e| e.problem.clone()).collect()
+    }
+
+    /// Entries of one group, in exam order.
+    pub fn entries_in_group<'a>(
+        &'a self,
+        group: &'a GroupId,
+    ) -> impl Iterator<Item = &'a ExamEntry> + 'a {
+        self.entries
+            .iter()
+            .filter(move |e| e.group.as_ref() == Some(group))
+    }
+
+    /// Appends an entry after construction (authoring edit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::Duplicate`] if the problem is already on the
+    /// exam and [`BankError::InvalidExam`] for an unknown group.
+    pub fn push_entry(&mut self, entry: ExamEntry) -> Result<(), BankError> {
+        if self.entries.iter().any(|e| e.problem == entry.problem) {
+            return Err(BankError::Duplicate {
+                kind: "exam entry",
+                id: entry.problem.to_string(),
+            });
+        }
+        if let Some(group) = &entry.group {
+            if self.group(group).is_none() {
+                return Err(BankError::InvalidExam {
+                    id: self.id.to_string(),
+                    reason: format!("entry references unknown group {group}"),
+                });
+            }
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Removes the entry for a problem, returning whether it existed.
+    pub fn remove_entry(&mut self, problem: &ProblemId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| &e.problem != problem);
+        self.entries.len() != before
+    }
+
+    /// Adds a presentation group (authoring edit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::Duplicate`] for a group id already in use.
+    pub fn add_group(&mut self, group: PresentationGroup) -> Result<(), BankError> {
+        if self.group(&group.id).is_some() {
+            return Err(BankError::Duplicate {
+                kind: "group",
+                id: group.id.to_string(),
+            });
+        }
+        self.groups.push(group);
+        Ok(())
+    }
+
+    /// Removes a group; entries that referenced it become ungrouped.
+    pub fn remove_group(&mut self, id: &GroupId) -> bool {
+        let before = self.groups.len();
+        self.groups.retain(|g| &g.id != id);
+        if self.groups.len() == before {
+            return false;
+        }
+        for entry in &mut self.entries {
+            if entry.group.as_ref() == Some(id) {
+                entry.group = None;
+            }
+        }
+        true
+    }
+
+    /// Validates entry and group consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::InvalidExam`] for duplicate problems,
+    /// duplicate group ids, or entries referencing unknown groups.
+    pub fn validate(&self) -> Result<(), BankError> {
+        let fail = |reason: String| {
+            Err(BankError::InvalidExam {
+                id: self.id.to_string(),
+                reason,
+            })
+        };
+        let mut seen = HashSet::new();
+        for entry in &self.entries {
+            if !seen.insert(&entry.problem) {
+                return fail(format!("problem {} appears twice", entry.problem));
+            }
+            if let Some(points) = entry.points {
+                if !points.is_finite() || points < 0.0 {
+                    return fail(format!("bad points override on {}", entry.problem));
+                }
+            }
+        }
+        let mut group_ids = HashSet::new();
+        for group in &self.groups {
+            if !group_ids.insert(&group.id) {
+                return fail(format!("group {} defined twice", group.id));
+            }
+            if group.style.columns == 0 {
+                return fail(format!("group {} has zero columns", group.id));
+            }
+        }
+        for entry in &self.entries {
+            if let Some(group) = &entry.group {
+                if !group_ids.contains(group) {
+                    return fail(format!(
+                        "entry {} references unknown group {group}",
+                        entry.problem
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Exam`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct ExamBuilder {
+    exam: Exam,
+}
+
+impl ExamBuilder {
+    /// Sets the title.
+    #[must_use]
+    pub fn title(mut self, title: impl Into<String>) -> Self {
+        self.exam.title = title.into();
+        self
+    }
+
+    /// Sets fixed/random display order.
+    #[must_use]
+    pub fn display_order(mut self, order: DisplayOrder) -> Self {
+        self.exam.display_order = order;
+        self
+    }
+
+    /// Sets the test time limit.
+    #[must_use]
+    pub fn test_time(mut self, limit: Duration) -> Self {
+        self.exam.meta.test_time = Some(limit);
+        self
+    }
+
+    /// Adds a presentation group.
+    #[must_use]
+    pub fn group(mut self, group: PresentationGroup) -> Self {
+        self.exam.groups.push(group);
+        self
+    }
+
+    /// Adds an ungrouped entry with default points.
+    #[must_use]
+    pub fn entry(mut self, problem: ProblemId) -> Self {
+        self.exam.entries.push(ExamEntry::new(problem));
+        self
+    }
+
+    /// Adds a fully specified entry.
+    #[must_use]
+    pub fn entry_with(mut self, entry: ExamEntry) -> Self {
+        self.exam.entries.push(entry);
+        self
+    }
+
+    /// Finishes the build, validating consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::InvalidExam`] when validation fails.
+    pub fn build(self) -> Result<Exam, BankError> {
+        self.exam.validate()?;
+        Ok(self.exam)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(s: &str) -> ProblemId {
+        s.parse().unwrap()
+    }
+
+    fn gid(s: &str) -> GroupId {
+        s.parse().unwrap()
+    }
+
+    fn sample() -> Exam {
+        Exam::builder("midterm")
+            .unwrap()
+            .title("Midterm")
+            .group(PresentationGroup::new(gid("g1")).with_style(GroupStyle {
+                columns: 2,
+                shuffle_within: true,
+                page_break: true,
+                heading: "Part I".into(),
+            }))
+            .entry_with(ExamEntry::new(pid("q1")).in_group(gid("g1")))
+            .entry_with(ExamEntry::new(pid("q2")).in_group(gid("g1")).worth(5.0))
+            .entry(pid("q3"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_consistent_exam() {
+        let exam = sample();
+        assert_eq!(exam.len(), 3);
+        assert_eq!(exam.title(), "Midterm");
+        assert_eq!(exam.entries_in_group(&gid("g1")).count(), 2);
+        assert_eq!(exam.display_order(), DisplayOrder::Fixed);
+        assert_eq!(exam.problem_ids(), vec![pid("q1"), pid("q2"), pid("q3")]);
+    }
+
+    #[test]
+    fn duplicate_problem_rejected() {
+        let result = Exam::builder("e")
+            .unwrap()
+            .entry(pid("q1"))
+            .entry(pid("q1"))
+            .build();
+        assert!(matches!(result, Err(BankError::InvalidExam { .. })));
+    }
+
+    #[test]
+    fn unknown_group_rejected() {
+        let result = Exam::builder("e")
+            .unwrap()
+            .entry_with(ExamEntry::new(pid("q1")).in_group(gid("ghost")))
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn zero_column_group_rejected() {
+        let result = Exam::builder("e")
+            .unwrap()
+            .group(PresentationGroup::new(gid("g")).with_style(GroupStyle {
+                columns: 0,
+                ..GroupStyle::default()
+            }))
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn negative_points_override_rejected() {
+        let result = Exam::builder("e")
+            .unwrap()
+            .entry_with(ExamEntry::new(pid("q1")).worth(-2.0))
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn push_entry_checks_duplicates_and_groups() {
+        let mut exam = sample();
+        assert!(exam.push_entry(ExamEntry::new(pid("q1"))).is_err());
+        assert!(exam
+            .push_entry(ExamEntry::new(pid("q4")).in_group(gid("ghost")))
+            .is_err());
+        assert!(exam.push_entry(ExamEntry::new(pid("q4"))).is_ok());
+        assert_eq!(exam.len(), 4);
+    }
+
+    #[test]
+    fn remove_entry_and_group() {
+        let mut exam = sample();
+        assert!(exam.remove_entry(&pid("q3")));
+        assert!(!exam.remove_entry(&pid("q3")));
+        assert!(exam.remove_group(&gid("g1")));
+        // Entries previously in g1 become ungrouped.
+        assert!(exam.entries().iter().all(|e| e.group.is_none()));
+        assert!(!exam.remove_group(&gid("g1")));
+    }
+
+    #[test]
+    fn test_time_builder() {
+        let exam = Exam::builder("e")
+            .unwrap()
+            .test_time(Duration::from_secs(600))
+            .build()
+            .unwrap();
+        assert_eq!(exam.meta().test_time, Some(Duration::from_secs(600)));
+        assert!(exam.is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let exam = sample();
+        let json = serde_json::to_string(&exam).unwrap();
+        let back: Exam = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, exam);
+    }
+}

@@ -1,0 +1,58 @@
+//! The problem & exam database of the authoring system (§5.1–§5.4).
+//!
+//! The paper's architecture (§5) centres on an *internal problem and exam
+//! database* that authors, instructors and tutors search and edit. This
+//! crate provides that database:
+//!
+//! * [`Problem`] — one question with typed content ([`ProblemBody`]),
+//!   MINE metadata, points, and mechanical grading for objective styles
+//!   (§5.1: choice, fill-in-blank, true-false; plus the §3.2 styles),
+//! * [`Template`] — reusable presentation layouts with positioned media
+//!   (§5.3),
+//! * [`Exam`] — an ordered set of problems with presentation-style
+//!   groups (§5.4's *group service*),
+//! * [`SearchIndex`]/[`Query`] — "search similar or specific subject or
+//!   related problems" (§5),
+//! * [`Repository`] — a concurrent in-memory store with versioning.
+//!
+//! # Examples
+//!
+//! ```
+//! use mine_core::OptionKey;
+//! use mine_itembank::{ChoiceOption, Problem, Repository};
+//!
+//! let repo = Repository::new();
+//! let problem = Problem::multiple_choice(
+//!     "q1",
+//!     "Which layer does TCP live in?",
+//!     [
+//!         ChoiceOption::new(OptionKey::A, "Transport"),
+//!         ChoiceOption::new(OptionKey::B, "Network"),
+//!     ],
+//!     OptionKey::A,
+//! )?;
+//! repo.insert_problem(problem)?;
+//! assert_eq!(repo.problem_count(), 1);
+//! # Ok::<(), mine_itembank::BankError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assemble;
+pub mod error;
+pub mod exam;
+pub mod persist;
+pub mod problem;
+pub mod repository;
+pub mod search;
+pub mod template;
+
+pub use assemble::{assemble_from_blueprint, assemble_parallel_forms, Blueprint};
+pub use error::BankError;
+pub use exam::{Exam, ExamBuilder, ExamEntry, GroupStyle, PresentationGroup};
+pub use persist::RepositorySnapshot;
+pub use problem::{ChoiceOption, Grade, MatchPairs, Problem, ProblemBody};
+pub use repository::Repository;
+pub use search::{Query, QueryBuilder, SearchHit, SearchIndex};
+pub use template::{LayoutSlot, Position, Template};

@@ -1,0 +1,241 @@
+//! Repository persistence: snapshot the whole database to JSON and
+//! restore it.
+//!
+//! The paper's system keeps its problems and exams in a database behind
+//! the authoring tools (§5); this module gives the in-memory
+//! [`Repository`] a durable form — a [`RepositorySnapshot`] that
+//! serializes with serde and round-trips through a file.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::BankError;
+use crate::exam::Exam;
+use crate::problem::Problem;
+use crate::repository::Repository;
+use crate::template::Template;
+
+/// A point-in-time copy of everything in a repository.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RepositorySnapshot {
+    /// Schema version of the snapshot format.
+    pub format_version: u32,
+    /// All problems.
+    pub problems: Vec<Problem>,
+    /// All exams.
+    pub exams: Vec<Exam>,
+    /// All templates.
+    pub templates: Vec<Template>,
+}
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+impl RepositorySnapshot {
+    /// Takes a snapshot of a repository.
+    #[must_use]
+    pub fn capture(repository: &Repository) -> Self {
+        let problems = repository
+            .problem_ids()
+            .into_iter()
+            .filter_map(|id| repository.problem(&id).ok())
+            .collect();
+        let exams = repository
+            .exam_ids()
+            .into_iter()
+            .filter_map(|id| repository.exam(&id).ok())
+            .collect();
+        let templates = repository.template_snapshot();
+        Self {
+            format_version: FORMAT_VERSION,
+            problems,
+            exams,
+            templates,
+        }
+    }
+
+    /// Restores a snapshot into a fresh repository.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError`] when the snapshot's contents fail
+    /// validation (e.g. duplicate ids, dangling exam references).
+    pub fn restore(&self) -> Result<Repository, BankError> {
+        let repository = Repository::new();
+        for problem in &self.problems {
+            repository.insert_problem(problem.clone())?;
+        }
+        for template in &self.templates {
+            repository.insert_template(template.clone())?;
+        }
+        for exam in &self.exams {
+            repository.insert_exam(exam.clone())?;
+        }
+        Ok(repository)
+    }
+
+    /// Serializes the snapshot as pretty JSON to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] on write or encoding failure.
+    pub fn write_json<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err))?;
+        writer.write_all(json.as_bytes())
+    }
+
+    /// Parses a snapshot from a JSON reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] on read or decoding failure (including
+    /// an unsupported `format_version`).
+    pub fn read_json<R: Read>(mut reader: R) -> std::io::Result<Self> {
+        let mut text = String::new();
+        reader.read_to_string(&mut text)?;
+        let snapshot: Self = serde_json::from_str(&text)
+            .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err))?;
+        if snapshot.format_version > FORMAT_VERSION {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "snapshot format {} is newer than supported {}",
+                    snapshot.format_version, FORMAT_VERSION
+                ),
+            ));
+        }
+        Ok(snapshot)
+    }
+
+    /// Saves the snapshot to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.write_json(std::io::BufWriter::new(file))
+    }
+
+    /// Loads a snapshot from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] on filesystem or decoding failure.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        Self::read_json(std::io::BufReader::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exam::ExamEntry;
+    use mine_core::OptionKey;
+
+    fn loaded_repository() -> Repository {
+        let repo = Repository::new();
+        for i in 0..6 {
+            repo.insert_problem(
+                Problem::multiple_choice(
+                    format!("q{i}"),
+                    format!("Question {i}"),
+                    OptionKey::first(4)
+                        .map(|k| crate::problem::ChoiceOption::new(k, format!("{k}"))),
+                    OptionKey::A,
+                )
+                .unwrap()
+                .with_subject("persist"),
+            )
+            .unwrap();
+        }
+        repo.insert_template(Template::new("t1".parse().unwrap(), "layout"))
+            .unwrap();
+        let exam = Exam::builder("persisted-exam")
+            .unwrap()
+            .entry_with(ExamEntry::new("q0".parse().unwrap()).worth(2.0))
+            .entry("q1".parse().unwrap())
+            .build()
+            .unwrap();
+        repo.insert_exam(exam).unwrap();
+        repo
+    }
+
+    #[test]
+    fn capture_restore_round_trip() {
+        let repo = loaded_repository();
+        let snapshot = RepositorySnapshot::capture(&repo);
+        assert_eq!(snapshot.problems.len(), 6);
+        assert_eq!(snapshot.exams.len(), 1);
+        assert_eq!(snapshot.templates.len(), 1);
+
+        let restored = snapshot.restore().unwrap();
+        assert_eq!(restored.problem_count(), 6);
+        assert_eq!(restored.exam_count(), 1);
+        assert_eq!(restored.template_count(), 1);
+        assert_eq!(
+            restored.problem(&"q3".parse().unwrap()).unwrap(),
+            repo.problem(&"q3".parse().unwrap()).unwrap()
+        );
+        // Search works after restore.
+        assert_eq!(
+            restored
+                .search(&crate::search::Query::text("persist"))
+                .len(),
+            6
+        );
+    }
+
+    #[test]
+    fn json_round_trip_through_memory() {
+        let snapshot = RepositorySnapshot::capture(&loaded_repository());
+        let mut buffer = Vec::new();
+        snapshot.write_json(&mut buffer).unwrap();
+        let back = RepositorySnapshot::read_json(buffer.as_slice()).unwrap();
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let snapshot = RepositorySnapshot::capture(&loaded_repository());
+        let dir = std::env::temp_dir().join(format!("mine-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bank.json");
+        snapshot.save(&path).unwrap();
+        let back = RepositorySnapshot::load(&path).unwrap();
+        assert_eq!(back, snapshot);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_json_is_rejected() {
+        assert!(RepositorySnapshot::read_json("not json".as_bytes()).is_err());
+        assert!(RepositorySnapshot::read_json("{\"truncated\":".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn future_format_version_is_rejected() {
+        let mut snapshot = RepositorySnapshot::capture(&loaded_repository());
+        snapshot.format_version = FORMAT_VERSION + 1;
+        let mut buffer = Vec::new();
+        snapshot.write_json(&mut buffer).unwrap();
+        assert!(RepositorySnapshot::read_json(buffer.as_slice()).is_err());
+    }
+
+    #[test]
+    fn snapshot_with_dangling_exam_fails_restore() {
+        let mut snapshot = RepositorySnapshot::capture(&loaded_repository());
+        snapshot.problems.clear();
+        assert!(snapshot.restore().is_err());
+    }
+
+    #[test]
+    fn empty_snapshot_restores_empty_repository() {
+        let restored = RepositorySnapshot::default().restore().unwrap();
+        assert_eq!(restored.problem_count(), 0);
+    }
+}

@@ -1,0 +1,931 @@
+//! Problems: typed question content plus metadata and grading (§5.1).
+//!
+//! "Problem authoring provides several problem types, and there are
+//! choice problem, fill-in blank problem and true-false choice problem"
+//! (§5.1); the metadata model additionally names essay, match, and
+//! questionnaire styles (§3.2). Each problem carries its MINE metadata
+//! (§5.2: "problem in our system has two sections, one is metadata
+//! information, and another one is problem content").
+
+use serde::{Deserialize, Serialize};
+
+use mine_core::{Answer, CognitionLevel, OptionKey, ProblemId, Subject};
+use mine_metadata::{CognitionMeta, IndividualTestMeta, MineMetadata, QuestionStyle};
+
+use crate::error::BankError;
+use crate::template::TemplateRef;
+
+/// One option of a choice or questionnaire problem.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChoiceOption {
+    /// The option key shown to the learner (`A`, `B`, …).
+    pub key: OptionKey,
+    /// The option text.
+    pub text: String,
+}
+
+impl ChoiceOption {
+    /// Creates an option.
+    #[must_use]
+    pub fn new(key: OptionKey, text: impl Into<String>) -> Self {
+        Self {
+            key,
+            text: text.into(),
+        }
+    }
+}
+
+/// The left/right columns of a match problem and the correct pairing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchPairs {
+    /// Prompts (left column).
+    pub left: Vec<String>,
+    /// Candidate matches (right column); may exceed `left` as distractors.
+    pub right: Vec<String>,
+    /// `correct[i]` is the right-column index matching `left[i]`.
+    pub correct: Vec<usize>,
+}
+
+/// Typed content of a problem (§3.2 styles).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProblemBody {
+    /// Multiple choice with exactly one correct option.
+    MultipleChoice {
+        /// Question stem.
+        stem: String,
+        /// The candidate options.
+        options: Vec<ChoiceOption>,
+        /// The key of the correct option.
+        correct: OptionKey,
+    },
+    /// True/false judgement ("two elements are Question and Hint").
+    TrueFalse {
+        /// Question stem.
+        stem: String,
+        /// Optional hint shown to the learner.
+        hint: String,
+        /// The correct judgement.
+        correct: bool,
+    },
+    /// Open-ended essay ("defines the text of an open-ended essay
+    /// question … two elements are Question and Hint").
+    Essay {
+        /// Question text.
+        question: String,
+        /// Optional hint.
+        hint: String,
+        /// Marker keywords: when non-empty, an answer containing at least
+        /// half of them (case-insensitive) is auto-marked correct;
+        /// otherwise essays need manual marking.
+        keywords: Vec<String>,
+    },
+    /// Fill-in-blank / cloze ("design a question like fill-in blank or
+    /// cloze"); `blanks[i]` is the accepted text for blank `i`.
+    Completion {
+        /// Stem with blank placeholders.
+        stem: String,
+        /// Accepted answer per blank (compared case-insensitively,
+        /// trimmed).
+        blanks: Vec<String>,
+    },
+    /// Match problem ("define a question with proper matched choice").
+    Match(MatchPairs),
+    /// A questionnaire prompt — opinion gathering, no correct answer.
+    Questionnaire {
+        /// The prompt text.
+        prompt: String,
+        /// Response options.
+        options: Vec<ChoiceOption>,
+    },
+}
+
+impl ProblemBody {
+    /// The metadata question style for this body.
+    #[must_use]
+    pub fn style(&self) -> QuestionStyle {
+        match self {
+            ProblemBody::MultipleChoice { .. } => QuestionStyle::MultipleChoice,
+            ProblemBody::TrueFalse { .. } => QuestionStyle::TrueFalse,
+            ProblemBody::Essay { .. } => QuestionStyle::Essay,
+            ProblemBody::Completion { .. } => QuestionStyle::Completion,
+            ProblemBody::Match(_) => QuestionStyle::Match,
+            ProblemBody::Questionnaire { .. } => QuestionStyle::Questionnaire,
+        }
+    }
+
+    /// The text a learner reads first (stem/question/prompt).
+    #[must_use]
+    pub fn stem(&self) -> &str {
+        match self {
+            ProblemBody::MultipleChoice { stem, .. }
+            | ProblemBody::TrueFalse { stem, .. }
+            | ProblemBody::Completion { stem, .. } => stem,
+            ProblemBody::Essay { question, .. } => question,
+            ProblemBody::Match(pairs) => pairs.left.first().map_or("", String::as_str),
+            ProblemBody::Questionnaire { prompt, .. } => prompt,
+        }
+    }
+
+    /// The canonical correct answer, when one exists.
+    #[must_use]
+    pub fn correct_answer(&self) -> Option<Answer> {
+        match self {
+            ProblemBody::MultipleChoice { correct, .. } => Some(Answer::Choice(*correct)),
+            ProblemBody::TrueFalse { correct, .. } => Some(Answer::TrueFalse(*correct)),
+            ProblemBody::Completion { blanks, .. } => Some(Answer::Completion(blanks.clone())),
+            ProblemBody::Match(pairs) => Some(Answer::Match(pairs.correct.clone())),
+            ProblemBody::Essay { .. } | ProblemBody::Questionnaire { .. } => None,
+        }
+    }
+
+    /// Options shown for choice-like bodies.
+    #[must_use]
+    pub fn options(&self) -> &[ChoiceOption] {
+        match self {
+            ProblemBody::MultipleChoice { options, .. }
+            | ProblemBody::Questionnaire { options, .. } => options,
+            _ => &[],
+        }
+    }
+}
+
+/// The outcome of grading one answer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Grade {
+    /// Whether the answer counts as correct for index computation.
+    pub is_correct: bool,
+    /// Points awarded (may be partial for completion/match).
+    pub points_awarded: f64,
+    /// Points the problem was worth.
+    pub points_possible: f64,
+    /// Whether a human marker still needs to look at the answer.
+    pub needs_manual: bool,
+}
+
+impl Grade {
+    fn correct(points: f64) -> Self {
+        Self {
+            is_correct: true,
+            points_awarded: points,
+            points_possible: points,
+            needs_manual: false,
+        }
+    }
+
+    fn incorrect(points_possible: f64) -> Self {
+        Self {
+            is_correct: false,
+            points_awarded: 0.0,
+            points_possible,
+            needs_manual: false,
+        }
+    }
+
+    fn partial(fraction: f64, points_possible: f64) -> Self {
+        Self {
+            is_correct: fraction >= 1.0,
+            points_awarded: fraction * points_possible,
+            points_possible,
+            needs_manual: false,
+        }
+    }
+
+    fn manual(points_possible: f64) -> Self {
+        Self {
+            is_correct: false,
+            points_awarded: 0.0,
+            points_possible,
+            needs_manual: true,
+        }
+    }
+}
+
+/// A problem: identifier, typed body, MINE metadata, and point value.
+///
+/// # Examples
+///
+/// ```
+/// use mine_core::{Answer, OptionKey};
+/// use mine_itembank::{ChoiceOption, Problem};
+///
+/// let q = Problem::multiple_choice(
+///     "q1",
+///     "2 + 2 = ?",
+///     [
+///         ChoiceOption::new(OptionKey::A, "4"),
+///         ChoiceOption::new(OptionKey::B, "5"),
+///     ],
+///     OptionKey::A,
+/// )?;
+/// let grade = q.grade(&Answer::Choice(OptionKey::A))?;
+/// assert!(grade.is_correct);
+/// # Ok::<(), mine_itembank::BankError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Problem {
+    id: ProblemId,
+    body: ProblemBody,
+    metadata: MineMetadata,
+    points: f64,
+    template: Option<TemplateRef>,
+}
+
+impl Problem {
+    /// Default point value for newly authored problems.
+    pub const DEFAULT_POINTS: f64 = 1.0;
+
+    /// Creates a problem from parts, validating the body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::InvalidProblem`] when the body fails
+    /// validation (see [`Problem::validate`]) and [`BankError::Core`] for
+    /// a bad identifier.
+    pub fn new(id: impl Into<String>, body: ProblemBody) -> Result<Self, BankError> {
+        let id = ProblemId::new(id.into())?;
+        let style = body.style();
+        let mut metadata = MineMetadata::builder(id.as_str()).style(style).build();
+        metadata.individual_test = Some(IndividualTestMeta {
+            answer: body.correct_answer(),
+            ..IndividualTestMeta::default()
+        });
+        let problem = Self {
+            id,
+            body,
+            metadata,
+            points: Self::DEFAULT_POINTS,
+            template: None,
+        };
+        problem.validate()?;
+        Ok(problem)
+    }
+
+    /// Convenience constructor for a multiple-choice problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::InvalidProblem`] for fewer than two options,
+    /// duplicate option keys, or a `correct` key not among the options.
+    pub fn multiple_choice(
+        id: impl Into<String>,
+        stem: impl Into<String>,
+        options: impl IntoIterator<Item = ChoiceOption>,
+        correct: OptionKey,
+    ) -> Result<Self, BankError> {
+        Self::new(
+            id,
+            ProblemBody::MultipleChoice {
+                stem: stem.into(),
+                options: options.into_iter().collect(),
+                correct,
+            },
+        )
+    }
+
+    /// Convenience constructor for a true/false problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::Core`] for a bad identifier.
+    pub fn true_false(
+        id: impl Into<String>,
+        stem: impl Into<String>,
+        correct: bool,
+    ) -> Result<Self, BankError> {
+        Self::new(
+            id,
+            ProblemBody::TrueFalse {
+                stem: stem.into(),
+                hint: String::new(),
+                correct,
+            },
+        )
+    }
+
+    /// Convenience constructor for an essay problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::Core`] for a bad identifier.
+    pub fn essay(id: impl Into<String>, question: impl Into<String>) -> Result<Self, BankError> {
+        Self::new(
+            id,
+            ProblemBody::Essay {
+                question: question.into(),
+                hint: String::new(),
+                keywords: Vec::new(),
+            },
+        )
+    }
+
+    /// Convenience constructor for a completion (fill-in) problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::InvalidProblem`] when `blanks` is empty.
+    pub fn completion(
+        id: impl Into<String>,
+        stem: impl Into<String>,
+        blanks: impl IntoIterator<Item = String>,
+    ) -> Result<Self, BankError> {
+        Self::new(
+            id,
+            ProblemBody::Completion {
+                stem: stem.into(),
+                blanks: blanks.into_iter().collect(),
+            },
+        )
+    }
+
+    /// Convenience constructor for a match problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::InvalidProblem`] for inconsistent pairings.
+    pub fn match_items(id: impl Into<String>, pairs: MatchPairs) -> Result<Self, BankError> {
+        Self::new(id, ProblemBody::Match(pairs))
+    }
+
+    /// Convenience constructor for a questionnaire prompt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::InvalidProblem`] when no options are given.
+    pub fn questionnaire(
+        id: impl Into<String>,
+        prompt: impl Into<String>,
+        options: impl IntoIterator<Item = ChoiceOption>,
+    ) -> Result<Self, BankError> {
+        Self::new(
+            id,
+            ProblemBody::Questionnaire {
+                prompt: prompt.into(),
+                options: options.into_iter().collect(),
+            },
+        )
+    }
+
+    /// The problem identifier.
+    #[must_use]
+    pub fn id(&self) -> &ProblemId {
+        &self.id
+    }
+
+    /// The typed content.
+    #[must_use]
+    pub fn body(&self) -> &ProblemBody {
+        &self.body
+    }
+
+    /// Replaces the body, revalidating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::InvalidProblem`] when the new body fails
+    /// validation; the problem is left unchanged in that case.
+    pub fn set_body(&mut self, body: ProblemBody) -> Result<(), BankError> {
+        let previous = std::mem::replace(&mut self.body, body);
+        if let Err(err) = self.validate() {
+            self.body = previous;
+            return Err(err);
+        }
+        let answer = self.body.correct_answer();
+        let style = self.body.style();
+        self.metadata.style = Some(style);
+        self.metadata
+            .individual_test
+            .get_or_insert_with(IndividualTestMeta::default)
+            .answer = answer;
+        Ok(())
+    }
+
+    /// The attached MINE metadata.
+    #[must_use]
+    pub fn metadata(&self) -> &MineMetadata {
+        &self.metadata
+    }
+
+    /// Mutable access to the metadata.
+    pub fn metadata_mut(&mut self) -> &mut MineMetadata {
+        &mut self.metadata
+    }
+
+    /// Point value of the problem.
+    #[must_use]
+    pub fn points(&self) -> f64 {
+        self.points
+    }
+
+    /// Sets the point value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points` is negative or non-finite.
+    pub fn set_points(&mut self, points: f64) {
+        assert!(
+            points.is_finite() && points >= 0.0,
+            "points must be a non-negative finite number"
+        );
+        self.points = points;
+    }
+
+    /// Builder-style point setter.
+    #[must_use]
+    pub fn with_points(mut self, points: f64) -> Self {
+        self.set_points(points);
+        self
+    }
+
+    /// The question style.
+    #[must_use]
+    pub fn style(&self) -> QuestionStyle {
+        self.body.style()
+    }
+
+    /// The subject recorded in metadata.
+    #[must_use]
+    pub fn subject(&self) -> Subject {
+        self.metadata
+            .individual_test
+            .as_ref()
+            .map(|t| t.subject.clone())
+            .unwrap_or_default()
+    }
+
+    /// Sets the subject.
+    pub fn set_subject(&mut self, subject: impl Into<Subject>) {
+        self.metadata
+            .individual_test
+            .get_or_insert_with(IndividualTestMeta::default)
+            .subject = subject.into();
+    }
+
+    /// Builder-style subject setter.
+    #[must_use]
+    pub fn with_subject(mut self, subject: impl Into<Subject>) -> Self {
+        self.set_subject(subject);
+        self
+    }
+
+    /// The cognition level recorded in metadata, if any.
+    #[must_use]
+    pub fn cognition_level(&self) -> Option<CognitionLevel> {
+        self.metadata.cognition.as_ref().map(|c| c.level)
+    }
+
+    /// Sets the cognition level.
+    pub fn set_cognition_level(&mut self, level: CognitionLevel) {
+        match &mut self.metadata.cognition {
+            Some(cognition) => cognition.level = level,
+            None => self.metadata.cognition = Some(CognitionMeta::new(level)),
+        }
+    }
+
+    /// Builder-style cognition level setter.
+    #[must_use]
+    pub fn with_cognition_level(mut self, level: CognitionLevel) -> Self {
+        self.set_cognition_level(level);
+        self
+    }
+
+    /// The presentation template reference, if one is attached (§5.3).
+    #[must_use]
+    pub fn template(&self) -> Option<&TemplateRef> {
+        self.template.as_ref()
+    }
+
+    /// Attaches a presentation template reference.
+    pub fn set_template(&mut self, template: Option<TemplateRef>) {
+        self.template = template;
+    }
+
+    /// Validates the body invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::InvalidProblem`] describing the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), BankError> {
+        let fail = |reason: &str| {
+            Err(BankError::InvalidProblem {
+                id: self.id.to_string(),
+                reason: reason.to_string(),
+            })
+        };
+        match &self.body {
+            ProblemBody::MultipleChoice {
+                options, correct, ..
+            } => {
+                if options.len() < 2 {
+                    return fail("multiple choice needs at least two options");
+                }
+                let mut keys: Vec<_> = options.iter().map(|o| o.key).collect();
+                keys.sort_unstable();
+                let len_before = keys.len();
+                keys.dedup();
+                if keys.len() != len_before {
+                    return fail("duplicate option keys");
+                }
+                if !options.iter().any(|o| o.key == *correct) {
+                    return fail("correct key is not among the options");
+                }
+            }
+            ProblemBody::Completion { blanks, .. } => {
+                if blanks.is_empty() {
+                    return fail("completion needs at least one blank");
+                }
+                if blanks.iter().any(|b| b.trim().is_empty()) {
+                    return fail("completion blanks must have accepted text");
+                }
+            }
+            ProblemBody::Match(pairs) => {
+                if pairs.left.is_empty() || pairs.right.is_empty() {
+                    return fail("match needs non-empty columns");
+                }
+                if pairs.correct.len() != pairs.left.len() {
+                    return fail("match needs one correct pairing per left entry");
+                }
+                if pairs.correct.iter().any(|&r| r >= pairs.right.len()) {
+                    return fail("match pairing points past the right column");
+                }
+            }
+            ProblemBody::Questionnaire { options, .. } => {
+                if options.is_empty() {
+                    return fail("questionnaire needs response options");
+                }
+            }
+            ProblemBody::TrueFalse { .. } | ProblemBody::Essay { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Grades an answer against this problem.
+    ///
+    /// Skipped answers grade as incorrect with zero points for any style.
+    /// Essays auto-grade only when marker keywords are configured;
+    /// otherwise they return a `needs_manual` grade. Questionnaires have
+    /// no correct answer and grade as zero-point, non-manual.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::AnswerMismatch`] when the answer kind does
+    /// not fit the problem style (e.g. a true/false answer to a choice
+    /// problem).
+    pub fn grade(&self, answer: &Answer) -> Result<Grade, BankError> {
+        if matches!(answer, Answer::Skipped) {
+            return Ok(Grade::incorrect(self.points));
+        }
+        let mismatch = |expected: &'static str| BankError::AnswerMismatch {
+            problem: self.id.to_string(),
+            expected,
+        };
+        match (&self.body, answer) {
+            (
+                ProblemBody::MultipleChoice {
+                    correct, options, ..
+                },
+                Answer::Choice(key),
+            ) => {
+                if !options.iter().any(|o| o.key == *key) {
+                    return Err(mismatch("an offered option key"));
+                }
+                Ok(if key == correct {
+                    Grade::correct(self.points)
+                } else {
+                    Grade::incorrect(self.points)
+                })
+            }
+            (ProblemBody::MultipleChoice { .. }, _) => Err(mismatch("choice")),
+            (ProblemBody::TrueFalse { correct, .. }, Answer::TrueFalse(value)) => {
+                Ok(if value == correct {
+                    Grade::correct(self.points)
+                } else {
+                    Grade::incorrect(self.points)
+                })
+            }
+            (ProblemBody::TrueFalse { .. }, _) => Err(mismatch("true-false")),
+            (ProblemBody::Completion { blanks, .. }, Answer::Completion(filled)) => {
+                if filled.len() != blanks.len() {
+                    return Ok(Grade::partial(0.0, self.points));
+                }
+                let hits = blanks
+                    .iter()
+                    .zip(filled)
+                    .filter(|(expect, got)| expect.trim().eq_ignore_ascii_case(got.trim()))
+                    .count();
+                Ok(Grade::partial(
+                    hits as f64 / blanks.len() as f64,
+                    self.points,
+                ))
+            }
+            (ProblemBody::Completion { .. }, _) => Err(mismatch("completion")),
+            (ProblemBody::Match(pairs), Answer::Match(chosen)) => {
+                if chosen.len() != pairs.correct.len() {
+                    return Ok(Grade::partial(0.0, self.points));
+                }
+                let hits = pairs
+                    .correct
+                    .iter()
+                    .zip(chosen)
+                    .filter(|(expect, got)| expect == got)
+                    .count();
+                Ok(Grade::partial(
+                    hits as f64 / pairs.correct.len() as f64,
+                    self.points,
+                ))
+            }
+            (ProblemBody::Match(_), _) => Err(mismatch("match")),
+            (ProblemBody::Essay { keywords, .. }, Answer::Text(text)) => {
+                if keywords.is_empty() {
+                    return Ok(Grade::manual(self.points));
+                }
+                let lower = text.to_lowercase();
+                let hits = keywords
+                    .iter()
+                    .filter(|k| lower.contains(&k.to_lowercase()))
+                    .count();
+                Ok(if hits * 2 >= keywords.len() {
+                    Grade::correct(self.points)
+                } else {
+                    Grade::incorrect(self.points)
+                })
+            }
+            (ProblemBody::Essay { .. }, _) => Err(mismatch("text")),
+            (ProblemBody::Questionnaire { options, .. }, Answer::Choice(key)) => {
+                if !options.iter().any(|o| o.key == *key) {
+                    return Err(mismatch("an offered option key"));
+                }
+                Ok(Grade {
+                    is_correct: false,
+                    points_awarded: 0.0,
+                    points_possible: 0.0,
+                    needs_manual: false,
+                })
+            }
+            (ProblemBody::Questionnaire { .. }, _) => Err(mismatch("choice")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn choice() -> Problem {
+        Problem::multiple_choice(
+            "q1",
+            "Which option is right?",
+            OptionKey::first(4)
+                .enumerate()
+                .map(|(i, key)| ChoiceOption::new(key, format!("option {i}"))),
+            OptionKey::C,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn constructors_set_style_and_answer_metadata() {
+        let q = choice();
+        assert_eq!(q.style(), QuestionStyle::MultipleChoice);
+        assert_eq!(
+            q.metadata().individual_test.as_ref().unwrap().answer,
+            Some(Answer::Choice(OptionKey::C))
+        );
+        let tf = Problem::true_false("q2", "The sky is green.", false).unwrap();
+        assert_eq!(tf.style(), QuestionStyle::TrueFalse);
+        let essay = Problem::essay("q3", "Discuss.").unwrap();
+        assert_eq!(essay.style(), QuestionStyle::Essay);
+        assert_eq!(
+            essay.metadata().individual_test.as_ref().unwrap().answer,
+            None
+        );
+    }
+
+    #[test]
+    fn choice_validation() {
+        assert!(Problem::multiple_choice(
+            "bad",
+            "?",
+            [ChoiceOption::new(OptionKey::A, "only one")],
+            OptionKey::A,
+        )
+        .is_err());
+        assert!(Problem::multiple_choice(
+            "bad",
+            "?",
+            [
+                ChoiceOption::new(OptionKey::A, "x"),
+                ChoiceOption::new(OptionKey::A, "dup"),
+            ],
+            OptionKey::A,
+        )
+        .is_err());
+        assert!(Problem::multiple_choice(
+            "bad",
+            "?",
+            [
+                ChoiceOption::new(OptionKey::A, "x"),
+                ChoiceOption::new(OptionKey::B, "y"),
+            ],
+            OptionKey::E,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn grading_choice() {
+        let q = choice();
+        assert!(q.grade(&Answer::Choice(OptionKey::C)).unwrap().is_correct);
+        let wrong = q.grade(&Answer::Choice(OptionKey::A)).unwrap();
+        assert!(!wrong.is_correct);
+        assert_eq!(wrong.points_awarded, 0.0);
+        assert!(
+            q.grade(&Answer::Choice(OptionKey::E)).is_err(),
+            "key not offered"
+        );
+        assert!(q.grade(&Answer::TrueFalse(true)).is_err());
+        let skipped = q.grade(&Answer::Skipped).unwrap();
+        assert!(!skipped.is_correct);
+        assert!(!skipped.needs_manual);
+    }
+
+    #[test]
+    fn grading_true_false() {
+        let q = Problem::true_false("q", "1+1=2", true)
+            .unwrap()
+            .with_points(2.0);
+        let g = q.grade(&Answer::TrueFalse(true)).unwrap();
+        assert!(g.is_correct);
+        assert_eq!(g.points_awarded, 2.0);
+        assert!(!q.grade(&Answer::TrueFalse(false)).unwrap().is_correct);
+    }
+
+    #[test]
+    fn grading_completion_partial_credit() {
+        let q = Problem::completion(
+            "q",
+            "The ___ layer sits atop the ___ layer.",
+            vec!["transport".to_string(), "network".to_string()],
+        )
+        .unwrap()
+        .with_points(4.0);
+        let perfect = q
+            .grade(&Answer::Completion(vec![
+                " Transport ".into(),
+                "NETWORK".into(),
+            ]))
+            .unwrap();
+        assert!(perfect.is_correct);
+        assert_eq!(perfect.points_awarded, 4.0);
+        let half = q
+            .grade(&Answer::Completion(vec![
+                "transport".into(),
+                "physical".into(),
+            ]))
+            .unwrap();
+        assert!(!half.is_correct);
+        assert_eq!(half.points_awarded, 2.0);
+        let wrong_len = q
+            .grade(&Answer::Completion(vec!["transport".into()]))
+            .unwrap();
+        assert_eq!(wrong_len.points_awarded, 0.0);
+    }
+
+    #[test]
+    fn grading_match_partial_credit() {
+        let q = Problem::match_items(
+            "q",
+            MatchPairs {
+                left: vec!["TCP".into(), "IP".into()],
+                right: vec!["network".into(), "transport".into(), "link".into()],
+                correct: vec![1, 0],
+            },
+        )
+        .unwrap()
+        .with_points(2.0);
+        assert!(q.grade(&Answer::Match(vec![1, 0])).unwrap().is_correct);
+        let half = q.grade(&Answer::Match(vec![1, 2])).unwrap();
+        assert!(!half.is_correct);
+        assert_eq!(half.points_awarded, 1.0);
+    }
+
+    #[test]
+    fn match_validation() {
+        assert!(Problem::match_items(
+            "bad",
+            MatchPairs {
+                left: vec!["a".into()],
+                right: vec!["x".into()],
+                correct: vec![3],
+            },
+        )
+        .is_err());
+        assert!(Problem::match_items(
+            "bad",
+            MatchPairs {
+                left: vec!["a".into(), "b".into()],
+                right: vec!["x".into()],
+                correct: vec![0],
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn essay_without_keywords_needs_manual() {
+        let q = Problem::essay("q", "Explain congestion control.").unwrap();
+        let g = q
+            .grade(&Answer::Text("AIMD and slow start".into()))
+            .unwrap();
+        assert!(g.needs_manual);
+        assert!(!g.is_correct);
+    }
+
+    #[test]
+    fn essay_with_keywords_auto_grades() {
+        let q = Problem::new(
+            "q",
+            ProblemBody::Essay {
+                question: "Explain congestion control.".into(),
+                hint: String::new(),
+                keywords: vec!["AIMD".into(), "slow start".into()],
+            },
+        )
+        .unwrap();
+        assert!(
+            q.grade(&Answer::Text("aimd halves cwnd; slow start doubles".into()))
+                .unwrap()
+                .is_correct
+        );
+        assert!(!q.grade(&Answer::Text("no idea".into())).unwrap().is_correct);
+        // Half the keywords suffice.
+        assert!(
+            q.grade(&Answer::Text("AIMD only".into()))
+                .unwrap()
+                .is_correct
+        );
+    }
+
+    #[test]
+    fn questionnaire_has_no_correct_answer() {
+        let q = Problem::questionnaire(
+            "s1",
+            "How hard was the course?",
+            OptionKey::first(5).map(|k| ChoiceOption::new(k, format!("level {k}"))),
+        )
+        .unwrap();
+        let g = q.grade(&Answer::Choice(OptionKey::B)).unwrap();
+        assert!(!g.is_correct);
+        assert_eq!(g.points_possible, 0.0);
+        assert!(!g.needs_manual);
+    }
+
+    #[test]
+    fn set_body_revalidates_and_rolls_back() {
+        let mut q = choice();
+        let bad = ProblemBody::MultipleChoice {
+            stem: "?".into(),
+            options: vec![ChoiceOption::new(OptionKey::A, "only")],
+            correct: OptionKey::A,
+        };
+        assert!(q.set_body(bad).is_err());
+        // Original body retained.
+        assert_eq!(q.body().options().len(), 4);
+        let good = ProblemBody::TrueFalse {
+            stem: "?".into(),
+            hint: String::new(),
+            correct: true,
+        };
+        q.set_body(good).unwrap();
+        assert_eq!(q.style(), QuestionStyle::TrueFalse);
+        assert_eq!(
+            q.metadata().individual_test.as_ref().unwrap().answer,
+            Some(Answer::TrueFalse(true))
+        );
+    }
+
+    #[test]
+    fn subject_and_cognition_setters() {
+        let q = choice()
+            .with_subject("networking")
+            .with_cognition_level(CognitionLevel::Application);
+        assert_eq!(q.subject().as_str(), "networking");
+        assert_eq!(q.cognition_level(), Some(CognitionLevel::Application));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_points_panic() {
+        let _ = choice().with_points(-1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q = choice()
+            .with_subject("s")
+            .with_cognition_level(CognitionLevel::Analysis);
+        let json = serde_json::to_string(&q).unwrap();
+        let back: Problem = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, q);
+    }
+}

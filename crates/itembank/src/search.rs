@@ -1,0 +1,424 @@
+//! Problem search (§5): "they can search similar or specific subject or
+//! related problems from problem & exam database".
+//!
+//! [`SearchIndex`] keeps an inverted index over problem text (stem,
+//! title, keywords, subject) plus attribute postings for subject,
+//! cognition level, and question style. [`Query`] combines free-text
+//! terms with attribute filters; hits are ranked by matched-term count.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use mine_core::{CognitionLevel, ProblemId, Subject};
+use mine_metadata::QuestionStyle;
+
+use crate::problem::Problem;
+
+/// Splits text into lowercase alphanumeric tokens.
+fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+}
+
+/// A ranked search result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchHit {
+    /// The matching problem.
+    pub problem: ProblemId,
+    /// Number of query terms the problem matched (≥ 1).
+    pub score: usize,
+}
+
+/// A compiled search query.
+///
+/// Build with [`Query::builder`]. An empty query matches everything.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Query {
+    terms: Vec<String>,
+    subject: Option<Subject>,
+    cognition: Option<CognitionLevel>,
+    style: Option<QuestionStyle>,
+}
+
+impl Query {
+    /// Starts building a query.
+    #[must_use]
+    pub fn builder() -> QueryBuilder {
+        QueryBuilder {
+            query: Query::default(),
+        }
+    }
+
+    /// Convenience: a pure free-text query.
+    #[must_use]
+    pub fn text(text: &str) -> Self {
+        Query {
+            terms: tokenize(text).collect(),
+            ..Query::default()
+        }
+    }
+}
+
+/// Builder for [`Query`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryBuilder {
+    query: Query,
+}
+
+impl QueryBuilder {
+    /// Adds free-text terms (tokenized).
+    #[must_use]
+    pub fn text(mut self, text: &str) -> Self {
+        self.query.terms.extend(tokenize(text));
+        self
+    }
+
+    /// Filters to a subject (exact, case-insensitive).
+    #[must_use]
+    pub fn subject(mut self, subject: impl Into<Subject>) -> Self {
+        self.query.subject = Some(subject.into());
+        self
+    }
+
+    /// Filters to a cognition level.
+    #[must_use]
+    pub fn cognition(mut self, level: CognitionLevel) -> Self {
+        self.query.cognition = Some(level);
+        self
+    }
+
+    /// Filters to a question style.
+    #[must_use]
+    pub fn style(mut self, style: QuestionStyle) -> Self {
+        self.query.style = Some(style);
+        self
+    }
+
+    /// Finishes the build.
+    #[must_use]
+    pub fn build(self) -> Query {
+        self.query
+    }
+}
+
+/// Per-problem attribute record kept alongside the inverted index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Attributes {
+    subject: String,
+    cognition: Option<CognitionLevel>,
+    style: QuestionStyle,
+}
+
+/// The search index over a set of problems.
+///
+/// The index is rebuildable from the repository at any time; it is kept
+/// incrementally by [`crate::Repository`].
+///
+/// # Examples
+///
+/// ```
+/// use mine_core::OptionKey;
+/// use mine_itembank::{ChoiceOption, Problem, Query, SearchIndex};
+///
+/// let mut index = SearchIndex::new();
+/// let q = Problem::true_false("q1", "TCP uses three-way handshake.", true)?
+///     .with_subject("tcp");
+/// index.insert(&q);
+/// let hits = index.search(&Query::text("handshake"));
+/// assert_eq!(hits.len(), 1);
+/// # Ok::<(), mine_itembank::BankError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SearchIndex {
+    /// term → set of problems containing it.
+    postings: HashMap<String, HashSet<ProblemId>>,
+    /// problem → attributes for filtering.
+    attributes: BTreeMap<ProblemId, Attributes>,
+    /// problem → its indexed terms (for removal).
+    terms_of: HashMap<ProblemId, Vec<String>>,
+}
+
+impl SearchIndex {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed problems.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Indexes (or re-indexes) a problem.
+    pub fn insert(&mut self, problem: &Problem) {
+        self.remove(problem.id());
+        let id = problem.id().clone();
+        let mut text = String::new();
+        text.push_str(problem.body().stem());
+        text.push(' ');
+        text.push_str(&problem.metadata().general.title);
+        text.push(' ');
+        text.push_str(&problem.metadata().general.description);
+        for keyword in &problem.metadata().general.keywords {
+            text.push(' ');
+            text.push_str(keyword);
+        }
+        text.push(' ');
+        text.push_str(problem.subject().as_str());
+        for option in problem.body().options() {
+            text.push(' ');
+            text.push_str(&option.text);
+        }
+
+        let mut terms: Vec<String> = tokenize(&text).collect();
+        terms.sort();
+        terms.dedup();
+        for term in &terms {
+            self.postings
+                .entry(term.clone())
+                .or_default()
+                .insert(id.clone());
+        }
+        self.terms_of.insert(id.clone(), terms);
+        self.attributes.insert(
+            id,
+            Attributes {
+                subject: problem.subject().as_str().to_lowercase(),
+                cognition: problem.cognition_level(),
+                style: problem.style(),
+            },
+        );
+    }
+
+    /// Removes a problem from the index; returns whether it was present.
+    pub fn remove(&mut self, id: &ProblemId) -> bool {
+        let Some(terms) = self.terms_of.remove(id) else {
+            return false;
+        };
+        for term in terms {
+            if let Some(set) = self.postings.get_mut(&term) {
+                set.remove(id);
+                if set.is_empty() {
+                    self.postings.remove(&term);
+                }
+            }
+        }
+        self.attributes.remove(id);
+        true
+    }
+
+    /// Runs a query, returning hits ranked by score (descending), ties
+    /// broken by problem id for determinism.
+    #[must_use]
+    pub fn search(&self, query: &Query) -> Vec<SearchHit> {
+        let mut scores: BTreeMap<&ProblemId, usize> = BTreeMap::new();
+        if query.terms.is_empty() {
+            for id in self.attributes.keys() {
+                scores.insert(id, 1);
+            }
+        } else {
+            for term in &query.terms {
+                if let Some(ids) = self.postings.get(term) {
+                    for id in ids {
+                        *scores.entry(id).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .filter(|(id, _)| {
+                let Some(attrs) = self.attributes.get(*id) else {
+                    return false;
+                };
+                if let Some(subject) = &query.subject {
+                    if attrs.subject != subject.as_str().to_lowercase() {
+                        return false;
+                    }
+                }
+                if let Some(level) = query.cognition {
+                    if attrs.cognition != Some(level) {
+                        return false;
+                    }
+                }
+                if let Some(style) = query.style {
+                    if attrs.style != style {
+                        return false;
+                    }
+                }
+                true
+            })
+            .map(|(id, score)| SearchHit {
+                problem: id.clone(),
+                score,
+            })
+            .collect();
+        hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.problem.cmp(&b.problem)));
+        hits
+    }
+
+    /// "Search similar problems" (§5): find problems sharing terms with a
+    /// given one, excluding itself.
+    #[must_use]
+    pub fn similar_to(&self, id: &ProblemId, limit: usize) -> Vec<SearchHit> {
+        let Some(terms) = self.terms_of.get(id) else {
+            return Vec::new();
+        };
+        let query = Query {
+            terms: terms.clone(),
+            ..Query::default()
+        };
+        self.search(&query)
+            .into_iter()
+            .filter(|hit| &hit.problem != id)
+            .take(limit)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ChoiceOption;
+    use mine_core::OptionKey;
+
+    fn problems() -> Vec<Problem> {
+        vec![
+            Problem::true_false("q1", "TCP uses a three-way handshake.", true)
+                .unwrap()
+                .with_subject("tcp")
+                .with_cognition_level(CognitionLevel::Knowledge),
+            Problem::multiple_choice(
+                "q2",
+                "Which TCP state follows SYN-SENT?",
+                [
+                    ChoiceOption::new(OptionKey::A, "ESTABLISHED"),
+                    ChoiceOption::new(OptionKey::B, "SYN-RECEIVED"),
+                ],
+                OptionKey::A,
+            )
+            .unwrap()
+            .with_subject("tcp")
+            .with_cognition_level(CognitionLevel::Comprehension),
+            Problem::essay("q3", "Discuss routing convergence in OSPF.")
+                .unwrap()
+                .with_subject("routing")
+                .with_cognition_level(CognitionLevel::Evaluation),
+        ]
+    }
+
+    fn index() -> SearchIndex {
+        let mut idx = SearchIndex::new();
+        for p in problems() {
+            idx.insert(&p);
+        }
+        idx
+    }
+
+    #[test]
+    fn free_text_search_ranks_by_term_hits() {
+        let idx = index();
+        let hits = idx.search(&Query::text("tcp handshake"));
+        assert_eq!(hits.len(), 2);
+        // q1 matches both terms, q2 only "tcp".
+        assert_eq!(hits[0].problem.as_str(), "q1");
+        assert_eq!(hits[0].score, 2);
+        assert_eq!(hits[1].problem.as_str(), "q2");
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        let idx = index();
+        assert_eq!(idx.search(&Query::default()).len(), 3);
+    }
+
+    #[test]
+    fn subject_filter() {
+        let idx = index();
+        let hits = idx.search(&Query::builder().subject("routing").build());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].problem.as_str(), "q3");
+        // Filter is case-insensitive.
+        let hits = idx.search(&Query::builder().subject("TCP").build());
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn cognition_and_style_filters() {
+        let idx = index();
+        let hits = idx.search(
+            &Query::builder()
+                .cognition(CognitionLevel::Comprehension)
+                .build(),
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].problem.as_str(), "q2");
+        let hits = idx.search(&Query::builder().style(QuestionStyle::Essay).build());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].problem.as_str(), "q3");
+    }
+
+    #[test]
+    fn combined_filters_and_text() {
+        let idx = index();
+        let hits = idx.search(
+            &Query::builder()
+                .text("tcp")
+                .cognition(CognitionLevel::Knowledge)
+                .build(),
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].problem.as_str(), "q1");
+    }
+
+    #[test]
+    fn option_text_is_indexed() {
+        let idx = index();
+        let hits = idx.search(&Query::text("established"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].problem.as_str(), "q2");
+    }
+
+    #[test]
+    fn remove_unindexes() {
+        let mut idx = index();
+        assert!(idx.remove(&"q1".parse().unwrap()));
+        assert!(!idx.remove(&"q1".parse().unwrap()));
+        assert_eq!(idx.len(), 2);
+        assert!(idx.search(&Query::text("handshake")).is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces_old_terms() {
+        let mut idx = index();
+        let updated = Problem::true_false("q1", "UDP is connectionless.", true)
+            .unwrap()
+            .with_subject("udp");
+        idx.insert(&updated);
+        assert!(idx.search(&Query::text("handshake")).is_empty());
+        assert_eq!(idx.search(&Query::text("connectionless")).len(), 1);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn similar_to_excludes_self() {
+        let idx = index();
+        let similar = idx.similar_to(&"q1".parse().unwrap(), 5);
+        assert!(!similar.is_empty());
+        assert!(similar.iter().all(|h| h.problem.as_str() != "q1"));
+        // q2 shares the "tcp" term.
+        assert_eq!(similar[0].problem.as_str(), "q2");
+        assert!(idx.similar_to(&"ghost".parse().unwrap(), 5).is_empty());
+    }
+}

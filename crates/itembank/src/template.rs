@@ -1,0 +1,258 @@
+//! Presentation templates with positioned content (§5.3).
+//!
+//! "We can put a picture in a problem, it is allowed to set the picture's
+//! position (x axis; y axis). Besides, we can set the question
+//! description and question selection items … we set the presentation
+//! style by moving each item." Templates are reusable: an instructor can
+//! "add a new template in the exam" or "delete an existed template".
+
+use serde::{Deserialize, Serialize};
+
+use mine_core::TemplateId;
+
+/// Reference from a problem to the template that lays it out.
+pub type TemplateRef = TemplateId;
+
+/// A 2-D position on the presentation canvas, in layout units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Position {
+    /// Horizontal coordinate.
+    pub x: u32,
+    /// Vertical coordinate.
+    pub y: u32,
+}
+
+impl Position {
+    /// Creates a position.
+    #[must_use]
+    pub fn new(x: u32, y: u32) -> Self {
+        Self { x, y }
+    }
+}
+
+/// What a layout slot displays.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotContent {
+    /// The question description text.
+    QuestionText,
+    /// The list of selection items (options).
+    OptionList,
+    /// An embedded picture, referenced by resource path.
+    Picture {
+        /// Package-relative path of the image resource.
+        resource: String,
+    },
+    /// Free caption text.
+    Caption(String),
+}
+
+/// One positioned slot of a template.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayoutSlot {
+    /// What the slot shows.
+    pub content: SlotContent,
+    /// Where the slot sits.
+    pub position: Position,
+    /// Optional fixed width.
+    pub width: Option<u32>,
+    /// Optional fixed height.
+    pub height: Option<u32>,
+}
+
+impl LayoutSlot {
+    /// Creates an auto-sized slot.
+    #[must_use]
+    pub fn new(content: SlotContent, position: Position) -> Self {
+        Self {
+            content,
+            position,
+            width: None,
+            height: None,
+        }
+    }
+}
+
+/// A reusable presentation template.
+///
+/// # Examples
+///
+/// ```
+/// use mine_itembank::{LayoutSlot, Position, Template};
+/// use mine_itembank::template::SlotContent;
+///
+/// let mut t = Template::new("two-col".parse()?, "Two columns");
+/// t.add_slot(LayoutSlot::new(SlotContent::QuestionText, Position::new(0, 0)));
+/// t.add_slot(LayoutSlot::new(SlotContent::OptionList, Position::new(40, 0)));
+/// assert_eq!(t.slots().len(), 2);
+/// # Ok::<(), mine_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Template {
+    id: TemplateId,
+    name: String,
+    slots: Vec<LayoutSlot>,
+}
+
+impl Template {
+    /// Creates an empty template.
+    #[must_use]
+    pub fn new(id: TemplateId, name: impl Into<String>) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            slots: Vec::new(),
+        }
+    }
+
+    /// The template identifier.
+    #[must_use]
+    pub fn id(&self) -> &TemplateId {
+        &self.id
+    }
+
+    /// The display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The slots in z-order.
+    #[must_use]
+    pub fn slots(&self) -> &[LayoutSlot] {
+        &self.slots
+    }
+
+    /// Appends a slot, returning its index.
+    pub fn add_slot(&mut self, slot: LayoutSlot) -> usize {
+        self.slots.push(slot);
+        self.slots.len() - 1
+    }
+
+    /// Removes a slot by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub fn remove_slot(&mut self, index: usize) -> LayoutSlot {
+        self.slots.remove(index)
+    }
+
+    /// Moves a slot to a new position — the Figure 4 interaction
+    /// ("we set the presentation style by moving each item").
+    ///
+    /// Returns `false` when `index` is out of bounds.
+    pub fn move_slot(&mut self, index: usize, to: Position) -> bool {
+        match self.slots.get_mut(index) {
+            Some(slot) => {
+                slot.position = to;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Duplicates this template under a new identity — "he wanted to copy
+    /// the problem structure for reuse".
+    #[must_use]
+    pub fn duplicate(&self, id: TemplateId, name: impl Into<String>) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            slots: self.slots.clone(),
+        }
+    }
+
+    /// Renders a coarse text preview of the layout: slots sorted by
+    /// `(y, x)`, one line each.
+    #[must_use]
+    pub fn render_preview(&self) -> String {
+        let mut ordered: Vec<&LayoutSlot> = self.slots.iter().collect();
+        ordered.sort_by_key(|s| (s.position.y, s.position.x));
+        let mut out = format!("template {} ({})\n", self.name, self.id);
+        for slot in ordered {
+            let label = match &slot.content {
+                SlotContent::QuestionText => "question".to_string(),
+                SlotContent::OptionList => "options".to_string(),
+                SlotContent::Picture { resource } => format!("picture:{resource}"),
+                SlotContent::Caption(text) => format!("caption:{text}"),
+            };
+            out.push_str(&format!(
+                "  ({:>4},{:>4}) {label}\n",
+                slot.position.x, slot.position.y
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(s: &str) -> TemplateId {
+        s.parse().unwrap()
+    }
+
+    fn sample() -> Template {
+        let mut t = Template::new(tid("t1"), "Picture left");
+        t.add_slot(LayoutSlot::new(
+            SlotContent::Picture {
+                resource: "images/diagram.png".into(),
+            },
+            Position::new(0, 10),
+        ));
+        t.add_slot(LayoutSlot::new(
+            SlotContent::QuestionText,
+            Position::new(50, 0),
+        ));
+        t.add_slot(LayoutSlot::new(
+            SlotContent::OptionList,
+            Position::new(50, 30),
+        ));
+        t
+    }
+
+    #[test]
+    fn add_and_remove_slots() {
+        let mut t = sample();
+        assert_eq!(t.slots().len(), 3);
+        let removed = t.remove_slot(0);
+        assert!(matches!(removed.content, SlotContent::Picture { .. }));
+        assert_eq!(t.slots().len(), 2);
+    }
+
+    #[test]
+    fn move_slot_updates_position() {
+        let mut t = sample();
+        assert!(t.move_slot(1, Position::new(5, 5)));
+        assert_eq!(t.slots()[1].position, Position::new(5, 5));
+        assert!(!t.move_slot(9, Position::new(0, 0)));
+    }
+
+    #[test]
+    fn duplicate_copies_structure_under_new_id() {
+        let t = sample();
+        let copy = t.duplicate(tid("t2"), "Copy of picture left");
+        assert_eq!(copy.id().as_str(), "t2");
+        assert_eq!(copy.slots(), t.slots());
+        assert_ne!(copy.id(), t.id());
+    }
+
+    #[test]
+    fn preview_sorts_by_reading_order() {
+        let preview = sample().render_preview();
+        let q = preview.find("question").unwrap();
+        let p = preview.find("picture").unwrap();
+        let o = preview.find("options").unwrap();
+        // question at y=0 comes before picture at y=10 before options y=30
+        assert!(q < p && p < o, "{preview}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Template = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

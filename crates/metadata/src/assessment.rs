@@ -1,0 +1,266 @@
+//! The assessment-specific metadata sections (§3.1–§3.4).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use mine_core::{Answer, CognitionLevel, Subject};
+
+use crate::indices::{DifficultyIndex, DiscriminationIndex};
+
+/// §3.1 — cognition-level metadata attached to a question.
+///
+/// Records which Bloom level the question targets, plus the instruction
+/// objective it serves ("if the instruction objective is clear, it guides
+/// teaching activities and evaluation precisely").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CognitionMeta {
+    /// Targeted Bloom level.
+    pub level: CognitionLevel,
+    /// The instruction objective this question assesses.
+    pub objective: String,
+}
+
+impl CognitionMeta {
+    /// Creates cognition metadata for a level with no stated objective.
+    #[must_use]
+    pub fn new(level: CognitionLevel) -> Self {
+        Self {
+            level,
+            objective: String::new(),
+        }
+    }
+
+    /// Builder-style objective setter.
+    #[must_use]
+    pub fn with_objective(mut self, objective: impl Into<String>) -> Self {
+        self.objective = objective.into();
+        self
+    }
+}
+
+impl From<CognitionLevel> for CognitionMeta {
+    fn from(level: CognitionLevel) -> Self {
+        Self::new(level)
+    }
+}
+
+/// §3.2-VI-C — presentation order of questions in a test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DisplayOrder {
+    /// "Fixed Order — for tests with a fixed number and order of
+    /// questions."
+    #[default]
+    Fixed,
+    /// "Random Order — for tests with a random order."
+    Random,
+}
+
+impl DisplayOrder {
+    /// The wire keyword used in the XML binding.
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            DisplayOrder::Fixed => "fixed",
+            DisplayOrder::Random => "random",
+        }
+    }
+
+    /// Parses the wire keyword.
+    #[must_use]
+    pub fn from_keyword(keyword: &str) -> Option<Self> {
+        match keyword.trim().to_ascii_lowercase().as_str() {
+            "fixed" => Some(DisplayOrder::Fixed),
+            "random" => Some(DisplayOrder::Random),
+            _ => None,
+        }
+    }
+}
+
+/// §3.2-VI — questionnaire metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct QuestionnaireMeta {
+    /// "True means resumed and false means paused at a later time" — can
+    /// the learner leave and come back?
+    pub resumable: bool,
+    /// Fixed or random question order.
+    pub display_type: DisplayOrder,
+}
+
+/// §3.2 — the style of a question.
+///
+/// Variants carry no content (the actual stem/options live in the item
+/// bank); the metadata records *what kind* of interaction the question
+/// is, which the authoring search and the two-way analysis both use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum QuestionStyle {
+    /// Open-ended essay or longer fill-in (§3.2-I).
+    Essay,
+    /// True/false judgement (§3.2-II).
+    TrueFalse,
+    /// Multiple choice (§3.2-III).
+    MultipleChoice,
+    /// Match items (§3.2-IV).
+    Match,
+    /// Fill-in-blank / cloze (§3.2-V).
+    Completion,
+    /// Questionnaire (§3.2-VI).
+    Questionnaire,
+}
+
+impl QuestionStyle {
+    /// All styles the paper names.
+    pub const ALL: [QuestionStyle; 6] = [
+        QuestionStyle::Essay,
+        QuestionStyle::TrueFalse,
+        QuestionStyle::MultipleChoice,
+        QuestionStyle::Match,
+        QuestionStyle::Completion,
+        QuestionStyle::Questionnaire,
+    ];
+
+    /// The wire keyword used in the XML binding.
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            QuestionStyle::Essay => "essay",
+            QuestionStyle::TrueFalse => "true-false",
+            QuestionStyle::MultipleChoice => "multiple-choice",
+            QuestionStyle::Match => "match",
+            QuestionStyle::Completion => "completion",
+            QuestionStyle::Questionnaire => "questionnaire",
+        }
+    }
+
+    /// Parses the wire keyword.
+    #[must_use]
+    pub fn from_keyword(keyword: &str) -> Option<Self> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|style| style.keyword() == keyword.trim().to_ascii_lowercase())
+    }
+
+    /// Whether the style can be graded mechanically (no human marker).
+    #[must_use]
+    pub fn is_objective(self) -> bool {
+        !matches!(self, QuestionStyle::Essay | QuestionStyle::Questionnaire)
+    }
+}
+
+/// §3.3 — per-question assessment record ("IndividualTest").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct IndividualTestMeta {
+    /// "Correct answer for explaining and query" (§3.3-I).
+    pub answer: Option<Answer>,
+    /// "Define each question a main subject" (§3.3-II).
+    pub subject: Subject,
+    /// Item Difficulty Index `P` from past administrations (§3.3-III).
+    pub difficulty: Option<DifficultyIndex>,
+    /// Item Discrimination Index `D` from past administrations (§3.3-IV).
+    pub discrimination: Option<DiscriminationIndex>,
+    /// "With the analysis, define students' distraction" — free-text notes
+    /// about which wrong options distract whom (§3.3-V).
+    pub distraction: Vec<String>,
+}
+
+/// §3.4 — per-exam assessment record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ExamMeta {
+    /// "Each people take different time answering questions, we use
+    /// average time for operation" (§3.4-I).
+    pub average_time: Option<Duration>,
+    /// "A default time limit for testing" (§3.4-II).
+    pub test_time: Option<Duration>,
+    /// Instructional Sensitivity Index: post-teaching minus pre-teaching
+    /// mean correct-rate (§3.4-III); `None` until both sittings exist.
+    pub instructional_sensitivity: Option<f64>,
+}
+
+impl ExamMeta {
+    /// Creates an exam record with a time limit.
+    #[must_use]
+    pub fn with_test_time(test_time: Duration) -> Self {
+        Self {
+            test_time: Some(test_time),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_core::OptionKey;
+
+    #[test]
+    fn cognition_meta_builder() {
+        let meta = CognitionMeta::new(CognitionLevel::Analysis).with_objective("decompose a DFA");
+        assert_eq!(meta.level, CognitionLevel::Analysis);
+        assert_eq!(meta.objective, "decompose a DFA");
+        let from: CognitionMeta = CognitionLevel::Synthesis.into();
+        assert_eq!(from.level, CognitionLevel::Synthesis);
+    }
+
+    #[test]
+    fn display_order_keywords_round_trip() {
+        for order in [DisplayOrder::Fixed, DisplayOrder::Random] {
+            assert_eq!(DisplayOrder::from_keyword(order.keyword()), Some(order));
+        }
+        assert_eq!(
+            DisplayOrder::from_keyword(" RANDOM "),
+            Some(DisplayOrder::Random)
+        );
+        assert_eq!(DisplayOrder::from_keyword("shuffled"), None);
+        assert_eq!(DisplayOrder::default(), DisplayOrder::Fixed);
+    }
+
+    #[test]
+    fn question_style_keywords_round_trip() {
+        for style in QuestionStyle::ALL {
+            assert_eq!(QuestionStyle::from_keyword(style.keyword()), Some(style));
+        }
+        assert_eq!(QuestionStyle::from_keyword("nope"), None);
+    }
+
+    #[test]
+    fn objective_styles() {
+        assert!(QuestionStyle::MultipleChoice.is_objective());
+        assert!(QuestionStyle::TrueFalse.is_objective());
+        assert!(QuestionStyle::Match.is_objective());
+        assert!(QuestionStyle::Completion.is_objective());
+        assert!(!QuestionStyle::Essay.is_objective());
+        assert!(!QuestionStyle::Questionnaire.is_objective());
+    }
+
+    #[test]
+    fn individual_test_meta_defaults() {
+        let meta = IndividualTestMeta::default();
+        assert!(meta.answer.is_none());
+        assert!(meta.difficulty.is_none());
+        assert!(meta.distraction.is_empty());
+    }
+
+    #[test]
+    fn individual_test_meta_serde_round_trip() {
+        let meta = IndividualTestMeta {
+            answer: Some(Answer::Choice(OptionKey::C)),
+            subject: Subject::new("congestion control"),
+            difficulty: Some(DifficultyIndex::new(0.635).unwrap()),
+            discrimination: Some(DiscriminationIndex::new(0.55).unwrap()),
+            distraction: vec!["option B lures low group".into()],
+        };
+        let json = serde_json::to_string(&meta).unwrap();
+        let back: IndividualTestMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn exam_meta_with_test_time() {
+        let meta = ExamMeta::with_test_time(Duration::from_secs(3600));
+        assert_eq!(meta.test_time, Some(Duration::from_secs(3600)));
+        assert!(meta.average_time.is_none());
+        assert!(meta.instructional_sensitivity.is_none());
+    }
+}

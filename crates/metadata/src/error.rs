@@ -1,0 +1,106 @@
+//! Error type for metadata construction and XML binding.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use mine_core::CoreError;
+use mine_xml::XmlError;
+
+/// Errors raised while building, validating, or (de)serializing MINE
+/// metadata.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MetadataError {
+    /// An index value was outside its legal range.
+    IndexOutOfRange {
+        /// Which index ("difficulty" or "discrimination").
+        index: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A required XML element was missing while decoding.
+    MissingElement {
+        /// Path to the expected element, `/`-joined.
+        path: String,
+    },
+    /// An XML element held a value that could not be decoded.
+    InvalidValue {
+        /// Path to the element.
+        path: String,
+        /// What was found.
+        found: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A core vocabulary error (e.g. bad cognition letter) surfaced while
+    /// decoding.
+    Core(CoreError),
+    /// A raw XML error surfaced while parsing metadata text.
+    Xml(XmlError),
+}
+
+impl fmt::Display for MetadataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetadataError::IndexOutOfRange { index, value } => {
+                write!(f, "{index} index {value} is out of range")
+            }
+            MetadataError::MissingElement { path } => {
+                write!(f, "missing metadata element {path}")
+            }
+            MetadataError::InvalidValue {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "invalid value at {path}: found {found:?}, expected {expected}"
+            ),
+            MetadataError::Core(err) => write!(f, "core error: {err}"),
+            MetadataError::Xml(err) => write!(f, "xml error: {err}"),
+        }
+    }
+}
+
+impl StdError for MetadataError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            MetadataError::Core(err) => Some(err),
+            MetadataError::Xml(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for MetadataError {
+    fn from(err: CoreError) -> Self {
+        MetadataError::Core(err)
+    }
+}
+
+impl From<XmlError> for MetadataError {
+    fn from(err: XmlError) -> Self {
+        MetadataError::Xml(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = MetadataError::MissingElement {
+            path: "mine:assessment/cognition".into(),
+        };
+        assert!(err.to_string().contains("mine:assessment/cognition"));
+    }
+
+    #[test]
+    fn wraps_sources() {
+        let err = MetadataError::from(CoreError::InvalidCognitionLevel("G".into()));
+        assert!(err.source().is_some());
+        let err = MetadataError::from(XmlError::UnknownEntity { entity: "x".into() });
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,272 @@
+//! Item Difficulty and Item Discrimination indices (§3.3).
+//!
+//! The paper defines:
+//!
+//! * **Item Difficulty Index** `P = R / N` where `R` is the number of
+//!   correct answers and `N` the total — e.g. `R = 800, N = 1000` gives
+//!   `P = 0.8` (§3.3-III). "The more the Item Difficulty Index increases,
+//!   the easier the question."
+//! * **Item Discrimination Index** `D` — how strongly the question
+//!   separates strong from weak students (§3.3-IV); the analysis model
+//!   computes it as `D = PH − PL` (§4.1.1).
+//!
+//! These newtypes enforce the legal ranges (`P ∈ [0, 1]`,
+//! `D ∈ [−1, 1]`) at the boundary so every downstream computation can
+//! rely on them (C-VALIDATE, C-NEWTYPE).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MetadataError;
+
+/// Item Difficulty Index `P ∈ [0, 1]`; larger means *easier*.
+///
+/// # Examples
+///
+/// ```
+/// use mine_metadata::DifficultyIndex;
+///
+/// // The paper's example: 800 of 1000 students answered correctly.
+/// let p = DifficultyIndex::from_counts(800, 1000).unwrap();
+/// assert_eq!(p.value(), 0.8);
+/// assert!(p.is_easy());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct DifficultyIndex(f64);
+
+impl DifficultyIndex {
+    /// Creates a validated difficulty index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetadataError::IndexOutOfRange`] unless `0 <= p <= 1`.
+    pub fn new(p: f64) -> Result<Self, MetadataError> {
+        if p.is_finite() && (0.0..=1.0).contains(&p) {
+            Ok(Self(p))
+        } else {
+            Err(MetadataError::IndexOutOfRange {
+                index: "difficulty",
+                value: p,
+            })
+        }
+    }
+
+    /// Computes `P = R / N` from counts (§3.3-III).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetadataError::IndexOutOfRange`] when `n == 0` or
+    /// `r > n`.
+    pub fn from_counts(r: usize, n: usize) -> Result<Self, MetadataError> {
+        if n == 0 || r > n {
+            return Err(MetadataError::IndexOutOfRange {
+                index: "difficulty",
+                value: if n == 0 {
+                    f64::NAN
+                } else {
+                    r as f64 / n as f64
+                },
+            });
+        }
+        Self::new(r as f64 / n as f64)
+    }
+
+    /// The raw index in `[0, 1]`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Percentage form (`0`–`100`).
+    #[must_use]
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Conventionally "easy": at least 70 % of students answer correctly.
+    #[must_use]
+    pub fn is_easy(self) -> bool {
+        self.0 >= 0.7
+    }
+
+    /// Conventionally "hard": at most 30 % answer correctly.
+    #[must_use]
+    pub fn is_hard(self) -> bool {
+        self.0 <= 0.3
+    }
+}
+
+impl fmt::Display for DifficultyIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P={:.2}", self.0)
+    }
+}
+
+impl TryFrom<f64> for DifficultyIndex {
+    type Error = MetadataError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+impl From<DifficultyIndex> for f64 {
+    fn from(index: DifficultyIndex) -> f64 {
+        index.value()
+    }
+}
+
+/// Item Discrimination Index `D ∈ [−1, 1]`; larger separates strong from
+/// weak students better.
+///
+/// The signal thresholds of Table 3 (green ≥ 0.30, yellow 0.20–0.29,
+/// red ≤ 0.19) live in `mine-analysis`; this type only guarantees range.
+///
+/// # Examples
+///
+/// ```
+/// use mine_metadata::DiscriminationIndex;
+///
+/// // Paper §4.1.2, question no. 2: D = 0.91 − 0.36 = 0.55.
+/// let d = DiscriminationIndex::new(0.55).unwrap();
+/// assert_eq!(d.value(), 0.55);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct DiscriminationIndex(f64);
+
+impl DiscriminationIndex {
+    /// Creates a validated discrimination index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetadataError::IndexOutOfRange`] unless `−1 <= d <= 1`.
+    pub fn new(d: f64) -> Result<Self, MetadataError> {
+        if d.is_finite() && (-1.0..=1.0).contains(&d) {
+            Ok(Self(d))
+        } else {
+            Err(MetadataError::IndexOutOfRange {
+                index: "discrimination",
+                value: d,
+            })
+        }
+    }
+
+    /// Computes `D = PH − PL` from the two group difficulties (§4.1.1,
+    /// step 5).
+    #[must_use]
+    pub fn from_groups(ph: DifficultyIndex, pl: DifficultyIndex) -> Self {
+        // Difference of two values in [0,1] is always in [-1,1].
+        Self(ph.value() - pl.value())
+    }
+
+    /// The raw index in `[−1, 1]`.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// A negative index means weak students outperform strong ones — the
+    /// question is almost certainly defective.
+    #[must_use]
+    pub fn is_inverted(self) -> bool {
+        self.0 < 0.0
+    }
+}
+
+impl fmt::Display for DiscriminationIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D={:.2}", self.0)
+    }
+}
+
+impl TryFrom<f64> for DiscriminationIndex {
+    type Error = MetadataError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+impl From<DiscriminationIndex> for f64 {
+    fn from(index: DiscriminationIndex) -> f64 {
+        index.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_difficulty_example() {
+        // §3.3-III: R=800, N=1000 → P = 0.8 (80 %).
+        let p = DifficultyIndex::from_counts(800, 1000).unwrap();
+        assert!((p.value() - 0.8).abs() < 1e-12);
+        assert!((p.percent() - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn difficulty_rejects_bad_inputs() {
+        assert!(DifficultyIndex::new(-0.01).is_err());
+        assert!(DifficultyIndex::new(1.01).is_err());
+        assert!(DifficultyIndex::new(f64::NAN).is_err());
+        assert!(DifficultyIndex::from_counts(5, 0).is_err());
+        assert!(DifficultyIndex::from_counts(6, 5).is_err());
+        assert!(DifficultyIndex::new(0.0).is_ok());
+        assert!(DifficultyIndex::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn easy_and_hard_bands() {
+        assert!(DifficultyIndex::new(0.8).unwrap().is_easy());
+        assert!(!DifficultyIndex::new(0.69).unwrap().is_easy());
+        assert!(DifficultyIndex::new(0.2).unwrap().is_hard());
+        assert!(!DifficultyIndex::new(0.31).unwrap().is_hard());
+    }
+
+    #[test]
+    fn paper_discrimination_example_no2() {
+        // §4.1.2 worked example: PH = 10/11 ≈ 0.909, PL = 4/11 ≈ 0.364.
+        let ph = DifficultyIndex::from_counts(10, 11).unwrap();
+        let pl = DifficultyIndex::from_counts(4, 11).unwrap();
+        let d = DiscriminationIndex::from_groups(ph, pl);
+        assert!((d.value() - 0.5454545454545454).abs() < 1e-12);
+        assert!(!d.is_inverted());
+    }
+
+    #[test]
+    fn discrimination_rejects_out_of_range() {
+        assert!(DiscriminationIndex::new(-1.01).is_err());
+        assert!(DiscriminationIndex::new(1.01).is_err());
+        assert!(DiscriminationIndex::new(f64::INFINITY).is_err());
+        assert!(DiscriminationIndex::new(-1.0).is_ok());
+        assert!(DiscriminationIndex::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn inverted_detection() {
+        let ph = DifficultyIndex::new(0.2).unwrap();
+        let pl = DifficultyIndex::new(0.6).unwrap();
+        assert!(DiscriminationIndex::from_groups(ph, pl).is_inverted());
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(DifficultyIndex::new(0.635).unwrap().to_string(), "P=0.64");
+        assert_eq!(
+            DiscriminationIndex::new(0.55).unwrap().to_string(),
+            "D=0.55"
+        );
+    }
+
+    #[test]
+    fn serde_validates() {
+        assert!(serde_json::from_str::<DifficultyIndex>("0.5").is_ok());
+        assert!(serde_json::from_str::<DifficultyIndex>("1.5").is_err());
+        assert!(serde_json::from_str::<DiscriminationIndex>("-0.2").is_ok());
+        assert!(serde_json::from_str::<DiscriminationIndex>("-2.0").is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! The MINE SCORM assessment metadata model (paper §3, Figure 1).
+//!
+//! The paper's central observation is that mainstream e-learning metadata
+//! (IEEE LTSC LOM, IMS, SCORM) describes learning *materials* well but
+//! says little about *assessment*. It therefore proposes the **MINE SCORM
+//! Meta-data Model**: a tree that keeps the familiar LOM-style descriptive
+//! categories and adds four assessment-specific sections:
+//!
+//! 1. **Cognition level** (§3.1) — which Bloom cognitive level a question
+//!    exercises,
+//! 2. **Question style** (§3.2) — essay, true/false, multiple choice,
+//!    match, completion, questionnaire (with resumability and display
+//!    order),
+//! 3. **IndividualTest** (§3.3) — answer, subject, Item Difficulty Index,
+//!    Item Discrimination Index, distraction notes,
+//! 4. **Exam** (§3.4) — average time, test time limit, Instructional
+//!    Sensitivity Index.
+//!
+//! [`MineMetadata`] assembles the whole tree, binds to XML via
+//! [`mine_xml`], renders the Figure 1 tree view, and validates
+//! completeness.
+//!
+//! # Examples
+//!
+//! ```
+//! use mine_core::CognitionLevel;
+//! use mine_metadata::{CognitionMeta, MineMetadata};
+//!
+//! let meta = MineMetadata::builder("meta-q1")
+//!     .title("Sliding window size")
+//!     .cognition(CognitionMeta::new(CognitionLevel::Application))
+//!     .build();
+//! let xml = meta.to_xml_element();
+//! let back = MineMetadata::from_xml_element(&xml)?;
+//! assert_eq!(back, meta);
+//! # Ok::<(), mine_metadata::MetadataError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assessment;
+pub mod error;
+pub mod indices;
+pub mod lom;
+pub mod tree;
+pub mod validation;
+
+pub use assessment::{
+    CognitionMeta, DisplayOrder, ExamMeta, IndividualTestMeta, QuestionStyle, QuestionnaireMeta,
+};
+pub use error::MetadataError;
+pub use indices::{DifficultyIndex, DiscriminationIndex};
+pub use lom::{
+    Contributor, EducationalMeta, GeneralMeta, LifecycleMeta, RightsMeta, TechnicalMeta,
+};
+pub use tree::{MineMetadata, MineMetadataBuilder};
+pub use validation::{validate, Completeness, ValidationIssue};

@@ -1,0 +1,142 @@
+//! LOM-style descriptive categories (§2.1).
+//!
+//! IEEE LTSC's Learning Object Metadata defines nine categories for
+//! describing a learning resource. The MINE model keeps the descriptive
+//! ones that matter for assessment exchange — General, Lifecycle,
+//! Technical, Educational, Rights — in a deliberately lightweight form;
+//! the assessment-specific sections live in [`crate::assessment`].
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// LOM *General*: identity and description of the resource.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct GeneralMeta {
+    /// Catalog identifier of the resource.
+    pub identifier: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Language code (e.g. `en`, `zh-TW`).
+    pub language: String,
+    /// Free-text description.
+    pub description: String,
+    /// Search keywords.
+    pub keywords: Vec<String>,
+}
+
+impl GeneralMeta {
+    /// Creates a `General` section with the given identifier.
+    #[must_use]
+    pub fn new(identifier: impl Into<String>) -> Self {
+        Self {
+            identifier: identifier.into(),
+            ..Self::default()
+        }
+    }
+}
+
+/// A contributor entry of the *Lifecycle* category.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Contributor {
+    /// Role, e.g. `author`, `instructor`, `tutor` (§5 actors).
+    pub role: String,
+    /// Display name.
+    pub name: String,
+    /// ISO-8601 date string, if recorded.
+    pub date: Option<String>,
+}
+
+impl Contributor {
+    /// Creates a contributor.
+    #[must_use]
+    pub fn new(role: impl Into<String>, name: impl Into<String>) -> Self {
+        Self {
+            role: role.into(),
+            name: name.into(),
+            date: None,
+        }
+    }
+}
+
+/// LOM *Lifecycle*: version and contributors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct LifecycleMeta {
+    /// Version label.
+    pub version: String,
+    /// Editorial status, e.g. `draft`, `final`, `revised`.
+    pub status: String,
+    /// People and roles that touched the resource.
+    pub contributors: Vec<Contributor>,
+}
+
+/// LOM *Technical*: format and location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TechnicalMeta {
+    /// MIME-ish format, e.g. `text/xml`.
+    pub format: String,
+    /// Size in bytes, if known.
+    pub size: Option<u64>,
+    /// Where the resource lives (URL or package-relative path).
+    pub location: String,
+}
+
+/// LOM *Educational*: pedagogic attributes relevant to assessment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct EducationalMeta {
+    /// Intended end-user role, e.g. `learner`, `teacher`.
+    pub intended_user_role: String,
+    /// Context, e.g. `higher education`.
+    pub context: String,
+    /// Typical time a learner needs with the resource.
+    pub typical_learning_time: Option<Duration>,
+}
+
+/// LOM *Rights*: cost and copyright.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct RightsMeta {
+    /// Whether use of the resource costs money.
+    pub cost: bool,
+    /// Copyright / licence statement.
+    pub copyright: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn general_new_sets_identifier_only() {
+        let g = GeneralMeta::new("q-42");
+        assert_eq!(g.identifier, "q-42");
+        assert!(g.title.is_empty());
+        assert!(g.keywords.is_empty());
+    }
+
+    #[test]
+    fn contributor_constructor() {
+        let c = Contributor::new("author", "J. Hung");
+        assert_eq!(c.role, "author");
+        assert_eq!(c.name, "J. Hung");
+        assert!(c.date.is_none());
+    }
+
+    #[test]
+    fn defaults_are_empty_but_serializable() {
+        let lifecycle = LifecycleMeta::default();
+        let json = serde_json::to_string(&lifecycle).unwrap();
+        let back: LifecycleMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, lifecycle);
+    }
+
+    #[test]
+    fn educational_learning_time_serializes() {
+        let edu = EducationalMeta {
+            typical_learning_time: Some(Duration::from_secs(90)),
+            ..EducationalMeta::default()
+        };
+        let json = serde_json::to_string(&edu).unwrap();
+        let back: EducationalMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.typical_learning_time, Some(Duration::from_secs(90)));
+    }
+}

@@ -1,0 +1,906 @@
+//! The assembled MINE SCORM Meta-data tree (Figure 1).
+//!
+//! Figure 1 shows the proposed assessment tree with **ten sections**: the
+//! five LOM-style descriptive categories (General, Lifecycle, Technical,
+//! Educational, Rights) and the five assessment sections the paper adds
+//! (Cognition, Question Style, Questionnaire, IndividualTest, Exam).
+//!
+//! [`MineMetadata`] is the in-memory form; [`MineMetadata::to_xml_element`]
+//! / [`MineMetadata::from_xml_element`] bind it to the `mine:metadata` XML
+//! vocabulary used inside SCORM packages, and
+//! [`MineMetadata::render_tree`] regenerates the Figure 1 view as text.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use mine_core::{Answer, CognitionLevel, OptionKey, Subject};
+use mine_xml::Element;
+
+use crate::assessment::{
+    CognitionMeta, DisplayOrder, ExamMeta, IndividualTestMeta, QuestionStyle, QuestionnaireMeta,
+};
+use crate::error::MetadataError;
+use crate::indices::{DifficultyIndex, DiscriminationIndex};
+use crate::lom::{
+    Contributor, EducationalMeta, GeneralMeta, LifecycleMeta, RightsMeta, TechnicalMeta,
+};
+
+/// The complete MINE SCORM Meta-data record for one assessment object
+/// (a problem, questionnaire, or exam).
+///
+/// # Examples
+///
+/// ```
+/// use mine_core::CognitionLevel;
+/// use mine_metadata::{CognitionMeta, MineMetadata, QuestionStyle};
+///
+/// let meta = MineMetadata::builder("meta-q7")
+///     .title("Window scaling")
+///     .subject("TCP")
+///     .cognition(CognitionMeta::new(CognitionLevel::Comprehension))
+///     .style(QuestionStyle::MultipleChoice)
+///     .build();
+/// assert_eq!(meta.general.identifier, "meta-q7");
+/// assert!(meta.render_tree().contains("Cognition"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MineMetadata {
+    /// LOM General.
+    pub general: GeneralMeta,
+    /// LOM Lifecycle.
+    pub lifecycle: LifecycleMeta,
+    /// LOM Technical.
+    pub technical: TechnicalMeta,
+    /// LOM Educational.
+    pub educational: EducationalMeta,
+    /// LOM Rights.
+    pub rights: RightsMeta,
+    /// §3.1 cognition level.
+    pub cognition: Option<CognitionMeta>,
+    /// §3.2 question style.
+    pub style: Option<QuestionStyle>,
+    /// §3.2-VI questionnaire settings.
+    pub questionnaire: Option<QuestionnaireMeta>,
+    /// §3.3 per-question record.
+    pub individual_test: Option<IndividualTestMeta>,
+    /// §3.4 per-exam record.
+    pub exam: Option<ExamMeta>,
+}
+
+impl MineMetadata {
+    /// Starts a builder with the given catalog identifier.
+    #[must_use]
+    pub fn builder(identifier: impl Into<String>) -> MineMetadataBuilder {
+        MineMetadataBuilder {
+            meta: MineMetadata {
+                general: GeneralMeta::new(identifier),
+                ..MineMetadata::default()
+            },
+        }
+    }
+
+    /// Renders the Figure 1 tree view of this record.
+    ///
+    /// Sections that are absent are rendered with `(empty)` so the ten
+    /// section headings of the figure always appear.
+    #[must_use]
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        out.push_str("MINE SCORM Meta-data\n");
+        let line = |out: &mut String, last: bool, text: &str| {
+            out.push_str(if last { "└── " } else { "├── " });
+            out.push_str(text);
+            out.push('\n');
+        };
+        line(
+            &mut out,
+            false,
+            &format!(
+                "General: {} ({})",
+                self.general.title, self.general.identifier
+            ),
+        );
+        line(
+            &mut out,
+            false,
+            &format!(
+                "Lifecycle: version {} [{}]",
+                if self.lifecycle.version.is_empty() {
+                    "-"
+                } else {
+                    &self.lifecycle.version
+                },
+                self.lifecycle.status
+            ),
+        );
+        line(
+            &mut out,
+            false,
+            &format!(
+                "Technical: {} @ {}",
+                self.technical.format, self.technical.location
+            ),
+        );
+        line(
+            &mut out,
+            false,
+            &format!("Educational: {}", self.educational.intended_user_role),
+        );
+        line(
+            &mut out,
+            false,
+            &format!("Rights: cost={}", self.rights.cost),
+        );
+        line(
+            &mut out,
+            false,
+            &match &self.cognition {
+                Some(c) => format!("Cognition: {} ({})", c.level, c.level.letter()),
+                None => "Cognition: (empty)".to_string(),
+            },
+        );
+        line(
+            &mut out,
+            false,
+            &match self.style {
+                Some(style) => format!("Question Style: {}", style.keyword()),
+                None => "Question Style: (empty)".to_string(),
+            },
+        );
+        line(
+            &mut out,
+            false,
+            &match &self.questionnaire {
+                Some(q) => format!(
+                    "Questionnaire: resumable={} order={}",
+                    q.resumable,
+                    q.display_type.keyword()
+                ),
+                None => "Questionnaire: (empty)".to_string(),
+            },
+        );
+        line(
+            &mut out,
+            false,
+            &match &self.individual_test {
+                Some(t) => {
+                    let p = t.difficulty.map_or("P=?".to_string(), |p| p.to_string());
+                    let d = t
+                        .discrimination
+                        .map_or("D=?".to_string(), |d| d.to_string());
+                    format!("IndividualTest: subject={} {p} {d}", t.subject)
+                }
+                None => "IndividualTest: (empty)".to_string(),
+            },
+        );
+        line(
+            &mut out,
+            true,
+            &match &self.exam {
+                Some(e) => format!(
+                    "Exam: test_time={:?} average_time={:?} ISI={:?}",
+                    e.test_time, e.average_time, e.instructional_sensitivity
+                ),
+                None => "Exam: (empty)".to_string(),
+            },
+        );
+        out
+    }
+
+    /// Serializes the record to its `mine:metadata` XML element.
+    #[must_use]
+    pub fn to_xml_element(&self) -> Element {
+        let mut root = Element::new("mine:metadata");
+
+        let mut general = Element::new("general")
+            .with_child(Element::new("identifier").with_text(&self.general.identifier))
+            .with_child(Element::new("title").with_text(&self.general.title))
+            .with_child(Element::new("language").with_text(&self.general.language))
+            .with_child(Element::new("description").with_text(&self.general.description));
+        for keyword in &self.general.keywords {
+            general.push(Element::new("keyword").with_text(keyword));
+        }
+        root.push(general);
+
+        let mut lifecycle = Element::new("lifecycle")
+            .with_child(Element::new("version").with_text(&self.lifecycle.version))
+            .with_child(Element::new("status").with_text(&self.lifecycle.status));
+        for contributor in &self.lifecycle.contributors {
+            let mut el = Element::new("contribute")
+                .with_attr("role", &contributor.role)
+                .with_child(Element::new("name").with_text(&contributor.name));
+            if let Some(date) = &contributor.date {
+                el.push(Element::new("date").with_text(date));
+            }
+            lifecycle.push(el);
+        }
+        root.push(lifecycle);
+
+        let mut technical = Element::new("technical")
+            .with_child(Element::new("format").with_text(&self.technical.format))
+            .with_child(Element::new("location").with_text(&self.technical.location));
+        if let Some(size) = self.technical.size {
+            technical.push(Element::new("size").with_text(size.to_string()));
+        }
+        root.push(technical);
+
+        let mut educational = Element::new("educational")
+            .with_child(
+                Element::new("intendedEndUserRole").with_text(&self.educational.intended_user_role),
+            )
+            .with_child(Element::new("context").with_text(&self.educational.context));
+        if let Some(time) = self.educational.typical_learning_time {
+            educational.push(duration_element("typicalLearningTime", time));
+        }
+        root.push(educational);
+
+        root.push(
+            Element::new("rights")
+                .with_child(Element::new("cost").with_text(self.rights.cost.to_string()))
+                .with_child(Element::new("copyright").with_text(&self.rights.copyright)),
+        );
+
+        if let Some(cognition) = &self.cognition {
+            root.push(
+                Element::new("cognition")
+                    .with_attr("level", cognition.level.letter().to_string())
+                    .with_child(Element::new("name").with_text(cognition.level.name()))
+                    .with_child(Element::new("objective").with_text(&cognition.objective)),
+            );
+        }
+
+        if let Some(style) = self.style {
+            root.push(Element::new("questionStyle").with_text(style.keyword()));
+        }
+
+        if let Some(questionnaire) = &self.questionnaire {
+            root.push(
+                Element::new("questionnaire")
+                    .with_child(
+                        Element::new("resumable").with_text(questionnaire.resumable.to_string()),
+                    )
+                    .with_child(
+                        Element::new("displayType").with_text(questionnaire.display_type.keyword()),
+                    ),
+            );
+        }
+
+        if let Some(test) = &self.individual_test {
+            let mut el = Element::new("individualTest")
+                .with_child(Element::new("subject").with_text(test.subject.as_str()));
+            if let Some(answer) = &test.answer {
+                el.push(answer_element(answer));
+            }
+            if let Some(p) = test.difficulty {
+                el.push(Element::new("itemDifficultyIndex").with_text(format_f64(p.value())));
+            }
+            if let Some(d) = test.discrimination {
+                el.push(Element::new("itemDiscriminationIndex").with_text(format_f64(d.value())));
+            }
+            for note in &test.distraction {
+                el.push(Element::new("distraction").with_text(note));
+            }
+            root.push(el);
+        }
+
+        if let Some(exam) = &self.exam {
+            let mut el = Element::new("exam");
+            if let Some(time) = exam.average_time {
+                el.push(duration_element("averageTime", time));
+            }
+            if let Some(time) = exam.test_time {
+                el.push(duration_element("testTime", time));
+            }
+            if let Some(isi) = exam.instructional_sensitivity {
+                el.push(Element::new("instructionalSensitivityIndex").with_text(format_f64(isi)));
+            }
+            root.push(el);
+        }
+
+        root
+    }
+
+    /// Decodes a record from its `mine:metadata` XML element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetadataError`] when required sections are missing or
+    /// values fail to decode.
+    pub fn from_xml_element(element: &Element) -> Result<Self, MetadataError> {
+        let general_el = require(element, "general")?;
+        let general = GeneralMeta {
+            identifier: child_text(general_el, "identifier"),
+            title: child_text(general_el, "title"),
+            language: child_text(general_el, "language"),
+            description: child_text(general_el, "description"),
+            keywords: general_el
+                .children_named("keyword")
+                .map(Element::text)
+                .collect(),
+        };
+
+        let lifecycle = match element.child("lifecycle") {
+            Some(el) => LifecycleMeta {
+                version: child_text(el, "version"),
+                status: child_text(el, "status"),
+                contributors: el
+                    .children_named("contribute")
+                    .map(|c| Contributor {
+                        role: c.attr("role").unwrap_or_default().to_string(),
+                        name: child_text(c, "name"),
+                        date: c.child_text("date"),
+                    })
+                    .collect(),
+            },
+            None => LifecycleMeta::default(),
+        };
+
+        let technical =
+            match element.child("technical") {
+                Some(el) => {
+                    TechnicalMeta {
+                        format: child_text(el, "format"),
+                        location: child_text(el, "location"),
+                        size: match el.child_text("size") {
+                            Some(text) => Some(text.trim().parse().map_err(|_| {
+                                MetadataError::InvalidValue {
+                                    path: "technical/size".into(),
+                                    found: text.clone(),
+                                    expected: "unsigned integer",
+                                }
+                            })?),
+                            None => None,
+                        },
+                    }
+                }
+                None => TechnicalMeta::default(),
+            };
+
+        let educational = match element.child("educational") {
+            Some(el) => EducationalMeta {
+                intended_user_role: child_text(el, "intendedEndUserRole"),
+                context: child_text(el, "context"),
+                typical_learning_time: el
+                    .child("typicalLearningTime")
+                    .map(|t| parse_duration(t, "educational/typicalLearningTime"))
+                    .transpose()?,
+            },
+            None => EducationalMeta::default(),
+        };
+
+        let rights = match element.child("rights") {
+            Some(el) => RightsMeta {
+                cost: child_text(el, "cost").trim() == "true",
+                copyright: child_text(el, "copyright"),
+            },
+            None => RightsMeta::default(),
+        };
+
+        let cognition = match element.child("cognition") {
+            Some(el) => {
+                let letter = el.attr("level").unwrap_or_default();
+                let level = letter
+                    .chars()
+                    .next()
+                    .ok_or_else(|| MetadataError::MissingElement {
+                        path: "cognition@level".into(),
+                    })
+                    .and_then(|c| CognitionLevel::from_letter(c).map_err(MetadataError::from))?;
+                Some(CognitionMeta {
+                    level,
+                    objective: child_text(el, "objective"),
+                })
+            }
+            None => None,
+        };
+
+        let style = match element.child("questionStyle") {
+            Some(el) => {
+                let keyword = el.text();
+                Some(QuestionStyle::from_keyword(&keyword).ok_or_else(|| {
+                    MetadataError::InvalidValue {
+                        path: "questionStyle".into(),
+                        found: keyword.clone(),
+                        expected: "a question style keyword",
+                    }
+                })?)
+            }
+            None => None,
+        };
+
+        let questionnaire = match element.child("questionnaire") {
+            Some(el) => {
+                let display = child_text(el, "displayType");
+                Some(QuestionnaireMeta {
+                    resumable: child_text(el, "resumable").trim() == "true",
+                    display_type: DisplayOrder::from_keyword(&display).ok_or_else(|| {
+                        MetadataError::InvalidValue {
+                            path: "questionnaire/displayType".into(),
+                            found: display.clone(),
+                            expected: "fixed or random",
+                        }
+                    })?,
+                })
+            }
+            None => None,
+        };
+
+        let individual_test = match element.child("individualTest") {
+            Some(el) => Some(IndividualTestMeta {
+                subject: Subject::new(child_text(el, "subject")),
+                answer: el.child("answer").map(parse_answer).transpose()?,
+                difficulty: el
+                    .child("itemDifficultyIndex")
+                    .map(|p| {
+                        parse_f64(p, "individualTest/itemDifficultyIndex")
+                            .and_then(DifficultyIndex::new)
+                    })
+                    .transpose()?,
+                discrimination: el
+                    .child("itemDiscriminationIndex")
+                    .map(|d| {
+                        parse_f64(d, "individualTest/itemDiscriminationIndex")
+                            .and_then(DiscriminationIndex::new)
+                    })
+                    .transpose()?,
+                distraction: el
+                    .children_named("distraction")
+                    .map(Element::text)
+                    .collect(),
+            }),
+            None => None,
+        };
+
+        let exam = match element.child("exam") {
+            Some(el) => Some(ExamMeta {
+                average_time: el
+                    .child("averageTime")
+                    .map(|t| parse_duration(t, "exam/averageTime"))
+                    .transpose()?,
+                test_time: el
+                    .child("testTime")
+                    .map(|t| parse_duration(t, "exam/testTime"))
+                    .transpose()?,
+                instructional_sensitivity: el
+                    .child("instructionalSensitivityIndex")
+                    .map(|v| parse_f64(v, "exam/instructionalSensitivityIndex"))
+                    .transpose()?,
+            }),
+            None => None,
+        };
+
+        Ok(MineMetadata {
+            general,
+            lifecycle,
+            technical,
+            educational,
+            rights,
+            cognition,
+            style,
+            questionnaire,
+            individual_test,
+            exam,
+        })
+    }
+
+    /// Parses a record from XML text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetadataError::Xml`] for malformed XML and other
+    /// [`MetadataError`]s for schema problems.
+    pub fn from_xml_str(text: &str) -> Result<Self, MetadataError> {
+        let doc = mine_xml::parse_document(text)?;
+        Self::from_xml_element(&doc.root)
+    }
+}
+
+/// Builder for [`MineMetadata`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct MineMetadataBuilder {
+    meta: MineMetadata,
+}
+
+impl MineMetadataBuilder {
+    /// Sets the title.
+    #[must_use]
+    pub fn title(mut self, title: impl Into<String>) -> Self {
+        self.meta.general.title = title.into();
+        self
+    }
+
+    /// Sets the description.
+    #[must_use]
+    pub fn description(mut self, description: impl Into<String>) -> Self {
+        self.meta.general.description = description.into();
+        self
+    }
+
+    /// Sets the language code.
+    #[must_use]
+    pub fn language(mut self, language: impl Into<String>) -> Self {
+        self.meta.general.language = language.into();
+        self
+    }
+
+    /// Adds a search keyword.
+    #[must_use]
+    pub fn keyword(mut self, keyword: impl Into<String>) -> Self {
+        self.meta.general.keywords.push(keyword.into());
+        self
+    }
+
+    /// Adds a lifecycle contributor.
+    #[must_use]
+    pub fn contributor(mut self, contributor: Contributor) -> Self {
+        self.meta.lifecycle.contributors.push(contributor);
+        self
+    }
+
+    /// Sets the cognition section.
+    #[must_use]
+    pub fn cognition(mut self, cognition: impl Into<CognitionMeta>) -> Self {
+        self.meta.cognition = Some(cognition.into());
+        self
+    }
+
+    /// Sets the question style.
+    #[must_use]
+    pub fn style(mut self, style: QuestionStyle) -> Self {
+        self.meta.style = Some(style);
+        self
+    }
+
+    /// Sets the questionnaire section.
+    #[must_use]
+    pub fn questionnaire(mut self, questionnaire: QuestionnaireMeta) -> Self {
+        self.meta.questionnaire = Some(questionnaire);
+        self
+    }
+
+    /// Sets (creating if needed) the IndividualTest subject.
+    #[must_use]
+    pub fn subject(mut self, subject: impl Into<Subject>) -> Self {
+        self.meta
+            .individual_test
+            .get_or_insert_with(IndividualTestMeta::default)
+            .subject = subject.into();
+        self
+    }
+
+    /// Sets the whole IndividualTest section.
+    #[must_use]
+    pub fn individual_test(mut self, test: IndividualTestMeta) -> Self {
+        self.meta.individual_test = Some(test);
+        self
+    }
+
+    /// Sets the Exam section.
+    #[must_use]
+    pub fn exam(mut self, exam: ExamMeta) -> Self {
+        self.meta.exam = Some(exam);
+        self
+    }
+
+    /// Finishes the build.
+    #[must_use]
+    pub fn build(self) -> MineMetadata {
+        self.meta
+    }
+}
+
+fn require<'a>(element: &'a Element, name: &str) -> Result<&'a Element, MetadataError> {
+    element
+        .child(name)
+        .ok_or_else(|| MetadataError::MissingElement {
+            path: name.to_string(),
+        })
+}
+
+fn child_text(element: &Element, name: &str) -> String {
+    element.child_text(name).unwrap_or_default()
+}
+
+/// Formats a float without trailing zeros noise, keeping round-trip
+/// precision.
+fn format_f64(value: f64) -> String {
+    // `{}` on f64 prints the shortest representation that round-trips.
+    format!("{value}")
+}
+
+fn parse_f64(element: &Element, path: &str) -> Result<f64, MetadataError> {
+    let text = element.text();
+    text.trim()
+        .parse()
+        .map_err(|_| MetadataError::InvalidValue {
+            path: path.to_string(),
+            found: text.clone(),
+            expected: "floating point number",
+        })
+}
+
+fn duration_element(name: &str, duration: Duration) -> Element {
+    Element::new(name)
+        .with_attr("unit", "s")
+        .with_text(format_f64(duration.as_secs_f64()))
+}
+
+fn parse_duration(element: &Element, path: &str) -> Result<Duration, MetadataError> {
+    let seconds = parse_f64(element, path)?;
+    if seconds < 0.0 || !seconds.is_finite() {
+        return Err(MetadataError::InvalidValue {
+            path: path.to_string(),
+            found: seconds.to_string(),
+            expected: "non-negative seconds",
+        });
+    }
+    Ok(Duration::from_secs_f64(seconds))
+}
+
+fn answer_element(answer: &Answer) -> Element {
+    match answer {
+        Answer::Choice(key) => Element::new("answer")
+            .with_attr("kind", "choice")
+            .with_text(key.letter().to_string()),
+        Answer::MultiChoice(keys) => Element::new("answer")
+            .with_attr("kind", "multi-choice")
+            .with_text(keys.iter().map(|k| k.letter()).collect::<String>()),
+        Answer::TrueFalse(value) => Element::new("answer")
+            .with_attr("kind", "true-false")
+            .with_text(value.to_string()),
+        Answer::Text(text) => Element::new("answer")
+            .with_attr("kind", "text")
+            .with_text(text),
+        Answer::Completion(blanks) => {
+            let mut el = Element::new("answer").with_attr("kind", "completion");
+            for blank in blanks {
+                el.push(Element::new("blank").with_text(blank));
+            }
+            el
+        }
+        Answer::Match(pairs) => {
+            let mut el = Element::new("answer").with_attr("kind", "match");
+            for (left, right) in pairs.iter().enumerate() {
+                el.push(
+                    Element::new("pair")
+                        .with_attr("left", left.to_string())
+                        .with_attr("right", right.to_string()),
+                );
+            }
+            el
+        }
+        Answer::Skipped => Element::new("answer").with_attr("kind", "skipped"),
+    }
+}
+
+fn parse_answer(element: &Element) -> Result<Answer, MetadataError> {
+    let kind = element.attr("kind").unwrap_or("text");
+    let text = element.text();
+    let invalid = |expected: &'static str| MetadataError::InvalidValue {
+        path: "answer".into(),
+        found: text.clone(),
+        expected,
+    };
+    match kind {
+        "choice" => {
+            let key = text
+                .trim()
+                .parse::<OptionKey>()
+                .map_err(MetadataError::from)?;
+            Ok(Answer::Choice(key))
+        }
+        "multi-choice" => {
+            let keys = text
+                .trim()
+                .chars()
+                .map(OptionKey::from_letter)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(MetadataError::from)?;
+            Ok(Answer::MultiChoice(keys))
+        }
+        "true-false" => match text.trim() {
+            "true" => Ok(Answer::TrueFalse(true)),
+            "false" => Ok(Answer::TrueFalse(false)),
+            _ => Err(invalid("true or false")),
+        },
+        "text" => Ok(Answer::Text(text)),
+        "completion" => Ok(Answer::Completion(
+            element.children_named("blank").map(Element::text).collect(),
+        )),
+        "match" => {
+            let mut pairs: Vec<(usize, usize)> = Vec::new();
+            for pair in element.children_named("pair") {
+                let left = pair
+                    .attr("left")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| invalid("pair with left/right indices"))?;
+                let right = pair
+                    .attr("right")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| invalid("pair with left/right indices"))?;
+                pairs.push((left, right));
+            }
+            pairs.sort_unstable();
+            Ok(Answer::Match(pairs.into_iter().map(|(_, r)| r).collect()))
+        }
+        "skipped" => Ok(Answer::Skipped),
+        _ => Err(invalid("a known answer kind")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_meta() -> MineMetadata {
+        MineMetadata::builder("meta-q2")
+            .title("Question no. 2")
+            .description("Worked example from §4.1.2")
+            .language("en")
+            .keyword("tcp")
+            .keyword("windows")
+            .contributor(Contributor::new("author", "J. Hung"))
+            .cognition(CognitionMeta::new(CognitionLevel::Comprehension).with_objective("explain"))
+            .style(QuestionStyle::MultipleChoice)
+            .questionnaire(QuestionnaireMeta {
+                resumable: true,
+                display_type: DisplayOrder::Random,
+            })
+            .individual_test(IndividualTestMeta {
+                answer: Some(Answer::Choice(OptionKey::C)),
+                subject: Subject::new("networking"),
+                difficulty: Some(DifficultyIndex::new(0.635).unwrap()),
+                discrimination: Some(DiscriminationIndex::new(0.55).unwrap()),
+                distraction: vec!["B lures the low group".into()],
+            })
+            .exam(ExamMeta {
+                average_time: Some(Duration::from_secs_f64(41.5)),
+                test_time: Some(Duration::from_secs(3600)),
+                instructional_sensitivity: Some(0.22),
+            })
+            .build()
+    }
+
+    #[test]
+    fn builder_populates_sections() {
+        let meta = full_meta();
+        assert_eq!(meta.general.title, "Question no. 2");
+        assert_eq!(meta.general.keywords.len(), 2);
+        assert_eq!(
+            meta.cognition.as_ref().unwrap().level,
+            CognitionLevel::Comprehension
+        );
+        assert_eq!(meta.style, Some(QuestionStyle::MultipleChoice));
+        assert!(meta.questionnaire.as_ref().unwrap().resumable);
+    }
+
+    #[test]
+    fn xml_round_trip_full() {
+        let meta = full_meta();
+        let xml = meta.to_xml_element();
+        let text = xml.to_xml_string();
+        let back = MineMetadata::from_xml_str(&text).unwrap();
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn xml_round_trip_minimal() {
+        let meta = MineMetadata::builder("m1").build();
+        let back = MineMetadata::from_xml_element(&meta.to_xml_element()).unwrap();
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn xml_round_trip_every_answer_kind() {
+        let answers = [
+            Answer::Choice(OptionKey::B),
+            Answer::MultiChoice(vec![OptionKey::A, OptionKey::D]),
+            Answer::TrueFalse(false),
+            Answer::Text("an essay answer".into()),
+            Answer::Completion(vec!["alpha".into(), "beta".into()]),
+            Answer::Match(vec![2, 0, 1]),
+            Answer::Skipped,
+        ];
+        for answer in answers {
+            let meta = MineMetadata::builder("m")
+                .individual_test(IndividualTestMeta {
+                    answer: Some(answer.clone()),
+                    ..IndividualTestMeta::default()
+                })
+                .build();
+            let back = MineMetadata::from_xml_element(&meta.to_xml_element()).unwrap();
+            assert_eq!(
+                back.individual_test.unwrap().answer,
+                Some(answer.clone()),
+                "answer {answer:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_general_is_an_error() {
+        let err = MineMetadata::from_xml_element(&Element::new("mine:metadata")).unwrap_err();
+        assert!(matches!(err, MetadataError::MissingElement { .. }));
+    }
+
+    #[test]
+    fn bad_cognition_letter_is_an_error() {
+        let el = Element::new("mine:metadata")
+            .with_child(Element::new("general"))
+            .with_child(Element::new("cognition").with_attr("level", "Z"));
+        assert!(MineMetadata::from_xml_element(&el).is_err());
+    }
+
+    #[test]
+    fn bad_style_keyword_is_an_error() {
+        let el = Element::new("mine:metadata")
+            .with_child(Element::new("general"))
+            .with_child(Element::new("questionStyle").with_text("guessing"));
+        assert!(MineMetadata::from_xml_element(&el).is_err());
+    }
+
+    #[test]
+    fn out_of_range_index_is_an_error() {
+        let el = Element::new("mine:metadata")
+            .with_child(Element::new("general"))
+            .with_child(
+                Element::new("individualTest")
+                    .with_child(Element::new("itemDifficultyIndex").with_text("1.5")),
+            );
+        assert!(MineMetadata::from_xml_element(&el).is_err());
+    }
+
+    #[test]
+    fn negative_duration_is_an_error() {
+        let el = Element::new("mine:metadata")
+            .with_child(Element::new("general"))
+            .with_child(
+                Element::new("exam").with_child(
+                    Element::new("testTime")
+                        .with_attr("unit", "s")
+                        .with_text("-5"),
+                ),
+            );
+        assert!(MineMetadata::from_xml_element(&el).is_err());
+    }
+
+    #[test]
+    fn render_tree_lists_all_ten_sections() {
+        let tree = full_meta().render_tree();
+        for section in [
+            "General",
+            "Lifecycle",
+            "Technical",
+            "Educational",
+            "Rights",
+            "Cognition",
+            "Question Style",
+            "Questionnaire",
+            "IndividualTest",
+            "Exam",
+        ] {
+            assert!(
+                tree.contains(section),
+                "missing section {section} in:\n{tree}"
+            );
+        }
+        // Exactly ten branches under the root.
+        assert_eq!(tree.matches("── ").count(), 10);
+    }
+
+    #[test]
+    fn render_tree_marks_empty_sections() {
+        let tree = MineMetadata::builder("empty").build().render_tree();
+        assert!(tree.contains("Cognition: (empty)"));
+        assert!(tree.contains("Exam: (empty)"));
+    }
+
+    #[test]
+    fn from_xml_str_propagates_parse_errors() {
+        assert!(matches!(
+            MineMetadata::from_xml_str("<broken").unwrap_err(),
+            MetadataError::Xml(_)
+        ));
+    }
+}

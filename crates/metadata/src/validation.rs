@@ -1,0 +1,253 @@
+//! Completeness validation for metadata records.
+//!
+//! §2.1 of the paper: "a good metadata need completeness, carefulness,
+//! and flexibility". [`validate`] checks a [`MineMetadata`] record for
+//! the gaps that break downstream workflows (searching, analysis,
+//! SCORM exchange) and reports them as warnings or errors.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::assessment::QuestionStyle;
+use crate::tree::MineMetadata;
+
+/// Severity of a validation finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Completeness {
+    /// Nice-to-have field absent.
+    Advice,
+    /// Field absent that degrades search/analysis.
+    Warning,
+    /// Record unusable for its purpose.
+    Error,
+}
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationIssue {
+    /// How serious the finding is.
+    pub severity: Completeness,
+    /// Which field/section the finding concerns.
+    pub field: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl ValidationIssue {
+    fn new(severity: Completeness, field: &str, message: impl Into<String>) -> Self {
+        Self {
+            severity,
+            field: field.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Completeness::Advice => "advice",
+            Completeness::Warning => "warning",
+            Completeness::Error => "error",
+        };
+        write!(f, "[{tag}] {}: {}", self.field, self.message)
+    }
+}
+
+/// Validates a metadata record, returning all findings (empty = clean).
+///
+/// # Examples
+///
+/// ```
+/// use mine_metadata::{validate, Completeness, MineMetadata};
+///
+/// let bare = MineMetadata::builder("m1").build();
+/// let issues = validate(&bare);
+/// assert!(issues.iter().any(|i| i.field == "general.title"));
+/// assert!(!issues.iter().any(|i| i.severity == Completeness::Error));
+/// ```
+#[must_use]
+pub fn validate(meta: &MineMetadata) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+
+    if meta.general.identifier.trim().is_empty() {
+        issues.push(ValidationIssue::new(
+            Completeness::Error,
+            "general.identifier",
+            "records must carry a catalog identifier for repository exchange",
+        ));
+    }
+    if meta.general.title.trim().is_empty() {
+        issues.push(ValidationIssue::new(
+            Completeness::Warning,
+            "general.title",
+            "untitled records are hard to find in the problem search",
+        ));
+    }
+    if meta.general.keywords.is_empty() {
+        issues.push(ValidationIssue::new(
+            Completeness::Advice,
+            "general.keywords",
+            "keywords improve problem search recall",
+        ));
+    }
+
+    match meta.style {
+        Some(QuestionStyle::Questionnaire) if meta.questionnaire.is_none() => {
+            issues.push(ValidationIssue::new(
+                Completeness::Error,
+                "questionnaire",
+                "questionnaire-style records must define resumable and display type",
+            ));
+        }
+        Some(style) if style.is_objective() => {
+            let has_answer = meta
+                .individual_test
+                .as_ref()
+                .is_some_and(|t| t.answer.is_some());
+            if !has_answer {
+                issues.push(ValidationIssue::new(
+                    Completeness::Error,
+                    "individualTest.answer",
+                    "objective questions need a stored correct answer for auto-grading",
+                ));
+            }
+        }
+        _ => {}
+    }
+
+    if let Some(test) = &meta.individual_test {
+        if test.subject.as_str().trim().is_empty() {
+            issues.push(ValidationIssue::new(
+                Completeness::Warning,
+                "individualTest.subject",
+                "the two-way specification table needs each question's subject",
+            ));
+        }
+    }
+
+    if meta.cognition.is_none() {
+        issues.push(ValidationIssue::new(
+            Completeness::Warning,
+            "cognition",
+            "without a cognition level the question cannot join the two-way table",
+        ));
+    }
+
+    if let Some(exam) = &meta.exam {
+        if let (Some(avg), Some(limit)) = (exam.average_time, exam.test_time) {
+            if avg > limit {
+                issues.push(ValidationIssue::new(
+                    Completeness::Warning,
+                    "exam.averageTime",
+                    "average answering time exceeds the test time limit",
+                ));
+            }
+        }
+    }
+
+    issues
+}
+
+/// Convenience: `true` when the record has no [`Completeness::Error`]
+/// findings.
+#[must_use]
+pub fn is_usable(meta: &MineMetadata) -> bool {
+    !validate(meta)
+        .iter()
+        .any(|issue| issue.severity == Completeness::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assessment::{CognitionMeta, ExamMeta, IndividualTestMeta, QuestionnaireMeta};
+    use mine_core::{Answer, CognitionLevel, OptionKey, Subject};
+    use std::time::Duration;
+
+    fn clean_choice_meta() -> MineMetadata {
+        MineMetadata::builder("q1")
+            .title("A fine question")
+            .keyword("network")
+            .cognition(CognitionMeta::new(CognitionLevel::Knowledge))
+            .style(QuestionStyle::MultipleChoice)
+            .individual_test(IndividualTestMeta {
+                answer: Some(Answer::Choice(OptionKey::A)),
+                subject: Subject::new("routing"),
+                ..IndividualTestMeta::default()
+            })
+            .build()
+    }
+
+    #[test]
+    fn clean_record_validates_clean() {
+        assert!(validate(&clean_choice_meta()).is_empty());
+        assert!(is_usable(&clean_choice_meta()));
+    }
+
+    #[test]
+    fn empty_identifier_is_an_error() {
+        let mut meta = clean_choice_meta();
+        meta.general.identifier = "  ".into();
+        let issues = validate(&meta);
+        assert!(issues
+            .iter()
+            .any(|i| i.severity == Completeness::Error && i.field == "general.identifier"));
+        assert!(!is_usable(&meta));
+    }
+
+    #[test]
+    fn objective_style_without_answer_is_an_error() {
+        let mut meta = clean_choice_meta();
+        meta.individual_test.as_mut().unwrap().answer = None;
+        assert!(!is_usable(&meta));
+    }
+
+    #[test]
+    fn essay_without_answer_is_fine() {
+        let mut meta = clean_choice_meta();
+        meta.style = Some(QuestionStyle::Essay);
+        meta.individual_test.as_mut().unwrap().answer = None;
+        assert!(is_usable(&meta));
+    }
+
+    #[test]
+    fn questionnaire_style_requires_section() {
+        let mut meta = clean_choice_meta();
+        meta.style = Some(QuestionStyle::Questionnaire);
+        meta.questionnaire = None;
+        assert!(!is_usable(&meta));
+        meta.questionnaire = Some(QuestionnaireMeta::default());
+        assert!(is_usable(&meta));
+    }
+
+    #[test]
+    fn missing_cognition_warns() {
+        let mut meta = clean_choice_meta();
+        meta.cognition = None;
+        let issues = validate(&meta);
+        assert!(issues
+            .iter()
+            .any(|i| i.field == "cognition" && i.severity == Completeness::Warning));
+        assert!(is_usable(&meta), "warning only, still usable");
+    }
+
+    #[test]
+    fn average_time_over_limit_warns() {
+        let mut meta = clean_choice_meta();
+        meta.exam = Some(ExamMeta {
+            average_time: Some(Duration::from_secs(4000)),
+            test_time: Some(Duration::from_secs(3600)),
+            instructional_sensitivity: None,
+        });
+        let issues = validate(&meta);
+        assert!(issues.iter().any(|i| i.field == "exam.averageTime"));
+    }
+
+    #[test]
+    fn issue_display_has_severity_tag() {
+        let issue = ValidationIssue::new(Completeness::Warning, "f", "m");
+        assert_eq!(issue.to_string(), "[warning] f: m");
+    }
+}

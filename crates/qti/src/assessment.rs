@@ -1,0 +1,288 @@
+//! QTI 1.2 `<questestinterop>`/`<assessment>` encoding and decoding.
+//!
+//! An exam maps to one `<assessment>`; each presentation group (§5.4)
+//! becomes a `<section>` (ungrouped entries land in the `MAIN` section)
+//! and every entry inlines its full `<item>`. Per-entry point overrides
+//! are flattened into the inlined item's `qmd_weighting` on export, so a
+//! re-import carries the effective points on the problems themselves.
+
+use mine_itembank::{Exam, ExamEntry, GroupStyle, Problem};
+use mine_metadata::DisplayOrder;
+use mine_xml::{Document, Element};
+
+use crate::error::QtiError;
+use crate::item::{item_from_qti, item_to_qti};
+
+/// A decoded QTI assessment: the exam structure plus its problems.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QtiAssessment {
+    /// The reconstructed exam.
+    pub exam: Exam,
+    /// The problems inlined in the document, in section order.
+    pub problems: Vec<Problem>,
+}
+
+/// Encodes an exam and its problems as a `questestinterop` document.
+///
+/// Problems must cover every exam entry; extra problems are ignored.
+///
+/// # Errors
+///
+/// Returns [`QtiError::Schema`] when an entry's problem is missing from
+/// `problems`.
+pub fn assessment_to_qti(exam: &Exam, problems: &[Problem]) -> Result<Document, QtiError> {
+    let mut assessment = Element::new("assessment")
+        .with_attr("ident", exam.id().as_str())
+        .with_attr("title", exam.title());
+
+    let mut qtimetadata = Element::new("qtimetadata");
+    qtimetadata.push(field("mine_displayorder", exam.display_order().keyword()));
+    if let Some(limit) = exam.meta().test_time {
+        qtimetadata.push(field("qmd_timelimit", &limit.as_secs().to_string()));
+    }
+    assessment.push(qtimetadata);
+
+    let find = |entry: &ExamEntry| -> Result<Problem, QtiError> {
+        let mut problem = problems
+            .iter()
+            .find(|p| p.id() == &entry.problem)
+            .cloned()
+            .ok_or_else(|| QtiError::Schema {
+                reason: format!("exam entry {} has no matching problem", entry.problem),
+            })?;
+        if let Some(points) = entry.points {
+            problem.set_points(points);
+        }
+        Ok(problem)
+    };
+
+    // One section per group, in declaration order.
+    for group in exam.groups() {
+        let mut section = Element::new("section")
+            .with_attr("ident", group.id.as_str())
+            .with_attr("title", &group.style.heading);
+        section.push(field_block(&group.style));
+        for entry in exam.entries_in_group(&group.id) {
+            section.push(item_to_qti(&find(entry)?));
+        }
+        assessment.push(section);
+    }
+    // Ungrouped entries.
+    let mut main = Element::new("section").with_attr("ident", "MAIN");
+    for entry in exam.entries().iter().filter(|e| e.group.is_none()) {
+        main.push(item_to_qti(&find(entry)?));
+    }
+    assessment.push(main);
+
+    Ok(Document::new(
+        Element::new("questestinterop").with_child(assessment),
+    ))
+}
+
+fn field(label: &str, entry: &str) -> Element {
+    Element::new("qtimetadatafield")
+        .with_child(Element::new("fieldlabel").with_text(label))
+        .with_child(Element::new("fieldentry").with_text(entry))
+}
+
+fn field_block(style: &GroupStyle) -> Element {
+    Element::new("qtimetadata")
+        .with_child(field("mine_columns", &style.columns.to_string()))
+        .with_child(field("mine_shuffle", &style.shuffle_within.to_string()))
+        .with_child(field("mine_pagebreak", &style.page_break.to_string()))
+}
+
+fn read_fields(parent: &Element) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    if let Some(qtimetadata) = parent.child("qtimetadata") {
+        for f in qtimetadata.children_named("qtimetadatafield") {
+            out.push((
+                f.child_text("fieldlabel").unwrap_or_default(),
+                f.child_text("fieldentry").unwrap_or_default(),
+            ));
+        }
+    }
+    out
+}
+
+fn lookup<'a>(fields: &'a [(String, String)], label: &str) -> Option<&'a str> {
+    fields
+        .iter()
+        .find(|(l, _)| l == label)
+        .map(|(_, e)| e.as_str())
+}
+
+/// Decodes a `questestinterop` document back into an exam + problems.
+///
+/// # Errors
+///
+/// Returns [`QtiError::Schema`] for structural mismatches and
+/// [`QtiError::Bank`] when the rebuilt exam fails validation.
+pub fn assessment_from_qti(doc: &Document) -> Result<QtiAssessment, QtiError> {
+    let root = &doc.root;
+    if root.local_name() != "questestinterop" {
+        return Err(QtiError::Schema {
+            reason: format!("expected <questestinterop>, got <{}>", root.name),
+        });
+    }
+    let assessment = root.child("assessment").ok_or_else(|| QtiError::Schema {
+        reason: "document has no assessment".into(),
+    })?;
+    let ident = assessment.attr("ident").ok_or_else(|| QtiError::Schema {
+        reason: "assessment missing ident".into(),
+    })?;
+    let fields = read_fields(assessment);
+    let mut builder = Exam::builder(ident)?.title(assessment.attr("title").unwrap_or_default());
+    if let Some(order) = lookup(&fields, "mine_displayorder").and_then(DisplayOrder::from_keyword) {
+        builder = builder.display_order(order);
+    }
+    if let Some(limit) = lookup(&fields, "qmd_timelimit").and_then(|t| t.parse::<u64>().ok()) {
+        builder = builder.test_time(std::time::Duration::from_secs(limit));
+    }
+
+    let mut problems = Vec::new();
+    let mut entries: Vec<ExamEntry> = Vec::new();
+    for section in assessment.children_named("section") {
+        let section_id = section.attr("ident").unwrap_or("MAIN");
+        let group_id = if section_id == "MAIN" {
+            None
+        } else {
+            let section_fields = read_fields(section);
+            let style = GroupStyle {
+                columns: lookup(&section_fields, "mine_columns")
+                    .and_then(|c| c.parse().ok())
+                    .unwrap_or(1),
+                shuffle_within: lookup(&section_fields, "mine_shuffle") == Some("true"),
+                page_break: lookup(&section_fields, "mine_pagebreak") == Some("true"),
+                heading: section.attr("title").unwrap_or_default().to_string(),
+            };
+            let gid: mine_core::GroupId = section_id.parse().map_err(|_| QtiError::Schema {
+                reason: format!("bad section ident {section_id:?}"),
+            })?;
+            builder =
+                builder.group(mine_itembank::PresentationGroup::new(gid.clone()).with_style(style));
+            Some(gid)
+        };
+        for item in section.children_named("item") {
+            let problem = item_from_qti(item)?;
+            let mut entry = ExamEntry::new(problem.id().clone());
+            entry.group = group_id.clone();
+            entries.push(entry);
+            problems.push(problem);
+        }
+    }
+    for entry in entries {
+        builder = builder.entry_with(entry);
+    }
+    let exam = builder.build()?;
+    Ok(QtiAssessment { exam, problems })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_core::OptionKey;
+    use mine_itembank::{ChoiceOption, PresentationGroup};
+
+    fn problems() -> Vec<Problem> {
+        vec![
+            Problem::multiple_choice(
+                "q1",
+                "Pick one.",
+                [
+                    ChoiceOption::new(OptionKey::A, "x"),
+                    ChoiceOption::new(OptionKey::B, "y"),
+                ],
+                OptionKey::A,
+            )
+            .unwrap(),
+            Problem::true_false("q2", "Water is wet.", true).unwrap(),
+            Problem::essay("q3", "Discuss.").unwrap(),
+        ]
+    }
+
+    fn exam() -> Exam {
+        Exam::builder("final")
+            .unwrap()
+            .title("Final Exam")
+            .display_order(DisplayOrder::Random)
+            .test_time(std::time::Duration::from_secs(5400))
+            .group(
+                PresentationGroup::new("objective".parse().unwrap()).with_style(GroupStyle {
+                    columns: 2,
+                    shuffle_within: true,
+                    page_break: true,
+                    heading: "Objective part".into(),
+                }),
+            )
+            .entry_with(
+                ExamEntry::new("q1".parse().unwrap()).in_group("objective".parse().unwrap()),
+            )
+            .entry_with(
+                ExamEntry::new("q2".parse().unwrap())
+                    .in_group("objective".parse().unwrap())
+                    .worth(4.0),
+            )
+            .entry("q3".parse().unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn assessment_round_trip() {
+        let doc = assessment_to_qti(&exam(), &problems()).unwrap();
+        let text = doc.to_xml_string();
+        let parsed = mine_xml::parse_document(&text).unwrap();
+        let back = assessment_from_qti(&parsed).unwrap();
+        assert_eq!(back.exam.id().as_str(), "final");
+        assert_eq!(back.exam.title(), "Final Exam");
+        assert_eq!(back.exam.display_order(), DisplayOrder::Random);
+        assert_eq!(
+            back.exam.meta().test_time,
+            Some(std::time::Duration::from_secs(5400))
+        );
+        assert_eq!(back.exam.len(), 3);
+        assert_eq!(back.problems.len(), 3);
+        // The group survives as a section.
+        let group = back.exam.group(&"objective".parse().unwrap()).unwrap();
+        assert_eq!(group.style.columns, 2);
+        assert!(group.style.shuffle_within);
+        assert_eq!(group.style.heading, "Objective part");
+        // The 4-point override was flattened into q2's weighting.
+        let q2 = back
+            .problems
+            .iter()
+            .find(|p| p.id().as_str() == "q2")
+            .unwrap();
+        assert_eq!(q2.points(), 4.0);
+    }
+
+    #[test]
+    fn entry_order_is_sections_then_main() {
+        let doc = assessment_to_qti(&exam(), &problems()).unwrap();
+        let text = doc.to_xml_string();
+        let parsed = mine_xml::parse_document(&text).unwrap();
+        let back = assessment_from_qti(&parsed).unwrap();
+        let order: Vec<&str> = back
+            .exam
+            .entries()
+            .iter()
+            .map(|e| e.problem.as_str())
+            .collect();
+        assert_eq!(order, vec!["q1", "q2", "q3"]);
+    }
+
+    #[test]
+    fn missing_problem_is_schema_error() {
+        let err = assessment_to_qti(&exam(), &problems()[..2]).unwrap_err();
+        assert!(matches!(err, QtiError::Schema { .. }));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_root() {
+        let doc = Document::new(Element::new("quiz"));
+        assert!(assessment_from_qti(&doc).is_err());
+        let doc = Document::new(Element::new("questestinterop"));
+        assert!(assessment_from_qti(&doc).is_err());
+    }
+}

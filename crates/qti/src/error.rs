@@ -1,0 +1,70 @@
+//! Error type for QTI interchange.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use mine_itembank::BankError;
+use mine_xml::XmlError;
+
+/// Errors raised while encoding or decoding QTI documents.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QtiError {
+    /// The document is structurally not the QTI we emit.
+    Schema {
+        /// What was wrong.
+        reason: String,
+    },
+    /// Raw XML parsing failed.
+    Xml(XmlError),
+    /// A decoded problem failed item-bank validation.
+    Bank(BankError),
+}
+
+impl fmt::Display for QtiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QtiError::Schema { reason } => write!(f, "qti schema error: {reason}"),
+            QtiError::Xml(err) => write!(f, "xml error: {err}"),
+            QtiError::Bank(err) => write!(f, "item bank error: {err}"),
+        }
+    }
+}
+
+impl StdError for QtiError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            QtiError::Xml(err) => Some(err),
+            QtiError::Bank(err) => Some(err),
+            QtiError::Schema { .. } => None,
+        }
+    }
+}
+
+impl From<XmlError> for QtiError {
+    fn from(err: XmlError) -> Self {
+        QtiError::Xml(err)
+    }
+}
+
+impl From<BankError> for QtiError {
+    fn from(err: BankError) -> Self {
+        QtiError::Bank(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = QtiError::Schema {
+            reason: "missing item".into(),
+        };
+        assert!(err.to_string().contains("missing item"));
+        assert!(err.source().is_none());
+        let err: QtiError = XmlError::UnknownEntity { entity: "x".into() }.into();
+        assert!(err.source().is_some());
+    }
+}

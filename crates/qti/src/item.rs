@@ -1,0 +1,665 @@
+//! QTI 1.2 `<item>` encoding and decoding.
+//!
+//! The mapping per question style:
+//!
+//! | style | QTI rendering |
+//! |---|---|
+//! | multiple choice | `response_lid`/`render_choice`, `respcondition` sets SCORE |
+//! | true/false | `response_lid` with `T`/`F` labels |
+//! | completion | one `response_str`/`render_fib` per blank |
+//! | match | one `response_lid` per left entry, labels = right column |
+//! | essay | `response_str`/`render_fib` with rows, no resprocessing |
+//! | questionnaire | `response_lid`, no resprocessing |
+//!
+//! MINE metadata travels in `qtimetadatafield` entries: `qmd_itemtype`,
+//! `qmd_weighting` (points), `mine_cognitionlevel`, `mine_subject`,
+//! `mine_difficulty`, `mine_discrimination`.
+
+use mine_core::{CognitionLevel, OptionKey};
+use mine_itembank::{ChoiceOption, MatchPairs, Problem, ProblemBody};
+use mine_metadata::{CognitionMeta, DifficultyIndex, DiscriminationIndex, IndividualTestMeta};
+use mine_xml::Element;
+
+use crate::error::QtiError;
+
+fn material(text: &str) -> Element {
+    Element::new("material").with_child(Element::new("mattext").with_text(text))
+}
+
+fn metadata_field(label: &str, entry: &str) -> Element {
+    Element::new("qtimetadatafield")
+        .with_child(Element::new("fieldlabel").with_text(label))
+        .with_child(Element::new("fieldentry").with_text(entry))
+}
+
+fn response_label(key: &str, text: &str) -> Element {
+    Element::new("response_label")
+        .with_attr("ident", key)
+        .with_child(material(text))
+}
+
+fn score_condition(respident: &str, value: &str, score: f64) -> Element {
+    Element::new("respcondition")
+        .with_child(
+            Element::new("conditionvar").with_child(
+                Element::new("varequal")
+                    .with_attr("respident", respident)
+                    .with_text(value),
+            ),
+        )
+        .with_child(
+            Element::new("setvar")
+                .with_attr("action", "Add")
+                .with_attr("varname", "SCORE")
+                .with_text(score.to_string()),
+        )
+}
+
+/// Encodes a problem as a QTI 1.2 `<item>` element.
+#[must_use]
+pub fn item_to_qti(problem: &Problem) -> Element {
+    let mut item = Element::new("item")
+        .with_attr("ident", problem.id().as_str())
+        .with_attr("title", problem.metadata().general.title.clone());
+
+    // --- itemmetadata -------------------------------------------------
+    let mut qtimetadata = Element::new("qtimetadata")
+        .with_child(metadata_field("qmd_itemtype", problem.style().keyword()))
+        .with_child(metadata_field(
+            "qmd_weighting",
+            &problem.points().to_string(),
+        ));
+    if let Some(level) = problem.cognition_level() {
+        qtimetadata.push(metadata_field(
+            "mine_cognitionlevel",
+            &level.letter().to_string(),
+        ));
+    }
+    let subject = problem.subject();
+    if !subject.as_str().is_empty() {
+        qtimetadata.push(metadata_field("mine_subject", subject.as_str()));
+    }
+    if let Some(test) = &problem.metadata().individual_test {
+        if let Some(p) = test.difficulty {
+            qtimetadata.push(metadata_field("mine_difficulty", &p.value().to_string()));
+        }
+        if let Some(d) = test.discrimination {
+            qtimetadata.push(metadata_field(
+                "mine_discrimination",
+                &d.value().to_string(),
+            ));
+        }
+    }
+    item.push(Element::new("itemmetadata").with_child(qtimetadata));
+
+    // --- presentation + resprocessing ---------------------------------
+    let mut presentation = Element::new("presentation");
+    let mut resprocessing: Option<Element> = None;
+
+    match problem.body() {
+        ProblemBody::MultipleChoice {
+            stem,
+            options,
+            correct,
+        } => {
+            presentation.push(material(stem));
+            let mut render = Element::new("render_choice");
+            for option in options {
+                render.push(response_label(
+                    &option.key.letter().to_string(),
+                    &option.text,
+                ));
+            }
+            presentation.push(
+                Element::new("response_lid")
+                    .with_attr("ident", "RESP")
+                    .with_attr("rcardinality", "Single")
+                    .with_child(render),
+            );
+            resprocessing = Some(Element::new("resprocessing").with_child(score_condition(
+                "RESP",
+                &correct.letter().to_string(),
+                problem.points(),
+            )));
+        }
+        ProblemBody::TrueFalse {
+            stem,
+            hint,
+            correct,
+        } => {
+            presentation.push(material(stem));
+            let render = Element::new("render_choice")
+                .with_child(response_label("T", "True"))
+                .with_child(response_label("F", "False"));
+            presentation.push(
+                Element::new("response_lid")
+                    .with_attr("ident", "RESP")
+                    .with_attr("rcardinality", "Single")
+                    .with_child(render),
+            );
+            resprocessing = Some(Element::new("resprocessing").with_child(score_condition(
+                "RESP",
+                if *correct { "T" } else { "F" },
+                problem.points(),
+            )));
+            if !hint.is_empty() {
+                item.push(
+                    Element::new("itemfeedback")
+                        .with_attr("ident", "HINT")
+                        .with_child(material(hint)),
+                );
+            }
+        }
+        ProblemBody::Completion { stem, blanks } => {
+            presentation.push(material(stem));
+            let mut processing = Element::new("resprocessing");
+            for (i, blank) in blanks.iter().enumerate() {
+                let ident = format!("FIB_{i}");
+                presentation.push(
+                    Element::new("response_str")
+                        .with_attr("ident", &ident)
+                        .with_child(Element::new("render_fib").with_attr("rows", "1")),
+                );
+                processing.push(score_condition(
+                    &ident,
+                    blank,
+                    problem.points() / blanks.len() as f64,
+                ));
+            }
+            resprocessing = Some(processing);
+        }
+        ProblemBody::Match(pairs) => {
+            let mut processing = Element::new("resprocessing");
+            for (i, left) in pairs.left.iter().enumerate() {
+                let ident = format!("MATCH_{i}");
+                presentation.push(material(left));
+                let mut render = Element::new("render_choice");
+                for (j, right) in pairs.right.iter().enumerate() {
+                    render.push(response_label(&format!("R{j}"), right));
+                }
+                presentation.push(
+                    Element::new("response_lid")
+                        .with_attr("ident", &ident)
+                        .with_attr("rcardinality", "Single")
+                        .with_child(render),
+                );
+                processing.push(score_condition(
+                    &ident,
+                    &format!("R{}", pairs.correct[i]),
+                    problem.points() / pairs.left.len() as f64,
+                ));
+            }
+            resprocessing = Some(processing);
+        }
+        ProblemBody::Essay {
+            question,
+            hint,
+            keywords,
+        } => {
+            presentation.push(material(question));
+            presentation.push(
+                Element::new("response_str")
+                    .with_attr("ident", "ESSAY")
+                    .with_child(Element::new("render_fib").with_attr("rows", "10")),
+            );
+            if !hint.is_empty() {
+                item.push(
+                    Element::new("itemfeedback")
+                        .with_attr("ident", "HINT")
+                        .with_child(material(hint)),
+                );
+            }
+            for keyword in keywords {
+                item.push(
+                    Element::new("itemfeedback")
+                        .with_attr("ident", "KEYWORD")
+                        .with_child(material(keyword)),
+                );
+            }
+        }
+        ProblemBody::Questionnaire { prompt, options } => {
+            presentation.push(material(prompt));
+            let mut render = Element::new("render_choice");
+            for option in options {
+                render.push(response_label(
+                    &option.key.letter().to_string(),
+                    &option.text,
+                ));
+            }
+            presentation.push(
+                Element::new("response_lid")
+                    .with_attr("ident", "SURVEY")
+                    .with_attr("rcardinality", "Single")
+                    .with_child(render),
+            );
+        }
+    }
+
+    // presentation must precede itemfeedback per the DTD ordering; we
+    // rebuild children in order: itemmetadata, presentation,
+    // resprocessing, feedback.
+    let feedback: Vec<Element> = item.children_named("itemfeedback").cloned().collect();
+    let metadata_el = item.child("itemmetadata").cloned().expect("just added");
+    let mut ordered = Element::new("item");
+    ordered.attributes = item.attributes.clone();
+    ordered.push(metadata_el);
+    ordered.push(presentation);
+    if let Some(processing) = resprocessing {
+        ordered.push(processing);
+    }
+    for fb in feedback {
+        ordered.push(fb);
+    }
+    ordered
+}
+
+/// Reads a `qtimetadatafield` map out of an item.
+fn read_metadata(item: &Element) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    if let Some(qtimetadata) = item.find_path(&["itemmetadata", "qtimetadata"]) {
+        for field in qtimetadata.children_named("qtimetadatafield") {
+            let label = field.child_text("fieldlabel").unwrap_or_default();
+            let entry = field.child_text("fieldentry").unwrap_or_default();
+            out.push((label, entry));
+        }
+    }
+    out
+}
+
+fn field<'a>(fields: &'a [(String, String)], label: &str) -> Option<&'a str> {
+    fields
+        .iter()
+        .find(|(l, _)| l == label)
+        .map(|(_, e)| e.as_str())
+}
+
+fn mattext(el: &Element) -> String {
+    el.find_path(&["material", "mattext"])
+        .map(Element::text)
+        .unwrap_or_default()
+}
+
+/// Collects `respident → correct value` pairs from resprocessing.
+fn correct_values(item: &Element) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    if let Some(processing) = item.child("resprocessing") {
+        for condition in processing.children_named("respcondition") {
+            if let Some(varequal) = condition.find_path(&["conditionvar", "varequal"]) {
+                out.push((
+                    varequal.attr("respident").unwrap_or_default().to_string(),
+                    varequal.text(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn read_choice_options(response_lid: &Element) -> Result<Vec<ChoiceOption>, QtiError> {
+    let render = response_lid
+        .child("render_choice")
+        .ok_or_else(|| QtiError::Schema {
+            reason: "response_lid without render_choice".into(),
+        })?;
+    render
+        .children_named("response_label")
+        .map(|label| {
+            let ident = label.attr("ident").unwrap_or_default();
+            let key = ident
+                .chars()
+                .next()
+                .and_then(|c| OptionKey::from_letter(c).ok())
+                .ok_or_else(|| QtiError::Schema {
+                    reason: format!("bad response_label ident {ident:?}"),
+                })?;
+            Ok(ChoiceOption::new(key, mattext(label)))
+        })
+        .collect()
+}
+
+/// Decodes a QTI 1.2 `<item>` back into a [`Problem`].
+///
+/// # Errors
+///
+/// Returns [`QtiError::Schema`] when the item does not match the subset
+/// this crate emits, and [`QtiError::Bank`] when the decoded problem
+/// fails validation.
+pub fn item_from_qti(item: &Element) -> Result<Problem, QtiError> {
+    if item.local_name() != "item" {
+        return Err(QtiError::Schema {
+            reason: format!("expected <item>, got <{}>", item.name),
+        });
+    }
+    let ident = item.attr("ident").ok_or_else(|| QtiError::Schema {
+        reason: "item missing ident".into(),
+    })?;
+    let fields = read_metadata(item);
+    let itemtype = field(&fields, "qmd_itemtype").unwrap_or("multiple-choice");
+    let presentation = item.child("presentation").ok_or_else(|| QtiError::Schema {
+        reason: "item missing presentation".into(),
+    })?;
+    let corrects = correct_values(item);
+    let first_material = presentation
+        .child("material")
+        .map(|m| m.child_text("mattext").unwrap_or_default())
+        .unwrap_or_default();
+
+    let body = match itemtype {
+        "multiple-choice" => {
+            let lid = presentation
+                .child("response_lid")
+                .ok_or_else(|| QtiError::Schema {
+                    reason: "choice item missing response_lid".into(),
+                })?;
+            let options = read_choice_options(lid)?;
+            let correct = corrects
+                .iter()
+                .find(|(resp, _)| resp == "RESP")
+                .and_then(|(_, v)| v.trim().parse::<OptionKey>().ok())
+                .ok_or_else(|| QtiError::Schema {
+                    reason: "choice item missing correct response".into(),
+                })?;
+            ProblemBody::MultipleChoice {
+                stem: first_material,
+                options,
+                correct,
+            }
+        }
+        "true-false" => {
+            let correct = corrects
+                .iter()
+                .find(|(resp, _)| resp == "RESP")
+                .map(|(_, v)| v.trim() == "T")
+                .ok_or_else(|| QtiError::Schema {
+                    reason: "true-false item missing correct response".into(),
+                })?;
+            let hint = item
+                .children_named("itemfeedback")
+                .find(|fb| fb.attr("ident") == Some("HINT"))
+                .map(mattext)
+                .unwrap_or_default();
+            ProblemBody::TrueFalse {
+                stem: first_material,
+                hint,
+                correct,
+            }
+        }
+        "completion" => {
+            let mut blanks: Vec<(usize, String)> = corrects
+                .iter()
+                .filter_map(|(resp, value)| {
+                    resp.strip_prefix("FIB_")
+                        .and_then(|i| i.parse::<usize>().ok())
+                        .map(|i| (i, value.clone()))
+                })
+                .collect();
+            blanks.sort_unstable_by_key(|(i, _)| *i);
+            ProblemBody::Completion {
+                stem: first_material,
+                blanks: blanks.into_iter().map(|(_, v)| v).collect(),
+            }
+        }
+        "match" => {
+            let left: Vec<String> = presentation
+                .children_named("material")
+                .map(|m| m.child_text("mattext").unwrap_or_default())
+                .collect();
+            let right: Vec<String> = presentation
+                .child("response_lid")
+                .and_then(|lid| lid.child("render_choice"))
+                .map(|render| {
+                    render
+                        .children_named("response_label")
+                        .map(mattext)
+                        .collect()
+                })
+                .unwrap_or_default();
+            let mut pairing: Vec<(usize, usize)> = corrects
+                .iter()
+                .filter_map(|(resp, value)| {
+                    let i = resp.strip_prefix("MATCH_")?.parse::<usize>().ok()?;
+                    let j = value.trim().strip_prefix('R')?.parse::<usize>().ok()?;
+                    Some((i, j))
+                })
+                .collect();
+            pairing.sort_unstable();
+            ProblemBody::Match(MatchPairs {
+                left,
+                right,
+                correct: pairing.into_iter().map(|(_, j)| j).collect(),
+            })
+        }
+        "essay" => {
+            let hint = item
+                .children_named("itemfeedback")
+                .find(|fb| fb.attr("ident") == Some("HINT"))
+                .map(mattext)
+                .unwrap_or_default();
+            let keywords = item
+                .children_named("itemfeedback")
+                .filter(|fb| fb.attr("ident") == Some("KEYWORD"))
+                .map(mattext)
+                .collect();
+            ProblemBody::Essay {
+                question: first_material,
+                hint,
+                keywords,
+            }
+        }
+        "questionnaire" => {
+            let lid = presentation
+                .child("response_lid")
+                .ok_or_else(|| QtiError::Schema {
+                    reason: "questionnaire missing response_lid".into(),
+                })?;
+            ProblemBody::Questionnaire {
+                prompt: first_material,
+                options: read_choice_options(lid)?,
+            }
+        }
+        other => {
+            return Err(QtiError::Schema {
+                reason: format!("unknown qmd_itemtype {other:?}"),
+            })
+        }
+    };
+
+    let mut problem = Problem::new(ident, body)?;
+    if let Some(points) = field(&fields, "qmd_weighting").and_then(|w| w.parse::<f64>().ok()) {
+        problem.set_points(points);
+    }
+    if let Some(title) = item.attr("title") {
+        problem.metadata_mut().general.title = title.to_string();
+    }
+    if let Some(level) = field(&fields, "mine_cognitionlevel")
+        .and_then(|l| l.chars().next())
+        .and_then(|c| CognitionLevel::from_letter(c).ok())
+    {
+        problem.metadata_mut().cognition = Some(CognitionMeta::new(level));
+    }
+    if let Some(subject) = field(&fields, "mine_subject") {
+        problem.set_subject(subject);
+    }
+    let difficulty = field(&fields, "mine_difficulty")
+        .and_then(|p| p.parse::<f64>().ok())
+        .and_then(|p| DifficultyIndex::new(p).ok());
+    let discrimination = field(&fields, "mine_discrimination")
+        .and_then(|d| d.parse::<f64>().ok())
+        .and_then(|d| DiscriminationIndex::new(d).ok());
+    if difficulty.is_some() || discrimination.is_some() {
+        let test = problem
+            .metadata_mut()
+            .individual_test
+            .get_or_insert_with(IndividualTestMeta::default);
+        test.difficulty = difficulty;
+        test.discrimination = discrimination;
+    }
+    Ok(problem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_metadata::QuestionStyle;
+
+    fn round_trip(problem: &Problem) -> Problem {
+        let xml = item_to_qti(problem);
+        let text = mine_xml::Document::new(xml).to_xml_string();
+        let doc = mine_xml::parse_document(&text).unwrap();
+        item_from_qti(&doc.root).unwrap()
+    }
+
+    #[test]
+    fn multiple_choice_round_trip() {
+        let problem = Problem::multiple_choice(
+            "q1",
+            "Pick A.",
+            [
+                ChoiceOption::new(OptionKey::A, "first"),
+                ChoiceOption::new(OptionKey::B, "second"),
+                ChoiceOption::new(OptionKey::C, "third"),
+            ],
+            OptionKey::B,
+        )
+        .unwrap()
+        .with_points(2.5)
+        .with_subject("sorting")
+        .with_cognition_level(CognitionLevel::Application);
+        let back = round_trip(&problem);
+        assert_eq!(back.body(), problem.body());
+        assert_eq!(back.points(), 2.5);
+        assert_eq!(back.subject().as_str(), "sorting");
+        assert_eq!(back.cognition_level(), Some(CognitionLevel::Application));
+    }
+
+    #[test]
+    fn true_false_round_trip_with_hint() {
+        let problem = Problem::new(
+            "q2",
+            ProblemBody::TrueFalse {
+                stem: "The moon is a star.".into(),
+                hint: "think about fusion".into(),
+                correct: false,
+            },
+        )
+        .unwrap();
+        let back = round_trip(&problem);
+        assert_eq!(back.body(), problem.body());
+    }
+
+    #[test]
+    fn completion_round_trip() {
+        let problem = Problem::completion(
+            "q3",
+            "___ and ___ are transport protocols.",
+            vec!["tcp".to_string(), "udp".to_string()],
+        )
+        .unwrap();
+        let back = round_trip(&problem);
+        assert_eq!(back.body(), problem.body());
+    }
+
+    #[test]
+    fn match_round_trip() {
+        let problem = Problem::match_items(
+            "q4",
+            MatchPairs {
+                left: vec!["TCP".into(), "IP".into(), "ARP".into()],
+                right: vec!["L2".into(), "L3".into(), "L4".into()],
+                correct: vec![2, 1, 0],
+            },
+        )
+        .unwrap();
+        let back = round_trip(&problem);
+        assert_eq!(back.body(), problem.body());
+    }
+
+    #[test]
+    fn essay_round_trip_with_keywords() {
+        let problem = Problem::new(
+            "q5",
+            ProblemBody::Essay {
+                question: "Explain AIMD.".into(),
+                hint: "two phases".into(),
+                keywords: vec!["additive".into(), "multiplicative".into()],
+            },
+        )
+        .unwrap();
+        let back = round_trip(&problem);
+        assert_eq!(back.body(), problem.body());
+    }
+
+    #[test]
+    fn questionnaire_round_trip() {
+        let problem = Problem::questionnaire(
+            "q6",
+            "Rate this course.",
+            OptionKey::first(5).map(|k| ChoiceOption::new(k, format!("rank {k}"))),
+        )
+        .unwrap();
+        let back = round_trip(&problem);
+        assert_eq!(back.body(), problem.body());
+        assert_eq!(back.style(), QuestionStyle::Questionnaire);
+    }
+
+    #[test]
+    fn difficulty_metadata_round_trips() {
+        let mut problem = Problem::true_false("q7", "x", true).unwrap();
+        {
+            let test = problem
+                .metadata_mut()
+                .individual_test
+                .get_or_insert_with(IndividualTestMeta::default);
+            test.difficulty = Some(DifficultyIndex::new(0.635).unwrap());
+            test.discrimination = Some(DiscriminationIndex::new(0.55).unwrap());
+        }
+        let back = round_trip(&problem);
+        let test = back.metadata().individual_test.as_ref().unwrap();
+        assert_eq!(test.difficulty.unwrap().value(), 0.635);
+        assert_eq!(test.discrimination.unwrap().value(), 0.55);
+    }
+
+    #[test]
+    fn rejects_foreign_items() {
+        assert!(item_from_qti(&Element::new("notitem")).is_err());
+        let no_ident = Element::new("item");
+        assert!(item_from_qti(&no_ident).is_err());
+        let bad_type = Element::new("item")
+            .with_attr("ident", "x")
+            .with_child(Element::new("presentation"))
+            .with_child(
+                Element::new("itemmetadata").with_child(
+                    Element::new("qtimetadata").with_child(
+                        Element::new("qtimetadatafield")
+                            .with_child(Element::new("fieldlabel").with_text("qmd_itemtype"))
+                            .with_child(Element::new("fieldentry").with_text("hologram")),
+                    ),
+                ),
+            );
+        assert!(item_from_qti(&bad_type).is_err());
+    }
+
+    #[test]
+    fn emitted_item_has_dtd_ordering() {
+        let problem = Problem::new(
+            "q8",
+            ProblemBody::TrueFalse {
+                stem: "s".into(),
+                hint: "h".into(),
+                correct: true,
+            },
+        )
+        .unwrap();
+        let xml = item_to_qti(&problem);
+        let names: Vec<&str> = xml.child_elements().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "itemmetadata",
+                "presentation",
+                "resprocessing",
+                "itemfeedback"
+            ]
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! IMS QTI 1.2-style item and assessment interchange (§2.3).
+//!
+//! "IMS Question & Test Interoperability (Q&TI) specification allows
+//! systems to exchange questions and tests" — and the paper's conclusion
+//! notes "the authoring concept is also referenced IMS QTI". This crate
+//! exports the item bank's problems and exams to a QTI-1.2-shaped XML
+//! vocabulary (`questestinterop` → `assessment` → `section` → `item`)
+//! and imports them back, carrying the MINE assessment metadata in
+//! `qtimetadatafield` entries (cognition level, subject, difficulty and
+//! discrimination indices).
+//!
+//! # Examples
+//!
+//! ```
+//! use mine_itembank::Problem;
+//! use mine_qti::{item_to_qti, item_from_qti};
+//!
+//! let problem = Problem::true_false("q1", "QTI is an IMS spec.", true)?;
+//! let xml = item_to_qti(&problem);
+//! let back = item_from_qti(&xml)?;
+//! assert_eq!(back.body(), problem.body());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assessment;
+pub mod error;
+pub mod item;
+pub mod results;
+
+pub use assessment::{assessment_from_qti, assessment_to_qti, QtiAssessment};
+pub use error::QtiError;
+pub use item::{item_from_qti, item_to_qti};
+pub use results::{results_from_qti, results_to_qti};

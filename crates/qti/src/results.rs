@@ -1,0 +1,332 @@
+//! QTI results reporting: exporting graded sittings as XML.
+//!
+//! IMS QTI pairs the item/assessment interchange (§2.3) with a results
+//! vocabulary so LMSes can exchange *outcomes*, not just questions.
+//! This module renders an [`ExamRecord`] as a `qti_result_report`
+//! document — one `<result>` per student with a summary `<outcomes>`
+//! block and one `<item_result>` per response — and parses it back.
+
+use std::time::Duration;
+
+use mine_core::{Answer, ExamId, ExamRecord, ItemResponse, OptionKey, StudentId, StudentRecord};
+use mine_xml::{Document, Element};
+
+use crate::error::QtiError;
+
+/// Encodes a whole class's sitting as a `qti_result_report` document.
+#[must_use]
+pub fn results_to_qti(record: &ExamRecord) -> Document {
+    let mut report =
+        Element::new("qti_result_report").with_attr("assessment", record.exam.as_str());
+    for student in &record.students {
+        report.push(student_result(student));
+    }
+    Document::new(report)
+}
+
+fn student_result(student: &StudentRecord) -> Element {
+    let mut result = Element::new("result").with_attr("participant", student.student.as_str());
+    result.push(
+        Element::new("outcomes")
+            .with_child(Element::new("score").with_text(format!("{}", student.score())))
+            .with_child(Element::new("score_max").with_text(format!("{}", student.max_score())))
+            .with_child(
+                Element::new("duration").with_text(format!("{}", student.total_time.as_secs_f64())),
+            ),
+    );
+    for response in &student.responses {
+        let mut item = Element::new("item_result")
+            .with_attr("ident_ref", response.problem.as_str())
+            .with_attr(
+                "status",
+                if response.is_correct {
+                    "Correct"
+                } else {
+                    "Incorrect"
+                },
+            );
+        item.push(Element::new("response_value").with_text(encode_answer(&response.answer)));
+        item.push(Element::new("score_value").with_text(format!("{}", response.points_awarded)));
+        item.push(
+            Element::new("latency").with_text(format!("{}", response.time_spent.as_secs_f64())),
+        );
+        result.push(item);
+    }
+    result
+}
+
+fn encode_answer(answer: &Answer) -> String {
+    match answer {
+        Answer::Choice(key) => format!("choice:{}", key.letter()),
+        Answer::MultiChoice(keys) => format!(
+            "multi:{}",
+            keys.iter().map(|k| k.letter()).collect::<String>()
+        ),
+        Answer::TrueFalse(value) => format!("tf:{value}"),
+        Answer::Text(text) => format!("text:{text}"),
+        // Count prefix disambiguates `[]` from `[""]` (joining with a
+        // separator maps both to the empty string).
+        Answer::Completion(blanks) => {
+            format!("fib:{}:{}", blanks.len(), blanks.join("\u{1f}"))
+        }
+        Answer::Match(pairs) => format!(
+            "match:{}",
+            pairs
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+        Answer::Skipped => "skipped".to_string(),
+    }
+}
+
+fn decode_answer(text: &str) -> Result<Answer, QtiError> {
+    let bad = |reason: String| QtiError::Schema { reason };
+    if text == "skipped" {
+        return Ok(Answer::Skipped);
+    }
+    let (kind, payload) = text
+        .split_once(':')
+        .ok_or_else(|| bad(format!("bad response value {text:?}")))?;
+    match kind {
+        "choice" => {
+            let key = payload
+                .parse::<OptionKey>()
+                .map_err(|err| bad(err.to_string()))?;
+            Ok(Answer::Choice(key))
+        }
+        "multi" => {
+            let keys = payload
+                .chars()
+                .map(OptionKey::from_letter)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|err| bad(err.to_string()))?;
+            Ok(Answer::MultiChoice(keys))
+        }
+        "tf" => match payload {
+            "true" => Ok(Answer::TrueFalse(true)),
+            "false" => Ok(Answer::TrueFalse(false)),
+            other => Err(bad(format!("bad tf value {other:?}"))),
+        },
+        "text" => Ok(Answer::Text(payload.to_string())),
+        "fib" => {
+            let (count, joined) = payload
+                .split_once(':')
+                .ok_or_else(|| bad(format!("bad fib payload {payload:?}")))?;
+            let count: usize = count
+                .parse()
+                .map_err(|_| bad(format!("bad fib count {count:?}")))?;
+            let blanks: Vec<String> = if count == 0 {
+                Vec::new()
+            } else {
+                joined.split('\u{1f}').map(str::to_string).collect()
+            };
+            if blanks.len() != count {
+                return Err(bad(format!(
+                    "fib count mismatch: declared {count}, found {}",
+                    blanks.len()
+                )));
+            }
+            Ok(Answer::Completion(blanks))
+        }
+        "match" => Ok(Answer::Match(if payload.is_empty() {
+            Vec::new()
+        } else {
+            payload
+                .split(',')
+                .map(|n| n.parse().map_err(|_| bad(format!("bad match {n:?}"))))
+                .collect::<Result<Vec<_>, _>>()?
+        })),
+        other => Err(bad(format!("unknown response kind {other:?}"))),
+    }
+}
+
+/// Decodes a `qti_result_report` document back into an [`ExamRecord`].
+///
+/// Per-item `points_possible` does not travel in the report (QTI
+/// outcomes carry totals); it is reconstructed as `points_awarded` for
+/// correct items and 0-points-awarded items keep a possible of 0 — use
+/// the exam definition for exact maxima.
+///
+/// # Errors
+///
+/// Returns [`QtiError::Schema`] for structural mismatches.
+pub fn results_from_qti(doc: &Document) -> Result<ExamRecord, QtiError> {
+    let root = &doc.root;
+    if root.name != "qti_result_report" {
+        return Err(QtiError::Schema {
+            reason: format!("expected <qti_result_report>, got <{}>", root.name),
+        });
+    }
+    let exam: ExamId = root
+        .attr("assessment")
+        .unwrap_or_default()
+        .parse()
+        .map_err(|err| QtiError::Schema {
+            reason: format!("bad assessment id: {err}"),
+        })?;
+    let mut students = Vec::new();
+    for result in root.children_named("result") {
+        let student: StudentId = result
+            .attr("participant")
+            .unwrap_or_default()
+            .parse()
+            .map_err(|err| QtiError::Schema {
+                reason: format!("bad participant id: {err}"),
+            })?;
+        let mut responses = Vec::new();
+        for item in result.children_named("item_result") {
+            let problem = item
+                .attr("ident_ref")
+                .unwrap_or_default()
+                .parse()
+                .map_err(|err| QtiError::Schema {
+                    reason: format!("bad ident_ref: {err}"),
+                })?;
+            let answer = decode_answer(&item.child_text("response_value").unwrap_or_default())?;
+            let points_awarded: f64 = item
+                .child_text("score_value")
+                .unwrap_or_default()
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            let latency: f64 = item
+                .child_text("latency")
+                .unwrap_or_default()
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            let is_correct = item.attr("status") == Some("Correct");
+            responses.push(ItemResponse {
+                problem,
+                answer,
+                is_correct,
+                points_awarded,
+                points_possible: points_awarded,
+                time_spent: Duration::from_secs_f64(latency.max(0.0)),
+                answered_at: None,
+            });
+        }
+        let mut record = StudentRecord::new(student, responses);
+        if let Some(duration) = result
+            .find_path(&["outcomes", "duration"])
+            .and_then(|d| d.text().trim().parse::<f64>().ok())
+        {
+            record.total_time = Duration::from_secs_f64(duration.max(0.0));
+        }
+        students.push(record);
+    }
+    Ok(ExamRecord::new(exam, students))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> ExamRecord {
+        let answers = [
+            Answer::Choice(OptionKey::C),
+            Answer::TrueFalse(false),
+            Answer::Text("an essay".into()),
+            Answer::Completion(vec!["a".into(), "b c".into()]),
+            Answer::Match(vec![1, 0]),
+            Answer::MultiChoice(vec![OptionKey::A, OptionKey::D]),
+            Answer::Skipped,
+        ];
+        let students = (0..3)
+            .map(|s| {
+                let responses = answers
+                    .iter()
+                    .enumerate()
+                    .map(|(q, answer)| {
+                        let mut response = if (q + s) % 2 == 0 {
+                            ItemResponse::correct(
+                                format!("q{q}").parse().unwrap(),
+                                answer.clone(),
+                                2.0,
+                            )
+                        } else {
+                            ItemResponse::incorrect(
+                                format!("q{q}").parse().unwrap(),
+                                answer.clone(),
+                                2.0,
+                            )
+                        };
+                        response.time_spent = Duration::from_secs_f64(12.5 + q as f64);
+                        response
+                    })
+                    .collect();
+                let mut record = StudentRecord::new(format!("s{s}").parse().unwrap(), responses);
+                record.total_time = Duration::from_secs(600 + s as u64);
+                record
+            })
+            .collect();
+        ExamRecord::new("reported-exam".parse().unwrap(), students)
+    }
+
+    #[test]
+    fn report_round_trips_through_xml_text() {
+        let original = record();
+        let doc = results_to_qti(&original);
+        let text = doc.to_xml_string();
+        assert!(text.contains("qti_result_report"));
+        assert!(text.contains("participant=\"s0\""));
+        let parsed = mine_xml::parse_document(&text).unwrap();
+        let back = results_from_qti(&parsed).unwrap();
+        assert_eq!(back.exam, original.exam);
+        assert_eq!(back.class_size(), 3);
+        for (a, b) in back.students.iter().zip(&original.students) {
+            assert_eq!(a.student, b.student);
+            assert_eq!(a.total_time, b.total_time);
+            assert_eq!(a.score(), b.score());
+            for (ra, rb) in a.responses.iter().zip(&b.responses) {
+                assert_eq!(ra.problem, rb.problem);
+                assert_eq!(ra.answer, rb.answer, "answer for {}", rb.problem);
+                assert_eq!(ra.is_correct, rb.is_correct);
+                assert_eq!(ra.points_awarded, rb.points_awarded);
+                assert_eq!(ra.time_spent, rb.time_spent);
+            }
+        }
+    }
+
+    #[test]
+    fn reimported_report_supports_analysis() {
+        use mine_core::GroupFraction;
+        // A report exported from one LMS can be analyzed in another:
+        // scores and correctness survive, which is all §4.1 needs.
+        let doc = results_to_qti(&record());
+        let text = doc.to_xml_string();
+        let back = results_from_qti(&mine_xml::parse_document(&text).unwrap()).unwrap();
+        back.validate().unwrap();
+        assert_eq!(GroupFraction::PAPER.group_size(back.class_size()), 1);
+    }
+
+    #[test]
+    fn rejects_foreign_documents() {
+        let doc = Document::new(Element::new("notareport"));
+        assert!(results_from_qti(&doc).is_err());
+        let doc = Document::new(Element::new("qti_result_report"));
+        assert!(results_from_qti(&doc).is_err(), "missing assessment id");
+    }
+
+    #[test]
+    fn bad_response_values_are_schema_errors() {
+        assert!(decode_answer("garbage-without-colon").is_err());
+        assert!(decode_answer("choice:9").is_err());
+        assert!(decode_answer("tf:maybe").is_err());
+        assert!(decode_answer("match:x,y").is_err());
+        assert!(decode_answer("alien:stuff").is_err());
+        assert_eq!(decode_answer("skipped").unwrap(), Answer::Skipped);
+        assert_eq!(
+            decode_answer("fib:0:").unwrap(),
+            Answer::Completion(Vec::new())
+        );
+        assert_eq!(
+            decode_answer("fib:1:").unwrap(),
+            Answer::Completion(vec![String::new()])
+        );
+        assert!(decode_answer("fib:").is_err());
+        assert!(decode_answer("fib:2:onlyone").is_err());
+    }
+}

@@ -1,0 +1,372 @@
+//! AICC CMI course-structure interchange (§2.2).
+//!
+//! "About course hierarchy, the previous idea is content-block-sco.
+//! With the AICC nomenclature, the course structure is divided into two
+//! elements" — *assignable units* (launchable content) and *blocks*
+//! (grouping). AICC ships a course as a set of flat files: the `.crs`
+//! course description (INI-style) and the `.cst` course-structure table
+//! (CSV-style). This module writes and parses both, and converts a
+//! SCORM [`Manifest`] organization into the AICC form so content can be
+//! exchanged with pre-SCORM LMSes.
+
+use std::collections::BTreeMap;
+
+use crate::error::ScormError;
+use crate::manifest::{Manifest, OrgItem};
+
+/// An AICC assignable unit: one launchable piece of content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssignableUnit {
+    /// System id (`A1`, `A2`, …).
+    pub system_id: String,
+    /// Display title.
+    pub title: String,
+    /// Launch file name.
+    pub file_name: String,
+}
+
+/// An AICC block: a named grouping of units and blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// System id (`B1`, `B2`, …).
+    pub system_id: String,
+    /// Display title.
+    pub title: String,
+    /// Member system ids (units or blocks), in order.
+    pub members: Vec<String>,
+}
+
+/// An AICC course: description plus the two structure elements.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AiccCourse {
+    /// Course id.
+    pub course_id: String,
+    /// Course title.
+    pub title: String,
+    /// Creator/owner line.
+    pub creator: String,
+    /// Assignable units, in `A1…An` order.
+    pub units: Vec<AssignableUnit>,
+    /// Blocks, in `B1…Bn` order (the root block is `ROOT`).
+    pub blocks: Vec<Block>,
+}
+
+impl AiccCourse {
+    /// Builds the AICC form of a SCORM manifest's default organization:
+    /// every leaf item becomes an assignable unit launching its
+    /// resource's href; every folder item becomes a block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScormError::InvalidManifest`] when the manifest has no
+    /// default organization or a leaf references a missing resource.
+    pub fn from_manifest(manifest: &Manifest) -> Result<Self, ScormError> {
+        let organization = manifest
+            .default_org()
+            .ok_or_else(|| ScormError::InvalidManifest {
+                reason: "manifest has no default organization".into(),
+            })?;
+        let mut course = AiccCourse {
+            course_id: manifest.identifier.clone(),
+            title: organization.title.clone(),
+            creator: "mine-assessment".into(),
+            units: Vec::new(),
+            blocks: Vec::new(),
+        };
+        let mut root_members = Vec::new();
+        for item in &organization.items {
+            let member = course.convert_item(manifest, item)?;
+            root_members.push(member);
+        }
+        course.blocks.insert(
+            0,
+            Block {
+                system_id: "ROOT".into(),
+                title: organization.title.clone(),
+                members: root_members,
+            },
+        );
+        Ok(course)
+    }
+
+    fn convert_item(&mut self, manifest: &Manifest, item: &OrgItem) -> Result<String, ScormError> {
+        match &item.identifierref {
+            Some(reference) => {
+                let resource =
+                    manifest
+                        .resource(reference)
+                        .ok_or_else(|| ScormError::InvalidManifest {
+                            reason: format!("item references missing resource {reference:?}"),
+                        })?;
+                let system_id = format!("A{}", self.units.len() + 1);
+                self.units.push(AssignableUnit {
+                    system_id: system_id.clone(),
+                    title: item.title.clone(),
+                    file_name: resource.href.clone(),
+                });
+                Ok(system_id)
+            }
+            None => {
+                // Reserve the block id before recursing so ids stay in
+                // discovery order.
+                let system_id = format!("B{}", self.blocks.len() + 1);
+                self.blocks.push(Block {
+                    system_id: system_id.clone(),
+                    title: item.title.clone(),
+                    members: Vec::new(),
+                });
+                let index = self.blocks.len() - 1;
+                let mut members = Vec::new();
+                for child in &item.children {
+                    members.push(self.convert_item(manifest, child)?);
+                }
+                self.blocks[index].members = members;
+                Ok(system_id)
+            }
+        }
+    }
+
+    /// Writes the `.crs` course-description file (INI style).
+    #[must_use]
+    pub fn to_crs(&self) -> String {
+        format!(
+            "[Course]\nCourse_Creator={}\nCourse_ID={}\nCourse_Title={}\nLevel=1\nTotal_AUs={}\nTotal_Blocks={}\nVersion=2.2\n[Course_Behavior]\nMax_Normal=99\n",
+            self.creator,
+            self.course_id,
+            self.title,
+            self.units.len(),
+            self.blocks.len(),
+        )
+    }
+
+    /// Writes the `.au` assignable-unit table (CSV style).
+    #[must_use]
+    pub fn to_au(&self) -> String {
+        let mut out = String::from("\"system_id\",\"title\",\"file_name\"\n");
+        for unit in &self.units {
+            out.push_str(&format!(
+                "\"{}\",\"{}\",\"{}\"\n",
+                unit.system_id,
+                unit.title.replace('"', "'"),
+                unit.file_name,
+            ));
+        }
+        out
+    }
+
+    /// Writes the `.cst` course-structure table: one row per block,
+    /// `"block","member","member",…`.
+    #[must_use]
+    pub fn to_cst(&self) -> String {
+        let mut out = String::from("\"block\",\"member\"\n");
+        for block in &self.blocks {
+            out.push_str(&format!("\"{}\"", block.system_id));
+            for member in &block.members {
+                out.push_str(&format!(",\"{member}\""));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the `.crs`/`.au`/`.cst` triple back into a course.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScormError::InvalidManifest`] on malformed rows or a
+    /// missing `Course_ID`.
+    pub fn parse(crs: &str, au: &str, cst: &str) -> Result<Self, ScormError> {
+        let bad = |reason: String| ScormError::InvalidManifest { reason };
+        // .crs: INI key=value lines.
+        let mut fields: BTreeMap<&str, &str> = BTreeMap::new();
+        for line in crs.lines() {
+            if let Some((key, value)) = line.split_once('=') {
+                fields.insert(key.trim(), value.trim());
+            }
+        }
+        let course_id = fields
+            .get("Course_ID")
+            .ok_or_else(|| bad("crs missing Course_ID".into()))?
+            .to_string();
+
+        let parse_row = |line: &str| -> Vec<String> {
+            line.split(',')
+                .map(|cell| cell.trim().trim_matches('"').to_string())
+                .collect()
+        };
+
+        let mut units = Vec::new();
+        for line in au.lines().skip(1).filter(|l| !l.trim().is_empty()) {
+            let row = parse_row(line);
+            if row.len() != 3 {
+                return Err(bad(format!("bad au row {line:?}")));
+            }
+            units.push(AssignableUnit {
+                system_id: row[0].clone(),
+                title: row[1].clone(),
+                file_name: row[2].clone(),
+            });
+        }
+
+        let mut blocks = Vec::new();
+        for line in cst.lines().skip(1).filter(|l| !l.trim().is_empty()) {
+            let row = parse_row(line);
+            if row.is_empty() {
+                return Err(bad(format!("bad cst row {line:?}")));
+            }
+            blocks.push(Block {
+                system_id: row[0].clone(),
+                // Titles do not travel in the cst; keep the id.
+                title: row[0].clone(),
+                members: row[1..].to_vec(),
+            });
+        }
+
+        Ok(AiccCourse {
+            course_id,
+            title: fields.get("Course_Title").unwrap_or(&"").to_string(),
+            creator: fields.get("Course_Creator").unwrap_or(&"").to_string(),
+            units,
+            blocks,
+        })
+    }
+
+    /// Validates that every block member resolves to a unit or block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScormError::InvalidManifest`] naming the first dangling
+    /// member.
+    pub fn validate(&self) -> Result<(), ScormError> {
+        let mut ids: std::collections::HashSet<&str> =
+            self.units.iter().map(|u| u.system_id.as_str()).collect();
+        ids.extend(self.blocks.iter().map(|b| b.system_id.as_str()));
+        for block in &self.blocks {
+            for member in &block.members {
+                if !ids.contains(member.as_str()) {
+                    return Err(ScormError::InvalidManifest {
+                        reason: format!(
+                            "block {} references unknown member {member:?}",
+                            block.system_id
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{Organization, Resource, ScormType};
+
+    fn manifest() -> Manifest {
+        Manifest::new("COURSE-1")
+            .with_organization(Organization {
+                identifier: "ORG".into(),
+                title: "Networking course".into(),
+                items: vec![
+                    OrgItem::folder(
+                        "unit1",
+                        "Unit 1",
+                        vec![
+                            OrgItem::leaf("i1", "Quiz 1", "R1"),
+                            OrgItem::leaf("i2", "Quiz 2", "R2"),
+                        ],
+                    ),
+                    OrgItem::leaf("i3", "Final", "R3"),
+                ],
+            })
+            .with_resource(Resource::new("R1", ScormType::Sco, "q1/content.xml"))
+            .with_resource(Resource::new("R2", ScormType::Sco, "q2/content.xml"))
+            .with_resource(Resource::new("R3", ScormType::Sco, "final/content.xml"))
+    }
+
+    #[test]
+    fn converts_manifest_to_units_and_blocks() {
+        let course = AiccCourse::from_manifest(&manifest()).unwrap();
+        assert_eq!(course.course_id, "COURSE-1");
+        assert_eq!(course.units.len(), 3);
+        assert_eq!(course.units[0].system_id, "A1");
+        assert_eq!(course.units[0].file_name, "q1/content.xml");
+        // ROOT + the Unit 1 folder.
+        assert_eq!(course.blocks.len(), 2);
+        assert_eq!(course.blocks[0].system_id, "ROOT");
+        assert_eq!(course.blocks[0].members, vec!["B1", "A3"]);
+        assert_eq!(course.blocks[1].members, vec!["A1", "A2"]);
+        course.validate().unwrap();
+    }
+
+    #[test]
+    fn file_triple_round_trips() {
+        let course = AiccCourse::from_manifest(&manifest()).unwrap();
+        let crs = course.to_crs();
+        let au = course.to_au();
+        let cst = course.to_cst();
+        assert!(crs.contains("Course_ID=COURSE-1"));
+        assert!(crs.contains("Total_AUs=3"));
+        assert!(au.contains("\"A1\",\"Quiz 1\",\"q1/content.xml\""));
+        assert!(cst.contains("\"ROOT\",\"B1\",\"A3\""));
+
+        let parsed = AiccCourse::parse(&crs, &au, &cst).unwrap();
+        assert_eq!(parsed.course_id, course.course_id);
+        assert_eq!(parsed.units, course.units);
+        assert_eq!(parsed.blocks.len(), course.blocks.len());
+        for (a, b) in parsed.blocks.iter().zip(&course.blocks) {
+            assert_eq!(a.system_id, b.system_id);
+            assert_eq!(a.members, b.members);
+        }
+        parsed.validate().unwrap();
+    }
+
+    #[test]
+    fn manifest_without_default_org_fails() {
+        let manifest = Manifest::new("X");
+        assert!(AiccCourse::from_manifest(&manifest).is_err());
+    }
+
+    #[test]
+    fn dangling_item_reference_fails() {
+        let manifest = Manifest::new("X").with_organization(Organization {
+            identifier: "O".into(),
+            title: "t".into(),
+            items: vec![OrgItem::leaf("i", "q", "MISSING")],
+        });
+        assert!(AiccCourse::from_manifest(&manifest).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_rows() {
+        assert!(AiccCourse::parse("no id here", "h\n", "h\n").is_err());
+        let crs = "Course_ID=C\n";
+        assert!(AiccCourse::parse(crs, "h\n\"only\",\"two\"\n", "h\n").is_err());
+    }
+
+    #[test]
+    fn validate_catches_dangling_members() {
+        let course = AiccCourse {
+            course_id: "C".into(),
+            title: String::new(),
+            creator: String::new(),
+            units: vec![],
+            blocks: vec![Block {
+                system_id: "ROOT".into(),
+                title: "ROOT".into(),
+                members: vec!["A9".into()],
+            }],
+        };
+        assert!(course.validate().is_err());
+    }
+
+    #[test]
+    fn quotes_in_titles_are_sanitized() {
+        let mut course = AiccCourse::from_manifest(&manifest()).unwrap();
+        course.units[0].title = "say \"hi\"".into();
+        let au = course.to_au();
+        assert!(au.contains("say 'hi'"));
+        // Still parses.
+        assert!(AiccCourse::parse(&course.to_crs(), &au, &course.to_cst()).is_ok());
+    }
+}

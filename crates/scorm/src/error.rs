@@ -1,0 +1,157 @@
+//! SCORM error codes (API error handler) and the crate error type.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use mine_xml::XmlError;
+
+/// SCORM 1.2 API error codes, as returned by `LMSGetLastError`.
+///
+/// The paper (§5.5) requires "error handler (ex. error message transfer,
+/// error status record, error dialog)" functions; these are the standard
+/// codes those functions speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ScormErrorCode {
+    /// 0 — no error.
+    NoError = 0,
+    /// 101 — general exception.
+    GeneralException = 101,
+    /// 201 — invalid argument error.
+    InvalidArgument = 201,
+    /// 202 — element cannot have children.
+    ElementCannotHaveChildren = 202,
+    /// 203 — element not an array, cannot have count.
+    ElementNotArray = 203,
+    /// 301 — not initialized.
+    NotInitialized = 301,
+    /// 401 — not implemented error.
+    NotImplemented = 401,
+    /// 402 — invalid set value, element is a keyword.
+    InvalidSetValue = 402,
+    /// 403 — element is read only.
+    ElementIsReadOnly = 403,
+    /// 404 — element is write only.
+    ElementIsWriteOnly = 404,
+    /// 405 — incorrect data type.
+    IncorrectDataType = 405,
+}
+
+impl ScormErrorCode {
+    /// The numeric code string the JavaScript API would return.
+    #[must_use]
+    pub fn code_str(self) -> String {
+        (self as u16).to_string()
+    }
+
+    /// The standard error string for `LMSGetErrorString`.
+    #[must_use]
+    pub fn error_string(self) -> &'static str {
+        match self {
+            ScormErrorCode::NoError => "No error",
+            ScormErrorCode::GeneralException => "General exception",
+            ScormErrorCode::InvalidArgument => "Invalid argument error",
+            ScormErrorCode::ElementCannotHaveChildren => "Element cannot have children",
+            ScormErrorCode::ElementNotArray => "Element not an array. Cannot have count",
+            ScormErrorCode::NotInitialized => "Not initialized",
+            ScormErrorCode::NotImplemented => "Not implemented error",
+            ScormErrorCode::InvalidSetValue => "Invalid set value, element is a keyword",
+            ScormErrorCode::ElementIsReadOnly => "Element is read only",
+            ScormErrorCode::ElementIsWriteOnly => "Element is write only",
+            ScormErrorCode::IncorrectDataType => "Incorrect data type",
+        }
+    }
+}
+
+impl fmt::Display for ScormErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.code_str(), self.error_string())
+    }
+}
+
+/// Errors raised by packaging and manifest processing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScormError {
+    /// The RTE API rejected a call.
+    Api(ScormErrorCode),
+    /// The manifest failed validation.
+    InvalidManifest {
+        /// Why the manifest is invalid.
+        reason: String,
+    },
+    /// A file referenced by the manifest is missing from the package.
+    MissingFile {
+        /// The package-relative path.
+        path: String,
+    },
+    /// The package is missing its `imsmanifest.xml`.
+    MissingManifest,
+    /// An XML error surfaced while reading a package.
+    Xml(XmlError),
+}
+
+impl fmt::Display for ScormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScormError::Api(code) => write!(f, "scorm api error {code}"),
+            ScormError::InvalidManifest { reason } => write!(f, "invalid manifest: {reason}"),
+            ScormError::MissingFile { path } => {
+                write!(f, "manifest references missing file {path:?}")
+            }
+            ScormError::MissingManifest => write!(f, "package has no imsmanifest.xml"),
+            ScormError::Xml(err) => write!(f, "xml error: {err}"),
+        }
+    }
+}
+
+impl StdError for ScormError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            ScormError::Xml(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<XmlError> for ScormError {
+    fn from(err: XmlError) -> Self {
+        ScormError::Xml(err)
+    }
+}
+
+impl From<ScormErrorCode> for ScormError {
+    fn from(code: ScormErrorCode) -> Self {
+        ScormError::Api(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_scorm_12() {
+        assert_eq!(ScormErrorCode::NoError.code_str(), "0");
+        assert_eq!(ScormErrorCode::NotInitialized.code_str(), "301");
+        assert_eq!(ScormErrorCode::ElementIsReadOnly.code_str(), "403");
+        assert_eq!(ScormErrorCode::IncorrectDataType.code_str(), "405");
+    }
+
+    #[test]
+    fn error_strings_are_standard() {
+        assert_eq!(ScormErrorCode::NoError.error_string(), "No error");
+        assert_eq!(
+            ScormErrorCode::InvalidSetValue.error_string(),
+            "Invalid set value, element is a keyword"
+        );
+    }
+
+    #[test]
+    fn display_combines_code_and_string() {
+        assert_eq!(
+            ScormErrorCode::NotInitialized.to_string(),
+            "301 (Not initialized)"
+        );
+    }
+}

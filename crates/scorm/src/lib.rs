@@ -1,0 +1,48 @@
+//! SCORM 1.2 support: content packaging and a run-time environment.
+//!
+//! §5.5 of the paper: "In SCORM standard, each file … has a descriptive
+//! xml file with the same level in the course structure. In addition to
+//! these descriptive xml files, a main description is an xml file called
+//! `imsmanifest.xml`. … Thirdly, java script files to communicate with
+//! API and learning management system are necessary." This crate builds
+//! all three pieces natively:
+//!
+//! * [`Manifest`] — the `imsmanifest.xml` model with organizations,
+//!   items, and resources, bound to XML through [`mine_xml`],
+//! * [`ContentPackage`] — a full package: manifest, per-resource
+//!   descriptor XML, problem/exam content files, and the API adapter
+//!   stub; round-trips through an in-memory file map,
+//! * [`ApiAdapter`]/[`CmiDataModel`] — the SCORM 1.2 RTE: the
+//!   `LMSInitialize`/`LMSGetValue`/`LMSSetValue`/`LMSCommit`/`LMSFinish`
+//!   state machine over the `cmi.*` data model with the standard error
+//!   codes ("some API functions are used to set value (ex. learner
+//!   record, learner progress, learner status), get value, error
+//!   handler … and course beginning and ending").
+//!
+//! # Examples
+//!
+//! ```
+//! use mine_scorm::{ApiAdapter, ScormErrorCode};
+//!
+//! let mut api = ApiAdapter::new();
+//! assert_eq!(api.lms_initialize(""), "true");
+//! api.lms_set_value("cmi.core.lesson_status", "completed").unwrap();
+//! assert_eq!(api.lms_get_value("cmi.core.lesson_status").unwrap(), "completed");
+//! assert_eq!(api.lms_finish(""), "true");
+//! assert_eq!(api.last_error(), ScormErrorCode::NoError);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aicc;
+pub mod error;
+pub mod manifest;
+pub mod package;
+pub mod rte;
+
+pub use aicc::AiccCourse;
+pub use error::{ScormError, ScormErrorCode};
+pub use manifest::{Manifest, OrgItem, Organization, Resource, ScormType};
+pub use package::{ContentPackage, PackageBuilder};
+pub use rte::{ApiAdapter, ApiState, CmiDataModel};

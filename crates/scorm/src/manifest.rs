@@ -1,0 +1,626 @@
+//! The `imsmanifest.xml` model (§5.5).
+//!
+//! "With this imsmanifest.xml, we can parse the whole course structure."
+//! The model covers the SCORM 1.2 content-aggregation subset the
+//! assessment system emits: manifest → organizations → items, plus the
+//! resources they reference.
+
+use mine_xml::{Document, Element};
+
+use crate::error::ScormError;
+
+/// `adlcp:scormtype` of a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScormType {
+    /// A shareable content object that talks to the LMS API.
+    Sco,
+    /// A passive asset (image, stylesheet, …).
+    Asset,
+}
+
+impl ScormType {
+    /// The wire keyword.
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ScormType::Sco => "sco",
+            ScormType::Asset => "asset",
+        }
+    }
+
+    /// Parses the wire keyword.
+    #[must_use]
+    pub fn from_keyword(keyword: &str) -> Option<Self> {
+        match keyword.trim().to_ascii_lowercase().as_str() {
+            "sco" => Some(ScormType::Sco),
+            "asset" => Some(ScormType::Asset),
+            _ => None,
+        }
+    }
+}
+
+/// A launchable/packaged resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resource {
+    /// Unique resource identifier.
+    pub identifier: String,
+    /// `type` attribute; SCORM uses `webcontent`.
+    pub resource_type: String,
+    /// SCO or asset.
+    pub scorm_type: ScormType,
+    /// Launch entry point (package-relative).
+    pub href: String,
+    /// All files belonging to the resource (package-relative).
+    pub files: Vec<String>,
+    /// Identifiers of resources this one depends on.
+    pub dependencies: Vec<String>,
+}
+
+impl Resource {
+    /// Creates a web-content resource with its launch file listed.
+    #[must_use]
+    pub fn new(
+        identifier: impl Into<String>,
+        scorm_type: ScormType,
+        href: impl Into<String>,
+    ) -> Self {
+        let href = href.into();
+        Self {
+            identifier: identifier.into(),
+            resource_type: "webcontent".into(),
+            scorm_type,
+            files: vec![href.clone()],
+            href,
+            dependencies: Vec::new(),
+        }
+    }
+
+    /// Builder-style extra file.
+    #[must_use]
+    pub fn with_file(mut self, path: impl Into<String>) -> Self {
+        self.files.push(path.into());
+        self
+    }
+}
+
+/// One item of an organization tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrgItem {
+    /// Unique item identifier.
+    pub identifier: String,
+    /// The resource this item launches, if it is a leaf.
+    pub identifierref: Option<String>,
+    /// Display title.
+    pub title: String,
+    /// Nested items.
+    pub children: Vec<OrgItem>,
+}
+
+impl OrgItem {
+    /// Creates a leaf item launching a resource.
+    #[must_use]
+    pub fn leaf(
+        identifier: impl Into<String>,
+        title: impl Into<String>,
+        identifierref: impl Into<String>,
+    ) -> Self {
+        Self {
+            identifier: identifier.into(),
+            identifierref: Some(identifierref.into()),
+            title: title.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Creates a folder item with children.
+    #[must_use]
+    pub fn folder(
+        identifier: impl Into<String>,
+        title: impl Into<String>,
+        children: Vec<OrgItem>,
+    ) -> Self {
+        Self {
+            identifier: identifier.into(),
+            identifierref: None,
+            title: title.into(),
+            children,
+        }
+    }
+
+    fn collect_refs<'a>(&'a self, refs: &mut Vec<&'a str>) {
+        if let Some(r) = &self.identifierref {
+            refs.push(r);
+        }
+        for child in &self.children {
+            child.collect_refs(refs);
+        }
+    }
+}
+
+/// An organization (a course structure tree).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Organization {
+    /// Unique organization identifier.
+    pub identifier: String,
+    /// Display title.
+    pub title: String,
+    /// Top-level items.
+    pub items: Vec<OrgItem>,
+}
+
+/// The whole `imsmanifest.xml`.
+///
+/// # Examples
+///
+/// ```
+/// use mine_scorm::{Manifest, Organization, OrgItem, Resource, ScormType};
+///
+/// let manifest = Manifest::new("MANIFEST-1")
+///     .with_organization(Organization {
+///         identifier: "ORG-1".into(),
+///         title: "Quiz".into(),
+///         items: vec![OrgItem::leaf("ITEM-1", "Question 1", "RES-1")],
+///     })
+///     .with_resource(Resource::new("RES-1", ScormType::Sco, "q1/index.xml"));
+/// manifest.validate()?;
+/// let text = manifest.to_xml_string();
+/// let back = Manifest::from_xml_str(&text)?;
+/// assert_eq!(back, manifest);
+/// # Ok::<(), mine_scorm::ScormError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Manifest identifier.
+    pub identifier: String,
+    /// Package version label.
+    pub version: String,
+    /// Metadata schema name (always "ADL SCORM").
+    pub schema: String,
+    /// Metadata schema version (always "1.2").
+    pub schema_version: String,
+    /// Identifier of the default organization.
+    pub default_organization: Option<String>,
+    /// All organizations.
+    pub organizations: Vec<Organization>,
+    /// All resources.
+    pub resources: Vec<Resource>,
+}
+
+impl Manifest {
+    /// Creates an empty SCORM 1.2 manifest.
+    #[must_use]
+    pub fn new(identifier: impl Into<String>) -> Self {
+        Self {
+            identifier: identifier.into(),
+            version: "1.0".into(),
+            schema: "ADL SCORM".into(),
+            schema_version: "1.2".into(),
+            default_organization: None,
+            organizations: Vec::new(),
+            resources: Vec::new(),
+        }
+    }
+
+    /// Builder-style organization append; the first one becomes the
+    /// default.
+    #[must_use]
+    pub fn with_organization(mut self, organization: Organization) -> Self {
+        if self.default_organization.is_none() {
+            self.default_organization = Some(organization.identifier.clone());
+        }
+        self.organizations.push(organization);
+        self
+    }
+
+    /// Builder-style resource append.
+    #[must_use]
+    pub fn with_resource(mut self, resource: Resource) -> Self {
+        self.resources.push(resource);
+        self
+    }
+
+    /// Looks up a resource by identifier.
+    #[must_use]
+    pub fn resource(&self, identifier: &str) -> Option<&Resource> {
+        self.resources.iter().find(|r| r.identifier == identifier)
+    }
+
+    /// The default organization, if set and present.
+    #[must_use]
+    pub fn default_org(&self) -> Option<&Organization> {
+        let id = self.default_organization.as_ref()?;
+        self.organizations.iter().find(|o| &o.identifier == id)
+    }
+
+    /// All file paths referenced by resources.
+    #[must_use]
+    pub fn referenced_files(&self) -> Vec<&str> {
+        let mut files: Vec<&str> = self
+            .resources
+            .iter()
+            .flat_map(|r| r.files.iter().map(String::as_str))
+            .collect();
+        files.sort_unstable();
+        files.dedup();
+        files
+    }
+
+    /// Validates structural consistency: default organization exists,
+    /// `identifierref`s resolve, identifiers are unique, resources list
+    /// their launch file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScormError::InvalidManifest`] describing the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), ScormError> {
+        let fail = |reason: String| Err(ScormError::InvalidManifest { reason });
+        if self.identifier.trim().is_empty() {
+            return fail("manifest identifier is empty".into());
+        }
+        if let Some(default) = &self.default_organization {
+            if !self.organizations.iter().any(|o| &o.identifier == default) {
+                return fail(format!("default organization {default:?} does not exist"));
+            }
+        }
+        let mut resource_ids = std::collections::HashSet::new();
+        for resource in &self.resources {
+            if !resource_ids.insert(&resource.identifier) {
+                return fail(format!("duplicate resource {:?}", resource.identifier));
+            }
+            if !resource.href.is_empty() && !resource.files.contains(&resource.href) {
+                return fail(format!(
+                    "resource {:?} does not list its launch file {:?}",
+                    resource.identifier, resource.href
+                ));
+            }
+            for dep in &resource.dependencies {
+                if !self.resources.iter().any(|r| &r.identifier == dep) {
+                    return fail(format!(
+                        "resource {:?} depends on missing {dep:?}",
+                        resource.identifier
+                    ));
+                }
+            }
+        }
+        let mut item_ids = std::collections::HashSet::new();
+        for organization in &self.organizations {
+            let mut refs = Vec::new();
+            for item in &organization.items {
+                item.collect_refs(&mut refs);
+                collect_item_ids(item, &mut item_ids, &mut Vec::new())?;
+            }
+            for reference in refs {
+                if !resource_ids.contains(&reference.to_string()) {
+                    return fail(format!(
+                        "item in {:?} references missing resource {reference:?}",
+                        organization.identifier
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to the `imsmanifest.xml` document.
+    #[must_use]
+    pub fn to_xml_document(&self) -> Document {
+        let mut root = Element::new("manifest")
+            .with_attr("identifier", &self.identifier)
+            .with_attr("version", &self.version)
+            .with_attr("xmlns", "http://www.imsproject.org/xsd/imscp_rootv1p1p2")
+            .with_attr("xmlns:adlcp", "http://www.adlnet.org/xsd/adlcp_rootv1p2");
+
+        root.push(
+            Element::new("metadata")
+                .with_child(Element::new("schema").with_text(&self.schema))
+                .with_child(Element::new("schemaversion").with_text(&self.schema_version)),
+        );
+
+        let mut organizations = Element::new("organizations");
+        if let Some(default) = &self.default_organization {
+            organizations.set_attr("default", default);
+        }
+        for organization in &self.organizations {
+            let mut el = Element::new("organization")
+                .with_attr("identifier", &organization.identifier)
+                .with_child(Element::new("title").with_text(&organization.title));
+            for item in &organization.items {
+                el.push(item_to_xml(item));
+            }
+            organizations.push(el);
+        }
+        root.push(organizations);
+
+        let mut resources = Element::new("resources");
+        for resource in &self.resources {
+            let mut el = Element::new("resource")
+                .with_attr("identifier", &resource.identifier)
+                .with_attr("type", &resource.resource_type)
+                .with_attr("adlcp:scormtype", resource.scorm_type.keyword());
+            if !resource.href.is_empty() {
+                el.set_attr("href", &resource.href);
+            }
+            for file in &resource.files {
+                el.push(Element::new("file").with_attr("href", file));
+            }
+            for dep in &resource.dependencies {
+                el.push(Element::new("dependency").with_attr("identifierref", dep));
+            }
+            resources.push(el);
+        }
+        root.push(resources);
+
+        Document::new(root)
+    }
+
+    /// Serializes to `imsmanifest.xml` text.
+    #[must_use]
+    pub fn to_xml_string(&self) -> String {
+        self.to_xml_document().to_xml_string()
+    }
+
+    /// Parses a manifest from XML text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScormError::Xml`] for malformed XML and
+    /// [`ScormError::InvalidManifest`] for structural problems.
+    pub fn from_xml_str(text: &str) -> Result<Self, ScormError> {
+        let doc = mine_xml::parse_document(text)?;
+        Self::from_xml_element(&doc.root)
+    }
+
+    /// Decodes a manifest from a parsed `<manifest>` element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScormError::InvalidManifest`] for structural problems.
+    pub fn from_xml_element(root: &Element) -> Result<Self, ScormError> {
+        if root.local_name() != "manifest" {
+            return Err(ScormError::InvalidManifest {
+                reason: format!("root element is <{}>, expected <manifest>", root.name),
+            });
+        }
+        let identifier = root.attr("identifier").unwrap_or_default().to_string();
+        let version = root.attr("version").unwrap_or("1.0").to_string();
+        let (schema, schema_version) = match root.child("metadata") {
+            Some(md) => (
+                md.child_text("schema").unwrap_or_default(),
+                md.child_text("schemaversion").unwrap_or_default(),
+            ),
+            None => (String::new(), String::new()),
+        };
+
+        let mut organizations = Vec::new();
+        let mut default_organization = None;
+        if let Some(orgs) = root.child("organizations") {
+            default_organization = orgs.attr("default").map(str::to_string);
+            for org in orgs.children_named("organization") {
+                let items = org
+                    .children_named("item")
+                    .map(item_from_xml)
+                    .collect::<Result<Vec<_>, _>>()?;
+                organizations.push(Organization {
+                    identifier: org.attr("identifier").unwrap_or_default().to_string(),
+                    title: org.child_text("title").unwrap_or_default(),
+                    items,
+                });
+            }
+        }
+
+        let mut resources = Vec::new();
+        if let Some(res) = root.child("resources") {
+            for resource in res.children_named("resource") {
+                let scorm_type = resource
+                    .attr("adlcp:scormtype")
+                    .or_else(|| resource.attr("adlcp:scormType"))
+                    .and_then(ScormType::from_keyword)
+                    .ok_or_else(|| ScormError::InvalidManifest {
+                        reason: format!(
+                            "resource {:?} missing adlcp:scormtype",
+                            resource.attr("identifier").unwrap_or_default()
+                        ),
+                    })?;
+                resources.push(Resource {
+                    identifier: resource.attr("identifier").unwrap_or_default().to_string(),
+                    resource_type: resource.attr("type").unwrap_or("webcontent").to_string(),
+                    scorm_type,
+                    href: resource.attr("href").unwrap_or_default().to_string(),
+                    files: resource
+                        .children_named("file")
+                        .filter_map(|f| f.attr("href"))
+                        .map(str::to_string)
+                        .collect(),
+                    dependencies: resource
+                        .children_named("dependency")
+                        .filter_map(|d| d.attr("identifierref"))
+                        .map(str::to_string)
+                        .collect(),
+                });
+            }
+        }
+
+        Ok(Manifest {
+            identifier,
+            version,
+            schema,
+            schema_version,
+            default_organization,
+            organizations,
+            resources,
+        })
+    }
+}
+
+fn collect_item_ids<'a>(
+    item: &'a OrgItem,
+    seen: &mut std::collections::HashSet<&'a str>,
+    _stack: &mut Vec<&'a str>,
+) -> Result<(), ScormError> {
+    if !seen.insert(item.identifier.as_str()) {
+        return Err(ScormError::InvalidManifest {
+            reason: format!("duplicate item identifier {:?}", item.identifier),
+        });
+    }
+    for child in &item.children {
+        collect_item_ids(child, seen, _stack)?;
+    }
+    Ok(())
+}
+
+fn item_to_xml(item: &OrgItem) -> Element {
+    let mut el = Element::new("item").with_attr("identifier", &item.identifier);
+    if let Some(reference) = &item.identifierref {
+        el.set_attr("identifierref", reference);
+    }
+    el.push(Element::new("title").with_text(&item.title));
+    for child in &item.children {
+        el.push(item_to_xml(child));
+    }
+    el
+}
+
+fn item_from_xml(el: &Element) -> Result<OrgItem, ScormError> {
+    Ok(OrgItem {
+        identifier: el.attr("identifier").unwrap_or_default().to_string(),
+        identifierref: el.attr("identifierref").map(str::to_string),
+        title: el.child_text("title").unwrap_or_default(),
+        children: el
+            .children_named("item")
+            .map(item_from_xml)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest::new("MANIFEST-QUIZ")
+            .with_organization(Organization {
+                identifier: "ORG-1".into(),
+                title: "Networking quiz".into(),
+                items: vec![OrgItem::folder(
+                    "ITEM-ROOT",
+                    "Quiz",
+                    vec![
+                        OrgItem::leaf("ITEM-1", "Question 1", "RES-1"),
+                        OrgItem::leaf("ITEM-2", "Question 2", "RES-2"),
+                    ],
+                )],
+            })
+            .with_resource(
+                Resource::new("RES-1", ScormType::Sco, "q1/content.xml")
+                    .with_file("q1/descriptor.xml"),
+            )
+            .with_resource(Resource::new("RES-2", ScormType::Sco, "q2/content.xml"))
+            .with_resource(Resource::new("RES-API", ScormType::Asset, "shared/api.js"))
+    }
+
+    #[test]
+    fn valid_sample_passes() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn first_organization_becomes_default() {
+        let manifest = sample();
+        assert_eq!(manifest.default_organization.as_deref(), Some("ORG-1"));
+        assert_eq!(manifest.default_org().unwrap().title, "Networking quiz");
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let manifest = sample();
+        let text = manifest.to_xml_string();
+        assert!(text.contains("imsmanifest") || text.contains("<manifest"));
+        assert!(text.contains("adlcp:scormtype=\"sco\""));
+        let back = Manifest::from_xml_str(&text).unwrap();
+        assert_eq!(back, manifest);
+    }
+
+    #[test]
+    fn dangling_identifierref_fails_validation() {
+        let manifest = Manifest::new("M").with_organization(Organization {
+            identifier: "O".into(),
+            title: "t".into(),
+            items: vec![OrgItem::leaf("I", "q", "RES-MISSING")],
+        });
+        assert!(matches!(
+            manifest.validate(),
+            Err(ScormError::InvalidManifest { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_default_org_fails_validation() {
+        let mut manifest = sample();
+        manifest.default_organization = Some("GHOST".into());
+        assert!(manifest.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_resources_fail_validation() {
+        let manifest = Manifest::new("M")
+            .with_resource(Resource::new("R", ScormType::Asset, "a.xml"))
+            .with_resource(Resource::new("R", ScormType::Asset, "b.xml"));
+        assert!(manifest.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_item_ids_fail_validation() {
+        let manifest = Manifest::new("M")
+            .with_organization(Organization {
+                identifier: "O".into(),
+                title: "t".into(),
+                items: vec![OrgItem::leaf("I", "a", "R"), OrgItem::leaf("I", "b", "R")],
+            })
+            .with_resource(Resource::new("R", ScormType::Sco, "r.xml"));
+        assert!(manifest.validate().is_err());
+    }
+
+    #[test]
+    fn launch_file_must_be_listed() {
+        let mut resource = Resource::new("R", ScormType::Sco, "launch.xml");
+        resource.files.clear();
+        let manifest = Manifest::new("M").with_resource(resource);
+        assert!(manifest.validate().is_err());
+    }
+
+    #[test]
+    fn missing_dependency_fails_validation() {
+        let mut resource = Resource::new("R", ScormType::Sco, "r.xml");
+        resource.dependencies.push("GHOST".into());
+        let manifest = Manifest::new("M").with_resource(resource);
+        assert!(manifest.validate().is_err());
+    }
+
+    #[test]
+    fn referenced_files_dedup_sorted() {
+        let manifest = sample();
+        let files = manifest.referenced_files();
+        assert_eq!(
+            files,
+            vec![
+                "q1/content.xml",
+                "q1/descriptor.xml",
+                "q2/content.xml",
+                "shared/api.js"
+            ]
+        );
+    }
+
+    #[test]
+    fn from_xml_rejects_non_manifest_root() {
+        assert!(Manifest::from_xml_str("<notmanifest/>").is_err());
+    }
+
+    #[test]
+    fn scorm_type_keywords() {
+        assert_eq!(ScormType::from_keyword("SCO"), Some(ScormType::Sco));
+        assert_eq!(ScormType::from_keyword(" asset "), Some(ScormType::Asset));
+        assert_eq!(ScormType::from_keyword("thing"), None);
+    }
+}

@@ -1,0 +1,768 @@
+//! SCORM content packages (§5.5): "the service can package the original
+//! problem and exam files to SCORM compatible files. Other instructors
+//! may reuse the problem and exam files from SCORM compatible external
+//! repository."
+//!
+//! A [`ContentPackage`] is an in-memory file tree: `imsmanifest.xml`, one
+//! directory per problem holding `content.xml` (the problem body) and
+//! `descriptor.xml` (its MINE metadata — "each file has a descriptive xml
+//! file with the same level"), an `exam/` directory with the exam
+//! structure, and `shared/api.js`, the API-adapter stub the paper ships
+//! as JavaScript.
+
+use std::collections::BTreeMap;
+
+use mine_core::OptionKey;
+use mine_itembank::{ChoiceOption, Exam, ExamEntry, MatchPairs, Problem, ProblemBody};
+use mine_metadata::{DisplayOrder, MineMetadata};
+use mine_xml::Element;
+
+use crate::error::ScormError;
+use crate::manifest::{Manifest, OrgItem, Organization, Resource, ScormType};
+
+/// The JavaScript API-adapter stub included in every package. A real LMS
+/// replaces this with its own adapter; the delivery crate talks to the
+/// native [`crate::ApiAdapter`] instead.
+pub const API_ADAPTER_JS: &str = "\
+// SCORM 1.2 API adapter stub (see mine_scorm::ApiAdapter for the native implementation)\n\
+var API = {\n\
+  LMSInitialize: function (arg) { return 'true'; },\n\
+  LMSFinish: function (arg) { return 'true'; },\n\
+  LMSGetValue: function (element) { return ''; },\n\
+  LMSSetValue: function (element, value) { return 'true'; },\n\
+  LMSCommit: function (arg) { return 'true'; },\n\
+  LMSGetLastError: function () { return '0'; },\n\
+  LMSGetErrorString: function (code) { return 'No error'; },\n\
+  LMSGetDiagnostic: function (code) { return ''; }\n\
+};\n";
+
+/// A complete SCORM package held in memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentPackage {
+    /// The parsed manifest.
+    pub manifest: Manifest,
+    /// All files by package-relative path (including `imsmanifest.xml`).
+    pub files: BTreeMap<String, String>,
+}
+
+impl ContentPackage {
+    /// Starts building a package for one exam.
+    #[must_use]
+    pub fn builder(package_id: impl Into<String>) -> PackageBuilder {
+        PackageBuilder {
+            package_id: package_id.into(),
+            exam: None,
+            problems: Vec::new(),
+        }
+    }
+
+    /// Reassembles a package from a file map (e.g. read back from an
+    /// external repository).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScormError::MissingManifest`] without an
+    /// `imsmanifest.xml`, [`ScormError::MissingFile`] when the manifest
+    /// references absent files, and XML/manifest errors from parsing.
+    pub fn from_files(files: BTreeMap<String, String>) -> Result<Self, ScormError> {
+        let manifest_text = files
+            .get("imsmanifest.xml")
+            .ok_or(ScormError::MissingManifest)?;
+        let manifest = Manifest::from_xml_str(manifest_text)?;
+        manifest.validate()?;
+        for path in manifest.referenced_files() {
+            if !files.contains_key(path) {
+                return Err(ScormError::MissingFile {
+                    path: path.to_string(),
+                });
+            }
+        }
+        Ok(Self { manifest, files })
+    }
+
+    /// The file map, consumed (e.g. to hand to an uploader).
+    #[must_use]
+    pub fn into_files(self) -> BTreeMap<String, String> {
+        self.files
+    }
+
+    /// Total size of all files in bytes.
+    #[must_use]
+    pub fn total_size(&self) -> usize {
+        self.files.values().map(String::len).sum()
+    }
+
+    /// Writes the package as a real file tree rooted at `dir` (the
+    /// on-disk form an LMS would zip and upload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] on filesystem failure.
+    pub fn write_to_dir(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        for (path, contents) in &self.files {
+            let full = dir.join(path);
+            if let Some(parent) = full.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(full, contents)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a package back from a file tree rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScormError::MissingManifest`] when `imsmanifest.xml` is
+    /// absent and any parse/validation error from the stored files;
+    /// filesystem errors surface as [`ScormError::InvalidManifest`].
+    pub fn read_from_dir(dir: impl AsRef<std::path::Path>) -> Result<Self, ScormError> {
+        fn walk(
+            root: &std::path::Path,
+            dir: &std::path::Path,
+            files: &mut BTreeMap<String, String>,
+        ) -> std::io::Result<()> {
+            for entry in std::fs::read_dir(dir)? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    walk(root, &path, files)?;
+                } else {
+                    let rel = path
+                        .strip_prefix(root)
+                        .expect("walk stays under root")
+                        .components()
+                        .map(|c| c.as_os_str().to_string_lossy())
+                        .collect::<Vec<_>>()
+                        .join("/");
+                    files.insert(rel, std::fs::read_to_string(&path)?);
+                }
+            }
+            Ok(())
+        }
+        let root = dir.as_ref();
+        let mut files = BTreeMap::new();
+        walk(root, root, &mut files).map_err(|err| ScormError::InvalidManifest {
+            reason: format!("reading package tree: {err}"),
+        })?;
+        Self::from_files(files)
+    }
+
+    /// Extracts every problem stored in the package, with metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns XML/manifest errors when a problem file fails to decode.
+    pub fn extract_problems(&self) -> Result<Vec<Problem>, ScormError> {
+        let mut problems = Vec::new();
+        for resource in &self.manifest.resources {
+            let Some(content_path) = resource
+                .files
+                .iter()
+                .find(|f| f.ends_with("content.xml") && f.starts_with("problems/"))
+            else {
+                continue;
+            };
+            let content = self
+                .files
+                .get(content_path)
+                .ok_or_else(|| ScormError::MissingFile {
+                    path: content_path.clone(),
+                })?;
+            let doc = mine_xml::parse_document(content)?;
+            let mut problem = problem_from_content_xml(&doc.root)?;
+            let descriptor_path = content_path.replace("content.xml", "descriptor.xml");
+            if let Some(descriptor) = self.files.get(&descriptor_path) {
+                let meta = MineMetadata::from_xml_str(descriptor).map_err(|err| {
+                    ScormError::InvalidManifest {
+                        reason: format!("bad descriptor {descriptor_path}: {err}"),
+                    }
+                })?;
+                *problem.metadata_mut() = meta;
+            }
+            problems.push(problem);
+        }
+        Ok(problems)
+    }
+
+    /// Extracts the packaged exam structure, if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns XML errors when the exam file fails to decode.
+    pub fn extract_exam(&self) -> Result<Option<Exam>, ScormError> {
+        let Some(text) = self.files.get("exam/exam.xml") else {
+            return Ok(None);
+        };
+        let doc = mine_xml::parse_document(text)?;
+        exam_from_xml(&doc.root).map(Some)
+    }
+}
+
+/// Builder assembling a [`ContentPackage`] (the §5 "SCORM format output
+/// service").
+#[derive(Debug, Clone)]
+pub struct PackageBuilder {
+    package_id: String,
+    exam: Option<Exam>,
+    problems: Vec<Problem>,
+}
+
+impl PackageBuilder {
+    /// Sets the exam whose structure the package carries.
+    #[must_use]
+    pub fn exam(mut self, exam: Exam) -> Self {
+        self.exam = Some(exam);
+        self
+    }
+
+    /// Adds a problem (with its metadata descriptor).
+    #[must_use]
+    pub fn problem(mut self, problem: Problem) -> Self {
+        self.problems.push(problem);
+        self
+    }
+
+    /// Adds many problems.
+    #[must_use]
+    pub fn problems(mut self, problems: impl IntoIterator<Item = Problem>) -> Self {
+        self.problems.extend(problems);
+        self
+    }
+
+    /// Assembles the package.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScormError::InvalidManifest`] when the generated
+    /// manifest fails validation (e.g. duplicate problem ids).
+    pub fn build(self) -> Result<ContentPackage, ScormError> {
+        let mut files = BTreeMap::new();
+        files.insert("shared/api.js".to_string(), API_ADAPTER_JS.to_string());
+
+        let mut manifest = Manifest::new(&self.package_id);
+        manifest
+            .resources
+            .push(Resource::new("RES-API", ScormType::Asset, "shared/api.js"));
+
+        let mut items = Vec::new();
+        for problem in &self.problems {
+            let pid = problem.id().as_str();
+            let dir = format!("problems/{pid}");
+            let content_path = format!("{dir}/content.xml");
+            let descriptor_path = format!("{dir}/descriptor.xml");
+            files.insert(
+                content_path.clone(),
+                xml_doc(problem_to_content_xml(problem)),
+            );
+            files.insert(
+                descriptor_path.clone(),
+                xml_doc(problem.metadata().to_xml_element()),
+            );
+            let res_id = format!("RES-{pid}");
+            let mut resource =
+                Resource::new(&res_id, ScormType::Sco, &content_path).with_file(&descriptor_path);
+            resource.dependencies.push("RES-API".into());
+            manifest.resources.push(resource);
+            items.push(OrgItem::leaf(
+                format!("ITEM-{pid}"),
+                problem.metadata().general.title.clone(),
+                res_id,
+            ));
+        }
+
+        let title = self
+            .exam
+            .as_ref()
+            .map_or_else(|| self.package_id.clone(), |e| e.title().to_string());
+        if let Some(exam) = &self.exam {
+            files.insert("exam/exam.xml".to_string(), xml_doc(exam_to_xml(exam)));
+            let res = Resource::new("RES-EXAM", ScormType::Asset, "exam/exam.xml");
+            manifest.resources.push(res);
+        }
+
+        manifest = manifest.with_organization(Organization {
+            identifier: "ORG-DEFAULT".into(),
+            title,
+            items: vec![OrgItem::folder("ITEM-ROOT", "Assessment", items)],
+        });
+
+        manifest.validate()?;
+        files.insert("imsmanifest.xml".to_string(), manifest.to_xml_string());
+        Ok(ContentPackage { manifest, files })
+    }
+}
+
+fn xml_doc(root: Element) -> String {
+    mine_xml::Document::new(root).to_xml_string()
+}
+
+/// Serializes a problem body (not its metadata) to `content.xml`.
+#[must_use]
+pub fn problem_to_content_xml(problem: &Problem) -> Element {
+    let mut root = Element::new("problem")
+        .with_attr("id", problem.id().as_str())
+        .with_attr("points", problem.points().to_string());
+    match problem.body() {
+        ProblemBody::MultipleChoice {
+            stem,
+            options,
+            correct,
+        } => {
+            root.set_attr("style", "multiple-choice");
+            root.push(Element::new("stem").with_text(stem));
+            for option in options {
+                root.push(
+                    Element::new("option")
+                        .with_attr("key", option.key.letter().to_string())
+                        .with_text(&option.text),
+                );
+            }
+            root.push(Element::new("correct").with_text(correct.letter().to_string()));
+        }
+        ProblemBody::TrueFalse {
+            stem,
+            hint,
+            correct,
+        } => {
+            root.set_attr("style", "true-false");
+            root.push(Element::new("stem").with_text(stem));
+            root.push(Element::new("hint").with_text(hint));
+            root.push(Element::new("correct").with_text(correct.to_string()));
+        }
+        ProblemBody::Essay {
+            question,
+            hint,
+            keywords,
+        } => {
+            root.set_attr("style", "essay");
+            root.push(Element::new("question").with_text(question));
+            root.push(Element::new("hint").with_text(hint));
+            for keyword in keywords {
+                root.push(Element::new("keyword").with_text(keyword));
+            }
+        }
+        ProblemBody::Completion { stem, blanks } => {
+            root.set_attr("style", "completion");
+            root.push(Element::new("stem").with_text(stem));
+            for blank in blanks {
+                root.push(Element::new("blank").with_text(blank));
+            }
+        }
+        ProblemBody::Match(pairs) => {
+            root.set_attr("style", "match");
+            for left in &pairs.left {
+                root.push(Element::new("left").with_text(left));
+            }
+            for right in &pairs.right {
+                root.push(Element::new("right").with_text(right));
+            }
+            for (i, &r) in pairs.correct.iter().enumerate() {
+                root.push(
+                    Element::new("pair")
+                        .with_attr("left", i.to_string())
+                        .with_attr("right", r.to_string()),
+                );
+            }
+        }
+        ProblemBody::Questionnaire { prompt, options } => {
+            root.set_attr("style", "questionnaire");
+            root.push(Element::new("prompt").with_text(prompt));
+            for option in options {
+                root.push(
+                    Element::new("option")
+                        .with_attr("key", option.key.letter().to_string())
+                        .with_text(&option.text),
+                );
+            }
+        }
+    }
+    root
+}
+
+/// Decodes a problem body from `content.xml`.
+///
+/// # Errors
+///
+/// Returns [`ScormError::InvalidManifest`] for schema violations.
+pub fn problem_from_content_xml(root: &Element) -> Result<Problem, ScormError> {
+    let bad = |reason: String| ScormError::InvalidManifest { reason };
+    if root.name != "problem" {
+        return Err(bad(format!("expected <problem>, got <{}>", root.name)));
+    }
+    let id = root
+        .attr("id")
+        .ok_or_else(|| bad("problem missing id".into()))?
+        .to_string();
+    let style = root.attr("style").unwrap_or_default();
+    let options = || -> Result<Vec<ChoiceOption>, ScormError> {
+        root.children_named("option")
+            .map(|o| {
+                let key = o
+                    .attr("key")
+                    .and_then(|k| k.chars().next())
+                    .and_then(|c| OptionKey::from_letter(c).ok())
+                    .ok_or_else(|| bad("option missing key".into()))?;
+                Ok(ChoiceOption::new(key, o.text()))
+            })
+            .collect()
+    };
+    let body = match style {
+        "multiple-choice" => {
+            let correct = root
+                .child_text("correct")
+                .and_then(|c| c.trim().parse::<OptionKey>().ok())
+                .ok_or_else(|| bad("choice problem missing correct key".into()))?;
+            ProblemBody::MultipleChoice {
+                stem: root.child_text("stem").unwrap_or_default(),
+                options: options()?,
+                correct,
+            }
+        }
+        "true-false" => ProblemBody::TrueFalse {
+            stem: root.child_text("stem").unwrap_or_default(),
+            hint: root.child_text("hint").unwrap_or_default(),
+            correct: root.child_text("correct").unwrap_or_default().trim() == "true",
+        },
+        "essay" => ProblemBody::Essay {
+            question: root.child_text("question").unwrap_or_default(),
+            hint: root.child_text("hint").unwrap_or_default(),
+            keywords: root.children_named("keyword").map(Element::text).collect(),
+        },
+        "completion" => ProblemBody::Completion {
+            stem: root.child_text("stem").unwrap_or_default(),
+            blanks: root.children_named("blank").map(Element::text).collect(),
+        },
+        "match" => {
+            let mut pairs: Vec<(usize, usize)> = root
+                .children_named("pair")
+                .filter_map(|p| {
+                    Some((
+                        p.attr("left")?.parse().ok()?,
+                        p.attr("right")?.parse().ok()?,
+                    ))
+                })
+                .collect();
+            pairs.sort_unstable();
+            ProblemBody::Match(MatchPairs {
+                left: root.children_named("left").map(Element::text).collect(),
+                right: root.children_named("right").map(Element::text).collect(),
+                correct: pairs.into_iter().map(|(_, r)| r).collect(),
+            })
+        }
+        "questionnaire" => ProblemBody::Questionnaire {
+            prompt: root.child_text("prompt").unwrap_or_default(),
+            options: options()?,
+        },
+        other => return Err(bad(format!("unknown problem style {other:?}"))),
+    };
+    let mut problem =
+        Problem::new(id, body).map_err(|err| bad(format!("invalid problem: {err}")))?;
+    if let Some(points) = root.attr("points").and_then(|p| p.parse::<f64>().ok()) {
+        problem.set_points(points);
+    }
+    Ok(problem)
+}
+
+fn exam_to_xml(exam: &Exam) -> Element {
+    let mut root = Element::new("exam")
+        .with_attr("id", exam.id().as_str())
+        .with_attr("title", exam.title())
+        .with_attr("displayOrder", exam.display_order().keyword());
+    if let Some(limit) = exam.meta().test_time {
+        root.set_attr("testTime", limit.as_secs_f64().to_string());
+    }
+    for group in exam.groups() {
+        root.push(
+            Element::new("group")
+                .with_attr("id", group.id.as_str())
+                .with_attr("columns", group.style.columns.to_string())
+                .with_attr("shuffle", group.style.shuffle_within.to_string())
+                .with_attr("pageBreak", group.style.page_break.to_string())
+                .with_attr("heading", &group.style.heading),
+        );
+    }
+    for entry in exam.entries() {
+        let mut el = Element::new("entry").with_attr("problem", entry.problem.as_str());
+        if let Some(points) = entry.points {
+            el.set_attr("points", points.to_string());
+        }
+        if let Some(group) = &entry.group {
+            el.set_attr("group", group.as_str());
+        }
+        root.push(el);
+    }
+    root
+}
+
+fn exam_from_xml(root: &Element) -> Result<Exam, ScormError> {
+    let bad = |reason: String| ScormError::InvalidManifest { reason };
+    if root.name != "exam" {
+        return Err(bad(format!("expected <exam>, got <{}>", root.name)));
+    }
+    let id = root
+        .attr("id")
+        .ok_or_else(|| bad("exam missing id".into()))?;
+    let mut builder = Exam::builder(id)
+        .map_err(|err| bad(err.to_string()))?
+        .title(root.attr("title").unwrap_or_default());
+    if let Some(order) = root
+        .attr("displayOrder")
+        .and_then(DisplayOrder::from_keyword)
+    {
+        builder = builder.display_order(order);
+    }
+    if let Some(limit) = root.attr("testTime").and_then(|t| t.parse::<f64>().ok()) {
+        builder = builder.test_time(std::time::Duration::from_secs_f64(limit));
+    }
+    for group in root.children_named("group") {
+        let gid = group
+            .attr("id")
+            .ok_or_else(|| bad("group missing id".into()))?
+            .parse()
+            .map_err(|_| bad("bad group id".into()))?;
+        builder = builder.group(
+            mine_itembank::PresentationGroup::new(gid).with_style(mine_itembank::GroupStyle {
+                columns: group
+                    .attr("columns")
+                    .and_then(|c| c.parse().ok())
+                    .unwrap_or(1),
+                shuffle_within: group.attr("shuffle") == Some("true"),
+                page_break: group.attr("pageBreak") == Some("true"),
+                heading: group.attr("heading").unwrap_or_default().to_string(),
+            }),
+        );
+    }
+    for entry in root.children_named("entry") {
+        let pid = entry
+            .attr("problem")
+            .ok_or_else(|| bad("entry missing problem".into()))?
+            .parse()
+            .map_err(|_| bad("bad problem id".into()))?;
+        let mut exam_entry = ExamEntry::new(pid);
+        if let Some(points) = entry.attr("points").and_then(|p| p.parse().ok()) {
+            exam_entry.points = Some(points);
+        }
+        if let Some(group) = entry.attr("group") {
+            exam_entry.group = Some(group.parse().map_err(|_| bad("bad group ref".into()))?);
+        }
+        builder = builder.entry_with(exam_entry);
+    }
+    builder.build().map_err(|err| bad(err.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_itembank::{GroupStyle, PresentationGroup};
+
+    fn problems() -> Vec<Problem> {
+        vec![
+            Problem::multiple_choice(
+                "q1",
+                "Which is the transport layer protocol?",
+                [
+                    ChoiceOption::new(OptionKey::A, "TCP"),
+                    ChoiceOption::new(OptionKey::B, "IP"),
+                    ChoiceOption::new(OptionKey::C, "Ethernet"),
+                ],
+                OptionKey::A,
+            )
+            .unwrap()
+            .with_subject("networking"),
+            Problem::true_false("q2", "UDP guarantees delivery.", false).unwrap(),
+            Problem::completion("q3", "HTTP runs over ___.", vec!["tcp".to_string()]).unwrap(),
+        ]
+    }
+
+    fn exam() -> Exam {
+        Exam::builder("quiz-1")
+            .unwrap()
+            .title("Networking Quiz")
+            .group(
+                PresentationGroup::new("part1".parse().unwrap()).with_style(GroupStyle {
+                    columns: 2,
+                    shuffle_within: true,
+                    page_break: false,
+                    heading: "Part I".into(),
+                }),
+            )
+            .entry_with(ExamEntry::new("q1".parse().unwrap()).in_group("part1".parse().unwrap()))
+            .entry_with(ExamEntry::new("q2".parse().unwrap()).worth(2.0))
+            .entry("q3".parse().unwrap())
+            .test_time(std::time::Duration::from_secs(1200))
+            .build()
+            .unwrap()
+    }
+
+    fn package() -> ContentPackage {
+        ContentPackage::builder("PKG-QUIZ-1")
+            .exam(exam())
+            .problems(problems())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_produces_expected_layout() {
+        let pkg = package();
+        assert!(pkg.files.contains_key("imsmanifest.xml"));
+        assert!(pkg.files.contains_key("shared/api.js"));
+        assert!(pkg.files.contains_key("problems/q1/content.xml"));
+        assert!(pkg.files.contains_key("problems/q1/descriptor.xml"));
+        assert!(pkg.files.contains_key("exam/exam.xml"));
+        assert!(pkg.total_size() > 0);
+        pkg.manifest.validate().unwrap();
+    }
+
+    #[test]
+    fn package_round_trips_through_files() {
+        let pkg = package();
+        let files = pkg.clone().into_files();
+        let back = ContentPackage::from_files(files).unwrap();
+        assert_eq!(back.manifest, pkg.manifest);
+    }
+
+    #[test]
+    fn extract_problems_round_trips_bodies_and_metadata() {
+        let pkg = package();
+        let extracted = pkg.extract_problems().unwrap();
+        assert_eq!(extracted.len(), 3);
+        let original = problems();
+        for problem in &original {
+            let found = extracted
+                .iter()
+                .find(|p| p.id() == problem.id())
+                .unwrap_or_else(|| panic!("missing {}", problem.id()));
+            assert_eq!(found.body(), problem.body());
+            assert_eq!(found.metadata(), problem.metadata());
+        }
+    }
+
+    #[test]
+    fn extract_exam_round_trips() {
+        let pkg = package();
+        let back = pkg.extract_exam().unwrap().unwrap();
+        assert_eq!(back, exam());
+    }
+
+    #[test]
+    fn package_without_exam_extracts_none() {
+        let pkg = ContentPackage::builder("PKG")
+            .problems(problems())
+            .build()
+            .unwrap();
+        assert!(pkg.extract_exam().unwrap().is_none());
+    }
+
+    #[test]
+    fn disk_round_trip() {
+        let pkg = package();
+        let dir = std::env::temp_dir().join(format!("mine-scorm-pkg-{}", std::process::id()));
+        pkg.write_to_dir(&dir).unwrap();
+        assert!(dir.join("imsmanifest.xml").is_file());
+        assert!(dir.join("problems/q1/content.xml").is_file());
+        let back = ContentPackage::read_from_dir(&dir).unwrap();
+        assert_eq!(back, pkg);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_from_missing_dir_errors() {
+        let missing = std::env::temp_dir().join("mine-scorm-does-not-exist");
+        assert!(ContentPackage::read_from_dir(&missing).is_err());
+    }
+
+    #[test]
+    fn from_files_requires_manifest() {
+        let err = ContentPackage::from_files(BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, ScormError::MissingManifest));
+    }
+
+    #[test]
+    fn from_files_detects_missing_referenced_file() {
+        let pkg = package();
+        let mut files = pkg.into_files();
+        files.remove("problems/q2/content.xml");
+        let err = ContentPackage::from_files(files).unwrap_err();
+        assert!(matches!(err, ScormError::MissingFile { .. }));
+    }
+
+    #[test]
+    fn from_files_rejects_corrupt_manifest() {
+        let mut files = BTreeMap::new();
+        files.insert("imsmanifest.xml".to_string(), "<broken".to_string());
+        assert!(matches!(
+            ContentPackage::from_files(files),
+            Err(ScormError::Xml(_))
+        ));
+    }
+
+    #[test]
+    fn all_problem_styles_round_trip_content_xml() {
+        let all = vec![
+            problems().remove(0),
+            Problem::essay("e1", "Discuss.").unwrap(),
+            Problem::new(
+                "e2",
+                ProblemBody::Essay {
+                    question: "Explain AIMD.".into(),
+                    hint: "think additive".into(),
+                    keywords: vec!["additive".into(), "multiplicative".into()],
+                },
+            )
+            .unwrap(),
+            Problem::match_items(
+                "m1",
+                MatchPairs {
+                    left: vec!["TCP".into(), "IP".into()],
+                    right: vec!["L3".into(), "L4".into()],
+                    correct: vec![1, 0],
+                },
+            )
+            .unwrap(),
+            Problem::questionnaire(
+                "s1",
+                "Rate the course.",
+                OptionKey::first(5).map(|k| ChoiceOption::new(k, format!("{k}"))),
+            )
+            .unwrap(),
+            Problem::completion(
+                "c1",
+                "Fill ___ and ___",
+                vec!["a".to_string(), "b".to_string()],
+            )
+            .unwrap()
+            .with_points(3.0),
+        ];
+        for problem in all {
+            let xml = problem_to_content_xml(&problem);
+            let text = mine_xml::Document::new(xml).to_xml_string();
+            let doc = mine_xml::parse_document(&text).unwrap();
+            let back = problem_from_content_xml(&doc.root).unwrap();
+            assert_eq!(back.body(), problem.body(), "style {:?}", problem.style());
+            assert_eq!(back.points(), problem.points());
+        }
+    }
+
+    #[test]
+    fn content_xml_rejects_unknown_style() {
+        let el = Element::new("problem")
+            .with_attr("id", "x")
+            .with_attr("style", "hologram");
+        assert!(problem_from_content_xml(&el).is_err());
+        let el = Element::new("notproblem");
+        assert!(problem_from_content_xml(&el).is_err());
+    }
+
+    #[test]
+    fn duplicate_problem_ids_fail_manifest_validation() {
+        let p = problems().remove(0);
+        let result = ContentPackage::builder("PKG")
+            .problem(p.clone())
+            .problem(p)
+            .build();
+        assert!(result.is_err());
+    }
+}

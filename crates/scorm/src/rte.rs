@@ -1,0 +1,759 @@
+//! The SCORM 1.2 Run-Time Environment (§2.4, §5.5).
+//!
+//! "Some API functions are used to set value (ex. learner record, learner
+//! progress, learner status), get value, error handler (ex. error message
+//! transfer, error status record, error dialog) and course beginning and
+//! ending (ex. course initial and course finish)."
+//!
+//! In the paper those functions are JavaScript shims between the browser
+//! and the LMS; here [`ApiAdapter`] is the same state machine natively:
+//! `LMSInitialize` → (`LMSGetValue` | `LMSSetValue` | `LMSCommit`)* →
+//! `LMSFinish`, over the [`CmiDataModel`] with SCORM 1.2 access rules and
+//! error codes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ScormErrorCode;
+
+/// Legal values of `cmi.core.lesson_status`.
+const LESSON_STATUSES: [&str; 6] = [
+    "passed",
+    "completed",
+    "failed",
+    "incomplete",
+    "browsed",
+    "not attempted",
+];
+
+/// One recorded interaction (`cmi.interactions.n`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Interaction {
+    /// `cmi.interactions.n.id`.
+    pub id: String,
+    /// `cmi.interactions.n.type` (e.g. `choice`, `true-false`,
+    /// `fill-in`, `matching`, `performance`).
+    pub interaction_type: String,
+    /// `cmi.interactions.n.student_response`.
+    pub student_response: String,
+    /// `cmi.interactions.n.result` (`correct`, `wrong`, `unanticipated`,
+    /// `neutral`, or a number).
+    pub result: String,
+    /// `cmi.interactions.n.latency` as `HH:MM:SS[.ss]`.
+    pub latency: String,
+}
+
+/// The `cmi.*` data model instance for one learner attempt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CmiDataModel {
+    /// `cmi.core.student_id` (read-only to the SCO).
+    pub student_id: String,
+    /// `cmi.core.student_name` (read-only to the SCO).
+    pub student_name: String,
+    /// `cmi.core.lesson_location` (read/write).
+    pub lesson_location: String,
+    /// `cmi.core.credit` (read-only): `credit` or `no-credit`.
+    pub credit: String,
+    /// `cmi.core.lesson_status` (read/write).
+    pub lesson_status: String,
+    /// `cmi.core.entry` (read-only): `ab-initio`, `resume`, or empty.
+    pub entry: String,
+    /// `cmi.core.score.raw` (read/write), 0–100.
+    pub score_raw: Option<f64>,
+    /// `cmi.core.score.min` (read/write).
+    pub score_min: Option<f64>,
+    /// `cmi.core.score.max` (read/write).
+    pub score_max: Option<f64>,
+    /// `cmi.core.total_time` (read-only): accumulated across sessions.
+    pub total_time: Duration,
+    /// `cmi.core.exit` (write-only): `time-out`, `suspend`, `logout`, or
+    /// empty.
+    pub exit: String,
+    /// `cmi.core.session_time` (write-only).
+    pub session_time: Duration,
+    /// `cmi.suspend_data` (read/write), up to 4096 chars in SCORM 1.2.
+    pub suspend_data: String,
+    /// `cmi.launch_data` (read-only).
+    pub launch_data: String,
+    /// Recorded interactions (write-only except `_count`).
+    pub interactions: Vec<Interaction>,
+}
+
+impl Default for CmiDataModel {
+    fn default() -> Self {
+        Self {
+            student_id: String::new(),
+            student_name: String::new(),
+            lesson_location: String::new(),
+            credit: "credit".into(),
+            lesson_status: "not attempted".into(),
+            entry: "ab-initio".into(),
+            score_raw: None,
+            score_min: None,
+            score_max: None,
+            total_time: Duration::ZERO,
+            exit: String::new(),
+            session_time: Duration::ZERO,
+            suspend_data: String::new(),
+            launch_data: String::new(),
+            interactions: Vec::new(),
+        }
+    }
+}
+
+impl CmiDataModel {
+    /// Creates a model for a named learner, `ab-initio`.
+    #[must_use]
+    pub fn for_student(id: impl Into<String>, name: impl Into<String>) -> Self {
+        Self {
+            student_id: id.into(),
+            student_name: name.into(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Formats a `Duration` as the CMITimespan `HHHH:MM:SS.SS`.
+#[must_use]
+pub fn format_timespan(duration: Duration) -> String {
+    let total = duration.as_secs_f64();
+    let hours = (total / 3600.0).floor() as u64;
+    let minutes = ((total % 3600.0) / 60.0).floor() as u64;
+    let seconds = total % 60.0;
+    format!("{hours:02}:{minutes:02}:{seconds:05.2}")
+}
+
+/// Parses a CMITimespan `HH:MM:SS[.ss]` string.
+#[must_use]
+pub fn parse_timespan(text: &str) -> Option<Duration> {
+    let parts: Vec<&str> = text.trim().split(':').collect();
+    if parts.len() != 3 {
+        return None;
+    }
+    let hours: u64 = parts[0].parse().ok()?;
+    let minutes: u64 = parts[1].parse().ok()?;
+    let seconds: f64 = parts[2].parse().ok()?;
+    if minutes >= 60 || !(0.0..60.0).contains(&seconds) {
+        return None;
+    }
+    Some(Duration::from_secs_f64(
+        hours as f64 * 3600.0 + minutes as f64 * 60.0 + seconds,
+    ))
+}
+
+/// Lifecycle state of the API adapter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApiState {
+    /// Before `LMSInitialize`.
+    NotInitialized,
+    /// Between `LMSInitialize` and `LMSFinish`.
+    Running,
+    /// After `LMSFinish`.
+    Terminated,
+}
+
+impl fmt::Display for ApiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ApiState::NotInitialized => "not-initialized",
+            ApiState::Running => "running",
+            ApiState::Terminated => "terminated",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The SCORM 1.2 API adapter: the object a SCO calls.
+///
+/// String-in/string-out signatures mirror the JavaScript API so delivery
+/// code and tests exercise the same protocol an LMS would see; the typed
+/// [`CmiDataModel`] is available through [`ApiAdapter::model`] after the
+/// session.
+///
+/// # Examples
+///
+/// ```
+/// use mine_scorm::ApiAdapter;
+///
+/// let mut api = ApiAdapter::new();
+/// assert_eq!(api.lms_get_value("cmi.core.lesson_status"), Err("301".to_string()));
+/// assert_eq!(api.lms_initialize(""), "true");
+/// api.lms_set_value("cmi.core.score.raw", "87").unwrap();
+/// assert_eq!(api.lms_commit(""), "true");
+/// assert_eq!(api.lms_finish(""), "true");
+/// assert_eq!(api.model().score_raw, Some(87.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiAdapter {
+    state: ApiState,
+    model: CmiDataModel,
+    last_error: ScormErrorCode,
+    commits: u64,
+    committed: Option<CmiDataModel>,
+}
+
+impl Default for ApiAdapter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ApiAdapter {
+    /// Creates an adapter over a fresh data model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_model(CmiDataModel::default())
+    }
+
+    /// Creates an adapter over a pre-filled model (the LMS launch side:
+    /// student identity, entry flag, launch data).
+    #[must_use]
+    pub fn with_model(model: CmiDataModel) -> Self {
+        Self {
+            state: ApiState::NotInitialized,
+            model,
+            last_error: ScormErrorCode::NoError,
+            commits: 0,
+            committed: None,
+        }
+    }
+
+    /// Current lifecycle state.
+    #[must_use]
+    pub fn state(&self) -> ApiState {
+        self.state
+    }
+
+    /// The live data model.
+    #[must_use]
+    pub fn model(&self) -> &CmiDataModel {
+        &self.model
+    }
+
+    /// The model as of the last `LMSCommit`/`LMSFinish`, if any.
+    #[must_use]
+    pub fn committed_model(&self) -> Option<&CmiDataModel> {
+        self.committed.as_ref()
+    }
+
+    /// Number of successful commits (including the implicit one in
+    /// `LMSFinish`).
+    #[must_use]
+    pub fn commit_count(&self) -> u64 {
+        self.commits
+    }
+
+    /// `LMSGetLastError` as a typed code.
+    #[must_use]
+    pub fn last_error(&self) -> ScormErrorCode {
+        self.last_error
+    }
+
+    /// `LMSGetErrorString` for a code string.
+    #[must_use]
+    pub fn lms_get_error_string(&self, code: &str) -> String {
+        let known = [
+            ScormErrorCode::NoError,
+            ScormErrorCode::GeneralException,
+            ScormErrorCode::InvalidArgument,
+            ScormErrorCode::ElementCannotHaveChildren,
+            ScormErrorCode::ElementNotArray,
+            ScormErrorCode::NotInitialized,
+            ScormErrorCode::NotImplemented,
+            ScormErrorCode::InvalidSetValue,
+            ScormErrorCode::ElementIsReadOnly,
+            ScormErrorCode::ElementIsWriteOnly,
+            ScormErrorCode::IncorrectDataType,
+        ];
+        known
+            .iter()
+            .find(|c| c.code_str() == code.trim())
+            .map(|c| c.error_string().to_string())
+            .unwrap_or_default()
+    }
+
+    fn ok<T>(&mut self, value: T) -> T {
+        self.last_error = ScormErrorCode::NoError;
+        value
+    }
+
+    fn fail(&mut self, code: ScormErrorCode) -> Result<String, String> {
+        self.last_error = code;
+        Err(code.code_str())
+    }
+
+    /// `LMSInitialize("")` — course beginning.
+    ///
+    /// Returns `"true"` on success, `"false"` otherwise (check
+    /// [`ApiAdapter::last_error`]).
+    pub fn lms_initialize(&mut self, arg: &str) -> &'static str {
+        if !arg.is_empty() {
+            self.last_error = ScormErrorCode::InvalidArgument;
+            return "false";
+        }
+        if self.state != ApiState::NotInitialized {
+            self.last_error = ScormErrorCode::GeneralException;
+            return "false";
+        }
+        self.state = ApiState::Running;
+        self.last_error = ScormErrorCode::NoError;
+        "true"
+    }
+
+    /// `LMSFinish("")` — course ending. Accumulates session time into
+    /// total time and commits.
+    pub fn lms_finish(&mut self, arg: &str) -> &'static str {
+        if !arg.is_empty() {
+            self.last_error = ScormErrorCode::InvalidArgument;
+            return "false";
+        }
+        if self.state != ApiState::Running {
+            self.last_error = ScormErrorCode::NotInitialized;
+            return "false";
+        }
+        self.model.total_time += self.model.session_time;
+        self.model.session_time = Duration::ZERO;
+        self.committed = Some(self.model.clone());
+        self.commits += 1;
+        self.state = ApiState::Terminated;
+        self.last_error = ScormErrorCode::NoError;
+        "true"
+    }
+
+    /// `LMSCommit("")` — persist the model.
+    pub fn lms_commit(&mut self, arg: &str) -> &'static str {
+        if !arg.is_empty() {
+            self.last_error = ScormErrorCode::InvalidArgument;
+            return "false";
+        }
+        if self.state != ApiState::Running {
+            self.last_error = ScormErrorCode::NotInitialized;
+            return "false";
+        }
+        self.committed = Some(self.model.clone());
+        self.commits += 1;
+        self.last_error = ScormErrorCode::NoError;
+        "true"
+    }
+
+    /// `LMSGetValue(element)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error-code string (also retrievable via
+    /// [`ApiAdapter::last_error`]): `301` before initialize, `404` for
+    /// write-only elements, `401` for unknown elements.
+    pub fn lms_get_value(&mut self, element: &str) -> Result<String, String> {
+        if self.state != ApiState::Running {
+            return self.fail(ScormErrorCode::NotInitialized);
+        }
+        let value = match element {
+            "cmi.core._children" => {
+                "student_id,student_name,lesson_location,credit,lesson_status,entry,score,total_time,exit,session_time"
+                    .to_string()
+            }
+            "cmi.core.score._children" => "raw,min,max".to_string(),
+            "cmi.core.student_id" => self.model.student_id.clone(),
+            "cmi.core.student_name" => self.model.student_name.clone(),
+            "cmi.core.lesson_location" => self.model.lesson_location.clone(),
+            "cmi.core.credit" => self.model.credit.clone(),
+            "cmi.core.lesson_status" => self.model.lesson_status.clone(),
+            "cmi.core.entry" => self.model.entry.clone(),
+            "cmi.core.score.raw" => self.model.score_raw.map(|v| v.to_string()).unwrap_or_default(),
+            "cmi.core.score.min" => self.model.score_min.map(|v| v.to_string()).unwrap_or_default(),
+            "cmi.core.score.max" => self.model.score_max.map(|v| v.to_string()).unwrap_or_default(),
+            "cmi.core.total_time" => format_timespan(self.model.total_time),
+            "cmi.suspend_data" => self.model.suspend_data.clone(),
+            "cmi.launch_data" => self.model.launch_data.clone(),
+            "cmi.interactions._count" => self.model.interactions.len().to_string(),
+            "cmi.core.exit" | "cmi.core.session_time" => {
+                return self.fail(ScormErrorCode::ElementIsWriteOnly)
+            }
+            other if other.starts_with("cmi.interactions.") => {
+                return self.fail(ScormErrorCode::ElementIsWriteOnly)
+            }
+            _ => return self.fail(ScormErrorCode::NotImplemented),
+        };
+        Ok(self.ok(value))
+    }
+
+    /// `LMSSetValue(element, value)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error-code string: `301` before initialize, `403` for
+    /// read-only elements, `402` for keyword elements (`_children`,
+    /// `_count`), `405` for type violations, `401` for unknown elements.
+    pub fn lms_set_value(&mut self, element: &str, value: &str) -> Result<String, String> {
+        if self.state != ApiState::Running {
+            return self.fail(ScormErrorCode::NotInitialized);
+        }
+        if element.ends_with("._children") || element.ends_with("._count") {
+            return self.fail(ScormErrorCode::InvalidSetValue);
+        }
+        match element {
+            "cmi.core.student_id"
+            | "cmi.core.student_name"
+            | "cmi.core.credit"
+            | "cmi.core.entry"
+            | "cmi.core.total_time"
+            | "cmi.launch_data" => return self.fail(ScormErrorCode::ElementIsReadOnly),
+            "cmi.core.lesson_location" => {
+                self.model.lesson_location = value.to_string();
+            }
+            "cmi.core.lesson_status" => {
+                if !LESSON_STATUSES.contains(&value) {
+                    return self.fail(ScormErrorCode::IncorrectDataType);
+                }
+                self.model.lesson_status = value.to_string();
+            }
+            "cmi.core.score.raw" | "cmi.core.score.min" | "cmi.core.score.max" => {
+                let Ok(number) = value.trim().parse::<f64>() else {
+                    return self.fail(ScormErrorCode::IncorrectDataType);
+                };
+                if !(0.0..=100.0).contains(&number) {
+                    return self.fail(ScormErrorCode::IncorrectDataType);
+                }
+                match element {
+                    "cmi.core.score.raw" => self.model.score_raw = Some(number),
+                    "cmi.core.score.min" => self.model.score_min = Some(number),
+                    _ => self.model.score_max = Some(number),
+                }
+            }
+            "cmi.core.exit" => {
+                if !["time-out", "suspend", "logout", ""].contains(&value) {
+                    return self.fail(ScormErrorCode::IncorrectDataType);
+                }
+                self.model.exit = value.to_string();
+            }
+            "cmi.core.session_time" => {
+                let Some(duration) = parse_timespan(value) else {
+                    return self.fail(ScormErrorCode::IncorrectDataType);
+                };
+                self.model.session_time = duration;
+            }
+            "cmi.suspend_data" => {
+                if value.len() > 4096 {
+                    return self.fail(ScormErrorCode::IncorrectDataType);
+                }
+                self.model.suspend_data = value.to_string();
+            }
+            other if other.starts_with("cmi.interactions.") => {
+                return self.set_interaction(other, value);
+            }
+            _ => return self.fail(ScormErrorCode::NotImplemented),
+        }
+        Ok(self.ok("true".to_string()))
+    }
+
+    /// Handles `cmi.interactions.<n>.<field>` writes.
+    fn set_interaction(&mut self, element: &str, value: &str) -> Result<String, String> {
+        let rest = element
+            .strip_prefix("cmi.interactions.")
+            .expect("caller checked");
+        let mut split = rest.splitn(2, '.');
+        let (Some(index_str), Some(field)) = (split.next(), split.next()) else {
+            return self.fail(ScormErrorCode::InvalidArgument);
+        };
+        let Ok(index) = index_str.parse::<usize>() else {
+            return self.fail(ScormErrorCode::InvalidArgument);
+        };
+        // SCORM 1.2 requires indices to be used in order.
+        if index > self.model.interactions.len() {
+            return self.fail(ScormErrorCode::InvalidArgument);
+        }
+        if index == self.model.interactions.len() {
+            self.model.interactions.push(Interaction::default());
+        }
+        let interaction = &mut self.model.interactions[index];
+        match field {
+            "id" => interaction.id = value.to_string(),
+            "type" => {
+                const TYPES: [&str; 7] = [
+                    "true-false",
+                    "choice",
+                    "fill-in",
+                    "matching",
+                    "performance",
+                    "sequencing",
+                    "likert",
+                ];
+                if !TYPES.contains(&value) {
+                    return self.fail(ScormErrorCode::IncorrectDataType);
+                }
+                interaction.interaction_type = value.to_string();
+            }
+            "student_response" => interaction.student_response = value.to_string(),
+            "result" => interaction.result = value.to_string(),
+            "latency" => {
+                if parse_timespan(value).is_none() {
+                    return self.fail(ScormErrorCode::IncorrectDataType);
+                }
+                interaction.latency = value.to_string();
+            }
+            _ => return self.fail(ScormErrorCode::NotImplemented),
+        }
+        Ok(self.ok("true".to_string()))
+    }
+
+    /// Exports the committed model as a flat `element → value` map (what
+    /// the LMS would persist).
+    #[must_use]
+    pub fn export_committed(&self) -> BTreeMap<String, String> {
+        let mut out = BTreeMap::new();
+        let Some(model) = &self.committed else {
+            return out;
+        };
+        out.insert("cmi.core.student_id".into(), model.student_id.clone());
+        out.insert("cmi.core.student_name".into(), model.student_name.clone());
+        out.insert(
+            "cmi.core.lesson_location".into(),
+            model.lesson_location.clone(),
+        );
+        out.insert("cmi.core.lesson_status".into(), model.lesson_status.clone());
+        if let Some(raw) = model.score_raw {
+            out.insert("cmi.core.score.raw".into(), raw.to_string());
+        }
+        out.insert(
+            "cmi.core.total_time".into(),
+            format_timespan(model.total_time),
+        );
+        if !model.suspend_data.is_empty() {
+            out.insert("cmi.suspend_data".into(), model.suspend_data.clone());
+        }
+        for (i, interaction) in model.interactions.iter().enumerate() {
+            out.insert(format!("cmi.interactions.{i}.id"), interaction.id.clone());
+            out.insert(
+                format!("cmi.interactions.{i}.result"),
+                interaction.result.clone(),
+            );
+            out.insert(
+                format!("cmi.interactions.{i}.student_response"),
+                interaction.student_response.clone(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let mut api = ApiAdapter::new();
+        assert_eq!(api.state(), ApiState::NotInitialized);
+        assert_eq!(api.lms_initialize(""), "true");
+        assert_eq!(api.state(), ApiState::Running);
+        assert_eq!(api.lms_finish(""), "true");
+        assert_eq!(api.state(), ApiState::Terminated);
+        assert_eq!(api.commit_count(), 1);
+    }
+
+    #[test]
+    fn initialize_rejects_argument_and_double_init() {
+        let mut api = ApiAdapter::new();
+        assert_eq!(api.lms_initialize("x"), "false");
+        assert_eq!(api.last_error(), ScormErrorCode::InvalidArgument);
+        assert_eq!(api.lms_initialize(""), "true");
+        assert_eq!(api.lms_initialize(""), "false");
+        assert_eq!(api.last_error(), ScormErrorCode::GeneralException);
+    }
+
+    #[test]
+    fn calls_before_initialize_fail_301() {
+        let mut api = ApiAdapter::new();
+        assert_eq!(api.lms_get_value("cmi.core.student_id"), Err("301".into()));
+        assert_eq!(
+            api.lms_set_value("cmi.core.lesson_status", "passed"),
+            Err("301".into())
+        );
+        assert_eq!(api.lms_commit(""), "false");
+        assert_eq!(api.lms_finish(""), "false");
+    }
+
+    #[test]
+    fn read_only_and_write_only_enforced() {
+        let mut api = ApiAdapter::with_model(CmiDataModel::for_student("s1", "Chen"));
+        api.lms_initialize("");
+        assert_eq!(
+            api.lms_set_value("cmi.core.student_id", "hack"),
+            Err("403".into())
+        );
+        assert_eq!(
+            api.lms_get_value("cmi.core.session_time"),
+            Err("404".into())
+        );
+        assert_eq!(api.lms_get_value("cmi.core.exit"), Err("404".into()));
+        assert_eq!(api.lms_get_value("cmi.core.student_id").unwrap(), "s1");
+    }
+
+    #[test]
+    fn keyword_elements_cannot_be_set() {
+        let mut api = ApiAdapter::new();
+        api.lms_initialize("");
+        assert_eq!(
+            api.lms_set_value("cmi.core._children", "x"),
+            Err("402".into())
+        );
+        assert_eq!(
+            api.lms_set_value("cmi.interactions._count", "0"),
+            Err("402".into())
+        );
+    }
+
+    #[test]
+    fn lesson_status_vocabulary_enforced() {
+        let mut api = ApiAdapter::new();
+        api.lms_initialize("");
+        for status in LESSON_STATUSES {
+            assert!(api.lms_set_value("cmi.core.lesson_status", status).is_ok());
+        }
+        assert_eq!(
+            api.lms_set_value("cmi.core.lesson_status", "victorious"),
+            Err("405".into())
+        );
+    }
+
+    #[test]
+    fn score_range_enforced() {
+        let mut api = ApiAdapter::new();
+        api.lms_initialize("");
+        assert!(api.lms_set_value("cmi.core.score.raw", "88.5").is_ok());
+        assert_eq!(
+            api.lms_set_value("cmi.core.score.raw", "101"),
+            Err("405".into())
+        );
+        assert_eq!(
+            api.lms_set_value("cmi.core.score.raw", "-1"),
+            Err("405".into())
+        );
+        assert_eq!(
+            api.lms_set_value("cmi.core.score.raw", "NaN"),
+            Err("405".into())
+        );
+        assert_eq!(
+            api.lms_set_value("cmi.core.score.raw", "abc"),
+            Err("405".into())
+        );
+    }
+
+    #[test]
+    fn session_time_accumulates_into_total_time() {
+        let mut api = ApiAdapter::new();
+        api.lms_initialize("");
+        api.lms_set_value("cmi.core.session_time", "00:30:00")
+            .unwrap();
+        api.lms_finish("");
+        assert_eq!(api.model().total_time, Duration::from_secs(1800));
+        // Second attempt resumes with the accumulated total.
+        let mut api2 = ApiAdapter::with_model(api.model().clone());
+        api2.lms_initialize("");
+        api2.lms_set_value("cmi.core.session_time", "00:15:00")
+            .unwrap();
+        api2.lms_finish("");
+        assert_eq!(api2.model().total_time, Duration::from_secs(2700));
+    }
+
+    #[test]
+    fn timespan_format_and_parse() {
+        assert_eq!(format_timespan(Duration::from_secs(3661)), "01:01:01.00");
+        assert_eq!(
+            parse_timespan("01:01:01.00"),
+            Some(Duration::from_secs(3661))
+        );
+        assert_eq!(
+            parse_timespan("00:00:12.5"),
+            Some(Duration::from_secs_f64(12.5))
+        );
+        assert_eq!(parse_timespan("bad"), None);
+        assert_eq!(parse_timespan("00:99:00"), None);
+        assert_eq!(parse_timespan("0:0"), None);
+    }
+
+    #[test]
+    fn interactions_append_in_order() {
+        let mut api = ApiAdapter::new();
+        api.lms_initialize("");
+        api.lms_set_value("cmi.interactions.0.id", "q1").unwrap();
+        api.lms_set_value("cmi.interactions.0.type", "choice")
+            .unwrap();
+        api.lms_set_value("cmi.interactions.0.student_response", "C")
+            .unwrap();
+        api.lms_set_value("cmi.interactions.0.result", "correct")
+            .unwrap();
+        api.lms_set_value("cmi.interactions.0.latency", "00:00:42")
+            .unwrap();
+        api.lms_set_value("cmi.interactions.1.id", "q2").unwrap();
+        assert_eq!(api.lms_get_value("cmi.interactions._count").unwrap(), "2");
+        // Gap in indices is rejected.
+        assert_eq!(
+            api.lms_set_value("cmi.interactions.5.id", "q6"),
+            Err("201".into())
+        );
+        // Interaction fields are write-only.
+        assert_eq!(
+            api.lms_get_value("cmi.interactions.0.id"),
+            Err("404".into())
+        );
+        assert_eq!(
+            api.lms_set_value("cmi.interactions.0.type", "telepathy"),
+            Err("405".into())
+        );
+    }
+
+    #[test]
+    fn unknown_elements_are_401() {
+        let mut api = ApiAdapter::new();
+        api.lms_initialize("");
+        assert_eq!(api.lms_get_value("cmi.bogus"), Err("401".into()));
+        assert_eq!(api.lms_set_value("cmi.bogus", "x"), Err("401".into()));
+    }
+
+    #[test]
+    fn commit_snapshots_model() {
+        let mut api = ApiAdapter::new();
+        api.lms_initialize("");
+        assert!(api.committed_model().is_none());
+        api.lms_set_value("cmi.core.lesson_status", "incomplete")
+            .unwrap();
+        api.lms_commit("");
+        api.lms_set_value("cmi.core.lesson_status", "completed")
+            .unwrap();
+        assert_eq!(
+            api.committed_model().unwrap().lesson_status,
+            "incomplete",
+            "commit is a snapshot, not a live view"
+        );
+        let exported = {
+            api.lms_commit("");
+            api.export_committed()
+        };
+        assert_eq!(exported["cmi.core.lesson_status"], "completed");
+    }
+
+    #[test]
+    fn suspend_data_length_limit() {
+        let mut api = ApiAdapter::new();
+        api.lms_initialize("");
+        let ok = "x".repeat(4096);
+        assert!(api.lms_set_value("cmi.suspend_data", &ok).is_ok());
+        let too_long = "x".repeat(4097);
+        assert_eq!(
+            api.lms_set_value("cmi.suspend_data", &too_long),
+            Err("405".into())
+        );
+    }
+
+    #[test]
+    fn error_string_lookup() {
+        let api = ApiAdapter::new();
+        assert_eq!(api.lms_get_error_string("0"), "No error");
+        assert_eq!(api.lms_get_error_string("403"), "Element is read only");
+        assert_eq!(api.lms_get_error_string("999"), "");
+    }
+}

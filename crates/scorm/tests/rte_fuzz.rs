@@ -1,0 +1,160 @@
+//! Failure injection for the SCORM RTE: arbitrary call sequences must
+//! never panic, must respect the lifecycle state machine, and must
+//! always report errors through the standard code set.
+
+use proptest::prelude::*;
+
+use mine_scorm::{ApiAdapter, ApiState, ScormErrorCode};
+
+/// One API call the fuzzer can make.
+#[derive(Debug, Clone)]
+enum Call {
+    Initialize(String),
+    Finish(String),
+    Commit(String),
+    Get(String),
+    Set(String, String),
+}
+
+fn arb_element() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("cmi.core.student_id".to_string()),
+        Just("cmi.core.student_name".to_string()),
+        Just("cmi.core.lesson_location".to_string()),
+        Just("cmi.core.lesson_status".to_string()),
+        Just("cmi.core.score.raw".to_string()),
+        Just("cmi.core.score.min".to_string()),
+        Just("cmi.core.score.max".to_string()),
+        Just("cmi.core.session_time".to_string()),
+        Just("cmi.core.exit".to_string()),
+        Just("cmi.core.total_time".to_string()),
+        Just("cmi.suspend_data".to_string()),
+        Just("cmi.core._children".to_string()),
+        Just("cmi.interactions._count".to_string()),
+        "cmi\\.interactions\\.[0-9]{1,2}\\.(id|type|result|student_response|latency)",
+        // garbage elements
+        "[a-z.]{1,20}",
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("passed".to_string()),
+        Just("completed".to_string()),
+        Just("87.5".to_string()),
+        Just("101".to_string()),
+        Just("choice".to_string()),
+        Just("correct".to_string()),
+        Just("00:10:30".to_string()),
+        Just("suspend".to_string()),
+        "[ -~]{0,24}",
+    ]
+}
+
+fn arb_call() -> impl Strategy<Value = Call> {
+    prop_oneof![
+        proptest::option::of("[a-z]{1,4}")
+            .prop_map(|arg| Call::Initialize(arg.unwrap_or_default())),
+        proptest::option::of("[a-z]{1,4}").prop_map(|arg| Call::Finish(arg.unwrap_or_default())),
+        proptest::option::of("[a-z]{1,4}").prop_map(|arg| Call::Commit(arg.unwrap_or_default())),
+        arb_element().prop_map(Call::Get),
+        (arb_element(), arb_value()).prop_map(|(e, v)| Call::Set(e, v)),
+    ]
+}
+
+const KNOWN_CODES: [&str; 11] = [
+    "0", "101", "201", "202", "203", "301", "401", "402", "403", "404", "405",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn api_never_panics_and_errors_are_standard(calls in proptest::collection::vec(arb_call(), 0..60)) {
+        let mut api = ApiAdapter::new();
+        for call in calls {
+            match call {
+                Call::Initialize(arg) => {
+                    let before = api.state();
+                    let result = api.lms_initialize(&arg);
+                    if result == "true" {
+                        prop_assert_eq!(before, ApiState::NotInitialized);
+                        prop_assert_eq!(api.state(), ApiState::Running);
+                    } else {
+                        prop_assert_eq!(api.state(), before, "failed init keeps state");
+                    }
+                }
+                Call::Finish(arg) => {
+                    let before = api.state();
+                    let result = api.lms_finish(&arg);
+                    if result == "true" {
+                        prop_assert_eq!(before, ApiState::Running);
+                        prop_assert_eq!(api.state(), ApiState::Terminated);
+                    }
+                }
+                Call::Commit(arg) => {
+                    let result = api.lms_commit(&arg);
+                    if result == "true" {
+                        prop_assert_eq!(api.state(), ApiState::Running);
+                    }
+                }
+                Call::Get(element) => {
+                    match api.lms_get_value(&element) {
+                        Ok(_) => prop_assert_eq!(api.last_error(), ScormErrorCode::NoError),
+                        Err(code) => {
+                            prop_assert!(KNOWN_CODES.contains(&code.as_str()), "code {code}");
+                            prop_assert_eq!(api.last_error().code_str(), code);
+                        }
+                    }
+                }
+                Call::Set(element, value) => {
+                    match api.lms_set_value(&element, &value) {
+                        Ok(_) => {
+                            prop_assert_eq!(api.last_error(), ScormErrorCode::NoError);
+                            prop_assert_eq!(api.state(), ApiState::Running);
+                        }
+                        Err(code) => {
+                            prop_assert!(KNOWN_CODES.contains(&code.as_str()), "code {code}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn writes_outside_running_never_mutate(calls in proptest::collection::vec((arb_element(), arb_value()), 1..20)) {
+        // Without LMSInitialize every write must fail with 301 and leave
+        // the model untouched.
+        let mut api = ApiAdapter::new();
+        let baseline = api.model().clone();
+        for (element, value) in calls {
+            let result = api.lms_set_value(&element, &value);
+            prop_assert_eq!(result, Err("301".to_string()));
+        }
+        prop_assert_eq!(api.model(), &baseline);
+    }
+
+    #[test]
+    fn committed_model_only_changes_on_commit_or_finish(
+        statuses in proptest::collection::vec(
+            prop_oneof![Just("passed"), Just("failed"), Just("incomplete")], 1..8
+        )
+    ) {
+        let mut api = ApiAdapter::new();
+        api.lms_initialize("");
+        for status in &statuses {
+            api.lms_set_value("cmi.core.lesson_status", status).unwrap();
+            prop_assert!(
+                api.committed_model().is_none(),
+                "no commit yet, nothing persisted"
+            );
+        }
+        api.lms_commit("");
+        prop_assert_eq!(
+            api.committed_model().unwrap().lesson_status.as_str(),
+            *statuses.last().unwrap()
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! The three-parameter-logistic (3PL) item response model.
+//!
+//! `P(correct | θ) = c + (1 − c) / (1 + e^(−a (θ − b)))`
+//!
+//! * `a` — discrimination: how sharply the probability rises around `b`,
+//! * `b` — difficulty: the ability at which an un-guessable item is
+//!   answered correctly half the time,
+//! * `c` — pseudo-guessing floor: for an N-option multiple-choice item
+//!   a blind guess succeeds with probability `1/N`.
+//!
+//! The paper's Item Difficulty Index (`P = R/N`, §3.3) is an *observed*
+//! proportion; `b` is the latent difficulty that generates it. Higher
+//! `b` → harder item → lower observed `P`.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one item under the 3PL model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ItemParams {
+    /// Discrimination `a > 0`.
+    pub a: f64,
+    /// Difficulty `b` (same scale as ability, typically −3…3).
+    pub b: f64,
+    /// Guessing floor `c ∈ [0, 1)`.
+    pub c: f64,
+}
+
+impl Default for ItemParams {
+    /// A well-behaved item: `a = 1`, `b = 0`, no guessing.
+    fn default() -> Self {
+        Self {
+            a: 1.0,
+            b: 0.0,
+            c: 0.0,
+        }
+    }
+}
+
+impl ItemParams {
+    /// Creates parameters, clamping to legal ranges (`a ≥ 0.05`,
+    /// `0 ≤ c < 1`).
+    #[must_use]
+    pub fn new(a: f64, b: f64, c: f64) -> Self {
+        Self {
+            a: a.max(0.05),
+            b,
+            c: c.clamp(0.0, 0.999),
+        }
+    }
+
+    /// Parameters for an `options`-way multiple-choice item with the
+    /// guessing floor set to `1 / options`.
+    #[must_use]
+    pub fn multiple_choice(a: f64, b: f64, options: usize) -> Self {
+        Self::new(a, b, 1.0 / options.max(1) as f64)
+    }
+
+    /// Probability a student of ability `theta` answers correctly.
+    #[must_use]
+    pub fn p_correct(&self, theta: f64) -> f64 {
+        let logistic = 1.0 / (1.0 + (-self.a * (theta - self.b)).exp());
+        self.c + (1.0 - self.c) * logistic
+    }
+
+    /// Fisher information of the item at ability `theta` (used by the
+    /// adaptive-testing extension for max-information selection).
+    #[must_use]
+    pub fn information(&self, theta: f64) -> f64 {
+        let p = self.p_correct(theta);
+        let q = 1.0 - p;
+        if p <= self.c || p >= 1.0 {
+            return 0.0;
+        }
+        // Standard 3PL information formula.
+        let num = self.a * self.a * q * (p - self.c).powi(2);
+        let den = p * (1.0 - self.c).powi(2);
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_is_monotonic_in_ability() {
+        let item = ItemParams::new(1.2, 0.5, 0.2);
+        let mut last = 0.0;
+        for i in -30..=30 {
+            let theta = i as f64 / 10.0;
+            let p = item.p_correct(theta);
+            assert!(p >= last, "p must not decrease");
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn guessing_floor_bounds_probability_below() {
+        let item = ItemParams::multiple_choice(1.0, 0.0, 4);
+        assert!(item.p_correct(-10.0) >= 0.25 - 1e-9);
+        assert!(item.p_correct(10.0) > 0.99);
+    }
+
+    #[test]
+    fn at_difficulty_probability_is_midpoint() {
+        let item = ItemParams::new(2.0, 1.5, 0.0);
+        assert!((item.p_correct(1.5) - 0.5).abs() < 1e-12);
+        let guessy = ItemParams::new(2.0, 1.5, 0.2);
+        assert!((guessy.p_correct(1.5) - 0.6).abs() < 1e-12, "c + (1-c)/2");
+    }
+
+    #[test]
+    fn harder_items_are_less_likely_correct() {
+        let easy = ItemParams::new(1.0, -1.0, 0.0);
+        let hard = ItemParams::new(1.0, 1.0, 0.0);
+        for theta in [-1.0, 0.0, 1.0] {
+            assert!(easy.p_correct(theta) > hard.p_correct(theta));
+        }
+    }
+
+    #[test]
+    fn information_peaks_near_difficulty() {
+        let item = ItemParams::new(1.5, 0.8, 0.0);
+        let at_b = item.information(0.8);
+        assert!(at_b > item.information(-2.0));
+        assert!(at_b > item.information(3.5));
+        assert!(at_b > 0.0);
+    }
+
+    #[test]
+    fn higher_discrimination_gives_more_information_at_b() {
+        let low = ItemParams::new(0.5, 0.0, 0.0);
+        let high = ItemParams::new(2.0, 0.0, 0.0);
+        assert!(high.information(0.0) > low.information(0.0));
+    }
+
+    #[test]
+    fn new_clamps_degenerate_inputs() {
+        let item = ItemParams::new(-3.0, 0.0, 1.5);
+        assert!(item.a > 0.0);
+        assert!(item.c < 1.0);
+    }
+
+    #[test]
+    fn information_is_zero_in_degenerate_tails() {
+        let item = ItemParams::new(1.0, 0.0, 0.3);
+        assert!(item.information(-50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic student cohorts — the evaluation substrate.
+//!
+//! The paper evaluates its analysis model on real classroom data (e.g.
+//! the 44-student class of §4.1.2). That data is not available, so this
+//! crate simulates it: seeded cohorts of students with latent abilities,
+//! a three-parameter-logistic (IRT) correctness model, a per-distractor
+//! attractiveness model (to reproduce the option-level phenomena Rules
+//! 1–4 detect), and a pacing model for the time-based figures (§4.2.1).
+//!
+//! Crucially the simulator drives the *real* delivery path: every
+//! simulated student runs an [`mine_delivery::ExamSession`], so the
+//! records the analysis crate consumes went through the same grading,
+//! ordering, and timing code a live deployment would use.
+//!
+//! # Examples
+//!
+//! ```
+//! use mine_itembank::{Exam, Problem};
+//! use mine_simulator::{CohortSpec, Simulation};
+//!
+//! let problems = vec![Problem::true_false("q1", "x", true)?];
+//! let exam = Exam::builder("quiz")?.entry("q1".parse()?).build()?;
+//! let record = Simulation::new(exam, problems)
+//!     .cohort(CohortSpec::new(40).seed(7))
+//!     .run()?;
+//! assert_eq!(record.class_size(), 40);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cohort;
+pub mod irt;
+pub mod respond;
+pub mod simulation;
+
+pub use cohort::{CohortSpec, SimStudent};
+pub use irt::ItemParams;
+pub use respond::{DistractorWeights, PacingModel};
+pub use simulation::{Simulation, SimulationError};

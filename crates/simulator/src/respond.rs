@@ -1,0 +1,352 @@
+//! Answer and timing generation for simulated students.
+
+use std::time::Duration;
+
+use rand::Rng;
+
+use mine_core::{Answer, OptionKey};
+use mine_itembank::{Problem, ProblemBody};
+
+/// Relative attractiveness of each option when a student answers a
+/// choice problem *incorrectly*.
+///
+/// Index `i` weights option `i`; the correct option's weight is ignored.
+/// This is the knob that reproduces the paper's option-level phenomena:
+/// a weight of zero gives Rule 1's "option's allure is low"; equal
+/// weights across all options model Rule 3/4's "lack concept" flat
+/// guessing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistractorWeights(Vec<f64>);
+
+impl DistractorWeights {
+    /// Uniform attractiveness across `n` options.
+    #[must_use]
+    pub fn uniform(n: usize) -> Self {
+        Self(vec![1.0; n])
+    }
+
+    /// Explicit weights (negative values are clamped to zero).
+    #[must_use]
+    pub fn new(weights: impl Into<Vec<f64>>) -> Self {
+        let mut weights = weights.into();
+        for w in &mut weights {
+            if !w.is_finite() || *w < 0.0 {
+                *w = 0.0;
+            }
+        }
+        Self(weights)
+    }
+
+    /// The weight of option `index` (0 outside the configured range).
+    #[must_use]
+    pub fn weight(&self, index: usize) -> f64 {
+        self.0.get(index).copied().unwrap_or(0.0)
+    }
+
+    /// Samples a wrong option, excluding `correct`. Falls back to the
+    /// first non-correct option when all weights are zero.
+    pub fn sample_wrong<R: Rng>(
+        &self,
+        rng: &mut R,
+        option_count: usize,
+        correct: OptionKey,
+    ) -> OptionKey {
+        let total: f64 = (0..option_count)
+            .filter(|&i| i != correct.index())
+            .map(|i| self.weight(i))
+            .sum();
+        if total <= 0.0 {
+            let fallback = (0..option_count)
+                .find(|&i| i != correct.index())
+                .unwrap_or(0);
+            return OptionKey::from_index(fallback).expect("option_count <= 26");
+        }
+        let mut draw = rng.gen_range(0.0..total);
+        for i in (0..option_count).filter(|&i| i != correct.index()) {
+            draw -= self.weight(i);
+            if draw <= 0.0 {
+                return OptionKey::from_index(i).expect("option_count <= 26");
+            }
+        }
+        OptionKey::from_index(option_count - 1).expect("option_count <= 26")
+    }
+}
+
+/// How long simulated students take per question.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacingModel {
+    /// Mean seconds an average-paced student spends per question.
+    pub base_seconds: f64,
+    /// Multiplicative jitter half-width (0.3 → ±30 %).
+    pub jitter: f64,
+}
+
+impl Default for PacingModel {
+    /// 45 s per question ± 40 %.
+    fn default() -> Self {
+        Self {
+            base_seconds: 45.0,
+            jitter: 0.4,
+        }
+    }
+}
+
+impl PacingModel {
+    /// Samples the time a student with pacing multiplier `pace` spends.
+    pub fn sample<R: Rng>(&self, rng: &mut R, pace: f64) -> Duration {
+        let factor = 1.0 + self.jitter * (rng.gen_range(-1.0..1.0));
+        let secs = (self.base_seconds * pace * factor).max(1.0);
+        Duration::from_secs_f64(secs)
+    }
+}
+
+/// Generates an answer for `problem`: correct when `is_correct`, a
+/// style-appropriate wrong answer otherwise.
+pub fn generate_answer<R: Rng>(
+    rng: &mut R,
+    problem: &Problem,
+    is_correct: bool,
+    distractors: Option<&DistractorWeights>,
+) -> Answer {
+    match problem.body() {
+        ProblemBody::MultipleChoice {
+            options, correct, ..
+        } => {
+            if is_correct {
+                Answer::Choice(*correct)
+            } else {
+                let uniform = DistractorWeights::uniform(options.len());
+                let weights = distractors.unwrap_or(&uniform);
+                Answer::Choice(weights.sample_wrong(rng, options.len(), *correct))
+            }
+        }
+        ProblemBody::TrueFalse { correct, .. } => {
+            Answer::TrueFalse(if is_correct { *correct } else { !correct })
+        }
+        ProblemBody::Completion { blanks, .. } => {
+            if is_correct {
+                Answer::Completion(blanks.clone())
+            } else {
+                // Botch a random subset of blanks (at least one).
+                let mut filled = blanks.clone();
+                let victim = rng.gen_range(0..filled.len());
+                for (i, blank) in filled.iter_mut().enumerate() {
+                    if i == victim || rng.gen_bool(0.3) {
+                        *blank = format!("not-{blank}");
+                    }
+                }
+                Answer::Completion(filled)
+            }
+        }
+        ProblemBody::Match(pairs) => {
+            if is_correct {
+                Answer::Match(pairs.correct.clone())
+            } else {
+                // Swap two pairings (or point one somewhere wrong for
+                // single-pair problems).
+                let mut chosen = pairs.correct.clone();
+                if chosen.len() >= 2 {
+                    let i = rng.gen_range(0..chosen.len());
+                    let mut j = rng.gen_range(0..chosen.len());
+                    if i == j {
+                        j = (j + 1) % chosen.len();
+                    }
+                    chosen.swap(i, j);
+                } else if !chosen.is_empty() {
+                    chosen[0] = (chosen[0] + 1) % pairs.right.len().max(1);
+                }
+                Answer::Match(chosen)
+            }
+        }
+        ProblemBody::Essay { keywords, .. } => {
+            if is_correct && !keywords.is_empty() {
+                Answer::Text(format!("The key ideas are {}.", keywords.join(" and ")))
+            } else if is_correct {
+                Answer::Text("A thorough, correct discussion.".into())
+            } else {
+                Answer::Text("An off-topic ramble.".into())
+            }
+        }
+        ProblemBody::Questionnaire { options, .. } => {
+            let index = rng.gen_range(0..options.len());
+            Answer::Choice(options[index].key)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_itembank::{ChoiceOption, MatchPairs};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    fn choice_problem() -> Problem {
+        Problem::multiple_choice(
+            "q",
+            "?",
+            OptionKey::first(4).map(|k| ChoiceOption::new(k, format!("{k}"))),
+            OptionKey::B,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn correct_answers_grade_correct_for_every_style() {
+        let problems = vec![
+            choice_problem(),
+            Problem::true_false("t", "?", false).unwrap(),
+            Problem::completion("c", "?", vec!["x".to_string(), "y".to_string()]).unwrap(),
+            Problem::match_items(
+                "m",
+                MatchPairs {
+                    left: vec!["a".into(), "b".into()],
+                    right: vec!["1".into(), "2".into()],
+                    correct: vec![1, 0],
+                },
+            )
+            .unwrap(),
+            Problem::new(
+                "e",
+                ProblemBody::Essay {
+                    question: "?".into(),
+                    hint: String::new(),
+                    keywords: vec!["alpha".into()],
+                },
+            )
+            .unwrap(),
+        ];
+        let mut rng = rng();
+        for problem in &problems {
+            let answer = generate_answer(&mut rng, problem, true, None);
+            let grade = problem.grade(&answer).unwrap();
+            assert!(grade.is_correct, "style {:?}", problem.style());
+        }
+    }
+
+    #[test]
+    fn wrong_answers_grade_incorrect_for_every_gradable_style() {
+        let problems = vec![
+            choice_problem(),
+            Problem::true_false("t", "?", false).unwrap(),
+            Problem::completion("c", "?", vec!["x".to_string()]).unwrap(),
+        ];
+        let mut rng = rng();
+        for problem in &problems {
+            for _ in 0..20 {
+                let answer = generate_answer(&mut rng, problem, false, None);
+                let grade = problem.grade(&answer).unwrap();
+                assert!(!grade.is_correct, "style {:?}", problem.style());
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_match_answers_lose_points() {
+        let problem = Problem::match_items(
+            "m",
+            MatchPairs {
+                left: vec!["a".into(), "b".into(), "c".into()],
+                right: vec!["1".into(), "2".into(), "3".into()],
+                correct: vec![2, 0, 1],
+            },
+        )
+        .unwrap();
+        let mut rng = rng();
+        for _ in 0..20 {
+            let answer = generate_answer(&mut rng, &problem, false, None);
+            let grade = problem.grade(&answer).unwrap();
+            assert!(!grade.is_correct);
+            assert!(grade.points_awarded < grade.points_possible);
+        }
+    }
+
+    #[test]
+    fn zero_weight_distractor_is_never_chosen() {
+        let problem = choice_problem();
+        // Option C (index 2) has zero allure — Rule 1's scenario.
+        let weights = DistractorWeights::new(vec![1.0, 1.0, 0.0, 1.0]);
+        let mut rng = rng();
+        for _ in 0..200 {
+            let answer = generate_answer(&mut rng, &problem, false, Some(&weights));
+            assert_ne!(answer.chosen_option(), Some(OptionKey::C));
+            assert_ne!(answer.chosen_option(), Some(OptionKey::B), "never correct");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_shift_the_distribution() {
+        let problem = choice_problem();
+        let weights = DistractorWeights::new(vec![10.0, 0.0, 1.0, 1.0]);
+        let mut rng = rng();
+        let mut count_a = 0;
+        const TRIALS: usize = 600;
+        for _ in 0..TRIALS {
+            if generate_answer(&mut rng, &problem, false, Some(&weights)).chosen_option()
+                == Some(OptionKey::A)
+            {
+                count_a += 1;
+            }
+        }
+        assert!(
+            count_a > TRIALS / 2,
+            "A should dominate with 10x weight, got {count_a}/{TRIALS}"
+        );
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_deterministically() {
+        let weights = DistractorWeights::new(vec![0.0; 4]);
+        let mut rng = rng();
+        let key = weights.sample_wrong(&mut rng, 4, OptionKey::A);
+        assert_eq!(key, OptionKey::B);
+    }
+
+    #[test]
+    fn pacing_respects_pace_multiplier() {
+        let pacing = PacingModel {
+            base_seconds: 60.0,
+            jitter: 0.0,
+        };
+        let mut rng = rng();
+        assert_eq!(pacing.sample(&mut rng, 1.0), Duration::from_secs(60));
+        assert_eq!(pacing.sample(&mut rng, 0.5), Duration::from_secs(30));
+        assert_eq!(pacing.sample(&mut rng, 2.0), Duration::from_secs(120));
+    }
+
+    #[test]
+    fn pacing_jitter_stays_in_band_and_above_one_second() {
+        let pacing = PacingModel {
+            base_seconds: 10.0,
+            jitter: 0.5,
+        };
+        let mut rng = rng();
+        for _ in 0..200 {
+            let t = pacing.sample(&mut rng, 1.0).as_secs_f64();
+            assert!((5.0..=15.0).contains(&t), "t = {t}");
+        }
+        let tiny = PacingModel {
+            base_seconds: 0.1,
+            jitter: 0.0,
+        };
+        assert_eq!(tiny.sample(&mut rng, 1.0), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn questionnaire_answers_are_valid_options() {
+        let problem = Problem::questionnaire(
+            "s",
+            "rate",
+            OptionKey::first(3).map(|k| ChoiceOption::new(k, format!("{k}"))),
+        )
+        .unwrap();
+        let mut rng = rng();
+        for _ in 0..50 {
+            let answer = generate_answer(&mut rng, &problem, true, None);
+            assert!(problem.grade(&answer).is_ok());
+        }
+    }
+}

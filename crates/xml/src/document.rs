@@ -1,0 +1,470 @@
+//! The owned XML document tree.
+
+use std::fmt;
+
+use crate::error::XmlError;
+use crate::writer::{write_document, WriteOptions};
+
+/// A whole XML document: an optional declaration plus a single root
+/// element (comments/PIs outside the root are preserved in order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Whether the document carries an `<?xml version="1.0" …?>`
+    /// declaration (always written as version 1.0, UTF-8).
+    pub declaration: bool,
+    /// Nodes appearing before the root element (comments, PIs).
+    pub prolog: Vec<Node>,
+    /// The root element.
+    pub root: Element,
+    /// Nodes appearing after the root element (comments, PIs).
+    pub epilog: Vec<Node>,
+}
+
+impl Document {
+    /// Wraps a root element into a document with an XML declaration.
+    #[must_use]
+    pub fn new(root: Element) -> Self {
+        Self {
+            declaration: true,
+            prolog: Vec::new(),
+            root,
+            epilog: Vec::new(),
+        }
+    }
+
+    /// Serializes the document with the given options.
+    #[must_use]
+    pub fn to_xml_with(&self, options: &WriteOptions) -> String {
+        write_document(self, options)
+    }
+
+    /// Serializes the document with default (pretty) options.
+    #[must_use]
+    pub fn to_xml_string(&self) -> String {
+        self.to_xml_with(&WriteOptions::default())
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml_string())
+    }
+}
+
+/// A node of the document tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// Character data (stored unescaped).
+    Text(String),
+    /// A CDATA section (stored raw).
+    CData(String),
+    /// A comment (without the `<!--`/`-->` delimiters).
+    Comment(String),
+    /// A processing instruction: target and data.
+    ProcessingInstruction {
+        /// The PI target (e.g. `xml-stylesheet`).
+        target: String,
+        /// The PI body.
+        data: String,
+    },
+}
+
+impl Node {
+    /// The contained element, if this node is one.
+    #[must_use]
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(el) => Some(el),
+            _ => None,
+        }
+    }
+
+    /// The textual content of a text or CDATA node.
+    #[must_use]
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Text(t) | Node::CData(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl From<Element> for Node {
+    fn from(el: Element) -> Self {
+        Node::Element(el)
+    }
+}
+
+impl From<&str> for Node {
+    fn from(text: &str) -> Self {
+        Node::Text(text.to_string())
+    }
+}
+
+impl From<String> for Node {
+    fn from(text: String) -> Self {
+        Node::Text(text)
+    }
+}
+
+/// An XML element: a name, ordered attributes, and ordered child nodes.
+///
+/// Attribute order is preserved (SCORM manifests are conventionally
+/// written in a fixed attribute order, and stable output makes tests
+/// deterministic).
+///
+/// # Examples
+///
+/// ```
+/// use mine_xml::Element;
+///
+/// let item = Element::new("item")
+///     .with_attr("identifier", "ITEM1")
+///     .with_child(Element::new("title").with_text("Quiz 1"));
+/// assert_eq!(item.child("title").unwrap().text(), "Quiz 1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Element name (may carry a `prefix:` part).
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an empty element.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder: adds (or replaces) an attribute and returns `self`.
+    #[must_use]
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_attr(name, value);
+        self
+    }
+
+    /// Builder: appends a child node and returns `self`.
+    #[must_use]
+    pub fn with_child(mut self, child: impl Into<Node>) -> Self {
+        self.children.push(child.into());
+        self
+    }
+
+    /// Builder: appends a text child and returns `self`.
+    #[must_use]
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Builder: appends `children` and returns `self`.
+    #[must_use]
+    pub fn with_children<I, N>(mut self, children: I) -> Self
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<Node>,
+    {
+        self.children.extend(children.into_iter().map(Into::into));
+        self
+    }
+
+    /// Sets an attribute, replacing any existing value for the same name.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.attributes.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.attributes.push((name, value));
+        }
+    }
+
+    /// Looks up an attribute value by name.
+    #[must_use]
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Appends a child node.
+    pub fn push(&mut self, child: impl Into<Node>) {
+        self.children.push(child.into());
+    }
+
+    /// The first child element with the given name.
+    #[must_use]
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|el| el.name == name)
+    }
+
+    /// Iterates over child elements with the given name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |el| el.name == name)
+    }
+
+    /// Iterates over all child elements (skipping text/comment nodes).
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// Walks a path of child element names, returning the first match.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mine_xml::Element;
+    ///
+    /// let doc = Element::new("a")
+    ///     .with_child(Element::new("b").with_child(Element::new("c").with_text("leaf")));
+    /// assert_eq!(doc.find_path(&["b", "c"]).unwrap().text(), "leaf");
+    /// assert!(doc.find_path(&["b", "missing"]).is_none());
+    /// ```
+    #[must_use]
+    pub fn find_path(&self, path: &[&str]) -> Option<&Element> {
+        let mut current = self;
+        for segment in path {
+            current = current.child(segment)?;
+        }
+        Some(current)
+    }
+
+    /// Concatenated text of all direct text/CDATA children (unescaped).
+    #[must_use]
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for child in &self.children {
+            if let Some(t) = child.as_text() {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Text of the first child element with the given name, if present.
+    #[must_use]
+    pub fn child_text(&self, name: &str) -> Option<String> {
+        self.child(name).map(Element::text)
+    }
+
+    /// The element's local name (after any `prefix:`).
+    #[must_use]
+    pub fn local_name(&self) -> &str {
+        self.name.rsplit(':').next().unwrap_or(&self.name)
+    }
+
+    /// Iterates over every element in the subtree in document order,
+    /// starting with `self`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mine_xml::Element;
+    ///
+    /// let doc = Element::new("a")
+    ///     .with_child(Element::new("b").with_child(Element::new("c")))
+    ///     .with_child(Element::new("d"));
+    /// let names: Vec<&str> = doc.descendants().map(|e| e.name.as_str()).collect();
+    /// assert_eq!(names, vec!["a", "b", "c", "d"]);
+    /// ```
+    pub fn descendants(&self) -> Descendants<'_> {
+        Descendants { stack: vec![self] }
+    }
+
+    /// Total number of elements in this subtree (including `self`).
+    #[must_use]
+    pub fn subtree_size(&self) -> usize {
+        1 + self
+            .child_elements()
+            .map(Element::subtree_size)
+            .sum::<usize>()
+    }
+
+    /// Serializes just this element (no declaration) with default pretty
+    /// options.
+    #[must_use]
+    pub fn to_xml_string(&self) -> String {
+        let doc = Document {
+            declaration: false,
+            prolog: Vec::new(),
+            root: self.clone(),
+            epilog: Vec::new(),
+        };
+        write_document(&doc, &WriteOptions::default())
+    }
+
+    /// Checks that this element and every descendant has a well-formed
+    /// name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XmlError::InvalidName`] for the first bad element or
+    /// attribute name found.
+    pub fn validate_names(&self) -> Result<(), XmlError> {
+        fn name_ok(name: &str) -> bool {
+            let mut chars = name.chars();
+            match chars.next() {
+                Some(c) if c.is_alphabetic() || c == '_' => {}
+                _ => return false,
+            }
+            chars.all(|c| c.is_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'))
+        }
+        if !name_ok(&self.name) {
+            return Err(XmlError::InvalidName {
+                name: self.name.clone(),
+            });
+        }
+        for (attr, _) in &self.attributes {
+            if !name_ok(attr) {
+                return Err(XmlError::InvalidName { name: attr.clone() });
+            }
+        }
+        for child in self.child_elements() {
+            child.validate_names()?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over a subtree's elements in document order (see
+/// [`Element::descendants`]).
+#[derive(Debug, Clone)]
+pub struct Descendants<'a> {
+    stack: Vec<&'a Element>,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = &'a Element;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let next = self.stack.pop()?;
+        // Push children reversed so the leftmost child pops first.
+        for child in next.child_elements().collect::<Vec<_>>().into_iter().rev() {
+            self.stack.push(child);
+        }
+        Some(next)
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("exam")
+            .with_attr("id", "midterm")
+            .with_attr("version", "1")
+            .with_child(
+                Element::new("problem")
+                    .with_attr("id", "q1")
+                    .with_child(Element::new("stem").with_text("What is 1+1?")),
+            )
+            .with_child(Element::new("problem").with_attr("id", "q2"))
+            .with_child(Node::Comment("trailing".into()))
+    }
+
+    #[test]
+    fn attr_lookup_and_replace() {
+        let mut el = sample();
+        assert_eq!(el.attr("id"), Some("midterm"));
+        assert_eq!(el.attr("missing"), None);
+        el.set_attr("id", "final");
+        assert_eq!(el.attr("id"), Some("final"));
+        // replacing does not duplicate
+        assert_eq!(el.attributes.iter().filter(|(n, _)| n == "id").count(), 1);
+    }
+
+    #[test]
+    fn children_named_filters() {
+        let el = sample();
+        assert_eq!(el.children_named("problem").count(), 2);
+        assert_eq!(el.child("problem").unwrap().attr("id"), Some("q1"));
+        assert!(el.child("absent").is_none());
+    }
+
+    #[test]
+    fn find_path_walks_depth() {
+        let el = sample();
+        let stem = el.find_path(&["problem", "stem"]).unwrap();
+        assert_eq!(stem.text(), "What is 1+1?");
+    }
+
+    #[test]
+    fn text_concatenates_text_and_cdata() {
+        let el = Element::new("t")
+            .with_text("a")
+            .with_child(Node::CData("b".into()))
+            .with_child(Node::Comment("not text".into()))
+            .with_text("c");
+        assert_eq!(el.text(), "abc");
+    }
+
+    #[test]
+    fn local_name_strips_prefix() {
+        assert_eq!(Element::new("adlcp:location").local_name(), "location");
+        assert_eq!(Element::new("plain").local_name(), "plain");
+    }
+
+    #[test]
+    fn subtree_size_counts_elements() {
+        assert_eq!(sample().subtree_size(), 4);
+    }
+
+    #[test]
+    fn validate_names_accepts_and_rejects() {
+        assert!(sample().validate_names().is_ok());
+        assert!(Element::new("1bad").validate_names().is_err());
+        assert!(Element::new("ok")
+            .with_attr("bad attr", "v")
+            .validate_names()
+            .is_err());
+        assert!(Element::new("").validate_names().is_err());
+        let nested_bad = Element::new("ok").with_child(Element::new("<nope>"));
+        assert!(nested_bad.validate_names().is_err());
+    }
+
+    #[test]
+    fn node_conversions() {
+        let n: Node = "text".into();
+        assert_eq!(n.as_text(), Some("text"));
+        let n: Node = Element::new("e").into();
+        assert!(n.as_element().is_some());
+        assert!(n.as_text().is_none());
+    }
+
+    #[test]
+    fn descendants_walk_document_order() {
+        let el = sample();
+        let names: Vec<&str> = el.descendants().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["exam", "problem", "stem", "problem"]);
+        assert_eq!(el.descendants().count(), el.subtree_size());
+        // Find by predicate across the whole tree.
+        let stems: Vec<&Element> = el.descendants().filter(|e| e.name == "stem").collect();
+        assert_eq!(stems.len(), 1);
+    }
+
+    #[test]
+    fn child_text_helper() {
+        let el = sample();
+        let problem = el.child("problem").unwrap();
+        assert_eq!(problem.child_text("stem").unwrap(), "What is 1+1?");
+        assert!(problem.child_text("hint").is_none());
+    }
+}

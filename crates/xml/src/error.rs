@@ -1,0 +1,107 @@
+//! Error type for XML parsing and writing.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// An error produced while parsing or serializing XML.
+///
+/// Parse errors carry the 1-based line and column where the problem was
+/// detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XmlError {
+    /// The parser hit the end of input while expecting more.
+    UnexpectedEof {
+        /// What the parser was in the middle of reading.
+        context: &'static str,
+    },
+    /// A structural error at a known position.
+    Syntax {
+        /// Human-readable description of the violation.
+        message: String,
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        column: usize,
+    },
+    /// A closing tag did not match the open element.
+    MismatchedTag {
+        /// The element that was open.
+        expected: String,
+        /// The closing name actually found.
+        found: String,
+        /// 1-based line of the close tag.
+        line: usize,
+        /// 1-based column of the close tag.
+        column: usize,
+    },
+    /// An entity reference could not be resolved.
+    UnknownEntity {
+        /// The entity text between `&` and `;`.
+        entity: String,
+    },
+    /// A name (element or attribute) was empty or contained an invalid
+    /// character.
+    InvalidName {
+        /// The offending name.
+        name: String,
+    },
+    /// The document contained content after the root element or no root
+    /// element at all.
+    BadDocumentStructure {
+        /// Description of the structural problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while reading {context}")
+            }
+            XmlError::Syntax {
+                message,
+                line,
+                column,
+            } => write!(f, "syntax error at {line}:{column}: {message}"),
+            XmlError::MismatchedTag {
+                expected,
+                found,
+                line,
+                column,
+            } => write!(
+                f,
+                "mismatched close tag at {line}:{column}: expected </{expected}>, found </{found}>"
+            ),
+            XmlError::UnknownEntity { entity } => write!(f, "unknown entity &{entity};"),
+            XmlError::InvalidName { name } => write!(f, "invalid xml name {name:?}"),
+            XmlError::BadDocumentStructure { message } => {
+                write!(f, "bad document structure: {message}")
+            }
+        }
+    }
+}
+
+impl StdError for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let err = XmlError::Syntax {
+            message: "expected '>'".into(),
+            line: 3,
+            column: 17,
+        };
+        assert_eq!(err.to_string(), "syntax error at 3:17: expected '>'");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: StdError + Send + Sync + 'static>() {}
+        assert_traits::<XmlError>();
+    }
+}

@@ -1,0 +1,163 @@
+//! Entity escaping and unescaping.
+//!
+//! Text content escapes `&`, `<`, `>`; attribute values additionally
+//! escape `"` and `'`. Unescaping resolves the five predefined entities
+//! plus decimal (`&#65;`) and hexadecimal (`&#x41;`) character references.
+
+use crate::error::XmlError;
+
+/// Escapes a string for use as element text content.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mine_xml::escape::escape_text("a < b & c"), "a &lt; b &amp; c");
+/// ```
+#[must_use]
+pub fn escape_text(raw: &str) -> String {
+    escape(raw, false)
+}
+
+/// Escapes a string for use inside a double-quoted attribute value.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mine_xml::escape::escape_attr("say \"hi\""), "say &quot;hi&quot;");
+/// ```
+#[must_use]
+pub fn escape_attr(raw: &str) -> String {
+    escape(raw, true)
+}
+
+fn escape(raw: &str, attr: bool) -> String {
+    // Fast path: nothing to escape.
+    if !raw
+        .chars()
+        .any(|c| matches!(c, '&' | '<' | '>') || (attr && matches!(c, '"' | '\'')))
+    {
+        return raw.to_string();
+    }
+    let mut out = String::with_capacity(raw.len() + 8);
+    for c in raw.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\'' if attr => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Resolves one entity body (the text between `&` and `;`).
+///
+/// # Errors
+///
+/// Returns [`XmlError::UnknownEntity`] for anything that is not one of the
+/// five predefined entities or a valid numeric character reference.
+pub fn resolve_entity(entity: &str) -> Result<char, XmlError> {
+    match entity {
+        "amp" => return Ok('&'),
+        "lt" => return Ok('<'),
+        "gt" => return Ok('>'),
+        "quot" => return Ok('"'),
+        "apos" => return Ok('\''),
+        _ => {}
+    }
+    let code = if let Some(hex) = entity
+        .strip_prefix("#x")
+        .or_else(|| entity.strip_prefix("#X"))
+    {
+        u32::from_str_radix(hex, 16).ok()
+    } else if let Some(dec) = entity.strip_prefix('#') {
+        dec.parse::<u32>().ok()
+    } else {
+        None
+    };
+    code.and_then(char::from_u32)
+        .ok_or_else(|| XmlError::UnknownEntity {
+            entity: entity.to_string(),
+        })
+}
+
+/// Unescapes entity references in a text or attribute slice.
+///
+/// # Errors
+///
+/// Returns [`XmlError::UnknownEntity`] on unresolvable or unterminated
+/// entity references.
+pub fn unescape(raw: &str) -> Result<String, XmlError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        let after = &rest[pos + 1..];
+        let Some(end) = after.find(';') else {
+            return Err(XmlError::UnknownEntity {
+                entity: after.chars().take(16).collect(),
+            });
+        };
+        out.push(resolve_entity(&after[..end])?);
+        rest = &after[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_text_minimally() {
+        assert_eq!(escape_text("plain"), "plain");
+        assert_eq!(
+            escape_text("<tag> & \"quote\""),
+            "&lt;tag&gt; &amp; \"quote\""
+        );
+    }
+
+    #[test]
+    fn escapes_attr_quotes() {
+        assert_eq!(escape_attr("a'b\"c"), "a&apos;b&quot;c");
+    }
+
+    #[test]
+    fn unescape_round_trips_text() {
+        for sample in ["", "plain", "a<b>&c", "\"mixed' &#entities;-ish < text >"] {
+            // The raw sample may itself contain '&'-like text; escape first.
+            let escaped = escape_attr(sample);
+            assert_eq!(unescape(&escaped).unwrap(), sample, "sample {sample:?}");
+        }
+    }
+
+    #[test]
+    fn numeric_references_decimal_and_hex() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;").unwrap(), "ABc");
+        assert_eq!(unescape("&#x4e2d;&#x6587;").unwrap(), "中文");
+    }
+
+    #[test]
+    fn unknown_entities_error() {
+        assert!(unescape("&nbsp;").is_err());
+        assert!(unescape("&unterminated").is_err());
+        assert!(unescape("&#xZZ;").is_err());
+        assert!(unescape("&#1114112;").is_err()); // above U+10FFFF
+        assert!(unescape("&#xD800;").is_err()); // surrogate
+    }
+
+    #[test]
+    fn resolve_predefined() {
+        assert_eq!(resolve_entity("amp").unwrap(), '&');
+        assert_eq!(resolve_entity("lt").unwrap(), '<');
+        assert_eq!(resolve_entity("gt").unwrap(), '>');
+        assert_eq!(resolve_entity("quot").unwrap(), '"');
+        assert_eq!(resolve_entity("apos").unwrap(), '\'');
+    }
+}

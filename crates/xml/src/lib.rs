@@ -1,0 +1,45 @@
+//! A from-scratch XML toolkit for the MINE assessment system.
+//!
+//! The SCORM packaging (§5.5 of the paper) and the QTI-style interchange
+//! both read and write real XML text. The sanctioned offline dependency
+//! set has no XML crate, so this crate provides the minimal, well-tested
+//! subset the workspace needs:
+//!
+//! * [`Element`]/[`Node`] — an owned document tree with builder helpers,
+//! * [`write_document`]/[`Element::to_xml_string`] — a configurable writer,
+//! * [`parse_document`] — a non-validating recursive-descent parser with
+//!   positions in errors,
+//! * entity escaping/unescaping for text and attribute values.
+//!
+//! Scope: elements, attributes, text, CDATA, comments, processing
+//! instructions, the XML declaration, numeric and the five predefined
+//! entities. Out of scope: DTD validation (DOCTYPE is skipped), namespaces
+//! beyond plain prefixed names, and encodings other than UTF-8.
+//!
+//! # Examples
+//!
+//! ```
+//! use mine_xml::{parse_document, Element};
+//!
+//! let doc = Element::new("manifest")
+//!     .with_attr("identifier", "MANIFEST1")
+//!     .with_child(Element::new("organizations"));
+//! let text = doc.to_xml_string();
+//! let parsed = parse_document(&text)?;
+//! assert_eq!(parsed.root.attr("identifier"), Some("MANIFEST1"));
+//! # Ok::<(), mine_xml::XmlError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod document;
+pub mod error;
+pub mod escape;
+pub mod parser;
+pub mod writer;
+
+pub use document::{Descendants, Document, Element, Node};
+pub use error::XmlError;
+pub use parser::parse_document;
+pub use writer::{write_document, write_document_to, WriteOptions};

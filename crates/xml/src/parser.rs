@@ -1,0 +1,543 @@
+//! A non-validating recursive-descent XML parser.
+//!
+//! Supports elements, attributes (single- or double-quoted), text with
+//! entity references, CDATA, comments, processing instructions, an XML
+//! declaration, and skips `<!DOCTYPE …>` (including an internal subset).
+//!
+//! Whitespace policy: a text node consisting only of whitespace is
+//! dropped when its parent also has element children (it is treated as
+//! indentation), and kept otherwise. This makes
+//! `parse(write_pretty(doc)) == doc` hold for documents without mixed
+//! content.
+
+use crate::document::{Document, Element, Node};
+use crate::error::XmlError;
+use crate::escape::unescape;
+
+/// Parses a complete XML document.
+///
+/// # Errors
+///
+/// Returns an [`XmlError`] describing the first structural problem, with
+/// 1-based line/column positions where available.
+///
+/// # Examples
+///
+/// ```
+/// let doc = mine_xml::parse_document("<a x='1'><b>hi</b></a>")?;
+/// assert_eq!(doc.root.attr("x"), Some("1"));
+/// assert_eq!(doc.root.child("b").unwrap().text(), "hi");
+/// # Ok::<(), mine_xml::XmlError>(())
+/// ```
+pub fn parse_document(input: &str) -> Result<Document, XmlError> {
+    let mut parser = Parser::new(input.strip_prefix('\u{feff}').unwrap_or(input));
+    parser.document()
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    /// Byte offset into `input`.
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            input,
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn starts_with(&self, prefix: &str) -> bool {
+        self.rest().starts_with(prefix)
+    }
+
+    fn eat(&mut self, prefix: &str) -> bool {
+        if self.starts_with(prefix) {
+            for _ in prefix.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn syntax(&self, message: impl Into<String>) -> XmlError {
+        XmlError::Syntax {
+            message: message.into(),
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn expect(&mut self, token: &str, context: &'static str) -> Result<(), XmlError> {
+        if self.eat(token) {
+            Ok(())
+        } else if self.rest().is_empty() {
+            Err(XmlError::UnexpectedEof { context })
+        } else {
+            Err(self.syntax(format!("expected {token:?} while reading {context}")))
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Reads characters up to (not including) `stop`, failing at EOF.
+    fn read_until(&mut self, stop: &str, context: &'static str) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        match self.rest().find(stop) {
+            Some(offset) => {
+                let end = start + offset;
+                while self.pos < end {
+                    self.bump();
+                }
+                Ok(&self.input[start..end])
+            }
+            None => Err(XmlError::UnexpectedEof { context }),
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                self.bump();
+            }
+            Some(_) => return Err(self.syntax("expected a name")),
+            None => return Err(XmlError::UnexpectedEof { context: "name" }),
+        }
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'))
+        {
+            self.bump();
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn document(&mut self) -> Result<Document, XmlError> {
+        let mut declaration = false;
+        let mut prolog = Vec::new();
+        self.skip_whitespace();
+        if self.starts_with("<?xml") {
+            declaration = true;
+            self.read_until("?>", "xml declaration")?;
+            self.expect("?>", "xml declaration")?;
+        }
+
+        let root = loop {
+            self.skip_whitespace();
+            if self.rest().is_empty() {
+                return Err(XmlError::BadDocumentStructure {
+                    message: "document has no root element".into(),
+                });
+            }
+            if self.starts_with("<!--") {
+                prolog.push(self.comment()?);
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else if self.starts_with("<?") {
+                prolog.push(self.processing_instruction()?);
+            } else if self.starts_with("<") {
+                break self.element()?;
+            } else {
+                return Err(self.syntax("text content before the root element"));
+            }
+        };
+
+        let mut epilog = Vec::new();
+        loop {
+            self.skip_whitespace();
+            if self.rest().is_empty() {
+                break;
+            }
+            if self.starts_with("<!--") {
+                epilog.push(self.comment()?);
+            } else if self.starts_with("<?") {
+                epilog.push(self.processing_instruction()?);
+            } else {
+                return Err(XmlError::BadDocumentStructure {
+                    message: "content after the root element".into(),
+                });
+            }
+        }
+
+        Ok(Document {
+            declaration,
+            prolog,
+            root,
+            epilog,
+        })
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        self.expect("<!DOCTYPE", "doctype")?;
+        let mut depth = 0usize;
+        loop {
+            match self.bump() {
+                Some('[') => depth += 1,
+                Some(']') => depth = depth.saturating_sub(1),
+                Some('>') if depth == 0 => return Ok(()),
+                Some(_) => {}
+                None => return Err(XmlError::UnexpectedEof { context: "doctype" }),
+            }
+        }
+    }
+
+    fn comment(&mut self) -> Result<Node, XmlError> {
+        self.expect("<!--", "comment")?;
+        let body = self.read_until("-->", "comment")?.to_string();
+        self.expect("-->", "comment")?;
+        Ok(Node::Comment(body))
+    }
+
+    fn processing_instruction(&mut self) -> Result<Node, XmlError> {
+        self.expect("<?", "processing instruction")?;
+        let target = self.read_name()?;
+        let body = self
+            .read_until("?>", "processing instruction")?
+            .trim_start()
+            .to_string();
+        self.expect("?>", "processing instruction")?;
+        Ok(Node::ProcessingInstruction { target, data: body })
+    }
+
+    fn element(&mut self) -> Result<Element, XmlError> {
+        self.expect("<", "element open tag")?;
+        let name = self.read_name()?;
+        let mut element = Element::new(name);
+
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some('/') => {
+                    self.bump();
+                    self.expect(">", "self-closing tag")?;
+                    return Ok(element);
+                }
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    let (attr, value) = self.attribute()?;
+                    if element.attr(&attr).is_some() {
+                        return Err(self.syntax(format!("duplicate attribute {attr:?}")));
+                    }
+                    element.attributes.push((attr, value));
+                }
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        context: "element open tag",
+                    })
+                }
+            }
+        }
+
+        self.children_into(&mut element)?;
+        Ok(element)
+    }
+
+    fn attribute(&mut self) -> Result<(String, String), XmlError> {
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        self.expect("=", "attribute")?;
+        self.skip_whitespace();
+        let quote = match self.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(_) => return Err(self.syntax("attribute value must be quoted")),
+            None => {
+                return Err(XmlError::UnexpectedEof {
+                    context: "attribute",
+                })
+            }
+        };
+        let raw = self
+            .read_until(if quote == '"' { "\"" } else { "'" }, "attribute value")?
+            .to_string();
+        self.bump(); // closing quote
+        Ok((name, unescape(&raw)?))
+    }
+
+    fn children_into(&mut self, parent: &mut Element) -> Result<(), XmlError> {
+        loop {
+            if self.starts_with("</") {
+                self.eat("</");
+                let close_line = self.line;
+                let close_column = self.column;
+                let name = self.read_name()?;
+                self.skip_whitespace();
+                self.expect(">", "close tag")?;
+                if name != parent.name {
+                    return Err(XmlError::MismatchedTag {
+                        expected: parent.name.clone(),
+                        found: name,
+                        line: close_line,
+                        column: close_column,
+                    });
+                }
+                prune_indentation(parent);
+                return Ok(());
+            }
+            if self.rest().is_empty() {
+                return Err(XmlError::UnexpectedEof {
+                    context: "element content",
+                });
+            }
+            if self.starts_with("<!--") {
+                let comment = self.comment()?;
+                parent.children.push(comment);
+            } else if self.starts_with("<![CDATA[") {
+                self.eat("<![CDATA[");
+                let body = self.read_until("]]>", "cdata section")?.to_string();
+                self.expect("]]>", "cdata section")?;
+                parent.children.push(Node::CData(body));
+            } else if self.starts_with("<?") {
+                let pi = self.processing_instruction()?;
+                parent.children.push(pi);
+            } else if self.starts_with("<") {
+                let child = self.element()?;
+                parent.children.push(Node::Element(child));
+            } else {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == '<' {
+                        break;
+                    }
+                    self.bump();
+                }
+                let raw = &self.input[start..self.pos];
+                let text = unescape(raw)?;
+                if !text.is_empty() {
+                    parent.children.push(Node::Text(text));
+                }
+            }
+        }
+    }
+}
+
+/// Drops whitespace-only text nodes from elements that also contain
+/// element children (indentation produced by pretty printers).
+fn prune_indentation(parent: &mut Element) {
+    let has_elements = parent
+        .children
+        .iter()
+        .any(|c| matches!(c, Node::Element(_)));
+    if has_elements {
+        parent.children.retain(|c| match c {
+            Node::Text(t) => !t.chars().all(char::is_whitespace),
+            _ => true,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Document;
+    use crate::writer::WriteOptions;
+
+    #[test]
+    fn parses_minimal_document() {
+        let doc = parse_document("<root/>").unwrap();
+        assert!(!doc.declaration);
+        assert_eq!(doc.root.name, "root");
+        assert!(doc.root.children.is_empty());
+    }
+
+    #[test]
+    fn parses_declaration_and_doctype() {
+        let doc =
+            parse_document("<?xml version=\"1.0\"?>\n<!DOCTYPE html [ <!ENTITY x \"y\"> ]>\n<r/>")
+                .unwrap();
+        assert!(doc.declaration);
+        assert_eq!(doc.root.name, "r");
+    }
+
+    #[test]
+    fn parses_attributes_both_quote_styles() {
+        let doc = parse_document("<e a=\"1\" b='two' c=\"a &amp; b\"/>").unwrap();
+        assert_eq!(doc.root.attr("a"), Some("1"));
+        assert_eq!(doc.root.attr("b"), Some("two"));
+        assert_eq!(doc.root.attr("c"), Some("a & b"));
+    }
+
+    #[test]
+    fn rejects_duplicate_attributes() {
+        assert!(parse_document("<e a=\"1\" a=\"2\"/>").is_err());
+    }
+
+    #[test]
+    fn parses_nested_elements_and_text() {
+        let doc = parse_document("<a><b>one</b><b>two</b><c/></a>").unwrap();
+        let texts: Vec<_> = doc.root.children_named("b").map(|b| b.text()).collect();
+        assert_eq!(texts, vec!["one", "two"]);
+        assert!(doc.root.child("c").is_some());
+    }
+
+    #[test]
+    fn entity_references_in_text() {
+        let doc = parse_document("<t>1 &lt; 2 &amp;&amp; 3 &gt; 2 &#x41;</t>").unwrap();
+        assert_eq!(doc.root.text(), "1 < 2 && 3 > 2 A");
+    }
+
+    #[test]
+    fn cdata_preserves_raw_markup() {
+        let doc = parse_document("<t><![CDATA[<not-a-tag> & raw]]></t>").unwrap();
+        assert_eq!(doc.root.text(), "<not-a-tag> & raw");
+    }
+
+    #[test]
+    fn comments_inside_elements_are_kept() {
+        let doc = parse_document("<t><!-- note --><x/></t>").unwrap();
+        assert!(matches!(doc.root.children[0], Node::Comment(ref c) if c == " note "));
+    }
+
+    #[test]
+    fn processing_instructions() {
+        let doc = parse_document("<?pi some data?><r><?inner?></r>").unwrap();
+        assert_eq!(doc.prolog.len(), 1);
+        assert!(matches!(
+            &doc.prolog[0],
+            Node::ProcessingInstruction { target, data } if target == "pi" && data == "some data"
+        ));
+        assert!(matches!(
+            &doc.root.children[0],
+            Node::ProcessingInstruction { target, .. } if target == "inner"
+        ));
+    }
+
+    #[test]
+    fn mismatched_close_tag_reports_both_names() {
+        let err = parse_document("<a><b></a></b>").unwrap_err();
+        match err {
+            XmlError::MismatchedTag {
+                expected, found, ..
+            } => {
+                assert_eq!(expected, "b");
+                assert_eq!(found, "a");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_input_reports_eof() {
+        assert!(matches!(
+            parse_document("<a><b>").unwrap_err(),
+            XmlError::UnexpectedEof { .. }
+        ));
+        assert!(matches!(
+            parse_document("<a x=").unwrap_err(),
+            XmlError::UnexpectedEof { .. }
+        ));
+        assert!(matches!(
+            parse_document("<a><!-- unclosed").unwrap_err(),
+            XmlError::UnexpectedEof { .. }
+        ));
+    }
+
+    #[test]
+    fn content_after_root_is_an_error() {
+        assert!(matches!(
+            parse_document("<a/><b/>").unwrap_err(),
+            XmlError::BadDocumentStructure { .. }
+        ));
+        assert!(parse_document("<a/> <!-- ok -->").is_ok());
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(
+            parse_document("").unwrap_err(),
+            XmlError::BadDocumentStructure { .. }
+        ));
+        assert!(matches!(
+            parse_document("   \n  ").unwrap_err(),
+            XmlError::BadDocumentStructure { .. }
+        ));
+    }
+
+    #[test]
+    fn error_positions_are_one_based() {
+        let err = parse_document("<a>\n  <1bad/>\n</a>").unwrap_err();
+        match err {
+            XmlError::Syntax { line, column, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, 4);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bom_is_skipped() {
+        let doc = parse_document("\u{feff}<r/>").unwrap();
+        assert_eq!(doc.root.name, "r");
+    }
+
+    #[test]
+    fn unicode_names_and_text() {
+        let doc = parse_document("<題目 科目=\"網路\">中文內容</題目>").unwrap();
+        assert_eq!(doc.root.name, "題目");
+        assert_eq!(doc.root.attr("科目"), Some("網路"));
+        assert_eq!(doc.root.text(), "中文內容");
+    }
+
+    #[test]
+    fn pretty_round_trip_is_lossless_for_structured_documents() {
+        let original = Document::new(
+            crate::Element::new("manifest")
+                .with_attr("identifier", "M1")
+                .with_child(
+                    crate::Element::new("metadata")
+                        .with_child(crate::Element::new("schema").with_text("ADL SCORM")),
+                )
+                .with_child(crate::Element::new("resources")),
+        );
+        for options in [WriteOptions::pretty(), WriteOptions::compact()] {
+            let text = original.to_xml_with(&options);
+            let parsed = parse_document(&text).unwrap();
+            assert_eq!(parsed, original, "options {options:?}");
+        }
+    }
+
+    #[test]
+    fn whitespace_only_text_kept_in_leaf_elements() {
+        let doc = parse_document("<t>   </t>").unwrap();
+        assert_eq!(doc.root.text(), "   ");
+    }
+
+    #[test]
+    fn indentation_between_elements_is_pruned() {
+        let doc = parse_document("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(doc.root.children.len(), 2);
+    }
+}

@@ -1,0 +1,304 @@
+//! Serializing a [`Document`] back to XML text.
+
+use crate::document::{Document, Element, Node};
+use crate::escape::{escape_attr, escape_text};
+
+/// Controls how a document is serialized.
+///
+/// # Examples
+///
+/// ```
+/// use mine_xml::{Element, WriteOptions, write_document, Document};
+///
+/// let doc = Document::new(Element::new("a").with_child(Element::new("b")));
+/// let compact = write_document(&doc, &WriteOptions::compact());
+/// assert!(compact.contains("<a><b/></a>"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// Indent nested elements; `None` writes everything on one line.
+    pub indent: Option<usize>,
+    /// Collapse empty elements to `<name/>` instead of `<name></name>`.
+    pub self_close_empty: bool,
+}
+
+impl WriteOptions {
+    /// Pretty output: two-space indent, self-closing empties.
+    #[must_use]
+    pub fn pretty() -> Self {
+        Self {
+            indent: Some(2),
+            self_close_empty: true,
+        }
+    }
+
+    /// Compact single-line output.
+    #[must_use]
+    pub fn compact() -> Self {
+        Self {
+            indent: None,
+            self_close_empty: true,
+        }
+    }
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        Self::pretty()
+    }
+}
+
+/// Serializes a document into any [`std::io::Write`] (a `&mut` reference
+/// works too, per the standard blanket impl).
+///
+/// # Errors
+///
+/// Returns [`std::io::Error`] from the underlying writer.
+pub fn write_document_to<W: std::io::Write>(
+    doc: &Document,
+    options: &WriteOptions,
+    mut writer: W,
+) -> std::io::Result<()> {
+    // The tree writer builds bounded chunks; reuse it and stream the
+    // result. Documents the workspace produces are small (packages are
+    // per-problem files), so a single buffer is the simplest correct
+    // strategy.
+    writer.write_all(write_document(doc, options).as_bytes())
+}
+
+/// Serializes a document to a string.
+#[must_use]
+pub fn write_document(doc: &Document, options: &WriteOptions) -> String {
+    let mut out = String::new();
+    if doc.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        newline(&mut out, options);
+    }
+    for node in &doc.prolog {
+        write_misc_node(&mut out, node, options);
+    }
+    write_element(&mut out, &doc.root, 0, options);
+    for node in &doc.epilog {
+        newline(&mut out, options);
+        write_misc_node(&mut out, node, options);
+    }
+    out
+}
+
+fn newline(out: &mut String, options: &WriteOptions) {
+    if options.indent.is_some() {
+        out.push('\n');
+    }
+}
+
+fn pad(out: &mut String, depth: usize, options: &WriteOptions) {
+    if let Some(width) = options.indent {
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_misc_node(out: &mut String, node: &Node, options: &WriteOptions) {
+    match node {
+        Node::Comment(text) => {
+            out.push_str("<!--");
+            out.push_str(text);
+            out.push_str("-->");
+        }
+        Node::ProcessingInstruction { target, data } => {
+            out.push_str("<?");
+            out.push_str(target);
+            if !data.is_empty() {
+                out.push(' ');
+                out.push_str(data);
+            }
+            out.push_str("?>");
+        }
+        // Text outside the root is not legal XML; drop silently (the
+        // parser never produces it).
+        Node::Text(_) | Node::CData(_) | Node::Element(_) => {}
+    }
+    newline(out, options);
+}
+
+fn write_element(out: &mut String, el: &Element, depth: usize, options: &WriteOptions) {
+    pad(out, depth, options);
+    out.push('<');
+    out.push_str(&el.name);
+    for (name, value) in &el.attributes {
+        out.push(' ');
+        out.push_str(name);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(value));
+        out.push('"');
+    }
+    if el.children.is_empty() {
+        if options.self_close_empty {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+            out.push_str("</");
+            out.push_str(&el.name);
+            out.push('>');
+        }
+        return;
+    }
+
+    out.push('>');
+
+    // A "simple" element (only text children) is written inline so text
+    // round-trips exactly even in pretty mode.
+    let simple = el
+        .children
+        .iter()
+        .all(|c| matches!(c, Node::Text(_) | Node::CData(_)));
+    if simple {
+        for child in &el.children {
+            write_inline_text(out, child);
+        }
+    } else {
+        for child in &el.children {
+            match child {
+                Node::Element(nested) => {
+                    newline(out, options);
+                    write_element(out, nested, depth + 1, options);
+                }
+                Node::Comment(text) => {
+                    newline(out, options);
+                    pad(out, depth + 1, options);
+                    out.push_str("<!--");
+                    out.push_str(text);
+                    out.push_str("-->");
+                }
+                Node::ProcessingInstruction { target, data } => {
+                    newline(out, options);
+                    pad(out, depth + 1, options);
+                    out.push_str("<?");
+                    out.push_str(target);
+                    if !data.is_empty() {
+                        out.push(' ');
+                        out.push_str(data);
+                    }
+                    out.push_str("?>");
+                }
+                text_node => write_inline_text(out, text_node),
+            }
+        }
+        newline(out, options);
+        pad(out, depth, options);
+    }
+    out.push_str("</");
+    out.push_str(&el.name);
+    out.push('>');
+}
+
+fn write_inline_text(out: &mut String, node: &Node) {
+    match node {
+        Node::Text(text) => out.push_str(&escape_text(text)),
+        Node::CData(text) => {
+            out.push_str("<![CDATA[");
+            out.push_str(text);
+            out.push_str("]]>");
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_output_indents_nested_elements() {
+        let doc = Document::new(
+            Element::new("root")
+                .with_child(Element::new("leaf").with_text("x"))
+                .with_child(Element::new("empty")),
+        );
+        let text = doc.to_xml_string();
+        assert_eq!(
+            text,
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<root>\n  <leaf>x</leaf>\n  <empty/>\n</root>"
+        );
+    }
+
+    #[test]
+    fn compact_output_single_line() {
+        let doc = Document::new(Element::new("a").with_child(Element::new("b").with_text("t")));
+        let text = doc.to_xml_with(&WriteOptions::compact());
+        assert_eq!(
+            text,
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a><b>t</b></a>"
+        );
+    }
+
+    #[test]
+    fn attributes_are_escaped() {
+        let el = Element::new("e").with_attr("msg", "a<b & \"c\"");
+        assert_eq!(
+            el.to_xml_string(),
+            "<e msg=\"a&lt;b &amp; &quot;c&quot;\"/>"
+        );
+    }
+
+    #[test]
+    fn text_is_escaped_cdata_is_not() {
+        let el = Element::new("e")
+            .with_text("1 < 2")
+            .with_child(Node::CData("3 < 4".into()));
+        assert_eq!(el.to_xml_string(), "<e>1 &lt; 2<![CDATA[3 < 4]]></e>");
+    }
+
+    #[test]
+    fn comments_and_pis_in_prolog() {
+        let mut doc = Document::new(Element::new("r"));
+        doc.prolog.push(Node::Comment(" header ".into()));
+        doc.prolog.push(Node::ProcessingInstruction {
+            target: "xml-stylesheet".into(),
+            data: "href=\"s.xsl\"".into(),
+        });
+        let text = doc.to_xml_string();
+        assert!(text.contains("<!-- header -->"));
+        assert!(text.contains("<?xml-stylesheet href=\"s.xsl\"?>"));
+        assert!(text.ends_with("<r/>"));
+    }
+
+    #[test]
+    fn no_self_close_option() {
+        let options = WriteOptions {
+            indent: None,
+            self_close_empty: false,
+        };
+        let doc = Document {
+            declaration: false,
+            prolog: vec![],
+            root: Element::new("e"),
+            epilog: vec![],
+        };
+        assert_eq!(doc.to_xml_with(&options), "<e></e>");
+    }
+
+    #[test]
+    fn write_document_to_streams_into_any_writer() {
+        let doc = Document::new(Element::new("a").with_child(Element::new("b")));
+        let mut buffer = Vec::new();
+        write_document_to(&doc, &WriteOptions::compact(), &mut buffer).unwrap();
+        assert_eq!(
+            String::from_utf8(buffer).unwrap(),
+            doc.to_xml_with(&WriteOptions::compact())
+        );
+    }
+
+    #[test]
+    fn mixed_content_keeps_text_inline() {
+        let el = Element::new("p")
+            .with_text("before ")
+            .with_child(Element::new("b").with_text("bold"))
+            .with_text(" after");
+        let text = el.to_xml_string();
+        assert!(text.contains("before "));
+        assert!(text.contains("<b>bold</b>"));
+        assert!(text.contains(" after"));
+    }
+}

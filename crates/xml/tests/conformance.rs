@@ -1,0 +1,121 @@
+//! Conformance corpus: tricky-but-legal documents must parse to the
+//! expected shapes, and a catalogue of malformed documents must be
+//! rejected without panicking.
+
+use mine_xml::{parse_document, Node, XmlError};
+
+#[test]
+fn legal_corpus_parses() {
+    // (input, root name, direct element children, concatenated text)
+    let corpus: &[(&str, &str, usize, &str)] = &[
+        ("<a/>", "a", 0, ""),
+        ("<a></a>", "a", 0, ""),
+        ("<a>text</a>", "a", 0, "text"),
+        ("<a ><b />\t</a >", "a", 1, ""),
+        ("<a\nx='1'\ty=\"2\"\r/>", "a", 0, ""),
+        ("<a><![CDATA[]]></a>", "a", 0, ""),
+        ("<a><![CDATA[ ]] ]>]]></a>", "a", 0, " ]] ]>"),
+        ("<a>&amp;&lt;&gt;&quot;&apos;</a>", "a", 0, "&<>\"'"),
+        ("<a>&#x10FFFF;</a>", "a", 0, "\u{10FFFF}"),
+        ("<a>&#9;</a>", "a", 0, "\t"),
+        ("<_underscore/>", "_underscore", 0, ""),
+        ("<ns:tag xmlns:ns='urn:x'/>", "ns:tag", 0, ""),
+        ("<a.b-c1/>", "a.b-c1", 0, ""),
+        (
+            "<?xml version='1.0' encoding='UTF-8' standalone='yes'?><a/>",
+            "a",
+            0,
+            "",
+        ),
+        ("<!DOCTYPE a><a/>", "a", 0, ""),
+        ("<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a/>", "a", 0, ""),
+        ("<a><!-- <not><a><tag> --></a>", "a", 0, ""),
+        ("<a><b/><!-- x --><b/></a>", "a", 2, ""),
+        ("<a><?php echo ?><b/></a>", "a", 1, ""),
+        // Deep nesting (100 levels).
+        (
+            &format!("{}{}", "<d>".repeat(100), "</d>".repeat(100)),
+            "d",
+            1,
+            "",
+        ),
+        // Long text content.
+        (
+            &format!("<t>{}</t>", "x".repeat(100_000)),
+            "t",
+            0,
+            &"x".repeat(100_000),
+        ),
+    ];
+    for (input, root, children, text) in corpus {
+        let doc = parse_document(input)
+            .unwrap_or_else(|err| panic!("corpus entry failed: {input:.60} → {err}"));
+        assert_eq!(&doc.root.name, root, "{input:.60}");
+        assert_eq!(doc.root.child_elements().count(), *children, "{input:.60}");
+        assert_eq!(&doc.root.text(), text, "{input:.60}");
+    }
+}
+
+#[test]
+fn malformed_corpus_is_rejected() {
+    let corpus: &[&str] = &[
+        "",
+        "   ",
+        "just text",
+        "<",
+        "<>",
+        "<a",
+        "<a b></a>",
+        "<a b=></a>",
+        "<a b=1/>",
+        "<a 'b'='c'/>",
+        "<a><b></b>",
+        "<a></b>",
+        "<a></a></a>",
+        "<a/><b/>",
+        "<a/>trailing",
+        "<a>&unknown;</a>",
+        "<a>&#xFFFFFF;</a>",
+        "<a>&#xD800;</a>",
+        "<a>&amp</a>",
+        "<a><!-- unterminated</a>",
+        "<a><![CDATA[unterminated</a>",
+        "<a><?pi unterminated</a>",
+        "<1digit/>",
+        "<a a='1' a='2'/>",
+        "<!DOCTYPE unterminated",
+        "<?xml version='1.0'",
+    ];
+    for input in corpus {
+        assert!(parse_document(input).is_err(), "should reject: {input:?}");
+    }
+}
+
+#[test]
+fn error_variants_are_informative() {
+    match parse_document("<a><b></c></b></a>").unwrap_err() {
+        XmlError::MismatchedTag {
+            expected, found, ..
+        } => {
+            assert_eq!(expected, "b");
+            assert_eq!(found, "c");
+        }
+        other => panic!("expected mismatched tag, got {other}"),
+    }
+    match parse_document("<a>&nbsp;</a>").unwrap_err() {
+        XmlError::UnknownEntity { entity } => assert_eq!(entity, "nbsp"),
+        other => panic!("expected unknown entity, got {other}"),
+    }
+}
+
+#[test]
+fn comments_and_structure_survive_round_trips() {
+    let input = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!-- header -->\n<r a=\"1\">\n  <x>one</x>\n  <y/>\n</r>\n<!-- footer -->";
+    let doc = parse_document(input).unwrap();
+    assert_eq!(doc.prolog.len(), 1);
+    assert_eq!(doc.epilog.len(), 1);
+    assert!(matches!(&doc.prolog[0], Node::Comment(c) if c == " header "));
+    let text = doc.to_xml_string();
+    let reparsed = parse_document(&text).unwrap();
+    assert_eq!(reparsed, doc);
+}

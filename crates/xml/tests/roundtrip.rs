@@ -1,0 +1,114 @@
+//! Property tests: arbitrary structured documents survive
+//! write → parse → write cycles in both pretty and compact modes.
+
+use mine_xml::{parse_document, Document, Element, Node, WriteOptions};
+use proptest::prelude::*;
+
+/// Generates XML names: letter/underscore head, limited tail alphabet.
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9._-]{0,12}".prop_filter("avoid reserved xml prefix", |s| {
+        !s.to_ascii_lowercase().starts_with("xml")
+    })
+}
+
+/// Text content including characters that require escaping.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('Z'),
+            Just('中'),
+            Just('&'),
+            Just('<'),
+            Just('>'),
+            Just('"'),
+            Just('\''),
+            Just(' '),
+            Just('9'),
+        ],
+        1..20,
+    )
+    .prop_map(|chars| chars.into_iter().collect::<String>())
+    // Leaf whitespace-only text is preserved, but text that is pure
+    // whitespace makes equality with pruned indentation ambiguous when the
+    // element also has children; keep at least one non-space char.
+    .prop_filter("not whitespace-only", |s: &String| {
+        !s.chars().all(char::is_whitespace)
+    })
+}
+
+fn arb_attrs() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec((arb_name(), arb_text()), 0..4).prop_map(|mut attrs| {
+        attrs.sort();
+        attrs.dedup_by(|a, b| a.0 == b.0);
+        attrs
+    })
+}
+
+/// Recursively builds elements. Children are either all-text (leaf) or
+/// all-element (structured), matching the writer's lossless subset.
+fn arb_element() -> impl Strategy<Value = Element> {
+    let leaf = (arb_name(), arb_attrs(), proptest::option::of(arb_text())).prop_map(
+        |(name, attributes, text)| {
+            let mut el = Element::new(name);
+            el.attributes = attributes;
+            if let Some(text) = text {
+                el.children.push(Node::Text(text));
+            }
+            el
+        },
+    );
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            arb_name(),
+            arb_attrs(),
+            proptest::collection::vec(inner, 1..4),
+        )
+            .prop_map(|(name, attributes, children)| {
+                let mut el = Element::new(name);
+                el.attributes = attributes;
+                el.children = children.into_iter().map(Node::Element).collect();
+                el
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pretty_round_trip(root in arb_element()) {
+        let doc = Document::new(root);
+        let text = doc.to_xml_with(&WriteOptions::pretty());
+        let parsed = parse_document(&text).unwrap();
+        prop_assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn compact_round_trip(root in arb_element()) {
+        let doc = Document::new(root);
+        let text = doc.to_xml_with(&WriteOptions::compact());
+        let parsed = parse_document(&text).unwrap();
+        prop_assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn double_write_is_stable(root in arb_element()) {
+        let doc = Document::new(root);
+        let once = doc.to_xml_string();
+        let reparsed = parse_document(&once).unwrap();
+        let twice = reparsed.to_xml_string();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn escape_unescape_identity(text in "[ -~\u{a0}-\u{2ff}]{0,64}") {
+        let escaped = mine_xml::escape::escape_attr(&text);
+        prop_assert_eq!(mine_xml::escape::unescape(&escaped).unwrap(), text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(text in "[<>&a-z \"'=/!?\\[\\]-]{0,64}") {
+        let _ = parse_document(&text);
+    }
+}

@@ -1,0 +1,125 @@
+//! The §6 future-work extension in action: calibrate an item pool, run
+//! computerized-adaptive tests against simulated students, compare
+//! max-information selection with a random baseline, and emit learner
+//! feedback.
+//!
+//! ```bash
+//! cargo run --example adaptive_testing
+//! ```
+
+use mine_assessment::adaptive::{
+    generate_feedback, AdaptiveTest, ItemPool, SelectionStrategy, StopRule,
+};
+use mine_assessment::core::{CognitionLevel, OptionKey, StudentId};
+use mine_assessment::itembank::{ChoiceOption, Problem};
+use mine_assessment::simulator::{CohortSpec, ItemParams};
+use rand::Rng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A calibrated bank: 60 choice items laddered across difficulty.
+    let mut pool = ItemPool::new();
+    let mut problems = Vec::new();
+    for i in 0..60 {
+        let b = (i as f64 / 59.0) * 5.0 - 2.5;
+        let id: mine_assessment::core::ProblemId = format!("item{i:02}").parse()?;
+        pool.add(id.clone(), ItemParams::multiple_choice(1.4, b, 4));
+        problems.push(
+            Problem::multiple_choice(
+                id.as_str(),
+                format!("Calibrated item {i} (b = {b:.2})"),
+                OptionKey::first(4).map(|k| ChoiceOption::new(k, format!("{k}"))),
+                OptionKey::A,
+            )?
+            .with_subject(if i % 2 == 0 { "algorithms" } else { "systems" })
+            .with_cognition_level(if i % 3 == 0 {
+                CognitionLevel::Knowledge
+            } else {
+                CognitionLevel::Application
+            }),
+        );
+    }
+
+    // 2. Adaptive sittings for a spread of simulated students.
+    let cohort = CohortSpec::new(6).ability(0.0, 1.2).seed(11).generate();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    println!("student   true θ   est. θ   SE     items");
+    for student in &cohort {
+        let mut test = AdaptiveTest::new(pool.clone(), StopRule::default());
+        while let Some((item, params)) = test.next_item() {
+            let correct = rng.gen_bool(params.p_correct(student.ability));
+            test.record(item, correct)?;
+        }
+        let estimate = test.estimate();
+        println!(
+            "{:<9} {:+.2}    {:+.2}    {:.2}   {}",
+            student.id.as_str(),
+            student.ability,
+            estimate.theta,
+            estimate.se,
+            test.administered().len(),
+        );
+    }
+
+    // 3. Ablation: adaptive vs. random selection at a fixed 12-item
+    //    budget, averaged over a cohort.
+    let budget = StopRule {
+        min_items: 12,
+        max_items: 12,
+        se_target: 0.0,
+    };
+    let eval_cohort = CohortSpec::new(40).seed(5).generate();
+    let mut adaptive_err = 0.0;
+    let mut random_err = 0.0;
+    for (i, student) in eval_cohort.iter().enumerate() {
+        for (strategy, err) in [
+            (SelectionStrategy::MaxInformation, &mut adaptive_err),
+            (
+                SelectionStrategy::Random { seed: i as u64 },
+                &mut random_err,
+            ),
+        ] {
+            let mut test = AdaptiveTest::with_strategy(pool.clone(), budget, strategy);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + i as u64);
+            while let Some((item, params)) = test.next_item() {
+                let correct = rng.gen_bool(params.p_correct(student.ability));
+                test.record(item, correct)?;
+            }
+            *err += (test.estimate().theta - student.ability).powi(2);
+        }
+    }
+    println!(
+        "\n12-item budget RMSE: max-information {:.3} vs random {:.3}",
+        (adaptive_err / eval_cohort.len() as f64).sqrt(),
+        (random_err / eval_cohort.len() as f64).sqrt(),
+    );
+
+    // 4. Learner feedback from a fixed-form sitting.
+    let student: StudentId = "alice".parse()?;
+    let responses: Vec<mine_assessment::core::ItemResponse> = problems
+        .iter()
+        .take(20)
+        .enumerate()
+        .map(|(i, p)| {
+            // alice is strong on algorithms, weak on systems.
+            let correct = p.subject().as_str() == "algorithms" || i % 4 == 0;
+            if correct {
+                mine_assessment::core::ItemResponse::correct(
+                    p.id().clone(),
+                    mine_assessment::core::Answer::Choice(OptionKey::A),
+                    1.0,
+                )
+            } else {
+                mine_assessment::core::ItemResponse::incorrect(
+                    p.id().clone(),
+                    mine_assessment::core::Answer::Choice(OptionKey::B),
+                    1.0,
+                )
+            }
+        })
+        .collect();
+    let record = mine_assessment::core::StudentRecord::new(student, responses);
+    let feedback = generate_feedback(&record, &problems, &pool);
+    println!("\n{}", feedback.render());
+    Ok(())
+}

@@ -1,0 +1,145 @@
+//! The §5 authoring flows behind Figures 3–5, driven through the API:
+//! problem authoring, template layout, the exam group service, problem
+//! search, and SCORM package exchange with an external repository.
+//!
+//! ```bash
+//! cargo run --example authoring_walkthrough
+//! ```
+
+use mine_assessment::authoring::{AuthoringSystem, ExternalRepository};
+use mine_assessment::core::{CognitionLevel, OptionKey};
+use mine_assessment::itembank::template::SlotContent;
+use mine_assessment::itembank::{
+    ChoiceOption, Exam, ExamEntry, GroupStyle, LayoutSlot, Position, PresentationGroup, Problem,
+    Query, Template,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = AuthoringSystem::new();
+
+    // --- Figure 3: choice problem authoring -------------------------
+    let choice = Problem::multiple_choice(
+        "net-q1",
+        "Which protocol provides reliable, ordered delivery?",
+        [
+            ChoiceOption::new(OptionKey::A, "TCP"),
+            ChoiceOption::new(OptionKey::B, "UDP"),
+            ChoiceOption::new(OptionKey::C, "ICMP"),
+            ChoiceOption::new(OptionKey::D, "ARP"),
+        ],
+        OptionKey::A,
+    )?
+    .with_subject("transport")
+    .with_cognition_level(CognitionLevel::Knowledge);
+    system.author_problem("hung", choice)?;
+    system.author_problem(
+        "hung",
+        Problem::true_false("net-q2", "UDP retransmits lost datagrams.", false)?
+            .with_subject("transport")
+            .with_cognition_level(CognitionLevel::Comprehension),
+    )?;
+    system.author_problem(
+        "lin",
+        Problem::completion(
+            "net-q3",
+            "The three-way handshake sends SYN, ___, ACK.",
+            vec!["SYN-ACK".to_string()],
+        )?
+        .with_subject("transport")
+        .with_cognition_level(CognitionLevel::Application),
+    )?;
+    println!("authored {} problems", system.repository().problem_count());
+
+    // --- Figure 4: template layout, moving items --------------------
+    let mut template = Template::new("picture-left".parse()?, "Picture left, question right");
+    template.add_slot(LayoutSlot::new(
+        SlotContent::Picture {
+            resource: "images/tcp-handshake.png".into(),
+        },
+        Position::new(0, 0),
+    ));
+    let question_slot = template.add_slot(LayoutSlot::new(
+        SlotContent::QuestionText,
+        Position::new(300, 0),
+    ));
+    template.add_slot(LayoutSlot::new(
+        SlotContent::OptionList,
+        Position::new(300, 120),
+    ));
+    // "We set the presentation style by moving each item."
+    template.move_slot(question_slot, Position::new(320, 10));
+    println!("{}", template.render_preview());
+    system.add_template("hung", template)?;
+    system.duplicate_template(
+        "hung",
+        &"picture-left".parse()?,
+        "picture-left-v2".parse()?,
+        "Copy for the final exam",
+    )?;
+
+    // --- Figure 5: exam authoring with the group service ------------
+    let exam = Exam::builder("net-midterm")?
+        .title("Networking midterm")
+        .group(
+            PresentationGroup::new("objective".parse()?).with_style(GroupStyle {
+                columns: 2,
+                shuffle_within: true,
+                page_break: false,
+                heading: "Part I — objective questions".into(),
+            }),
+        )
+        .entry_with(ExamEntry::new("net-q1".parse()?).in_group("objective".parse()?))
+        .entry_with(ExamEntry::new("net-q2".parse()?).in_group("objective".parse()?))
+        .entry_with(ExamEntry::new("net-q3".parse()?).worth(2.0))
+        .test_time(std::time::Duration::from_secs(900))
+        .build()?;
+    system.author_exam("lin", exam)?;
+
+    // --- Problem search ----------------------------------------------
+    let hits = system.search_problems(&Query::builder().text("handshake").build());
+    println!("search 'handshake' → {} hit(s)", hits.len());
+    let similar = system.similar_problems(&"net-q1".parse()?, 2);
+    println!(
+        "problems similar to net-q1: {:?}",
+        similar
+            .iter()
+            .map(|h| h.problem.as_str())
+            .collect::<Vec<_>>()
+    );
+
+    // --- SCORM output service + external repository -----------------
+    let external = ExternalRepository::new();
+    system.publish(
+        "lin",
+        &"net-midterm".parse()?,
+        &external,
+        "net-midterm-2004",
+    )?;
+    println!("published packages: {:?}", external.list());
+
+    // Another instructor's system reuses the package.
+    let colleague = AuthoringSystem::new();
+    let package = external.fetch("net-midterm-2004")?;
+    println!(
+        "fetched package {} ({} files, {} bytes)",
+        package.manifest.identifier,
+        package.files.len(),
+        package.total_size(),
+    );
+    let report = colleague.import_package("chen", &package)?;
+    println!(
+        "imported {} problems and exam {:?}",
+        report.imported_problems.len(),
+        report.imported_exam.as_ref().map(|e| e.as_str()),
+    );
+
+    // --- audit trail -------------------------------------------------
+    println!("\naudit log:");
+    for entry in system.audit().entries() {
+        println!(
+            "  #{} {} {} {}",
+            entry.seq, entry.actor, entry.action, entry.target
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,133 @@
+//! A full classroom study: engineer the paper's §4.1.2 pathologies into
+//! a simulated exam and watch each rule fire, then run the whole-test
+//! analysis (figures, two-way table, paint view) and the pre/post
+//! Instructional Sensitivity Index.
+//!
+//! ```bash
+//! cargo run --example classroom_analysis
+//! ```
+
+use mine_assessment::analysis::figures::render_ascii;
+use mine_assessment::analysis::isi::instructional_sensitivity;
+use mine_assessment::analysis::{render_signal_report, AnalysisConfig, ExamAnalysis};
+use mine_assessment::core::{CognitionLevel, OptionKey};
+use mine_assessment::itembank::{ChoiceOption, Exam, Problem};
+use mine_assessment::simulator::{CohortSpec, DistractorWeights, ItemParams, Simulation};
+
+fn choice(id: &str, subject: &str, level: CognitionLevel) -> Problem {
+    Problem::multiple_choice(
+        id,
+        format!("({subject}) pick the right answer"),
+        OptionKey::first(5).map(|k| ChoiceOption::new(k, format!("answer {k}"))),
+        OptionKey::A,
+    )
+    .unwrap()
+    .with_subject(subject)
+    .with_cognition_level(level)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut problems = vec![
+        // healthy, discriminating question
+        choice("good", "tcp", CognitionLevel::Knowledge),
+        // Rule 1 scenario: option E never attracts anyone
+        choice("dead-distractor", "tcp", CognitionLevel::Knowledge),
+        // Rule 2 scenario: high group is lured to option B
+        choice("miskeyed", "routing", CognitionLevel::Comprehension),
+        // Rules 3/4 scenario: nobody knows it, answers are flat guesses
+        choice("untaught", "qos", CognitionLevel::Application),
+        // low discrimination → red light
+        choice("coin-flip", "routing", CognitionLevel::Comprehension),
+    ];
+    // Healthy filler questions so the score ranking (and hence the
+    // high/low split) is driven by real ability, not by the pathological
+    // items' noise.
+    for i in 0..10 {
+        problems.push(choice(
+            &format!("filler{i}"),
+            "tcp",
+            CognitionLevel::Knowledge,
+        ));
+    }
+    let mut builder = Exam::builder("clinic")?.title("Item clinic");
+    for p in &problems {
+        builder = builder.entry(p.id().clone());
+    }
+    let exam = builder.build()?;
+
+    let simulation = Simulation::new(exam.clone(), problems.clone())
+        .cohort(CohortSpec::new(44).seed(44))
+        .item_params("good".parse()?, ItemParams::multiple_choice(2.0, 0.0, 5))
+        .item_params(
+            "dead-distractor".parse()?,
+            ItemParams::multiple_choice(1.5, 0.0, 5),
+        )
+        .distractors(
+            "dead-distractor".parse()?,
+            DistractorWeights::new(vec![0.0, 1.0, 1.0, 1.0, 0.0]),
+        )
+        // "miskeyed": strong students get it wrong (negative a) and the
+        // wrong ones cluster on B.
+        .item_params("miskeyed".parse()?, ItemParams::new(0.05, 3.0, 0.15))
+        .distractors(
+            "miskeyed".parse()?,
+            DistractorWeights::new(vec![0.0, 8.0, 1.0, 1.0, 1.0]),
+        )
+        // "untaught": pure guessing, flat across all options.
+        .item_params("untaught".parse()?, ItemParams::new(0.05, 5.0, 0.2))
+        .item_params("coin-flip".parse()?, ItemParams::new(0.1, 0.0, 0.5));
+
+    let record = simulation.run()?;
+    let analysis = ExamAnalysis::analyze(&record, &problems, &AnalysisConfig::default())?;
+
+    println!("{}", render_signal_report(&analysis));
+    for question in &analysis.questions {
+        if let Some(matrix) = &question.matrix {
+            if question.findings.any() {
+                println!(
+                    "--- {} (question {}) ---",
+                    question.indices.problem, question.indices.number
+                );
+                print!("{}", matrix.render());
+                println!("statuses: {:?}\n", question.status.labels());
+            }
+        }
+    }
+
+    println!("figure: time vs. questions answered");
+    print!("{}", render_ascii(&analysis.figures.time_answered, 60, 10));
+    println!("\nfigure: score vs. mean difficulty of correct answers");
+    print!(
+        "{}",
+        render_ascii(&analysis.figures.score_difficulty, 60, 10)
+    );
+
+    println!("\ntwo-way specification table:");
+    print!("{}", analysis.two_way.render());
+    println!("paint view:");
+    print!("{}", analysis.two_way.render_paint());
+    if let Some((left, right)) = analysis.two_way.cognition_pyramid_violation() {
+        println!("pyramid violated: SUM({left}) < SUM({right})");
+    }
+    let lost = analysis
+        .two_way
+        .lost_concepts(&["tcp", "routing", "qos", "dns"]);
+    println!("lost concepts (expected dns to be missing): {lost:?}");
+
+    // Instructional Sensitivity Index: same cohort before and after
+    // teaching raised abilities by 1.2.
+    let (pre, post) = simulation.run_pre_post(CohortSpec::new(120).seed(7), 1.2)?;
+    let isi = instructional_sensitivity(&pre, &post)?;
+    println!("\nInstructional Sensitivity Index (post − pre correct rate):");
+    for q in &isi.per_question {
+        println!(
+            "  {:<16} P_pre={:.2} P_post={:.2} ISI={:+.2}",
+            q.problem.as_str(),
+            q.p_pre,
+            q.p_post,
+            q.isi
+        );
+    }
+    println!("exam-level ISI: {:+.3}", isi.exam_level);
+    Ok(())
+}

@@ -1,0 +1,142 @@
+//! A learner's sitting through the SCORM lens: launch the RTE, answer
+//! under the proctor's monitor, suspend mid-exam, resume from
+//! `cmi.suspend_data`, and finish with score/status committed to the LMS.
+//!
+//! ```bash
+//! cargo run --example scorm_rte_session
+//! ```
+
+use std::time::Duration;
+
+use mine_assessment::core::{Answer, OptionKey};
+use mine_assessment::delivery::{
+    DeliveryOptions, ExamSession, MonitorEvent, MonitorHub, RteBridge, SessionCheckpoint,
+    SnapshotPolicy,
+};
+use mine_assessment::itembank::{ChoiceOption, Exam, Problem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The exam and its problems.
+    let problems: Vec<Problem> = (0..6)
+        .map(|i| {
+            Problem::multiple_choice(
+                format!("q{i}"),
+                format!("Question {i}"),
+                OptionKey::first(4).map(|k| ChoiceOption::new(k, format!("{k}"))),
+                OptionKey::A,
+            )
+            .unwrap()
+        })
+        .collect();
+    let mut builder = Exam::builder("scorm-demo")?.title("SCORM session demo");
+    for i in 0..6 {
+        builder = builder.entry(format!("q{i}").parse()?);
+    }
+    let exam = builder.test_time(Duration::from_secs(1200)).build()?;
+
+    // Launch: LMSInitialize + monitor attach.
+    let hub = MonitorHub::new();
+    let student: mine_assessment::core::StudentId = "alice".parse()?;
+    let mut session = ExamSession::start(
+        &exam,
+        problems.clone(),
+        student.clone(),
+        DeliveryOptions::default(),
+    )?;
+    let mut monitor = hub.monitor(
+        session.id().clone(),
+        student.clone(),
+        SnapshotPolicy {
+            every_answers: 2,
+            every_elapsed: Duration::from_secs(120),
+            min_answer_time: Duration::ZERO,
+        },
+    );
+    let mut bridge = RteBridge::launch(&student, "Alice Chen")?;
+    println!("RTE state: {}", bridge.api().state());
+
+    // First half of the sitting.
+    for _ in 0..3 {
+        let problem = session.current().unwrap().clone();
+        let answer = Answer::Choice(OptionKey::A);
+        let time = Duration::from_secs(40);
+        session.answer(answer.clone(), time)?;
+        bridge.record_answer(problem.id().as_str(), &answer, true, time)?;
+        monitor.on_answer(session.elapsed());
+    }
+
+    // Suspend: checkpoint into cmi.suspend_data, LMSFinish(exit=suspend).
+    let checkpoint = session.pause()?;
+    monitor.on_pause();
+    let suspend_json = serde_json::to_string(&checkpoint)?;
+    let api = bridge.suspend(&suspend_json, session.elapsed())?;
+    println!(
+        "suspended after {} answers; suspend_data = {} bytes; total_time = {:?}",
+        checkpoint.answers.len(),
+        api.model().suspend_data.len(),
+        api.model().total_time,
+    );
+
+    // Resume: rebuild the session from the LMS-stored suspend data.
+    let restored: SessionCheckpoint = serde_json::from_str(&api.model().suspend_data)?;
+    let mut resumed = ExamSession::resume(&exam, problems, restored)?;
+    let mut model = api.model().clone();
+    model.entry = "resume".into();
+    let mut bridge = RteBridge::launch_with_model(model)?;
+    println!(
+        "resumed at question {} with {:?} elapsed",
+        resumed.answered_count() + 1,
+        resumed.elapsed(),
+    );
+
+    // Second half.
+    while let Some(problem) = resumed.current().cloned() {
+        let answer = Answer::Choice(if resumed.answered_count() % 2 == 0 {
+            OptionKey::A
+        } else {
+            OptionKey::B
+        });
+        let time = Duration::from_secs(35);
+        let correct = problem.grade(&answer)?.is_correct;
+        resumed.answer(answer.clone(), time)?;
+        bridge.record_answer(problem.id().as_str(), &answer, correct, time)?;
+        monitor.on_answer(resumed.elapsed());
+    }
+    let record = resumed.finish()?;
+    monitor.on_finish(record.attempted_count(), record.total_time);
+    let api = bridge.finish(&record)?;
+
+    println!(
+        "\nfinal: score.raw = {:?}, lesson_status = {}, total_time = {:?}, commits = {}",
+        api.model().score_raw,
+        api.model().lesson_status,
+        api.model().total_time,
+        api.commit_count(),
+    );
+    println!("\nLMS-persisted elements:");
+    for (element, value) in api.export_committed() {
+        println!("  {element} = {value}");
+    }
+
+    println!("\nproctor saw:");
+    for event in hub.drain() {
+        match event {
+            MonitorEvent::SessionStarted { student, .. } => {
+                println!("  session started by {student}");
+            }
+            MonitorEvent::Snapshot { seq, at, frame, .. } => {
+                println!("  snapshot #{seq} at {at:?} ({} bytes)", frame.len());
+            }
+            MonitorEvent::SessionPaused { .. } => println!("  session paused"),
+            MonitorEvent::Flagged { reason, at, .. } => {
+                println!("  FLAG at {at:?}: {reason}");
+            }
+            MonitorEvent::SessionFinished {
+                answered,
+                total_time,
+                ..
+            } => println!("  session finished: {answered} answered in {total_time:?}"),
+        }
+    }
+    Ok(())
+}

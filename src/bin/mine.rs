@@ -1,0 +1,288 @@
+//! `mine` — the command-line face of the assessment authoring system.
+//!
+//! A hand-rolled CLI (the sanctioned dependency set has no argument
+//! parser) exposing the §5 workflows over a JSON database file:
+//!
+//! ```text
+//! mine init <db.json>                          create an empty database
+//! mine add-tf <db> <id> <subject> <level> <true|false> <stem…>
+//! mine add-choice <db> <id> <subject> <level> <correct> <stem> <opt>…
+//! mine add-exam <db> <exam-id> <title> <problem-id>…
+//! mine list <db>                               list problems and exams
+//! mine search <db> <terms…>                    free-text search
+//! mine export-scorm <db> <exam-id> <out-dir>   write a SCORM package tree
+//! mine simulate <db> <exam-id> <class> <seed>  simulate a sitting, print the report
+//! mine tree <db> <problem-id>                  print the Figure 1 metadata tree
+//! ```
+
+use std::process::ExitCode;
+
+use mine_assessment::analysis::{render_full_report, AnalysisConfig, ExamAnalysis};
+use mine_assessment::core::{CognitionLevel, OptionKey};
+use mine_assessment::itembank::{
+    ChoiceOption, Exam, Problem, Query, Repository, RepositorySnapshot,
+};
+use mine_assessment::scorm::ContentPackage;
+use mine_assessment::simulator::{CohortSpec, Simulation};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  mine init <db.json>
+  mine add-tf <db> <id> <subject> <level A-F> <true|false> <stem...>
+  mine add-choice <db> <id> <subject> <level A-F> <correct A-Z> <stem> <option>...
+  mine add-exam <db> <exam-id> <title> <problem-id>...
+  mine list <db>
+  mine search <db> <terms>...
+  mine export-scorm <db> <exam-id> <out-dir>
+  mine simulate <db> <exam-id> <class-size> <seed>
+  mine tree <db> <problem-id>";
+
+type CliResult = Result<(), String>;
+
+/// Writes a large block to stdout, ignoring broken pipes (so
+/// `mine simulate … | head` exits cleanly).
+fn print_block(text: &str) {
+    use std::io::Write;
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn run(args: &[String]) -> CliResult {
+    let (command, rest) = args.split_first().ok_or("missing command")?;
+    match command.as_str() {
+        "init" => init(rest),
+        "add-tf" => add_tf(rest),
+        "add-choice" => add_choice(rest),
+        "add-exam" => add_exam(rest),
+        "list" => list(rest),
+        "search" => search(rest),
+        "export-scorm" => export_scorm(rest),
+        "simulate" => simulate(rest),
+        "tree" => tree(rest),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load(path: &str) -> Result<Repository, String> {
+    let snapshot =
+        RepositorySnapshot::load(path).map_err(|err| format!("loading {path}: {err}"))?;
+    snapshot
+        .restore()
+        .map_err(|err| format!("restoring {path}: {err}"))
+}
+
+fn save(repository: &Repository, path: &str) -> CliResult {
+    RepositorySnapshot::capture(repository)
+        .save(path)
+        .map_err(|err| format!("saving {path}: {err}"))
+}
+
+fn parse_level(letter: &str) -> Result<CognitionLevel, String> {
+    letter
+        .parse::<CognitionLevel>()
+        .map_err(|err| err.to_string())
+}
+
+fn init(args: &[String]) -> CliResult {
+    let [path] = args else {
+        return Err("init needs <db.json>".into());
+    };
+    save(&Repository::new(), path)?;
+    println!("created empty database at {path}");
+    Ok(())
+}
+
+fn add_tf(args: &[String]) -> CliResult {
+    let [path, id, subject, level, correct, stem @ ..] = args else {
+        return Err("add-tf needs <db> <id> <subject> <level> <true|false> <stem...>".into());
+    };
+    if stem.is_empty() {
+        return Err("add-tf needs a stem".into());
+    }
+    let correct = match correct.as_str() {
+        "true" => true,
+        "false" => false,
+        other => return Err(format!("expected true|false, got {other:?}")),
+    };
+    let repository = load(path)?;
+    let problem = Problem::true_false(id.clone(), stem.join(" "), correct)
+        .map_err(|err| err.to_string())?
+        .with_subject(subject.as_str())
+        .with_cognition_level(parse_level(level)?);
+    repository
+        .insert_problem(problem)
+        .map_err(|err| err.to_string())?;
+    save(&repository, path)?;
+    println!("added true/false problem {id}");
+    Ok(())
+}
+
+fn add_choice(args: &[String]) -> CliResult {
+    let [path, id, subject, level, correct, stem, options @ ..] = args else {
+        return Err(
+            "add-choice needs <db> <id> <subject> <level> <correct> <stem> <option>...".into(),
+        );
+    };
+    if options.len() < 2 {
+        return Err("add-choice needs at least two options".into());
+    }
+    let correct = correct
+        .parse::<OptionKey>()
+        .map_err(|err| err.to_string())?;
+    let repository = load(path)?;
+    let problem = Problem::multiple_choice(
+        id.clone(),
+        stem.clone(),
+        options
+            .iter()
+            .enumerate()
+            .map(|(i, text)| ChoiceOption::new(OptionKey::from_index(i).expect("<26"), text)),
+        correct,
+    )
+    .map_err(|err| err.to_string())?
+    .with_subject(subject.as_str())
+    .with_cognition_level(parse_level(level)?);
+    repository
+        .insert_problem(problem)
+        .map_err(|err| err.to_string())?;
+    save(&repository, path)?;
+    println!("added choice problem {id} with {} options", options.len());
+    Ok(())
+}
+
+fn add_exam(args: &[String]) -> CliResult {
+    let [path, exam_id, title, problems @ ..] = args else {
+        return Err("add-exam needs <db> <exam-id> <title> <problem-id>...".into());
+    };
+    if problems.is_empty() {
+        return Err("add-exam needs at least one problem".into());
+    }
+    let repository = load(path)?;
+    let mut builder = Exam::builder(exam_id.clone())
+        .map_err(|err| err.to_string())?
+        .title(title.clone());
+    for problem in problems {
+        builder = builder.entry(problem.parse().map_err(|err| format!("{err}"))?);
+    }
+    let exam = builder.build().map_err(|err| err.to_string())?;
+    repository
+        .insert_exam(exam)
+        .map_err(|err| err.to_string())?;
+    save(&repository, path)?;
+    println!("added exam {exam_id} with {} entries", problems.len());
+    Ok(())
+}
+
+fn list(args: &[String]) -> CliResult {
+    let [path] = args else {
+        return Err("list needs <db>".into());
+    };
+    let repository = load(path)?;
+    println!("problems ({}):", repository.problem_count());
+    for id in repository.problem_ids() {
+        let problem = repository.problem(&id).map_err(|err| err.to_string())?;
+        println!(
+            "  {:<16} {:<16} {:<14} {}",
+            id.as_str(),
+            problem.style().keyword(),
+            problem.subject().as_str(),
+            problem
+                .cognition_level()
+                .map_or("-".to_string(), |l| l.name().to_string()),
+        );
+    }
+    println!("exams ({}):", repository.exam_count());
+    for id in repository.exam_ids() {
+        let exam = repository.exam(&id).map_err(|err| err.to_string())?;
+        println!(
+            "  {:<16} \"{}\" ({} entries)",
+            id.as_str(),
+            exam.title(),
+            exam.len()
+        );
+    }
+    Ok(())
+}
+
+fn search(args: &[String]) -> CliResult {
+    let [path, terms @ ..] = args else {
+        return Err("search needs <db> <terms>...".into());
+    };
+    if terms.is_empty() {
+        return Err("search needs at least one term".into());
+    }
+    let repository = load(path)?;
+    let hits = repository.search(&Query::text(&terms.join(" ")));
+    println!("{} hit(s):", hits.len());
+    for hit in hits {
+        println!("  {:<16} score {}", hit.problem.as_str(), hit.score);
+    }
+    Ok(())
+}
+
+fn export_scorm(args: &[String]) -> CliResult {
+    let [path, exam_id, out_dir] = args else {
+        return Err("export-scorm needs <db> <exam-id> <out-dir>".into());
+    };
+    let repository = load(path)?;
+    let (exam, problems) = repository
+        .resolve_exam(&exam_id.parse().map_err(|err| format!("{err}"))?)
+        .map_err(|err| err.to_string())?;
+    let package = ContentPackage::builder(format!("PKG-{exam_id}"))
+        .exam(exam)
+        .problems(problems)
+        .build()
+        .map_err(|err| err.to_string())?;
+    package
+        .write_to_dir(out_dir)
+        .map_err(|err| format!("writing {out_dir}: {err}"))?;
+    println!(
+        "wrote {} files ({} bytes) under {out_dir}",
+        package.files.len(),
+        package.total_size(),
+    );
+    Ok(())
+}
+
+fn simulate(args: &[String]) -> CliResult {
+    let [path, exam_id, class, seed] = args else {
+        return Err("simulate needs <db> <exam-id> <class-size> <seed>".into());
+    };
+    let class: usize = class.parse().map_err(|_| "class-size must be a number")?;
+    let seed: u64 = seed.parse().map_err(|_| "seed must be a number")?;
+    let repository = load(path)?;
+    let (exam, problems) = repository
+        .resolve_exam(&exam_id.parse().map_err(|err| format!("{err}"))?)
+        .map_err(|err| err.to_string())?;
+    let record = Simulation::new(exam, problems.clone())
+        .cohort(CohortSpec::new(class).seed(seed))
+        .run()
+        .map_err(|err| err.to_string())?;
+    let analysis = ExamAnalysis::analyze(&record, &problems, &AnalysisConfig::default())
+        .map_err(|err| err.to_string())?;
+    print_block(&render_full_report(&analysis));
+    Ok(())
+}
+
+fn tree(args: &[String]) -> CliResult {
+    let [path, problem_id] = args else {
+        return Err("tree needs <db> <problem-id>".into());
+    };
+    let repository = load(path)?;
+    let problem = repository
+        .problem(&problem_id.parse().map_err(|err| format!("{err}"))?)
+        .map_err(|err| err.to_string())?;
+    print_block(&problem.metadata().render_tree());
+    Ok(())
+}

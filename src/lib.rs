@@ -1,0 +1,38 @@
+//! Facade crate for the MINE cognition assessment authoring system — a
+//! reproduction of Hung et al., *A Cognition Assessment Authoring System
+//! for E-Learning* (ICDCS 2004 Workshops).
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`core`] — shared vocabulary (ids, cognition levels, responses)
+//! * [`xml`] — from-scratch XML reader/writer
+//! * [`metadata`] — the MINE SCORM assessment metadata model (§3)
+//! * [`itembank`] — the problem & exam database (§5.1–5.4)
+//! * [`qti`] — IMS QTI-style interchange (§2.3)
+//! * [`scorm`] — SCORM packaging and run-time environment (§2.4, §5.5)
+//! * [`delivery`] — exam sessions and the monitor subsystem (§5)
+//! * [`simulator`] — synthetic student cohorts (evaluation substrate)
+//! * [`analysis`] — the assessment analysis model (§4)
+//! * [`authoring`] — the authoring system facade (§5)
+//! * [`adaptive`] — the adaptive-testing extension promised in §6
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough: author a
+//! small exam, simulate a class sitting it, and run the paper's analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mine_adaptive as adaptive;
+pub use mine_analysis as analysis;
+pub use mine_authoring as authoring;
+pub use mine_core as core;
+pub use mine_delivery as delivery;
+pub use mine_itembank as itembank;
+pub use mine_metadata as metadata;
+pub use mine_qti as qti;
+pub use mine_scorm as scorm;
+pub use mine_simulator as simulator;
+pub use mine_xml as xml;

@@ -1,0 +1,256 @@
+//! Property tests for the interchange formats: arbitrary problems
+//! survive QTI and SCORM round-trips.
+
+use proptest::prelude::*;
+
+use mine_assessment::core::{Answer, ExamRecord, ItemResponse, StudentRecord};
+use mine_assessment::core::{CognitionLevel, OptionKey};
+use mine_assessment::itembank::{ChoiceOption, MatchPairs, Problem, ProblemBody};
+use mine_assessment::qti::{item_from_qti, item_to_qti, results_from_qti, results_to_qti};
+use mine_assessment::scorm::package::{problem_from_content_xml, problem_to_content_xml};
+use mine_assessment::scorm::AiccCourse;
+use mine_assessment::scorm::ContentPackage;
+
+fn arb_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 <>&'\"?.,-]{1,40}"
+}
+
+fn arb_body() -> impl Strategy<Value = ProblemBody> {
+    prop_oneof![
+        // multiple choice
+        (arb_text(), 2usize..6, 0usize..6).prop_flat_map(|(stem, n, correct)| {
+            let correct = correct % n;
+            (
+                Just(stem),
+                proptest::collection::vec(arb_text(), n..=n),
+                Just(correct),
+            )
+                .prop_map(move |(stem, texts, correct)| ProblemBody::MultipleChoice {
+                    stem,
+                    options: texts
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, t)| ChoiceOption::new(OptionKey::from_index(i).unwrap(), t))
+                        .collect(),
+                    correct: OptionKey::from_index(correct).unwrap(),
+                })
+        }),
+        // true / false
+        (arb_text(), arb_text(), any::<bool>()).prop_map(|(stem, hint, correct)| {
+            ProblemBody::TrueFalse {
+                stem,
+                hint,
+                correct,
+            }
+        }),
+        // essay
+        (
+            arb_text(),
+            arb_text(),
+            proptest::collection::vec(arb_text(), 0..3)
+        )
+            .prop_map(|(question, hint, keywords)| ProblemBody::Essay {
+                question,
+                hint,
+                keywords,
+            }),
+        // completion
+        (
+            arb_text(),
+            proptest::collection::vec("[a-zA-Z0-9]{1,10}", 1..4)
+        )
+            .prop_map(|(stem, blanks)| ProblemBody::Completion { stem, blanks }),
+        // match
+        (2usize..5, 0usize..1000).prop_flat_map(|(n, shift)| {
+            (
+                proptest::collection::vec(arb_text(), n..=n),
+                proptest::collection::vec(arb_text(), n..=n),
+                Just(shift),
+            )
+                .prop_map(move |(left, right, shift)| {
+                    let n = left.len();
+                    ProblemBody::Match(MatchPairs {
+                        left,
+                        right,
+                        correct: (0..n).map(|i| (i + shift) % n).collect(),
+                    })
+                })
+        }),
+        // questionnaire
+        (arb_text(), 2usize..6).prop_flat_map(|(prompt, n)| {
+            (Just(prompt), proptest::collection::vec(arb_text(), n..=n)).prop_map(
+                |(prompt, texts)| ProblemBody::Questionnaire {
+                    prompt,
+                    options: texts
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, t)| ChoiceOption::new(OptionKey::from_index(i).unwrap(), t))
+                        .collect(),
+                },
+            )
+        }),
+    ]
+}
+
+fn arb_problem() -> impl Strategy<Value = Problem> {
+    ("[a-z][a-z0-9-]{0,12}", arb_body(), 0usize..6, 1u32..10).prop_map(
+        |(id, body, level, points)| {
+            Problem::new(id, body)
+                .unwrap()
+                .with_points(f64::from(points))
+                .with_subject("prop-subject")
+                .with_cognition_level(CognitionLevel::ALL[level])
+        },
+    )
+}
+
+fn arb_answer() -> impl Strategy<Value = Answer> {
+    prop_oneof![
+        (0usize..8).prop_map(|i| Answer::Choice(OptionKey::from_index(i).unwrap())),
+        proptest::collection::vec(0usize..8, 0..4).prop_map(|is| Answer::MultiChoice(
+            is.into_iter()
+                .map(|i| OptionKey::from_index(i).unwrap())
+                .collect()
+        )),
+        any::<bool>().prop_map(Answer::TrueFalse),
+        "[ -~]{0,24}".prop_map(Answer::Text),
+        proptest::collection::vec("[a-z0-9 ]{0,8}", 0..3).prop_map(Answer::Completion),
+        proptest::collection::vec(0usize..6, 0..4).prop_map(Answer::Match),
+        Just(Answer::Skipped),
+    ]
+}
+
+fn arb_exam_record() -> impl Strategy<Value = ExamRecord> {
+    (1usize..5, 1usize..6).prop_flat_map(|(n_students, n_questions)| {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                (arb_answer(), any::<bool>(), 0u32..100),
+                n_questions..=n_questions,
+            ),
+            n_students..=n_students,
+        )
+        .prop_map(move |matrix| {
+            let students = matrix
+                .into_iter()
+                .enumerate()
+                .map(|(s, row)| {
+                    let responses = row
+                        .into_iter()
+                        .enumerate()
+                        .map(|(q, (answer, correct, points))| {
+                            let mut response = if correct {
+                                ItemResponse::correct(
+                                    format!("q{q}").parse().unwrap(),
+                                    answer,
+                                    f64::from(points),
+                                )
+                            } else {
+                                ItemResponse::incorrect(
+                                    format!("q{q}").parse().unwrap(),
+                                    answer,
+                                    f64::from(points),
+                                )
+                            };
+                            response.time_spent = std::time::Duration::from_secs(u64::from(points));
+                            response
+                        })
+                        .collect();
+                    StudentRecord::new(format!("s{s}").parse().unwrap(), responses)
+                })
+                .collect();
+            ExamRecord::new("prop-exam".parse().unwrap(), students)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn qti_results_round_trip(record in arb_exam_record()) {
+        let doc = results_to_qti(&record);
+        let text = doc.to_xml_string();
+        let parsed = mine_assessment::xml::parse_document(&text).unwrap();
+        let back = results_from_qti(&parsed).unwrap();
+        prop_assert_eq!(&back.exam, &record.exam);
+        prop_assert_eq!(back.class_size(), record.class_size());
+        for (a, b) in back.students.iter().zip(&record.students) {
+            prop_assert_eq!(&a.student, &b.student);
+            prop_assert_eq!(a.score(), b.score());
+            prop_assert_eq!(a.correct_count(), b.correct_count());
+            for (ra, rb) in a.responses.iter().zip(&b.responses) {
+                prop_assert_eq!(&ra.answer, &rb.answer);
+                prop_assert_eq!(ra.time_spent, rb.time_spent);
+            }
+        }
+    }
+
+    #[test]
+    fn aicc_round_trip_from_packages(
+        problems in proptest::collection::vec(arb_problem(), 1..6)
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let problems: Vec<Problem> = problems
+            .into_iter()
+            .filter(|p| seen.insert(p.id().clone()))
+            .collect();
+        let package = ContentPackage::builder("PKG-AICC")
+            .problems(problems.clone())
+            .build()
+            .unwrap();
+        let course = AiccCourse::from_manifest(&package.manifest).unwrap();
+        course.validate().unwrap();
+        prop_assert_eq!(course.units.len(), problems.len());
+        let back = AiccCourse::parse(&course.to_crs(), &course.to_au(), &course.to_cst()).unwrap();
+        back.validate().unwrap();
+        prop_assert_eq!(back.units, course.units);
+        prop_assert_eq!(back.course_id, course.course_id);
+    }
+
+    #[test]
+    fn qti_item_round_trip(problem in arb_problem()) {
+        let xml = item_to_qti(&problem);
+        let text = mine_assessment::xml::Document::new(xml).to_xml_string();
+        let parsed = mine_assessment::xml::parse_document(&text).unwrap();
+        let back = item_from_qti(&parsed.root).unwrap();
+        prop_assert_eq!(back.body(), problem.body());
+        prop_assert_eq!(back.points(), problem.points());
+        prop_assert_eq!(back.cognition_level(), problem.cognition_level());
+        prop_assert_eq!(back.subject(), problem.subject());
+    }
+
+    #[test]
+    fn scorm_content_xml_round_trip(problem in arb_problem()) {
+        let xml = problem_to_content_xml(&problem);
+        let text = mine_assessment::xml::Document::new(xml).to_xml_string();
+        let parsed = mine_assessment::xml::parse_document(&text).unwrap();
+        let back = problem_from_content_xml(&parsed.root).unwrap();
+        prop_assert_eq!(back.body(), problem.body());
+        prop_assert_eq!(back.points(), problem.points());
+    }
+
+    #[test]
+    fn scorm_package_round_trip(
+        problems in proptest::collection::vec(arb_problem(), 1..6)
+    ) {
+        // Deduplicate ids (the generator may collide).
+        let mut seen = std::collections::HashSet::new();
+        let problems: Vec<Problem> = problems
+            .into_iter()
+            .filter(|p| seen.insert(p.id().clone()))
+            .collect();
+        let package = ContentPackage::builder("PKG-PROP")
+            .problems(problems.clone())
+            .build()
+            .unwrap();
+        let reparsed = ContentPackage::from_files(package.clone().into_files()).unwrap();
+        prop_assert_eq!(&reparsed.manifest, &package.manifest);
+        let extracted = reparsed.extract_problems().unwrap();
+        prop_assert_eq!(extracted.len(), problems.len());
+        for problem in &problems {
+            let found = extracted.iter().find(|p| p.id() == problem.id()).unwrap();
+            prop_assert_eq!(found.body(), problem.body());
+            prop_assert_eq!(found.metadata(), problem.metadata());
+        }
+    }
+}

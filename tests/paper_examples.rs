@@ -1,0 +1,136 @@
+//! Integration pins for every worked example in the paper, driven
+//! through the public facade API.
+
+use mine_assessment::analysis::rules::evaluate_rules;
+use mine_assessment::analysis::signal::{Signal, SignalPolicy};
+use mine_assessment::analysis::status::StatusFlags;
+use mine_assessment::analysis::OptionMatrix;
+use mine_assessment::core::{GroupFraction, OptionKey};
+use mine_assessment::metadata::{DifficultyIndex, DiscriminationIndex};
+
+fn pid(s: &str) -> mine_assessment::core::ProblemId {
+    s.parse().unwrap()
+}
+
+/// §3.3-III: "R=800, N=1000, then P = R/N = 800/1000 = 0.8 (80%)".
+#[test]
+fn difficulty_index_definition_example() {
+    let p = DifficultyIndex::from_counts(800, 1000).unwrap();
+    assert_eq!(p.value(), 0.8);
+    assert_eq!(p.percent(), 80.0);
+}
+
+/// §4.1.1: Kelly (1939) — 27 % optimal, 25–33 % acceptable; the paper
+/// fixes 25 %.
+#[test]
+fn kelly_fractions() {
+    assert_eq!(GroupFraction::KELLY_OPTIMAL.value(), 0.27);
+    assert!(GroupFraction::PAPER.is_acceptable());
+    assert!(GroupFraction::new(0.33).unwrap().is_acceptable());
+    assert!(!GroupFraction::new(0.34).unwrap().is_acceptable());
+}
+
+/// §4.1.2 Example 1: option C attracts nobody in the low group → Rule 1.
+#[test]
+fn example_1_rule_1() {
+    let matrix = OptionMatrix::from_counts(
+        pid("ex1"),
+        OptionKey::A,
+        vec![12, 2, 0, 3, 3],
+        vec![6, 4, 0, 5, 5],
+    );
+    let findings = evaluate_rules(&matrix, 0.2);
+    assert_eq!(findings.low_allure, vec![OptionKey::C]);
+}
+
+/// §4.1.2 Example 2: correct option C and wrong option E are both "not
+/// well-defined" → Rule 2.
+#[test]
+fn example_2_rule_2() {
+    let matrix = OptionMatrix::from_counts(
+        pid("ex2"),
+        OptionKey::C,
+        vec![1, 2, 10, 0, 7],
+        vec![2, 2, 13, 1, 2],
+    );
+    let findings = evaluate_rules(&matrix, 0.2);
+    let options: Vec<_> = findings.not_well_defined.iter().map(|f| f.option).collect();
+    assert!(options.contains(&OptionKey::C));
+    assert!(options.contains(&OptionKey::E));
+}
+
+/// §4.1.2 Example 3: |LM−Lm| = 3 ≤ 4 = LS×20 % → low group lacks the
+/// concept (Rule 3), but the high group is peaked.
+#[test]
+fn example_3_rule_3() {
+    let matrix = OptionMatrix::from_counts(
+        pid("ex3"),
+        OptionKey::A,
+        vec![15, 2, 2, 0, 1],
+        vec![5, 4, 5, 4, 2],
+    );
+    let findings = evaluate_rules(&matrix, 0.2);
+    assert!(findings.low_group_lacks_concept);
+    assert!(!findings.both_groups_lack_concept);
+}
+
+/// §4.1.2 Example 4: both groups flat → Rule 4, whole class lacks the
+/// concept.
+#[test]
+fn example_4_rule_4() {
+    let matrix = OptionMatrix::from_counts(
+        pid("ex4"),
+        OptionKey::A,
+        vec![4, 4, 4, 2, 6],
+        vec![5, 4, 5, 4, 2],
+    );
+    let findings = evaluate_rules(&matrix, 0.2);
+    assert!(findings.both_groups_lack_concept);
+    let status = StatusFlags::from_rules(&findings);
+    assert!(status.low_group_lacks_concept);
+    assert!(status.high_group_lacks_concept);
+}
+
+/// §4.1.2 worked question no. 2: PH = 10/11 ≈ 0.91, PL = 4/11 ≈ 0.36,
+/// D = 0.55, P ≈ 0.635, green light.
+#[test]
+fn question_no_2_is_green() {
+    let ph = 10.0 / 11.0;
+    let pl = 4.0 / 11.0;
+    let d = DiscriminationIndex::new(ph - pl).unwrap();
+    let p = DifficultyIndex::new((ph + pl) / 2.0).unwrap();
+    assert_eq!((d.value() * 100.0).round() / 100.0, 0.55);
+    // The paper rounds PH/PL first and reports P = 0.635; the unrounded
+    // value is 7/11 ≈ 0.636.
+    assert!((p.value() - 0.636).abs() < 0.001);
+    assert_eq!(SignalPolicy::default().classify(d), Signal::Green);
+}
+
+/// §4.1.2 worked question no. 6: D = 0.09 (red) and Rule 1 flags the
+/// allure of option A.
+#[test]
+fn question_no_6_is_red_with_rule_1() {
+    let ph = 5.0 / 11.0;
+    let pl = 4.0 / 11.0;
+    let d = DiscriminationIndex::new(ph - pl).unwrap();
+    assert_eq!((d.value() * 100.0).round() / 100.0, 0.09);
+    assert_eq!(SignalPolicy::default().classify(d), Signal::Red);
+
+    let matrix =
+        OptionMatrix::from_counts(pid("no6"), OptionKey::D, vec![1, 1, 4, 5], vec![0, 2, 4, 4]);
+    let findings = evaluate_rules(&matrix, 0.2);
+    assert_eq!(findings.low_allure, vec![OptionKey::A]);
+}
+
+/// Table 3: the signal bands.
+#[test]
+fn table_3_bands() {
+    let policy = SignalPolicy::default();
+    let d = |v: f64| DiscriminationIndex::new(v).unwrap();
+    assert_eq!(policy.classify(d(0.31)), Signal::Green);
+    assert_eq!(policy.classify(d(0.30)), Signal::Green);
+    assert_eq!(policy.classify(d(0.29)), Signal::Yellow);
+    assert_eq!(policy.classify(d(0.20)), Signal::Yellow);
+    assert_eq!(policy.classify(d(0.19)), Signal::Red);
+    assert_eq!(policy.classify(d(0.0)), Signal::Red);
+}

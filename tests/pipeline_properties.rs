@@ -1,0 +1,203 @@
+//! Property-based invariants across the delivery → analysis pipeline.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use mine_assessment::analysis::{AnalysisConfig, ExamAnalysis, ScoreGroups};
+use mine_assessment::core::{Answer, CognitionLevel, GroupFraction, OptionKey};
+use mine_assessment::delivery::{DeliveryOptions, ExamSession};
+use mine_assessment::itembank::{ChoiceOption, Exam, Problem};
+use mine_assessment::simulator::{CohortSpec, Simulation};
+
+fn problems(n_questions: usize, n_options: usize) -> Vec<Problem> {
+    (0..n_questions)
+        .map(|i| {
+            Problem::multiple_choice(
+                format!("q{i}"),
+                format!("Question {i}"),
+                OptionKey::first(n_options).map(|k| ChoiceOption::new(k, format!("{k}"))),
+                OptionKey::A,
+            )
+            .unwrap()
+            .with_subject(format!("subject{}", i % 3))
+            .with_cognition_level(CognitionLevel::ALL[i % 6])
+        })
+        .collect()
+}
+
+fn exam(n_questions: usize) -> Exam {
+    let mut builder = Exam::builder("prop-exam").unwrap();
+    for i in 0..n_questions {
+        builder = builder.entry(format!("q{i}").parse().unwrap());
+    }
+    builder.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The §4.1.1 identities hold for every question of every simulated
+    /// class: D = PH − PL, P = (PH + PL)/2, both in range, and option
+    /// matrix column sums never exceed the group size.
+    #[test]
+    fn index_identities_hold(
+        class in 8usize..60,
+        n_questions in 2usize..8,
+        n_options in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let problems = problems(n_questions, n_options);
+        let record = Simulation::new(exam(n_questions), problems.clone())
+            .cohort(CohortSpec::new(class).seed(seed))
+            .run()
+            .unwrap();
+        let analysis =
+            ExamAnalysis::analyze(&record, &problems, &AnalysisConfig::default()).unwrap();
+        let group_size = analysis.groups.group_size();
+        for question in &analysis.questions {
+            let i = &question.indices;
+            prop_assert!((i.discrimination.value() - (i.ph - i.pl)).abs() < 1e-12);
+            prop_assert!((i.difficulty.value() - (i.ph + i.pl) / 2.0).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&i.ph));
+            prop_assert!((0.0..=1.0).contains(&i.pl));
+            let matrix = question.matrix.as_ref().unwrap();
+            prop_assert!(matrix.high_sum() <= group_size);
+            prop_assert!(matrix.low_sum() <= group_size);
+        }
+        // The two-way table classifies every problem (all carry levels).
+        prop_assert_eq!(analysis.two_way.total(), n_questions);
+        prop_assert!(analysis.two_way.unclassified().is_empty());
+    }
+
+    /// High and low groups are disjoint and sized per the fraction, for
+    /// any acceptable fraction.
+    #[test]
+    fn group_split_invariants(
+        class in 4usize..120,
+        fraction in 0.25f64..0.34,
+        seed in 0u64..200,
+    ) {
+        let problems = problems(3, 4);
+        let record = Simulation::new(exam(3), problems)
+            .cohort(CohortSpec::new(class).seed(seed))
+            .run()
+            .unwrap();
+        let fraction = GroupFraction::new(fraction).unwrap();
+        let groups = ScoreGroups::split(&record, fraction).unwrap();
+        prop_assert_eq!(groups.high().len(), groups.low().len());
+        prop_assert!(2 * groups.group_size() <= class);
+        for student in groups.high() {
+            prop_assert!(!groups.is_low(student));
+        }
+        // High-group minimum score ≥ low-group maximum score.
+        let score_of = |id: &mine_assessment::core::StudentId| {
+            record
+                .students
+                .iter()
+                .find(|s| &s.student == id)
+                .unwrap()
+                .score()
+        };
+        let high_min = groups.high().iter().map(score_of).fold(f64::INFINITY, f64::min);
+        let low_max = groups.low().iter().map(score_of).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(high_min >= low_max);
+    }
+
+    /// Analysis is a pure function of the record: re-running it yields
+    /// identical output.
+    #[test]
+    fn analysis_is_deterministic(seed in 0u64..100) {
+        let problems = problems(5, 4);
+        let record = Simulation::new(exam(5), problems.clone())
+            .cohort(CohortSpec::new(30).seed(seed))
+            .run()
+            .unwrap();
+        let a = ExamAnalysis::analyze(&record, &problems, &AnalysisConfig::default()).unwrap();
+        let b = ExamAnalysis::analyze(&record, &problems, &AnalysisConfig::default()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Pausing and resuming a session at any point produces the same
+    /// final record as an uninterrupted sitting with the same answers.
+    #[test]
+    fn resume_equivalence(
+        pause_at in 0usize..5,
+        seed in 0u64..100,
+        answers in proptest::collection::vec(0usize..4, 5),
+    ) {
+        let problems = problems(5, 4);
+        let the_exam = exam(5);
+        let student: mine_assessment::core::StudentId = "s".parse().unwrap();
+        let options = DeliveryOptions {
+            seed,
+            resumable: true,
+            time_accommodation: 1.0,
+        };
+
+        // Uninterrupted run.
+        let mut straight =
+            ExamSession::start(&the_exam, problems.clone(), student.clone(), options.clone())
+                .unwrap();
+        for &choice in &answers {
+            straight
+                .answer(
+                    Answer::Choice(OptionKey::from_index(choice).unwrap()),
+                    Duration::from_secs(10),
+                )
+                .unwrap();
+        }
+        let expected = straight.finish().unwrap();
+
+        // Interrupted run.
+        let mut first =
+            ExamSession::start(&the_exam, problems.clone(), student, options).unwrap();
+        for &choice in &answers[..pause_at] {
+            first
+                .answer(
+                    Answer::Choice(OptionKey::from_index(choice).unwrap()),
+                    Duration::from_secs(10),
+                )
+                .unwrap();
+        }
+        let checkpoint = first.pause().unwrap();
+        let json = serde_json::to_string(&checkpoint).unwrap();
+        let restored = serde_json::from_str(&json).unwrap();
+        let mut second = ExamSession::resume(&the_exam, problems, restored).unwrap();
+        for &choice in &answers[pause_at..] {
+            second
+                .answer(
+                    Answer::Choice(OptionKey::from_index(choice).unwrap()),
+                    Duration::from_secs(10),
+                )
+                .unwrap();
+        }
+        let actual = second.finish().unwrap();
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Stronger cohorts never analyze as harder: mean difficulty index P
+    /// (larger = easier) is non-decreasing in cohort ability.
+    #[test]
+    fn difficulty_tracks_ability(seed in 0u64..50) {
+        let problems = problems(6, 4);
+        let mean_p = |ability: f64| {
+            let record = Simulation::new(exam(6), problems.clone())
+                .students(CohortSpec::new(80).ability(ability, 0.4).seed(seed).generate())
+                .seed(seed)
+                .run()
+                .unwrap();
+            let analysis =
+                ExamAnalysis::analyze(&record, &problems, &AnalysisConfig::default()).unwrap();
+            analysis
+                .questions
+                .iter()
+                .map(|q| q.indices.difficulty.value())
+                .sum::<f64>()
+                / 6.0
+        };
+        let weak = mean_p(-1.5);
+        let strong = mean_p(1.5);
+        prop_assert!(strong > weak, "strong {strong} vs weak {weak}");
+    }
+}
