@@ -1,0 +1,744 @@
+//! Batch analysis: many exam sittings through the §4 pipeline at once.
+//!
+//! A term's worth of assessment produces dozens of sittings — the same
+//! mid-term across class sections, weekly quizzes, pre/post pairs for
+//! the §3.4-III sensitivity index. [`BatchAnalyzer`] runs
+//! [`ExamAnalysis::analyze`] over a whole batch with a work-stealing
+//! thread pool, deduplicates repeated work through a bounded
+//! least-recently-used cache keyed by a fingerprint of the analysis
+//! input, and aggregates the per-exam results into a [`BatchReport`] with
+//! cross-exam reliability and signal summaries.
+//!
+//! Output is deterministic: analyses come back in job order and each is
+//! byte-identical (under `serde_json`) to what a sequential
+//! [`ExamAnalysis::analyze`] call produces, whatever the thread count.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+use serde::{Deserialize, Serialize};
+
+use mine_core::ExamRecord;
+use mine_itembank::Problem;
+
+use crate::config::AnalysisConfig;
+use crate::error::AnalysisError;
+use crate::exam_analysis::ExamAnalysis;
+use crate::isi::{instructional_sensitivity, InstructionalSensitivity};
+use crate::signal::Signal;
+
+/// One unit of batch work: a sitting and the problems it drew from.
+///
+/// Jobs borrow their inputs so a batch of many sittings of the same
+/// exam shares one problem slice.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchJob<'a> {
+    /// The graded sitting.
+    pub record: &'a ExamRecord,
+    /// Problem definitions covering every problem in the record.
+    pub problems: &'a [Problem],
+}
+
+/// Everything a batch run produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Per-exam analyses, in job order.
+    pub analyses: Vec<ExamAnalysis>,
+    /// Cross-exam aggregates.
+    pub summary: BatchSummary,
+}
+
+/// Cross-exam aggregates over a [`BatchReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchSummary {
+    /// Number of sittings analyzed.
+    pub exams: usize,
+    /// Total students across sittings.
+    pub students: usize,
+    /// Total analyzed questions across sittings.
+    pub questions: usize,
+    /// Questions whose Table 3 light is green.
+    pub green: usize,
+    /// Questions whose Table 3 light is yellow.
+    pub yellow: usize,
+    /// Questions whose Table 3 light is red.
+    pub red: usize,
+    /// Mean Cronbach's alpha over sittings where it is defined.
+    pub mean_alpha: Option<f64>,
+    /// Smallest defined alpha.
+    pub min_alpha: Option<f64>,
+    /// Largest defined alpha.
+    pub max_alpha: Option<f64>,
+}
+
+/// A pre/post instruction pair analyzed together (§3.4-III).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrePostReport {
+    /// Analysis of the sitting before instruction.
+    pub pre: ExamAnalysis,
+    /// Analysis of the sitting after instruction.
+    pub post: ExamAnalysis,
+    /// The Instructional Sensitivity Index between the two.
+    pub sensitivity: InstructionalSensitivity,
+}
+
+/// Cache effectiveness counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh analysis.
+    pub misses: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+/// Runs many sittings through the §4 pipeline concurrently, caching
+/// results by input fingerprint.
+///
+/// # Examples
+///
+/// ```
+/// use mine_analysis::{AnalysisConfig, BatchAnalyzer};
+/// use mine_itembank::{Exam, Problem};
+/// use mine_simulator::{CohortSpec, Simulation};
+///
+/// let problems = vec![Problem::true_false("q1", "x", true)?];
+/// let exam = Exam::builder("quiz")?.entry("q1".parse()?).build()?;
+/// let records: Vec<_> = (0..4)
+///     .map(|seed| {
+///         Simulation::new(exam.clone(), problems.clone())
+///             .cohort(CohortSpec::new(44).seed(seed))
+///             .run()
+///     })
+///     .collect::<Result<_, _>>()?;
+/// let analyzer = BatchAnalyzer::new(AnalysisConfig::default()).with_threads(2);
+/// let report = analyzer.analyze_records(&records, &problems)?;
+/// assert_eq!(report.summary.exams, 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct BatchAnalyzer {
+    config: AnalysisConfig,
+    /// Worker threads for the batch loop; `0` = auto-detect.
+    threads: usize,
+    cache: Cache,
+}
+
+impl BatchAnalyzer {
+    /// Default cache capacity (analyses, not bytes).
+    pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+    /// A batch analyzer with auto thread count and the default cache.
+    #[must_use]
+    pub fn new(config: AnalysisConfig) -> Self {
+        Self {
+            config,
+            threads: 0,
+            cache: Cache::new(Self::DEFAULT_CACHE_CAPACITY),
+        }
+    }
+
+    /// Sets the worker thread count; `0` means auto-detect.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Bounds the cache to `capacity` analyses; `0` disables caching.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = Cache::new(capacity);
+        self
+    }
+
+    /// The analysis configuration every job runs under.
+    #[must_use]
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Analyzes one sitting, consulting the cache first.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ExamAnalysis::analyze`] can return.
+    pub fn analyze_one(
+        &self,
+        record: &ExamRecord,
+        problems: &[Problem],
+    ) -> Result<ExamAnalysis, AnalysisError> {
+        if self.cache.capacity == 0 {
+            // No cache — skip the fingerprinting entirely.
+            return ExamAnalysis::analyze(record, problems, &self.config);
+        }
+        let key = CacheKey::compute(record, problems, &self.config);
+        if let Some(hit) = self.cache.get(key) {
+            return Ok((*hit).clone());
+        }
+        let analysis = ExamAnalysis::analyze(record, problems, &self.config)?;
+        self.cache.put(key, Arc::new(analysis.clone()));
+        Ok(analysis)
+    }
+
+    /// Analyzes every job concurrently and aggregates the results.
+    ///
+    /// Analyses are returned in job order; on failure the error is the
+    /// first failing job's, exactly as a sequential loop would report.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ExamAnalysis::analyze`] can return.
+    pub fn analyze_batch(&self, jobs: &[BatchJob<'_>]) -> Result<BatchReport, AnalysisError> {
+        let outer = if self.threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.threads
+        };
+        let analyses: Vec<ExamAnalysis> = if jobs.len() <= 1 || outer == 1 {
+            // Sequential over exams — the per-question loop inside
+            // `analyze` still parallelizes on the full thread budget.
+            jobs.iter()
+                .map(|job| self.analyze_one(job.record, job.problems))
+                .collect::<Result<_, _>>()?
+        } else {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(outer)
+                .build()
+                .expect("thread pool");
+            // Exams already saturate the pool; pin each worker's inner
+            // per-question loop to one thread so the two layers of
+            // parallelism don't multiply.
+            let single = ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .expect("thread pool");
+            pool.install(|| {
+                jobs.par_iter()
+                    .map(|job| single.install(|| self.analyze_one(job.record, job.problems)))
+                    .collect::<Vec<Result<ExamAnalysis, AnalysisError>>>()
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?
+        };
+        let summary = summarize(&analyses);
+        Ok(BatchReport { analyses, summary })
+    }
+
+    /// Analyzes many sittings of the same exam (the common cohort
+    /// case: one problem set, many class sections).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ExamAnalysis::analyze`] can return.
+    pub fn analyze_records(
+        &self,
+        records: &[ExamRecord],
+        problems: &[Problem],
+    ) -> Result<BatchReport, AnalysisError> {
+        let jobs: Vec<BatchJob<'_>> = records
+            .iter()
+            .map(|record| BatchJob { record, problems })
+            .collect();
+        self.analyze_batch(&jobs)
+    }
+
+    /// Analyzes a pre/post instruction pair and the §3.4-III
+    /// Instructional Sensitivity Index between the two sittings.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ExamAnalysis::analyze`] and
+    /// [`instructional_sensitivity`] can return.
+    pub fn analyze_pre_post(
+        &self,
+        pre: &ExamRecord,
+        post: &ExamRecord,
+        problems: &[Problem],
+    ) -> Result<PrePostReport, AnalysisError> {
+        let sensitivity = instructional_sensitivity(pre, post)?;
+        let report = self.analyze_records(std::slice::from_ref(pre), problems)?;
+        let pre_analysis = report
+            .analyses
+            .into_iter()
+            .next()
+            .expect("one job yields one analysis");
+        let report = self.analyze_records(std::slice::from_ref(post), problems)?;
+        let post_analysis = report
+            .analyses
+            .into_iter()
+            .next()
+            .expect("one job yields one analysis");
+        Ok(PrePostReport {
+            pre: pre_analysis,
+            post: post_analysis,
+            sensitivity,
+        })
+    }
+
+    /// Current cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// Builds the [`BatchSummary`] over finished analyses.
+fn summarize(analyses: &[ExamAnalysis]) -> BatchSummary {
+    let mut summary = BatchSummary {
+        exams: analyses.len(),
+        students: 0,
+        questions: 0,
+        green: 0,
+        yellow: 0,
+        red: 0,
+        mean_alpha: None,
+        min_alpha: None,
+        max_alpha: None,
+    };
+    let mut alphas = Vec::new();
+    for analysis in analyses {
+        summary.students += analysis.statistics.class_size;
+        summary.questions += analysis.questions.len();
+        for question in &analysis.questions {
+            match question.signal {
+                Signal::Green => summary.green += 1,
+                Signal::Yellow => summary.yellow += 1,
+                Signal::Red => summary.red += 1,
+            }
+        }
+        if let Some(alpha) = analysis.reliability.alpha {
+            alphas.push(alpha);
+        }
+    }
+    if !alphas.is_empty() {
+        summary.mean_alpha = Some(alphas.iter().sum::<f64>() / alphas.len() as f64);
+        summary.min_alpha = alphas.iter().copied().reduce(f64::min);
+        summary.max_alpha = alphas.iter().copied().reduce(f64::max);
+    }
+    summary
+}
+
+/// The cache key: a 256-bit fingerprint of everything
+/// [`ExamAnalysis::analyze`] reads. The record — by far the largest
+/// input — is fingerprinted by walking its fields directly (two
+/// independent 64-bit FNV-1a streams), which costs a fraction of the
+/// analysis it memoizes; the smaller problem set and config are
+/// fingerprinted through their canonical JSON. A false hit needs a
+/// 128-bit record collision inside one bounded cache — negligible
+/// against the simulation/measurement noise any analysis sits in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey([u64; 4]);
+
+impl CacheKey {
+    fn compute(record: &ExamRecord, problems: &[Problem], config: &AnalysisConfig) -> Self {
+        let (a, b) = fingerprint_record(record);
+        let problems = fnv1a(
+            serde_json::to_string(problems)
+                .expect("problems serialize")
+                .as_bytes(),
+        );
+        let config = fnv1a(
+            serde_json::to_string(config)
+                .expect("analysis configs serialize")
+                .as_bytes(),
+        );
+        Self([a, b, problems, config])
+    }
+}
+
+/// FNV-1a over a byte slice.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Two independent FNV-1a streams fed field by field.
+struct Fingerprint {
+    a: u64,
+    b: u64,
+}
+
+impl Fingerprint {
+    fn new() -> Self {
+        // Distinct offset bases decorrelate the two streams.
+        Self {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x6c62_272e_07bb_0142,
+        }
+    }
+
+    fn byte(&mut self, byte: u8) {
+        self.a = (self.a ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        self.b = (self.b ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.byte(byte);
+        }
+    }
+
+    fn u64(&mut self, value: u64) {
+        self.bytes(&value.to_le_bytes());
+    }
+
+    fn f64(&mut self, value: f64) {
+        self.u64(value.to_bits());
+    }
+
+    /// Length-prefixed so `["ab","c"]` and `["a","bc"]` differ.
+    fn str(&mut self, value: &str) {
+        self.u64(value.len() as u64);
+        self.bytes(value.as_bytes());
+    }
+
+    fn duration(&mut self, value: std::time::Duration) {
+        self.u64(value.as_secs());
+        self.u64(u64::from(value.subsec_nanos()));
+    }
+
+    fn answer(&mut self, answer: &mine_core::Answer) {
+        use mine_core::Answer;
+        match answer {
+            Answer::Choice(key) => {
+                self.byte(0);
+                self.u64(key.index() as u64);
+            }
+            Answer::MultiChoice(keys) => {
+                self.byte(1);
+                self.u64(keys.len() as u64);
+                for key in keys {
+                    self.u64(key.index() as u64);
+                }
+            }
+            Answer::TrueFalse(value) => {
+                self.byte(2);
+                self.byte(u8::from(*value));
+            }
+            Answer::Text(text) => {
+                self.byte(3);
+                self.str(text);
+            }
+            Answer::Completion(blanks) => {
+                self.byte(4);
+                self.u64(blanks.len() as u64);
+                for blank in blanks {
+                    self.str(blank);
+                }
+            }
+            Answer::Match(matches) => {
+                self.byte(5);
+                self.u64(matches.len() as u64);
+                for &index in matches {
+                    self.u64(index as u64);
+                }
+            }
+            Answer::Skipped => self.byte(6),
+        }
+    }
+}
+
+/// Walks every field of the record the analysis can observe.
+fn fingerprint_record(record: &ExamRecord) -> (u64, u64) {
+    let mut fp = Fingerprint::new();
+    fp.str(record.exam.as_str());
+    fp.u64(record.students.len() as u64);
+    for student in &record.students {
+        fp.str(student.student.as_str());
+        fp.duration(student.total_time);
+        fp.u64(student.responses.len() as u64);
+        for response in &student.responses {
+            fp.str(response.problem.as_str());
+            fp.answer(&response.answer);
+            fp.byte(u8::from(response.is_correct));
+            fp.f64(response.points_awarded);
+            fp.f64(response.points_possible);
+            fp.duration(response.time_spent);
+            match response.answered_at {
+                Some(at) => {
+                    fp.byte(1);
+                    fp.duration(at);
+                }
+                None => fp.byte(0),
+            }
+        }
+    }
+    (fp.a, fp.b)
+}
+
+/// Bounded LRU map from cache key to finished analysis.
+#[derive(Debug)]
+struct Cache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<CacheKey, Arc<ExamAnalysis>>,
+    /// Keys from least to most recently used.
+    recency: VecDeque<CacheKey>,
+}
+
+impl Cache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn get(&self, key: CacheKey) -> Option<Arc<ExamAnalysis>> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(value) = inner.map.get(&key).map(Arc::clone) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        if let Some(position) = inner.recency.iter().position(|k| *k == key) {
+            let key = inner
+                .recency
+                .remove(position)
+                .expect("position came from this deque");
+            inner.recency.push_back(key);
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(value)
+    }
+
+    fn put(&self, key: CacheKey, value: Arc<ExamAnalysis>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.map.contains_key(&key) {
+            // Another worker computed the same input first; keep theirs.
+            return;
+        }
+        while inner.map.len() >= self.capacity {
+            match inner.recency.pop_front() {
+                Some(oldest) => {
+                    inner.map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        inner.recency.push_back(key);
+        inner.map.insert(key, value);
+    }
+
+    fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_itembank::Exam;
+    use mine_simulator::{CohortSpec, Simulation};
+
+    fn problems(n: usize) -> Vec<Problem> {
+        (0..n)
+            .map(|i| Problem::true_false(format!("q{i}"), "stem", i % 2 == 0).unwrap())
+            .collect()
+    }
+
+    fn exam(n: usize) -> Exam {
+        let mut builder = Exam::builder("quiz").unwrap();
+        for i in 0..n {
+            builder = builder.entry(format!("q{i}").parse().unwrap());
+        }
+        builder.build().unwrap()
+    }
+
+    fn records(count: usize, questions: usize, class: usize) -> (Vec<ExamRecord>, Vec<Problem>) {
+        let problems = problems(questions);
+        let exam = exam(questions);
+        let records = (0..count)
+            .map(|seed| {
+                Simulation::new(exam.clone(), problems.clone())
+                    .cohort(CohortSpec::new(class).ability(0.0, 1.2).seed(seed as u64))
+                    .run()
+                    .unwrap()
+            })
+            .collect();
+        (records, problems)
+    }
+
+    #[test]
+    fn batch_matches_sequential_analyze() {
+        let (records, problems) = records(5, 8, 30);
+        let config = AnalysisConfig::default();
+        let analyzer = BatchAnalyzer::new(config).with_threads(4);
+        let report = analyzer.analyze_records(&records, &problems).unwrap();
+        assert_eq!(report.analyses.len(), 5);
+        for (record, got) in records.iter().zip(&report.analyses) {
+            let want = ExamAnalysis::analyze(record, &problems, &config).unwrap();
+            assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_output() {
+        let (records, problems) = records(6, 6, 24);
+        let config = AnalysisConfig::default();
+        let reports: Vec<BatchReport> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&threads| {
+                BatchAnalyzer::new(config)
+                    .with_threads(threads)
+                    .analyze_records(&records, &problems)
+                    .unwrap()
+            })
+            .collect();
+        for report in &reports[1..] {
+            assert_eq!(report, &reports[0]);
+        }
+    }
+
+    #[test]
+    fn repeated_input_hits_the_cache() {
+        let (records, problems) = records(1, 4, 20);
+        let analyzer = BatchAnalyzer::new(AnalysisConfig::default());
+        analyzer.analyze_one(&records[0], &problems).unwrap();
+        analyzer.analyze_one(&records[0], &problems).unwrap();
+        let stats = analyzer.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn different_config_is_a_different_key() {
+        let (records, problems) = records(1, 4, 100);
+        let analyzer = BatchAnalyzer::new(AnalysisConfig::default());
+        analyzer.analyze_one(&records[0], &problems).unwrap();
+        let kelly = BatchAnalyzer::new(AnalysisConfig::kelly());
+        kelly.analyze_one(&records[0], &problems).unwrap();
+        // Each analyzer saw a fresh input — no cross-key hit.
+        assert_eq!(analyzer.cache_stats().hits, 0);
+        assert_eq!(kelly.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_a_single_response() {
+        let (records, problems) = records(1, 4, 20);
+        let config = AnalysisConfig::default();
+        let base = CacheKey::compute(&records[0], &problems, &config);
+        assert_eq!(base, CacheKey::compute(&records[0], &problems, &config));
+
+        let mut flipped = records[0].clone();
+        let response = &mut flipped.students[0].responses[0];
+        response.is_correct = !response.is_correct;
+        assert_ne!(base, CacheKey::compute(&flipped, &problems, &config));
+
+        let mut timed = records[0].clone();
+        timed.students[0].responses[0].time_spent += std::time::Duration::from_nanos(1);
+        assert_ne!(base, CacheKey::compute(&timed, &problems, &config));
+    }
+
+    #[test]
+    fn cache_capacity_is_enforced_lru() {
+        let (records, problems) = records(3, 4, 20);
+        let analyzer = BatchAnalyzer::new(AnalysisConfig::default()).with_cache_capacity(2);
+        for record in &records {
+            analyzer.analyze_one(record, &problems).unwrap();
+        }
+        assert_eq!(analyzer.cache_stats().entries, 2);
+        // Oldest (records[0]) was evicted; re-analyzing it misses.
+        analyzer.analyze_one(&records[0], &problems).unwrap();
+        assert_eq!(analyzer.cache_stats().hits, 0);
+        // records[2] is still resident.
+        analyzer.analyze_one(&records[2], &problems).unwrap();
+        assert_eq!(analyzer.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let (records, problems) = records(1, 4, 20);
+        let analyzer = BatchAnalyzer::new(AnalysisConfig::default()).with_cache_capacity(0);
+        analyzer.analyze_one(&records[0], &problems).unwrap();
+        analyzer.analyze_one(&records[0], &problems).unwrap();
+        let stats = analyzer.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn summary_aggregates_all_exams() {
+        let (records, problems) = records(3, 6, 24);
+        let report = BatchAnalyzer::new(AnalysisConfig::default())
+            .analyze_records(&records, &problems)
+            .unwrap();
+        let summary = &report.summary;
+        assert_eq!(summary.exams, 3);
+        assert_eq!(summary.students, 3 * 24);
+        assert_eq!(summary.questions, 3 * 6);
+        assert_eq!(summary.green + summary.yellow + summary.red, 3 * 6);
+        if let (Some(min), Some(mean), Some(max)) =
+            (summary.min_alpha, summary.mean_alpha, summary.max_alpha)
+        {
+            assert!(min <= mean && mean <= max);
+        }
+    }
+
+    #[test]
+    fn pre_post_reports_sensitivity() {
+        let problems = problems(5);
+        let exam = exam(5);
+        let pre = Simulation::new(exam.clone(), problems.clone())
+            .cohort(CohortSpec::new(30).ability(-0.8, 0.8).seed(11))
+            .run()
+            .unwrap();
+        let post = Simulation::new(exam, problems.clone())
+            .cohort(CohortSpec::new(30).ability(0.8, 0.8).seed(11))
+            .run()
+            .unwrap();
+        let report = BatchAnalyzer::new(AnalysisConfig::default())
+            .analyze_pre_post(&pre, &post, &problems)
+            .unwrap();
+        assert_eq!(report.sensitivity.per_question.len(), 5);
+        let expected = instructional_sensitivity(&pre, &post).unwrap();
+        assert_eq!(report.sensitivity, expected);
+        assert_eq!(
+            report.pre,
+            ExamAnalysis::analyze(&pre, &problems, &AnalysisConfig::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn error_reporting_matches_sequential_order() {
+        let (mut records, problems) = records(3, 4, 20);
+        // Break the second record: drop a response from one student.
+        records[1].students[0].responses.pop();
+        let analyzer = BatchAnalyzer::new(AnalysisConfig::default()).with_threads(4);
+        let sequential: Vec<Result<ExamAnalysis, AnalysisError>> = records
+            .iter()
+            .map(|r| ExamAnalysis::analyze(r, &problems, &AnalysisConfig::default()))
+            .collect();
+        let first_error = sequential
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        let got = analyzer.analyze_records(&records, &problems).unwrap_err();
+        assert_eq!(got, first_error);
+    }
+}

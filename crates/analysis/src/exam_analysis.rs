@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use mine_core::{ExamRecord, ProblemId};
@@ -64,7 +65,7 @@ pub struct ExamStatistics {
 }
 
 /// Everything the analysis model produces for one exam sitting.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExamAnalysis {
     /// The high/low group split used throughout.
     pub groups: ScoreGroups,
@@ -112,49 +113,30 @@ impl ExamAnalysis {
                 })
         };
 
-        let mut questions = Vec::with_capacity(problem_ids.len());
+        // Number the questions sequentially (questionnaires don't count,
+        // §3.2-VI vs §3.3), then analyze each against the shared,
+        // immutable group split in parallel. Results come back in exam
+        // order, so output is identical to the old sequential loop.
+        let mut tasks: Vec<(usize, &ProblemId, &Problem)> = Vec::with_capacity(problem_ids.len());
         let mut surveys = Vec::new();
         let mut number = 0usize;
         for problem_id in &problem_ids {
             let problem = find(problem_id)?;
-            // Questionnaires have no correct answer; item analysis does
-            // not apply (§3.2-VI vs §3.3).
             if problem.style() == QuestionStyle::Questionnaire {
                 surveys.push(problem_id.clone());
                 continue;
             }
             number += 1;
-            let indices = QuestionIndices::compute(record, &groups, number, problem_id)?;
-            let matrix = match problem.body() {
-                ProblemBody::MultipleChoice {
-                    options, correct, ..
-                } => Some(OptionMatrix::from_record(
-                    record,
-                    &groups,
-                    problem_id,
-                    options.len(),
-                    *correct,
-                )?),
-                _ => None,
-            };
-            let findings = matrix
-                .as_ref()
-                .map(|m| evaluate_rules(m, config.flatness))
-                .unwrap_or_default();
-            let status = StatusFlags::from_rules(&findings);
-            let distractors = matrix.as_ref().map(analyze_distractors).unwrap_or_default();
-            let signal = config.signal.classify(indices.discrimination);
-            let advice = config.signal.advice(indices.discrimination, &findings);
-            questions.push(QuestionAnalysis {
-                indices,
-                matrix,
-                findings,
-                status,
-                distractors,
-                signal,
-                advice,
-            });
+            tasks.push((number, problem_id, problem));
         }
+        let questions = tasks
+            .par_iter()
+            .map(|&(number, problem_id, problem)| {
+                Self::analyze_question(record, &groups, config, number, problem_id, problem)
+            })
+            .collect::<Vec<Result<QuestionAnalysis, AnalysisError>>>()
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
 
         let statistics = Self::statistics(record, config);
         let indices_only: Vec<QuestionIndices> =
@@ -175,6 +157,49 @@ impl ExamAnalysis {
             two_way,
             reliability,
             surveys,
+        })
+    }
+
+    /// The per-question §4.1 pipeline: indices, option matrix, rules,
+    /// statuses, distractors, signal, advice. Reads the record and the
+    /// group split immutably, so questions can run concurrently.
+    fn analyze_question(
+        record: &ExamRecord,
+        groups: &ScoreGroups,
+        config: &AnalysisConfig,
+        number: usize,
+        problem_id: &ProblemId,
+        problem: &Problem,
+    ) -> Result<QuestionAnalysis, AnalysisError> {
+        let indices = QuestionIndices::compute(record, groups, number, problem_id)?;
+        let matrix = match problem.body() {
+            ProblemBody::MultipleChoice {
+                options, correct, ..
+            } => Some(OptionMatrix::from_record(
+                record,
+                groups,
+                problem_id,
+                options.len(),
+                *correct,
+            )?),
+            _ => None,
+        };
+        let findings = matrix
+            .as_ref()
+            .map(|m| evaluate_rules(m, config.flatness))
+            .unwrap_or_default();
+        let status = StatusFlags::from_rules(&findings);
+        let distractors = matrix.as_ref().map(analyze_distractors).unwrap_or_default();
+        let signal = config.signal.classify(indices.discrimination);
+        let advice = config.signal.advice(indices.discrimination, &findings);
+        Ok(QuestionAnalysis {
+            indices,
+            matrix,
+            findings,
+            status,
+            distractors,
+            signal,
+            advice,
         })
     }
 

@@ -5,6 +5,8 @@
 //! group and then PL the lower 25 % of total student as the lower
 //! group."
 
+use serde::{Deserialize, Serialize};
+
 use mine_core::{ExamRecord, GroupFraction, StudentId};
 
 use crate::error::AnalysisError;
@@ -14,7 +16,7 @@ use crate::error::AnalysisError;
 /// Membership is deterministic: students are ordered by total score
 /// (descending) with ties broken by student id, so repeated analyses of
 /// the same record agree.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScoreGroups {
     high: Vec<StudentId>,
     low: Vec<StudentId>,
@@ -47,11 +49,24 @@ impl ScoreGroups {
             .iter()
             .map(|s| (&s.student, s.score()))
             .collect();
-        ranked.sort_by(|a, b| {
+        // Score descending, id ascending — a total order (ids are
+        // unique), so partial selection picks exactly the same members
+        // a full sort would.
+        let by_rank = |a: &(&StudentId, f64), b: &(&StudentId, f64)| {
             b.1.partial_cmp(&a.1)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.0.cmp(b.0))
-        });
+        };
+        // Only the two group_size-sized tails need ordering; selecting
+        // them is O(n + g·log g) instead of sorting all n students.
+        ranked.select_nth_unstable_by(group_size - 1, by_rank);
+        ranked[..group_size].sort_unstable_by(by_rank);
+        let rest = &mut ranked[group_size..];
+        let low_start = rest.len() - group_size;
+        if low_start > 0 {
+            rest.select_nth_unstable_by(low_start, by_rank);
+        }
+        rest[low_start..].sort_unstable_by(by_rank);
 
         let high = ranked[..group_size]
             .iter()
@@ -202,5 +217,41 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.high(), &["s0".parse().unwrap(), "s1".parse().unwrap()]);
         assert_eq!(a.low(), &["s6".parse().unwrap(), "s7".parse().unwrap()]);
+    }
+
+    #[test]
+    fn boundary_ties_pin_membership_by_id() {
+        // Twelve students, scores tied in blocks of three around both
+        // group boundaries (group_size = 3): ranking must pick members
+        // inside a tied block by id, and the partial selection must
+        // agree with what a full sort would produce.
+        let score_of = |i: usize| match i {
+            0..=2 => 10.0, // tied top block
+            3..=5 => 10.0, // same score — 6-way tie across the boundary
+            6..=8 => 5.0,
+            _ => 1.0, // tied bottom block
+        };
+        let students = (0..12)
+            .map(|i| {
+                let points = score_of(i);
+                StudentRecord::new(
+                    format!("s{i:02}").parse().unwrap(),
+                    vec![ItemResponse::correct(
+                        "q0".parse().unwrap(),
+                        Answer::TrueFalse(true),
+                        points,
+                    )],
+                )
+            })
+            .collect();
+        let record = ExamRecord::new(ExamId::new("e").unwrap(), students);
+        let groups = ScoreGroups::split(&record, GroupFraction::PAPER).unwrap();
+        assert_eq!(groups.group_size(), 3);
+        // The six-way tie at 10.0 resolves by id: s00–s02 make the cut.
+        let ids = |v: &[StudentId]| -> Vec<String> {
+            v.iter().map(std::string::ToString::to_string).collect()
+        };
+        assert_eq!(ids(groups.high()), ["s00", "s01", "s02"]);
+        assert_eq!(ids(groups.low()), ["s09", "s10", "s11"]);
     }
 }

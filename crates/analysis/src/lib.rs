@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod batch;
 pub mod config;
 pub mod distraction;
 pub mod error;
@@ -68,6 +69,7 @@ pub mod status;
 pub mod two_way;
 
 pub use baseline::point_biserial;
+pub use batch::{BatchAnalyzer, BatchJob, BatchReport, BatchSummary, CacheStats, PrePostReport};
 pub use config::AnalysisConfig;
 pub use distraction::{analyze_distractors, DistractorReport, DistractorRole};
 pub use error::AnalysisError;

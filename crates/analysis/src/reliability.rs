@@ -7,12 +7,14 @@
 //! reduces to KR-20; we compute alpha on awarded points, which handles
 //! partial credit too.
 
+use serde::{Deserialize, Serialize};
+
 use mine_core::ExamRecord;
 
 use crate::error::AnalysisError;
 
 /// Reliability summary of one sitting.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Reliability {
     /// Cronbach's alpha over item scores (None when undefined —
     /// fewer than two items or zero score variance).

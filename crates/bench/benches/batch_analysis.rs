@@ -1,0 +1,114 @@
+//! Perf: the parallel batch analysis engine vs the sequential loop.
+//!
+//! Workload: many sittings of a 50-question exam by 200-student
+//! cohorts, all through the full §4 pipeline. `sequential` runs
+//! `ExamAnalysis::analyze` exam by exam on ONE thread — the
+//! pre-parallelization pipeline this PR replaces. `batch/Nt` runs the
+//! same jobs through `BatchAnalyzer` with N worker threads (cache
+//! disabled, so the numbers measure computation, not memoization). A
+//! final pair measures the warm-cache path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mine_analysis::{AnalysisConfig, BatchAnalyzer, ExamAnalysis};
+use mine_bench::{criterion_config, standard_problems, standard_record};
+use mine_core::ExamRecord;
+use mine_itembank::Problem;
+
+const QUESTIONS: usize = 50;
+const CLASS: usize = 200;
+
+fn workload(exams: usize) -> Vec<ExamRecord> {
+    (0..exams)
+        .map(|i| standard_record(QUESTIONS, CLASS, 1000 + i as u64))
+        .collect()
+}
+
+/// The baseline: every exam and every question on a single thread,
+/// exactly like the pipeline before the rayon fan-out existed.
+fn sequential(records: &[ExamRecord], problems: &[Problem]) -> usize {
+    let config = AnalysisConfig::default();
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    single.install(|| {
+        records
+            .iter()
+            .map(|record| {
+                ExamAnalysis::analyze(record, problems, &config)
+                    .unwrap()
+                    .questions
+                    .len()
+            })
+            .sum()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let problems = standard_problems(QUESTIONS);
+
+    println!("=== Batch analysis: {QUESTIONS} questions x {CLASS} students per exam ===");
+    let mut group = c.benchmark_group("batch_analysis");
+    for exams in [10usize, 100, 1000] {
+        let records = workload(exams);
+        group.throughput(Throughput::Elements(exams as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sequential", exams),
+            &records,
+            |b, records| b.iter(|| sequential(records, &problems)),
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let analyzer = BatchAnalyzer::new(AnalysisConfig::default())
+                .with_threads(threads)
+                .with_cache_capacity(0);
+            group.bench_with_input(
+                BenchmarkId::new(format!("batch/{threads}t"), exams),
+                &records,
+                |b, records| {
+                    b.iter(|| {
+                        analyzer
+                            .analyze_records(records, &problems)
+                            .unwrap()
+                            .summary
+                            .questions
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Memoization: the same 10 sittings analyzed again and again.
+    let records = workload(10);
+    let mut group = c.benchmark_group("batch_cache");
+    let cold = BatchAnalyzer::new(AnalysisConfig::default()).with_cache_capacity(0);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            cold.analyze_records(&records, &problems)
+                .unwrap()
+                .summary
+                .exams
+        });
+    });
+    let warm = BatchAnalyzer::new(AnalysisConfig::default());
+    warm.analyze_records(&records, &problems).unwrap();
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            warm.analyze_records(&records, &problems)
+                .unwrap()
+                .summary
+                .exams
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Single-thread iterations at 1000 exams run tens of seconds;
+    // three samples keep the full sweep affordable.
+    config = criterion_config().sample_size(3);
+    targets = bench
+}
+criterion_main!(benches);

@@ -6,6 +6,7 @@ use std::fmt;
 
 use rand::Rng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use mine_core::{Answer, ExamRecord, OptionKey, ProblemId};
 use mine_delivery::{DeliveryError, DeliveryOptions, ExamSession, MonitorHub, SnapshotPolicy};
@@ -170,11 +171,15 @@ impl Simulation {
         ItemParams::new(1.0, b, guessing)
     }
 
-    fn run_inner(&self, hub: Option<&MonitorHub>) -> Result<ExamRecord, SimulationError> {
-        if self.students.is_empty() {
-            return Err(SimulationError::EmptyCohort);
-        }
-        let params: BTreeMap<ProblemId, ItemParams> = self
+    /// Precomputes the per-problem IRT parameters and lookup table every
+    /// student sitting shares.
+    fn tables(
+        &self,
+    ) -> (
+        BTreeMap<ProblemId, ItemParams>,
+        BTreeMap<ProblemId, &Problem>,
+    ) {
+        let params = self
             .problems
             .iter()
             .map(|p| {
@@ -187,75 +192,96 @@ impl Simulation {
                 (id, params)
             })
             .collect();
-        let by_id: BTreeMap<ProblemId, &Problem> =
-            self.problems.iter().map(|p| (p.id().clone(), p)).collect();
+        let by_id = self.problems.iter().map(|p| (p.id().clone(), p)).collect();
+        (params, by_id)
+    }
 
-        let mut records = Vec::with_capacity(self.students.len());
-        for (index, student) in self.students.iter().enumerate() {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(
-                self.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-            );
-            let mut session = ExamSession::start(
-                &self.exam,
-                self.problems.clone(),
+    /// Sits one student through the exam. All randomness derives from
+    /// the student's `index` (never from shared state), so sittings are
+    /// independent and can run in any order — or concurrently — and
+    /// still produce identical records.
+    fn simulate_student(
+        &self,
+        index: usize,
+        student: &SimStudent,
+        params: &BTreeMap<ProblemId, ItemParams>,
+        by_id: &BTreeMap<ProblemId, &Problem>,
+        hub: Option<&MonitorHub>,
+    ) -> Result<mine_core::StudentRecord, SimulationError> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            self.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let mut session = ExamSession::start(
+            &self.exam,
+            self.problems.clone(),
+            student.id.clone(),
+            DeliveryOptions {
+                seed: self.seed.wrapping_add(index as u64),
+                resumable: true,
+                time_accommodation: 1.0,
+            },
+        )?;
+        let mut monitor = hub.map(|h| {
+            h.monitor(
+                session.id().clone(),
                 student.id.clone(),
-                DeliveryOptions {
-                    seed: self.seed.wrapping_add(index as u64),
-                    resumable: true,
-                    time_accommodation: 1.0,
-                },
-            )?;
-            let mut monitor = hub.map(|h| {
-                h.monitor(
-                    session.id().clone(),
-                    student.id.clone(),
-                    SnapshotPolicy::default(),
-                )
-            });
-            let order: Vec<ProblemId> = session.order().to_vec();
-            for problem_id in &order {
-                let problem = by_id[problem_id];
-                let time = self.pacing.sample(&mut rng, student.pace);
-                if self.skip_rate > 0.0 && rng.gen_bool(self.skip_rate) {
-                    match session.skip(time) {
-                        Ok(()) | Err(DeliveryError::TimeExpired) => {}
-                        Err(err) => return Err(err.into()),
-                    }
-                    continue;
-                }
-                let p_know = params[problem_id].p_correct(student.ability);
-                let p_effective = p_know * (1.0 - student.slip);
-                let is_correct = rng.gen_bool(p_effective.clamp(0.0, 1.0));
-                let mut answer = generate_answer(
-                    &mut rng,
-                    problem,
-                    is_correct,
-                    self.distractors.get(problem_id),
-                );
-                // Ambiguous wording lures even knowing students away.
-                if let Some(&(lure, rate)) = self.ambiguity.get(problem_id) {
-                    if is_correct && rate > 0.0 && rng.gen_bool(rate) {
-                        if let Answer::Choice(_) = answer {
-                            answer = Answer::Choice(lure);
-                        }
-                    }
-                }
-                match session.answer(answer, time) {
-                    Ok(()) => {
-                        if let Some(monitor) = monitor.as_mut() {
-                            monitor.on_answer(session.elapsed());
-                        }
-                    }
-                    // Out of time: remaining questions stay unanswered.
-                    Err(DeliveryError::TimeExpired) => break,
+                SnapshotPolicy::default(),
+            )
+        });
+        let order: Vec<ProblemId> = session.order().to_vec();
+        for problem_id in &order {
+            let problem = by_id[problem_id];
+            let time = self.pacing.sample(&mut rng, student.pace);
+            if self.skip_rate > 0.0 && rng.gen_bool(self.skip_rate) {
+                match session.skip(time) {
+                    Ok(()) | Err(DeliveryError::TimeExpired) => {}
                     Err(err) => return Err(err.into()),
                 }
+                continue;
             }
-            let record = session.finish()?;
-            if let Some(monitor) = monitor.as_ref() {
-                monitor.on_finish(record.attempted_count(), record.total_time);
+            let p_know = params[problem_id].p_correct(student.ability);
+            let p_effective = p_know * (1.0 - student.slip);
+            let is_correct = rng.gen_bool(p_effective.clamp(0.0, 1.0));
+            let mut answer = generate_answer(
+                &mut rng,
+                problem,
+                is_correct,
+                self.distractors.get(problem_id),
+            );
+            // Ambiguous wording lures even knowing students away.
+            if let Some(&(lure, rate)) = self.ambiguity.get(problem_id) {
+                if is_correct && rate > 0.0 && rng.gen_bool(rate) {
+                    if let Answer::Choice(_) = answer {
+                        answer = Answer::Choice(lure);
+                    }
+                }
             }
-            records.push(record);
+            match session.answer(answer, time) {
+                Ok(()) => {
+                    if let Some(monitor) = monitor.as_mut() {
+                        monitor.on_answer(session.elapsed());
+                    }
+                }
+                // Out of time: remaining questions stay unanswered.
+                Err(DeliveryError::TimeExpired) => break,
+                Err(err) => return Err(err.into()),
+            }
+        }
+        let record = session.finish()?;
+        if let Some(monitor) = monitor.as_ref() {
+            monitor.on_finish(record.attempted_count(), record.total_time);
+        }
+        Ok(record)
+    }
+
+    fn run_inner(&self, hub: Option<&MonitorHub>) -> Result<ExamRecord, SimulationError> {
+        if self.students.is_empty() {
+            return Err(SimulationError::EmptyCohort);
+        }
+        let (params, by_id) = self.tables();
+        let mut records = Vec::with_capacity(self.students.len());
+        for (index, student) in self.students.iter().enumerate() {
+            records.push(self.simulate_student(index, student, &params, &by_id, hub)?);
         }
         Ok(ExamRecord::new(self.exam.id().clone(), records))
     }
@@ -268,6 +294,41 @@ impl Simulation {
     /// wrapped delivery error.
     pub fn run(&self) -> Result<ExamRecord, SimulationError> {
         self.run_inner(None)
+    }
+
+    /// Runs the simulation with students sitting concurrently.
+    ///
+    /// Each student's randomness is derived from their cohort index, so
+    /// the record is identical to [`Simulation::run`]'s — only
+    /// wall-clock time changes. `threads` of `0` auto-detects.
+    /// Monitoring is not available on this path; use
+    /// [`Simulation::run_monitored`] when proctor events matter.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::run`].
+    pub fn run_parallel(&self, threads: usize) -> Result<ExamRecord, SimulationError> {
+        if self.students.is_empty() {
+            return Err(SimulationError::EmptyCohort);
+        }
+        let (params, by_id) = self.tables();
+        let tasks: Vec<(usize, &SimStudent)> = self.students.iter().enumerate().collect();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let records = pool
+            .install(|| {
+                tasks
+                    .par_iter()
+                    .map(|&(index, student)| {
+                        self.simulate_student(index, student, &params, &by_id, None)
+                    })
+                    .collect::<Vec<Result<mine_core::StudentRecord, SimulationError>>>()
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ExamRecord::new(self.exam.id().clone(), records))
     }
 
     /// Runs with every session attached to a [`MonitorHub`] so proctor
@@ -343,6 +404,15 @@ mod tests {
         assert_eq!(a, b);
         let c = base().seed(8).run().unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_exactly() {
+        let sequential = base().run().unwrap();
+        for threads in [0usize, 1, 2, 4] {
+            let parallel = base().run_parallel(threads).unwrap();
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full local gate: format, lint, test. Run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "All checks passed."

@@ -12,12 +12,15 @@
 //! mine search <db> <terms…>                    free-text search
 //! mine export-scorm <db> <exam-id> <out-dir>   write a SCORM package tree
 //! mine simulate <db> <exam-id> <class> <seed>  simulate a sitting, print the report
+//! mine batch-analyze <db> <exam-id> <cohorts> <class> <seed> [--threads N]
+//!                                              simulate many sittings, analyze them
+//!                                              concurrently, print the batch summary
 //! mine tree <db> <problem-id>                  print the Figure 1 metadata tree
 //! ```
 
 use std::process::ExitCode;
 
-use mine_assessment::analysis::{render_full_report, AnalysisConfig, ExamAnalysis};
+use mine_assessment::analysis::{render_full_report, AnalysisConfig, BatchAnalyzer, ExamAnalysis};
 use mine_assessment::core::{CognitionLevel, OptionKey};
 use mine_assessment::itembank::{
     ChoiceOption, Exam, Problem, Query, Repository, RepositorySnapshot,
@@ -47,6 +50,7 @@ usage:
   mine search <db> <terms>...
   mine export-scorm <db> <exam-id> <out-dir>
   mine simulate <db> <exam-id> <class-size> <seed>
+  mine batch-analyze <db> <exam-id> <cohorts> <class-size> <seed> [--threads N]
   mine tree <db> <problem-id>";
 
 type CliResult = Result<(), String>;
@@ -69,6 +73,7 @@ fn run(args: &[String]) -> CliResult {
         "search" => search(rest),
         "export-scorm" => export_scorm(rest),
         "simulate" => simulate(rest),
+        "batch-analyze" => batch_analyze(rest),
         "tree" => tree(rest),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -272,6 +277,84 @@ fn simulate(args: &[String]) -> CliResult {
     let analysis = ExamAnalysis::analyze(&record, &problems, &AnalysisConfig::default())
         .map_err(|err| err.to_string())?;
     print_block(&render_full_report(&analysis));
+    Ok(())
+}
+
+fn batch_analyze(args: &[String]) -> CliResult {
+    // Split off a trailing `--threads N` (0 = auto, the default).
+    let (threads, args) = match args {
+        [rest @ .., flag, n] if flag == "--threads" => (
+            n.parse::<usize>().map_err(|_| "--threads needs a number")?,
+            rest,
+        ),
+        _ => (0, args),
+    };
+    let [path, exam_id, cohorts, class, seed] = args else {
+        return Err(
+            "batch-analyze needs <db> <exam-id> <cohorts> <class-size> <seed> [--threads N]".into(),
+        );
+    };
+    let cohorts: usize = cohorts.parse().map_err(|_| "cohorts must be a number")?;
+    if cohorts == 0 {
+        return Err("batch-analyze needs at least one cohort".into());
+    }
+    let class: usize = class.parse().map_err(|_| "class-size must be a number")?;
+    let seed: u64 = seed.parse().map_err(|_| "seed must be a number")?;
+    let repository = load(path)?;
+    let (exam, problems) = repository
+        .resolve_exam(&exam_id.parse().map_err(|err| format!("{err}"))?)
+        .map_err(|err| err.to_string())?;
+
+    // One sitting per cohort, each a different section of the class
+    // (consecutive seeds), simulated concurrently.
+    let records = (0..cohorts)
+        .map(|i| {
+            Simulation::new(exam.clone(), problems.clone())
+                .cohort(CohortSpec::new(class).seed(seed.wrapping_add(i as u64)))
+                .run_parallel(threads)
+                .map_err(|err| err.to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let analyzer = BatchAnalyzer::new(AnalysisConfig::default()).with_threads(threads);
+    let report = analyzer
+        .analyze_records(&records, &problems)
+        .map_err(|err| err.to_string())?;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "batch: {} sittings of {exam_id} ({} students each)\n\n",
+        report.summary.exams, class
+    ));
+    for (i, analysis) in report.analyses.iter().enumerate() {
+        out.push_str(&format!(
+            "  sitting {:<3} seed {:<6} mean {:>6.2}  pass {:>5.1}%  alpha {}\n",
+            i,
+            seed.wrapping_add(i as u64),
+            analysis.statistics.mean_score,
+            analysis.statistics.pass_rate * 100.0,
+            analysis
+                .reliability
+                .alpha
+                .map_or("  n/a".to_string(), |a| format!("{a:>5.2}")),
+        ));
+    }
+    let s = &report.summary;
+    out.push_str(&format!(
+        "\nquestions analyzed: {} (green {}, yellow {}, red {})\n",
+        s.questions, s.green, s.yellow, s.red
+    ));
+    if let (Some(min), Some(mean), Some(max)) = (s.min_alpha, s.mean_alpha, s.max_alpha) {
+        out.push_str(&format!(
+            "reliability alpha:  min {min:.2}  mean {mean:.2}  max {max:.2}\n"
+        ));
+    }
+    let stats = analyzer.cache_stats();
+    out.push_str(&format!(
+        "cache: {} hits, {} misses, {} resident\n",
+        stats.hits, stats.misses, stats.entries
+    ));
+    print_block(&out);
     Ok(())
 }
 

@@ -144,3 +144,69 @@ fn concurrent_edits_to_one_problem_serialize_cleanly() {
     // 160 edits + initial insert → version 161; no update lost.
     assert_eq!(system.repository().problem_version(&id).unwrap(), 161);
 }
+
+#[test]
+fn batch_cache_survives_hammering_from_many_threads() {
+    use mine_assessment::analysis::{AnalysisConfig, BatchAnalyzer, ExamAnalysis};
+    use mine_assessment::simulator::{CohortSpec, Simulation};
+    use std::sync::Arc;
+
+    let problems: Vec<Problem> = (0..6)
+        .map(|i| {
+            Problem::multiple_choice(
+                format!("q{i}"),
+                format!("Question {i}"),
+                OptionKey::first(4).map(|k| ChoiceOption::new(k, format!("{k}"))),
+                OptionKey::A,
+            )
+            .unwrap()
+        })
+        .collect();
+    let mut builder = Exam::builder("hammer").unwrap();
+    for i in 0..6 {
+        builder = builder.entry(format!("q{i}").parse().unwrap());
+    }
+    let exam = builder.build().unwrap();
+    // 6 distinct sittings contending for a cache that only holds 4, so
+    // threads race on hits, misses, inserts, and evictions at once.
+    let records: Vec<_> = (0..6)
+        .map(|seed| {
+            Simulation::new(exam.clone(), problems.clone())
+                .cohort(CohortSpec::new(20).seed(seed))
+                .run()
+                .unwrap()
+        })
+        .collect();
+    let expected: Vec<_> = records
+        .iter()
+        .map(|r| ExamAnalysis::analyze(r, &problems, &AnalysisConfig::default()).unwrap())
+        .collect();
+
+    let analyzer = Arc::new(BatchAnalyzer::new(AnalysisConfig::default()).with_cache_capacity(4));
+    let problems = Arc::new(problems);
+    let records = Arc::new(records);
+    let expected = Arc::new(expected);
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let analyzer = Arc::clone(&analyzer);
+            let problems = Arc::clone(&problems);
+            let records = Arc::clone(&records);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                for round in 0..15 {
+                    let i = (t + round) % records.len();
+                    let analysis = analyzer.analyze_one(&records[i], &problems).unwrap();
+                    assert_eq!(analysis, expected[i], "thread {t} round {round}");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let stats = analyzer.cache_stats();
+    // Every lookup was counted, and the bound held under contention.
+    assert_eq!(stats.hits + stats.misses, 8 * 15);
+    assert!(stats.entries <= 4, "capacity exceeded: {}", stats.entries);
+    assert!(stats.hits > 0, "repeated inputs should hit");
+}

@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 
-use mine_assessment::analysis::{AnalysisConfig, ExamAnalysis, ScoreGroups};
+use mine_assessment::analysis::{AnalysisConfig, BatchAnalyzer, ExamAnalysis, ScoreGroups};
 use mine_assessment::core::{Answer, CognitionLevel, GroupFraction, OptionKey};
 use mine_assessment::delivery::{DeliveryOptions, ExamSession};
 use mine_assessment::itembank::{ChoiceOption, Exam, Problem};
@@ -199,5 +199,58 @@ proptest! {
         let weak = mean_p(-1.5);
         let strong = mean_p(1.5);
         prop_assert!(strong > weak, "strong {strong} vs weak {weak}");
+    }
+
+    /// The parallel batch engine is invisible in the output: for any
+    /// batch and any thread count, every analysis serializes to exactly
+    /// the bytes the sequential pipeline produces.
+    #[test]
+    fn batch_analysis_is_byte_identical_to_sequential(
+        exams in 1usize..6,
+        class in 8usize..40,
+        n_questions in 2usize..7,
+        threads in 1usize..9,
+        seed in 0u64..200,
+    ) {
+        let problems = problems(n_questions, 4);
+        let records: Vec<_> = (0..exams)
+            .map(|i| {
+                Simulation::new(exam(n_questions), problems.clone())
+                    .cohort(CohortSpec::new(class).seed(seed.wrapping_add(i as u64)))
+                    .run()
+                    .unwrap()
+            })
+            .collect();
+        let report = BatchAnalyzer::new(AnalysisConfig::default())
+            .with_threads(threads)
+            .analyze_records(&records, &problems)
+            .unwrap();
+        prop_assert_eq!(report.analyses.len(), records.len());
+        for (record, parallel) in records.iter().zip(&report.analyses) {
+            let sequential =
+                ExamAnalysis::analyze(record, &problems, &AnalysisConfig::default()).unwrap();
+            let parallel_bytes = serde_json::to_string(parallel).unwrap();
+            let sequential_bytes = serde_json::to_string(&sequential).unwrap();
+            prop_assert_eq!(&parallel_bytes, &sequential_bytes);
+        }
+    }
+
+    /// The simulator's parallel cohort path is likewise invisible: same
+    /// seed, same record, whatever the thread count.
+    #[test]
+    fn parallel_simulation_is_byte_identical_to_sequential(
+        class in 4usize..40,
+        threads in 0usize..9,
+        seed in 0u64..200,
+    ) {
+        let problems = problems(4, 4);
+        let simulation = Simulation::new(exam(4), problems)
+            .cohort(CohortSpec::new(class).seed(seed));
+        let sequential = simulation.run().unwrap();
+        let parallel = simulation.run_parallel(threads).unwrap();
+        prop_assert_eq!(
+            serde_json::to_string(&parallel).unwrap(),
+            serde_json::to_string(&sequential).unwrap()
+        );
     }
 }

@@ -1,0 +1,106 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] here is an `Arc<[u8]>`: immutable, cheap to clone, and
+//! dereferences to `[u8]` like the real thing. Slicing/splitting APIs
+//! are omitted — the workspace only builds, clones, and reads frames.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies a static slice into a buffer.
+    #[must_use]
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self { data: data.into() }
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data: data.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self { data: data.into() }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &byte in self.data.iter() {
+            if byte.is_ascii_graphic() || byte == b' ' {
+                write!(f, "{}", byte as char)?;
+            } else {
+                write!(f, "\\x{byte:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn construction_and_deref() {
+        let bytes = Bytes::from(vec![1, 2, 3]);
+        assert_eq!(bytes.len(), 3);
+        assert_eq!(&bytes[..], &[1, 2, 3]);
+        assert!(bytes.starts_with(&[1, 2]));
+        assert!(!Bytes::new().starts_with(&[1]));
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn clones_share_and_compare() {
+        let a = Bytes::from_static(b"FRAME");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, Bytes::from_static(b"OTHER"));
+        assert_eq!(format!("{a:?}"), "b\"FRAME\"");
+        assert_eq!(format!("{:?}", Bytes::from(vec![0x00])), "b\"\\x00\"");
+    }
+}

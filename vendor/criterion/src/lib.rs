@@ -1,0 +1,461 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the measurement surface the bench suite uses:
+//! [`Criterion`] with `warm_up_time`/`measurement_time`/`sample_size`/
+//! `configure_from_args`, `bench_function`, [`BenchmarkGroup`] with
+//! `bench_with_input`/`throughput`/`finish`, [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], plus the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Two execution modes, chosen by `configure_from_args`:
+//!
+//! * **Measure** — when the process arguments contain `--bench` (cargo
+//!   passes it under `cargo bench`): warm up, then time `sample_size`
+//!   samples and report the median per-iteration latency, criterion-
+//!   style. No statistics beyond min/median/max — this is a tracking
+//!   harness, not an inference engine.
+//! * **Smoke** — otherwise (`cargo test` also runs `harness = false`
+//!   bench targets): run each routine once so the code path stays
+//!   exercised, and skip timing.
+//!
+//! Set `CRITERION_JSON=<path>` to append one JSON line per benchmark
+//! (`{"id":…,"median_ns":…,…}`) for committed baselines.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched setup cost is amortized. The stand-in times every
+/// routine call individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Units-of-work declaration for a group (reported, not analyzed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Smoke,
+    Measure,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+            sample_size: 100,
+            mode: Mode::Smoke,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    #[must_use]
+    pub fn warm_up_time(mut self, warm_up: Duration) -> Self {
+        self.warm_up = warm_up;
+        self
+    }
+
+    /// Sets the total measurement duration budget.
+    #[must_use]
+    pub fn measurement_time(mut self, measurement: Duration) -> Self {
+        self.measurement = measurement;
+        self
+    }
+
+    /// Sets how many timing samples to take.
+    #[must_use]
+    pub fn sample_size(mut self, sample_size: usize) -> Self {
+        self.sample_size = sample_size.max(2);
+        self
+    }
+
+    /// Applies process arguments: `--bench` (passed by `cargo bench`)
+    /// switches from smoke mode to real measurement.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|arg| arg == "--bench") {
+            self.mode = Mode::Measure;
+        }
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            mode: self.mode,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            sample: None,
+        };
+        f(&mut bencher);
+        report(id, self.mode, None, bencher.sample.as_ref());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks reported under a shared prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares units-of-work for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+            sample_size: self.criterion.sample_size,
+            sample: None,
+        };
+        f(&mut bencher, input);
+        let full_id = format!("{}/{}", self.name, id.id);
+        report(
+            &full_id,
+            self.criterion.mode,
+            self.throughput,
+            bencher.sample.as_ref(),
+        );
+        self
+    }
+
+    /// Runs one benchmark without a parameterized input.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+            sample_size: self.criterion.sample_size,
+            sample: None,
+        };
+        f(&mut bencher);
+        let full_id = format!("{}/{id}", self.name);
+        report(
+            &full_id,
+            self.criterion.mode,
+            self.throughput,
+            bencher.sample.as_ref(),
+        );
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Per-iteration timing distilled from the samples.
+#[derive(Debug)]
+struct Sample {
+    min_ns: f64,
+    median_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iterations: u64,
+}
+
+/// Drives the routine under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    /// Times `routine` (smoke mode: runs it once, untimed).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            return;
+        }
+        // Warm up while estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Size each sample so all samples fit the measurement budget.
+        let budget = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter) as u64).max(1);
+        let mut per_iter_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        self.sample = Some(summarize(per_iter_ns, iters_per_sample));
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup cost is
+    /// excluded by timing each routine call individually.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        if self.mode == Mode::Smoke {
+            black_box(routine(setup()));
+            return;
+        }
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut timed = Duration::ZERO;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = (timed.as_secs_f64() / warm_iters as f64).max(1e-9);
+        let budget = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter) as u64).max(1);
+        let mut per_iter_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            per_iter_ns.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        self.sample = Some(summarize(per_iter_ns, iters_per_sample));
+    }
+}
+
+fn summarize(mut per_iter_ns: Vec<f64>, iterations: u64) -> Sample {
+    per_iter_ns.sort_by(f64::total_cmp);
+    let samples = per_iter_ns.len();
+    Sample {
+        min_ns: per_iter_ns[0],
+        median_ns: per_iter_ns[samples / 2],
+        max_ns: per_iter_ns[samples - 1],
+        samples,
+        iterations,
+    }
+}
+
+fn report(id: &str, mode: Mode, throughput: Option<Throughput>, sample: Option<&Sample>) {
+    match (mode, sample) {
+        (Mode::Smoke, _) => println!("{id:<50} smoke ok"),
+        (Mode::Measure, None) => println!("{id:<50} (no measurement recorded)"),
+        (Mode::Measure, Some(sample)) => {
+            println!(
+                "{id:<50} time:   [{} {} {}]",
+                fmt_ns(sample.min_ns),
+                fmt_ns(sample.median_ns),
+                fmt_ns(sample.max_ns),
+            );
+            if let Some(Throughput::Elements(elements)) = throughput {
+                let per_sec = elements as f64 / (sample.median_ns / 1e9);
+                println!("{:<50} thrpt:  {per_sec:.0} elem/s", "");
+            }
+            export_json(id, throughput, sample);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Appends one JSON line per measured benchmark to `$CRITERION_JSON`.
+fn export_json(id: &str, throughput: Option<Throughput>, sample: &Sample) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let elements = match throughput {
+        Some(Throughput::Elements(elements)) => format!(",\"elements\":{elements}"),
+        _ => String::new(),
+    };
+    let line = format!(
+        "{{\"id\":\"{id}\",\"median_ns\":{:.0},\"min_ns\":{:.0},\"max_ns\":{:.0},\
+         \"samples\":{},\"iters_per_sample\":{}{elements}}}\n",
+        sample.median_ns, sample.min_ns, sample.max_ns, sample.samples, sample.iterations,
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(error) = result {
+        eprintln!("CRITERION_JSON export to {path} failed: {error}");
+    }
+}
+
+/// Bundles benchmark targets under a runner function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_routine_once() {
+        let mut count = 0;
+        let mut criterion = Criterion::default(); // smoke: no --bench arg
+        criterion.bench_function("counting", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut criterion = Criterion {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(20),
+            sample_size: 5,
+            mode: Mode::Measure,
+        };
+        criterion.bench_function("spin", |b| b.iter(|| std::hint::black_box(3u64.pow(7))));
+        let mut group = criterion.benchmark_group("grouped");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut criterion = Criterion {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(10),
+            sample_size: 3,
+            mode: Mode::Measure,
+        };
+        criterion.bench_function("drain", |b| {
+            b.iter_batched(
+                || vec![1u8, 2, 3],
+                |mut v| {
+                    assert_eq!(v.len(), 3);
+                    v.clear();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn benchmark_id_formats_with_parameter() {
+        assert_eq!(BenchmarkId::new("build", 64).id, "build/64");
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert_eq!(fmt_ns(12.5), "12.50 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.00 ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00 s");
+    }
+}

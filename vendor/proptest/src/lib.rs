@@ -1,0 +1,827 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Generate-only property testing: strategies produce random values
+//! from a deterministically seeded RNG and failures panic immediately —
+//! there is no shrinking and no regression-file persistence. The
+//! strategy combinators cover what the workspace's property tests use:
+//! ranges, tuples, [`Just`], `prop_oneof!`, `prop_map`/`prop_flat_map`/
+//! `prop_filter`/`prop_recursive`, [`collection::vec`], [`option::of`],
+//! [`any`], and regex-literal string strategies (`"[a-z]{1,4}"`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+pub mod prelude {
+    //! Glob-import target mirroring `proptest::prelude`.
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Subset of proptest's config: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::*;
+
+    /// A recipe for generating random values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Type-erases the strategy (cheaply cloneable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<W, F: Fn(Self::Value) -> W>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into a strategy-producing `f`.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Regenerates until `predicate` accepts the value.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            predicate: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason,
+                predicate,
+            }
+        }
+
+        /// Builds recursive structures: `recurse` receives the strategy
+        /// for the previous level. `_desired_size`/`_branch` shape real
+        /// proptest's size heuristics and are ignored here; nesting is
+        /// bounded by unrolling `depth` levels eagerly.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base = self.boxed();
+            let mut current = base.clone();
+            for _ in 0..depth {
+                // Mix in the base at every level so leaves stay likely.
+                current = Union::new(vec![base.clone(), recurse(current).boxed()]).boxed();
+            }
+            current
+        }
+    }
+
+    /// A cheaply-cloneable type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.inner.generate(rng)
+        }
+
+        fn boxed(self) -> BoxedStrategy<T>
+        where
+            Self: Sized + 'static,
+        {
+            self
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, W, F: Fn(S::Value) -> W> Strategy for Map<S, F> {
+        type Value = W;
+
+        fn generate(&self, rng: &mut StdRng) -> W {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        predicate: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1_000 {
+                let value = self.inner.generate(rng);
+                if (self.predicate)(&value) {
+                    return value;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 candidates in a row: {}",
+                self.reason
+            );
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics on an empty option list.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let pick = rng.gen_range(0..self.options.len());
+            self.options[pick].generate(rng)
+        }
+    }
+
+    impl<T: rand::SampleUniform + PartialOrd + Copy + 'static> Strategy for std::ops::Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: rand::SampleUniform + PartialOrd + Copy + 'static> Strategy
+        for std::ops::RangeInclusive<T>
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy_impl {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy_impl! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, G)
+    }
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait behind [`crate::any`].
+
+    use super::*;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! arbitrary_int_impl {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen_range(<$ty>::MIN..=<$ty>::MAX)
+                }
+            }
+        )*};
+    }
+    arbitrary_int_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy [`crate::any`] returns.
+    pub struct AnyStrategy<A> {
+        _marker: std::marker::PhantomData<fn() -> A>,
+    }
+
+    impl<A> Default for AnyStrategy<A> {
+        fn default() -> Self {
+            Self {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<A: Arbitrary> crate::strategy::Strategy for AnyStrategy<A> {
+        type Value = A;
+
+        fn generate(&self, rng: &mut StdRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+}
+
+/// The canonical strategy for `A` (`any::<bool>()`).
+#[must_use]
+pub fn any<A: arbitrary::Arbitrary>() -> arbitrary::AnyStrategy<A> {
+    arbitrary::AnyStrategy::default()
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// A length bound for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            Self {
+                min: len,
+                max_inclusive: len,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(range: std::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty vec size range");
+            Self {
+                min: range.start,
+                max_inclusive: range.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(range.start() <= range.end(), "empty vec size range");
+            Self {
+                min: *range.start(),
+                max_inclusive: *range.end(),
+            }
+        }
+    }
+
+    /// A strategy for `Vec`s whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// A strategy producing `None` about a quarter of the time.
+    pub fn of<S: Strategy>(some: S) -> OptionStrategy<S> {
+        OptionStrategy { some }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        some: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.some.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! Tiny regex-subset generator backing `&str` strategies.
+    //!
+    //! Supports the shapes the workspace's patterns use: literal chars,
+    //! `\`-escapes, character classes with ranges and a trailing
+    //! literal `-`, groups with alternation `(a|bc|d)`, and the
+    //! quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (unbounded capped at 8).
+
+    use super::*;
+
+    enum Node {
+        Literal(char),
+        /// Inclusive character ranges; single chars are `(c, c)`.
+        Class(Vec<(char, char)>),
+        /// Alternation over sequences.
+        Group(Vec<Vec<Quantified>>),
+    }
+
+    struct Quantified {
+        node: Node,
+        min: u32,
+        max: u32,
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate_matching(pattern: &str, rng: &mut StdRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let nodes = parse_sequence(&mut chars, pattern);
+        assert!(chars.next().is_none(), "unbalanced pattern: {pattern:?}");
+        let mut out = String::new();
+        for node in &nodes {
+            emit(node, rng, &mut out);
+        }
+        out
+    }
+
+    type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+    fn parse_sequence(chars: &mut Chars<'_>, pattern: &str) -> Vec<Quantified> {
+        let mut nodes = Vec::new();
+        while let Some(&c) = chars.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            chars.next();
+            let node = match c {
+                '\\' => {
+                    let escaped = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                    Node::Literal(escaped)
+                }
+                '[' => Node::Class(parse_class(chars, pattern)),
+                '(' => {
+                    let mut alternatives = vec![parse_sequence(chars, pattern)];
+                    while chars.peek() == Some(&'|') {
+                        chars.next();
+                        alternatives.push(parse_sequence(chars, pattern));
+                    }
+                    assert_eq!(chars.next(), Some(')'), "unclosed group in {pattern:?}");
+                    Node::Group(alternatives)
+                }
+                '.' => Node::Class(vec![(' ', '~')]),
+                literal => Node::Literal(literal),
+            };
+            let (min, max) = parse_quantifier(chars, pattern);
+            nodes.push(Quantified { node, min, max });
+        }
+        nodes
+    }
+
+    fn parse_class(chars: &mut Chars<'_>, pattern: &str) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        loop {
+            let c = chars
+                .next()
+                .unwrap_or_else(|| panic!("unclosed class in {pattern:?}"));
+            match c {
+                ']' => break,
+                '\\' => {
+                    let escaped = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                    ranges.push((escaped, escaped));
+                }
+                low => {
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.peek() {
+                            // Trailing `-` before `]` is a literal dash.
+                            Some(&']') | None => {
+                                ranges.push((low, low));
+                                ranges.push(('-', '-'));
+                            }
+                            Some(&high) => {
+                                chars.next();
+                                assert!(low <= high, "inverted range in {pattern:?}");
+                                ranges.push((low, high));
+                            }
+                        }
+                    } else {
+                        ranges.push((low, low));
+                    }
+                }
+            }
+        }
+        assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+        ranges
+    }
+
+    fn parse_quantifier(chars: &mut Chars<'_>, pattern: &str) -> (u32, u32) {
+        match chars.peek() {
+            Some(&'{') => {
+                chars.next();
+                let mut body = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(c) => body.push(c),
+                        None => panic!("unclosed quantifier in {pattern:?}"),
+                    }
+                }
+                if let Some((min, max)) = body.split_once(',') {
+                    let min = min.trim().parse().expect("quantifier min");
+                    let max = max.trim().parse().expect("quantifier max");
+                    assert!(min <= max, "inverted quantifier in {pattern:?}");
+                    (min, max)
+                } else {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+            Some(&'?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some(&'*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some(&'+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn emit(node: &Quantified, rng: &mut StdRng, out: &mut String) {
+        let count = rng.gen_range(node.min..=node.max);
+        for _ in 0..count {
+            match &node.node {
+                Node::Literal(c) => out.push(*c),
+                Node::Class(ranges) => {
+                    // Weight ranges by their width so wide spans
+                    // dominate the way they would in real proptest.
+                    let total: u32 = ranges
+                        .iter()
+                        .map(|&(low, high)| high as u32 - low as u32 + 1)
+                        .sum();
+                    let mut pick = rng.gen_range(0..total);
+                    for &(low, high) in ranges {
+                        let width = high as u32 - low as u32 + 1;
+                        if pick < width {
+                            // Skip unassigned code points (surrogates);
+                            // classes in practice avoid them entirely.
+                            let c = char::from_u32(low as u32 + pick).unwrap_or(low);
+                            out.push(c);
+                            break;
+                        }
+                        pick -= width;
+                    }
+                }
+                Node::Group(alternatives) => {
+                    let pick = rng.gen_range(0..alternatives.len());
+                    for inner in &alternatives[pick] {
+                        emit(inner, rng, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic per-property RNG seed derived from the test path.
+#[doc(hidden)]
+#[must_use]
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a over the name keeps different properties decorrelated.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[doc(hidden)]
+pub use rand::rngs::StdRng as __StdRng;
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Mirrors proptest's macro: each `fn name(arg in strategy, …) { body }`
+/// becomes a test running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                let mut rng = <$crate::__StdRng as $crate::__SeedableRng>::seed_from_u64(seed);
+                for __case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Uniform choice among strategies generating the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Property assertion; panics (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Property equality assertion; panics on mismatch.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Property inequality assertion; panics on match.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn regex_shapes_match_expectations() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = crate::string::generate_matching("[a-z][a-z0-9-]{0,12}", &mut rng);
+            assert!((1..=13).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+
+            let s = crate::string::generate_matching(
+                "cmi\\.interactions\\.[0-9]{1,2}\\.(id|type|result)",
+                &mut rng,
+            );
+            assert!(s.starts_with("cmi.interactions."), "{s:?}");
+            let tail = s.rsplit('.').next().unwrap();
+            assert!(["id", "type", "result"].contains(&tail), "{s:?}");
+
+            let s = crate::string::generate_matching("[ -~]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = rng();
+        let strategy = prop_oneof![(0usize..3).prop_map(|n| n * 10), Just(99usize),];
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!([0, 10, 20, 99].contains(&v), "{v}");
+        }
+        let vecs = crate::collection::vec(0u8..5, 2..4);
+        for _ in 0..50 {
+            let v = vecs.generate(&mut rng);
+            assert!((2..=3).contains(&v.len()));
+        }
+        let filtered = (0i32..100).prop_filter("even", |n| n % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(filtered.generate(&mut rng) % 2, 0);
+        }
+        let flat = (1usize..4).prop_flat_map(|n| crate::collection::vec(Just(7u8), n..=n));
+        for _ in 0..20 {
+            let v = flat.generate(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+            assert!(v.iter().all(|&x| x == 7));
+        }
+        let opt = crate::option::of(Just(1u8));
+        let nones = (0..200)
+            .filter(|_| opt.generate(&mut rng).is_none())
+            .count();
+        assert!(nones > 10 && nones < 120, "{nones}");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(tree: &Tree) -> usize {
+            match tree {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strategy = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
+        let mut rng = rng();
+        for _ in 0..100 {
+            assert!(depth(&strategy.generate(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: patterns, multiple args, trailing comma.
+        #[test]
+        fn macro_runs_cases(
+            x in 0usize..10,
+            (a, b) in (0u8..5, 5u8..10),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!(a < 5 && b >= 5);
+            prop_assert_ne!(u8::from(flag), 2);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! Implements the surface the workspace uses — [`Rng::gen_range`],
+//! [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`], and [`seq::SliceRandom`] — over a xoshiro256++
+//! generator seeded via SplitMix64. Not the same stream as upstream
+//! rand's ChaCha12, but deterministic per seed with equivalent
+//! statistical quality for simulation purposes.
+
+/// Sources of randomness.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministically constructible generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types [`Rng::gen_range`] can produce. Mirrors rand's structure —
+/// per-type sampling lives here so [`SampleRange`] can be a single
+/// blanket impl per range shape, which is what lets inference resolve
+/// unsuffixed literals like `rng.gen_range(-1.0..1.0)`.
+pub trait SampleUniform: Sized {
+    /// Draws uniformly from `[start, end)`.
+    fn sample_half_open<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self;
+    /// Draws uniformly from `[start, end]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! int_uniform_impl {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self {
+                assert!(start < end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128;
+                // Multiply-shift bounded draw (Lemire); bias is
+                // negligible for the span sizes simulations use.
+                let draw = (rng.next_u64() as u128 * span) >> 64;
+                (start as i128 + draw as i128) as $ty
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self {
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128 * span) >> 64;
+                (start as i128 + draw as i128) as $ty
+            }
+        }
+    )*};
+}
+int_uniform_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_uniform_impl {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self {
+                assert!(start < end, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as $ty / (1u64 << 53) as $ty;
+                start + unit * (end - start)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self {
+                assert!(start <= end, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as $ty / ((1u64 << 53) - 1) as $ty;
+                start + unit * (end - start)
+            }
+        }
+    )*};
+}
+float_uniform_impl!(f32, f64);
+
+/// A half-open or inclusive range a value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws a value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    /// Whether the range contains no values.
+    fn is_empty_range(&self) -> bool;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+
+    fn is_empty_range(&self) -> bool {
+        self.start.partial_cmp(&self.end) != Some(std::cmp::Ordering::Less)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+
+    fn is_empty_range(&self) -> bool {
+        !matches!(
+            self.start().partial_cmp(self.end()),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        )
+    }
+}
+
+/// The user-facing generator methods.
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256++, seeded via SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                state: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let mut s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.state = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related extensions.
+
+    use super::{Rng, RngCore};
+
+    /// Shuffling and choosing on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffles the slice in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Picks a uniformly random element (None when empty).
+        fn choose<'a, R: RngCore>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: RngCore>(&'a self, rng: &mut R) -> Option<&'a Self::Item> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1000)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1000)).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1000)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = rng.gen_range(3usize..7);
+            assert!((3..7).contains(&u));
+            let i = rng.gen_range(0..=4u32);
+            assert!(i <= 4);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn mean_of_unit_draws_is_centered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut xs: Vec<u32> = (0..20).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(xs, (0..20).collect::<Vec<_>>(), "shuffle changed order");
+    }
+
+    #[test]
+    fn choose_returns_members() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(xs.contains(xs.choose(&mut rng).unwrap()));
+        }
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

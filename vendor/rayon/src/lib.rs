@@ -1,0 +1,287 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Covers the surface the workspace uses: `slice.par_iter().map(f)
+//! .collect::<Vec<_>>()`, [`ThreadPoolBuilder`] → [`ThreadPool::install`],
+//! and [`current_num_threads`]. Work is distributed dynamically — each
+//! worker thread claims the next unclaimed index from a shared atomic
+//! counter, so skewed per-item costs balance like rayon's stealing —
+//! and results are returned in input order, so output is deterministic
+//! regardless of scheduling.
+//!
+//! Unlike real rayon there is no persistent pool: each parallel
+//! operation spawns scoped worker threads. Spawn cost (~tens of µs) is
+//! noise against the per-exam analysis this repo parallelizes.
+
+use std::cell::Cell;
+use std::error::Error;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    //! Glob-import target mirroring `rayon::prelude`.
+    pub use crate::IntoParallelRefIterator;
+}
+
+thread_local! {
+    /// Thread count forced by an enclosing [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The number of worker threads parallel operations started from this
+/// thread will use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(default_threads)
+}
+
+/// Runs `f(&items[i])` for every index with `threads` workers pulling
+/// indices off a shared counter; returns results in input order.
+fn parallel_map<'a, T, R, F>(items: &'a [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let slot_ptr = SendPtr(slots.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let (next, f, slot_ptr) = (&next, &f, &slot_ptr);
+            scope.spawn(move || loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= items.len() {
+                    break;
+                }
+                let value = f(&items[index]);
+                // Safety: each index is claimed by exactly one worker
+                // (fetch_add), slots outlives the scope, and disjoint
+                // indices are disjoint memory.
+                unsafe { slot_ptr.0.add(index).write(Some(value)) };
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed by a worker"))
+        .collect()
+}
+
+struct SendPtr<R>(*mut Option<R>);
+
+// Safety: workers write disjoint indices behind this pointer; the
+// referent (`slots`) outlives the thread scope.
+unsafe impl<R: Send> Sync for SendPtr<R> {}
+unsafe impl<R: Send> Send for SendPtr<R> {}
+
+/// Borrowing conversion into a parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`], ready to collect.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Runs the map on the current thread budget and collects results
+    /// in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let threads = current_num_threads();
+        C::from_ordered_vec(parallel_map(self.items, threads, &self.f))
+    }
+}
+
+/// Collection types a parallel map can gather into.
+pub trait FromParallelIterator<R> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered_vec(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+/// Builder for a [`ThreadPool`] with an explicit thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (auto) thread count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` means auto-detect, like rayon.
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A logical pool: a thread budget that [`install`](ThreadPool::install)
+/// applies to parallel operations started inside it.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread budget active.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = INSTALLED_THREADS.with(|cell| cell.replace(Some(self.threads)));
+        let result = f();
+        INSTALLED_THREADS.with(|cell| cell.set(previous));
+        result
+    }
+
+    /// This pool's thread budget.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Error building a thread pool (never produced by this stand-in, but
+/// the signature matches rayon's fallible `build`).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl Error for ThreadPoolBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{current_num_threads, ThreadPoolBuilder};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skewed_workloads_still_ordered() {
+        let items: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = items
+            .par_iter()
+            .map(|&x| {
+                // Make early items much slower than late ones.
+                if x < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                x
+            })
+            .collect();
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn install_scopes_the_thread_budget() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+        assert_eq!(pool.current_num_threads(), 3);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn single_item_and_empty_inputs() {
+        let one = [7u8];
+        let collected: Vec<u8> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(collected, vec![8]);
+        let empty: Vec<u8> = Vec::new();
+        let collected: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(collected.is_empty());
+    }
+}

@@ -1,0 +1,580 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote` available offline) derive macros for
+//! the workspace's `serde` stand-in. Supports the shapes this workspace
+//! actually uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype included; serialized as the inner value for
+//!   arity 1, as an array otherwise),
+//! * enums with unit / newtype / tuple / struct variants (externally
+//!   tagged, like real serde),
+//! * the container attribute `#[serde(try_from = "T", into = "T")]`.
+//!
+//! Unsupported shapes (generics, unions) produce a compile error naming
+//! the limitation instead of silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, direction: Direction) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match direction {
+                Direction::Serialize => generate_serialize(&item),
+                Direction::Deserialize => generate_deserialize(&item),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(message) => format!("compile_error!({message:?});")
+            .parse()
+            .expect("compile_error parses"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// A minimal item model
+// ---------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// `#[serde(try_from = "...", into = "...")]` payload, if present.
+    try_from: Option<String>,
+    into: Option<String>,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    form: VariantForm,
+}
+
+enum VariantForm {
+    Unit,
+    Tuple { arity: usize },
+    Struct { fields: Vec<String> },
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(ident)) = self.peek() {
+            if ident.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(punct)) = self.peek() {
+            if punct.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes `#[...]` attributes, returning the token string of any
+    /// `#[serde(...)]` payloads (concatenated).
+    fn eat_attributes(&mut self) -> String {
+        let mut serde_payload = String::new();
+        loop {
+            let is_attr = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+            if !is_attr {
+                return serde_payload;
+            }
+            self.pos += 1;
+            if let Some(TokenTree::Group(group)) = self.next() {
+                let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(head)) = inner.first() {
+                    if head.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            serde_payload.push_str(&args.stream().to_string());
+                            serde_payload.push(',');
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes a visibility modifier (`pub`, `pub(crate)`, …).
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(group)) = self.peek() {
+                if group.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cursor = Cursor::new(input);
+    let serde_attr = cursor.eat_attributes();
+    cursor.eat_visibility();
+
+    let is_struct = cursor.eat_ident("struct");
+    let is_enum = !is_struct && cursor.eat_ident("enum");
+    if !is_struct && !is_enum {
+        return Err("serde derive supports only structs and enums".to_string());
+    }
+
+    let name = match cursor.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("expected type name".to_string()),
+    };
+
+    if matches!(cursor.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive stand-in does not support generics (on `{name}`)"
+        ));
+    }
+
+    let (try_from, into) = parse_serde_attr(&serde_attr);
+
+    let shape = if is_struct {
+        match cursor.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct {
+                    fields: parse_named_fields(group.stream())?,
+                }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    arity: count_tuple_fields(group.stream()),
+                }
+            }
+            _ => return Err(format!("unsupported struct shape for `{name}`")),
+        }
+    } else {
+        match cursor.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => Shape::Enum {
+                variants: parse_variants(group.stream())?,
+            },
+            _ => return Err(format!("expected enum body for `{name}`")),
+        }
+    };
+
+    Ok(Item {
+        name,
+        try_from,
+        into,
+        shape,
+    })
+}
+
+/// Extracts `try_from = "T"` / `into = "T"` from a serde attribute
+/// payload rendered as a token string.
+fn parse_serde_attr(payload: &str) -> (Option<String>, Option<String>) {
+    let mut try_from = None;
+    let mut into = None;
+    for part in payload.split(',') {
+        let Some((key, value)) = part.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim().trim_matches('"').trim().to_string();
+        match key {
+            "try_from" => try_from = Some(value),
+            "into" => into = Some(value),
+            _ => {}
+        }
+    }
+    (try_from, into)
+}
+
+/// Parses `name: Type, …` field lists, returning the names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        cursor.eat_attributes();
+        if cursor.peek().is_none() {
+            return Ok(fields);
+        }
+        cursor.eat_visibility();
+        let name = match cursor.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        if !cursor.eat_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        skip_type(&mut cursor);
+        fields.push(name);
+    }
+}
+
+/// Skips a type (everything up to a top-level `,`), tracking `<` depth
+/// so generic arguments' commas do not terminate the field.
+fn skip_type(cursor: &mut Cursor) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = cursor.peek() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                cursor.pos += 1;
+                return;
+            }
+            _ => {}
+        }
+        cursor.pos += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cursor = Cursor::new(stream);
+    let mut count = 0usize;
+    while cursor.peek().is_some() {
+        cursor.eat_attributes();
+        if cursor.peek().is_none() {
+            break;
+        }
+        cursor.eat_visibility();
+        skip_type(&mut cursor);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cursor.eat_attributes();
+        if cursor.peek().is_none() {
+            return Ok(variants);
+        }
+        let name = match cursor.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let form = match cursor.peek() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(group.stream());
+                cursor.pos += 1;
+                VariantForm::Tuple { arity }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(group.stream())?;
+                cursor.pos += 1;
+                VariantForm::Struct { fields }
+            }
+            _ => VariantForm::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if cursor.eat_punct('=') {
+            while let Some(token) = cursor.peek() {
+                if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                cursor.pos += 1;
+            }
+        }
+        cursor.eat_punct(',');
+        variants.push(Variant { name, form });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into) = &item.into {
+        format!(
+            "let __converted: {into} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__converted)"
+        )
+    } else {
+        match &item.shape {
+            Shape::NamedStruct { fields } => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+                    entries.join(", ")
+                )
+            }
+            Shape::TupleStruct { arity: 1 } => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Shape::TupleStruct { arity } => {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+                    items.join(", ")
+                )
+            }
+            Shape::Enum { variants } => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| serialize_variant_arm(name, v))
+                    .collect();
+                format!("match self {{\n{}\n}}", arms.join(",\n"))
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn serialize_variant_arm(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.form {
+        VariantForm::Unit => format!(
+            "{enum_name}::{v} => \
+             ::serde::Value::String(::std::string::String::from(\"{v}\"))"
+        ),
+        VariantForm::Tuple { arity: 1 } => format!(
+            "{enum_name}::{v}(__f0) => ::serde::Value::Object(::std::vec::Vec::from([\
+             (::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(__f0))]))"
+        ),
+        VariantForm::Tuple { arity } => {
+            let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+            let values: Vec<String> = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{v}({}) => ::serde::Value::Object(::std::vec::Vec::from([\
+                 (::std::string::String::from(\"{v}\"), \
+                 ::serde::Value::Array(::std::vec::Vec::from([{}])))]))",
+                binders.join(", "),
+                values.join(", ")
+            )
+        }
+        VariantForm::Struct { fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{v} {{ {} }} => ::serde::Value::Object(::std::vec::Vec::from([\
+                 (::std::string::String::from(\"{v}\"), \
+                 ::serde::Value::Object(::std::vec::Vec::from([{}])))]))",
+                fields.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(try_from) = &item.try_from {
+        format!(
+            "let __raw: {try_from} = ::serde::Deserialize::from_value(__value)?;\n\
+             <{name} as ::std::convert::TryFrom<{try_from}>>::try_from(__raw)\
+             .map_err(|e| ::serde::Error::custom(::std::format!(\"{{e}}\")))"
+        )
+    } else {
+        match &item.shape {
+            Shape::NamedStruct { fields } => {
+                let inits: Vec<String> = fields.iter().map(|f| named_field_init(f)).collect();
+                format!(
+                    "::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+            Shape::TupleStruct { arity: 1 } => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+            ),
+            Shape::TupleStruct { arity } => {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(\
+                             __items.get({i}).unwrap_or(&::serde::Value::Null))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let __items = __value.as_array()\
+                     .ok_or_else(|| ::serde::Error::expected(\"array\", __value))?;\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+            Shape::Enum { variants } => deserialize_enum_body(name, variants),
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// `field: from_value(obj field or Null)?` — missing fields fall back to
+/// `Null` so `Option` fields deserialize to `None`, and other types
+/// produce a "missing field" error.
+fn named_field_init(field: &str) -> String {
+    format!(
+        "{field}: match __value.get(\"{field}\") {{\n\
+             ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+             ::std::option::Option::None => \
+                 ::serde::Deserialize::from_value(&::serde::Value::Null)\
+                 .map_err(|_| ::serde::Error::missing_field(\"{field}\"))?,\n\
+         }}"
+    )
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.form, VariantForm::Unit))
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0})", v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.form, VariantForm::Unit))
+        .map(|v| deserialize_tagged_arm(name, v))
+        .collect();
+
+    format!(
+        "match __value {{\n\
+             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {tagged}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+             }},\n\
+             __other => ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"{name} variant\", __other)),\n\
+         }}",
+        unit = if unit_arms.is_empty() {
+            String::new()
+        } else {
+            unit_arms.join(",\n") + ","
+        },
+        tagged = if tagged_arms.is_empty() {
+            String::new()
+        } else {
+            tagged_arms.join(",\n") + ","
+        },
+    )
+}
+
+fn deserialize_tagged_arm(name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.form {
+        VariantForm::Unit => unreachable!("unit variants handled separately"),
+        VariantForm::Tuple { arity: 1 } => format!(
+            "\"{v}\" => ::std::result::Result::Ok(\
+             {name}::{v}(::serde::Deserialize::from_value(__payload)?))"
+        ),
+        VariantForm::Tuple { arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(\
+                         __items.get({i}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "\"{v}\" => {{\n\
+                     let __items = __payload.as_array()\
+                     .ok_or_else(|| ::serde::Error::expected(\"array\", __payload))?;\n\
+                     ::std::result::Result::Ok({name}::{v}({}))\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        VariantForm::Struct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| named_field_init(f).replace("__value", "__payload"))
+                .collect();
+            format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+    }
+}
