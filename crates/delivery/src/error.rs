@@ -14,6 +14,12 @@ pub enum DeliveryError {
         /// Explanation of the mismatch.
         reason: String,
     },
+    /// The delivery options fail validation (e.g. a non-finite or
+    /// non-positive time accommodation).
+    InvalidOptions {
+        /// Explanation of the rejected option.
+        reason: String,
+    },
     /// An operation was attempted in the wrong session state.
     WrongState {
         /// The operation attempted.
@@ -41,6 +47,9 @@ impl fmt::Display for DeliveryError {
         match self {
             DeliveryError::ProblemSetMismatch { reason } => {
                 write!(f, "problem set mismatch: {reason}")
+            }
+            DeliveryError::InvalidOptions { reason } => {
+                write!(f, "invalid delivery options: {reason}")
             }
             DeliveryError::WrongState { operation, state } => {
                 write!(f, "cannot {operation} while session is {state}")

@@ -29,6 +29,46 @@ pub struct DeliveryOptions {
     pub time_accommodation: f64,
 }
 
+impl DeliveryOptions {
+    /// Largest accepted accommodation multiplier. Anything above this is
+    /// surely a bug (and would overflow `Duration` arithmetic anyway).
+    pub const MAX_TIME_ACCOMMODATION: f64 = 100.0;
+
+    /// Checks the options for nonsense values.
+    ///
+    /// A non-finite or non-positive `time_accommodation` would silently
+    /// produce a meaningless deadline (NaN-propagating or zero), so it is
+    /// rejected up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeliveryError::InvalidOptions`] when
+    /// `time_accommodation` is NaN, infinite, zero or negative, or above
+    /// [`DeliveryOptions::MAX_TIME_ACCOMMODATION`].
+    pub fn validate(&self) -> Result<(), DeliveryError> {
+        let factor = self.time_accommodation;
+        if !factor.is_finite() {
+            return Err(DeliveryError::InvalidOptions {
+                reason: format!("time_accommodation must be finite, got {factor}"),
+            });
+        }
+        if factor <= 0.0 {
+            return Err(DeliveryError::InvalidOptions {
+                reason: format!("time_accommodation must be positive, got {factor}"),
+            });
+        }
+        if factor > Self::MAX_TIME_ACCOMMODATION {
+            return Err(DeliveryError::InvalidOptions {
+                reason: format!(
+                    "time_accommodation {factor} exceeds the maximum {}",
+                    Self::MAX_TIME_ACCOMMODATION
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
 impl Default for DeliveryOptions {
     fn default() -> Self {
         Self {
@@ -109,7 +149,9 @@ impl ExamSession {
     ///
     /// # Errors
     ///
-    /// Returns [`DeliveryError::ProblemSetMismatch`] when `problems` does
+    /// Returns [`DeliveryError::InvalidOptions`] when the options fail
+    /// [`DeliveryOptions::validate`] and
+    /// [`DeliveryError::ProblemSetMismatch`] when `problems` does
     /// not cover the exam's entries exactly.
     pub fn start(
         exam: &Exam,
@@ -117,6 +159,7 @@ impl ExamSession {
         student: StudentId,
         options: DeliveryOptions,
     ) -> Result<Self, DeliveryError> {
+        options.validate()?;
         let by_id: BTreeMap<ProblemId, Problem> =
             problems.into_iter().map(|p| (p.id().clone(), p)).collect();
         for entry in exam.entries() {
@@ -137,7 +180,7 @@ impl ExamSession {
         let time_limit = exam
             .meta()
             .test_time
-            .map(|limit| limit.mul_f64(options.time_accommodation.max(0.1)));
+            .map(|limit| limit.mul_f64(options.time_accommodation));
         Ok(Self {
             id,
             exam_id: exam.id().clone(),
@@ -160,10 +203,22 @@ impl ExamSession {
         &self.id
     }
 
+    /// The exam being sat.
+    #[must_use]
+    pub fn exam_id(&self) -> &ExamId {
+        &self.exam_id
+    }
+
     /// The learner sitting the exam.
     #[must_use]
     pub fn student(&self) -> &StudentId {
         &self.student
+    }
+
+    /// The options the sitting was started with.
+    #[must_use]
+    pub fn options(&self) -> &DeliveryOptions {
+        &self.options
     }
 
     /// Current lifecycle state.
@@ -306,6 +361,35 @@ impl ExamSession {
             cursor: self.cursor,
             answers: self.answers.clone(),
         })
+    }
+
+    /// Reactivates a paused session in place.
+    ///
+    /// When a session registry keeps the paused [`ExamSession`] itself in
+    /// memory (rather than only its [`SessionCheckpoint`]), resuming does
+    /// not need to rebuild the session from the exam and problems —
+    /// everything is still there. This flips `Paused` back to `Active`;
+    /// the logical clock, cursor, and answers are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeliveryError::WrongState`] unless the session is
+    /// paused.
+    pub fn reactivate(&mut self) -> Result<(), DeliveryError> {
+        match self.state {
+            SessionState::Paused => {
+                self.state = SessionState::Active;
+                Ok(())
+            }
+            SessionState::Active => Err(DeliveryError::WrongState {
+                operation: "reactivate",
+                state: "active",
+            }),
+            SessionState::Finished => Err(DeliveryError::WrongState {
+                operation: "reactivate",
+                state: "finished",
+            }),
+        }
     }
 
     /// Resumes a sitting from a checkpoint.
@@ -636,6 +720,65 @@ mod tests {
             .unwrap();
         let record = resumed.finish().unwrap();
         assert_eq!(record.correct_count(), 3);
+    }
+
+    #[test]
+    fn nonsense_time_accommodation_is_rejected() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 101.0] {
+            let err = ExamSession::start(
+                &exam(),
+                problems(),
+                "s".parse().unwrap(),
+                DeliveryOptions {
+                    seed: 0,
+                    resumable: true,
+                    time_accommodation: bad,
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, DeliveryError::InvalidOptions { .. }),
+                "accommodation {bad} should be invalid, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reactivate_resumes_a_paused_session_in_place() {
+        let mut session = start();
+        session
+            .answer(Answer::Choice(OptionKey::B), Duration::from_secs(30))
+            .unwrap();
+        session.pause().unwrap();
+        assert_eq!(session.state(), SessionState::Paused);
+        session.reactivate().unwrap();
+        assert_eq!(session.state(), SessionState::Active);
+        // Clock and answers survived.
+        assert_eq!(session.elapsed(), Duration::from_secs(30));
+        assert_eq!(session.answered_count(), 1);
+        session
+            .answer(Answer::TrueFalse(true), Duration::from_secs(10))
+            .unwrap();
+        // Reactivating an active or finished session is a state error.
+        assert!(matches!(
+            session.reactivate(),
+            Err(DeliveryError::WrongState { .. })
+        ));
+        session
+            .answer(Answer::TrueFalse(false), Duration::ZERO)
+            .unwrap();
+        session.finish().unwrap();
+        assert!(matches!(
+            session.reactivate(),
+            Err(DeliveryError::WrongState { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors_expose_exam_and_options() {
+        let session = start();
+        assert_eq!(session.exam_id().as_str(), "quiz");
+        assert_eq!(session.options(), &DeliveryOptions::default());
     }
 
     #[test]

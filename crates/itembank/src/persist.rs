@@ -110,14 +110,22 @@ impl RepositorySnapshot {
         Ok(snapshot)
     }
 
-    /// Saves the snapshot to a file.
+    /// Saves the snapshot to a file atomically.
+    ///
+    /// The snapshot is written to a temporary sibling file, fsynced, and
+    /// then renamed over the target, so a crash mid-save can never leave
+    /// a torn repository file: readers see either the old complete
+    /// snapshot or the new complete snapshot, never a prefix.
     ///
     /// # Errors
     ///
-    /// Returns [`std::io::Error`] on filesystem failure.
+    /// Returns [`std::io::Error`] on filesystem failure. On error the
+    /// temporary file is removed and the target is left untouched.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let file = std::fs::File::create(path)?;
-        self.write_json(std::io::BufWriter::new(file))
+        let path = path.as_ref();
+        let mut json = Vec::new();
+        self.write_json(&mut json)?;
+        atomic_write(path, &json)
     }
 
     /// Loads a snapshot from a file.
@@ -129,6 +137,48 @@ impl RepositorySnapshot {
         let file = std::fs::File::open(path)?;
         Self::read_json(std::io::BufReader::new(file))
     }
+}
+
+/// Sequence number distinguishing concurrent saves within one process.
+static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Writes `bytes` to `path` atomically: temp sibling + fsync + rename.
+///
+/// The temp file lives in the target's directory so the rename never
+/// crosses filesystems (cross-device renames are not atomic).
+fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let directory = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("snapshot path {} has no file name", path.display()),
+            )
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp_name = format!(".{file_name}.tmp.{}.{seq}", std::process::id());
+    let tmp_path = match directory {
+        Some(dir) => dir.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp_path)?;
+        file.write_all(bytes)?;
+        // Flush file contents to stable storage before the rename makes
+        // the new snapshot visible; otherwise a power loss could expose
+        // a renamed-but-empty file.
+        file.sync_all()?;
+        std::fs::rename(&tmp_path, path)
+    })();
+    if result.is_err() {
+        // Best-effort cleanup; the original error is what matters.
+        let _ = std::fs::remove_file(&tmp_path);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -208,6 +258,104 @@ mod tests {
         snapshot.save(&path).unwrap();
         let back = RepositorySnapshot::load(&path).unwrap();
         assert_eq!(back, snapshot);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_leaves_no_temp_files_behind() {
+        let snapshot = RepositorySnapshot::capture(&loaded_repository());
+        let dir = std::env::temp_dir().join(format!("mine-persist-tmp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bank.json");
+        snapshot.save(&path).unwrap();
+        snapshot.save(&path).unwrap(); // overwrite path too
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["bank.json".to_string()],
+            "stray files: {names:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_save_leaves_existing_target_untouched() {
+        let dir = std::env::temp_dir().join(format!("mine-persist-fail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bank.json");
+        let original = RepositorySnapshot::capture(&loaded_repository());
+        original.save(&path).unwrap();
+        // Saving over a path whose file name is a directory fails at the
+        // rename step — after the temp file was fully written.
+        let blocked = dir.join("blocked");
+        std::fs::create_dir_all(&blocked).unwrap();
+        assert!(RepositorySnapshot::default().save(&blocked).is_err());
+        // The target of the earlier save is intact and no temp remains.
+        assert_eq!(RepositorySnapshot::load(&path).unwrap(), original);
+        let strays: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(strays.is_empty(), "stray temp files: {strays:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Concurrent readers racing a writer must only ever observe a
+    /// complete snapshot — the atomicity guarantee `save` documents.
+    /// With a non-atomic `File::create` + write, a reader opening the
+    /// file mid-write would see a prefix and fail to parse.
+    #[test]
+    fn concurrent_loads_never_see_a_torn_snapshot() {
+        let dir = std::env::temp_dir().join(format!("mine-persist-race-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bank.json");
+
+        let small = RepositorySnapshot::capture(&loaded_repository());
+        let big = {
+            let repo = loaded_repository();
+            for i in 6..120 {
+                repo.insert_problem(
+                    Problem::true_false(format!("q{i}"), format!("Filler statement {i}."), true)
+                        .unwrap(),
+                )
+                .unwrap();
+            }
+            RepositorySnapshot::capture(&repo)
+        };
+        small.save(&path).unwrap();
+
+        let writer = {
+            let (path, small, big) = (path.clone(), small.clone(), big.clone());
+            std::thread::spawn(move || {
+                for i in 0..60 {
+                    let snapshot = if i % 2 == 0 { &big } else { &small };
+                    snapshot.save(&path).unwrap();
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let (path, small, big) = (path.clone(), small.clone(), big.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..60 {
+                        let loaded = RepositorySnapshot::load(&path)
+                            .expect("a load raced a save and saw a torn file");
+                        assert!(
+                            loaded == small || loaded == big,
+                            "loaded snapshot is neither saved variant"
+                        );
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for reader in readers {
+            reader.join().unwrap();
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,152 @@
+//! A tiny blocking HTTP/1.1 client over one keep-alive connection.
+//!
+//! Powers the load generator and the loopback integration tests; not a
+//! general-purpose client (no redirects, no TLS, no chunked encoding —
+//! none of which the service emits).
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use serde::Value;
+
+/// A simple status + body pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Parses the body as a JSON value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `serde_json` error for non-JSON bodies.
+    pub fn json(&self) -> Result<Value, serde_json::Error> {
+        serde_json::from_str(&self.body)
+    }
+}
+
+/// One keep-alive connection to the service.
+#[derive(Debug)]
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects to `addr` (e.g. `127.0.0.1:7400`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] when the connection fails.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] on transport failure or a response the
+    /// client cannot parse.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// Sends `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] on transport failure or a response the
+    /// client cannot parse.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: mine\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let status_line = self.read_line()?;
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|code| code.parse::<u16>().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line {status_line:?}"),
+                )
+            })?;
+        let mut content_length = 0_usize;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0_u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        Ok(ClientResponse { status, body })
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = Vec::new();
+        loop {
+            let mut byte = [0_u8; 1];
+            match self.reader.read(&mut byte)? {
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-response",
+                    ))
+                }
+                _ => {
+                    if byte[0] == b'\n' {
+                        if line.last() == Some(&b'\r') {
+                            line.pop();
+                        }
+                        return String::from_utf8(line).map_err(|_| {
+                            std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 line")
+                        });
+                    }
+                    line.push(byte[0]);
+                }
+            }
+        }
+    }
+}

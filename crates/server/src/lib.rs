@@ -1,0 +1,67 @@
+//! The delivery micro-service (§5): the sitting lifecycle over HTTP.
+//!
+//! "Learners take the exam or the problems with Internet browser" — the
+//! paper's system is a networked service, not a library. This crate is
+//! that serving layer: a std-only HTTP/1.1 service (no async runtime —
+//! loopback `std::net::TcpListener` plus a worker thread pool) exposing
+//! the full [`mine_delivery::ExamSession`] lifecycle and the live §4
+//! analysis pipeline as JSON endpoints:
+//!
+//! | Endpoint | Purpose |
+//! |---|---|
+//! | `POST /sessions` | start a sitting from an exam in the repository |
+//! | `GET /sessions/{id}` | session status |
+//! | `POST /sessions/{id}/answers` | answer the current question |
+//! | `POST /sessions/{id}/pause` | pause, returning a checkpoint |
+//! | `POST /sessions/{id}/resume` | reactivate a paused sitting |
+//! | `POST /sessions/{id}/finish` | grade and file the [`mine_core::StudentRecord`] |
+//! | `GET /exams/{id}/analysis` | live §4 report over finished sittings |
+//! | `GET /healthz` | liveness |
+//! | `GET /metrics` | request counts, latency histogram, session gauges |
+//!
+//! The architecture is transport-agnostic: [`Router::handle`] maps a
+//! parsed [`http::Request`] to an [`http::Response`] over a sharded
+//! [`SessionRegistry`], so handler unit tests run with zero sockets
+//! while [`Server::start`] serves the same router over real loopback
+//! TCP. [`loadgen`] drives a running server with many deterministic
+//! concurrent clients.
+//!
+//! # Examples
+//!
+//! ```
+//! use mine_itembank::{Exam, Problem, Repository};
+//! use mine_server::http::Request;
+//! use mine_server::Router;
+//!
+//! let repo = Repository::new();
+//! repo.insert_problem(Problem::true_false("q1", "1 + 1 = 2", true)?)?;
+//! repo.insert_exam(Exam::builder("quiz")?.entry("q1".parse()?).build()?)?;
+//! let router = Router::new(repo);
+//!
+//! // Drive the whole lifecycle in-process, no sockets.
+//! let started = router.handle(&Request::new(
+//!     "POST",
+//!     "/sessions",
+//!     r#"{"exam":"quiz","student":"s1"}"#,
+//! ));
+//! assert_eq!(started.status, 201);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod registry;
+pub mod router;
+pub mod serve;
+
+pub use client::{ClientResponse, HttpClient};
+pub use loadgen::{run_loadgen, LoadGenOptions, LoadGenReport};
+pub use metrics::{Metrics, MetricsSnapshot, Route};
+pub use registry::{FinishedStore, RegistryError, SessionRegistry, SessionSlot};
+pub use router::{ApiError, Router, ServerState};
+pub use serve::{ServeOptions, Server};

@@ -1,0 +1,221 @@
+//! A deterministic HTTP load generator: many concurrent clients each
+//! driving a full sitting lifecycle against a running server.
+//!
+//! Every client derives its behaviour from `seed + client index`, so a
+//! load run is reproducible: the same invocation sends the same
+//! requests. Clients start a session, answer every question with an
+//! answer of the correct *kind* (sampled from the problem summaries the
+//! server returns), occasionally pause and resume, and finish.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Number, Serialize, Value};
+
+use mine_core::{Answer, OptionKey};
+
+use crate::client::HttpClient;
+
+/// What a load run should do.
+#[derive(Debug, Clone)]
+pub struct LoadGenOptions {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Exam to sit.
+    pub exam: String,
+    /// Number of concurrent clients.
+    pub clients: usize,
+    /// Base seed; client `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+/// Aggregate outcome of a load run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadGenReport {
+    /// Sittings that completed through `finish`.
+    pub completed: u64,
+    /// Requests sent.
+    pub requests: u64,
+    /// Responses with an unexpected status, plus transport errors.
+    pub failures: u64,
+    /// Answers submitted.
+    pub answers: u64,
+}
+
+/// Runs the load, blocking until every client is done.
+///
+/// # Errors
+///
+/// Returns an error string when no client could run at all (e.g. the
+/// server is unreachable); individual request failures are counted in
+/// the report instead.
+pub fn run_loadgen(options: &LoadGenOptions) -> Result<LoadGenReport, String> {
+    if options.clients == 0 {
+        return Err("loadgen needs at least one client".to_string());
+    }
+    let completed = Arc::new(AtomicU64::new(0));
+    let requests = Arc::new(AtomicU64::new(0));
+    let failures = Arc::new(AtomicU64::new(0));
+    let answers = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..options.clients)
+        .map(|index| {
+            let options = options.clone();
+            let completed = Arc::clone(&completed);
+            let requests = Arc::clone(&requests);
+            let failures = Arc::clone(&failures);
+            let answers = Arc::clone(&answers);
+            std::thread::spawn(
+                move || match run_client(&options, index, &requests, &answers) {
+                    Ok(()) => {
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+            )
+        })
+        .collect();
+    for handle in handles {
+        let _ = handle.join();
+    }
+
+    let report = LoadGenReport {
+        completed: completed.load(Ordering::Relaxed),
+        requests: requests.load(Ordering::Relaxed),
+        failures: failures.load(Ordering::Relaxed),
+        answers: answers.load(Ordering::Relaxed),
+    };
+    if report.completed == 0 {
+        return Err(format!(
+            "no sitting completed against {} (is the server up?)",
+            options.addr
+        ));
+    }
+    Ok(report)
+}
+
+/// Drives one client through a complete sitting.
+fn run_client(
+    options: &LoadGenOptions,
+    index: usize,
+    requests: &AtomicU64,
+    answers: &AtomicU64,
+) -> Result<(), String> {
+    let mut client = HttpClient::connect(&options.addr).map_err(|err| err.to_string())?;
+    let mut rng = StdRng::seed_from_u64(options.seed.wrapping_add(index as u64));
+    let seed = options.seed.wrapping_add(index as u64);
+
+    let start_body = format!(
+        "{{\"exam\":{:?},\"student\":\"load-{index:04}\",\"seed\":{seed}}}",
+        options.exam
+    );
+    requests.fetch_add(1, Ordering::Relaxed);
+    let started = client
+        .post("/sessions", &start_body)
+        .map_err(|err| err.to_string())?;
+    if started.status != 201 {
+        return Err(format!("session start failed: {}", started.body));
+    }
+    let started = started.json().map_err(|err| err.to_string())?;
+    let session = started
+        .get("session")
+        .and_then(Value::as_str)
+        .ok_or("start response missing session id")?
+        .to_string();
+    let problems = started
+        .get("problems")
+        .and_then(Value::as_array)
+        .ok_or("start response missing problems")?
+        .to_vec();
+
+    // Pause/resume mid-sitting on a third of the clients to exercise
+    // the full lifecycle under load.
+    let pause_at = if index.is_multiple_of(3) {
+        Some(problems.len() / 2)
+    } else {
+        None
+    };
+
+    for (position, summary) in problems.iter().enumerate() {
+        if pause_at == Some(position) {
+            requests.fetch_add(2, Ordering::Relaxed);
+            let paused = client
+                .post(&format!("/sessions/{session}/pause"), "")
+                .map_err(|err| err.to_string())?;
+            if paused.status != 200 {
+                return Err(format!("pause failed: {}", paused.body));
+            }
+            let resumed = client
+                .post(&format!("/sessions/{session}/resume"), "")
+                .map_err(|err| err.to_string())?;
+            if resumed.status != 200 {
+                return Err(format!("resume failed: {}", resumed.body));
+            }
+        }
+        let answer = sample_answer(&mut rng, summary)?;
+        let time_spent = rng.gen_range(2.0_f64..20.0);
+        let body_value = Value::Object(vec![
+            ("answer".to_string(), answer.to_value()),
+            (
+                "time_spent_secs".to_string(),
+                Value::Number(Number::Float(time_spent)),
+            ),
+        ]);
+        let body = serde_json::to_string(&body_value).map_err(|err| err.to_string())?;
+        requests.fetch_add(1, Ordering::Relaxed);
+        let answered = client
+            .post(&format!("/sessions/{session}/answers"), &body)
+            .map_err(|err| err.to_string())?;
+        if answered.status != 200 {
+            return Err(format!("answer failed: {}", answered.body));
+        }
+        answers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    requests.fetch_add(1, Ordering::Relaxed);
+    let finished = client
+        .post(&format!("/sessions/{session}/finish"), "")
+        .map_err(|err| err.to_string())?;
+    if finished.status != 200 {
+        return Err(format!("finish failed: {}", finished.body));
+    }
+    Ok(())
+}
+
+/// Builds an answer of the right kind for one problem summary.
+fn sample_answer<R: Rng>(rng: &mut R, summary: &Value) -> Result<Answer, String> {
+    let style = summary
+        .get("style")
+        .and_then(Value::as_str)
+        .ok_or("problem summary missing style")?;
+    let count = |field: &str| -> usize {
+        match summary.get(field) {
+            Some(Value::Number(Number::PosInt(n))) => *n as usize,
+            _ => 0,
+        }
+    };
+    Ok(match style {
+        "multiple-choice" | "questionnaire" => {
+            let options = count("options").max(1);
+            Answer::Choice(
+                OptionKey::from_index(rng.gen_range(0..options)).map_err(|err| err.to_string())?,
+            )
+        }
+        "true-false" => Answer::TrueFalse(rng.gen_bool(0.5)),
+        "essay" => Answer::Text("load-generated response".to_string()),
+        "completion" => {
+            let blanks = count("blanks");
+            Answer::Completion(vec!["answer".to_string(); blanks])
+        }
+        "match" => {
+            let pairs = count("pairs");
+            let right = count("right").max(1);
+            Answer::Match((0..pairs).map(|_| rng.gen_range(0..right)).collect())
+        }
+        other => return Err(format!("unknown problem style {other:?}")),
+    })
+}

@@ -1,0 +1,280 @@
+//! Lock-free service metrics: request counters, a latency histogram,
+//! and session gauges, all plain atomics so the hot path never blocks.
+//!
+//! `GET /metrics` renders a [`MetricsSnapshot`] as JSON — request
+//! counts per route, response counts per status class, a fixed-bucket
+//! latency histogram in microseconds, and active/started/finished
+//! session gauges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Serialize, Value};
+
+/// The routes the service distinguishes in its counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /metrics`.
+    Metrics,
+    /// `POST /sessions`.
+    SessionStart,
+    /// `GET /sessions/{id}`.
+    SessionStatus,
+    /// `POST /sessions/{id}/answers`.
+    Answer,
+    /// `POST /sessions/{id}/pause`.
+    Pause,
+    /// `POST /sessions/{id}/resume`.
+    Resume,
+    /// `POST /sessions/{id}/finish`.
+    Finish,
+    /// `GET /exams/{id}/analysis`.
+    Analysis,
+    /// Anything that did not match a route.
+    Unmatched,
+}
+
+impl Route {
+    /// All distinguishable routes, in render order.
+    pub const ALL: [Route; 10] = [
+        Route::Healthz,
+        Route::Metrics,
+        Route::SessionStart,
+        Route::SessionStatus,
+        Route::Answer,
+        Route::Pause,
+        Route::Resume,
+        Route::Finish,
+        Route::Analysis,
+        Route::Unmatched,
+    ];
+
+    /// Stable metric label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Healthz => "healthz",
+            Route::Metrics => "metrics",
+            Route::SessionStart => "session_start",
+            Route::SessionStatus => "session_status",
+            Route::Answer => "answer",
+            Route::Pause => "pause",
+            Route::Resume => "resume",
+            Route::Finish => "finish",
+            Route::Analysis => "analysis",
+            Route::Unmatched => "unmatched",
+        }
+    }
+
+    fn index(self) -> usize {
+        Route::ALL.iter().position(|r| *r == self).expect("listed")
+    }
+}
+
+/// Upper bounds (inclusive, microseconds) of the latency buckets; the
+/// final bucket is unbounded.
+pub const LATENCY_BUCKETS_US: [u64; 8] = [100, 250, 500, 1_000, 5_000, 25_000, 100_000, 1_000_000];
+
+/// Shared metric counters. Cheap to update from any worker thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: [AtomicU64; Route::ALL.len()],
+    /// Responses by status class: 2xx, 4xx, 5xx.
+    status_2xx: AtomicU64,
+    status_4xx: AtomicU64,
+    status_5xx: AtomicU64,
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    latency_sum_us: AtomicU64,
+    latency_count: AtomicU64,
+    sessions_started: AtomicU64,
+    sessions_finished: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one served request.
+    pub fn record(&self, route: Route, status: u16, latency: Duration) {
+        self.requests[route.index()].fetch_add(1, Ordering::Relaxed);
+        match status {
+            200..=299 => self.status_2xx.fetch_add(1, Ordering::Relaxed),
+            500..=599 => self.status_5xx.fetch_add(1, Ordering::Relaxed),
+            _ => self.status_4xx.fetch_add(1, Ordering::Relaxed),
+        };
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a session start.
+    pub fn session_started(&self) {
+        self.sessions_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a session finish.
+    pub fn session_finished(&self) {
+        self.sessions_finished.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for rendering.
+    #[must_use]
+    pub fn snapshot(&self, active_sessions: usize) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: Route::ALL
+                .iter()
+                .map(|route| {
+                    (
+                        route.label(),
+                        self.requests[route.index()].load(Ordering::Relaxed),
+                    )
+                })
+                .collect(),
+            status_2xx: self.status_2xx.load(Ordering::Relaxed),
+            status_4xx: self.status_4xx.load(Ordering::Relaxed),
+            status_5xx: self.status_5xx.load(Ordering::Relaxed),
+            latency_buckets: self
+                .latency_buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            latency_sum_us: self.latency_sum_us.load(Ordering::Relaxed),
+            latency_count: self.latency_count.load(Ordering::Relaxed),
+            sessions_started: self.sessions_started.load(Ordering::Relaxed),
+            sessions_finished: self.sessions_finished.load(Ordering::Relaxed),
+            active_sessions,
+        }
+    }
+}
+
+/// A point-in-time copy of every counter, renderable as JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests served per route label.
+    pub requests: Vec<(&'static str, u64)>,
+    /// 2xx responses.
+    pub status_2xx: u64,
+    /// 4xx responses.
+    pub status_4xx: u64,
+    /// 5xx responses.
+    pub status_5xx: u64,
+    /// Latency histogram counts; index i ≤ `LATENCY_BUCKETS_US[i]` µs,
+    /// last entry is the overflow bucket.
+    pub latency_buckets: Vec<u64>,
+    /// Sum of request latencies in microseconds.
+    pub latency_sum_us: u64,
+    /// Number of latency observations.
+    pub latency_count: u64,
+    /// Sessions ever started.
+    pub sessions_started: u64,
+    /// Sessions ever finished.
+    pub sessions_finished: u64,
+    /// Sessions currently resident in the registry.
+    pub active_sessions: usize,
+}
+
+impl Serialize for MetricsSnapshot {
+    fn to_value(&self) -> Value {
+        let requests = Value::Object(
+            self.requests
+                .iter()
+                .map(|(label, count)| ((*label).to_string(), count.to_value()))
+                .collect(),
+        );
+        let buckets = Value::Array(
+            self.latency_buckets
+                .iter()
+                .enumerate()
+                .map(|(i, count)| {
+                    let le = LATENCY_BUCKETS_US
+                        .get(i)
+                        .map_or_else(|| "+inf".to_string(), u64::to_string);
+                    Value::Object(vec![
+                        ("le_us".to_string(), Value::String(le)),
+                        ("count".to_string(), count.to_value()),
+                    ])
+                })
+                .collect(),
+        );
+        Value::Object(vec![
+            ("requests".to_string(), requests),
+            ("status_2xx".to_string(), self.status_2xx.to_value()),
+            ("status_4xx".to_string(), self.status_4xx.to_value()),
+            ("status_5xx".to_string(), self.status_5xx.to_value()),
+            ("latency_us".to_string(), {
+                Value::Object(vec![
+                    ("buckets".to_string(), buckets),
+                    ("sum".to_string(), self.latency_sum_us.to_value()),
+                    ("count".to_string(), self.latency_count.to_value()),
+                ])
+            }),
+            (
+                "sessions_started".to_string(),
+                self.sessions_started.to_value(),
+            ),
+            (
+                "sessions_finished".to_string(),
+                self.sessions_finished.to_value(),
+            ),
+            (
+                "active_sessions".to_string(),
+                (self.active_sessions as u64).to_value(),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_fills_counters_and_buckets() {
+        let metrics = Metrics::new();
+        metrics.record(Route::Healthz, 200, Duration::from_micros(50));
+        metrics.record(Route::Answer, 422, Duration::from_micros(300));
+        metrics.record(Route::Analysis, 500, Duration::from_secs(2));
+        metrics.session_started();
+        metrics.session_finished();
+
+        let snapshot = metrics.snapshot(3);
+        let by_label: std::collections::HashMap<_, _> = snapshot.requests.iter().copied().collect();
+        assert_eq!(by_label["healthz"], 1);
+        assert_eq!(by_label["answer"], 1);
+        assert_eq!(by_label["analysis"], 1);
+        assert_eq!(by_label["session_start"], 0);
+        assert_eq!(snapshot.status_2xx, 1);
+        assert_eq!(snapshot.status_4xx, 1);
+        assert_eq!(snapshot.status_5xx, 1);
+        assert_eq!(snapshot.latency_count, 3);
+        // 50 µs lands in the first bucket, 300 µs in the ≤500 bucket,
+        // 2 s in the overflow bucket.
+        assert_eq!(snapshot.latency_buckets[0], 1);
+        assert_eq!(snapshot.latency_buckets[2], 1);
+        assert_eq!(*snapshot.latency_buckets.last().unwrap(), 1);
+        assert_eq!(snapshot.sessions_started, 1);
+        assert_eq!(snapshot.sessions_finished, 1);
+        assert_eq!(snapshot.active_sessions, 3);
+    }
+
+    #[test]
+    fn snapshot_renders_as_json() {
+        let metrics = Metrics::new();
+        metrics.record(Route::Metrics, 200, Duration::from_micros(10));
+        let json = serde_json::to_string(&metrics.snapshot(0)).unwrap();
+        let value: Value = serde_json::from_str(&json).unwrap();
+        assert!(value.get("requests").is_some());
+        assert!(value.get("latency_us").is_some());
+        assert!(value.get("active_sessions").is_some());
+    }
+}

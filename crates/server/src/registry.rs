@@ -1,0 +1,307 @@
+//! Concurrent session state: a sharded registry of live
+//! [`ExamSession`]s and a store of finished [`StudentRecord`]s.
+//!
+//! The registry spreads sessions over a fixed set of shards, each a
+//! `parking_lot::RwLock<HashMap<..>>`; a session's shard is chosen by
+//! hashing its id, so operations on different sessions contend only
+//! when they land on the same shard, and operations on the *same*
+//! session serialize on that session's own mutex — never on a global
+//! lock. Handlers get at a session through [`SessionRegistry::with`],
+//! which holds the shard read lock just long enough to clone the
+//! per-session `Arc`.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use mine_core::{SessionId, StudentRecord};
+use mine_delivery::{ExamSession, SessionCheckpoint, SessionState};
+
+/// Default shard count — enough to keep 32+ concurrent clients off each
+/// other's locks without wasting memory.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A live session plus the server-side copy of its latest pause
+/// checkpoint (the paper's `cmi.suspend_data`).
+#[derive(Debug)]
+pub struct SessionSlot {
+    /// The in-memory sitting.
+    pub session: ExamSession,
+    /// Checkpoint captured at the last pause, if any.
+    pub checkpoint: Option<SessionCheckpoint>,
+}
+
+/// Failure modes of registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A session with the same id is already registered.
+    Duplicate(SessionId),
+    /// No session with the given id.
+    Missing(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Duplicate(id) => write!(f, "session {id} already exists"),
+            RegistryError::Missing(id) => write!(f, "no session {id}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+type Shard = RwLock<HashMap<String, Arc<Mutex<SessionSlot>>>>;
+
+/// A sharded, thread-safe map of live exam sessions.
+#[derive(Debug)]
+pub struct SessionRegistry {
+    shards: Vec<Shard>,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        Self::new(DEFAULT_SHARDS)
+    }
+}
+
+impl SessionRegistry {
+    /// Creates a registry with the given shard count (minimum 1).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    fn shard(&self, id: &str) -> &Shard {
+        let mut hasher = DefaultHasher::new();
+        id.hash(&mut hasher);
+        let index = (hasher.finish() % self.shards.len() as u64) as usize;
+        &self.shards[index]
+    }
+
+    /// Registers a freshly started session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Duplicate`] when the id is taken.
+    pub fn insert(&self, session: ExamSession) -> Result<SessionId, RegistryError> {
+        let id = session.id().clone();
+        let mut shard = self.shard(id.as_str()).write();
+        if shard.contains_key(id.as_str()) {
+            return Err(RegistryError::Duplicate(id));
+        }
+        shard.insert(
+            id.as_str().to_string(),
+            Arc::new(Mutex::new(SessionSlot {
+                session,
+                checkpoint: None,
+            })),
+        );
+        Ok(id)
+    }
+
+    /// Runs `f` with exclusive access to a session's slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Missing`] for unknown ids.
+    pub fn with<R>(
+        &self,
+        id: &str,
+        f: impl FnOnce(&mut SessionSlot) -> R,
+    ) -> Result<R, RegistryError> {
+        let slot = {
+            let shard = self.shard(id).read();
+            shard
+                .get(id)
+                .cloned()
+                .ok_or_else(|| RegistryError::Missing(id.to_string()))?
+        };
+        let mut guard = slot.lock();
+        Ok(f(&mut guard))
+    }
+
+    /// Removes a session (after finish), returning its slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Missing`] for unknown ids.
+    pub fn remove(&self, id: &str) -> Result<Arc<Mutex<SessionSlot>>, RegistryError> {
+        self.shard(id)
+            .write()
+            .remove(id)
+            .ok_or_else(|| RegistryError::Missing(id.to_string()))
+    }
+
+    /// Number of sessions currently registered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|shard| shard.read().len()).sum()
+    }
+
+    /// Whether no session is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counts sessions by lifecycle state `(active, paused)`.
+    #[must_use]
+    pub fn state_counts(&self) -> (usize, usize) {
+        let mut active = 0;
+        let mut paused = 0;
+        for shard in &self.shards {
+            // Clone the Arcs out so slot locks are not taken while the
+            // shard lock is held (lock-ordering hygiene).
+            let slots: Vec<_> = shard.read().values().cloned().collect();
+            for slot in slots {
+                match slot.lock().session.state() {
+                    SessionState::Active => active += 1,
+                    SessionState::Paused => paused += 1,
+                    SessionState::Finished => {}
+                }
+            }
+        }
+        (active, paused)
+    }
+}
+
+/// Finished sittings grouped by exam, ordered by student id.
+///
+/// The per-exam `BTreeMap` keys records by student, which makes the
+/// assembled class record — and therefore the live analysis report —
+/// deterministic no matter which order concurrent clients finished in.
+#[derive(Debug, Default)]
+pub struct FinishedStore {
+    by_exam: RwLock<HashMap<String, BTreeMap<String, StudentRecord>>>,
+}
+
+impl FinishedStore {
+    /// Empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Files a finished record under its exam. A student re-sitting the
+    /// same exam replaces their earlier record.
+    pub fn push(&self, exam: &str, record: StudentRecord) {
+        self.by_exam
+            .write()
+            .entry(exam.to_string())
+            .or_default()
+            .insert(record.student.as_str().to_string(), record);
+    }
+
+    /// All records for an exam, in student-id order.
+    #[must_use]
+    pub fn records(&self, exam: &str) -> Vec<StudentRecord> {
+        self.by_exam
+            .read()
+            .get(exam)
+            .map(|records| records.values().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of finished sittings filed for an exam.
+    #[must_use]
+    pub fn count(&self, exam: &str) -> usize {
+        self.by_exam.read().get(exam).map_or(0, BTreeMap::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_core::Answer;
+    use mine_delivery::DeliveryOptions;
+    use mine_itembank::{Exam, Problem};
+    use std::time::Duration;
+
+    fn session(student: &str, seed: u64) -> ExamSession {
+        let problems = vec![Problem::true_false("q1", "Yes?", true).unwrap()];
+        let exam = Exam::builder("quiz")
+            .unwrap()
+            .entry("q1".parse().unwrap())
+            .build()
+            .unwrap();
+        ExamSession::start(
+            &exam,
+            problems,
+            student.parse().unwrap(),
+            DeliveryOptions {
+                seed,
+                ..DeliveryOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_with_remove_round_trip() {
+        let registry = SessionRegistry::new(4);
+        let id = registry.insert(session("s1", 0)).unwrap();
+        assert_eq!(registry.len(), 1);
+        let answered = registry
+            .with(id.as_str(), |slot| {
+                slot.session
+                    .answer(Answer::TrueFalse(true), Duration::from_secs(5))
+                    .unwrap();
+                slot.session.answered_count()
+            })
+            .unwrap();
+        assert_eq!(answered, 1);
+        registry.remove(id.as_str()).unwrap();
+        assert!(registry.is_empty());
+        assert!(matches!(
+            registry.with(id.as_str(), |_| ()),
+            Err(RegistryError::Missing(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let registry = SessionRegistry::new(4);
+        registry.insert(session("s1", 0)).unwrap();
+        assert!(matches!(
+            registry.insert(session("s1", 0)),
+            Err(RegistryError::Duplicate(_))
+        ));
+        // Same student, different seed → different id → fine.
+        registry.insert(session("s1", 1)).unwrap();
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn state_counts_track_pause() {
+        let registry = SessionRegistry::new(2);
+        let a = registry.insert(session("a", 0)).unwrap();
+        registry.insert(session("b", 0)).unwrap();
+        registry
+            .with(a.as_str(), |slot| slot.session.pause().map(|_| ()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(registry.state_counts(), (1, 1));
+    }
+
+    #[test]
+    fn finished_store_orders_by_student_and_replaces_resits() {
+        let store = FinishedStore::new();
+        let make = |student: &str| StudentRecord::new(student.parse().unwrap(), Vec::new());
+        store.push("quiz", make("zed"));
+        store.push("quiz", make("amy"));
+        store.push("quiz", make("zed"));
+        let records = store.records("quiz");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].student.as_str(), "amy");
+        assert_eq!(records[1].student.as_str(), "zed");
+        assert_eq!(store.count("quiz"), 2);
+        assert_eq!(store.count("other"), 0);
+        assert!(store.records("other").is_empty());
+    }
+}

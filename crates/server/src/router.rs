@@ -1,0 +1,794 @@
+//! Transport-agnostic request routing: `Request → Response` over shared
+//! service state, no sockets anywhere.
+//!
+//! [`Router::handle`] is the whole service: the TCP serve loop feeds it
+//! parsed [`Request`]s, unit tests construct [`Request`]s directly.
+//! Every handler is a pure function of (state, request), so the full
+//! endpoint surface is testable in-process.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Number, Serialize, Value};
+
+use mine_analysis::{AnalysisConfig, BatchAnalyzer};
+use mine_core::{Answer, ExamRecord};
+use mine_delivery::{DeliveryError, DeliveryOptions, ExamSession, SessionState};
+use mine_itembank::{Problem, ProblemBody, Repository};
+
+use crate::http::{Request, Response};
+use crate::metrics::{Metrics, Route};
+use crate::registry::{FinishedStore, RegistryError, SessionRegistry};
+
+/// Everything the handlers share.
+#[derive(Debug)]
+pub struct ServerState {
+    /// The item/exam database sittings are started from.
+    pub repository: Repository,
+    /// Live sessions.
+    pub registry: SessionRegistry,
+    /// Finished records, grouped per exam for live analysis.
+    pub finished: FinishedStore,
+    /// The §4 pipeline with its fingerprint-keyed cache.
+    pub analyzer: BatchAnalyzer,
+    /// Service counters.
+    pub metrics: Metrics,
+}
+
+impl ServerState {
+    /// Builds service state around a repository.
+    #[must_use]
+    pub fn new(repository: Repository) -> Self {
+        Self {
+            repository,
+            registry: SessionRegistry::default(),
+            finished: FinishedStore::new(),
+            analyzer: BatchAnalyzer::new(AnalysisConfig::default()),
+            metrics: Metrics::new(),
+        }
+    }
+}
+
+/// Maps requests to handlers over shared [`ServerState`].
+#[derive(Debug, Clone)]
+pub struct Router {
+    state: Arc<ServerState>,
+}
+
+/// A handler failure carrying the HTTP status to answer with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Human-readable message, returned as `{"error": …}`.
+    pub message: String,
+}
+
+impl ApiError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(400, message)
+    }
+
+    fn not_found(message: impl Into<String>) -> Self {
+        Self::new(404, message)
+    }
+
+    fn conflict(message: impl Into<String>) -> Self {
+        Self::new(409, message)
+    }
+}
+
+impl From<DeliveryError> for ApiError {
+    fn from(err: DeliveryError) -> Self {
+        let status = match &err {
+            DeliveryError::InvalidOptions { .. } => 400,
+            DeliveryError::WrongState { .. }
+            | DeliveryError::TimeExpired
+            | DeliveryError::NotResumable
+            | DeliveryError::OutOfBounds => 409,
+            DeliveryError::Grading(_) => 422,
+            _ => 500,
+        };
+        Self::new(status, err.to_string())
+    }
+}
+
+impl From<RegistryError> for ApiError {
+    fn from(err: RegistryError) -> Self {
+        match &err {
+            RegistryError::Duplicate(_) => Self::conflict(err.to_string()),
+            RegistryError::Missing(_) => Self::not_found(err.to_string()),
+        }
+    }
+}
+
+type ApiResult = Result<Response, ApiError>;
+
+impl Router {
+    /// A router over fresh state for the given repository.
+    #[must_use]
+    pub fn new(repository: Repository) -> Self {
+        Self {
+            state: Arc::new(ServerState::new(repository)),
+        }
+    }
+
+    /// The shared state (for metrics rendering and tests).
+    #[must_use]
+    pub fn state(&self) -> &ServerState {
+        &self.state
+    }
+
+    /// Dispatches one request, recording metrics (route counter, status
+    /// class, latency).
+    #[must_use]
+    pub fn handle(&self, request: &Request) -> Response {
+        let started = Instant::now();
+        let (route, result) = self.dispatch(request);
+        let response = result.unwrap_or_else(|err| {
+            Response::json(
+                err.status,
+                serde_json::to_string(&Value::Object(vec![(
+                    "error".to_string(),
+                    Value::String(err.message),
+                )]))
+                .expect("error body serializes"),
+            )
+        });
+        self.state
+            .metrics
+            .record(route, response.status, started.elapsed());
+        response
+    }
+
+    fn dispatch(&self, request: &Request) -> (Route, ApiResult) {
+        let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        let method = request.method.as_str();
+        match (method, segments.as_slice()) {
+            ("GET", ["healthz"]) => (Route::Healthz, self.healthz()),
+            ("GET", ["metrics"]) => (Route::Metrics, self.metrics()),
+            ("POST", ["sessions"]) => (Route::SessionStart, self.start_session(request)),
+            ("GET", ["sessions", id]) => (Route::SessionStatus, self.session_status(id)),
+            ("POST", ["sessions", id, "answers"]) => (Route::Answer, self.answer(id, request)),
+            ("POST", ["sessions", id, "pause"]) => (Route::Pause, self.pause(id)),
+            ("POST", ["sessions", id, "resume"]) => (Route::Resume, self.resume(id)),
+            ("POST", ["sessions", id, "finish"]) => (Route::Finish, self.finish(id)),
+            ("GET", ["exams", id, "analysis"]) => (Route::Analysis, self.analysis(id)),
+            (_, ["healthz" | "metrics"]) | (_, ["sessions", ..]) | (_, ["exams", ..]) => (
+                Route::Unmatched,
+                Err(ApiError::new(405, format!("method {method} not allowed"))),
+            ),
+            _ => (
+                Route::Unmatched,
+                Err(ApiError::not_found(format!(
+                    "no route for {} {}",
+                    method, request.path
+                ))),
+            ),
+        }
+    }
+
+    fn healthz(&self) -> ApiResult {
+        Ok(ok_json(
+            200,
+            Value::Object(vec![(
+                "status".to_string(),
+                Value::String("ok".to_string()),
+            )]),
+        ))
+    }
+
+    fn metrics(&self) -> ApiResult {
+        let snapshot = self.state.metrics.snapshot(self.state.registry.len());
+        Ok(ok_json(200, snapshot.to_value()))
+    }
+
+    fn start_session(&self, request: &Request) -> ApiResult {
+        let body = parse_body(request)?;
+        let exam_id = require_str(&body, "exam")?;
+        let student = require_str(&body, "student")?;
+        let options = DeliveryOptions {
+            seed: optional_u64(&body, "seed")?.unwrap_or(0),
+            resumable: optional_bool(&body, "resumable")?.unwrap_or(true),
+            time_accommodation: optional_f64(&body, "time_accommodation")?.unwrap_or(1.0),
+        };
+        let (exam, problems) = self
+            .state
+            .repository
+            .resolve_exam(
+                &exam_id
+                    .parse()
+                    .map_err(|err| ApiError::bad_request(format!("bad exam id: {err}")))?,
+            )
+            .map_err(|err| ApiError::not_found(err.to_string()))?;
+        let student = student
+            .parse()
+            .map_err(|err| ApiError::bad_request(format!("bad student id: {err}")))?;
+        let session = ExamSession::start(&exam, problems.clone(), student, options)?;
+        let body = session_started_body(&session, &problems);
+        self.state.registry.insert(session)?;
+        self.state.metrics.session_started();
+        Ok(ok_json(201, body))
+    }
+
+    fn session_status(&self, id: &str) -> ApiResult {
+        let status = self
+            .state
+            .registry
+            .with(id, |slot| session_status_body(&slot.session))?;
+        Ok(ok_json(200, status))
+    }
+
+    fn answer(&self, id: &str, request: &Request) -> ApiResult {
+        let body = parse_body(request)?;
+        let answer_value = body
+            .get("answer")
+            .ok_or_else(|| ApiError::bad_request("missing field `answer`"))?;
+        let answer = Answer::from_value(answer_value)
+            .map_err(|err| ApiError::bad_request(format!("bad answer: {err}")))?;
+        let secs = optional_f64(&body, "time_spent_secs")?.unwrap_or(0.0);
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(ApiError::bad_request(format!(
+                "time_spent_secs must be a non-negative finite number, got {secs}"
+            )));
+        }
+        let time_spent = Duration::try_from_secs_f64(secs)
+            .map_err(|err| ApiError::bad_request(format!("bad time_spent_secs: {err}")))?;
+        let outcome = self.state.registry.with(id, |slot| {
+            slot.session
+                .answer(answer, time_spent)
+                .map(|()| session_status_body(&slot.session))
+        })?;
+        Ok(ok_json(200, outcome?))
+    }
+
+    fn pause(&self, id: &str) -> ApiResult {
+        let checkpoint = self.state.registry.with(id, |slot| {
+            let checkpoint = slot.session.pause()?;
+            slot.checkpoint = Some(checkpoint.clone());
+            Ok::<_, DeliveryError>(checkpoint)
+        })??;
+        Ok(ok_json(200, checkpoint.to_value()))
+    }
+
+    fn resume(&self, id: &str) -> ApiResult {
+        let status = self.state.registry.with(id, |slot| {
+            slot.session.reactivate()?;
+            Ok::<_, DeliveryError>(session_status_body(&slot.session))
+        })??;
+        Ok(ok_json(200, status))
+    }
+
+    fn finish(&self, id: &str) -> ApiResult {
+        let (exam_id, record) = self.state.registry.with(id, |slot| {
+            let record = slot.session.finish()?;
+            Ok::<_, DeliveryError>((slot.session.exam_id().as_str().to_string(), record))
+        })??;
+        // The sitting is over: file the record and free the slot.
+        self.state.finished.push(&exam_id, record.clone());
+        let _ = self.state.registry.remove(id);
+        self.state.metrics.session_finished();
+        Ok(ok_json(200, record.to_value()))
+    }
+
+    fn analysis(&self, exam_id: &str) -> ApiResult {
+        let records = self.state.finished.records(exam_id);
+        if records.is_empty() {
+            return Err(ApiError::conflict(format!(
+                "no finished sittings for exam {exam_id}"
+            )));
+        }
+        let parsed = exam_id
+            .parse()
+            .map_err(|err| ApiError::bad_request(format!("bad exam id: {err}")))?;
+        let (_, problems) = self
+            .state
+            .repository
+            .resolve_exam(&parsed)
+            .map_err(|err| ApiError::not_found(err.to_string()))?;
+        let class = ExamRecord::new(parsed, records);
+        let report = self
+            .state
+            .analyzer
+            .analyze_records(std::slice::from_ref(&class), &problems)
+            .map_err(|err| ApiError::new(500, format!("analysis failed: {err}")))?;
+        let body = serde_json::to_string(&report)
+            .map_err(|err| ApiError::new(500, format!("serialization failed: {err}")))?;
+        Ok(Response::json(200, body))
+    }
+}
+
+/// Serializes a value tree as a JSON response.
+fn ok_json(status: u16, value: Value) -> Response {
+    Response::json(
+        status,
+        serde_json::to_string(&value).expect("value tree serializes"),
+    )
+}
+
+fn parse_body(request: &Request) -> Result<Value, ApiError> {
+    let text = request
+        .body_str()
+        .ok_or_else(|| ApiError::bad_request("body is not UTF-8"))?;
+    if text.trim().is_empty() {
+        return Ok(Value::Object(Vec::new()));
+    }
+    serde_json::from_str(text).map_err(|err| ApiError::bad_request(format!("bad JSON body: {err}")))
+}
+
+fn require_str<'a>(body: &'a Value, field: &str) -> Result<&'a str, ApiError> {
+    body.get(field)
+        .and_then(Value::as_str)
+        .ok_or_else(|| ApiError::bad_request(format!("missing string field `{field}`")))
+}
+
+fn optional_u64(body: &Value, field: &str) -> Result<Option<u64>, ApiError> {
+    match body.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Number(Number::PosInt(n))) => Ok(Some(*n)),
+        Some(other) => Err(ApiError::bad_request(format!(
+            "field `{field}` must be a non-negative integer, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn optional_f64(body: &Value, field: &str) -> Result<Option<f64>, ApiError> {
+    match body.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Number(number)) => Ok(Some(match number {
+            Number::PosInt(n) => *n as f64,
+            Number::NegInt(n) => *n as f64,
+            Number::Float(f) => *f,
+        })),
+        Some(other) => Err(ApiError::bad_request(format!(
+            "field `{field}` must be a number, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn optional_bool(body: &Value, field: &str) -> Result<Option<bool>, ApiError> {
+    match body.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(other) => Err(ApiError::bad_request(format!(
+            "field `{field}` must be a boolean, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// The `POST /sessions` response: identity, presentation order, and a
+/// problem summary rich enough for a client to form valid answers.
+fn session_started_body(session: &ExamSession, problems: &[Problem]) -> Value {
+    let by_id: std::collections::BTreeMap<&str, &Problem> =
+        problems.iter().map(|p| (p.id().as_str(), p)).collect();
+    let summaries = session
+        .order()
+        .iter()
+        .filter_map(|id| by_id.get(id.as_str()))
+        .map(|problem| problem_summary(problem))
+        .collect();
+    Value::Object(vec![
+        (
+            "session".to_string(),
+            Value::String(session.id().as_str().to_string()),
+        ),
+        (
+            "exam".to_string(),
+            Value::String(session.exam_id().as_str().to_string()),
+        ),
+        (
+            "student".to_string(),
+            Value::String(session.student().as_str().to_string()),
+        ),
+        ("state".to_string(), state_value(session.state())),
+        (
+            "questions".to_string(),
+            (session.order().len() as u64).to_value(),
+        ),
+        ("problems".to_string(), Value::Array(summaries)),
+        ("remaining_secs".to_string(), remaining_value(session)),
+    ])
+}
+
+/// What a client needs to know to answer a problem with the right
+/// answer *kind* (option counts, blank counts, pair counts).
+fn problem_summary(problem: &Problem) -> Value {
+    let mut fields = vec![
+        (
+            "id".to_string(),
+            Value::String(problem.id().as_str().to_string()),
+        ),
+        (
+            "style".to_string(),
+            Value::String(problem.style().keyword().to_string()),
+        ),
+    ];
+    match problem.body() {
+        ProblemBody::MultipleChoice { options, .. }
+        | ProblemBody::Questionnaire { options, .. } => {
+            fields.push(("options".to_string(), (options.len() as u64).to_value()));
+        }
+        ProblemBody::Completion { blanks, .. } => {
+            fields.push(("blanks".to_string(), (blanks.len() as u64).to_value()));
+        }
+        ProblemBody::Match(pairs) => {
+            fields.push(("pairs".to_string(), (pairs.correct.len() as u64).to_value()));
+            fields.push(("right".to_string(), (pairs.right.len() as u64).to_value()));
+        }
+        ProblemBody::TrueFalse { .. } | ProblemBody::Essay { .. } => {}
+    }
+    Value::Object(fields)
+}
+
+fn state_value(state: SessionState) -> Value {
+    Value::String(
+        match state {
+            SessionState::Active => "active",
+            SessionState::Paused => "paused",
+            SessionState::Finished => "finished",
+        }
+        .to_string(),
+    )
+}
+
+fn remaining_value(session: &ExamSession) -> Value {
+    session
+        .remaining_time()
+        .map_or(Value::Null, |remaining| remaining.as_secs_f64().to_value())
+}
+
+/// The common session status body (`GET /sessions/{id}` and answer
+/// responses).
+fn session_status_body(session: &ExamSession) -> Value {
+    Value::Object(vec![
+        (
+            "session".to_string(),
+            Value::String(session.id().as_str().to_string()),
+        ),
+        ("state".to_string(), state_value(session.state())),
+        (
+            "answered".to_string(),
+            (session.answered_count() as u64).to_value(),
+        ),
+        (
+            "elapsed_secs".to_string(),
+            session.elapsed().as_secs_f64().to_value(),
+        ),
+        ("remaining_secs".to_string(), remaining_value(session)),
+        (
+            "current".to_string(),
+            session.current().map_or(Value::Null, |problem| {
+                Value::String(problem.id().as_str().to_string())
+            }),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mine_core::OptionKey;
+    use mine_itembank::{ChoiceOption, Exam};
+
+    fn repository() -> Repository {
+        let repo = Repository::new();
+        repo.insert_problem(
+            Problem::multiple_choice(
+                "q1",
+                "Pick B.",
+                [
+                    ChoiceOption::new(OptionKey::A, "a"),
+                    ChoiceOption::new(OptionKey::B, "b"),
+                    ChoiceOption::new(OptionKey::C, "c"),
+                ],
+                OptionKey::B,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        repo.insert_problem(Problem::true_false("q2", "Yes?", true).unwrap())
+            .unwrap();
+        repo.insert_exam(
+            Exam::builder("quiz")
+                .unwrap()
+                .entry("q1".parse().unwrap())
+                .entry("q2".parse().unwrap())
+                .test_time(std::time::Duration::from_secs(600))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        repo
+    }
+
+    fn start(router: &Router) -> String {
+        let response = router.handle(&Request::new(
+            "POST",
+            "/sessions",
+            r#"{"exam":"quiz","student":"s1","seed":3}"#,
+        ));
+        assert_eq!(response.status, 201, "{}", response.body);
+        let value: Value = serde_json::from_str(&response.body).unwrap();
+        value.get("session").unwrap().as_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn healthz_reports_ok() {
+        let router = Router::new(repository());
+        let response = router.handle(&Request::new("GET", "/healthz", ""));
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, r#"{"status":"ok"}"#);
+    }
+
+    /// Sits one student through the whole lifecycle in-process; student
+    /// `index` answers q1 correctly only when `index` is even and q2
+    /// only when divisible by 3, giving the class a score spread.
+    fn sit_student(router: &Router, index: usize) {
+        let response = router.handle(&Request::new(
+            "POST",
+            "/sessions",
+            format!("{{\"exam\":\"quiz\",\"student\":\"s{index}\",\"seed\":{index}}}"),
+        ));
+        assert_eq!(response.status, 201, "{}", response.body);
+        let started: Value = serde_json::from_str(&response.body).unwrap();
+        let session = started
+            .get("session")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let order: Vec<String> = started
+            .get("problems")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|p| p.get("id").unwrap().as_str().unwrap().to_string())
+            .collect();
+        for problem in &order {
+            let answer = if problem == "q1" {
+                let key = if index.is_multiple_of(2) { "B" } else { "A" };
+                format!("{{\"Choice\":\"{key}\"}}")
+            } else {
+                format!("{{\"TrueFalse\":{}}}", index.is_multiple_of(3))
+            };
+            let body = format!("{{\"answer\":{answer},\"time_spent_secs\":30}}");
+            let response = router.handle(&Request::new(
+                "POST",
+                &format!("/sessions/{session}/answers"),
+                body,
+            ));
+            assert_eq!(response.status, 200, "{}", response.body);
+        }
+        let finished = router.handle(&Request::new(
+            "POST",
+            &format!("/sessions/{session}/finish"),
+            "",
+        ));
+        assert_eq!(finished.status, 200, "{}", finished.body);
+        let record: Value = serde_json::from_str(&finished.body).unwrap();
+        assert_eq!(
+            record.get("student").unwrap().as_str(),
+            Some(format!("s{index}").as_str())
+        );
+    }
+
+    #[test]
+    fn full_lifecycle_without_sockets() {
+        let router = Router::new(repository());
+        let session = start(&router);
+        assert_eq!(router.state().registry.len(), 1);
+
+        // Status shows the first problem of the shuffled order.
+        let status = router.handle(&Request::new("GET", &format!("/sessions/{session}"), ""));
+        assert_eq!(status.status, 200);
+        let status: Value = serde_json::from_str(&status.body).unwrap();
+        let first = status.get("current").unwrap().as_str().unwrap().to_string();
+
+        // Answer both questions with the right kinds, in served order.
+        for problem in [
+            first.clone(),
+            if first == "q1" {
+                "q2".into()
+            } else {
+                "q1".into()
+            },
+        ] {
+            let answer = if problem == "q1" {
+                r#"{"Choice":"B"}"#.to_string()
+            } else {
+                r#"{"TrueFalse":true}"#.to_string()
+            };
+            let body = format!("{{\"answer\":{answer},\"time_spent_secs\":30}}");
+            let response = router.handle(&Request::new(
+                "POST",
+                &format!("/sessions/{session}/answers"),
+                body,
+            ));
+            assert_eq!(response.status, 200, "{}", response.body);
+        }
+
+        // Pause produces a checkpoint; resume reactivates.
+        let paused = router.handle(&Request::new(
+            "POST",
+            &format!("/sessions/{session}/pause"),
+            "",
+        ));
+        assert_eq!(paused.status, 200, "{}", paused.body);
+        let checkpoint: Value = serde_json::from_str(&paused.body).unwrap();
+        assert_eq!(checkpoint.get("exam").unwrap().as_str(), Some("quiz"));
+        let resumed = router.handle(&Request::new(
+            "POST",
+            &format!("/sessions/{session}/resume"),
+            "",
+        ));
+        assert_eq!(resumed.status, 200, "{}", resumed.body);
+
+        // Finish grades and evicts the session.
+        let finished = router.handle(&Request::new(
+            "POST",
+            &format!("/sessions/{session}/finish"),
+            "",
+        ));
+        assert_eq!(finished.status, 200, "{}", finished.body);
+        let record: Value = serde_json::from_str(&finished.body).unwrap();
+        assert_eq!(record.get("student").unwrap().as_str(), Some("s1"));
+        assert_eq!(router.state().registry.len(), 0);
+        assert_eq!(router.state().finished.count("quiz"), 1);
+
+        // The §4 pipeline needs a real class to form score groups: sit
+        // seven more students, then ask for the live report.
+        for index in 2..=8 {
+            sit_student(&router, index);
+        }
+        assert_eq!(router.state().finished.count("quiz"), 8);
+        let analysis = router.handle(&Request::new("GET", "/exams/quiz/analysis", ""));
+        assert_eq!(analysis.status, 200, "{}", analysis.body);
+        let report: Value = serde_json::from_str(&analysis.body).unwrap();
+        assert!(report.get("analyses").is_some());
+        assert!(report.get("summary").is_some());
+
+        // A second request is answered from the analyzer's cache.
+        let again = router.handle(&Request::new("GET", "/exams/quiz/analysis", ""));
+        assert_eq!(again.body, analysis.body);
+        assert!(router.state().analyzer.cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn start_validates_input() {
+        let router = Router::new(repository());
+        // Unknown exam.
+        let response = router.handle(&Request::new(
+            "POST",
+            "/sessions",
+            r#"{"exam":"nope","student":"s1"}"#,
+        ));
+        assert_eq!(response.status, 404);
+        // Missing student.
+        let response = router.handle(&Request::new("POST", "/sessions", r#"{"exam":"quiz"}"#));
+        assert_eq!(response.status, 400);
+        // Bad JSON.
+        let response = router.handle(&Request::new("POST", "/sessions", "{oops"));
+        assert_eq!(response.status, 400);
+        // Nonsense accommodation is rejected by the delivery layer.
+        let response = router.handle(&Request::new(
+            "POST",
+            "/sessions",
+            r#"{"exam":"quiz","student":"s1","time_accommodation":-2.0}"#,
+        ));
+        assert_eq!(response.status, 400);
+        assert!(response.body.contains("time_accommodation"));
+    }
+
+    #[test]
+    fn duplicate_session_start_conflicts() {
+        let router = Router::new(repository());
+        start(&router);
+        let response = router.handle(&Request::new(
+            "POST",
+            "/sessions",
+            r#"{"exam":"quiz","student":"s1","seed":3}"#,
+        ));
+        assert_eq!(response.status, 409);
+    }
+
+    #[test]
+    fn answer_errors_map_to_statuses() {
+        let router = Router::new(repository());
+        let session = start(&router);
+        // Wrong answer kind → 422.
+        let response = router.handle(&Request::new(
+            "POST",
+            &format!("/sessions/{session}/answers"),
+            r#"{"answer":{"Completion":["x"]},"time_spent_secs":5}"#,
+        ));
+        assert_eq!(response.status, 422, "{}", response.body);
+        // Unparseable answer → 400.
+        let response = router.handle(&Request::new(
+            "POST",
+            &format!("/sessions/{session}/answers"),
+            r#"{"answer":{"Nonsense":1},"time_spent_secs":5}"#,
+        ));
+        assert_eq!(response.status, 400);
+        // Negative time → 400.
+        let response = router.handle(&Request::new(
+            "POST",
+            &format!("/sessions/{session}/answers"),
+            r#"{"answer":"Skipped","time_spent_secs":-1}"#,
+        ));
+        assert_eq!(response.status, 400);
+        // Time past the limit → 409.
+        let response = router.handle(&Request::new(
+            "POST",
+            &format!("/sessions/{session}/answers"),
+            r#"{"answer":"Skipped","time_spent_secs":1e6}"#,
+        ));
+        assert_eq!(response.status, 409, "{}", response.body);
+        // Unknown session → 404.
+        let response = router.handle(&Request::new(
+            "POST",
+            "/sessions/ghost/answers",
+            r#"{"answer":"Skipped","time_spent_secs":1}"#,
+        ));
+        assert_eq!(response.status, 404);
+    }
+
+    #[test]
+    fn analysis_without_sittings_conflicts() {
+        let router = Router::new(repository());
+        let response = router.handle(&Request::new("GET", "/exams/quiz/analysis", ""));
+        assert_eq!(response.status, 409);
+    }
+
+    #[test]
+    fn unmatched_routes_and_methods() {
+        let router = Router::new(repository());
+        assert_eq!(router.handle(&Request::new("GET", "/nope", "")).status, 404);
+        assert_eq!(
+            router
+                .handle(&Request::new("DELETE", "/healthz", ""))
+                .status,
+            405
+        );
+        assert_eq!(
+            router
+                .handle(&Request::new("GET", "/sessions/x/answers", ""))
+                .status,
+            405
+        );
+    }
+
+    #[test]
+    fn metrics_track_the_lifecycle() {
+        let router = Router::new(repository());
+        let session = start(&router);
+        let _ = router.handle(&Request::new("GET", &format!("/sessions/{session}"), "")); // status
+        let _ = router.handle(&Request::new("GET", "/nope", "")); // 404
+        let response = router.handle(&Request::new("GET", "/metrics", ""));
+        assert_eq!(response.status, 200);
+        let value: Value = serde_json::from_str(&response.body).unwrap();
+        let requests = value.get("requests").unwrap();
+        let count = |label: &str| match requests.get(label) {
+            Some(Value::Number(Number::PosInt(n))) => *n,
+            other => panic!("bad counter {other:?}"),
+        };
+        assert_eq!(count("session_start"), 1);
+        assert_eq!(count("session_status"), 1);
+        assert_eq!(count("unmatched"), 1);
+        // The snapshot is taken before the in-flight /metrics request is
+        // recorded, so its own counter is still zero.
+        assert_eq!(count("metrics"), 0);
+        assert_eq!(value.get("active_sessions").unwrap().kind(), "number");
+        assert_eq!(value.get("sessions_started").unwrap().kind(), "number");
+    }
+}

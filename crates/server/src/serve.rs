@@ -1,0 +1,171 @@
+//! The TCP face of the service: a loopback `std::net::TcpListener`, an
+//! acceptor thread, and a fixed pool of worker threads.
+//!
+//! No async runtime is available in the sanctioned dependency set, so
+//! concurrency is plain threads: the acceptor pushes accepted
+//! connections into a crossbeam channel and each worker drains it,
+//! serving one keep-alive connection at a time. Connections carry a
+//! read timeout so an idle client cannot pin a worker forever.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel;
+
+use crate::http::{parse_request, Response};
+use crate::router::Router;
+
+/// How the server is run.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address, e.g. `127.0.0.1:7400` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads; `0` auto-detects from the CPU count.
+    pub threads: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 0,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A running server: worker pool + acceptor, stoppable from any thread.
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving in background threads, returning
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] when the address cannot be bound.
+    pub fn start(router: Router, options: &ServeOptions) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&options.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let threads = if options.threads == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get().max(4))
+        } else {
+            options.threads
+        };
+
+        let (sender, receiver) = channel::unbounded::<TcpStream>();
+        let workers = (0..threads)
+            .map(|_| {
+                let receiver = receiver.clone();
+                let router = router.clone();
+                let shutdown = Arc::clone(&shutdown);
+                let read_timeout = options.read_timeout;
+                std::thread::spawn(move || {
+                    while !shutdown.load(Ordering::Acquire) {
+                        match receiver.recv_timeout(Duration::from_millis(50)) {
+                            Ok(stream) => serve_connection(&router, stream, read_timeout),
+                            Err(_) => continue,
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        // A send only fails when every worker has gone,
+                        // which only happens at shutdown.
+                        if sender.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                }
+            })
+        };
+
+        Ok(Self {
+            local_addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signals shutdown and joins every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the acceptor's blocking accept with a throwaway
+        // connection to ourselves.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Blocks until the acceptor exits (i.e. until shutdown or a fatal
+    /// listener error). Used by `mine serve`.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Serves one keep-alive connection until close, error, or timeout.
+fn serve_connection(router: &Router, stream: TcpStream, read_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    loop {
+        match parse_request(&mut reader) {
+            Ok(Some(request)) => {
+                let keep_alive = !request.wants_close();
+                let response = router.handle(&request);
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean close
+            Err(parse_error) => {
+                let body = format!("{{\"error\":{:?}}}", parse_error.message);
+                let _ = Response::json(parse_error.status, body).write_to(&mut writer, false);
+                return;
+            }
+        }
+    }
+}

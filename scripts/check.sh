@@ -12,4 +12,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> server integration tests"
+cargo test --offline -q -p mine-server --test loopback --test registry_concurrency
+
 echo "All checks passed."

@@ -16,6 +16,10 @@
 //!                                              simulate many sittings, analyze them
 //!                                              concurrently, print the batch summary
 //! mine tree <db> <problem-id>                  print the Figure 1 metadata tree
+//! mine serve <db> [--addr H:P] [--threads N]   serve the sitting lifecycle over HTTP
+//! mine loadgen <addr> <exam-id> [--clients N] [--seed S]
+//!                                              drive a running server with concurrent
+//!                                              deterministic clients
 //! ```
 
 use std::process::ExitCode;
@@ -26,6 +30,7 @@ use mine_assessment::itembank::{
     ChoiceOption, Exam, Problem, Query, Repository, RepositorySnapshot,
 };
 use mine_assessment::scorm::ContentPackage;
+use mine_assessment::server::{run_loadgen, LoadGenOptions, Router, ServeOptions, Server};
 use mine_assessment::simulator::{CohortSpec, Simulation};
 
 fn main() -> ExitCode {
@@ -51,7 +56,9 @@ usage:
   mine export-scorm <db> <exam-id> <out-dir>
   mine simulate <db> <exam-id> <class-size> <seed>
   mine batch-analyze <db> <exam-id> <cohorts> <class-size> <seed> [--threads N]
-  mine tree <db> <problem-id>";
+  mine tree <db> <problem-id>
+  mine serve <db> [--addr HOST:PORT] [--threads N]
+  mine loadgen <addr> <exam-id> [--clients N] [--seed S]";
 
 type CliResult = Result<(), String>;
 
@@ -75,6 +82,8 @@ fn run(args: &[String]) -> CliResult {
         "simulate" => simulate(rest),
         "batch-analyze" => batch_analyze(rest),
         "tree" => tree(rest),
+        "serve" => serve(rest),
+        "loadgen" => loadgen(rest),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -355,6 +364,82 @@ fn batch_analyze(args: &[String]) -> CliResult {
         stats.hits, stats.misses, stats.entries
     ));
     print_block(&out);
+    Ok(())
+}
+
+/// Pulls a `--name value` pair out of `args`, returning the value and
+/// the remaining arguments.
+fn take_flag(args: &[String], name: &str) -> Result<(Option<String>, Vec<String>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut value = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == name {
+            let v = iter.next().ok_or_else(|| format!("{name} needs a value"))?;
+            value = Some(v.clone());
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((value, rest))
+}
+
+fn serve(args: &[String]) -> CliResult {
+    let (addr, args) = take_flag(args, "--addr")?;
+    let (threads, args) = take_flag(&args, "--threads")?;
+    let [path] = args.as_slice() else {
+        return Err("serve needs <db> [--addr HOST:PORT] [--threads N]".into());
+    };
+    let options = ServeOptions {
+        addr: addr.unwrap_or_else(|| "127.0.0.1:7400".to_string()),
+        threads: threads
+            .map(|n| n.parse::<usize>().map_err(|_| "--threads needs a number"))
+            .transpose()?
+            .unwrap_or(0),
+        ..ServeOptions::default()
+    };
+    let repository = load(path)?;
+    println!(
+        "serving {} problem(s), {} exam(s) from {path}",
+        repository.problem_count(),
+        repository.exam_count()
+    );
+    let server = Server::start(Router::new(repository), &options)
+        .map_err(|err| format!("binding {}: {err}", options.addr))?;
+    println!(
+        "listening on http://{} (ctrl-c to stop)",
+        server.local_addr()
+    );
+    server.join();
+    Ok(())
+}
+
+fn loadgen(args: &[String]) -> CliResult {
+    let (clients, args) = take_flag(args, "--clients")?;
+    let (seed, args) = take_flag(&args, "--seed")?;
+    let [addr, exam] = args.as_slice() else {
+        return Err("loadgen needs <addr> <exam-id> [--clients N] [--seed S]".into());
+    };
+    let options = LoadGenOptions {
+        addr: addr.clone(),
+        exam: exam.clone(),
+        clients: clients
+            .map(|n| n.parse::<usize>().map_err(|_| "--clients needs a number"))
+            .transpose()?
+            .unwrap_or(16),
+        seed: seed
+            .map(|n| n.parse::<u64>().map_err(|_| "--seed needs a number"))
+            .transpose()?
+            .unwrap_or(0),
+    };
+    let report = run_loadgen(&options)?;
+    println!(
+        "loadgen: {} sitting(s) completed, {} request(s), {} answer(s), {} failure(s)",
+        report.completed, report.requests, report.answers, report.failures
+    );
+    if report.failures > 0 {
+        return Err(format!("{} client(s) failed", report.failures));
+    }
     Ok(())
 }
 

@@ -16,6 +16,7 @@
 //! * [`analysis`] — the assessment analysis model (§4)
 //! * [`authoring`] — the authoring system facade (§5)
 //! * [`adaptive`] — the adaptive-testing extension promised in §6
+//! * [`server`] — the concurrent delivery micro-service (§5, networked)
 //!
 //! # Quickstart
 //!
@@ -34,5 +35,6 @@ pub use mine_itembank as itembank;
 pub use mine_metadata as metadata;
 pub use mine_qti as qti;
 pub use mine_scorm as scorm;
+pub use mine_server as server;
 pub use mine_simulator as simulator;
 pub use mine_xml as xml;
