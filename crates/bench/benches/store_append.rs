@@ -1,0 +1,64 @@
+//! Perf: append throughput of the event-log store per fsync policy.
+//!
+//! Workload: batches of 256-byte records (the size of a typical
+//! journaled session event) appended to a fresh log. The three
+//! policies bracket the durability/throughput trade-off the `--fsync`
+//! serve flag exposes: `always` pays one `fdatasync` per record,
+//! `interval:100` amortizes it over the window, `never` measures the
+//! pure framing + page-cache write path.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mine_bench::criterion_config;
+use mine_store::{EventStore, StoreOptions, SyncPolicy};
+
+const RECORD_BYTES: usize = 256;
+const BATCH: usize = 64;
+
+fn policies() -> Vec<(&'static str, SyncPolicy)> {
+    vec![
+        ("never", SyncPolicy::Never),
+        (
+            "interval_100ms",
+            SyncPolicy::Interval(Duration::from_millis(100)),
+        ),
+        ("always", SyncPolicy::Always),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let payload = vec![0x5A_u8; RECORD_BYTES];
+    println!("=== Store append: {BATCH} x {RECORD_BYTES}-byte records per iteration ===");
+    let mut group = c.benchmark_group("store_append");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for (name, sync) in policies() {
+        let dir =
+            std::env::temp_dir().join(format!("mine-store-bench-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = StoreOptions {
+            sync,
+            ..StoreOptions::default()
+        };
+        let (store, _) = EventStore::open(&dir, options).expect("open store");
+        group.bench_with_input(BenchmarkId::new("fsync", name), &store, |b, store| {
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    store.append(&payload).expect("append");
+                }
+                store.next_seq()
+            })
+        });
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -51,4 +51,6 @@ pub use error::DeliveryError;
 pub use monitor::{Monitor, MonitorEvent, MonitorHub, SnapshotPolicy};
 pub use order::presentation_order;
 pub use rte_bridge::RteBridge;
-pub use session::{DeliveryOptions, ExamSession, SessionCheckpoint, SessionState};
+pub use session::{
+    DeliveryOptions, ExamSession, RecordedAnswer, SessionCheckpoint, SessionImage, SessionState,
+};

@@ -123,6 +123,42 @@ pub struct RecordedAnswer {
     pub answered_at: Duration,
 }
 
+/// A complete serializable image of an [`ExamSession`] — every field,
+/// including the problem set with its graders — used by the server's
+/// durability layer to snapshot live sittings and rebuild them
+/// byte-identically after a restart.
+///
+/// Unlike [`SessionCheckpoint`] (which is deliberately small and
+/// rebuilt against the repository on resume), an image is
+/// self-contained: restoring it needs nothing but the image itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionImage {
+    /// The session identity.
+    pub id: SessionId,
+    /// The exam being sat.
+    pub exam_id: ExamId,
+    /// The learner.
+    pub student: StudentId,
+    /// The options the sitting was started with.
+    pub options: DeliveryOptions,
+    /// Problems keyed by id, graders included.
+    pub problems: BTreeMap<ProblemId, Problem>,
+    /// Exam-local point overrides.
+    pub point_overrides: BTreeMap<ProblemId, f64>,
+    /// Presentation order.
+    pub order: Vec<ProblemId>,
+    /// Answers recorded so far.
+    pub answers: BTreeMap<ProblemId, RecordedAnswer>,
+    /// Index of the next unanswered position.
+    pub cursor: usize,
+    /// Elapsed logical time.
+    pub elapsed: Duration,
+    /// Effective time limit (accommodation already applied), if any.
+    pub time_limit: Option<Duration>,
+    /// Lifecycle state.
+    pub state: SessionState,
+}
+
 /// One learner sitting one exam.
 #[derive(Debug, Clone)]
 pub struct ExamSession {
@@ -438,6 +474,62 @@ impl ExamSession {
         session.cursor = checkpoint.cursor;
         session.elapsed = checkpoint.elapsed;
         Ok(session)
+    }
+
+    /// Captures a complete [`SessionImage`] of this sitting.
+    #[must_use]
+    pub fn image(&self) -> SessionImage {
+        SessionImage {
+            id: self.id.clone(),
+            exam_id: self.exam_id.clone(),
+            student: self.student.clone(),
+            options: self.options.clone(),
+            problems: self.problems.clone(),
+            point_overrides: self.point_overrides.clone(),
+            order: self.order.clone(),
+            answers: self.answers.clone(),
+            cursor: self.cursor,
+            elapsed: self.elapsed,
+            time_limit: self.time_limit,
+            state: self.state,
+        }
+    }
+
+    /// Rebuilds a sitting from a [`SessionImage`], byte-identical to the
+    /// session the image was captured from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeliveryError::CheckpointMismatch`] when the image is
+    /// internally inconsistent (order references unknown problems, or
+    /// the cursor points past the exam).
+    pub fn from_image(image: SessionImage) -> Result<Self, DeliveryError> {
+        for problem in image.order.iter().chain(image.answers.keys()) {
+            if !image.problems.contains_key(problem) {
+                return Err(DeliveryError::CheckpointMismatch {
+                    reason: format!("image references unknown problem {problem}"),
+                });
+            }
+        }
+        if image.cursor > image.order.len() {
+            return Err(DeliveryError::CheckpointMismatch {
+                reason: "image cursor past the exam".into(),
+            });
+        }
+        Ok(Self {
+            id: image.id,
+            exam_id: image.exam_id,
+            student: image.student,
+            options: image.options,
+            problems: image.problems,
+            point_overrides: image.point_overrides,
+            order: image.order,
+            answers: image.answers,
+            cursor: image.cursor,
+            elapsed: image.elapsed,
+            time_limit: image.time_limit,
+            state: image.state,
+        })
     }
 
     /// Finishes the sitting, producing the graded [`StudentRecord`].
@@ -771,6 +863,48 @@ mod tests {
         assert!(matches!(
             session.reactivate(),
             Err(DeliveryError::WrongState { .. })
+        ));
+    }
+
+    #[test]
+    fn image_round_trip_rebuilds_the_session_byte_identically() {
+        let mut session = start();
+        session
+            .answer(Answer::Choice(OptionKey::B), Duration::from_secs(30))
+            .unwrap();
+        let image = session.image();
+        // The image survives serialization (the durability layer stores
+        // it as JSON inside snapshots).
+        let json = serde_json::to_string(&image).unwrap();
+        let restored: SessionImage = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, image);
+        let mut rebuilt = ExamSession::from_image(restored).unwrap();
+        assert_eq!(rebuilt.id(), session.id());
+        assert_eq!(rebuilt.elapsed(), session.elapsed());
+        assert_eq!(rebuilt.answered_count(), 1);
+        // Both copies finish to the identical graded record.
+        let a = session.finish().unwrap();
+        let b = rebuilt.finish().unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn from_image_rejects_inconsistent_images() {
+        let session = start();
+        let mut image = session.image();
+        image.cursor = 99;
+        assert!(matches!(
+            ExamSession::from_image(image),
+            Err(DeliveryError::CheckpointMismatch { .. })
+        ));
+        let mut image = session.image();
+        image.problems.clear();
+        assert!(matches!(
+            ExamSession::from_image(image),
+            Err(DeliveryError::CheckpointMismatch { .. })
         ));
     }
 

@@ -262,6 +262,47 @@ mod tests {
     }
 
     #[test]
+    fn load_of_a_zero_byte_file_is_a_clean_error() {
+        let dir = std::env::temp_dir().join(format!("mine-persist-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bank.json");
+        std::fs::write(&path, b"").unwrap();
+        let err = RepositorySnapshot::load(&path).expect_err("empty file must not parse");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A crash mid-copy (or a non-atomic writer) leaves a JSON prefix;
+    /// `load` must report it as a decode error at every cut point, never
+    /// panic or return a half-parsed repository.
+    #[test]
+    fn load_of_a_mid_json_truncated_file_is_a_clean_error() {
+        let dir = std::env::temp_dir().join(format!("mine-persist-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bank.json");
+        RepositorySnapshot::capture(&loaded_repository())
+            .save(&path)
+            .unwrap();
+        let whole = std::fs::read(&path).unwrap();
+        assert!(
+            whole.len() > 100,
+            "fixture too small to truncate meaningfully"
+        );
+        for keep in [1, whole.len() / 4, whole.len() / 2, whole.len() - 1] {
+            let cut = dir.join("cut.json");
+            std::fs::write(&cut, &whole[..keep]).unwrap();
+            let err =
+                RepositorySnapshot::load(&cut).expect_err("truncated snapshot must not parse");
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::InvalidData,
+                "{keep} byte(s): {err}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn save_leaves_no_temp_files_behind() {
         let snapshot = RepositorySnapshot::capture(&loaded_repository());
         let dir = std::env::temp_dir().join(format!("mine-persist-tmp-{}", std::process::id()));

@@ -37,15 +37,31 @@ pub struct HttpClient {
     writer: TcpStream,
 }
 
+/// Default I/O timeout for [`HttpClient::connect`].
+pub const DEFAULT_CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
 impl HttpClient {
-    /// Connects to `addr` (e.g. `127.0.0.1:7400`).
+    /// Connects to `addr` (e.g. `127.0.0.1:7400`) with the default
+    /// 30-second I/O timeout.
     ///
     /// # Errors
     ///
     /// Returns [`std::io::Error`] when the connection fails.
     pub fn connect(addr: &str) -> std::io::Result<Self> {
+        Self::with_timeout(addr, DEFAULT_CLIENT_TIMEOUT)
+    }
+
+    /// Connects with an explicit timeout, applied to both reads and
+    /// writes so a stalled server can block neither direction forever.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::Error`] when the connection fails or the
+    /// timeout is rejected (zero is invalid).
+    pub fn with_timeout(addr: &str, timeout: Duration) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Self {

@@ -73,7 +73,8 @@ impl Request {
 pub struct Response {
     /// Status code (200, 404, …).
     pub status: u16,
-    /// Body bytes (always JSON in this service).
+    /// Body text (JSON everywhere except the Prometheus `/metrics`
+    /// rendering).
     pub body: String,
     /// `Content-Type` header value.
     pub content_type: &'static str,
@@ -90,6 +91,16 @@ impl Response {
         }
     }
 
+    /// A Prometheus text-exposition-format response (`GET /metrics`).
+    #[must_use]
+    pub fn prometheus(status: u16, body: String) -> Self {
+        Self {
+            status,
+            body,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+        }
+    }
+
     /// The standard reason phrase for the status code.
     #[must_use]
     pub fn reason(&self) -> &'static str {
@@ -100,6 +111,7 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             409 => "Conflict",
+            410 => "Gone",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
             500 => "Internal Server Error",

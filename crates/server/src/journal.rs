@@ -1,0 +1,471 @@
+//! Durability for the delivery service: every session mutation is
+//! journaled as a [`SessionEvent`] in a [`mine_store::EventStore`]
+//! write-ahead log, and a restarted server rebuilds byte-identical
+//! registry state by replaying snapshot + tail.
+//!
+//! # Write path
+//!
+//! Handlers journal WAL-first: the event is appended *before* the
+//! in-memory mutation, inside the same per-session lock, so the log
+//! order of any one session's events always matches the order its
+//! mutations were applied in. A journaled event whose mutation then
+//! fails (a duplicate start, an answer after expiry) is harmless —
+//! replay drives the same code path and fails the same deterministic
+//! way.
+//!
+//! # Snapshot path
+//!
+//! Periodically the router captures a [`ServerImage`] — every live
+//! session as a [`SessionImage`] plus every finished record — under the
+//! journal's write gate (which excludes all mutating handlers) and
+//! hands it to [`EventStore::snapshot`], which compacts the log.
+//!
+//! # Recovery
+//!
+//! [`open_journaled_state`] restores the image, replays the tail
+//! through the very same registry/session methods the live handlers
+//! use, and returns the ready [`ServerState`]. Determinism comes from
+//! the sessions' logical clock: no wall time is ever consulted.
+
+use std::path::Path;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use serde::{Deserialize, Serialize};
+
+use mine_core::{Answer, ExamId, StudentId, StudentRecord};
+use mine_delivery::{DeliveryOptions, ExamSession, SessionCheckpoint, SessionImage};
+use mine_itembank::Repository;
+use mine_store::{EventStore, Recovered, StoreError, StoreOptions};
+
+use crate::registry::{FinishedStore, SessionRegistry};
+use crate::router::ServerState;
+
+/// One journaled mutation of the session registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SessionEvent {
+    /// `POST /sessions` — a sitting was started. The session id is
+    /// derived deterministically from `exam`, `student`, and the seed,
+    /// so it is not stored.
+    Created {
+        /// The exam sat.
+        exam: ExamId,
+        /// The learner.
+        student: StudentId,
+        /// Options (seed, resumability, accommodation).
+        options: DeliveryOptions,
+    },
+    /// `POST /sessions/{id}/answers` — an answer attempt reached the
+    /// session (journaled even when the session rejects it, because a
+    /// rejection can still move the logical clock: time expiry clamps
+    /// `elapsed` to the limit).
+    Answered {
+        /// The session answered.
+        session: String,
+        /// The answer given.
+        answer: Answer,
+        /// Logical time spent, in whole microseconds.
+        time_spent: std::time::Duration,
+    },
+    /// `POST /sessions/{id}/pause`.
+    Paused {
+        /// The session paused.
+        session: String,
+    },
+    /// `POST /sessions/{id}/resume`.
+    Resumed {
+        /// The session resumed.
+        session: String,
+    },
+    /// `POST /sessions/{id}/finish` — the sitting was graded, filed,
+    /// and evicted.
+    Finished {
+        /// The session finished.
+        session: String,
+    },
+}
+
+impl SessionEvent {
+    /// Short label for inspection tooling (`mine recover`).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SessionEvent::Created { .. } => "created",
+            SessionEvent::Answered { .. } => "answered",
+            SessionEvent::Paused { .. } => "paused",
+            SessionEvent::Resumed { .. } => "resumed",
+            SessionEvent::Finished { .. } => "finished",
+        }
+    }
+}
+
+/// One live session inside a [`ServerImage`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotImage {
+    /// The full session state.
+    pub session: SessionImage,
+    /// The server-side copy of the latest pause checkpoint.
+    pub checkpoint: Option<SessionCheckpoint>,
+}
+
+/// Finished records of one exam inside a [`ServerImage`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExamRecords {
+    /// The exam id.
+    pub exam: String,
+    /// Finished records in student-id order.
+    pub records: Vec<StudentRecord>,
+}
+
+/// Everything the registry and finished store hold, in deterministic
+/// order — the payload of a store snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerImage {
+    /// Live sessions, ordered by session id.
+    pub sessions: Vec<SlotImage>,
+    /// Finished records, ordered by exam id.
+    pub finished: Vec<ExamRecords>,
+}
+
+impl ServerImage {
+    /// Captures the current registry and finished store.
+    #[must_use]
+    pub fn capture(registry: &SessionRegistry, finished: &FinishedStore) -> Self {
+        Self {
+            sessions: registry
+                .capture()
+                .into_iter()
+                .map(|(session, checkpoint)| SlotImage {
+                    session: session.image(),
+                    checkpoint,
+                })
+                .collect(),
+            finished: finished
+                .capture()
+                .into_iter()
+                .map(|(exam, records)| ExamRecords { exam, records })
+                .collect(),
+        }
+    }
+
+    /// Restores this image into an (empty) registry and finished store.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first session that failed to
+    /// rebuild.
+    pub fn restore(
+        self,
+        registry: &SessionRegistry,
+        finished: &FinishedStore,
+    ) -> Result<(), String> {
+        for slot in self.sessions {
+            let id = slot.session.id.as_str().to_string();
+            let session = ExamSession::from_image(slot.session)
+                .map_err(|err| format!("session {id} failed to rebuild: {err}"))?;
+            registry
+                .insert(session)
+                .map_err(|err| format!("session {id} failed to re-register: {err}"))?;
+            if slot.checkpoint.is_some() {
+                registry
+                    .with(&id, |live| live.checkpoint = slot.checkpoint.clone())
+                    .map_err(|err| format!("session {id} vanished during restore: {err}"))?;
+            }
+        }
+        for exam in self.finished {
+            for record in exam.records {
+                finished.push(&exam.exam, record);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The server's handle on its write-ahead log: the event store plus the
+/// snapshot gate handlers and the compactor coordinate through.
+#[derive(Debug)]
+pub struct Journal {
+    store: EventStore,
+    /// Mutating handlers hold `read`; the compactor holds `write` while
+    /// capturing a [`ServerImage`], so a snapshot never interleaves
+    /// with a half-applied mutation. Lock order is always gate →
+    /// registry shard/slot → store mutex, so no cycle exists.
+    gate: RwLock<()>,
+    /// Snapshot after this many journaled events (0 = never).
+    snapshot_every: u64,
+}
+
+impl Journal {
+    /// Opens the journal at `dir`, recovering prior state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from [`EventStore::open`].
+    pub fn open(
+        dir: impl AsRef<Path>,
+        options: StoreOptions,
+        snapshot_every: u64,
+    ) -> Result<(Self, Recovered), StoreError> {
+        let (store, recovered) = EventStore::open(dir.as_ref().to_path_buf(), options)?;
+        Ok((
+            Self {
+                store,
+                gate: RwLock::new(()),
+                snapshot_every,
+            },
+            recovered,
+        ))
+    }
+
+    /// Appends one event (WAL-first: call before applying the
+    /// mutation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from the underlying append.
+    pub fn append(&self, event: &SessionEvent) -> Result<u64, StoreError> {
+        let payload = serde_json::to_string(event).map_err(|err| {
+            StoreError::Io(std::io::Error::other(format!(
+                "event failed to serialize: {err}"
+            )))
+        })?;
+        self.store.append(payload.as_bytes())
+    }
+
+    /// Shared gate for mutating handlers.
+    pub fn gate_read(&self) -> RwLockReadGuard<'_, ()> {
+        self.gate.read()
+    }
+
+    /// Exclusive gate for the compactor.
+    pub fn gate_write(&self) -> RwLockWriteGuard<'_, ()> {
+        self.gate.write()
+    }
+
+    /// Whether enough events have accumulated to warrant a snapshot.
+    #[must_use]
+    pub fn due_for_snapshot(&self) -> bool {
+        self.snapshot_every > 0 && self.store.events_since_snapshot() >= self.snapshot_every
+    }
+
+    /// Writes a compacting snapshot of `image`. Call with the write
+    /// gate held.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`]; the log remains intact on failure.
+    pub fn write_snapshot(&self, image: &ServerImage) -> Result<(), StoreError> {
+        let payload = serde_json::to_string(image).map_err(|err| {
+            StoreError::Io(std::io::Error::other(format!(
+                "image failed to serialize: {err}"
+            )))
+        })?;
+        self.store.snapshot(payload.as_bytes())
+    }
+
+    /// Flushes the log to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`].
+    pub fn sync(&self) -> Result<(), StoreError> {
+        self.store.sync()
+    }
+}
+
+/// What [`open_journaled_state`] found and rebuilt.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Live sessions restored from the snapshot image.
+    pub snapshot_sessions: usize,
+    /// Finished records restored from the snapshot image.
+    pub snapshot_records: usize,
+    /// Tail events replayed after the snapshot.
+    pub events_replayed: usize,
+    /// Store-level repairs (torn tails truncated).
+    pub warnings: Vec<String>,
+    /// Events that did not apply cleanly (deterministic rejections are
+    /// expected here — e.g. an answer the live server also rejected).
+    pub notes: Vec<String>,
+}
+
+/// Replays one journaled event through the same code paths the live
+/// handlers use. Returns a note when the event did not apply cleanly.
+fn apply_event(
+    repository: &Repository,
+    registry: &SessionRegistry,
+    finished: &FinishedStore,
+    event: SessionEvent,
+) -> Option<String> {
+    match event {
+        SessionEvent::Created {
+            exam,
+            student,
+            options,
+        } => {
+            let (exam, problems) = match repository.resolve_exam(&exam) {
+                Ok(resolved) => resolved,
+                Err(err) => return Some(format!("created: {err}")),
+            };
+            let session = match ExamSession::start(&exam, problems, student, options) {
+                Ok(session) => session,
+                Err(err) => return Some(format!("created: {err}")),
+            };
+            registry
+                .insert(session)
+                .err()
+                .map(|err| format!("created: {err}"))
+        }
+        SessionEvent::Answered {
+            session,
+            answer,
+            time_spent,
+        } => match registry.with(&session, |slot| slot.session.answer(answer, time_spent)) {
+            // An answer the live server rejected (expiry, wrong kind)
+            // replays as the same rejection — not a divergence.
+            Ok(_) => None,
+            Err(err) => Some(format!("answered: {err}")),
+        },
+        SessionEvent::Paused { session } => {
+            match registry.with(&session, |slot| {
+                let checkpoint = slot.session.pause()?;
+                slot.checkpoint = Some(checkpoint);
+                Ok::<_, mine_delivery::DeliveryError>(())
+            }) {
+                Ok(_) => None,
+                Err(err) => Some(format!("paused: {err}")),
+            }
+        }
+        SessionEvent::Resumed { session } => {
+            match registry.with(&session, |slot| slot.session.reactivate()) {
+                Ok(_) => None,
+                Err(err) => Some(format!("resumed: {err}")),
+            }
+        }
+        SessionEvent::Finished { session } => {
+            let outcome = registry.with(&session, |slot| {
+                slot.session
+                    .finish()
+                    .map(|record| (slot.session.exam_id().as_str().to_string(), record))
+            });
+            match outcome {
+                Ok(Ok((exam, record))) => {
+                    finished.push(&exam, record);
+                    let _ = registry.remove(&session);
+                    None
+                }
+                Ok(Err(err)) => Some(format!("finished: {err}")),
+                Err(err) => Some(format!("finished: {err}")),
+            }
+        }
+    }
+}
+
+/// Opens the journal at `dir`, rebuilds the full [`ServerState`] from
+/// snapshot + tail, and attaches the journal so subsequent mutations
+/// keep being logged.
+///
+/// # Errors
+///
+/// Returns the store error, a snapshot-decode error, or a restore
+/// failure as a human-readable message (the caller is `mine serve`,
+/// which exits with it).
+pub fn open_journaled_state(
+    repository: Repository,
+    dir: impl AsRef<Path>,
+    options: StoreOptions,
+    snapshot_every: u64,
+) -> Result<(ServerState, RecoveryReport), String> {
+    let (journal, recovered) =
+        Journal::open(dir, options, snapshot_every).map_err(|err| err.to_string())?;
+    let mut state = ServerState::new(repository);
+    let mut report = RecoveryReport {
+        warnings: recovered.warnings,
+        ..RecoveryReport::default()
+    };
+
+    if let Some(snapshot) = recovered.snapshot {
+        let text = String::from_utf8(snapshot.payload)
+            .map_err(|_| "snapshot payload is not UTF-8".to_string())?;
+        let image: ServerImage = serde_json::from_str(&text)
+            .map_err(|err| format!("snapshot failed to decode: {err}"))?;
+        report.snapshot_sessions = image.sessions.len();
+        report.snapshot_records = image.finished.iter().map(|e| e.records.len()).sum();
+        image.restore(&state.registry, &state.finished)?;
+    }
+
+    for record in recovered.events {
+        let text = String::from_utf8(record.payload)
+            .map_err(|_| format!("event seq {} is not UTF-8", record.seq))?;
+        let event: SessionEvent = serde_json::from_str(&text)
+            .map_err(|err| format!("event seq {} failed to decode: {err}", record.seq))?;
+        if let Some(note) = apply_event(&state.repository, &state.registry, &state.finished, event)
+        {
+            report.notes.push(format!("seq {}: {note}", record.seq));
+        }
+        report.events_replayed += 1;
+    }
+
+    state.journal = Some(journal);
+    Ok((state, report))
+}
+
+/// Decodes every event in a recovered log for offline inspection
+/// (`mine recover`). Returns `(seq, event)` pairs.
+///
+/// # Errors
+///
+/// Returns a message for the first undecodable event.
+pub fn decode_events(recovered: &Recovered) -> Result<Vec<(u64, SessionEvent)>, String> {
+    recovered
+        .events
+        .iter()
+        .map(|record| {
+            let text = std::str::from_utf8(&record.payload)
+                .map_err(|_| format!("event seq {} is not UTF-8", record.seq))?;
+            let event: SessionEvent = serde_json::from_str(text)
+                .map_err(|err| format!("event seq {} failed to decode: {err}", record.seq))?;
+            Ok((record.seq, event))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn session_events_round_trip_through_json() {
+        let events = vec![
+            SessionEvent::Created {
+                exam: "quiz".parse().unwrap(),
+                student: "s1".parse().unwrap(),
+                options: DeliveryOptions {
+                    seed: 7,
+                    resumable: false,
+                    time_accommodation: 1.5,
+                },
+            },
+            SessionEvent::Answered {
+                session: "quiz#s1@7".to_string(),
+                answer: Answer::TrueFalse(true),
+                time_spent: Duration::from_millis(1500),
+            },
+            SessionEvent::Paused {
+                session: "quiz#s1@7".to_string(),
+            },
+            SessionEvent::Resumed {
+                session: "quiz#s1@7".to_string(),
+            },
+            SessionEvent::Finished {
+                session: "quiz#s1@7".to_string(),
+            },
+        ];
+        for event in events {
+            let json = serde_json::to_string(&event).unwrap();
+            let back: SessionEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, event, "{json}");
+        }
+    }
+}

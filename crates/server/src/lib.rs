@@ -53,13 +53,18 @@
 
 pub mod client;
 pub mod http;
+pub mod journal;
 pub mod loadgen;
 pub mod metrics;
 pub mod registry;
 pub mod router;
 pub mod serve;
 
-pub use client::{ClientResponse, HttpClient};
+pub use client::{ClientResponse, HttpClient, DEFAULT_CLIENT_TIMEOUT};
+pub use journal::{
+    decode_events, open_journaled_state, Journal, RecoveryReport, ServerImage, SessionEvent,
+    SlotImage,
+};
 pub use loadgen::{run_loadgen, LoadGenOptions, LoadGenReport};
 pub use metrics::{Metrics, MetricsSnapshot, Route};
 pub use registry::{FinishedStore, RegistryError, SessionRegistry, SessionSlot};

@@ -234,6 +234,80 @@ impl Serialize for MetricsSnapshot {
     }
 }
 
+impl MetricsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# TYPE` lines, one sample per line, histogram
+    /// buckets with *cumulative* counts and `le` bounds in seconds.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+
+        out.push_str("# HELP mine_requests_total Requests served, by route.\n");
+        out.push_str("# TYPE mine_requests_total counter\n");
+        for (label, count) in &self.requests {
+            out.push_str(&format!(
+                "mine_requests_total{{route=\"{label}\"}} {count}\n"
+            ));
+        }
+
+        out.push_str("# HELP mine_responses_total Responses sent, by status class.\n");
+        out.push_str("# TYPE mine_responses_total counter\n");
+        for (class, count) in [
+            ("2xx", self.status_2xx),
+            ("4xx", self.status_4xx),
+            ("5xx", self.status_5xx),
+        ] {
+            out.push_str(&format!(
+                "mine_responses_total{{class=\"{class}\"}} {count}\n"
+            ));
+        }
+
+        out.push_str("# HELP mine_request_duration_seconds Request latency.\n");
+        out.push_str("# TYPE mine_request_duration_seconds histogram\n");
+        // The internal buckets hold per-bucket counts; Prometheus
+        // histogram buckets are cumulative.
+        let mut cumulative = 0_u64;
+        for (i, count) in self.latency_buckets.iter().enumerate() {
+            cumulative += count;
+            let le = LATENCY_BUCKETS_US.get(i).map_or_else(
+                || "+Inf".to_string(),
+                |&us| format!("{}", us as f64 / 1_000_000.0),
+            );
+            out.push_str(&format!(
+                "mine_request_duration_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "mine_request_duration_seconds_sum {}\n",
+            self.latency_sum_us as f64 / 1_000_000.0
+        ));
+        out.push_str(&format!(
+            "mine_request_duration_seconds_count {}\n",
+            self.latency_count
+        ));
+
+        for (name, help, value) in [
+            (
+                "mine_sessions_started_total",
+                "Sessions ever started.",
+                self.sessions_started,
+            ),
+            (
+                "mine_sessions_finished_total",
+                "Sessions ever finished.",
+                self.sessions_finished,
+            ),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        out.push_str("# HELP mine_active_sessions Sessions currently resident in the registry.\n");
+        out.push_str("# TYPE mine_active_sessions gauge\n");
+        out.push_str(&format!("mine_active_sessions {}\n", self.active_sessions));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +339,31 @@ mod tests {
         assert_eq!(snapshot.sessions_started, 1);
         assert_eq!(snapshot.sessions_finished, 1);
         assert_eq!(snapshot.active_sessions, 3);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_type_lines_and_cumulative_buckets() {
+        let metrics = Metrics::new();
+        metrics.record(Route::Healthz, 200, Duration::from_micros(50));
+        metrics.record(Route::Answer, 200, Duration::from_micros(80));
+        metrics.record(Route::Answer, 422, Duration::from_micros(300));
+        metrics.record(Route::Analysis, 500, Duration::from_secs(2));
+        let text = metrics.snapshot(2).to_prometheus();
+
+        assert!(text.contains("# TYPE mine_requests_total counter"));
+        assert!(text.contains("mine_requests_total{route=\"answer\"} 2"));
+        assert!(text.contains("# TYPE mine_request_duration_seconds histogram"));
+        // Two 50/80 µs observations land in the first (≤100 µs = 1e-4 s)
+        // bucket; cumulative counts keep growing monotonically.
+        assert!(text.contains("mine_request_duration_seconds_bucket{le=\"0.0001\"} 2"));
+        assert!(text.contains("mine_request_duration_seconds_bucket{le=\"0.0005\"} 3"));
+        assert!(text.contains("mine_request_duration_seconds_bucket{le=\"1\"} 3"));
+        assert!(text.contains("mine_request_duration_seconds_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("mine_request_duration_seconds_count 4"));
+        assert!(text.contains("mine_responses_total{class=\"5xx\"} 1"));
+        assert!(text.contains("# TYPE mine_active_sessions gauge"));
+        assert!(text.contains("mine_active_sessions 2"));
+        assert!(text.ends_with('\n'));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -23,6 +24,10 @@ use mine_delivery::{ExamSession, SessionCheckpoint, SessionState};
 /// Default shard count — enough to keep 32+ concurrent clients off each
 /// other's locks without wasting memory.
 pub const DEFAULT_SHARDS: usize = 16;
+
+/// How long a removed session's tombstone distinguishes "already
+/// removed" from "never existed".
+pub const DEFAULT_TOMBSTONE_TTL: Duration = Duration::from_secs(300);
 
 /// A live session plus the server-side copy of its latest pause
 /// checkpoint (the paper's `cmi.suspend_data`).
@@ -41,6 +46,10 @@ pub enum RegistryError {
     Duplicate(SessionId),
     /// No session with the given id.
     Missing(String),
+    /// The session existed and was removed recently (its tombstone has
+    /// not expired) — a repeated removal, not an unknown id, so a
+    /// caller retrying a finish can treat it as success.
+    AlreadyRemoved(String),
 }
 
 impl std::fmt::Display for RegistryError {
@@ -48,18 +57,28 @@ impl std::fmt::Display for RegistryError {
         match self {
             RegistryError::Duplicate(id) => write!(f, "session {id} already exists"),
             RegistryError::Missing(id) => write!(f, "no session {id}"),
+            RegistryError::AlreadyRemoved(id) => write!(f, "session {id} was already removed"),
         }
     }
 }
 
 impl std::error::Error for RegistryError {}
 
-type Shard = RwLock<HashMap<String, Arc<Mutex<SessionSlot>>>>;
+/// One shard: live slots plus tombstones of recently removed sessions,
+/// behind a single lock so remove-vs-remove races resolve atomically.
+#[derive(Debug, Default)]
+struct ShardMap {
+    live: HashMap<String, Arc<Mutex<SessionSlot>>>,
+    tombstones: HashMap<String, Instant>,
+}
+
+type Shard = RwLock<ShardMap>;
 
 /// A sharded, thread-safe map of live exam sessions.
 #[derive(Debug)]
 pub struct SessionRegistry {
     shards: Vec<Shard>,
+    tombstone_ttl: Duration,
 }
 
 impl Default for SessionRegistry {
@@ -72,8 +91,17 @@ impl SessionRegistry {
     /// Creates a registry with the given shard count (minimum 1).
     #[must_use]
     pub fn new(shards: usize) -> Self {
+        Self::with_tombstone_ttl(shards, DEFAULT_TOMBSTONE_TTL)
+    }
+
+    /// Creates a registry with an explicit tombstone lifetime (how long
+    /// [`SessionRegistry::remove`] can tell a repeated removal apart
+    /// from an unknown session).
+    #[must_use]
+    pub fn with_tombstone_ttl(shards: usize, tombstone_ttl: Duration) -> Self {
         Self {
             shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
+            tombstone_ttl,
         }
     }
 
@@ -92,10 +120,13 @@ impl SessionRegistry {
     pub fn insert(&self, session: ExamSession) -> Result<SessionId, RegistryError> {
         let id = session.id().clone();
         let mut shard = self.shard(id.as_str()).write();
-        if shard.contains_key(id.as_str()) {
+        if shard.live.contains_key(id.as_str()) {
             return Err(RegistryError::Duplicate(id));
         }
-        shard.insert(
+        // A fresh session supersedes any tombstone of its predecessor
+        // (a re-sit with the same seed after a finish).
+        shard.tombstones.remove(id.as_str());
+        shard.live.insert(
             id.as_str().to_string(),
             Arc::new(Mutex::new(SessionSlot {
                 session,
@@ -118,6 +149,7 @@ impl SessionRegistry {
         let slot = {
             let shard = self.shard(id).read();
             shard
+                .live
                 .get(id)
                 .cloned()
                 .ok_or_else(|| RegistryError::Missing(id.to_string()))?
@@ -128,20 +160,39 @@ impl SessionRegistry {
 
     /// Removes a session (after finish), returning its slot.
     ///
+    /// Removal is idempotent in the face of races: when two callers
+    /// race to remove the same finished session, exactly one gets the
+    /// slot and the other gets [`RegistryError::AlreadyRemoved`] (for
+    /// as long as the tombstone lives), not a misleading `Missing`.
+    ///
     /// # Errors
     ///
-    /// Returns [`RegistryError::Missing`] for unknown ids.
+    /// Returns [`RegistryError::AlreadyRemoved`] when the session was
+    /// removed within the tombstone TTL and [`RegistryError::Missing`]
+    /// for ids never (or no longer memorably) registered.
     pub fn remove(&self, id: &str) -> Result<Arc<Mutex<SessionSlot>>, RegistryError> {
-        self.shard(id)
-            .write()
-            .remove(id)
-            .ok_or_else(|| RegistryError::Missing(id.to_string()))
+        let mut shard = self.shard(id).write();
+        let ttl = self.tombstone_ttl;
+        shard
+            .tombstones
+            .retain(|_, removed_at| removed_at.elapsed() < ttl);
+        if let Some(slot) = shard.live.remove(id) {
+            shard.tombstones.insert(id.to_string(), Instant::now());
+            return Ok(slot);
+        }
+        if shard.tombstones.contains_key(id) {
+            return Err(RegistryError::AlreadyRemoved(id.to_string()));
+        }
+        Err(RegistryError::Missing(id.to_string()))
     }
 
     /// Number of sessions currently registered.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|shard| shard.read().len()).sum()
+        self.shards
+            .iter()
+            .map(|shard| shard.read().live.len())
+            .sum()
     }
 
     /// Whether no session is registered.
@@ -158,7 +209,7 @@ impl SessionRegistry {
         for shard in &self.shards {
             // Clone the Arcs out so slot locks are not taken while the
             // shard lock is held (lock-ordering hygiene).
-            let slots: Vec<_> = shard.read().values().cloned().collect();
+            let slots: Vec<_> = shard.read().live.values().cloned().collect();
             for slot in slots {
                 match slot.lock().session.state() {
                     SessionState::Active => active += 1,
@@ -168,6 +219,24 @@ impl SessionRegistry {
             }
         }
         (active, paused)
+    }
+
+    /// Clones out every live session (with its checkpoint), sorted by
+    /// session id — the deterministic basis of a durability snapshot.
+    /// Callers needing a *consistent* capture must exclude concurrent
+    /// mutators first (the server does so via its journal gate).
+    #[must_use]
+    pub fn capture(&self) -> Vec<(ExamSession, Option<SessionCheckpoint>)> {
+        let mut captured = Vec::new();
+        for shard in &self.shards {
+            let slots: Vec<_> = shard.read().live.values().cloned().collect();
+            for slot in slots {
+                let guard = slot.lock();
+                captured.push((guard.session.clone(), guard.checkpoint.clone()));
+            }
+        }
+        captured.sort_by(|a, b| a.0.id().as_str().cmp(b.0.id().as_str()));
+        captured
     }
 }
 
@@ -212,6 +281,21 @@ impl FinishedStore {
     #[must_use]
     pub fn count(&self, exam: &str) -> usize {
         self.by_exam.read().get(exam).map_or(0, BTreeMap::len)
+    }
+
+    /// Clones out every exam's records, sorted by exam id (records are
+    /// already in student order) — the deterministic basis of a
+    /// durability snapshot.
+    #[must_use]
+    pub fn capture(&self) -> Vec<(String, Vec<StudentRecord>)> {
+        let mut exams: Vec<(String, Vec<StudentRecord>)> = self
+            .by_exam
+            .read()
+            .iter()
+            .map(|(exam, records)| (exam.clone(), records.values().cloned().collect()))
+            .collect();
+        exams.sort_by(|a, b| a.0.cmp(&b.0));
+        exams
     }
 }
 
@@ -262,6 +346,83 @@ mod tests {
             registry.with(id.as_str(), |_| ()),
             Err(RegistryError::Missing(_))
         ));
+        // A second removal within the tombstone TTL is recognizably a
+        // repeat, not an unknown id.
+        assert!(matches!(
+            registry.remove(id.as_str()),
+            Err(RegistryError::AlreadyRemoved(_))
+        ));
+        // But an id that never existed is Missing.
+        assert!(matches!(
+            registry.remove("ghost"),
+            Err(RegistryError::Missing(_))
+        ));
+    }
+
+    #[test]
+    fn racing_removals_resolve_to_one_winner_and_typed_repeats() {
+        let registry = Arc::new(SessionRegistry::new(4));
+        let id = registry.insert(session("s1", 0)).unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                let id = id.as_str().to_string();
+                std::thread::spawn(move || registry.remove(&id))
+            })
+            .collect();
+        let outcomes: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let wins = outcomes.iter().filter(|o| o.is_ok()).count();
+        let repeats = outcomes
+            .iter()
+            .filter(|o| matches!(o, Err(RegistryError::AlreadyRemoved(_))))
+            .count();
+        assert_eq!(wins, 1, "exactly one remover gets the slot");
+        assert_eq!(repeats, 7, "every loser sees AlreadyRemoved, never Missing");
+    }
+
+    #[test]
+    fn tombstones_expire_and_are_superseded_by_reinsertion() {
+        let registry = SessionRegistry::with_tombstone_ttl(2, Duration::from_millis(20));
+        let id = registry.insert(session("s1", 0)).unwrap();
+        registry.remove(id.as_str()).unwrap();
+        assert!(matches!(
+            registry.remove(id.as_str()),
+            Err(RegistryError::AlreadyRemoved(_))
+        ));
+        std::thread::sleep(Duration::from_millis(40));
+        // The tombstone has expired: the id is plain Missing again.
+        assert!(matches!(
+            registry.remove(id.as_str()),
+            Err(RegistryError::Missing(_))
+        ));
+        // A re-sit with the same id clears any tombstone.
+        let id = registry.insert(session("s1", 0)).unwrap();
+        registry.remove(id.as_str()).unwrap();
+        registry.insert(session("s1", 0)).unwrap();
+        assert_eq!(registry.len(), 1);
+        registry.with(id.as_str(), |_| ()).unwrap();
+    }
+
+    #[test]
+    fn capture_is_sorted_and_complete() {
+        let registry = SessionRegistry::new(4);
+        registry.insert(session("zed", 1)).unwrap();
+        let paused_id = registry.insert(session("amy", 2)).unwrap();
+        registry
+            .with(paused_id.as_str(), |slot| {
+                let checkpoint = slot.session.pause().unwrap();
+                slot.checkpoint = Some(checkpoint);
+            })
+            .unwrap();
+        let captured = registry.capture();
+        assert_eq!(captured.len(), 2);
+        // Sorted by session id, checkpoints carried along.
+        assert!(captured[0].0.id().as_str() < captured[1].0.id().as_str());
+        let amy = captured
+            .iter()
+            .find(|(s, _)| s.id().as_str() == paused_id.as_str())
+            .unwrap();
+        assert!(amy.1.is_some());
     }
 
     #[test]
@@ -303,5 +464,11 @@ mod tests {
         assert_eq!(store.count("quiz"), 2);
         assert_eq!(store.count("other"), 0);
         assert!(store.records("other").is_empty());
+        store.push("alpha", make("bob"));
+        let captured = store.capture();
+        assert_eq!(captured.len(), 2);
+        assert_eq!(captured[0].0, "alpha");
+        assert_eq!(captured[1].0, "quiz");
+        assert_eq!(captured[1].1.len(), 2);
     }
 }

@@ -17,6 +17,7 @@ use mine_delivery::{DeliveryError, DeliveryOptions, ExamSession, SessionState};
 use mine_itembank::{Problem, ProblemBody, Repository};
 
 use crate::http::{Request, Response};
+use crate::journal::{Journal, ServerImage, SessionEvent};
 use crate::metrics::{Metrics, Route};
 use crate::registry::{FinishedStore, RegistryError, SessionRegistry};
 
@@ -33,10 +34,18 @@ pub struct ServerState {
     pub analyzer: BatchAnalyzer,
     /// Service counters.
     pub metrics: Metrics,
+    /// The write-ahead log, when `--data-dir` durability is on.
+    pub journal: Option<Journal>,
+    /// Serializes `Created` journaling with registry insertion so a
+    /// session's `Created` event always precedes its other events in
+    /// the log (two racing starts of the same id would otherwise be
+    /// able to interleave append and insert).
+    create_lock: parking_lot::Mutex<()>,
 }
 
 impl ServerState {
-    /// Builds service state around a repository.
+    /// Builds service state around a repository (memory-only: no
+    /// journal).
     #[must_use]
     pub fn new(repository: Repository) -> Self {
         Self {
@@ -45,6 +54,8 @@ impl ServerState {
             finished: FinishedStore::new(),
             analyzer: BatchAnalyzer::new(AnalysisConfig::default()),
             metrics: Metrics::new(),
+            journal: None,
+            create_lock: parking_lot::Mutex::new(()),
         }
     }
 }
@@ -105,6 +116,8 @@ impl From<RegistryError> for ApiError {
         match &err {
             RegistryError::Duplicate(_) => Self::conflict(err.to_string()),
             RegistryError::Missing(_) => Self::not_found(err.to_string()),
+            // The session existed but is gone — 410, not 404.
+            RegistryError::AlreadyRemoved(_) => Self::new(410, err.to_string()),
         }
     }
 }
@@ -115,8 +128,15 @@ impl Router {
     /// A router over fresh state for the given repository.
     #[must_use]
     pub fn new(repository: Repository) -> Self {
+        Self::with_state(ServerState::new(repository))
+    }
+
+    /// A router over pre-built state (e.g. recovered from a journal by
+    /// [`crate::journal::open_journaled_state`]).
+    #[must_use]
+    pub fn with_state(state: ServerState) -> Self {
         Self {
-            state: Arc::new(ServerState::new(repository)),
+            state: Arc::new(state),
         }
     }
 
@@ -145,7 +165,38 @@ impl Router {
         self.state
             .metrics
             .record(route, response.status, started.elapsed());
+        self.maybe_compact();
         response
+    }
+
+    /// Writes a compacting snapshot when enough events have
+    /// accumulated. The write gate excludes every mutating handler, so
+    /// the captured [`ServerImage`] is consistent with the log.
+    fn maybe_compact(&self) {
+        let Some(journal) = &self.state.journal else {
+            return;
+        };
+        if !journal.due_for_snapshot() {
+            return;
+        }
+        let _gate = journal.gate_write();
+        // Double-check: another worker may have compacted while this
+        // one waited for the gate.
+        if !journal.due_for_snapshot() {
+            return;
+        }
+        let image = ServerImage::capture(&self.state.registry, &self.state.finished);
+        if let Err(err) = journal.write_snapshot(&image) {
+            // A failed snapshot is not fatal: the log is intact and
+            // compaction will be retried after the next mutation.
+            eprintln!("[mine-serve] snapshot failed (log kept): {err}");
+        }
+    }
+
+    /// Maps a journal append failure to a 500 (the mutation is not
+    /// applied — WAL-first means memory never runs ahead of the log).
+    fn journal_failed(err: mine_store::StoreError) -> ApiError {
+        ApiError::new(500, format!("journal append failed: {err}"))
     }
 
     fn dispatch(&self, request: &Request) -> (Route, ApiResult) {
@@ -153,7 +204,7 @@ impl Router {
         let method = request.method.as_str();
         match (method, segments.as_slice()) {
             ("GET", ["healthz"]) => (Route::Healthz, self.healthz()),
-            ("GET", ["metrics"]) => (Route::Metrics, self.metrics()),
+            ("GET", ["metrics"]) => (Route::Metrics, self.metrics(request)),
             ("POST", ["sessions"]) => (Route::SessionStart, self.start_session(request)),
             ("GET", ["sessions", id]) => (Route::SessionStatus, self.session_status(id)),
             ("POST", ["sessions", id, "answers"]) => (Route::Answer, self.answer(id, request)),
@@ -185,9 +236,18 @@ impl Router {
         ))
     }
 
-    fn metrics(&self) -> ApiResult {
+    /// `GET /metrics` serves the Prometheus text exposition format;
+    /// `GET /metrics?format=json` keeps the original JSON payload.
+    fn metrics(&self, request: &Request) -> ApiResult {
         let snapshot = self.state.metrics.snapshot(self.state.registry.len());
-        Ok(ok_json(200, snapshot.to_value()))
+        let wants_json = request
+            .query
+            .as_deref()
+            .is_some_and(|query| query.split('&').any(|pair| pair == "format=json"));
+        if wants_json {
+            return Ok(ok_json(200, snapshot.to_value()));
+        }
+        Ok(Response::prometheus(200, snapshot.to_prometheus()))
     }
 
     fn start_session(&self, request: &Request) -> ApiResult {
@@ -213,7 +273,27 @@ impl Router {
             .map_err(|err| ApiError::bad_request(format!("bad student id: {err}")))?;
         let session = ExamSession::start(&exam, problems.clone(), student, options)?;
         let body = session_started_body(&session, &problems);
-        self.state.registry.insert(session)?;
+        match &self.state.journal {
+            Some(journal) => {
+                let _gate = journal.gate_read();
+                // The create lock makes append+insert atomic with
+                // respect to other creators, so a `Created` event can
+                // never land in the log *after* one of its session's
+                // other events.
+                let _create = self.state.create_lock.lock();
+                journal
+                    .append(&SessionEvent::Created {
+                        exam: exam.id().clone(),
+                        student: session.student().clone(),
+                        options: session.options().clone(),
+                    })
+                    .map_err(Self::journal_failed)?;
+                self.state.registry.insert(session)?;
+            }
+            None => {
+                self.state.registry.insert(session)?;
+            }
+        }
         self.state.metrics.session_started();
         Ok(ok_json(201, body))
     }
@@ -241,35 +321,76 @@ impl Router {
         }
         let time_spent = Duration::try_from_secs_f64(secs)
             .map_err(|err| ApiError::bad_request(format!("bad time_spent_secs: {err}")))?;
+        let journal = self.state.journal.as_ref();
+        let _gate = journal.map(Journal::gate_read);
         let outcome = self.state.registry.with(id, |slot| {
+            if let Some(journal) = journal {
+                // Journaled even if the session rejects it: a rejection
+                // can still move the logical clock (expiry clamps it).
+                journal
+                    .append(&SessionEvent::Answered {
+                        session: id.to_string(),
+                        answer: answer.clone(),
+                        time_spent,
+                    })
+                    .map_err(Self::journal_failed)?;
+            }
             slot.session
-                .answer(answer, time_spent)
+                .answer(answer.clone(), time_spent)
                 .map(|()| session_status_body(&slot.session))
+                .map_err(ApiError::from)
         })?;
         Ok(ok_json(200, outcome?))
     }
 
     fn pause(&self, id: &str) -> ApiResult {
+        let journal = self.state.journal.as_ref();
+        let _gate = journal.map(Journal::gate_read);
         let checkpoint = self.state.registry.with(id, |slot| {
-            let checkpoint = slot.session.pause()?;
+            if let Some(journal) = journal {
+                journal
+                    .append(&SessionEvent::Paused {
+                        session: id.to_string(),
+                    })
+                    .map_err(Self::journal_failed)?;
+            }
+            let checkpoint = slot.session.pause().map_err(ApiError::from)?;
             slot.checkpoint = Some(checkpoint.clone());
-            Ok::<_, DeliveryError>(checkpoint)
+            Ok::<_, ApiError>(checkpoint)
         })??;
         Ok(ok_json(200, checkpoint.to_value()))
     }
 
     fn resume(&self, id: &str) -> ApiResult {
+        let journal = self.state.journal.as_ref();
+        let _gate = journal.map(Journal::gate_read);
         let status = self.state.registry.with(id, |slot| {
-            slot.session.reactivate()?;
-            Ok::<_, DeliveryError>(session_status_body(&slot.session))
+            if let Some(journal) = journal {
+                journal
+                    .append(&SessionEvent::Resumed {
+                        session: id.to_string(),
+                    })
+                    .map_err(Self::journal_failed)?;
+            }
+            slot.session.reactivate().map_err(ApiError::from)?;
+            Ok::<_, ApiError>(session_status_body(&slot.session))
         })??;
         Ok(ok_json(200, status))
     }
 
     fn finish(&self, id: &str) -> ApiResult {
+        let journal = self.state.journal.as_ref();
+        let _gate = journal.map(Journal::gate_read);
         let (exam_id, record) = self.state.registry.with(id, |slot| {
-            let record = slot.session.finish()?;
-            Ok::<_, DeliveryError>((slot.session.exam_id().as_str().to_string(), record))
+            if let Some(journal) = journal {
+                journal
+                    .append(&SessionEvent::Finished {
+                        session: id.to_string(),
+                    })
+                    .map_err(Self::journal_failed)?;
+            }
+            let record = slot.session.finish().map_err(ApiError::from)?;
+            Ok::<_, ApiError>((slot.session.exam_id().as_str().to_string(), record))
         })??;
         // The sitting is over: file the record and free the slot.
         self.state.finished.push(&exam_id, record.clone());
@@ -774,8 +895,18 @@ mod tests {
         let session = start(&router);
         let _ = router.handle(&Request::new("GET", &format!("/sessions/{session}"), "")); // status
         let _ = router.handle(&Request::new("GET", "/nope", "")); // 404
-        let response = router.handle(&Request::new("GET", "/metrics", ""));
+                                                                  // The default rendering is Prometheus text exposition format.
+        let prom = router.handle(&Request::new("GET", "/metrics", ""));
+        assert_eq!(prom.status, 200);
+        assert!(prom.content_type.starts_with("text/plain"));
+        assert!(prom.body.contains("# TYPE mine_requests_total counter"));
+        assert!(prom
+            .body
+            .contains("mine_requests_total{route=\"session_start\"} 1"));
+        // The original JSON payload lives under ?format=json.
+        let response = router.handle(&Request::new("GET", "/metrics?format=json", ""));
         assert_eq!(response.status, 200);
+        assert_eq!(response.content_type, "application/json");
         let value: Value = serde_json::from_str(&response.body).unwrap();
         let requests = value.get("requests").unwrap();
         let count = |label: &str| match requests.get(label) {
@@ -786,8 +917,8 @@ mod tests {
         assert_eq!(count("session_status"), 1);
         assert_eq!(count("unmatched"), 1);
         // The snapshot is taken before the in-flight /metrics request is
-        // recorded, so its own counter is still zero.
-        assert_eq!(count("metrics"), 0);
+        // recorded, so only the earlier Prometheus request is counted.
+        assert_eq!(count("metrics"), 1);
         assert_eq!(value.get("active_sessions").unwrap().kind(), "number");
         assert_eq!(value.get("sessions_started").unwrap().kind(), "number");
     }

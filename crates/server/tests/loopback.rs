@@ -170,7 +170,7 @@ fn concurrent_clients_complete_sittings_and_analysis_matches_direct_run() {
 
     // Every sitting was filed; none is still live.
     let mut client = HttpClient::connect(&addr).expect("connect");
-    let metrics = client.get("/metrics").expect("metrics");
+    let metrics = client.get("/metrics?format=json").expect("metrics");
     assert_eq!(metrics.status, 200);
     let metrics: Value = metrics.json().expect("metrics body");
     let counter = |name: &str| match metrics.get(name) {

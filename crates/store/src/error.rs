@@ -1,0 +1,61 @@
+//! Failure modes of the event-log store.
+
+use std::fmt;
+
+/// What went wrong inside the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The log is damaged in a way recovery must not paper over: a
+    /// corrupt record in the *middle* of the committed history (torn
+    /// tails are repaired, not reported as corruption).
+    Corrupt {
+        /// Which file the damage was found in.
+        file: String,
+        /// Byte offset of the damaged frame.
+        offset: u64,
+        /// What exactly failed to check out.
+        reason: String,
+    },
+    /// An appended record exceeds the frame format's size limit.
+    RecordTooLarge {
+        /// Size of the rejected payload.
+        size: usize,
+        /// The limit it exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(err) => write!(f, "store I/O error: {err}"),
+            StoreError::Corrupt {
+                file,
+                offset,
+                reason,
+            } => {
+                write!(f, "corrupt log: {reason} ({file} at offset {offset})")
+            }
+            StoreError::RecordTooLarge { size, limit } => {
+                write!(f, "record of {size} bytes exceeds the {limit}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(err: std::io::Error) -> Self {
+        StoreError::Io(err)
+    }
+}

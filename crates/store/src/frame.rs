@@ -1,0 +1,284 @@
+//! Record framing: `[len][crc32][seq][payload]`, little-endian.
+//!
+//! Every appended record travels in one frame:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  payload length (u32 LE)
+//!      4     4  CRC-32/IEEE over seq ‖ payload (u32 LE)
+//!      8     8  sequence number (u64 LE)
+//!     16     n  payload bytes
+//! ```
+//!
+//! The CRC covers the sequence number as well as the payload, so a
+//! frame copied to the wrong position (or a stale block exposed by a
+//! torn write) fails verification even when its payload is intact.
+//!
+//! [`scan`] walks a whole segment image and classifies the first
+//! damaged frame as either *torn* (the damage reaches the end of the
+//! segment — the signature of a crash mid-append, repairable by
+//! truncation) or *mid-stream corruption* (a damaged frame with more
+//! data after it — bit rot or tampering, never repaired silently).
+
+/// Frame header size in bytes.
+pub const HEADER_BYTES: usize = 16;
+
+/// Largest accepted payload. Events are small; this bound keeps a
+/// garbage length field from triggering a gigantic allocation.
+pub const MAX_PAYLOAD_BYTES: usize = 16 * 1024 * 1024;
+
+/// CRC-32 (IEEE 802.3, reflected, init `0xFFFF_FFFF`, final xor
+/// `0xFFFF_FFFF`) — the polynomial used by zip, PNG, and Ethernet.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &byte in bytes {
+        let index = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[index];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0_u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC over the fields the frame protects: sequence number ‖ payload.
+fn frame_crc(seq: u64, payload: &[u8]) -> u32 {
+    let mut protected = Vec::with_capacity(8 + payload.len());
+    protected.extend_from_slice(&seq.to_le_bytes());
+    protected.extend_from_slice(payload);
+    crc32(&protected)
+}
+
+/// Serializes one frame.
+#[must_use]
+pub fn encode(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&frame_crc(seq, payload).to_le_bytes());
+    frame.extend_from_slice(&seq.to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// One decoded frame plus where the next one starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The record's sequence number.
+    pub seq: u64,
+    /// The record payload.
+    pub payload: Vec<u8>,
+    /// Offset of the byte just past this frame.
+    pub end_offset: u64,
+}
+
+/// How a scan of a segment image ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanEnd {
+    /// Every byte decoded into valid frames.
+    Clean,
+    /// The damage reaches the end of the segment — the shape a crash
+    /// mid-append leaves behind. Truncating at `offset` repairs it.
+    Torn {
+        /// Offset of the first damaged byte.
+        offset: u64,
+        /// What made the tail undecodable.
+        reason: String,
+    },
+    /// A damaged frame with intact data after it: not a torn write.
+    Corrupt {
+        /// Offset of the damaged frame.
+        offset: u64,
+        /// What failed verification.
+        reason: String,
+    },
+}
+
+/// Decodes every frame in a segment image, stopping at the first
+/// damage and classifying it (see [`ScanEnd`]).
+#[must_use]
+pub fn scan(bytes: &[u8]) -> (Vec<Frame>, ScanEnd) {
+    let mut frames = Vec::new();
+    let mut offset = 0_usize;
+    loop {
+        let remaining = bytes.len() - offset;
+        if remaining == 0 {
+            return (frames, ScanEnd::Clean);
+        }
+        if remaining < HEADER_BYTES {
+            return (
+                frames,
+                ScanEnd::Torn {
+                    offset: offset as u64,
+                    reason: format!("incomplete frame header ({remaining} bytes)"),
+                },
+            );
+        }
+        let len =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let stored_crc =
+            u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let seq = u64::from_le_bytes(bytes[offset + 8..offset + 16].try_into().expect("8 bytes"));
+        if len > MAX_PAYLOAD_BYTES {
+            // A garbage length field: unparseable from here on. A crash
+            // can tear the header itself, so this is repaired like a
+            // torn tail (any valid data beyond it is unreachable
+            // anyway — there is no resynchronization point).
+            return (
+                frames,
+                ScanEnd::Torn {
+                    offset: offset as u64,
+                    reason: format!(
+                        "frame length {len} exceeds the {MAX_PAYLOAD_BYTES}-byte limit"
+                    ),
+                },
+            );
+        }
+        if remaining - HEADER_BYTES < len {
+            return (
+                frames,
+                ScanEnd::Torn {
+                    offset: offset as u64,
+                    reason: format!(
+                        "incomplete frame payload ({} of {len} bytes)",
+                        remaining - HEADER_BYTES
+                    ),
+                },
+            );
+        }
+        let payload = &bytes[offset + HEADER_BYTES..offset + HEADER_BYTES + len];
+        let end = offset + HEADER_BYTES + len;
+        if frame_crc(seq, payload) != stored_crc {
+            // A complete frame that fails its checksum. When it is the
+            // very last frame it is indistinguishable from a torn final
+            // write (the crash may have landed mid-payload with the
+            // right total length), so it is repaired; anywhere else it
+            // is mid-stream corruption and must be surfaced.
+            let end_kind = if end == bytes.len() {
+                ScanEnd::Torn {
+                    offset: offset as u64,
+                    reason: "final frame failed CRC verification".to_string(),
+                }
+            } else {
+                ScanEnd::Corrupt {
+                    offset: offset as u64,
+                    reason: format!("frame seq {seq} failed CRC verification"),
+                }
+            };
+            return (frames, end_kind);
+        }
+        frames.push(Frame {
+            seq,
+            payload: payload.to_vec(),
+            end_offset: end as u64,
+        });
+        offset = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32/IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_scan_round_trip() {
+        let mut image = Vec::new();
+        image.extend_from_slice(&encode(1, b"alpha"));
+        image.extend_from_slice(&encode(2, b""));
+        image.extend_from_slice(&encode(3, &[0xFF; 300]));
+        let (frames, end) = scan(&image);
+        assert_eq!(end, ScanEnd::Clean);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].seq, 1);
+        assert_eq!(frames[0].payload, b"alpha");
+        assert_eq!(frames[1].payload, b"");
+        assert_eq!(frames[2].payload.len(), 300);
+        assert_eq!(frames[2].end_offset, image.len() as u64);
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_torn() {
+        let full = encode(7, b"record");
+        for cut in [1, HEADER_BYTES - 1, HEADER_BYTES + 2] {
+            let (frames, end) = scan(&full[..cut]);
+            assert!(frames.is_empty());
+            assert!(
+                matches!(end, ScanEnd::Torn { offset: 0, .. }),
+                "cut {cut}: {end:?}"
+            );
+        }
+        // A torn tail after a valid frame keeps the valid prefix.
+        let mut image = encode(1, b"keep");
+        image.extend_from_slice(&full[..5]);
+        let (frames, end) = scan(&image);
+        assert_eq!(frames.len(), 1);
+        let torn_at = (HEADER_BYTES + 4) as u64;
+        assert!(matches!(end, ScanEnd::Torn { offset, .. } if offset == torn_at));
+    }
+
+    #[test]
+    fn bit_flip_in_final_frame_is_torn_but_mid_stream_is_corrupt() {
+        let mut image = Vec::new();
+        image.extend_from_slice(&encode(1, b"first"));
+        image.extend_from_slice(&encode(2, b"second"));
+        // Flip a payload bit in the *final* frame: repairable.
+        let mut tail_flipped = image.clone();
+        let last = tail_flipped.len() - 1;
+        tail_flipped[last] ^= 0x01;
+        let (frames, end) = scan(&tail_flipped);
+        assert_eq!(frames.len(), 1);
+        assert!(matches!(end, ScanEnd::Torn { .. }), "{end:?}");
+        // Flip the same record's payload when data follows it: corrupt.
+        let mut mid_flipped = image.clone();
+        mid_flipped[HEADER_BYTES] ^= 0x01; // first frame's payload
+        let (frames, end) = scan(&mid_flipped);
+        assert!(frames.is_empty());
+        assert!(matches!(end, ScanEnd::Corrupt { offset: 0, .. }), "{end:?}");
+    }
+
+    #[test]
+    fn seq_is_covered_by_the_checksum() {
+        let mut image = encode(5, b"payload");
+        image.extend_from_slice(&encode(6, b"after"));
+        image[8] ^= 0xFF; // first frame's seq field
+        let (frames, end) = scan(&image);
+        assert!(frames.is_empty());
+        assert!(matches!(end, ScanEnd::Corrupt { .. }));
+    }
+
+    #[test]
+    fn garbage_length_is_treated_as_torn() {
+        let mut image = encode(1, b"ok");
+        image.extend_from_slice(&u32::MAX.to_le_bytes());
+        image.extend_from_slice(&[0_u8; 12]);
+        image.extend_from_slice(&encode(2, b"unreachable"));
+        let (frames, end) = scan(&image);
+        assert_eq!(frames.len(), 1);
+        assert!(matches!(end, ScanEnd::Torn { .. }));
+    }
+}

@@ -1,0 +1,652 @@
+//! The storage engine: an append-only event log over segment files,
+//! with snapshot compaction and crash recovery.
+//!
+//! # On-disk layout
+//!
+//! A store directory holds two kinds of files:
+//!
+//! ```text
+//! wal-00000000000000000001.log    segment: frames (see `frame`), first seq 1
+//! wal-00000000000000000812.log    next segment after size-based rotation
+//! snapshot-00000000000000000811.snap   caller payload covering seq ≤ 811
+//! ```
+//!
+//! Records carry monotonically increasing sequence numbers, starting
+//! from one. A snapshot file named `snapshot-{N}` asserts that its
+//! payload captures the effect of every record with seq ≤ N; compaction
+//! writes one atomically (temp sibling + fsync + rename + directory
+//! fsync — the same pattern `RepositorySnapshot::save` uses) and then
+//! deletes the segments it covers.
+//!
+//! # Recovery
+//!
+//! [`EventStore::open`] replays the directory: it loads the newest
+//! snapshot, scans every segment, skips records the snapshot already
+//! covers, and returns the tail records for the caller to apply. A torn
+//! final record — the signature of a crash mid-append — is truncated
+//! away with a warning; a damaged record *inside* the committed history
+//! is an error, never silently dropped.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::error::StoreError;
+use crate::frame::{self, ScanEnd, MAX_PAYLOAD_BYTES};
+
+/// When appended records are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fdatasync` after every append: nothing acknowledged is ever
+    /// lost, at the cost of one disk round-trip per record.
+    Always,
+    /// `fdatasync` at most once per interval: bounds data loss to the
+    /// records appended within the window.
+    Interval(Duration),
+    /// Never sync explicitly; the OS flushes on its own schedule. A
+    /// process crash loses nothing (the page cache survives), a power
+    /// loss may lose the unfsynced tail.
+    Never,
+}
+
+impl SyncPolicy {
+    /// Parses the CLI spelling: `always`, `never`, or `interval[:ms]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted forms.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "always" => Ok(SyncPolicy::Always),
+            "never" => Ok(SyncPolicy::Never),
+            "interval" => Ok(SyncPolicy::Interval(Duration::from_millis(100))),
+            other => match other.strip_prefix("interval:") {
+                Some(ms) => ms
+                    .parse::<u64>()
+                    .map(|ms| SyncPolicy::Interval(Duration::from_millis(ms)))
+                    .map_err(|_| format!("bad interval milliseconds {ms:?}")),
+                None => Err(format!(
+                    "unknown fsync policy {other:?} (expected always | interval[:ms] | never)"
+                )),
+            },
+        }
+    }
+}
+
+/// Tunables of the store.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Flush policy for appends.
+    pub sync: SyncPolicy,
+    /// Rotate to a new segment once the current one reaches this size.
+    pub max_segment_bytes: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        Self {
+            sync: SyncPolicy::Always,
+            max_segment_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// One recovered record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The record's sequence number.
+    pub seq: u64,
+    /// The payload exactly as appended.
+    pub payload: Vec<u8>,
+}
+
+/// The newest snapshot found during recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The snapshot covers every record with seq ≤ `last_seq`.
+    pub last_seq: u64,
+    /// The caller's payload, byte for byte.
+    pub payload: Vec<u8>,
+}
+
+/// Everything [`EventStore::open`] found on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovered {
+    /// The newest snapshot, when one exists.
+    pub snapshot: Option<Snapshot>,
+    /// Tail records not covered by the snapshot, in sequence order.
+    pub events: Vec<Record>,
+    /// Repairs performed (torn tails truncated), human-readable.
+    pub warnings: Vec<String>,
+    /// Number of segment files scanned.
+    pub segments: usize,
+}
+
+struct Inner {
+    file: File,
+    segment_path: PathBuf,
+    segment_bytes: u64,
+    segment_records: u64,
+    next_seq: u64,
+    since_snapshot: u64,
+    last_sync: Instant,
+    dirty: bool,
+}
+
+/// A durable append-only event log bound to one directory.
+///
+/// Thread-safe: appends serialize on an internal mutex, so any number
+/// of threads can share one store behind an `Arc`.
+pub struct EventStore {
+    dir: PathBuf,
+    options: StoreOptions,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for EventStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventStore")
+            .field("dir", &self.dir)
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
+fn segment_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:020}.log")
+}
+
+fn snapshot_name(last_seq: u64) -> String {
+    format!("snapshot-{last_seq:020}.snap")
+}
+
+fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+/// Flushes directory metadata (new/renamed/deleted entries) to disk.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+impl EventStore {
+    /// Opens (or creates) the store at `dir`, recovering whatever a
+    /// previous process left behind.
+    ///
+    /// Torn final records are truncated away and reported in
+    /// [`Recovered::warnings`]; the returned store appends after the
+    /// last intact record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure and
+    /// [`StoreError::Corrupt`] when the committed history is damaged
+    /// (mid-stream CRC mismatch, missing sequence numbers).
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        options: StoreOptions,
+    ) -> Result<(Self, Recovered), StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+
+        let mut segment_seqs = Vec::new();
+        let mut snapshot_seqs = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let name = entry?.file_name().to_string_lossy().into_owned();
+            if let Some(seq) = parse_numbered(&name, "wal-", ".log") {
+                segment_seqs.push(seq);
+            } else if let Some(seq) = parse_numbered(&name, "snapshot-", ".snap") {
+                snapshot_seqs.push(seq);
+            }
+        }
+        segment_seqs.sort_unstable();
+        snapshot_seqs.sort_unstable();
+
+        // Newest snapshot wins; older ones are leftovers of a crash
+        // between snapshot write and cleanup.
+        let snapshot = match snapshot_seqs.last() {
+            Some(&last_seq) => {
+                let payload = std::fs::read(dir.join(snapshot_name(last_seq)))?;
+                for &stale in &snapshot_seqs[..snapshot_seqs.len() - 1] {
+                    let _ = std::fs::remove_file(dir.join(snapshot_name(stale)));
+                }
+                Some(Snapshot { last_seq, payload })
+            }
+            None => None,
+        };
+        let snapshot_seq = snapshot.as_ref().map_or(0, |s| s.last_seq);
+
+        let mut events: Vec<Record> = Vec::new();
+        let mut warnings = Vec::new();
+        let mut expected = snapshot_seq + 1;
+        let mut last_segment_state: Option<(PathBuf, u64, u64)> = None;
+        for (index, &first_seq) in segment_seqs.iter().enumerate() {
+            let path = dir.join(segment_name(first_seq));
+            let bytes = std::fs::read(&path)?;
+            let (frames, end) = frame::scan(&bytes);
+            let frame_count = frames.len() as u64;
+            let is_last = index == segment_seqs.len() - 1
+                || segment_seqs[index + 1..].iter().all(|&seq| {
+                    std::fs::metadata(dir.join(segment_name(seq)))
+                        .map(|m| m.len() == 0)
+                        .unwrap_or(true)
+                });
+            let file_name = path
+                .file_name()
+                .expect("segment has a name")
+                .to_string_lossy()
+                .into_owned();
+            let valid_end = frames.last().map_or(0, |f| f.end_offset);
+            match end {
+                ScanEnd::Clean => {}
+                ScanEnd::Torn { offset, reason } if is_last => {
+                    let dropped = bytes.len() as u64 - valid_end;
+                    warnings.push(format!(
+                        "truncated torn tail of {file_name}: {reason} at offset {offset} ({dropped} bytes dropped)"
+                    ));
+                    let file = OpenOptions::new().write(true).open(&path)?;
+                    file.set_len(valid_end)?;
+                    file.sync_all()?;
+                }
+                ScanEnd::Torn { offset, reason } => {
+                    return Err(StoreError::Corrupt {
+                        file: file_name,
+                        offset,
+                        reason: format!("{reason}, with later segments present"),
+                    });
+                }
+                ScanEnd::Corrupt { offset, reason } => {
+                    return Err(StoreError::Corrupt {
+                        file: file_name,
+                        offset,
+                        reason,
+                    });
+                }
+            }
+            for frame in frames {
+                if frame.seq <= snapshot_seq {
+                    continue; // covered by the snapshot; segment not yet cleaned up
+                }
+                if frame.seq != expected {
+                    return Err(StoreError::Corrupt {
+                        file: file_name,
+                        offset: frame.end_offset,
+                        reason: format!("sequence gap: expected {expected}, found {}", frame.seq),
+                    });
+                }
+                expected += 1;
+                events.push(Record {
+                    seq: frame.seq,
+                    payload: frame.payload,
+                });
+            }
+            if is_last {
+                last_segment_state = Some((path.clone(), valid_end, frame_count));
+                break;
+            }
+        }
+
+        let next_seq = expected;
+        let segments = segment_seqs.len();
+
+        // Position the writer: continue the last segment when it still
+        // has room, otherwise start a fresh one.
+        let (segment_path, segment_bytes, segment_records) = match last_segment_state {
+            Some((path, bytes, records)) if bytes < options.max_segment_bytes => {
+                (path, bytes, records)
+            }
+            _ => (dir.join(segment_name(next_seq)), 0, 0),
+        };
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&segment_path)?;
+        sync_dir(&dir)?;
+
+        let store = Self {
+            dir,
+            options,
+            inner: Mutex::new(Inner {
+                file,
+                segment_path,
+                segment_bytes,
+                segment_records,
+                next_seq,
+                since_snapshot: events.len() as u64,
+                last_sync: Instant::now(),
+                dirty: false,
+            }),
+        };
+        Ok((
+            store,
+            Recovered {
+                snapshot,
+                events,
+                warnings,
+                segments,
+            },
+        ))
+    }
+
+    /// The directory this store lives in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one record, returning its sequence number. Durability
+    /// depends on the configured [`SyncPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::RecordTooLarge`] for oversized payloads
+    /// and [`StoreError::Io`] on write failure.
+    pub fn append(&self, payload: &[u8]) -> Result<u64, StoreError> {
+        if payload.len() > MAX_PAYLOAD_BYTES {
+            return Err(StoreError::RecordTooLarge {
+                size: payload.len(),
+                limit: MAX_PAYLOAD_BYTES,
+            });
+        }
+        let mut inner = self.inner.lock().expect("store mutex");
+        let seq = inner.next_seq;
+        let frame = frame::encode(seq, payload);
+        if inner.segment_records > 0
+            && inner.segment_bytes + frame.len() as u64 > self.options.max_segment_bytes
+        {
+            self.rotate(&mut inner, seq)?;
+        }
+        inner.file.write_all(&frame)?;
+        inner.segment_bytes += frame.len() as u64;
+        inner.segment_records += 1;
+        inner.next_seq += 1;
+        inner.since_snapshot += 1;
+        inner.dirty = true;
+        match self.options.sync {
+            SyncPolicy::Always => {
+                inner.file.sync_data()?;
+                inner.last_sync = Instant::now();
+                inner.dirty = false;
+            }
+            SyncPolicy::Interval(window) => {
+                if inner.last_sync.elapsed() >= window {
+                    inner.file.sync_data()?;
+                    inner.last_sync = Instant::now();
+                    inner.dirty = false;
+                }
+            }
+            SyncPolicy::Never => {}
+        }
+        Ok(seq)
+    }
+
+    /// Rotates to a fresh segment starting at `first_seq`.
+    fn rotate(&self, inner: &mut Inner, first_seq: u64) -> Result<(), StoreError> {
+        // Seal the old segment: flush it unless the caller opted out of
+        // durability entirely.
+        if !matches!(self.options.sync, SyncPolicy::Never) {
+            inner.file.sync_data()?;
+        }
+        let path = self.dir.join(segment_name(first_seq));
+        inner.file = OpenOptions::new().create(true).append(true).open(&path)?;
+        inner.segment_path = path;
+        inner.segment_bytes = 0;
+        inner.segment_records = 0;
+        sync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on sync failure.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().expect("store mutex");
+        inner.file.sync_data()?;
+        inner.last_sync = Instant::now();
+        inner.dirty = false;
+        Ok(())
+    }
+
+    /// The sequence number the next append will get.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.inner.lock().expect("store mutex").next_seq
+    }
+
+    /// Records appended since the last snapshot (or open).
+    #[must_use]
+    pub fn events_since_snapshot(&self) -> u64 {
+        self.inner.lock().expect("store mutex").since_snapshot
+    }
+
+    /// Writes a snapshot covering every record appended so far, then
+    /// compacts: all existing segments are deleted and the log restarts
+    /// in a fresh segment.
+    ///
+    /// The caller owns the payload format and must guarantee it really
+    /// captures the effect of every record with seq < [`EventStore::next_seq`];
+    /// callers should quiesce appends for the duration (the store's own
+    /// mutex is held, so concurrent `append`s block either way).
+    ///
+    /// The write is atomic — temp sibling, fsync, rename, directory
+    /// fsync — so readers and recovery see either the old complete
+    /// snapshot or the new complete snapshot, never a prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure; the previous
+    /// snapshot (if any) survives a failed attempt.
+    pub fn snapshot(&self, payload: &[u8]) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().expect("store mutex");
+        let last_seq = inner.next_seq - 1;
+        let final_path = self.dir.join(snapshot_name(last_seq));
+        let tmp_path = self.dir.join(format!(
+            ".{}.tmp.{}",
+            snapshot_name(last_seq),
+            std::process::id()
+        ));
+        let result = (|| {
+            let mut file = File::create(&tmp_path)?;
+            file.write_all(payload)?;
+            file.sync_all()?;
+            std::fs::rename(&tmp_path, &final_path)?;
+            sync_dir(&self.dir)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(result.expect_err("checked").into());
+        }
+
+        // The snapshot is durable: drop everything it covers.
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name().to_string_lossy().into_owned();
+            let stale_segment = parse_numbered(&name, "wal-", ".log").is_some();
+            let stale_snapshot =
+                parse_numbered(&name, "snapshot-", ".snap").is_some_and(|seq| seq < last_seq);
+            if stale_segment || stale_snapshot {
+                let _ = std::fs::remove_file(self.dir.join(&name));
+            }
+        }
+        let path = self.dir.join(segment_name(inner.next_seq));
+        inner.file = OpenOptions::new().create(true).append(true).open(&path)?;
+        inner.segment_path = path;
+        inner.segment_bytes = 0;
+        inner.segment_records = 0;
+        inner.since_snapshot = 0;
+        inner.dirty = false;
+        sync_dir(&self.dir)?;
+        Ok(())
+    }
+}
+
+impl Drop for EventStore {
+    fn drop(&mut self) {
+        // Best-effort flush so a graceful shutdown never loses the tail
+        // under the interval/never policies.
+        if let Ok(inner) = self.inner.lock() {
+            if inner.dirty {
+                let _ = inner.file.sync_data();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mine-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn payloads(recovered: &Recovered) -> Vec<String> {
+        recovered
+            .events
+            .iter()
+            .map(|r| String::from_utf8(r.payload.clone()).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn append_reopen_round_trip() {
+        let dir = temp_dir("roundtrip");
+        {
+            let (store, recovered) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+            assert!(recovered.events.is_empty());
+            assert!(recovered.snapshot.is_none());
+            assert_eq!(store.append(b"one").unwrap(), 1);
+            assert_eq!(store.append(b"two").unwrap(), 2);
+            assert_eq!(store.append(b"three").unwrap(), 3);
+        }
+        let (store, recovered) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(payloads(&recovered), ["one", "two", "three"]);
+        assert!(recovered.warnings.is_empty());
+        assert_eq!(store.next_seq(), 4);
+        assert_eq!(store.append(b"four").unwrap(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_recovery_reads_across_them() {
+        let dir = temp_dir("rotate");
+        let options = StoreOptions {
+            max_segment_bytes: 64,
+            ..StoreOptions::default()
+        };
+        let (store, _) = EventStore::open(&dir, options.clone()).unwrap();
+        for i in 0..10 {
+            store.append(format!("record-{i}").as_bytes()).unwrap();
+        }
+        drop(store);
+        let segment_files = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("wal-")
+            })
+            .count();
+        assert!(segment_files > 1, "expected rotation, got one segment");
+        let (_, recovered) = EventStore::open(&dir, options).unwrap();
+        assert_eq!(recovered.events.len(), 10);
+        assert_eq!(recovered.segments, segment_files);
+        assert_eq!(
+            payloads(&recovered),
+            (0..10).map(|i| format!("record-{i}")).collect::<Vec<_>>()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_compacts_segments_and_recovery_replays_snapshot_plus_tail() {
+        let dir = temp_dir("snapshot");
+        let (store, _) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        for i in 0..5 {
+            store.append(format!("pre-{i}").as_bytes()).unwrap();
+        }
+        store.snapshot(b"state-after-5").unwrap();
+        assert_eq!(store.events_since_snapshot(), 0);
+        store.append(b"tail-0").unwrap();
+        store.append(b"tail-1").unwrap();
+        drop(store);
+
+        let (store, recovered) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        let snapshot = recovered.snapshot.as_ref().unwrap();
+        assert_eq!(snapshot.last_seq, 5);
+        assert_eq!(snapshot.payload, b"state-after-5");
+        assert_eq!(payloads(&recovered), ["tail-0", "tail-1"]);
+        assert_eq!(store.next_seq(), 8);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_snapshot_covering_no_events_is_valid() {
+        let dir = temp_dir("empty-snap");
+        let (store, _) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        store.snapshot(b"empty-state").unwrap();
+        drop(store);
+        let (store, recovered) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(recovered.snapshot.as_ref().unwrap().last_seq, 0);
+        assert!(recovered.events.is_empty());
+        assert_eq!(store.append(b"first").unwrap(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interval_policy_syncs_after_the_window() {
+        let dir = temp_dir("interval");
+        let options = StoreOptions {
+            sync: SyncPolicy::Interval(Duration::from_millis(10)),
+            ..StoreOptions::default()
+        };
+        let (store, _) = EventStore::open(&dir, options).unwrap();
+        store.append(b"a").unwrap();
+        std::thread::sleep(Duration::from_millis(15));
+        store.append(b"b").unwrap(); // window elapsed → this append syncs
+        store.sync().unwrap(); // and explicit sync always works
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_records_are_rejected() {
+        let dir = temp_dir("oversize");
+        let (store, _) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        let huge = vec![0_u8; MAX_PAYLOAD_BYTES + 1];
+        assert!(matches!(
+            store.append(&huge),
+            Err(StoreError::RecordTooLarge { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_policy_parses_cli_spellings() {
+        assert_eq!(SyncPolicy::parse("always").unwrap(), SyncPolicy::Always);
+        assert_eq!(SyncPolicy::parse("never").unwrap(), SyncPolicy::Never);
+        assert_eq!(
+            SyncPolicy::parse("interval").unwrap(),
+            SyncPolicy::Interval(Duration::from_millis(100))
+        );
+        assert_eq!(
+            SyncPolicy::parse("interval:250").unwrap(),
+            SyncPolicy::Interval(Duration::from_millis(250))
+        );
+        assert!(SyncPolicy::parse("sometimes").is_err());
+        assert!(SyncPolicy::parse("interval:abc").is_err());
+    }
+}

@@ -9,10 +9,19 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo clippy mine-store -D warnings"
+cargo clippy --offline -p mine-store --all-targets -- -D warnings
+
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
 echo "==> server integration tests"
 cargo test --offline -q -p mine-server --test loopback --test registry_concurrency
+
+echo "==> store fault-injection tests (torn tails, bit flips, kill -9)"
+cargo test --offline -q -p mine-store --test fault_injection
+
+echo "==> server crash-recovery test (kill -9 + byte-identical analysis)"
+cargo test --offline -q -p mine-server --test crash_recovery
 
 echo "All checks passed."

@@ -43,8 +43,12 @@ echo "==> loadgen: $CLIENTS clients"
 "$MINE" loadgen "$ADDR" quiz --clients "$CLIENTS" --seed 7
 
 echo "==> metrics"
-METRICS="$(curl -sf "http://$ADDR/metrics")"
+METRICS="$(curl -sf "http://$ADDR/metrics?format=json")"
 echo "$METRICS"
+
+# The default /metrics rendering is Prometheus text exposition format.
+curl -sf "http://$ADDR/metrics" | grep -q '# TYPE mine_requests_total counter' \
+  || { echo "smoke_serve: /metrics is not Prometheus text format" >&2; exit 1; }
 
 fail() { echo "smoke_serve: $1" >&2; exit 1; }
 

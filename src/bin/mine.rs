@@ -16,7 +16,15 @@
 //!                                              simulate many sittings, analyze them
 //!                                              concurrently, print the batch summary
 //! mine tree <db> <problem-id>                  print the Figure 1 metadata tree
-//! mine serve <db> [--addr H:P] [--threads N]   serve the sitting lifecycle over HTTP
+//! mine serve <db> [--addr H:P] [--threads N] [--data-dir DIR]
+//!            [--fsync POLICY] [--snapshot-every N]
+//!                                              serve the sitting lifecycle over HTTP;
+//!                                              with --data-dir every session event is
+//!                                              journaled to a durable WAL and replayed
+//!                                              on restart
+//! mine recover <dir>                           inspect a journal directory offline:
+//!                                              replay the log, repair torn tails,
+//!                                              print the event summary
 //! mine loadgen <addr> <exam-id> [--clients N] [--seed S]
 //!                                              drive a running server with concurrent
 //!                                              deterministic clients
@@ -30,8 +38,11 @@ use mine_assessment::itembank::{
     ChoiceOption, Exam, Problem, Query, Repository, RepositorySnapshot,
 };
 use mine_assessment::scorm::ContentPackage;
-use mine_assessment::server::{run_loadgen, LoadGenOptions, Router, ServeOptions, Server};
+use mine_assessment::server::{
+    decode_events, open_journaled_state, run_loadgen, LoadGenOptions, Router, ServeOptions, Server,
+};
 use mine_assessment::simulator::{CohortSpec, Simulation};
+use mine_assessment::store::{EventStore, StoreOptions, SyncPolicy};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,7 +68,9 @@ usage:
   mine simulate <db> <exam-id> <class-size> <seed>
   mine batch-analyze <db> <exam-id> <cohorts> <class-size> <seed> [--threads N]
   mine tree <db> <problem-id>
-  mine serve <db> [--addr HOST:PORT] [--threads N]
+  mine serve <db> [--addr HOST:PORT] [--threads N] [--data-dir DIR]
+             [--fsync always|never|interval[:ms]] [--snapshot-every N]
+  mine recover <dir>
   mine loadgen <addr> <exam-id> [--clients N] [--seed S]";
 
 type CliResult = Result<(), String>;
@@ -83,6 +96,7 @@ fn run(args: &[String]) -> CliResult {
         "batch-analyze" => batch_analyze(rest),
         "tree" => tree(rest),
         "serve" => serve(rest),
+        "recover" => recover(rest),
         "loadgen" => loadgen(rest),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -387,9 +401,19 @@ fn take_flag(args: &[String], name: &str) -> Result<(Option<String>, Vec<String>
 fn serve(args: &[String]) -> CliResult {
     let (addr, args) = take_flag(args, "--addr")?;
     let (threads, args) = take_flag(&args, "--threads")?;
+    let (data_dir, args) = take_flag(&args, "--data-dir")?;
+    let (fsync, args) = take_flag(&args, "--fsync")?;
+    let (snapshot_every, args) = take_flag(&args, "--snapshot-every")?;
     let [path] = args.as_slice() else {
-        return Err("serve needs <db> [--addr HOST:PORT] [--threads N]".into());
+        return Err(
+            "serve needs <db> [--addr HOST:PORT] [--threads N] [--data-dir DIR] \
+             [--fsync POLICY] [--snapshot-every N]"
+                .into(),
+        );
     };
+    if data_dir.is_none() && (fsync.is_some() || snapshot_every.is_some()) {
+        return Err("--fsync and --snapshot-every require --data-dir".into());
+    }
     let options = ServeOptions {
         addr: addr.unwrap_or_else(|| "127.0.0.1:7400".to_string()),
         threads: threads
@@ -404,13 +428,84 @@ fn serve(args: &[String]) -> CliResult {
         repository.problem_count(),
         repository.exam_count()
     );
-    let server = Server::start(Router::new(repository), &options)
+    let router = match data_dir {
+        None => Router::new(repository),
+        Some(dir) => {
+            let store_options = StoreOptions {
+                sync: fsync
+                    .as_deref()
+                    .map(SyncPolicy::parse)
+                    .transpose()?
+                    .unwrap_or(SyncPolicy::Interval(std::time::Duration::from_millis(100))),
+                ..StoreOptions::default()
+            };
+            let snapshot_every = snapshot_every
+                .map(|n| {
+                    n.parse::<u64>()
+                        .map_err(|_| "--snapshot-every needs a number")
+                })
+                .transpose()?
+                .unwrap_or(512);
+            let (state, report) =
+                open_journaled_state(repository, &dir, store_options, snapshot_every)?;
+            for warning in &report.warnings {
+                eprintln!("journal: warning: {warning}");
+            }
+            for note in &report.notes {
+                eprintln!("journal: note: {note}");
+            }
+            println!(
+                "journal at {dir}: {} session(s) + {} record(s) from snapshot, {} event(s) replayed",
+                report.snapshot_sessions, report.snapshot_records, report.events_replayed
+            );
+            Router::with_state(state)
+        }
+    };
+    let server = Server::start(router, &options)
         .map_err(|err| format!("binding {}: {err}", options.addr))?;
     println!(
         "listening on http://{} (ctrl-c to stop)",
         server.local_addr()
     );
     server.join();
+    Ok(())
+}
+
+fn recover(args: &[String]) -> CliResult {
+    let [dir] = args else {
+        return Err("recover needs <dir>".into());
+    };
+    let (_, recovered) = EventStore::open(std::path::PathBuf::from(dir), StoreOptions::default())
+        .map_err(|err| format!("opening journal at {dir}: {err}"))?;
+    let mut out = String::new();
+    for warning in &recovered.warnings {
+        out.push_str(&format!("warning: {warning} (repaired)\n"));
+    }
+    match &recovered.snapshot {
+        Some(snapshot) => out.push_str(&format!(
+            "snapshot: through seq {}, {} byte(s)\n",
+            snapshot.last_seq,
+            snapshot.payload.len()
+        )),
+        None => out.push_str("snapshot: none\n"),
+    }
+    let events = decode_events(&recovered)?;
+    out.push_str(&format!(
+        "segments: {}\nevents after snapshot: {}\n",
+        recovered.segments,
+        events.len()
+    ));
+    let mut counts = std::collections::BTreeMap::new();
+    for (_, event) in &events {
+        *counts.entry(event.label()).or_insert(0_u64) += 1;
+    }
+    for (label, count) in &counts {
+        out.push_str(&format!("  {label}: {count}\n"));
+    }
+    if let Some((seq, event)) = events.last() {
+        out.push_str(&format!("last event: seq {seq} {}\n", event.label()));
+    }
+    print_block(&out);
     Ok(())
 }
 

@@ -37,4 +37,5 @@ pub use mine_qti as qti;
 pub use mine_scorm as scorm;
 pub use mine_server as server;
 pub use mine_simulator as simulator;
+pub use mine_store as store;
 pub use mine_xml as xml;

@@ -4,7 +4,8 @@
 //! lock methods return guards directly, recovering from poisoning by
 //! taking the inner guard (parking_lot has no poisoning at all).
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self};
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock whose `lock` never returns a `Result`.
 #[derive(Debug, Default)]
