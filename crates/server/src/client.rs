@@ -1,13 +1,26 @@
-//! A tiny blocking HTTP/1.1 client over one keep-alive connection.
+//! A tiny blocking HTTP/1.1 client over one keep-alive connection,
+//! plus a resilient wrapper that retries with exponential backoff.
 //!
 //! Powers the load generator and the loopback integration tests; not a
 //! general-purpose client (no redirects, no TLS, no chunked encoding —
 //! none of which the service emits).
+//!
+//! [`ResilientClient`] is the overload-aware face: it reconnects after
+//! transport failures, honors the `Retry-After` of shed `503`
+//! responses, and backs off with full jitter between attempts. Retries
+//! are safe-only: connects and `GET`s retry on anything, but a `POST`
+//! retries **only** after a `503` — the server sheds exclusively before
+//! request processing (at accept, at the rate limiter, or at the
+//! routing gate while draining), so a `503` proves the request had no
+//! effect. A `POST` that failed in transport may have been applied and
+//! is surfaced as an error instead.
 
 use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::Value;
 
 /// A simple status + body pair.
@@ -17,6 +30,8 @@ pub struct ClientResponse {
     pub status: u16,
     /// Response body.
     pub body: String,
+    /// The `Retry-After` header (seconds), present on shed responses.
+    pub retry_after: Option<u64>,
 }
 
 impl ClientResponse {
@@ -120,6 +135,7 @@ impl HttpClient {
                 )
             })?;
         let mut content_length = 0_usize;
+        let mut retry_after = None;
         loop {
             let line = self.read_line()?;
             if line.is_empty() {
@@ -130,6 +146,8 @@ impl HttpClient {
                     content_length = value.trim().parse().map_err(|_| {
                         std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
                     })?;
+                } else if name.trim().eq_ignore_ascii_case("retry-after") {
+                    retry_after = value.trim().parse().ok();
                 }
             }
         }
@@ -137,7 +155,11 @@ impl HttpClient {
         self.reader.read_exact(&mut body)?;
         let body = String::from_utf8(body)
             .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
-        Ok(ClientResponse { status, body })
+        Ok(ClientResponse {
+            status,
+            body,
+            retry_after,
+        })
     }
 
     fn read_line(&mut self) -> std::io::Result<String> {
@@ -163,6 +185,241 @@ impl HttpClient {
                     line.push(byte[0]);
                 }
             }
+        }
+    }
+}
+
+/// How [`ResilientClient`] retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included (so `1` means no retries).
+    pub max_attempts: u32,
+    /// First backoff ceiling; doubles each attempt.
+    pub base: Duration,
+    /// Hard ceiling on any single sleep, backoff or `Retry-After`.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The exponential-backoff-with-full-jitter delay before retry number
+/// `attempt` (0-based): uniform over `[0, min(cap, base · 2^attempt)]`.
+///
+/// Full jitter decorrelates a thundering herd of shed clients: after a
+/// mass 503, their retries spread over the whole window instead of
+/// arriving in another synchronized wave.
+#[must_use]
+pub fn backoff_delay<R: Rng>(policy: &RetryPolicy, attempt: u32, rng: &mut R) -> Duration {
+    let ceiling = policy
+        .base
+        .saturating_mul(2_u32.saturating_pow(attempt))
+        .min(policy.cap);
+    let micros = u64::try_from(ceiling.as_micros()).unwrap_or(u64::MAX);
+    Duration::from_micros(rng.gen_range(0..=micros))
+}
+
+/// An [`HttpClient`] wrapper that reconnects and retries under the
+/// safe-retry semantics described in the module docs, counting what it
+/// saw so load reports can surface shed/retry totals.
+#[derive(Debug)]
+pub struct ResilientClient {
+    addr: String,
+    timeout: Duration,
+    policy: RetryPolicy,
+    rng: StdRng,
+    conn: Option<HttpClient>,
+    retries: u64,
+    shed_seen: u64,
+}
+
+impl ResilientClient {
+    /// A resilient client for `addr`; `seed` makes its jitter
+    /// deterministic.
+    #[must_use]
+    pub fn new(addr: &str, policy: RetryPolicy, seed: u64) -> Self {
+        Self::with_timeout(addr, DEFAULT_CLIENT_TIMEOUT, policy, seed)
+    }
+
+    /// [`ResilientClient::new`] with an explicit per-attempt I/O
+    /// timeout.
+    #[must_use]
+    pub fn with_timeout(addr: &str, timeout: Duration, policy: RetryPolicy, seed: u64) -> Self {
+        Self {
+            addr: addr.to_string(),
+            timeout,
+            policy: RetryPolicy {
+                max_attempts: policy.max_attempts.max(1),
+                ..policy
+            },
+            rng: StdRng::seed_from_u64(seed),
+            conn: None,
+            retries: 0,
+            shed_seen: 0,
+        }
+    }
+
+    /// Retries performed so far (attempts beyond each request's first).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// `503` responses observed so far (each one carried `Retry-After`).
+    #[must_use]
+    pub fn shed_seen(&self) -> u64 {
+        self.shed_seen
+    }
+
+    /// `GET path`, retrying on transport failure or shed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final [`std::io::Error`] once attempts are
+    /// exhausted.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.send(path, None)
+    }
+
+    /// `POST path`, retrying only on shed (`503`) — a transport failure
+    /// mid-`POST` may have been applied and is returned as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final [`std::io::Error`] once attempts are
+    /// exhausted or a `POST` fails in transport.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.send(path, Some(body))
+    }
+
+    fn send(&mut self, path: &str, body: Option<&str>) -> std::io::Result<ClientResponse> {
+        let mut outcome = Err(std::io::ErrorKind::NotConnected.into());
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                self.retries += 1;
+            }
+            let client = match self.connected() {
+                Ok(client) => client,
+                Err(err) => {
+                    // Nothing was sent; connecting again is always safe.
+                    outcome = Err(err);
+                    self.sleep_before_retry(attempt, None);
+                    continue;
+                }
+            };
+            match match body {
+                Some(body) => client.post(path, body),
+                None => client.get(path),
+            } {
+                Ok(response) if response.status == 503 => {
+                    self.shed_seen += 1;
+                    // Shed responses close the connection server-side.
+                    self.conn = None;
+                    let retry_after = response.retry_after;
+                    outcome = Ok(response);
+                    self.sleep_before_retry(attempt, retry_after);
+                }
+                Ok(response) => return Ok(response),
+                Err(err) => {
+                    self.conn = None;
+                    if body.is_some() {
+                        // A POST that died in transport may have been
+                        // applied; retrying could double-submit.
+                        return Err(err);
+                    }
+                    outcome = Err(err);
+                    self.sleep_before_retry(attempt, None);
+                }
+            }
+        }
+        // Attempts exhausted: surface the last shed response (its 503
+        // still tells the caller what happened) or the last error.
+        outcome
+    }
+
+    fn connected(&mut self) -> std::io::Result<&mut HttpClient> {
+        if self.conn.is_none() {
+            self.conn = Some(HttpClient::with_timeout(&self.addr, self.timeout)?);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Sleeps `Retry-After` (capped by the policy) when the server
+    /// named a wait, a jittered backoff otherwise. No sleep after the
+    /// final attempt.
+    fn sleep_before_retry(&mut self, attempt: u32, retry_after_secs: Option<u64>) {
+        if attempt + 1 >= self.policy.max_attempts {
+            return;
+        }
+        let delay = match retry_after_secs {
+            Some(secs) => Duration::from_secs(secs).min(self.policy.cap),
+            None => backoff_delay(&self.policy, attempt, &mut self.rng),
+        };
+        std::thread::sleep(delay);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn backoff_ceiling_doubles_then_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(350),
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        // Ceilings: 100ms, 200ms, then capped at 350ms forever.
+        for _ in 0..200 {
+            assert!(backoff_delay(&policy, 0, &mut rng) <= Duration::from_millis(100));
+            assert!(backoff_delay(&policy, 1, &mut rng) <= Duration::from_millis(200));
+            assert!(backoff_delay(&policy, 2, &mut rng) <= Duration::from_millis(350));
+            assert!(backoff_delay(&policy, 31, &mut rng) <= Duration::from_millis(350));
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for attempt in 0..8 {
+            assert_eq!(
+                backoff_delay(&policy, attempt, &mut a),
+                backoff_delay(&policy, attempt, &mut b)
+            );
+        }
+    }
+
+    proptest! {
+        /// The backoff delay never exceeds the configured cap, for any
+        /// attempt number (including ones whose 2^attempt overflows)
+        /// and any jitter draw.
+        #[test]
+        fn backoff_never_exceeds_cap(
+            attempt in any::<u32>(),
+            seed in any::<u64>(),
+            base_ms in 1_u64..5_000,
+            cap_ms in 1_u64..10_000,
+        ) {
+            let policy = RetryPolicy {
+                max_attempts: 4,
+                base: Duration::from_millis(base_ms),
+                cap: Duration::from_millis(cap_ms),
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let delay = backoff_delay(&policy, attempt, &mut rng);
+            prop_assert!(delay <= policy.cap);
         }
     }
 }

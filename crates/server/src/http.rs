@@ -15,6 +15,26 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Upper bound on a request body.
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 
+/// Size caps applied while reading one request. The defaults are the
+/// crate constants; `ServeOptions` lets a deployment tighten the body
+/// cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Cap on the request line + headers, in bytes.
+    pub max_head_bytes: usize,
+    /// Cap on the declared `Content-Length`, in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        Self {
+            max_head_bytes: MAX_HEAD_BYTES,
+            max_body_bytes: MAX_BODY_BYTES,
+        }
+    }
+}
+
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -78,6 +98,9 @@ pub struct Response {
     pub body: String,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// When set, a `Retry-After` header (in seconds) is emitted — the
+    /// contract of every shed response (503 under overload or drain).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -88,6 +111,7 @@ impl Response {
             status,
             body,
             content_type: "application/json",
+            retry_after: None,
         }
     }
 
@@ -98,7 +122,22 @@ impl Response {
             status,
             body,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
+            retry_after: None,
         }
+    }
+
+    /// Attaches a `Retry-After` header (seconds).
+    #[must_use]
+    pub fn with_retry_after(mut self, secs: u64) -> Self {
+        self.retry_after = Some(secs);
+        self
+    }
+
+    /// The standard shed response: `503 + Retry-After`, connection to
+    /// be closed by the caller.
+    #[must_use]
+    pub fn shed(reason: &str, retry_after_secs: u64) -> Self {
+        Self::json(503, format!("{{\"error\":{reason:?}}}")).with_retry_after(retry_after_secs)
     }
 
     /// The standard reason phrase for the status code.
@@ -110,11 +149,14 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             409 => "Conflict",
             410 => "Gone",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
@@ -125,12 +167,17 @@ impl Response {
     ///
     /// Returns [`std::io::Error`] when the transport write fails.
     pub fn write_to<W: Write>(&self, mut writer: W, keep_alive: bool) -> std::io::Result<()> {
+        let retry_after = self
+            .retry_after
+            .map(|secs| format!("retry-after: {secs}\r\n"))
+            .unwrap_or_default();
         let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{}connection: {}\r\n\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len(),
+            retry_after,
             if keep_alive { "keep-alive" } else { "close" },
         );
         writer.write_all(head.as_bytes())?;
@@ -143,7 +190,7 @@ impl Response {
 /// answer with before closing the connection.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
-    /// Status to answer with (400 or 413).
+    /// Status to answer with (400, 408 or 413).
     pub status: u16,
     /// Human-readable cause.
     pub message: String,
@@ -163,6 +210,25 @@ impl ParseError {
             message: message.into(),
         }
     }
+
+    fn timeout(message: impl Into<String>) -> Self {
+        Self {
+            status: 408,
+            message: message.into(),
+        }
+    }
+
+    /// Maps a transport read failure: deadline expiry (the socket's
+    /// read timeout, or the per-request budget) becomes `408 Request
+    /// Timeout`; anything else is a plain `400`.
+    fn from_read(context: &str, err: &std::io::Error) -> Self {
+        match err.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                Self::timeout(format!("{context}: read deadline expired"))
+            }
+            _ => Self::bad(format!("{context}: {err}")),
+        }
+    }
 }
 
 /// Reads one request from the transport.
@@ -175,7 +241,21 @@ impl ParseError {
 /// Returns [`ParseError`] on malformed requests or ones exceeding the
 /// size limits; the connection should be answered and closed.
 pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, ParseError> {
-    let request_line = match read_head_line(reader, 0)? {
+    parse_request_with(reader, &ParseLimits::default())
+}
+
+/// [`parse_request`] with explicit size caps (the serving layer passes
+/// the deployment's configured limits).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed requests, size-limit violations
+/// (`413`), or a read deadline expiring mid-request (`408`).
+pub fn parse_request_with<R: BufRead>(
+    reader: &mut R,
+    limits: &ParseLimits,
+) -> Result<Option<Request>, ParseError> {
+    let request_line = match read_head_line(reader, 0, limits.max_head_bytes)? {
         Some(line) if !line.is_empty() => line,
         // EOF or a bare CRLF before a request line: treat as closed.
         _ => return Ok(None),
@@ -199,7 +279,7 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Pars
     let mut headers = Vec::new();
     let mut head_bytes = request_line.len();
     loop {
-        let line = read_head_line(reader, head_bytes)?
+        let line = read_head_line(reader, head_bytes, limits.max_head_bytes)?
             .ok_or_else(|| ParseError::bad("connection closed inside headers"))?;
         if line.is_empty() {
             break;
@@ -220,15 +300,16 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Pars
         })
         .transpose()?
         .unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
+    if content_length > limits.max_body_bytes {
         return Err(ParseError::too_large(format!(
-            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            "body of {content_length} bytes exceeds the {}-byte limit",
+            limits.max_body_bytes
         )));
     }
     let mut body = vec![0_u8; content_length];
     reader
         .read_exact(&mut body)
-        .map_err(|err| ParseError::bad(format!("truncated body: {err}")))?;
+        .map_err(|err| ParseError::from_read("truncated body", &err))?;
 
     let (path, query) = split_target(target);
     Ok(Some(Request {
@@ -286,9 +367,10 @@ fn percent_decode(raw: &str) -> String {
 fn read_head_line<R: BufRead>(
     reader: &mut R,
     already_read: usize,
+    max_head_bytes: usize,
 ) -> Result<Option<String>, ParseError> {
     let mut line = Vec::new();
-    let budget = MAX_HEAD_BYTES.saturating_sub(already_read);
+    let budget = max_head_bytes.saturating_sub(already_read);
     loop {
         let mut byte = [0_u8; 1];
         match reader.read(&mut byte) {
@@ -312,7 +394,7 @@ fn read_head_line<R: BufRead>(
                     return Err(ParseError::too_large("request head too large"));
                 }
             }
-            Err(err) => return Err(ParseError::bad(format!("read failed: {err}"))),
+            Err(err) => return Err(ParseError::from_read("read failed", &err)),
         }
     }
 }
@@ -414,6 +496,96 @@ mod tests {
             "a".repeat(MAX_HEAD_BYTES)
         );
         assert_eq!(parse(&long_header).unwrap_err().status, 413);
+    }
+
+    /// A reader that yields some bytes, then fails with a timeout —
+    /// what a `TcpStream` under `set_read_timeout` looks like when the
+    /// peer stalls mid-request.
+    struct StallingReader {
+        bytes: Vec<u8>,
+        at: usize,
+        kind: std::io::ErrorKind,
+    }
+
+    impl std::io::Read for StallingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.at >= self.bytes.len() {
+                return Err(std::io::Error::from(self.kind));
+            }
+            buf[0] = self.bytes[self.at];
+            self.at += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn stalled_reads_map_to_408_not_400() {
+        for kind in [std::io::ErrorKind::WouldBlock, std::io::ErrorKind::TimedOut] {
+            // Stall mid-head (slow-loris).
+            let mut reader = std::io::BufReader::new(StallingReader {
+                bytes: b"GET /healthz HT".to_vec(),
+                at: 0,
+                kind,
+            });
+            assert_eq!(parse_request(&mut reader).unwrap_err().status, 408);
+            // Stall mid-body (byte dribbler).
+            let mut reader = std::io::BufReader::new(StallingReader {
+                bytes: b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nab".to_vec(),
+                at: 0,
+                kind,
+            });
+            assert_eq!(parse_request(&mut reader).unwrap_err().status, 408);
+        }
+        // A non-timeout failure stays a plain 400.
+        let mut reader = std::io::BufReader::new(StallingReader {
+            bytes: b"GET /healthz HT".to_vec(),
+            at: 0,
+            kind: std::io::ErrorKind::ConnectionReset,
+        });
+        assert_eq!(parse_request(&mut reader).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn custom_limits_tighten_the_caps() {
+        let limits = ParseLimits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        let mut wire: &[u8] = b"POST /x HTTP/1.1\r\ncontent-length: 9\r\n\r\n123456789";
+        assert_eq!(
+            parse_request_with(&mut wire, &limits).unwrap_err().status,
+            413
+        );
+        let long_head = format!("GET /x HTTP/1.1\r\nh: {}\r\n\r\n", "a".repeat(64));
+        assert_eq!(
+            parse_request_with(&mut long_head.as_bytes(), &limits)
+                .unwrap_err()
+                .status,
+            413
+        );
+        // Within the caps still parses.
+        let mut wire: &[u8] = b"POST /x HTTP/1.1\r\ncontent-length: 8\r\n\r\n12345678";
+        let request = parse_request_with(&mut wire, &limits).unwrap().unwrap();
+        assert_eq!(request.body, b"12345678");
+    }
+
+    #[test]
+    fn shed_response_carries_retry_after() {
+        let mut out = Vec::new();
+        Response::shed("over capacity", 2)
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"over capacity\"}"));
+        // Ordinary responses never emit the header.
+        let mut out = Vec::new();
+        Response::json(200, "{}".into())
+            .write_to(&mut out, true)
+            .unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("retry-after"));
     }
 
     #[test]

@@ -52,21 +52,28 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod drain;
 pub mod http;
 pub mod journal;
 pub mod loadgen;
 pub mod metrics;
+pub mod overload;
 pub mod registry;
 pub mod router;
 pub mod serve;
 
-pub use client::{ClientResponse, HttpClient, DEFAULT_CLIENT_TIMEOUT};
+pub use client::{
+    backoff_delay, ClientResponse, HttpClient, ResilientClient, RetryPolicy, DEFAULT_CLIENT_TIMEOUT,
+};
+pub use drain::{DrainReport, DrainState, Lifecycle};
+pub use http::ParseLimits;
 pub use journal::{
     decode_events, open_journaled_state, Journal, RecoveryReport, ServerImage, SessionEvent,
     SlotImage,
 };
 pub use loadgen::{run_loadgen, LoadGenOptions, LoadGenReport};
 pub use metrics::{Metrics, MetricsSnapshot, Route};
+pub use overload::{OverloadOptions, PeerLimiter, RateLimit, TokenBucket};
 pub use registry::{FinishedStore, RegistryError, SessionRegistry, SessionSlot};
 pub use router::{ApiError, Router, ServerState};
 pub use serve::{ServeOptions, Server};

@@ -9,6 +9,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -16,7 +17,7 @@ use serde::{Number, Serialize, Value};
 
 use mine_core::{Answer, OptionKey};
 
-use crate::client::HttpClient;
+use crate::client::{ResilientClient, RetryPolicy};
 
 /// What a load run should do.
 #[derive(Debug, Clone)]
@@ -29,6 +30,25 @@ pub struct LoadGenOptions {
     pub clients: usize,
     /// Base seed; client `i` uses `seed + i`.
     pub seed: u64,
+    /// When set, client starts ramp linearly over this window instead
+    /// of arriving all at once: client `i` delays `i · ramp / clients`.
+    pub ramp: Option<Duration>,
+    /// Retry policy for every client (backoff with full jitter,
+    /// `Retry-After`-aware).
+    pub retry: RetryPolicy,
+}
+
+impl Default for LoadGenOptions {
+    fn default() -> Self {
+        Self {
+            addr: String::new(),
+            exam: String::new(),
+            clients: 1,
+            seed: 0,
+            ramp: None,
+            retry: RetryPolicy::default(),
+        }
+    }
 }
 
 /// Aggregate outcome of a load run.
@@ -42,6 +62,10 @@ pub struct LoadGenReport {
     pub failures: u64,
     /// Answers submitted.
     pub answers: u64,
+    /// Shed responses (`503 + Retry-After`) observed across clients.
+    pub shed: u64,
+    /// Retry attempts performed across clients.
+    pub retries: u64,
 }
 
 /// Runs the load, blocking until every client is done.
@@ -59,6 +83,8 @@ pub fn run_loadgen(options: &LoadGenOptions) -> Result<LoadGenReport, String> {
     let requests = Arc::new(AtomicU64::new(0));
     let failures = Arc::new(AtomicU64::new(0));
     let answers = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let retries = Arc::new(AtomicU64::new(0));
 
     let handles: Vec<_> = (0..options.clients)
         .map(|index| {
@@ -67,16 +93,30 @@ pub fn run_loadgen(options: &LoadGenOptions) -> Result<LoadGenReport, String> {
             let requests = Arc::clone(&requests);
             let failures = Arc::clone(&failures);
             let answers = Arc::clone(&answers);
-            std::thread::spawn(
-                move || match run_client(&options, index, &requests, &answers) {
+            let shed = Arc::clone(&shed);
+            let retries = Arc::clone(&retries);
+            std::thread::spawn(move || {
+                if let Some(ramp) = options.ramp {
+                    // Linear ramp: client i arrives i/clients into the
+                    // window, so arrival rate is constant end to end.
+                    std::thread::sleep(ramp.mul_f64(index as f64 / options.clients as f64));
+                }
+                let mut client = ResilientClient::new(
+                    &options.addr,
+                    options.retry,
+                    options.seed.wrapping_add(index as u64) ^ 0x6c6f_6164,
+                );
+                match run_client(&mut client, &options, index, &requests, &answers) {
                     Ok(()) => {
                         completed.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(_) => {
                         failures.fetch_add(1, Ordering::Relaxed);
                     }
-                },
-            )
+                }
+                shed.fetch_add(client.shed_seen(), Ordering::Relaxed);
+                retries.fetch_add(client.retries(), Ordering::Relaxed);
+            })
         })
         .collect();
     for handle in handles {
@@ -88,6 +128,8 @@ pub fn run_loadgen(options: &LoadGenOptions) -> Result<LoadGenReport, String> {
         requests: requests.load(Ordering::Relaxed),
         failures: failures.load(Ordering::Relaxed),
         answers: answers.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        retries: retries.load(Ordering::Relaxed),
     };
     if report.completed == 0 {
         return Err(format!(
@@ -100,12 +142,12 @@ pub fn run_loadgen(options: &LoadGenOptions) -> Result<LoadGenReport, String> {
 
 /// Drives one client through a complete sitting.
 fn run_client(
+    client: &mut ResilientClient,
     options: &LoadGenOptions,
     index: usize,
     requests: &AtomicU64,
     answers: &AtomicU64,
 ) -> Result<(), String> {
-    let mut client = HttpClient::connect(&options.addr).map_err(|err| err.to_string())?;
     let mut rng = StdRng::seed_from_u64(options.seed.wrapping_add(index as u64));
     let seed = options.seed.wrapping_add(index as u64);
 

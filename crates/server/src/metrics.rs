@@ -32,13 +32,15 @@ pub enum Route {
     Finish,
     /// `GET /exams/{id}/analysis`.
     Analysis,
+    /// A request shed at the routing layer (server draining).
+    Shed,
     /// Anything that did not match a route.
     Unmatched,
 }
 
 impl Route {
     /// All distinguishable routes, in render order.
-    pub const ALL: [Route; 10] = [
+    pub const ALL: [Route; 11] = [
         Route::Healthz,
         Route::Metrics,
         Route::SessionStart,
@@ -48,6 +50,7 @@ impl Route {
         Route::Resume,
         Route::Finish,
         Route::Analysis,
+        Route::Shed,
         Route::Unmatched,
     ];
 
@@ -64,6 +67,7 @@ impl Route {
             Route::Resume => "resume",
             Route::Finish => "finish",
             Route::Analysis => "analysis",
+            Route::Shed => "shed",
             Route::Unmatched => "unmatched",
         }
     }
@@ -90,6 +94,20 @@ pub struct Metrics {
     latency_count: AtomicU64,
     sessions_started: AtomicU64,
     sessions_finished: AtomicU64,
+    /// Connections/requests shed because the accept queue was full or
+    /// the server was draining.
+    shed_total: AtomicU64,
+    /// Connections shed by the per-peer token bucket.
+    rate_limited_total: AtomicU64,
+    /// Connections accepted and waiting for a worker, right now.
+    queue_depth: AtomicU64,
+    /// Requests currently being handled (parsed → response written).
+    inflight_requests: AtomicU64,
+    /// Drain state gauge: 0 running, 1 draining, 2 stopped.
+    drain_state: AtomicU64,
+    /// The `Retry-After` seconds most recently advertised on a shed
+    /// response (0 = nothing shed yet).
+    retry_after_secs: AtomicU64,
 }
 
 impl Metrics {
@@ -127,6 +145,59 @@ impl Metrics {
         self.sessions_finished.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one shed connection/request, recording the `Retry-After`
+    /// it was sent away with.
+    pub fn shed(&self, retry_after_secs: u64) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+        self.retry_after_secs
+            .store(retry_after_secs, Ordering::Relaxed);
+    }
+
+    /// Counts one rate-limited connection, recording its `Retry-After`.
+    pub fn rate_limited(&self, retry_after_secs: u64) {
+        self.rate_limited_total.fetch_add(1, Ordering::Relaxed);
+        self.retry_after_secs
+            .store(retry_after_secs, Ordering::Relaxed);
+    }
+
+    /// A connection entered the accept queue.
+    pub fn queue_enter(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker took a connection off the accept queue.
+    pub fn queue_exit(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current accept-queue depth.
+    #[must_use]
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// A request started being handled.
+    pub fn inflight_enter(&self) {
+        self.inflight_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request finished (response written or connection gone).
+    pub fn inflight_exit(&self) {
+        self.inflight_requests.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests currently being handled.
+    #[must_use]
+    pub fn inflight(&self) -> u64 {
+        self.inflight_requests.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the drain-state gauge (see
+    /// [`crate::drain::DrainState::as_gauge`]).
+    pub fn set_drain_state(&self, gauge: u64) {
+        self.drain_state.store(gauge, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot for rendering.
     #[must_use]
     pub fn snapshot(&self, active_sessions: usize) -> MetricsSnapshot {
@@ -153,6 +224,12 @@ impl Metrics {
             sessions_started: self.sessions_started.load(Ordering::Relaxed),
             sessions_finished: self.sessions_finished.load(Ordering::Relaxed),
             active_sessions,
+            shed_total: self.shed_total.load(Ordering::Relaxed),
+            rate_limited_total: self.rate_limited_total.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            inflight_requests: self.inflight_requests.load(Ordering::Relaxed),
+            drain_state: self.drain_state.load(Ordering::Relaxed),
+            retry_after_secs: self.retry_after_secs.load(Ordering::Relaxed),
         }
     }
 }
@@ -181,6 +258,18 @@ pub struct MetricsSnapshot {
     pub sessions_finished: u64,
     /// Sessions currently resident in the registry.
     pub active_sessions: usize,
+    /// Connections/requests shed (full queue or draining).
+    pub shed_total: u64,
+    /// Connections shed by per-peer rate limiting.
+    pub rate_limited_total: u64,
+    /// Accept-queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Requests being handled at snapshot time.
+    pub inflight_requests: u64,
+    /// Drain state: 0 running, 1 draining, 2 stopped.
+    pub drain_state: u64,
+    /// Last advertised `Retry-After` seconds (0 = never shed).
+    pub retry_after_secs: u64,
 }
 
 impl Serialize for MetricsSnapshot {
@@ -229,6 +318,21 @@ impl Serialize for MetricsSnapshot {
             (
                 "active_sessions".to_string(),
                 (self.active_sessions as u64).to_value(),
+            ),
+            ("shed_total".to_string(), self.shed_total.to_value()),
+            (
+                "rate_limited_total".to_string(),
+                self.rate_limited_total.to_value(),
+            ),
+            ("queue_depth".to_string(), self.queue_depth.to_value()),
+            (
+                "inflight_requests".to_string(),
+                self.inflight_requests.to_value(),
+            ),
+            ("drain_state".to_string(), self.drain_state.to_value()),
+            (
+                "retry_after_secs".to_string(),
+                self.retry_after_secs.to_value(),
             ),
         ])
     }
@@ -297,13 +401,50 @@ impl MetricsSnapshot {
                 "Sessions ever finished.",
                 self.sessions_finished,
             ),
+            (
+                "mine_shed_total",
+                "Connections and requests shed with 503 (full queue or draining).",
+                self.shed_total,
+            ),
+            (
+                "mine_rate_limited_total",
+                "Connections shed by per-peer token-bucket rate limiting.",
+                self.rate_limited_total,
+            ),
         ] {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
             out.push_str(&format!("{name} {value}\n"));
         }
-        out.push_str("# HELP mine_active_sessions Sessions currently resident in the registry.\n");
-        out.push_str("# TYPE mine_active_sessions gauge\n");
-        out.push_str(&format!("mine_active_sessions {}\n", self.active_sessions));
+        for (name, help, value) in [
+            (
+                "mine_active_sessions",
+                "Sessions currently resident in the registry.",
+                self.active_sessions as u64,
+            ),
+            (
+                "mine_queue_depth",
+                "Accepted connections waiting for a worker.",
+                self.queue_depth,
+            ),
+            (
+                "mine_inflight_requests",
+                "Requests currently being handled.",
+                self.inflight_requests,
+            ),
+            (
+                "mine_drain_state",
+                "Lifecycle: 0 running, 1 draining, 2 stopped.",
+                self.drain_state,
+            ),
+            (
+                "mine_retry_after_seconds",
+                "Retry-After seconds most recently advertised on a shed response.",
+                self.retry_after_secs,
+            ),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+            out.push_str(&format!("{name} {value}\n"));
+        }
         out
     }
 }
@@ -364,6 +505,44 @@ mod tests {
         assert!(text.contains("# TYPE mine_active_sessions gauge"));
         assert!(text.contains("mine_active_sessions 2"));
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn overload_gauges_and_counters_render_everywhere() {
+        let metrics = Metrics::new();
+        metrics.shed(2);
+        metrics.shed(3);
+        metrics.rate_limited(1);
+        metrics.queue_enter();
+        metrics.queue_enter();
+        metrics.queue_exit();
+        metrics.inflight_enter();
+        metrics.set_drain_state(1);
+
+        let snapshot = metrics.snapshot(0);
+        assert_eq!(snapshot.shed_total, 2);
+        assert_eq!(snapshot.rate_limited_total, 1);
+        assert_eq!(snapshot.queue_depth, 1);
+        assert_eq!(snapshot.inflight_requests, 1);
+        assert_eq!(snapshot.drain_state, 1);
+        // The gauge remembers the most recent advertisement.
+        assert_eq!(snapshot.retry_after_secs, 1);
+
+        let text = snapshot.to_prometheus();
+        assert!(text.contains("# TYPE mine_shed_total counter"));
+        assert!(text.contains("mine_shed_total 2"));
+        assert!(text.contains("mine_rate_limited_total 1"));
+        assert!(text.contains("# TYPE mine_queue_depth gauge"));
+        assert!(text.contains("mine_queue_depth 1"));
+        assert!(text.contains("mine_drain_state 1"));
+        assert!(text.contains("mine_inflight_requests 1"));
+        assert!(text.contains("mine_retry_after_seconds 1"));
+
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let value: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value.get("shed_total").unwrap().kind(), "number");
+        assert_eq!(value.get("drain_state").unwrap().kind(), "number");
+        assert_eq!(value.get("queue_depth").unwrap().kind(), "number");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use mine_core::{Answer, ExamRecord};
 use mine_delivery::{DeliveryError, DeliveryOptions, ExamSession, SessionState};
 use mine_itembank::{Problem, ProblemBody, Repository};
 
+use crate::drain::Lifecycle;
 use crate::http::{Request, Response};
 use crate::journal::{Journal, ServerImage, SessionEvent};
 use crate::metrics::{Metrics, Route};
@@ -36,6 +37,10 @@ pub struct ServerState {
     pub metrics: Metrics,
     /// The write-ahead log, when `--data-dir` durability is on.
     pub journal: Option<Journal>,
+    /// Where the server is in its lifecycle; while draining, every
+    /// route except `/healthz` and `/metrics` is shed with
+    /// `503 + Retry-After`.
+    pub lifecycle: Lifecycle,
     /// Serializes `Created` journaling with registry insertion so a
     /// session's `Created` event always precedes its other events in
     /// the log (two racing starts of the same id would otherwise be
@@ -55,6 +60,7 @@ impl ServerState {
             analyzer: BatchAnalyzer::new(AnalysisConfig::default()),
             metrics: Metrics::new(),
             journal: None,
+            lifecycle: Lifecycle::new(),
             create_lock: parking_lot::Mutex::new(()),
         }
     }
@@ -205,6 +211,14 @@ impl Router {
         match (method, segments.as_slice()) {
             ("GET", ["healthz"]) => (Route::Healthz, self.healthz()),
             ("GET", ["metrics"]) => (Route::Metrics, self.metrics(request)),
+            // While draining, everything but the two observability
+            // routes above is shed; requests already past this gate run
+            // to completion (never mid-session).
+            _ if self.state.lifecycle.is_draining() => {
+                let secs = self.state.lifecycle.retry_after_secs();
+                self.state.metrics.shed(secs);
+                (Route::Shed, Ok(Response::shed("server is draining", secs)))
+            }
             ("POST", ["sessions"]) => (Route::SessionStart, self.start_session(request)),
             ("GET", ["sessions", id]) => (Route::SessionStatus, self.session_status(id)),
             ("POST", ["sessions", id, "answers"]) => (Route::Answer, self.answer(id, request)),
@@ -226,12 +240,21 @@ impl Router {
         }
     }
 
+    /// `GET /healthz`: `200 {"status":"ok"}` while running, `503
+    /// {"status":"draining"}` once drain begins — the flip a load
+    /// balancer watches to rotate traffic away.
     fn healthz(&self) -> ApiResult {
+        let state = self.state.lifecycle.state();
+        let status = if self.state.lifecycle.is_draining() {
+            503
+        } else {
+            200
+        };
         Ok(ok_json(
-            200,
+            status,
             Value::Object(vec![(
                 "status".to_string(),
-                Value::String("ok".to_string()),
+                Value::String(state.label().to_string()),
             )]),
         ))
     }
@@ -887,6 +910,35 @@ mod tests {
                 .status,
             405
         );
+    }
+
+    #[test]
+    fn draining_sheds_everything_but_observability() {
+        let router = Router::new(repository());
+        let session = start(&router);
+        router.state().lifecycle.begin_drain();
+
+        // `/healthz` flips so load balancers rotate away.
+        let health = router.handle(&Request::new("GET", "/healthz", ""));
+        assert_eq!(health.status, 503);
+        assert_eq!(health.body, r#"{"status":"draining"}"#);
+        // `/metrics` stays observable.
+        let metrics = router.handle(&Request::new("GET", "/metrics", ""));
+        assert_eq!(metrics.status, 200);
+        // Everything else is shed with the advertised Retry-After.
+        let shed = router.handle(&Request::new(
+            "POST",
+            &format!("/sessions/{session}/finish"),
+            "",
+        ));
+        assert_eq!(shed.status, 503);
+        assert_eq!(shed.retry_after, Some(5));
+        assert!(shed.body.contains("draining"));
+        let snapshot = router.state().metrics.snapshot(0);
+        assert_eq!(snapshot.shed_total, 1);
+        assert_eq!(snapshot.retry_after_secs, 5);
+        // The session itself was left untouched mid-flight.
+        assert_eq!(router.state().registry.len(), 1);
     }
 
     #[test]

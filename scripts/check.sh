@@ -24,4 +24,10 @@ cargo test --offline -q -p mine-store --test fault_injection
 echo "==> server crash-recovery test (kill -9 + byte-identical analysis)"
 cargo test --offline -q -p mine-server --test crash_recovery
 
+echo "==> server chaos tests (overload shed, deadlines, drain mid-storm)"
+timeout 60 cargo test --offline -q -p mine-server --test chaos
+
+echo "==> chaos smoke (real SIGTERM drain over the CLI)"
+timeout 60 scripts/smoke_chaos.sh
+
 echo "All checks passed."

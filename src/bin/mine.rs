@@ -17,15 +17,19 @@
 //!                                              concurrently, print the batch summary
 //! mine tree <db> <problem-id>                  print the Figure 1 metadata tree
 //! mine serve <db> [--addr H:P] [--threads N] [--data-dir DIR]
-//!            [--fsync POLICY] [--snapshot-every N]
+//!            [--fsync POLICY] [--snapshot-every N] [--queue-depth N]
+//!            [--rate-limit RPS[:BURST]] [--drain-deadline SECS]
 //!                                              serve the sitting lifecycle over HTTP;
 //!                                              with --data-dir every session event is
 //!                                              journaled to a durable WAL and replayed
-//!                                              on restart
+//!                                              on restart. SIGTERM/SIGINT drains:
+//!                                              in-flight requests finish, active
+//!                                              sessions pause through the journal, a
+//!                                              final snapshot is written, exit 0
 //! mine recover <dir>                           inspect a journal directory offline:
 //!                                              replay the log, repair torn tails,
 //!                                              print the event summary
-//! mine loadgen <addr> <exam-id> [--clients N] [--seed S]
+//! mine loadgen <addr> <exam-id> [--clients N] [--seed S] [--ramp SECS]
 //!                                              drive a running server with concurrent
 //!                                              deterministic clients
 //! ```
@@ -39,7 +43,8 @@ use mine_assessment::itembank::{
 };
 use mine_assessment::scorm::ContentPackage;
 use mine_assessment::server::{
-    decode_events, open_journaled_state, run_loadgen, LoadGenOptions, Router, ServeOptions, Server,
+    decode_events, open_journaled_state, run_loadgen, LoadGenOptions, RateLimit, Router,
+    ServeOptions, Server,
 };
 use mine_assessment::simulator::{CohortSpec, Simulation};
 use mine_assessment::store::{EventStore, StoreOptions, SyncPolicy};
@@ -70,8 +75,9 @@ usage:
   mine tree <db> <problem-id>
   mine serve <db> [--addr HOST:PORT] [--threads N] [--data-dir DIR]
              [--fsync always|never|interval[:ms]] [--snapshot-every N]
+             [--queue-depth N] [--rate-limit RPS[:BURST]] [--drain-deadline SECS]
   mine recover <dir>
-  mine loadgen <addr> <exam-id> [--clients N] [--seed S]";
+  mine loadgen <addr> <exam-id> [--clients N] [--seed S] [--ramp SECS]";
 
 type CliResult = Result<(), String>;
 
@@ -381,6 +387,40 @@ fn batch_analyze(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// SIGTERM/SIGINT handling for `mine serve`, without libc: a minimal
+/// `signal(2)` binding installing an async-signal-safe handler that
+/// only flips an atomic. The serve loop polls the flag and runs the
+/// drain sequence in ordinary (non-handler) context.
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the handler when SIGTERM or SIGINT arrives.
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // A store to an atomic is async-signal-safe; everything else
+        // (drain, snapshot, I/O) happens on the polling thread.
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the handler for SIGTERM and SIGINT.
+    pub fn install() {
+        // SAFETY: `signal` with a handler that only stores to a static
+        // atomic; no allocation, locking, or I/O in handler context.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
 /// Pulls a `--name value` pair out of `args`, returning the value and
 /// the remaining arguments.
 fn take_flag(args: &[String], name: &str) -> Result<(Option<String>, Vec<String>), String> {
@@ -404,15 +444,39 @@ fn serve(args: &[String]) -> CliResult {
     let (data_dir, args) = take_flag(&args, "--data-dir")?;
     let (fsync, args) = take_flag(&args, "--fsync")?;
     let (snapshot_every, args) = take_flag(&args, "--snapshot-every")?;
+    let (queue_depth, args) = take_flag(&args, "--queue-depth")?;
+    let (rate_limit, args) = take_flag(&args, "--rate-limit")?;
+    let (drain_deadline, args) = take_flag(&args, "--drain-deadline")?;
     let [path] = args.as_slice() else {
         return Err(
             "serve needs <db> [--addr HOST:PORT] [--threads N] [--data-dir DIR] \
-             [--fsync POLICY] [--snapshot-every N]"
+             [--fsync POLICY] [--snapshot-every N] [--queue-depth N] \
+             [--rate-limit RPS[:BURST]] [--drain-deadline SECS]"
                 .into(),
         );
     };
     if data_dir.is_none() && (fsync.is_some() || snapshot_every.is_some()) {
         return Err("--fsync and --snapshot-every require --data-dir".into());
+    }
+    let drain_deadline = std::time::Duration::from_secs(
+        drain_deadline
+            .map(|n| {
+                n.parse::<u64>()
+                    .map_err(|_| "--drain-deadline needs whole seconds")
+            })
+            .transpose()?
+            .unwrap_or(10),
+    );
+    let mut overload = mine_assessment::server::OverloadOptions::default();
+    if let Some(depth) = queue_depth {
+        overload.queue_depth = depth
+            .parse::<usize>()
+            .ok()
+            .filter(|&d| d > 0)
+            .ok_or("--queue-depth needs a positive number")?;
+    }
+    if let Some(limit) = rate_limit {
+        overload.rate_limit = Some(RateLimit::parse(&limit)?);
     }
     let options = ServeOptions {
         addr: addr.unwrap_or_else(|| "127.0.0.1:7400".to_string()),
@@ -420,6 +484,7 @@ fn serve(args: &[String]) -> CliResult {
             .map(|n| n.parse::<usize>().map_err(|_| "--threads needs a number"))
             .transpose()?
             .unwrap_or(0),
+        overload,
         ..ServeOptions::default()
     };
     let repository = load(path)?;
@@ -463,11 +528,29 @@ fn serve(args: &[String]) -> CliResult {
     };
     let server = Server::start(router, &options)
         .map_err(|err| format!("binding {}: {err}", options.addr))?;
+    signals::install();
     println!(
-        "listening on http://{} (ctrl-c to stop)",
-        server.local_addr()
+        "listening on http://{} (SIGTERM/ctrl-c drains, deadline {}s)",
+        server.local_addr(),
+        drain_deadline.as_secs()
     );
-    server.join();
+    // Poll the signal flag; everything non-trivial happens here, not in
+    // handler context.
+    while !signals::REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("signal received: draining");
+    let report = server.drain(drain_deadline);
+    println!(
+        "drained: cleanly={} paused={} already-paused={} snapshot={}",
+        report.drained_cleanly,
+        report.sessions_paused,
+        report.sessions_already_paused,
+        report.snapshot_written
+    );
+    for note in &report.notes {
+        eprintln!("drain: note: {note}");
+    }
     Ok(())
 }
 
@@ -512,8 +595,9 @@ fn recover(args: &[String]) -> CliResult {
 fn loadgen(args: &[String]) -> CliResult {
     let (clients, args) = take_flag(args, "--clients")?;
     let (seed, args) = take_flag(&args, "--seed")?;
+    let (ramp, args) = take_flag(&args, "--ramp")?;
     let [addr, exam] = args.as_slice() else {
-        return Err("loadgen needs <addr> <exam-id> [--clients N] [--seed S]".into());
+        return Err("loadgen needs <addr> <exam-id> [--clients N] [--seed S] [--ramp SECS]".into());
     };
     let options = LoadGenOptions {
         addr: addr.clone(),
@@ -526,11 +610,27 @@ fn loadgen(args: &[String]) -> CliResult {
             .map(|n| n.parse::<u64>().map_err(|_| "--seed needs a number"))
             .transpose()?
             .unwrap_or(0),
+        ramp: ramp
+            .map(|n| {
+                n.parse::<f64>()
+                    .ok()
+                    .filter(|s| s.is_finite() && *s >= 0.0)
+                    .map(std::time::Duration::from_secs_f64)
+                    .ok_or("--ramp needs a non-negative number of seconds")
+            })
+            .transpose()?,
+        ..LoadGenOptions::default()
     };
     let report = run_loadgen(&options)?;
     println!(
-        "loadgen: {} sitting(s) completed, {} request(s), {} answer(s), {} failure(s)",
-        report.completed, report.requests, report.answers, report.failures
+        "loadgen: {} sitting(s) completed, {} request(s), {} answer(s), {} failure(s), \
+         {} shed response(s), {} retry(ies)",
+        report.completed,
+        report.requests,
+        report.answers,
+        report.failures,
+        report.shed,
+        report.retries
     );
     if report.failures > 0 {
         return Err(format!("{} client(s) failed", report.failures));
