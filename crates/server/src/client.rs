@@ -16,7 +16,7 @@
 //! is surfaced as an error instead.
 
 use std::io::{BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use rand::rngs::StdRng;
@@ -66,15 +66,34 @@ impl HttpClient {
         Self::with_timeout(addr, DEFAULT_CLIENT_TIMEOUT)
     }
 
-    /// Connects with an explicit timeout, applied to both reads and
-    /// writes so a stalled server can block neither direction forever.
+    /// Connects with an explicit timeout, applied to connection
+    /// establishment and to both reads and writes — a host that
+    /// blackholes SYNs (or a listener that never accepts) can stall the
+    /// caller no longer than `timeout`, where a plain
+    /// [`TcpStream::connect`] would sit in the OS default for minutes.
     ///
     /// # Errors
     ///
     /// Returns [`std::io::Error`] when the connection fails or the
     /// timeout is rejected (zero is invalid).
     pub fn with_timeout(addr: &str, timeout: Duration) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        let mut last = std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("no addresses resolved for {addr}"),
+        );
+        let mut connected = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => {
+                    connected = Some(stream);
+                    break;
+                }
+                Err(err) => last = err,
+            }
+        }
+        let Some(stream) = connected else {
+            return Err(last);
+        };
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
@@ -278,6 +297,13 @@ impl ResilientClient {
         self.shed_seen
     }
 
+    /// The address requests currently go to. Starts at the constructor
+    /// argument and moves when a `421` names a new leader.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
     /// `GET path`, retrying on transport failure or shed.
     ///
     /// # Errors
@@ -325,6 +351,31 @@ impl ResilientClient {
                     let retry_after = response.retry_after;
                     outcome = Ok(response);
                     self.sleep_before_retry(attempt, retry_after);
+                }
+                Ok(response) if response.status == 421 => {
+                    // Misdirected: a read replica named the leader. A
+                    // 421 is sent *instead of* processing, so following
+                    // it and resending is safe even for a POST.
+                    self.conn = None;
+                    let leader = response
+                        .json()
+                        .ok()
+                        .and_then(|value| {
+                            value
+                                .get("leader")
+                                .and_then(Value::as_str)
+                                .map(str::to_string)
+                        })
+                        .filter(|leader| !leader.is_empty());
+                    outcome = Ok(response);
+                    match leader {
+                        // The leader is known: go straight there, no
+                        // backoff needed.
+                        Some(leader) if leader != self.addr => self.addr = leader,
+                        // Pointed at ourselves or no leader yet
+                        // (failover in progress): wait it out.
+                        _ => self.sleep_before_retry(attempt, None),
+                    }
                 }
                 Ok(response) => return Ok(response),
                 Err(err) => {
@@ -399,6 +450,80 @@ mod tests {
                 backoff_delay(&policy, attempt, &mut b)
             );
         }
+    }
+
+    #[test]
+    fn connect_timeout_bounds_a_non_accepting_listener() {
+        // A listener that never accepts: once its kernel backlog is
+        // full, further SYNs are dropped and only a timeout can end a
+        // connect attempt. Before `connect_timeout` this sat in the OS
+        // default (minutes); now it must return within the bound.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut parked = Vec::new();
+        let mut saturated = false;
+        for _ in 0..8192 {
+            match TcpStream::connect_timeout(&addr, Duration::from_millis(100)) {
+                Ok(stream) => parked.push(stream),
+                Err(_) => {
+                    saturated = true;
+                    break;
+                }
+            }
+        }
+        // (An exotic kernel backlog larger than the cap would leave
+        // nothing to saturate; there is no timeout to regress then.)
+        if !saturated {
+            return;
+        }
+        let started = std::time::Instant::now();
+        let result = HttpClient::with_timeout(&addr.to_string(), Duration::from_millis(250));
+        assert!(result.is_err(), "connect into a full backlog succeeded");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "connect attempt was not bounded: {:?}",
+            started.elapsed()
+        );
+    }
+
+    /// One canned HTTP exchange: accept a connection, read the request,
+    /// answer with `status` and `body`.
+    fn one_shot_server(listener: std::net::TcpListener, status_line: &'static str, body: String) {
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0_u8; 4096];
+            let _ = stream.read(&mut buf);
+            let response = format!(
+                "HTTP/1.1 {status_line}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            stream.write_all(response.as_bytes()).unwrap();
+        });
+    }
+
+    #[test]
+    fn resilient_client_follows_421_to_the_leader() {
+        let leader = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let leader_addr = leader.local_addr().unwrap().to_string();
+        let follower = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let follower_addr = follower.local_addr().unwrap().to_string();
+        one_shot_server(
+            follower,
+            "421 Misdirected Request",
+            format!("{{\"error\":\"follower\",\"leader\":\"{leader_addr}\"}}"),
+        );
+        one_shot_server(leader, "200 OK", r#"{"ok":true}"#.to_string());
+
+        let mut client = ResilientClient::with_timeout(
+            &follower_addr,
+            Duration::from_secs(5),
+            RetryPolicy::default(),
+            1,
+        );
+        // Safe even for a POST: the 421 was sent instead of processing.
+        let response = client.post("/sessions", "{}").unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(client.addr(), leader_addr);
     }
 
     proptest! {

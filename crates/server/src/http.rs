@@ -153,6 +153,7 @@ impl Response {
             409 => "Conflict",
             410 => "Gone",
             413 => "Payload Too Large",
+            421 => "Misdirected Request",
             422 => "Unprocessable Entity",
             429 => "Too Many Requests",
             500 => "Internal Server Error",

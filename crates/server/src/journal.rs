@@ -217,6 +217,12 @@ impl Journal {
         ))
     }
 
+    /// The underlying event store (epoch reads, head inspection).
+    #[must_use]
+    pub fn store(&self) -> &EventStore {
+        &self.store
+    }
+
     /// Appends one event (WAL-first: call before applying the
     /// mutation).
     ///
@@ -229,7 +235,30 @@ impl Journal {
                 "event failed to serialize: {err}"
             )))
         })?;
-        self.store.append(payload.as_bytes())
+        self.append_raw(payload.as_bytes())
+    }
+
+    /// Appends pre-serialized event bytes. The replication follower uses
+    /// this to journal the primary's records byte for byte, so its log —
+    /// and therefore anything replayed from it — is identical to the
+    /// primary's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`] from the underlying append.
+    pub fn append_raw(&self, payload: &[u8]) -> Result<u64, StoreError> {
+        self.store.append(payload)
+    }
+
+    /// Installs a bootstrap snapshot received from a primary, rebasing
+    /// the local log to its sequence numbering. Call with the write gate
+    /// held.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError`].
+    pub fn install_snapshot(&self, payload: &[u8], last_seq: u64) -> Result<(), StoreError> {
+        self.store.install_snapshot(payload, last_seq)
     }
 
     /// Shared gate for mutating handlers.
@@ -291,7 +320,10 @@ pub struct RecoveryReport {
 
 /// Replays one journaled event through the same code paths the live
 /// handlers use. Returns a note when the event did not apply cleanly.
-fn apply_event(
+/// Recovery and the replication follower share this function, which is
+/// what makes a replica's in-memory state bit-identical to what the
+/// primary would rebuild from the same log.
+pub(crate) fn apply_event(
     repository: &Repository,
     registry: &SessionRegistry,
     finished: &FinishedStore,

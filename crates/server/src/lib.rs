@@ -59,6 +59,7 @@ pub mod loadgen;
 pub mod metrics;
 pub mod overload;
 pub mod registry;
+pub mod repl;
 pub mod router;
 pub mod serve;
 
@@ -75,5 +76,6 @@ pub use loadgen::{run_loadgen, LoadGenOptions, LoadGenReport};
 pub use metrics::{Metrics, MetricsSnapshot, Route};
 pub use overload::{OverloadOptions, PeerLimiter, RateLimit, TokenBucket};
 pub use registry::{FinishedStore, RegistryError, SessionRegistry, SessionSlot};
+pub use repl::{start_follower, AckMode, FollowerPuller, ReplListener, ReplState, Role};
 pub use router::{ApiError, Router, ServerState};
 pub use serve::{ServeOptions, Server};

@@ -32,6 +32,10 @@ pub enum Route {
     Finish,
     /// `GET /exams/{id}/analysis`.
     Analysis,
+    /// `POST /admin/promote`.
+    Promote,
+    /// A write redirected away from a follower with `421`.
+    Redirected,
     /// A request shed at the routing layer (server draining).
     Shed,
     /// Anything that did not match a route.
@@ -40,7 +44,7 @@ pub enum Route {
 
 impl Route {
     /// All distinguishable routes, in render order.
-    pub const ALL: [Route; 11] = [
+    pub const ALL: [Route; 13] = [
         Route::Healthz,
         Route::Metrics,
         Route::SessionStart,
@@ -50,6 +54,8 @@ impl Route {
         Route::Resume,
         Route::Finish,
         Route::Analysis,
+        Route::Promote,
+        Route::Redirected,
         Route::Shed,
         Route::Unmatched,
     ];
@@ -67,6 +73,8 @@ impl Route {
             Route::Resume => "resume",
             Route::Finish => "finish",
             Route::Analysis => "analysis",
+            Route::Promote => "promote",
+            Route::Redirected => "redirected",
             Route::Shed => "shed",
             Route::Unmatched => "unmatched",
         }
@@ -108,6 +116,22 @@ pub struct Metrics {
     /// The `Retry-After` seconds most recently advertised on a shed
     /// response (0 = nothing shed yet).
     retry_after_secs: AtomicU64,
+    /// Replication role gauge: 0 primary, 1 follower, 2 candidate.
+    repl_role: AtomicU64,
+    /// Durable replication epoch.
+    repl_epoch: AtomicU64,
+    /// Highest journal sequence applied locally.
+    repl_last_applied_seq: AtomicU64,
+    /// Replication lag in records: a primary reports its head minus its
+    /// slowest follower's ack, a follower its leader's advertised head
+    /// minus its own applied seq.
+    repl_lag: AtomicU64,
+    /// Followers currently streaming from this node.
+    repl_followers: AtomicU64,
+    /// Quorum-ack waits that timed out (the write proceeded leader-only).
+    repl_quorum_timeouts_total: AtomicU64,
+    /// Writes refused with `421` and redirected to the leader.
+    redirected_total: AtomicU64,
 }
 
 impl Metrics {
@@ -198,6 +222,28 @@ impl Metrics {
         self.drain_state.store(gauge, Ordering::Relaxed);
     }
 
+    /// Publishes the replication gauges in one call (refreshed by the
+    /// metrics handler from the live replication state).
+    pub fn set_repl(&self, role: u64, epoch: u64, last_applied: u64, lag: u64, followers: u64) {
+        self.repl_role.store(role, Ordering::Relaxed);
+        self.repl_epoch.store(epoch, Ordering::Relaxed);
+        self.repl_last_applied_seq
+            .store(last_applied, Ordering::Relaxed);
+        self.repl_lag.store(lag, Ordering::Relaxed);
+        self.repl_followers.store(followers, Ordering::Relaxed);
+    }
+
+    /// Counts one quorum-ack wait that timed out.
+    pub fn quorum_timeout(&self) {
+        self.repl_quorum_timeouts_total
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one write redirected to the leader with `421`.
+    pub fn redirected(&self) {
+        self.redirected_total.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot for rendering.
     #[must_use]
     pub fn snapshot(&self, active_sessions: usize) -> MetricsSnapshot {
@@ -230,6 +276,13 @@ impl Metrics {
             inflight_requests: self.inflight_requests.load(Ordering::Relaxed),
             drain_state: self.drain_state.load(Ordering::Relaxed),
             retry_after_secs: self.retry_after_secs.load(Ordering::Relaxed),
+            repl_role: self.repl_role.load(Ordering::Relaxed),
+            repl_epoch: self.repl_epoch.load(Ordering::Relaxed),
+            repl_last_applied_seq: self.repl_last_applied_seq.load(Ordering::Relaxed),
+            repl_lag: self.repl_lag.load(Ordering::Relaxed),
+            repl_followers: self.repl_followers.load(Ordering::Relaxed),
+            repl_quorum_timeouts_total: self.repl_quorum_timeouts_total.load(Ordering::Relaxed),
+            redirected_total: self.redirected_total.load(Ordering::Relaxed),
         }
     }
 }
@@ -270,6 +323,20 @@ pub struct MetricsSnapshot {
     pub drain_state: u64,
     /// Last advertised `Retry-After` seconds (0 = never shed).
     pub retry_after_secs: u64,
+    /// Replication role: 0 primary, 1 follower, 2 candidate.
+    pub repl_role: u64,
+    /// Durable replication epoch.
+    pub repl_epoch: u64,
+    /// Highest journal sequence applied locally.
+    pub repl_last_applied_seq: u64,
+    /// Replication lag in records (see [`Metrics::set_repl`]).
+    pub repl_lag: u64,
+    /// Followers currently streaming from this node.
+    pub repl_followers: u64,
+    /// Quorum-ack waits that timed out.
+    pub repl_quorum_timeouts_total: u64,
+    /// Writes refused with `421` and pointed at the leader.
+    pub redirected_total: u64,
 }
 
 impl Serialize for MetricsSnapshot {
@@ -333,6 +400,22 @@ impl Serialize for MetricsSnapshot {
             (
                 "retry_after_secs".to_string(),
                 self.retry_after_secs.to_value(),
+            ),
+            ("repl_role".to_string(), self.repl_role.to_value()),
+            ("repl_epoch".to_string(), self.repl_epoch.to_value()),
+            (
+                "repl_last_applied_seq".to_string(),
+                self.repl_last_applied_seq.to_value(),
+            ),
+            ("repl_lag".to_string(), self.repl_lag.to_value()),
+            ("repl_followers".to_string(), self.repl_followers.to_value()),
+            (
+                "repl_quorum_timeouts_total".to_string(),
+                self.repl_quorum_timeouts_total.to_value(),
+            ),
+            (
+                "redirected_total".to_string(),
+                self.redirected_total.to_value(),
             ),
         ])
     }
@@ -445,6 +528,53 @@ impl MetricsSnapshot {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
             out.push_str(&format!("{name} {value}\n"));
         }
+
+        out.push_str("# HELP mine_repl_role Replication role (one-hot).\n");
+        out.push_str("# TYPE mine_repl_role gauge\n");
+        for (index, role) in ["primary", "follower", "candidate"].iter().enumerate() {
+            let hot = u64::from(self.repl_role == index as u64);
+            out.push_str(&format!("mine_repl_role{{role=\"{role}\"}} {hot}\n"));
+        }
+        for (name, help, value) in [
+            (
+                "mine_repl_epoch",
+                "Durable replication epoch (bumped by promotion).",
+                self.repl_epoch,
+            ),
+            (
+                "mine_repl_last_applied_seq",
+                "Highest journal sequence applied locally.",
+                self.repl_last_applied_seq,
+            ),
+            (
+                "mine_repl_lag",
+                "Replication lag in records (primary: head minus slowest ack; follower: leader head minus applied).",
+                self.repl_lag,
+            ),
+            (
+                "mine_repl_followers",
+                "Followers currently streaming from this node.",
+                self.repl_followers,
+            ),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for (name, help, value) in [
+            (
+                "mine_repl_quorum_timeouts_total",
+                "Quorum-ack waits that timed out (write proceeded leader-only).",
+                self.repl_quorum_timeouts_total,
+            ),
+            (
+                "mine_redirected_total",
+                "Writes refused with 421 and pointed at the leader.",
+                self.redirected_total,
+            ),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            out.push_str(&format!("{name} {value}\n"));
+        }
         out
     }
 }
@@ -543,6 +673,38 @@ mod tests {
         assert_eq!(value.get("shed_total").unwrap().kind(), "number");
         assert_eq!(value.get("drain_state").unwrap().kind(), "number");
         assert_eq!(value.get("queue_depth").unwrap().kind(), "number");
+    }
+
+    #[test]
+    fn repl_gauges_render_one_hot_role_and_counters() {
+        let metrics = Metrics::new();
+        metrics.set_repl(1, 3, 41, 2, 0);
+        metrics.quorum_timeout();
+        metrics.redirected();
+        metrics.redirected();
+
+        let snapshot = metrics.snapshot(0);
+        assert_eq!(snapshot.repl_role, 1);
+        assert_eq!(snapshot.repl_epoch, 3);
+        assert_eq!(snapshot.repl_last_applied_seq, 41);
+        assert_eq!(snapshot.repl_lag, 2);
+        assert_eq!(snapshot.repl_quorum_timeouts_total, 1);
+        assert_eq!(snapshot.redirected_total, 2);
+
+        let text = snapshot.to_prometheus();
+        assert!(text.contains("mine_repl_role{role=\"primary\"} 0"));
+        assert!(text.contains("mine_repl_role{role=\"follower\"} 1"));
+        assert!(text.contains("mine_repl_role{role=\"candidate\"} 0"));
+        assert!(text.contains("mine_repl_epoch 3"));
+        assert!(text.contains("mine_repl_last_applied_seq 41"));
+        assert!(text.contains("mine_repl_lag 2"));
+        assert!(text.contains("mine_repl_quorum_timeouts_total 1"));
+        assert!(text.contains("mine_redirected_total 2"));
+
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let value: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value.get("repl_epoch").unwrap().kind(), "number");
+        assert_eq!(value.get("redirected_total").unwrap().kind(), "number");
     }
 
     #[test]

@@ -238,6 +238,18 @@ impl SessionRegistry {
         captured.sort_by(|a, b| a.0.id().as_str().cmp(b.0.id().as_str()));
         captured
     }
+
+    /// Drops every live session and tombstone. Used when a replication
+    /// follower installs a fresh bootstrap image over whatever it held;
+    /// callers must exclude concurrent mutators (the follower holds the
+    /// journal write gate).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            shard.live.clear();
+            shard.tombstones.clear();
+        }
+    }
 }
 
 /// Finished sittings grouped by exam, ordered by student id.
@@ -296,6 +308,11 @@ impl FinishedStore {
             .collect();
         exams.sort_by(|a, b| a.0.cmp(&b.0));
         exams
+    }
+
+    /// Drops every filed record (see [`SessionRegistry::clear`]).
+    pub fn clear(&self) {
+        self.by_exam.write().clear();
     }
 }
 

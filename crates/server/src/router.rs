@@ -21,6 +21,7 @@ use crate::http::{Request, Response};
 use crate::journal::{Journal, ServerImage, SessionEvent};
 use crate::metrics::{Metrics, Route};
 use crate::registry::{FinishedStore, RegistryError, SessionRegistry};
+use crate::repl::{ReplState, Role};
 
 /// Everything the handlers share.
 #[derive(Debug)]
@@ -37,6 +38,9 @@ pub struct ServerState {
     pub metrics: Metrics,
     /// The write-ahead log, when `--data-dir` durability is on.
     pub journal: Option<Journal>,
+    /// Replication role and plumbing, when `--repl-addr` /
+    /// `--replica-of` is on. Requires a journal.
+    pub repl: Option<Arc<ReplState>>,
     /// Where the server is in its lifecycle; while draining, every
     /// route except `/healthz` and `/metrics` is shed with
     /// `503 + Retry-After`.
@@ -60,6 +64,7 @@ impl ServerState {
             analyzer: BatchAnalyzer::new(AnalysisConfig::default()),
             metrics: Metrics::new(),
             journal: None,
+            repl: None,
             lifecycle: Lifecycle::new(),
             create_lock: parking_lot::Mutex::new(()),
         }
@@ -177,8 +182,10 @@ impl Router {
 
     /// Writes a compacting snapshot when enough events have
     /// accumulated. The write gate excludes every mutating handler, so
-    /// the captured [`ServerImage`] is consistent with the log.
-    fn maybe_compact(&self) {
+    /// the captured [`ServerImage`] is consistent with the log. The
+    /// replication follower calls this too — it journals every applied
+    /// record, so its log compacts on the same cadence.
+    pub(crate) fn maybe_compact(&self) {
         let Some(journal) = &self.state.journal else {
             return;
         };
@@ -205,6 +212,34 @@ impl Router {
         ApiError::new(500, format!("journal append failed: {err}"))
     }
 
+    /// Journals one event and ships it to connected followers. Under
+    /// `ack=quorum` this blocks (bounded) until a follower confirms
+    /// durability; the record is already in the local WAL either way.
+    fn journal_event(&self, journal: &Journal, event: &SessionEvent) -> Result<(), ApiError> {
+        let payload = serde_json::to_string(event)
+            .map_err(|err| ApiError::new(500, format!("event failed to serialize: {err}")))?;
+        match &self.state.repl {
+            Some(repl) => {
+                repl.append_and_publish(journal, payload.as_bytes(), &self.state.metrics)
+                    .map_err(Self::journal_failed)?;
+            }
+            None => {
+                journal
+                    .append_raw(payload.as_bytes())
+                    .map_err(Self::journal_failed)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether this node must redirect writes elsewhere.
+    fn not_leader(&self) -> bool {
+        self.state
+            .repl
+            .as_ref()
+            .is_some_and(|repl| repl.role() != Role::Primary)
+    }
+
     fn dispatch(&self, request: &Request) -> (Route, ApiResult) {
         let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
         let method = request.method.as_str();
@@ -219,6 +254,13 @@ impl Router {
                 self.state.metrics.shed(secs);
                 (Route::Shed, Ok(Response::shed("server is draining", secs)))
             }
+            ("POST", ["admin", "promote"]) => (Route::Promote, self.promote()),
+            // A follower is a read replica: every write is answered
+            // with 421 naming the leader. Reads fall through.
+            ("POST", ["sessions", ..]) if self.not_leader() => {
+                self.state.metrics.redirected();
+                (Route::Redirected, self.redirect_to_leader())
+            }
             ("POST", ["sessions"]) => (Route::SessionStart, self.start_session(request)),
             ("GET", ["sessions", id]) => (Route::SessionStatus, self.session_status(id)),
             ("POST", ["sessions", id, "answers"]) => (Route::Answer, self.answer(id, request)),
@@ -226,7 +268,10 @@ impl Router {
             ("POST", ["sessions", id, "resume"]) => (Route::Resume, self.resume(id)),
             ("POST", ["sessions", id, "finish"]) => (Route::Finish, self.finish(id)),
             ("GET", ["exams", id, "analysis"]) => (Route::Analysis, self.analysis(id)),
-            (_, ["healthz" | "metrics"]) | (_, ["sessions", ..]) | (_, ["exams", ..]) => (
+            (_, ["healthz" | "metrics"])
+            | (_, ["admin", ..])
+            | (_, ["sessions", ..])
+            | (_, ["exams", ..]) => (
                 Route::Unmatched,
                 Err(ApiError::new(405, format!("method {method} not allowed"))),
             ),
@@ -240,9 +285,11 @@ impl Router {
         }
     }
 
-    /// `GET /healthz`: `200 {"status":"ok"}` while running, `503
-    /// {"status":"draining"}` once drain begins — the flip a load
-    /// balancer watches to rotate traffic away.
+    /// `GET /healthz`: `200` while running, `503` once drain begins —
+    /// the flip a load balancer watches to rotate traffic away. The
+    /// body also carries the replication coordinates (`role`, `epoch`,
+    /// `last_applied_seq`) a failover supervisor needs to pick the most
+    /// caught-up follower to promote.
     fn healthz(&self) -> ApiResult {
         let state = self.state.lifecycle.state();
         let status = if self.state.lifecycle.is_draining() {
@@ -250,18 +297,33 @@ impl Router {
         } else {
             200
         };
+        let role = self
+            .state
+            .repl
+            .as_ref()
+            .map_or(Role::Primary, |repl| repl.role());
+        let (epoch, last_applied) = match &self.state.journal {
+            Some(journal) => (journal.store().epoch(), journal.store().next_seq() - 1),
+            None => (mine_store::INITIAL_EPOCH, 0),
+        };
         Ok(ok_json(
             status,
-            Value::Object(vec![(
-                "status".to_string(),
-                Value::String(state.label().to_string()),
-            )]),
+            Value::Object(vec![
+                (
+                    "status".to_string(),
+                    Value::String(state.label().to_string()),
+                ),
+                ("role".to_string(), Value::String(role.label().to_string())),
+                ("epoch".to_string(), epoch.to_value()),
+                ("last_applied_seq".to_string(), last_applied.to_value()),
+            ]),
         ))
     }
 
     /// `GET /metrics` serves the Prometheus text exposition format;
     /// `GET /metrics?format=json` keeps the original JSON payload.
     fn metrics(&self, request: &Request) -> ApiResult {
+        self.refresh_repl_gauges();
         let snapshot = self.state.metrics.snapshot(self.state.registry.len());
         let wants_json = request
             .query
@@ -271,6 +333,95 @@ impl Router {
             return Ok(ok_json(200, snapshot.to_value()));
         }
         Ok(Response::prometheus(200, snapshot.to_prometheus()))
+    }
+
+    /// Folds the live replication position into the metrics gauges so
+    /// a scrape sees current values. On the primary, lag is how far the
+    /// slowest connected follower trails the local head; on a follower,
+    /// how far the local head trails the leader's last advertised one.
+    fn refresh_repl_gauges(&self) {
+        let (Some(repl), Some(journal)) = (&self.state.repl, &self.state.journal) else {
+            return;
+        };
+        let head = journal.store().next_seq() - 1;
+        let role = repl.role();
+        let (lag, followers) = if role == Role::Primary {
+            let lag = repl
+                .hub()
+                .min_acked()
+                .map_or(0, |min| head.saturating_sub(min));
+            (lag, repl.hub().count() as u64)
+        } else {
+            (repl.leader_head().saturating_sub(head), 0)
+        };
+        self.state
+            .metrics
+            .set_repl(role.gauge(), journal.store().epoch(), head, lag, followers);
+    }
+
+    /// `POST /admin/promote`: supervised failover. Stops following,
+    /// bumps the durable epoch past the old leader's, and starts
+    /// serving writes. The epoch bump is what fences the deposed
+    /// primary — its records and its `Welcome` now carry a lower epoch
+    /// and are refused everywhere.
+    fn promote(&self) -> ApiResult {
+        let Some(repl) = &self.state.repl else {
+            return Err(ApiError::conflict("replication is not enabled"));
+        };
+        let Some(journal) = &self.state.journal else {
+            return Err(ApiError::new(500, "replication requires a journal"));
+        };
+        if repl.role() == Role::Primary {
+            return Err(ApiError::conflict("already the primary"));
+        }
+        // Candidate first: the write guard above starts refusing writes
+        // as "not yet the leader" rather than racing the epoch bump.
+        repl.set_role(Role::Candidate);
+        repl.stop_puller();
+        // The puller applies records under the read gate; taking the
+        // write gate waits out any in-flight apply, so nothing from the
+        // old stream lands after the bump.
+        let _gate = journal.gate_write();
+        let epoch = journal.store().epoch() + 1;
+        journal
+            .store()
+            .set_epoch(epoch)
+            .map_err(|err| ApiError::new(500, format!("epoch bump failed: {err}")))?;
+        repl.set_role(Role::Primary);
+        Ok(ok_json(
+            200,
+            Value::Object(vec![
+                ("role".to_string(), Value::String("primary".to_string())),
+                ("epoch".to_string(), epoch.to_value()),
+                (
+                    "last_applied_seq".to_string(),
+                    (journal.store().next_seq() - 1).to_value(),
+                ),
+            ]),
+        ))
+    }
+
+    /// The 421 answer a follower gives every write: the client should
+    /// retry at `leader` (empty when the leader is not yet known).
+    fn redirect_to_leader(&self) -> ApiResult {
+        let leader = self
+            .state
+            .repl
+            .as_ref()
+            .and_then(|repl| repl.leader_addr())
+            .unwrap_or_default();
+        Ok(ok_json(
+            421,
+            Value::Object(vec![
+                (
+                    "error".to_string(),
+                    Value::String(
+                        "this node is a read replica; writes go to the leader".to_string(),
+                    ),
+                ),
+                ("leader".to_string(), Value::String(leader)),
+            ]),
+        ))
     }
 
     fn start_session(&self, request: &Request) -> ApiResult {
@@ -304,13 +455,14 @@ impl Router {
                 // never land in the log *after* one of its session's
                 // other events.
                 let _create = self.state.create_lock.lock();
-                journal
-                    .append(&SessionEvent::Created {
+                self.journal_event(
+                    journal,
+                    &SessionEvent::Created {
                         exam: exam.id().clone(),
                         student: session.student().clone(),
                         options: session.options().clone(),
-                    })
-                    .map_err(Self::journal_failed)?;
+                    },
+                )?;
                 self.state.registry.insert(session)?;
             }
             None => {
@@ -350,13 +502,14 @@ impl Router {
             if let Some(journal) = journal {
                 // Journaled even if the session rejects it: a rejection
                 // can still move the logical clock (expiry clamps it).
-                journal
-                    .append(&SessionEvent::Answered {
+                self.journal_event(
+                    journal,
+                    &SessionEvent::Answered {
                         session: id.to_string(),
                         answer: answer.clone(),
                         time_spent,
-                    })
-                    .map_err(Self::journal_failed)?;
+                    },
+                )?;
             }
             slot.session
                 .answer(answer.clone(), time_spent)
@@ -371,11 +524,12 @@ impl Router {
         let _gate = journal.map(Journal::gate_read);
         let checkpoint = self.state.registry.with(id, |slot| {
             if let Some(journal) = journal {
-                journal
-                    .append(&SessionEvent::Paused {
+                self.journal_event(
+                    journal,
+                    &SessionEvent::Paused {
                         session: id.to_string(),
-                    })
-                    .map_err(Self::journal_failed)?;
+                    },
+                )?;
             }
             let checkpoint = slot.session.pause().map_err(ApiError::from)?;
             slot.checkpoint = Some(checkpoint.clone());
@@ -389,11 +543,12 @@ impl Router {
         let _gate = journal.map(Journal::gate_read);
         let status = self.state.registry.with(id, |slot| {
             if let Some(journal) = journal {
-                journal
-                    .append(&SessionEvent::Resumed {
+                self.journal_event(
+                    journal,
+                    &SessionEvent::Resumed {
                         session: id.to_string(),
-                    })
-                    .map_err(Self::journal_failed)?;
+                    },
+                )?;
             }
             slot.session.reactivate().map_err(ApiError::from)?;
             Ok::<_, ApiError>(session_status_body(&slot.session))
@@ -406,11 +561,12 @@ impl Router {
         let _gate = journal.map(Journal::gate_read);
         let (exam_id, record) = self.state.registry.with(id, |slot| {
             if let Some(journal) = journal {
-                journal
-                    .append(&SessionEvent::Finished {
+                self.journal_event(
+                    journal,
+                    &SessionEvent::Finished {
                         session: id.to_string(),
-                    })
-                    .map_err(Self::journal_failed)?;
+                    },
+                )?;
             }
             let record = slot.session.finish().map_err(ApiError::from)?;
             Ok::<_, ApiError>((slot.session.exam_id().as_str().to_string(), record))
@@ -667,11 +823,20 @@ mod tests {
     }
 
     #[test]
-    fn healthz_reports_ok() {
+    fn healthz_reports_ok_with_replication_coordinates() {
         let router = Router::new(repository());
         let response = router.handle(&Request::new("GET", "/healthz", ""));
         assert_eq!(response.status, 200);
-        assert_eq!(response.body, r#"{"status":"ok"}"#);
+        let value: Value = serde_json::from_str(&response.body).unwrap();
+        assert_eq!(value.get("status").unwrap().as_str(), Some("ok"));
+        // Without replication configured, a node reports itself as the
+        // primary at the initial epoch.
+        assert_eq!(value.get("role").unwrap().as_str(), Some("primary"));
+        assert_eq!(
+            value.get("epoch"),
+            Some(&mine_store::INITIAL_EPOCH.to_value())
+        );
+        assert_eq!(value.get("last_applied_seq"), Some(&0u64.to_value()));
     }
 
     /// Sits one student through the whole lifecycle in-process; student
@@ -921,7 +1086,8 @@ mod tests {
         // `/healthz` flips so load balancers rotate away.
         let health = router.handle(&Request::new("GET", "/healthz", ""));
         assert_eq!(health.status, 503);
-        assert_eq!(health.body, r#"{"status":"draining"}"#);
+        let health: Value = serde_json::from_str(&health.body).unwrap();
+        assert_eq!(health.get("status").unwrap().as_str(), Some("draining"));
         // `/metrics` stays observable.
         let metrics = router.handle(&Request::new("GET", "/metrics", ""));
         assert_eq!(metrics.status, 200);
@@ -973,5 +1139,95 @@ mod tests {
         assert_eq!(count("metrics"), 1);
         assert_eq!(value.get("active_sessions").unwrap().kind(), "number");
         assert_eq!(value.get("sessions_started").unwrap().kind(), "number");
+    }
+
+    #[test]
+    fn follower_redirects_writes_and_serves_reads() {
+        use crate::repl::AckMode;
+        let mut state = ServerState::new(repository());
+        let repl = Arc::new(ReplState::new(Role::Follower, AckMode::Leader));
+        repl.set_leader_addr("127.0.0.1:7400".to_string());
+        state.repl = Some(repl);
+        let router = Router::with_state(state);
+
+        // Every write answers 421 naming the leader.
+        for path in [
+            "/sessions",
+            "/sessions/ghost/answers",
+            "/sessions/ghost/finish",
+        ] {
+            let response = router.handle(&Request::new("POST", path, ""));
+            assert_eq!(response.status, 421, "{}", response.body);
+            let body: Value = serde_json::from_str(&response.body).unwrap();
+            assert_eq!(body.get("leader").unwrap().as_str(), Some("127.0.0.1:7400"));
+        }
+        // Reads are served locally (a 404 proves the handler ran).
+        let read = router.handle(&Request::new("GET", "/sessions/ghost", ""));
+        assert_eq!(read.status, 404);
+        // The role is visible to supervisors and scrapes.
+        let health = router.handle(&Request::new("GET", "/healthz", ""));
+        let health: Value = serde_json::from_str(&health.body).unwrap();
+        assert_eq!(health.get("role").unwrap().as_str(), Some("follower"));
+        let snapshot = router.state().metrics.snapshot(0);
+        assert_eq!(snapshot.redirected_total, 3);
+    }
+
+    #[test]
+    fn promote_bumps_epoch_and_starts_serving_writes() {
+        use crate::repl::AckMode;
+        let dir = std::env::temp_dir().join(format!("mine-router-promote-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (mut state, _) = crate::journal::open_journaled_state(
+            repository(),
+            &dir,
+            mine_store::StoreOptions::default(),
+            64,
+        )
+        .unwrap();
+        state.repl = Some(Arc::new(ReplState::new(Role::Follower, AckMode::Leader)));
+        let router = Router::with_state(state);
+
+        let refused = router.handle(&Request::new(
+            "POST",
+            "/sessions",
+            r#"{"exam":"quiz","student":"s1"}"#,
+        ));
+        assert_eq!(refused.status, 421);
+
+        let promoted = router.handle(&Request::new("POST", "/admin/promote", ""));
+        assert_eq!(promoted.status, 200, "{}", promoted.body);
+        let body: Value = serde_json::from_str(&promoted.body).unwrap();
+        assert_eq!(body.get("role").unwrap().as_str(), Some("primary"));
+        assert_eq!(
+            body.get("epoch"),
+            Some(&(mine_store::INITIAL_EPOCH + 1).to_value())
+        );
+        // The bump is durable, not just in-memory.
+        assert_eq!(
+            router.state().journal.as_ref().unwrap().store().epoch(),
+            mine_store::INITIAL_EPOCH + 1
+        );
+        // A second promotion is a conflict; writes now succeed.
+        let again = router.handle(&Request::new("POST", "/admin/promote", ""));
+        assert_eq!(again.status, 409);
+        let started = router.handle(&Request::new(
+            "POST",
+            "/sessions",
+            r#"{"exam":"quiz","student":"s1"}"#,
+        ));
+        assert_eq!(started.status, 201, "{}", started.body);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn promote_without_replication_conflicts() {
+        let router = Router::new(repository());
+        let response = router.handle(&Request::new("POST", "/admin/promote", ""));
+        assert_eq!(response.status, 409);
+        assert!(response.body.contains("not enabled"));
+        // Non-POST methods on admin routes are 405, not 404.
+        let response = router.handle(&Request::new("GET", "/admin/promote", ""));
+        assert_eq!(response.status, 405);
     }
 }

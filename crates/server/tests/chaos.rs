@@ -336,7 +336,11 @@ fn drain_mid_storm_loses_no_finished_sitting_and_analysis_survives_restart() {
     let mut observer = HttpClient::connect(&addr).expect("observer");
     let health = observer.get("/healthz").expect("healthz while draining");
     assert_eq!(health.status, 503);
-    assert_eq!(health.body, r#"{"status":"draining"}"#);
+    assert!(
+        health.body.contains(r#""status":"draining""#),
+        "{}",
+        health.body
+    );
     let mut observer = HttpClient::connect(&addr).expect("observer 2");
     let shed = observer
         .post("/sessions", r#"{"exam":"final","student":"late"}"#)
@@ -395,11 +399,12 @@ fn drain_mid_storm_loses_no_finished_sitting_and_analysis_survives_restart() {
         );
     }
 
-    // Byte-identical analysis after restart (when any sitting finished
-    // before the drain hit — the storm timing guarantees at least one
-    // only probabilistically, so gate on it).
+    // Byte-identical analysis after restart (when enough sittings
+    // finished before the drain hit — the storm timing guarantees that
+    // only probabilistically, so gate on it; a class of one cannot form
+    // the high/low score groups the analysis needs).
     let records = recovered.state().finished.records("final");
-    if !records.is_empty() {
+    if records.len() >= 2 {
         let served = recovered.handle(&Request::new("GET", "/exams/final/analysis", ""));
         assert_eq!(served.status, 200, "{}", served.body);
         let exam_id = "final".parse().expect("exam id");

@@ -217,7 +217,7 @@ fn keep_alive_connection_serves_many_requests_and_rejects_garbage() {
     for _ in 0..40 {
         let health = client.get("/healthz").expect("healthz");
         assert_eq!(health.status, 200);
-        assert_eq!(health.body, "{\"status\":\"ok\"}");
+        assert!(health.body.contains("\"status\":\"ok\""), "{}", health.body);
     }
     let missing = client.get("/sessions/nope").expect("missing session");
     assert_eq!(missing.status, 404);

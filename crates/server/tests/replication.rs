@@ -1,0 +1,390 @@
+//! The failover acceptance test: a primary ships its WAL to a live
+//! follower, is SIGKILLed mid-sitting, the follower is promoted via
+//! `POST /admin/promote`, and every acked event must be present — the
+//! promoted node serves a byte-identical analysis and finishes the
+//! sitting that was mid-flight at the crash. The deposed primary,
+//! restarted as a replica of the new leader, must adopt the higher
+//! epoch (demote) and answer writes with `421` naming the new leader.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use serde::{Number, Value};
+
+use mine_itembank::{ChoiceOption, Exam, Problem, Repository};
+use mine_server::{
+    open_journaled_state, AckMode, HttpClient, ReplListener, ReplState, Role, Router, ServeOptions,
+    Server,
+};
+use mine_store::{StoreOptions, SyncPolicy};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mine-repl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The same exam everywhere: replication replays events against the
+/// repository, so primary, follower, and parent must agree.
+fn repository() -> Repository {
+    let repo = Repository::new();
+    repo.insert_problem(
+        Problem::multiple_choice(
+            "q1",
+            "Pick C.",
+            [
+                ChoiceOption::new(mine_core::OptionKey::A, "alpha"),
+                ChoiceOption::new(mine_core::OptionKey::B, "beta"),
+                ChoiceOption::new(mine_core::OptionKey::C, "gamma"),
+                ChoiceOption::new(mine_core::OptionKey::D, "delta"),
+            ],
+            mine_core::OptionKey::C,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    repo.insert_problem(Problem::true_false("q2", "Is the sky blue?", true).unwrap())
+        .unwrap();
+    repo.insert_exam(
+        Exam::builder("final")
+            .unwrap()
+            .entry("q1".parse().unwrap())
+            .entry("q2".parse().unwrap())
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    repo
+}
+
+fn answer_json(problem: &str, index: usize) -> String {
+    match problem {
+        "q1" => format!(
+            "{{\"Choice\":\"{}\"}}",
+            char::from(b'A' + (index % 4) as u8)
+        ),
+        "q2" => format!("{{\"TrueFalse\":{}}}", index.is_multiple_of(3)),
+        other => panic!("unexpected problem {other}"),
+    }
+}
+
+fn start_sitting(client: &mut HttpClient, index: usize) -> (String, Vec<String>) {
+    let started = client
+        .post(
+            "/sessions",
+            &format!("{{\"exam\":\"final\",\"student\":\"r{index:02}\",\"seed\":{index}}}"),
+        )
+        .expect("start");
+    assert_eq!(started.status, 201, "{}", started.body);
+    let started: Value = started.json().expect("start body");
+    let session = started
+        .get("session")
+        .and_then(Value::as_str)
+        .expect("session id")
+        .to_string();
+    let order = started
+        .get("problems")
+        .and_then(Value::as_array)
+        .expect("problems")
+        .iter()
+        .map(|p| p.get("id").and_then(Value::as_str).unwrap().to_string())
+        .collect();
+    (session, order)
+}
+
+fn run_full_sitting(addr: &str, index: usize) {
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let (session, order) = start_sitting(&mut client, index);
+    for problem in &order {
+        let body = format!(
+            "{{\"answer\":{},\"time_spent_secs\":{}}}",
+            answer_json(problem, index),
+            10 + index % 7
+        );
+        let answered = client
+            .post(&format!("/sessions/{session}/answers"), &body)
+            .expect("answer");
+        assert_eq!(answered.status, 200, "{}", answered.body);
+    }
+    let finished = client
+        .post(&format!("/sessions/{session}/finish"), "")
+        .expect("finish");
+    assert_eq!(finished.status, 200, "{}", finished.body);
+}
+
+fn healthz(addr: &str) -> Value {
+    let mut client = HttpClient::connect(addr).expect("connect healthz");
+    let response = client.get("/healthz").expect("healthz");
+    response.json().expect("healthz json")
+}
+
+fn healthz_u64(value: &Value, field: &str) -> u64 {
+    match value.get(field) {
+        Some(Value::Number(Number::PosInt(n))) => *n,
+        other => panic!("healthz field {field} missing or not a number: {other:?}"),
+    }
+}
+
+/// Re-exec helper: with `MINE_REPL_CHILD_DIR` set this "test" becomes a
+/// replicating server. `MINE_REPL_CHILD_PRIMARY` (a replication
+/// listener address) makes it a follower of that primary; without it,
+/// it is a primary. Either way it runs a replication listener of its
+/// own (a follower's listener serves no one until promotion flips it).
+/// It publishes `"<http addr>\n<repl addr>"` at `<dir>/addr.txt`,
+/// atomically via rename, and runs until SIGKILLed.
+#[test]
+fn repl_server_child() {
+    let Some(dir) = std::env::var_os("MINE_REPL_CHILD_DIR") else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    let primary = std::env::var("MINE_REPL_CHILD_PRIMARY").ok();
+    let options = StoreOptions {
+        // `Never` maximizes the unflushed window: the kill must still
+        // lose no acked event because the follower holds a copy.
+        sync: SyncPolicy::Never,
+        ..StoreOptions::default()
+    };
+    let (mut state, _) = open_journaled_state(repository(), &dir, options, 8).expect("open");
+    let role = if primary.is_some() {
+        Role::Follower
+    } else {
+        Role::Primary
+    };
+    let repl = std::sync::Arc::new(ReplState::new(role, AckMode::Leader));
+    state.repl = Some(std::sync::Arc::clone(&repl));
+    let router = Router::with_state(state);
+    let server = Server::start(router.clone(), &ServeOptions::default()).expect("bind http");
+    repl.set_advertise(server.local_addr().to_string());
+    let listener = ReplListener::start("127.0.0.1:0", router.clone()).expect("bind repl");
+    let _puller = primary.map(|addr| mine_server::start_follower(addr, router.clone()));
+    let tmp = dir.join(".addr.tmp");
+    std::fs::write(
+        &tmp,
+        format!("{}\n{}", server.local_addr(), listener.local_addr()),
+    )
+    .expect("write addr");
+    std::fs::rename(&tmp, dir.join("addr.txt")).expect("publish addr");
+    server.join();
+}
+
+struct ChildNode {
+    child: Child,
+    http: String,
+    repl: String,
+}
+
+fn spawn_node(dir: &PathBuf, primary_repl_addr: Option<&str>) -> ChildNode {
+    let exe = std::env::current_exe().unwrap();
+    let mut command = Command::new(exe);
+    command
+        .args(["repl_server_child", "--exact", "--nocapture"])
+        .env("MINE_REPL_CHILD_DIR", dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if let Some(addr) = primary_repl_addr {
+        command.env("MINE_REPL_CHILD_PRIMARY", addr);
+    }
+    // A restarted node must publish fresh addresses, not be read
+    // through the previous incarnation's file.
+    let addr_path = dir.join("addr.txt");
+    let _ = std::fs::remove_file(&addr_path);
+    let child = command.spawn().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !addr_path.exists() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let published = std::fs::read_to_string(&addr_path).expect("child never came up");
+    let (http, repl) = published.split_once('\n').expect("two addresses");
+    ChildNode {
+        child,
+        http: http.to_string(),
+        repl: repl.to_string(),
+    }
+}
+
+/// Polls until `check` passes or the deadline expires, returning the
+/// last healthz body either way.
+fn wait_for(addr: &str, what: &str, check: impl Fn(&Value) -> bool) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let health = healthz(addr);
+        if check(&health) {
+            return health;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last healthz: {health:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn kill_nine_primary_promote_follower_loses_no_acked_event() {
+    let primary_dir = temp_dir("primary");
+    let follower_dir = temp_dir("follower");
+    let mut primary = spawn_node(&primary_dir, None);
+    let mut follower = spawn_node(&follower_dir, Some(&primary.repl));
+
+    // The follower must bootstrap and report itself as a follower.
+    wait_for(&follower.http, "follower role", |health| {
+        health.get("role").and_then(Value::as_str) == Some("follower")
+    });
+
+    // Six complete sittings against the primary, then a seventh left
+    // mid-flight: one of two problems answered when the power goes out.
+    for index in 0..6 {
+        run_full_sitting(&primary.http, index);
+    }
+    let mut client = HttpClient::connect(&primary.http).expect("connect");
+    let (mid_session, mid_order) = start_sitting(&mut client, 6);
+    let first_answer = format!(
+        "{{\"answer\":{},\"time_spent_secs\":12}}",
+        answer_json(&mid_order[0], 6)
+    );
+    let answered = client
+        .post(&format!("/sessions/{mid_session}/answers"), &first_answer)
+        .expect("mid answer");
+    assert_eq!(answered.status, 200, "{}", answered.body);
+
+    // Control: the analysis the primary serves right now, and its
+    // applied position. Wait until the follower has applied everything.
+    let control = client
+        .get("/exams/final/analysis")
+        .expect("control analysis");
+    assert_eq!(control.status, 200, "{}", control.body);
+    let primary_health = healthz(&primary.http);
+    let head = healthz_u64(&primary_health, "last_applied_seq");
+    assert!(head > 0);
+    wait_for(&follower.http, "follower catch-up", |health| {
+        healthz_u64(health, "last_applied_seq") >= head
+    });
+
+    // Both sides expose replication gauges in the Prometheus text.
+    let mut scrape = HttpClient::connect(&primary.http).expect("scrape primary");
+    let metrics = scrape.get("/metrics").expect("primary metrics");
+    assert!(
+        metrics.body.contains("mine_repl_role{role=\"primary\"} 1"),
+        "{}",
+        metrics.body
+    );
+    assert!(
+        metrics.body.contains("mine_repl_followers 1"),
+        "{}",
+        metrics.body
+    );
+    let mut scrape = HttpClient::connect(&follower.http).expect("scrape follower");
+    let metrics = scrape.get("/metrics").expect("follower metrics");
+    assert!(
+        metrics.body.contains("mine_repl_role{role=\"follower\"} 1"),
+        "{}",
+        metrics.body
+    );
+
+    // A write against the follower is refused with 421 naming the
+    // leader — it is a read replica, not a second writer.
+    let mut follower_client = HttpClient::connect(&follower.http).expect("connect follower");
+    let refused = follower_client
+        .post("/sessions", "{\"exam\":\"final\",\"student\":\"rogue\"}")
+        .expect("refused write");
+    assert_eq!(refused.status, 421, "{}", refused.body);
+    let refused: Value = refused.json().unwrap();
+    assert_eq!(
+        refused.get("leader").and_then(Value::as_str),
+        Some(primary.http.as_str())
+    );
+
+    primary.child.kill().unwrap(); // SIGKILL: no flushes, no goodbyes
+    primary.child.wait().unwrap();
+
+    // Supervised failover: promote the follower.
+    let promoted = follower_client.post("/admin/promote", "").expect("promote");
+    assert_eq!(promoted.status, 200, "{}", promoted.body);
+    let promoted: Value = promoted.json().unwrap();
+    assert_eq!(
+        promoted.get("role").and_then(Value::as_str),
+        Some("primary")
+    );
+    let new_epoch = healthz_u64(&promoted, "epoch");
+    assert_eq!(new_epoch, mine_store::INITIAL_EPOCH + 1);
+    let health = healthz(&follower.http);
+    assert_eq!(health.get("role").and_then(Value::as_str), Some("primary"));
+    assert_eq!(healthz_u64(&health, "epoch"), new_epoch);
+
+    // The acceptance bar: every acked event is present. The promoted
+    // node serves the same six-student analysis byte for byte…
+    let mut follower_client = HttpClient::connect(&follower.http).expect("reconnect");
+    let served = follower_client
+        .get("/exams/final/analysis")
+        .expect("promoted analysis");
+    assert_eq!(served.status, 200, "{}", served.body);
+    assert_eq!(served.body, control.body, "analysis must be byte-identical");
+
+    // …and the mid-flight sitting survived with its acked answer and
+    // can be driven to completion on the new primary.
+    let status = follower_client
+        .get(&format!("/sessions/{mid_session}"))
+        .expect("mid status");
+    assert_eq!(status.status, 200, "{}", status.body);
+    let status: Value = status.json().unwrap();
+    assert!(
+        matches!(
+            status.get("answered"),
+            Some(Value::Number(Number::PosInt(1)))
+        ),
+        "{status:?}"
+    );
+    let second_answer = format!(
+        "{{\"answer\":{},\"time_spent_secs\":9}}",
+        answer_json(&mid_order[1], 6)
+    );
+    let answered = follower_client
+        .post(&format!("/sessions/{mid_session}/answers"), &second_answer)
+        .expect("answer on new primary");
+    assert_eq!(answered.status, 200, "{}", answered.body);
+    let finished = follower_client
+        .post(&format!("/sessions/{mid_session}/finish"), "")
+        .expect("finish on new primary");
+    assert_eq!(finished.status, 200, "{}", finished.body);
+
+    // Epoch fencing: restart the deposed primary from its own data
+    // directory as a replica of the new leader. It must adopt the
+    // higher epoch (demote), resync, and redirect writes to the new
+    // leader — its stale epoch never wins anything.
+    let mut deposed = spawn_node(&primary_dir, Some(&follower.repl));
+    wait_for(&deposed.http, "deposed primary to demote", |health| {
+        health.get("role").and_then(Value::as_str) == Some("follower")
+            && healthz_u64(health, "epoch") == new_epoch
+    });
+    // It resyncs to the new leader's history, including the seventh
+    // sitting it was killed in the middle of.
+    let follower_head = healthz_u64(&healthz(&follower.http), "last_applied_seq");
+    wait_for(&deposed.http, "deposed primary catch-up", |health| {
+        healthz_u64(health, "last_applied_seq") >= follower_head
+    });
+    let mut deposed_client = HttpClient::connect(&deposed.http).expect("connect deposed");
+    let resynced = deposed_client
+        .get("/exams/final/analysis")
+        .expect("resynced analysis");
+    assert_eq!(resynced.status, 200, "{}", resynced.body);
+    assert!(resynced.body.contains("r06"), "{}", resynced.body);
+    let stale_write = deposed_client
+        .post("/sessions", "{\"exam\":\"final\",\"student\":\"stale\"}")
+        .expect("stale write");
+    assert_eq!(stale_write.status, 421, "{}", stale_write.body);
+    let stale_write: Value = stale_write.json().unwrap();
+    assert_eq!(
+        stale_write.get("leader").and_then(Value::as_str),
+        Some(follower.http.as_str())
+    );
+
+    deposed.child.kill().unwrap();
+    deposed.child.wait().unwrap();
+    follower.child.kill().unwrap();
+    follower.child.wait().unwrap();
+    std::fs::remove_dir_all(&primary_dir).unwrap();
+    std::fs::remove_dir_all(&follower_dir).unwrap();
+}

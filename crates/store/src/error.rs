@@ -25,6 +25,15 @@ pub enum StoreError {
         /// The limit it exceeded.
         limit: usize,
     },
+    /// A previous append failed mid-write (`ENOSPC`, `EIO`, …) and the
+    /// segment writer refused further appends. The on-disk tail was
+    /// truncated back to the last intact frame, so nothing half-written
+    /// is ever visible to recovery or replication; reopening the store
+    /// clears the poison.
+    Poisoned {
+        /// Display form of the I/O error that poisoned the writer.
+        cause: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -40,6 +49,12 @@ impl fmt::Display for StoreError {
             }
             StoreError::RecordTooLarge { size, limit } => {
                 write!(f, "record of {size} bytes exceeds the {limit}-byte limit")
+            }
+            StoreError::Poisoned { cause } => {
+                write!(
+                    f,
+                    "segment writer poisoned by an earlier failed append ({cause}); reopen the store to resume"
+                )
             }
         }
     }

@@ -32,6 +32,10 @@
 pub mod error;
 pub mod frame;
 pub mod log;
+pub mod replicate;
 
 pub use error::StoreError;
-pub use log::{EventStore, Record, Recovered, Snapshot, StoreOptions, SyncPolicy};
+pub use log::{
+    AppendFault, EventStore, Record, Recovered, Snapshot, StoreOptions, SyncPolicy, INITIAL_EPOCH,
+};
+pub use replicate::{Message, ReplError, StreamCursor};

@@ -30,6 +30,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -82,6 +83,9 @@ pub struct StoreOptions {
     pub sync: SyncPolicy,
     /// Rotate to a new segment once the current one reaches this size.
     pub max_segment_bytes: u64,
+    /// Fault injection for tests: fail one append mid-frame. `None` in
+    /// production.
+    pub append_fault: Option<AppendFault>,
 }
 
 impl Default for StoreOptions {
@@ -89,8 +93,21 @@ impl Default for StoreOptions {
         Self {
             sync: SyncPolicy::Always,
             max_segment_bytes: 8 * 1024 * 1024,
+            append_fault: None,
         }
     }
+}
+
+/// Test-only fault injection: the append assigned `at_seq` writes only
+/// `partial_bytes` of its frame and then fails as if the disk returned
+/// `ENOSPC`. Exercises the store's real truncate-and-poison error path
+/// without needing a genuinely full filesystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendFault {
+    /// Sequence number of the append that fails.
+    pub at_seq: u64,
+    /// How many bytes of the frame land on disk before the failure.
+    pub partial_bytes: usize,
 }
 
 /// One recovered record.
@@ -133,6 +150,10 @@ struct Inner {
     since_snapshot: u64,
     last_sync: Instant,
     dirty: bool,
+    /// Set when an append failed mid-write; holds the cause. A poisoned
+    /// writer refuses every further append/sync/snapshot so a half-frame
+    /// can never be followed by "valid" data.
+    poisoned: Option<String>,
 }
 
 /// A durable append-only event log bound to one directory.
@@ -143,6 +164,9 @@ pub struct EventStore {
     dir: PathBuf,
     options: StoreOptions,
     inner: Mutex<Inner>,
+    /// Durable replication epoch, mirrored from the `epoch` file for
+    /// lock-free reads. See [`EventStore::set_epoch`].
+    epoch: AtomicU64,
 }
 
 impl std::fmt::Debug for EventStore {
@@ -172,6 +196,40 @@ fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
 /// Flushes directory metadata (new/renamed/deleted entries) to disk.
 fn sync_dir(dir: &Path) -> std::io::Result<()> {
     File::open(dir)?.sync_all()
+}
+
+/// Name of the durable epoch file inside a store directory.
+const EPOCH_FILE: &str = "epoch";
+
+/// The epoch a store starts at when no `epoch` file exists yet.
+pub const INITIAL_EPOCH: u64 = 1;
+
+fn read_epoch_file(dir: &Path) -> Result<u64, StoreError> {
+    match std::fs::read_to_string(dir.join(EPOCH_FILE)) {
+        Ok(text) => text.trim().parse().map_err(|_| StoreError::Corrupt {
+            file: EPOCH_FILE.to_string(),
+            offset: 0,
+            reason: format!("unparseable epoch {:?}", text.trim()),
+        }),
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(INITIAL_EPOCH),
+        Err(err) => Err(err.into()),
+    }
+}
+
+fn write_epoch_file(dir: &Path, epoch: u64) -> Result<(), StoreError> {
+    let final_path = dir.join(EPOCH_FILE);
+    let tmp_path = dir.join(format!(".{EPOCH_FILE}.tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut file = File::create(&tmp_path)?;
+        file.write_all(epoch.to_string().as_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp_path, &final_path)?;
+        sync_dir(dir)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp_path);
+    }
+    result.map_err(Into::into)
 }
 
 impl EventStore {
@@ -308,6 +366,7 @@ impl EventStore {
             .open(&segment_path)?;
         sync_dir(&dir)?;
 
+        let epoch = read_epoch_file(&dir)?;
         let store = Self {
             dir,
             options,
@@ -320,7 +379,9 @@ impl EventStore {
                 since_snapshot: events.len() as u64,
                 last_sync: Instant::now(),
                 dirty: false,
+                poisoned: None,
             }),
+            epoch: AtomicU64::new(epoch),
         };
         Ok((
             store,
@@ -342,10 +403,17 @@ impl EventStore {
     /// Appends one record, returning its sequence number. Durability
     /// depends on the configured [`SyncPolicy`].
     ///
+    /// A write failure (`ENOSPC`, `EIO`, …) truncates the segment back
+    /// to the last intact frame and poisons the writer: the half-frame
+    /// is never visible to recovery or replication, and every later
+    /// append returns [`StoreError::Poisoned`] until the store is
+    /// reopened.
+    ///
     /// # Errors
     ///
-    /// Returns [`StoreError::RecordTooLarge`] for oversized payloads
-    /// and [`StoreError::Io`] on write failure.
+    /// Returns [`StoreError::RecordTooLarge`] for oversized payloads,
+    /// [`StoreError::Io`] on write failure, and [`StoreError::Poisoned`]
+    /// after an earlier failed append.
     pub fn append(&self, payload: &[u8]) -> Result<u64, StoreError> {
         if payload.len() > MAX_PAYLOAD_BYTES {
             return Err(StoreError::RecordTooLarge {
@@ -354,6 +422,11 @@ impl EventStore {
             });
         }
         let mut inner = self.inner.lock().expect("store mutex");
+        if let Some(cause) = &inner.poisoned {
+            return Err(StoreError::Poisoned {
+                cause: cause.clone(),
+            });
+        }
         let seq = inner.next_seq;
         let frame = frame::encode(seq, payload);
         if inner.segment_records > 0
@@ -361,7 +434,9 @@ impl EventStore {
         {
             self.rotate(&mut inner, seq)?;
         }
-        inner.file.write_all(&frame)?;
+        if let Err(err) = self.write_frame(&mut inner, seq, &frame) {
+            return Err(self.poison(&mut inner, err));
+        }
         inner.segment_bytes += frame.len() as u64;
         inner.segment_records += 1;
         inner.next_seq += 1;
@@ -369,13 +444,17 @@ impl EventStore {
         inner.dirty = true;
         match self.options.sync {
             SyncPolicy::Always => {
-                inner.file.sync_data()?;
+                if let Err(err) = inner.file.sync_data() {
+                    return Err(self.poison(&mut inner, err));
+                }
                 inner.last_sync = Instant::now();
                 inner.dirty = false;
             }
             SyncPolicy::Interval(window) => {
                 if inner.last_sync.elapsed() >= window {
-                    inner.file.sync_data()?;
+                    if let Err(err) = inner.file.sync_data() {
+                        return Err(self.poison(&mut inner, err));
+                    }
                     inner.last_sync = Instant::now();
                     inner.dirty = false;
                 }
@@ -383,6 +462,37 @@ impl EventStore {
             SyncPolicy::Never => {}
         }
         Ok(seq)
+    }
+
+    /// Writes one encoded frame, honouring the fault-injection knob.
+    fn write_frame(&self, inner: &mut Inner, seq: u64, frame: &[u8]) -> std::io::Result<()> {
+        if let Some(fault) = self.options.append_fault {
+            if fault.at_seq == seq {
+                let cut = fault.partial_bytes.min(frame.len());
+                inner.file.write_all(&frame[..cut])?;
+                let _ = inner.file.sync_data(); // make the half-frame durable, like a real torn write
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::StorageFull,
+                    "injected append fault (disk full)",
+                ));
+            }
+        }
+        inner.file.write_all(frame)
+    }
+
+    /// Rolls the segment back to its last intact frame and marks the
+    /// writer poisoned. Returns the error to hand the caller.
+    fn poison(&self, inner: &mut Inner, err: std::io::Error) -> StoreError {
+        // Cut away whatever fraction of the frame (or sync state) is in
+        // doubt. If even the truncate fails, recovery's torn-tail repair
+        // is the backstop — the poison flag keeps this process from
+        // writing past the damage either way.
+        let _ = (|| -> std::io::Result<()> {
+            inner.file.set_len(inner.segment_bytes)?;
+            inner.file.sync_data()
+        })();
+        inner.poisoned = Some(err.to_string());
+        StoreError::Io(err)
     }
 
     /// Rotates to a fresh segment starting at `first_seq`.
@@ -405,12 +515,45 @@ impl EventStore {
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Io`] on sync failure.
+    /// Returns [`StoreError::Io`] on sync failure and
+    /// [`StoreError::Poisoned`] after a failed append.
     pub fn sync(&self) -> Result<(), StoreError> {
         let mut inner = self.inner.lock().expect("store mutex");
+        if let Some(cause) = &inner.poisoned {
+            return Err(StoreError::Poisoned {
+                cause: cause.clone(),
+            });
+        }
         inner.file.sync_data()?;
         inner.last_sync = Instant::now();
         inner.dirty = false;
+        Ok(())
+    }
+
+    /// The durable replication epoch, [`INITIAL_EPOCH`] when never set.
+    ///
+    /// The epoch fences failover: a promoted follower bumps it, and any
+    /// record or leader claiming a lower epoch is stale and must be
+    /// refused. Reads are lock-free.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Durably records a new replication epoch (atomic write: temp
+    /// sibling + fsync + rename + directory fsync). The epoch survives
+    /// crash and restart — a deposed primary that comes back finds the
+    /// higher epoch on disk and must demote itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure; the previous
+    /// epoch file survives a failed attempt.
+    pub fn set_epoch(&self, epoch: u64) -> Result<(), StoreError> {
+        // Serialize against other epoch writes and appends.
+        let _inner = self.inner.lock().expect("store mutex");
+        write_epoch_file(&self.dir, epoch)?;
+        self.epoch.store(epoch, Ordering::SeqCst);
         Ok(())
     }
 
@@ -445,6 +588,11 @@ impl EventStore {
     /// snapshot (if any) survives a failed attempt.
     pub fn snapshot(&self, payload: &[u8]) -> Result<(), StoreError> {
         let mut inner = self.inner.lock().expect("store mutex");
+        if let Some(cause) = &inner.poisoned {
+            return Err(StoreError::Poisoned {
+                cause: cause.clone(),
+            });
+        }
         let last_seq = inner.next_seq - 1;
         let final_path = self.dir.join(snapshot_name(last_seq));
         let tmp_path = self.dir.join(format!(
@@ -479,6 +627,72 @@ impl EventStore {
         inner.segment_path = path;
         inner.segment_bytes = 0;
         inner.segment_records = 0;
+        inner.since_snapshot = 0;
+        inner.dirty = false;
+        sync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// Replaces the store's entire history with a snapshot received from
+    /// elsewhere (a replication bootstrap), asserting it covers every
+    /// record with seq ≤ `last_seq`. All local segments and older
+    /// snapshots are discarded and the writer restarts at
+    /// `last_seq + 1` — after this, local appends carry the *same*
+    /// sequence numbers as the source's records, which is what lets a
+    /// follower mirror its primary's WAL byte for byte.
+    ///
+    /// The snapshot write itself is atomic (temp sibling + fsync +
+    /// rename + directory fsync), so a crash mid-install recovers to
+    /// either the old history or the new snapshot, never a mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure and
+    /// [`StoreError::Poisoned`] after a failed append.
+    pub fn install_snapshot(&self, payload: &[u8], last_seq: u64) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().expect("store mutex");
+        if let Some(cause) = &inner.poisoned {
+            return Err(StoreError::Poisoned {
+                cause: cause.clone(),
+            });
+        }
+        let final_path = self.dir.join(snapshot_name(last_seq));
+        let tmp_path = self.dir.join(format!(
+            ".{}.tmp.{}",
+            snapshot_name(last_seq),
+            std::process::id()
+        ));
+        let result = (|| {
+            let mut file = File::create(&tmp_path)?;
+            file.write_all(payload)?;
+            file.sync_all()?;
+            std::fs::rename(&tmp_path, &final_path)?;
+            sync_dir(&self.dir)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(result.expect_err("checked").into());
+        }
+
+        // The installed snapshot supersedes every local artifact:
+        // segments (whatever their seqs meant locally) and any snapshot
+        // not named exactly `last_seq`.
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name().to_string_lossy().into_owned();
+            let stale_segment = parse_numbered(&name, "wal-", ".log").is_some();
+            let stale_snapshot =
+                parse_numbered(&name, "snapshot-", ".snap").is_some_and(|seq| seq != last_seq);
+            if stale_segment || stale_snapshot {
+                let _ = std::fs::remove_file(self.dir.join(&name));
+            }
+        }
+        let next_seq = last_seq + 1;
+        let path = self.dir.join(segment_name(next_seq));
+        inner.file = OpenOptions::new().create(true).append(true).open(&path)?;
+        inner.segment_path = path;
+        inner.segment_bytes = 0;
+        inner.segment_records = 0;
+        inner.next_seq = next_seq;
         inner.since_snapshot = 0;
         inner.dirty = false;
         sync_dir(&self.dir)?;
@@ -631,6 +845,78 @@ mod tests {
             store.append(&huge),
             Err(StoreError::RecordTooLarge { .. })
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn epoch_defaults_and_survives_reopen() {
+        let dir = temp_dir("epoch");
+        {
+            let (store, _) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+            assert_eq!(store.epoch(), INITIAL_EPOCH);
+            store.set_epoch(7).unwrap();
+            assert_eq!(store.epoch(), 7);
+        }
+        let (store, _) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.epoch(), 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_append_poisons_the_writer_and_leaves_no_half_frame() {
+        let dir = temp_dir("poison");
+        let options = StoreOptions {
+            append_fault: Some(AppendFault {
+                at_seq: 3,
+                partial_bytes: 9, // mid-header: worst-case torn write
+            }),
+            ..StoreOptions::default()
+        };
+        let (store, _) = EventStore::open(&dir, options).unwrap();
+        store.append(b"one").unwrap();
+        store.append(b"two").unwrap();
+        let err = store.append(b"doomed").unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err}");
+        // Poisoned: appends, sync, and snapshot all refuse.
+        assert!(matches!(
+            store.append(b"after"),
+            Err(StoreError::Poisoned { .. })
+        ));
+        assert!(matches!(store.sync(), Err(StoreError::Poisoned { .. })));
+        assert!(matches!(
+            store.snapshot(b"img"),
+            Err(StoreError::Poisoned { .. })
+        ));
+        drop(store);
+        // Recovery sees exactly the two intact records — the half-frame
+        // was truncated away, so there is no torn-tail warning either.
+        let (store, recovered) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(payloads(&recovered), ["one", "two"]);
+        assert!(recovered.warnings.is_empty(), "{:?}", recovered.warnings);
+        assert_eq!(store.append(b"three").unwrap(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn install_snapshot_rebases_history_and_sequence_numbers() {
+        let dir = temp_dir("install");
+        let (store, _) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        // Local history that the installed snapshot must wipe out.
+        store.append(b"local-1").unwrap();
+        store.append(b"local-2").unwrap();
+        store.install_snapshot(b"primary-image", 41).unwrap();
+        // The next append continues the *primary's* numbering.
+        assert_eq!(store.next_seq(), 42);
+        assert_eq!(store.append(b"tail-42").unwrap(), 42);
+        drop(store);
+
+        let (store, recovered) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        let snapshot = recovered.snapshot.as_ref().unwrap();
+        assert_eq!(snapshot.last_seq, 41);
+        assert_eq!(snapshot.payload, b"primary-image");
+        assert_eq!(payloads(&recovered), ["tail-42"]);
+        assert_eq!(recovered.events[0].seq, 42);
+        assert_eq!(store.next_seq(), 43);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -8,7 +8,7 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
-use mine_store::{EventStore, StoreError, StoreOptions, SyncPolicy};
+use mine_store::{AppendFault, EventStore, StoreError, StoreOptions, SyncPolicy};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("mine-store-fault-{tag}-{}", std::process::id()));
@@ -216,6 +216,60 @@ fn sequence_gaps_in_committed_history_are_corruption() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+#[test]
+fn disk_full_mid_append_never_exposes_a_half_frame() {
+    let dir = temp_dir("disk-full");
+    // Fail the 4th append after 9 bytes — mid-header, the nastiest
+    // possible torn write — under the *interval* policy so the failed
+    // frame was never individually fsynced either.
+    let options = StoreOptions {
+        sync: SyncPolicy::Interval(Duration::from_millis(50)),
+        append_fault: Some(AppendFault {
+            at_seq: 4,
+            partial_bytes: 9,
+        }),
+        ..StoreOptions::default()
+    };
+    let (store, _) = EventStore::open(&dir, options).unwrap();
+    for i in 0..3 {
+        store
+            .append(format!("durable-{i}").as_bytes())
+            .expect("appends before the fault succeed");
+    }
+    let err = store.append(b"lost-to-enospc").unwrap_err();
+    assert!(matches!(err, StoreError::Io(_)), "typed I/O error: {err}");
+    // The writer is poisoned: no append can sneak past the damage.
+    assert!(matches!(
+        store.append(b"after-the-fault"),
+        Err(StoreError::Poisoned { .. })
+    ));
+    drop(store);
+
+    // What recovery sees is exactly what replication would stream: the
+    // three intact records, contiguous from seq 1, no repair needed.
+    let (store, recovered) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+    assert_eq!(
+        recovered.events.iter().map(|r| r.seq).collect::<Vec<_>>(),
+        [1, 2, 3]
+    );
+    assert!(
+        recovered.warnings.is_empty(),
+        "half-frame should have been truncated at fault time, not repaired at recovery: {:?}",
+        recovered.warnings
+    );
+    // The segment file itself holds no trace of the failed append.
+    let on_disk: u64 = total_segment_bytes(&dir);
+    let intact: u64 = recovered
+        .events
+        .iter()
+        .map(|r| (mine_store::frame::HEADER_BYTES + r.payload.len()) as u64)
+        .sum();
+    assert_eq!(on_disk, intact, "no partial bytes beyond the intact frames");
+    // And the reopened store resumes the sequence with no gap.
+    assert_eq!(store.append(b"resumed").unwrap(), 4);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Re-exec helper: when `MINE_STORE_CRASH_DIR` is set this "test" is a
 /// child process that appends records as fast as it can until its
 /// parent kills it with SIGKILL. Without the variable it is a no-op.
@@ -231,6 +285,7 @@ fn crash_child_appender() {
         // the kill lands mid-frame.
         sync: SyncPolicy::Never,
         max_segment_bytes: 4096,
+        append_fault: None,
     };
     let (store, _) = EventStore::open(PathBuf::from(dir), options).unwrap();
     loop {

@@ -30,4 +30,10 @@ timeout 60 cargo test --offline -q -p mine-server --test chaos
 echo "==> chaos smoke (real SIGTERM drain over the CLI)"
 timeout 60 scripts/smoke_chaos.sh
 
+echo "==> server replication tests (kill -9 primary, promote, epoch fencing)"
+timeout 60 cargo test --offline -q -p mine-server --test replication
+
+echo "==> failover smoke (kill -9 primary, mine promote, byte-identical analysis)"
+timeout 60 scripts/smoke_failover.sh
+
 echo "All checks passed."

@@ -19,13 +19,20 @@
 //! mine serve <db> [--addr H:P] [--threads N] [--data-dir DIR]
 //!            [--fsync POLICY] [--snapshot-every N] [--queue-depth N]
 //!            [--rate-limit RPS[:BURST]] [--drain-deadline SECS]
+//!            [--repl-addr H:P] [--replica-of H:P] [--replicate ack=leader|quorum]
 //!                                              serve the sitting lifecycle over HTTP;
 //!                                              with --data-dir every session event is
 //!                                              journaled to a durable WAL and replayed
-//!                                              on restart. SIGTERM/SIGINT drains:
-//!                                              in-flight requests finish, active
+//!                                              on restart. --repl-addr ships the WAL to
+//!                                              followers; --replica-of mirrors a primary
+//!                                              (reads served locally, writes answered
+//!                                              421 naming the leader). SIGTERM/SIGINT
+//!                                              drains: in-flight requests finish, active
 //!                                              sessions pause through the journal, a
 //!                                              final snapshot is written, exit 0
+//! mine promote <addr>                          supervised failover: tell the follower at
+//!                                              <addr> to stop following, bump its durable
+//!                                              epoch, and start serving writes
 //! mine recover <dir>                           inspect a journal directory offline:
 //!                                              replay the log, repair torn tails,
 //!                                              print the event summary
@@ -43,8 +50,8 @@ use mine_assessment::itembank::{
 };
 use mine_assessment::scorm::ContentPackage;
 use mine_assessment::server::{
-    decode_events, open_journaled_state, run_loadgen, LoadGenOptions, RateLimit, Router,
-    ServeOptions, Server,
+    decode_events, open_journaled_state, run_loadgen, start_follower, AckMode, HttpClient,
+    LoadGenOptions, RateLimit, ReplListener, ReplState, Role, Router, ServeOptions, Server,
 };
 use mine_assessment::simulator::{CohortSpec, Simulation};
 use mine_assessment::store::{EventStore, StoreOptions, SyncPolicy};
@@ -76,6 +83,9 @@ usage:
   mine serve <db> [--addr HOST:PORT] [--threads N] [--data-dir DIR]
              [--fsync always|never|interval[:ms]] [--snapshot-every N]
              [--queue-depth N] [--rate-limit RPS[:BURST]] [--drain-deadline SECS]
+             [--repl-addr HOST:PORT] [--replica-of HOST:PORT]
+             [--replicate ack=leader|ack=quorum]
+  mine promote <addr>
   mine recover <dir>
   mine loadgen <addr> <exam-id> [--clients N] [--seed S] [--ramp SECS]";
 
@@ -102,6 +112,7 @@ fn run(args: &[String]) -> CliResult {
         "batch-analyze" => batch_analyze(rest),
         "tree" => tree(rest),
         "serve" => serve(rest),
+        "promote" => promote(rest),
         "recover" => recover(rest),
         "loadgen" => loadgen(rest),
         other => Err(format!("unknown command {other:?}")),
@@ -447,17 +458,35 @@ fn serve(args: &[String]) -> CliResult {
     let (queue_depth, args) = take_flag(&args, "--queue-depth")?;
     let (rate_limit, args) = take_flag(&args, "--rate-limit")?;
     let (drain_deadline, args) = take_flag(&args, "--drain-deadline")?;
+    let (repl_addr, args) = take_flag(&args, "--repl-addr")?;
+    let (replica_of, args) = take_flag(&args, "--replica-of")?;
+    let (replicate, args) = take_flag(&args, "--replicate")?;
     let [path] = args.as_slice() else {
         return Err(
             "serve needs <db> [--addr HOST:PORT] [--threads N] [--data-dir DIR] \
              [--fsync POLICY] [--snapshot-every N] [--queue-depth N] \
-             [--rate-limit RPS[:BURST]] [--drain-deadline SECS]"
+             [--rate-limit RPS[:BURST]] [--drain-deadline SECS] \
+             [--repl-addr HOST:PORT] [--replica-of HOST:PORT] \
+             [--replicate ack=leader|ack=quorum]"
                 .into(),
         );
     };
     if data_dir.is_none() && (fsync.is_some() || snapshot_every.is_some()) {
         return Err("--fsync and --snapshot-every require --data-dir".into());
     }
+    // Replication rides on the journal: a follower must journal what it
+    // applies, a primary must have a log to ship.
+    if data_dir.is_none() && (repl_addr.is_some() || replica_of.is_some()) {
+        return Err("--repl-addr and --replica-of require --data-dir".into());
+    }
+    if replicate.is_some() && repl_addr.is_none() {
+        return Err("--replicate requires --repl-addr".into());
+    }
+    let ack_mode = replicate
+        .as_deref()
+        .map(AckMode::parse)
+        .transpose()?
+        .unwrap_or(AckMode::Leader);
     let drain_deadline = std::time::Duration::from_secs(
         drain_deadline
             .map(|n| {
@@ -511,7 +540,7 @@ fn serve(args: &[String]) -> CliResult {
                 })
                 .transpose()?
                 .unwrap_or(512);
-            let (state, report) =
+            let (mut state, report) =
                 open_journaled_state(repository, &dir, store_options, snapshot_every)?;
             for warning in &report.warnings {
                 eprintln!("journal: warning: {warning}");
@@ -523,10 +552,18 @@ fn serve(args: &[String]) -> CliResult {
                 "journal at {dir}: {} session(s) + {} record(s) from snapshot, {} event(s) replayed",
                 report.snapshot_sessions, report.snapshot_records, report.events_replayed
             );
+            if repl_addr.is_some() || replica_of.is_some() {
+                let role = if replica_of.is_some() {
+                    Role::Follower
+                } else {
+                    Role::Primary
+                };
+                state.repl = Some(std::sync::Arc::new(ReplState::new(role, ack_mode)));
+            }
             Router::with_state(state)
         }
     };
-    let server = Server::start(router, &options)
+    let server = Server::start(router.clone(), &options)
         .map_err(|err| format!("binding {}: {err}", options.addr))?;
     signals::install();
     println!(
@@ -534,12 +571,40 @@ fn serve(args: &[String]) -> CliResult {
         server.local_addr(),
         drain_deadline.as_secs()
     );
+    let mut repl_listener = None;
+    let mut puller = None;
+    if router.state().repl.is_some() {
+        let repl = router.state().repl.as_ref().expect("just checked");
+        // What follower redirects will name as the leader.
+        repl.set_advertise(server.local_addr().to_string());
+        if let Some(bind) = &repl_addr {
+            let listener = ReplListener::start(bind, router.clone())
+                .map_err(|err| format!("binding replication listener {bind}: {err}"))?;
+            println!("replication listener on {}", listener.local_addr());
+            repl_listener = Some(listener);
+        }
+        if let Some(primary) = replica_of {
+            println!("replica of {primary} (writes answered 421 naming the leader)");
+            puller = Some(start_follower(primary, router.clone()));
+        }
+    }
     // Poll the signal flag; everything non-trivial happens here, not in
     // handler context.
     while !signals::REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     eprintln!("signal received: draining");
+    // Wind replication down before the drain writes its final events:
+    // the puller stops applying, the listener stops accepting.
+    if let Some(repl) = router.state().repl.as_ref() {
+        repl.stop_puller();
+    }
+    if let Some(puller) = puller {
+        puller.join();
+    }
+    if let Some(listener) = repl_listener {
+        listener.shutdown();
+    }
     let report = server.drain(drain_deadline);
     println!(
         "drained: cleanly={} paused={} already-paused={} snapshot={}",
@@ -551,6 +616,25 @@ fn serve(args: &[String]) -> CliResult {
     for note in &report.notes {
         eprintln!("drain: note: {note}");
     }
+    Ok(())
+}
+
+fn promote(args: &[String]) -> CliResult {
+    let [addr] = args else {
+        return Err("promote needs <addr> (the follower's client-facing HOST:PORT)".into());
+    };
+    let mut client =
+        HttpClient::connect(addr).map_err(|err| format!("connecting {addr}: {err}"))?;
+    let response = client
+        .post("/admin/promote", "")
+        .map_err(|err| format!("promoting {addr}: {err}"))?;
+    if response.status != 200 {
+        return Err(format!(
+            "promotion refused ({}): {}",
+            response.status, response.body
+        ));
+    }
+    println!("promoted {addr}: {}", response.body);
     Ok(())
 }
 
