@@ -194,37 +194,27 @@ impl BatchAnalyzer {
     ///
     /// Everything [`ExamAnalysis::analyze`] can return.
     pub fn analyze_batch(&self, jobs: &[BatchJob<'_>]) -> Result<BatchReport, AnalysisError> {
-        let outer = if self.threads == 0 {
+        let threads = if self.threads == 0 {
             rayon::current_num_threads()
         } else {
             self.threads
         };
-        let analyses: Vec<ExamAnalysis> = if jobs.len() <= 1 || outer == 1 {
-            // Sequential over exams — the per-question loop inside
-            // `analyze` still parallelizes on the full thread budget.
-            jobs.iter()
-                .map(|job| self.analyze_one(job.record, job.problems))
-                .collect::<Result<_, _>>()?
-        } else {
-            let pool = ThreadPoolBuilder::new()
-                .num_threads(outer)
-                .build()
-                .expect("thread pool");
-            // Exams already saturate the pool; pin each worker's inner
-            // per-question loop to one thread so the two layers of
-            // parallelism don't multiply.
-            let single = ThreadPoolBuilder::new()
-                .num_threads(1)
-                .build()
-                .expect("thread pool");
-            pool.install(|| {
+        // One budget for the whole batch. The outer per-exam map and the
+        // per-question maps inside `analyze` feed the same work-stealing
+        // pool, so a single-exam batch still spreads its questions over
+        // every worker — no nested pools, no `install(1)` pinning.
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let analyses: Vec<ExamAnalysis> = pool
+            .install(|| {
                 jobs.par_iter()
-                    .map(|job| single.install(|| self.analyze_one(job.record, job.problems)))
+                    .map(|job| self.analyze_one(job.record, job.problems))
                     .collect::<Vec<Result<ExamAnalysis, AnalysisError>>>()
             })
             .into_iter()
-            .collect::<Result<_, _>>()?
-        };
+            .collect::<Result<_, _>>()?;
         let summary = summarize(&analyses);
         Ok(BatchReport { analyses, summary })
     }

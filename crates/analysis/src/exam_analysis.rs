@@ -1,5 +1,6 @@
 //! The assembled analysis: everything §4 produces for one sitting.
 
+use std::cell::RefCell;
 use std::time::Duration;
 
 use rayon::prelude::*;
@@ -9,6 +10,7 @@ use mine_core::{ExamRecord, ProblemId};
 use mine_itembank::{Problem, ProblemBody};
 use mine_metadata::ExamMeta;
 use mine_metadata::QuestionStyle;
+use mine_metadata::{DifficultyIndex, DiscriminationIndex};
 
 use crate::config::AnalysisConfig;
 use crate::distraction::{analyze_distractors, DistractorReport};
@@ -17,11 +19,22 @@ use crate::figures::Figures;
 use crate::groups::ScoreGroups;
 use crate::indices::QuestionIndices;
 use crate::option_matrix::OptionMatrix;
-use crate::reliability::{cronbach_alpha, Reliability};
+use crate::record_index::RecordIndex;
+use crate::reliability::{cronbach_alpha_indexed, Reliability};
 use crate::rules::{evaluate_rules, RuleFindings};
 use crate::signal::Signal;
 use crate::status::StatusFlags;
 use crate::two_way::TwoWayTable;
+
+thread_local! {
+    /// Reusable per-option tally buffers (high group, low group). The
+    /// counts themselves must be owned by the returned [`OptionMatrix`],
+    /// but the working buffers the fused pass accumulates into are
+    /// reused across every question a thread analyzes instead of being
+    /// allocated per question.
+    static TALLY_SCRATCH: RefCell<(Vec<usize>, Vec<usize>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
 
 /// The full single-question analysis of §4.1.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -103,36 +116,31 @@ impl ExamAnalysis {
         config: &AnalysisConfig,
     ) -> Result<Self, AnalysisError> {
         let groups = ScoreGroups::split(record, config.group_fraction)?;
-        let problem_ids = record.problems();
-        let find = |id: &ProblemId| -> Result<&Problem, AnalysisError> {
-            problems
-                .iter()
-                .find(|p| p.id() == id)
-                .ok_or_else(|| AnalysisError::UnknownProblem {
-                    problem: id.to_string(),
-                })
-        };
+        // Every repeated lookup of the per-question loop — member → row,
+        // (row, problem) → response, id → problem definition — is
+        // precomputed once here and shared (immutably) by all question
+        // tasks.
+        let index = RecordIndex::build(record, problems, &groups)?;
 
         // Number the questions sequentially (questionnaires don't count,
         // §3.2-VI vs §3.3), then analyze each against the shared,
-        // immutable group split in parallel. Results come back in exam
-        // order, so output is identical to the old sequential loop.
-        let mut tasks: Vec<(usize, &ProblemId, &Problem)> = Vec::with_capacity(problem_ids.len());
+        // immutable group split in parallel. Results land in exam-order
+        // slots, so output is identical to the old sequential loop.
+        let mut tasks: Vec<(usize, usize)> = Vec::with_capacity(index.len());
         let mut surveys = Vec::new();
         let mut number = 0usize;
-        for problem_id in &problem_ids {
-            let problem = find(problem_id)?;
-            if problem.style() == QuestionStyle::Questionnaire {
-                surveys.push(problem_id.clone());
+        for pos in 0..index.len() {
+            if index.problems[pos].style() == QuestionStyle::Questionnaire {
+                surveys.push(index.problem_ids[pos].clone());
                 continue;
             }
             number += 1;
-            tasks.push((number, problem_id, problem));
+            tasks.push((number, pos));
         }
         let questions = tasks
             .par_iter()
-            .map(|&(number, problem_id, problem)| {
-                Self::analyze_question(record, &groups, config, number, problem_id, problem)
+            .map(|&(number, pos)| {
+                Self::analyze_question_indexed(&index, &groups, config, number, pos)
             })
             .collect::<Vec<Result<QuestionAnalysis, AnalysisError>>>()
             .into_iter()
@@ -141,13 +149,10 @@ impl ExamAnalysis {
         let statistics = Self::statistics(record, config);
         let indices_only: Vec<QuestionIndices> =
             questions.iter().map(|q| q.indices.clone()).collect();
-        let exam_problems: Vec<Problem> = problem_ids
-            .iter()
-            .map(|id| find(id).cloned())
-            .collect::<Result<_, _>>()?;
+        let exam_problems: Vec<Problem> = index.problems.iter().map(|&p| p.clone()).collect();
         let figures = Figures::build(record, &exam_problems, &indices_only, 20);
         let two_way = TwoWayTable::from_problems(&exam_problems);
-        let reliability = cronbach_alpha(record)?;
+        let reliability = cronbach_alpha_indexed(record, &index);
 
         Ok(Self {
             groups,
@@ -161,29 +166,91 @@ impl ExamAnalysis {
     }
 
     /// The per-question §4.1 pipeline: indices, option matrix, rules,
-    /// statuses, distractors, signal, advice. Reads the record and the
+    /// statuses, distractors, signal, advice. Reads the index and the
     /// group split immutably, so questions can run concurrently.
-    fn analyze_question(
-        record: &ExamRecord,
+    ///
+    /// One fused pass per group resolves each member's response exactly
+    /// once (via the precomputed index — no roster or response-list
+    /// scans) and accumulates both the correct count for `PH`/`PL` and,
+    /// for choice questions, the per-option tallies of Table 1 into
+    /// thread-local scratch. The arithmetic and the error order (first
+    /// missing response in high-group order, then low) are exactly those
+    /// of [`QuestionIndices::compute`] + [`OptionMatrix::from_record`],
+    /// which remain the reference implementations.
+    fn analyze_question_indexed(
+        index: &RecordIndex<'_>,
         groups: &ScoreGroups,
         config: &AnalysisConfig,
         number: usize,
-        problem_id: &ProblemId,
-        problem: &Problem,
+        pos: usize,
     ) -> Result<QuestionAnalysis, AnalysisError> {
-        let indices = QuestionIndices::compute(record, groups, number, problem_id)?;
-        let matrix = match problem.body() {
+        let problem = index.problems[pos];
+        let problem_id = &index.problem_ids[pos];
+        let choice = match problem.body() {
             ProblemBody::MultipleChoice {
                 options, correct, ..
-            } => Some(OptionMatrix::from_record(
-                record,
-                groups,
-                problem_id,
-                options.len(),
-                *correct,
-            )?),
+            } => Some((options.len(), *correct)),
             _ => None,
         };
+
+        let tally = |rows: &[usize], counts: &mut [usize]| -> Result<usize, AnalysisError> {
+            let mut correct = 0usize;
+            for &row in rows {
+                let response =
+                    index
+                        .response(row, pos)
+                        .ok_or_else(|| AnalysisError::MissingResponse {
+                            student: index.student_id(row).to_string(),
+                            problem: problem_id.to_string(),
+                        })?;
+                if response.is_correct {
+                    correct += 1;
+                }
+                if !counts.is_empty() {
+                    // Skipped/other answers and out-of-range keys are
+                    // not counted, exactly like `from_record`.
+                    if let Some(key) = response.answer.chosen_option() {
+                        if key.index() < counts.len() {
+                            counts[key.index()] += 1;
+                        }
+                    }
+                }
+            }
+            Ok(correct)
+        };
+
+        let (high_correct, low_correct, matrix) = TALLY_SCRATCH.with(|scratch| {
+            let (high_counts, low_counts) = &mut *scratch.borrow_mut();
+            high_counts.clear();
+            low_counts.clear();
+            let option_count = choice.map_or(0, |(count, _)| count);
+            high_counts.resize(option_count, 0);
+            low_counts.resize(option_count, 0);
+            let high_correct = tally(&index.high_rows, high_counts)?;
+            let low_correct = tally(&index.low_rows, low_counts)?;
+            let matrix = choice.map(|(_, correct)| OptionMatrix {
+                problem: problem_id.clone(),
+                correct,
+                high: high_counts.clone(),
+                low: low_counts.clone(),
+            });
+            Ok::<_, AnalysisError>((high_correct, low_correct, matrix))
+        })?;
+
+        let group_size = groups.group_size() as f64;
+        let ph = high_correct as f64 / group_size;
+        let pl = low_correct as f64 / group_size;
+        let indices = QuestionIndices {
+            number,
+            problem: problem_id.clone(),
+            ph,
+            pl,
+            discrimination: DiscriminationIndex::new(ph - pl)
+                .expect("difference of fractions is in [-1, 1]"),
+            difficulty: DifficultyIndex::new((ph + pl) / 2.0)
+                .expect("mean of fractions is in [0, 1]"),
+        };
+
         let findings = matrix
             .as_ref()
             .map(|m| evaluate_rules(m, config.flatness))

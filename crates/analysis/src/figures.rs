@@ -133,27 +133,32 @@ pub fn score_difficulty_scatter(
     record: &ExamRecord,
     indices: &[QuestionIndices],
 ) -> Vec<FigurePoint> {
+    // Difficulty by problem id, built once; first entry wins like the
+    // per-response `find` this replaces, and summation stays in
+    // response order, so the points are bit-identical.
+    let difficulty_of: std::collections::HashMap<&str, f64> = indices
+        .iter()
+        .rev()
+        .map(|i| (i.problem.as_str(), i.difficulty.value()))
+        .collect();
     record
         .students
         .iter()
         .filter_map(|student| {
-            let correct_ps: Vec<f64> = student
-                .responses
-                .iter()
-                .filter(|r| r.is_correct)
-                .filter_map(|r| {
-                    indices
-                        .iter()
-                        .find(|i| i.problem == r.problem)
-                        .map(|i| i.difficulty.value())
-                })
-                .collect();
-            if correct_ps.is_empty() {
+            let mut sum = 0.0f64;
+            let mut count = 0usize;
+            for response in student.responses.iter().filter(|r| r.is_correct) {
+                if let Some(&p) = difficulty_of.get(response.problem.as_str()) {
+                    sum += p;
+                    count += 1;
+                }
+            }
+            if count == 0 {
                 return None;
             }
             Some(FigurePoint {
                 x: student.score(),
-                y: correct_ps.iter().sum::<f64>() / correct_ps.len() as f64,
+                y: sum / count as f64,
             })
         })
         .collect()

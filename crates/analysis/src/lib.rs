@@ -61,6 +61,7 @@ pub mod indices;
 pub mod isi;
 pub mod option_matrix;
 pub mod questionnaire;
+mod record_index;
 pub mod reliability;
 pub mod report;
 pub mod rules;

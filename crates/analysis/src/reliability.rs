@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use mine_core::ExamRecord;
 
 use crate::error::AnalysisError;
+use crate::record_index::RecordIndex;
 
 /// Reliability summary of one sitting.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -95,6 +96,65 @@ pub fn cronbach_alpha(record: &ExamRecord) -> Result<Reliability, AnalysisError>
         score_variance,
         sem,
     })
+}
+
+/// [`cronbach_alpha`] over a prebuilt [`RecordIndex`]: identical
+/// arithmetic (same loops, same accumulation order, so byte-identical
+/// serialized output), but response lookup is O(1) through the index
+/// instead of a scan per (student, problem), and the record is not
+/// re-validated — the analysis pipeline already validated it when
+/// splitting the groups, which also guarantees a non-empty class.
+pub(crate) fn cronbach_alpha_indexed(record: &ExamRecord, index: &RecordIndex<'_>) -> Reliability {
+    let n = record.students.len();
+    let k = index.len();
+
+    // Item scores matrix in canonical problem order.
+    let mut item_sums = vec![0.0f64; k];
+    let mut item_sq_sums = vec![0.0f64; k];
+    let mut totals = Vec::with_capacity(n);
+    for row in 0..n {
+        let mut total = 0.0;
+        for (i, sum) in item_sums.iter_mut().enumerate() {
+            let points = index.response(row, i).map_or(0.0, |r| r.points_awarded);
+            *sum += points;
+            item_sq_sums[i] += points * points;
+            total += points;
+        }
+        totals.push(total);
+    }
+
+    let nf = n as f64;
+    let total_mean = totals.iter().sum::<f64>() / nf;
+    let score_variance = totals.iter().map(|t| (t - total_mean).powi(2)).sum::<f64>() / nf;
+
+    if k < 2 || score_variance == 0.0 {
+        return Reliability {
+            alpha: None,
+            items: k,
+            score_variance,
+            sem: None,
+        };
+    }
+
+    let item_variance_sum: f64 = (0..k)
+        .map(|i| {
+            let mean = item_sums[i] / nf;
+            item_sq_sums[i] / nf - mean * mean
+        })
+        .sum();
+    let kf = k as f64;
+    let alpha = kf / (kf - 1.0) * (1.0 - item_variance_sum / score_variance);
+    let sem = if (0.0..=1.0).contains(&alpha) {
+        Some(score_variance.sqrt() * (1.0 - alpha).sqrt())
+    } else {
+        None
+    };
+    Reliability {
+        alpha: Some(alpha),
+        items: k,
+        score_variance,
+        sem,
+    }
 }
 
 #[cfg(test)]

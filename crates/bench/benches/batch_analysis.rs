@@ -1,16 +1,20 @@
-//! Perf: the parallel batch analysis engine vs the sequential loop.
+//! Perf: the pooled batch analysis engine vs the frozen naive pipeline.
 //!
 //! Workload: many sittings of a 50-question exam by 200-student
 //! cohorts, all through the full §4 pipeline. `sequential` runs
-//! `ExamAnalysis::analyze` exam by exam on ONE thread — the
-//! pre-parallelization pipeline this PR replaces. `batch/Nt` runs the
-//! same jobs through `BatchAnalyzer` with N worker threads (cache
-//! disabled, so the numbers measure computation, not memoization). A
-//! final pair measures the warm-cache path.
+//! [`mine_bench::baseline::analyze_naive`] exam by exam on one thread —
+//! the scan-everything pre-pool pipeline, frozen in this crate and
+//! pinned byte-identical to the live analyzer by its oracle test, so
+//! the comparison stays honest as the hot path keeps evolving.
+//! `batch/Nt` runs the same jobs through `BatchAnalyzer` on the
+//! work-stealing pool with an N-thread budget (cache disabled, so the
+//! numbers measure computation, not memoization). A final pair
+//! measures the warm-cache path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use mine_analysis::{AnalysisConfig, BatchAnalyzer, ExamAnalysis};
+use mine_analysis::{AnalysisConfig, BatchAnalyzer};
+use mine_bench::baseline::analyze_naive;
 use mine_bench::{criterion_config, standard_problems, standard_record};
 use mine_core::ExamRecord;
 use mine_itembank::Problem;
@@ -25,24 +29,18 @@ fn workload(exams: usize) -> Vec<ExamRecord> {
 }
 
 /// The baseline: every exam and every question on a single thread,
-/// exactly like the pipeline before the rayon fan-out existed.
+/// through the frozen scan-everything pipeline the pool replaced.
 fn sequential(records: &[ExamRecord], problems: &[Problem]) -> usize {
     let config = AnalysisConfig::default();
-    let single = rayon::ThreadPoolBuilder::new()
-        .num_threads(1)
-        .build()
-        .unwrap();
-    single.install(|| {
-        records
-            .iter()
-            .map(|record| {
-                ExamAnalysis::analyze(record, problems, &config)
-                    .unwrap()
-                    .questions
-                    .len()
-            })
-            .sum()
-    })
+    records
+        .iter()
+        .map(|record| {
+            analyze_naive(record, problems, &config)
+                .unwrap()
+                .questions
+                .len()
+        })
+        .sum()
 }
 
 fn bench(c: &mut Criterion) {

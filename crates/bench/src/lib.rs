@@ -5,6 +5,8 @@
 //! artifact once, then measures the code path that produces it with
 //! Criterion.
 
+pub mod baseline;
+
 use std::time::Duration;
 
 use criterion::Criterion;

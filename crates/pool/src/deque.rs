@@ -1,0 +1,259 @@
+//! A fixed-capacity Chase–Lev work-stealing deque.
+//!
+//! One thread (the *owner*) pushes and pops at the bottom — LIFO, so
+//! the owner works on the task it most recently made runnable, which
+//! keeps its cache warm. Any other thread *steals* from the top — FIFO,
+//! so thieves take the oldest (and, under recursive splitting, usually
+//! largest) unit of work. This is the memory-ordering-corrected variant
+//! of the algorithm from Lê, Pop, Cohen & Zappa Nardelli, *Correct and
+//! Efficient Work-Stealing for Weak Memory Models* (PPoPP '13).
+//!
+//! Elements are opaque `usize` tokens (the pool stores `Arc` raw
+//! pointers in them). The buffer never grows: the ring has a fixed
+//! power-of-two capacity and [`Deque::push`] reports overflow so the
+//! caller can divert to a shared injector queue instead. A fixed ring
+//! sidesteps the buffer-reclamation problem that makes growable
+//! Chase–Lev deques subtle, at the cost of a bounded local backlog —
+//! fine here because the pool enqueues at most one participation token
+//! per worker per operation.
+//!
+//! Slot reuse is safe without epochs: `push` refuses to write unless
+//! `bottom − top < capacity`, so a slot is never overwritten while a
+//! thief holding its index could still win the CAS on `top`.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Steal {
+    /// A token was stolen.
+    Success(usize),
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+}
+
+/// The single-owner, multi-thief deque. All methods are `&self`; the
+/// contract that only the owner calls [`push`](Deque::push) and
+/// [`pop`](Deque::pop) is enforced by the pool (worker `i` is the sole
+/// owner of deque `i`).
+pub(crate) struct Deque {
+    /// Next slot thieves take from (grows monotonically).
+    top: AtomicIsize,
+    /// One past the last slot the owner filled.
+    bottom: AtomicIsize,
+    /// Power-of-two ring of tokens.
+    buffer: Box<[AtomicUsize]>,
+    mask: isize,
+}
+
+impl Deque {
+    /// Creates a deque with capacity rounded up to a power of two.
+    pub(crate) fn new(capacity: usize) -> Self {
+        let capacity = capacity.next_power_of_two().max(2);
+        let buffer = (0..capacity).map(|_| AtomicUsize::new(0)).collect();
+        Self {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer,
+            mask: capacity as isize - 1,
+        }
+    }
+
+    /// Owner-only: pushes a token at the bottom. Returns the token back
+    /// as `Err` when the ring is full so the caller can overflow it to
+    /// the injector.
+    pub(crate) fn push(&self, token: usize) -> Result<(), usize> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t > self.mask {
+            return Err(token);
+        }
+        self.buffer[(b & self.mask) as usize].store(token, Ordering::Relaxed);
+        // Release: a thief that observes the new `bottom` also observes
+        // the slot write above.
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only: pops the most recently pushed token (LIFO).
+    pub(crate) fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // The SeqCst fence orders the speculative `bottom` decrement
+        // against the thieves' reads: either a racing thief sees the
+        // decremented bottom (and gives up) or we see its incremented
+        // top (and give the element up).
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let token = self.buffer[(b & self.mask) as usize].load(Ordering::Relaxed);
+            if t == b {
+                // Last element: race the thieves for it via `top`.
+                if self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_err()
+                {
+                    // A thief got it first.
+                    self.bottom.store(b + 1, Ordering::Relaxed);
+                    return None;
+                }
+                self.bottom.store(b + 1, Ordering::Relaxed);
+            }
+            Some(token)
+        } else {
+            // Already empty; undo the decrement.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief: steals the oldest token (FIFO).
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        // Order the `top` read before the `bottom` read, mirroring the
+        // fence in `pop`.
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let token = self.buffer[(t & self.mask) as usize].load(Ordering::Relaxed);
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                return Steal::Retry;
+            }
+            Steal::Success(token)
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// Whether the deque looks non-empty (racy; used only as a wake-up
+    /// hint, never for correctness).
+    pub(crate) fn has_work(&self) -> bool {
+        let t = self.top.load(Ordering::Relaxed);
+        let b = self.bottom.load(Ordering::Relaxed);
+        b > t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn lifo_pop_fifo_steal() {
+        let d = Deque::new(8);
+        d.push(1).unwrap();
+        d.push(2).unwrap();
+        d.push(3).unwrap();
+        assert_eq!(d.pop(), Some(3), "owner pops newest");
+        assert_eq!(d.steal(), Steal::Success(1), "thief steals oldest");
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn push_reports_overflow() {
+        let d = Deque::new(4);
+        for i in 0..4 {
+            d.push(i).unwrap();
+        }
+        assert_eq!(d.push(99), Err(99));
+        assert_eq!(d.steal(), Steal::Success(0));
+        d.push(99).unwrap();
+    }
+
+    #[test]
+    fn ring_reuse_after_wraparound() {
+        let d = Deque::new(4);
+        for round in 0..10usize {
+            for i in 0..4 {
+                d.push(round * 4 + i).unwrap();
+            }
+            for i in (0..4).rev() {
+                assert_eq!(d.pop(), Some(round * 4 + i));
+            }
+        }
+    }
+
+    /// Hammer one owner against several thieves and check every token
+    /// is taken exactly once.
+    #[test]
+    fn concurrent_steals_take_each_token_once() {
+        const TOKENS: usize = 20_000;
+        const THIEVES: usize = 3;
+        let deque = Deque::new(64);
+        let done = AtomicBool::new(false);
+        let mut taken: Vec<Vec<usize>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..THIEVES {
+                handles.push(scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    while !done.load(Ordering::Acquire) {
+                        match deque.steal() {
+                            Steal::Success(token) => mine.push(token),
+                            Steal::Retry => {}
+                            Steal::Empty => std::thread::yield_now(),
+                        }
+                    }
+                    // Drain what is left after the owner finished.
+                    loop {
+                        match deque.steal() {
+                            Steal::Success(token) => mine.push(token),
+                            Steal::Retry => {}
+                            Steal::Empty => break,
+                        }
+                    }
+                    mine
+                }));
+            }
+            let owner = scope.spawn(|| {
+                let mut mine = Vec::new();
+                // Tokens start at 1 so 0 never collides with slot init.
+                let mut next = 1usize;
+                while next <= TOKENS {
+                    if deque.push(next).is_ok() {
+                        next += 1;
+                    } else if let Some(token) = deque.pop() {
+                        mine.push(token);
+                    }
+                    if next.is_multiple_of(7) {
+                        if let Some(token) = deque.pop() {
+                            mine.push(token);
+                        }
+                    }
+                }
+                done.store(true, Ordering::Release);
+                mine
+            });
+            taken.push(owner.join().unwrap());
+            for handle in handles {
+                taken.push(handle.join().unwrap());
+            }
+        });
+        // Anything still in the deque was simply never claimed.
+        let mut rest = Vec::new();
+        loop {
+            match deque.steal() {
+                Steal::Success(token) => rest.push(token),
+                Steal::Retry => {}
+                Steal::Empty => break,
+            }
+        }
+        taken.push(rest);
+        let all: Vec<usize> = taken.into_iter().flatten().collect();
+        let unique: HashSet<usize> = all.iter().copied().collect();
+        assert_eq!(all.len(), TOKENS, "no token lost");
+        assert_eq!(unique.len(), TOKENS, "no token duplicated");
+        assert_eq!(unique.iter().max(), Some(&TOKENS));
+    }
+}

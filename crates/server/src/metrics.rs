@@ -132,6 +132,17 @@ pub struct Metrics {
     repl_quorum_timeouts_total: AtomicU64,
     /// Writes refused with `421` and redirected to the leader.
     redirected_total: AtomicU64,
+    /// Analysis wall time, cold (cache miss → full pipeline) vs hit.
+    analysis_cold_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    analysis_cold_sum_us: AtomicU64,
+    analysis_cold_count: AtomicU64,
+    analysis_hit_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    analysis_hit_sum_us: AtomicU64,
+    analysis_hit_count: AtomicU64,
+    /// Work-stealing pool gauges, refreshed from [`mine_pool::stats`]
+    /// by the metrics handler like the replication gauges.
+    pool_workers: AtomicU64,
+    pool_steals_total: AtomicU64,
 }
 
 impl Metrics {
@@ -244,6 +255,39 @@ impl Metrics {
         self.redirected_total.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one analysis: `cache_hit` distinguishes a cached report
+    /// from a cold run of the full pipeline.
+    pub fn record_analysis(&self, cache_hit: bool, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        let (buckets, sum, count) = if cache_hit {
+            (
+                &self.analysis_hit_buckets,
+                &self.analysis_hit_sum_us,
+                &self.analysis_hit_count,
+            )
+        } else {
+            (
+                &self.analysis_cold_buckets,
+                &self.analysis_cold_sum_us,
+                &self.analysis_cold_count,
+            )
+        };
+        buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        sum.fetch_add(us, Ordering::Relaxed);
+        count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the work-stealing pool gauges (refreshed by the
+    /// metrics handler from [`mine_pool::stats`]).
+    pub fn set_pool(&self, workers: u64, steals: u64) {
+        self.pool_workers.store(workers, Ordering::Relaxed);
+        self.pool_steals_total.store(steals, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot for rendering.
     #[must_use]
     pub fn snapshot(&self, active_sessions: usize) -> MetricsSnapshot {
@@ -283,6 +327,22 @@ impl Metrics {
             repl_followers: self.repl_followers.load(Ordering::Relaxed),
             repl_quorum_timeouts_total: self.repl_quorum_timeouts_total.load(Ordering::Relaxed),
             redirected_total: self.redirected_total.load(Ordering::Relaxed),
+            analysis_cold_buckets: self
+                .analysis_cold_buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            analysis_cold_sum_us: self.analysis_cold_sum_us.load(Ordering::Relaxed),
+            analysis_cold_count: self.analysis_cold_count.load(Ordering::Relaxed),
+            analysis_hit_buckets: self
+                .analysis_hit_buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            analysis_hit_sum_us: self.analysis_hit_sum_us.load(Ordering::Relaxed),
+            analysis_hit_count: self.analysis_hit_count.load(Ordering::Relaxed),
+            pool_workers: self.pool_workers.load(Ordering::Relaxed),
+            pool_steals_total: self.pool_steals_total.load(Ordering::Relaxed),
         }
     }
 }
@@ -337,6 +397,23 @@ pub struct MetricsSnapshot {
     pub repl_quorum_timeouts_total: u64,
     /// Writes refused with `421` and pointed at the leader.
     pub redirected_total: u64,
+    /// Cold-analysis duration histogram (same bucket bounds as
+    /// [`LATENCY_BUCKETS_US`], last entry is the overflow bucket).
+    pub analysis_cold_buckets: Vec<u64>,
+    /// Sum of cold-analysis durations in microseconds.
+    pub analysis_cold_sum_us: u64,
+    /// Number of cold analyses.
+    pub analysis_cold_count: u64,
+    /// Cache-hit analysis duration histogram.
+    pub analysis_hit_buckets: Vec<u64>,
+    /// Sum of cache-hit analysis durations in microseconds.
+    pub analysis_hit_sum_us: u64,
+    /// Number of cache-hit analyses.
+    pub analysis_hit_count: u64,
+    /// Worker threads spawned by the work-stealing pool.
+    pub pool_workers: u64,
+    /// Tasks executed by a worker other than the one that queued them.
+    pub pool_steals_total: u64,
 }
 
 impl Serialize for MetricsSnapshot {
@@ -347,33 +424,67 @@ impl Serialize for MetricsSnapshot {
                 .map(|(label, count)| ((*label).to_string(), count.to_value()))
                 .collect(),
         );
-        let buckets = Value::Array(
-            self.latency_buckets
-                .iter()
-                .enumerate()
-                .map(|(i, count)| {
-                    let le = LATENCY_BUCKETS_US
-                        .get(i)
-                        .map_or_else(|| "+inf".to_string(), u64::to_string);
-                    Value::Object(vec![
-                        ("le_us".to_string(), Value::String(le)),
-                        ("count".to_string(), count.to_value()),
-                    ])
-                })
-                .collect(),
-        );
+        let histogram = |bucket_counts: &[u64], sum_us: u64, count: u64| {
+            let buckets = Value::Array(
+                bucket_counts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, count)| {
+                        let le = LATENCY_BUCKETS_US
+                            .get(i)
+                            .map_or_else(|| "+inf".to_string(), u64::to_string);
+                        Value::Object(vec![
+                            ("le_us".to_string(), Value::String(le)),
+                            ("count".to_string(), count.to_value()),
+                        ])
+                    })
+                    .collect(),
+            );
+            Value::Object(vec![
+                ("buckets".to_string(), buckets),
+                ("sum".to_string(), sum_us.to_value()),
+                ("count".to_string(), count.to_value()),
+            ])
+        };
         Value::Object(vec![
             ("requests".to_string(), requests),
             ("status_2xx".to_string(), self.status_2xx.to_value()),
             ("status_4xx".to_string(), self.status_4xx.to_value()),
             ("status_5xx".to_string(), self.status_5xx.to_value()),
-            ("latency_us".to_string(), {
+            (
+                "latency_us".to_string(),
+                histogram(
+                    &self.latency_buckets,
+                    self.latency_sum_us,
+                    self.latency_count,
+                ),
+            ),
+            (
+                "analysis_duration_us".to_string(),
                 Value::Object(vec![
-                    ("buckets".to_string(), buckets),
-                    ("sum".to_string(), self.latency_sum_us.to_value()),
-                    ("count".to_string(), self.latency_count.to_value()),
-                ])
-            }),
+                    (
+                        "cold".to_string(),
+                        histogram(
+                            &self.analysis_cold_buckets,
+                            self.analysis_cold_sum_us,
+                            self.analysis_cold_count,
+                        ),
+                    ),
+                    (
+                        "hit".to_string(),
+                        histogram(
+                            &self.analysis_hit_buckets,
+                            self.analysis_hit_sum_us,
+                            self.analysis_hit_count,
+                        ),
+                    ),
+                ]),
+            ),
+            ("pool_workers".to_string(), self.pool_workers.to_value()),
+            (
+                "pool_steals_total".to_string(),
+                self.pool_steals_total.to_value(),
+            ),
             (
                 "sessions_started".to_string(),
                 self.sessions_started.to_value(),
@@ -473,6 +584,44 @@ impl MetricsSnapshot {
             self.latency_count
         ));
 
+        out.push_str(
+            "# HELP mine_analysis_duration_seconds Analysis wall time, cold run vs cache hit.\n",
+        );
+        out.push_str("# TYPE mine_analysis_duration_seconds histogram\n");
+        for (cache, buckets, sum_us, count) in [
+            (
+                "cold",
+                &self.analysis_cold_buckets,
+                self.analysis_cold_sum_us,
+                self.analysis_cold_count,
+            ),
+            (
+                "hit",
+                &self.analysis_hit_buckets,
+                self.analysis_hit_sum_us,
+                self.analysis_hit_count,
+            ),
+        ] {
+            let mut cumulative = 0_u64;
+            for (i, bucket_count) in buckets.iter().enumerate() {
+                cumulative += bucket_count;
+                let le = LATENCY_BUCKETS_US.get(i).map_or_else(
+                    || "+Inf".to_string(),
+                    |&us| format!("{}", us as f64 / 1_000_000.0),
+                );
+                out.push_str(&format!(
+                    "mine_analysis_duration_seconds_bucket{{cache=\"{cache}\",le=\"{le}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "mine_analysis_duration_seconds_sum{{cache=\"{cache}\"}} {}\n",
+                sum_us as f64 / 1_000_000.0
+            ));
+            out.push_str(&format!(
+                "mine_analysis_duration_seconds_count{{cache=\"{cache}\"}} {count}\n"
+            ));
+        }
+
         for (name, help, value) in [
             (
                 "mine_sessions_started_total",
@@ -524,6 +673,11 @@ impl MetricsSnapshot {
                 "Retry-After seconds most recently advertised on a shed response.",
                 self.retry_after_secs,
             ),
+            (
+                "mine_pool_workers",
+                "Worker threads spawned by the work-stealing analysis pool.",
+                self.pool_workers,
+            ),
         ] {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
             out.push_str(&format!("{name} {value}\n"));
@@ -570,6 +724,11 @@ impl MetricsSnapshot {
                 "mine_redirected_total",
                 "Writes refused with 421 and pointed at the leader.",
                 self.redirected_total,
+            ),
+            (
+                "mine_pool_steals_total",
+                "Pool tasks executed by a worker other than the one that queued them.",
+                self.pool_steals_total,
             ),
         ] {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
@@ -705,6 +864,46 @@ mod tests {
         let value: Value = serde_json::from_str(&json).unwrap();
         assert_eq!(value.get("repl_epoch").unwrap().kind(), "number");
         assert_eq!(value.get("redirected_total").unwrap().kind(), "number");
+    }
+
+    #[test]
+    fn analysis_histogram_is_labeled_by_cache_outcome() {
+        let metrics = Metrics::new();
+        metrics.record_analysis(false, Duration::from_millis(20));
+        metrics.record_analysis(false, Duration::from_millis(90));
+        metrics.record_analysis(true, Duration::from_micros(40));
+        metrics.set_pool(4, 17);
+
+        let snapshot = metrics.snapshot(0);
+        assert_eq!(snapshot.analysis_cold_count, 2);
+        assert_eq!(snapshot.analysis_hit_count, 1);
+        // 40 µs lands in the first hit bucket; cold times stay separate.
+        assert_eq!(snapshot.analysis_hit_buckets[0], 1);
+        assert_eq!(snapshot.analysis_cold_buckets[0], 0);
+        assert_eq!(snapshot.pool_workers, 4);
+        assert_eq!(snapshot.pool_steals_total, 17);
+
+        let text = snapshot.to_prometheus();
+        assert!(text.contains("# TYPE mine_analysis_duration_seconds histogram"));
+        assert!(text.contains("mine_analysis_duration_seconds_count{cache=\"cold\"} 2"));
+        assert!(text.contains("mine_analysis_duration_seconds_count{cache=\"hit\"} 1"));
+        // Cumulative buckets per label: both cold observations are ≤ 0.1 s.
+        assert!(text.contains("mine_analysis_duration_seconds_bucket{cache=\"cold\",le=\"0.1\"} 2"));
+        assert!(
+            text.contains("mine_analysis_duration_seconds_bucket{cache=\"hit\",le=\"0.0001\"} 1")
+        );
+        assert!(text.contains("# TYPE mine_pool_workers gauge"));
+        assert!(text.contains("mine_pool_workers 4"));
+        assert!(text.contains("# TYPE mine_pool_steals_total counter"));
+        assert!(text.contains("mine_pool_steals_total 17"));
+
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let value: Value = serde_json::from_str(&json).unwrap();
+        let analysis = value.get("analysis_duration_us").unwrap();
+        assert!(analysis.get("cold").is_some());
+        assert!(analysis.get("hit").is_some());
+        assert_eq!(value.get("pool_workers").unwrap().kind(), "number");
+        assert_eq!(value.get("pool_steals_total").unwrap().kind(), "number");
     }
 
     #[test]

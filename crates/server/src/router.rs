@@ -324,6 +324,10 @@ impl Router {
     /// `GET /metrics?format=json` keeps the original JSON payload.
     fn metrics(&self, request: &Request) -> ApiResult {
         self.refresh_repl_gauges();
+        let pool = mine_pool::stats();
+        self.state
+            .metrics
+            .set_pool(pool.workers as u64, pool.steals);
         let snapshot = self.state.metrics.snapshot(self.state.registry.len());
         let wants_json = request
             .query
@@ -594,11 +598,17 @@ impl Router {
             .resolve_exam(&parsed)
             .map_err(|err| ApiError::not_found(err.to_string()))?;
         let class = ExamRecord::new(parsed, records);
+        let hits_before = self.state.analyzer.cache_stats().hits;
+        let started = std::time::Instant::now();
         let report = self
             .state
             .analyzer
             .analyze_records(std::slice::from_ref(&class), &problems)
             .map_err(|err| ApiError::new(500, format!("analysis failed: {err}")))?;
+        let cache_hit = self.state.analyzer.cache_stats().hits > hits_before;
+        self.state
+            .metrics
+            .record_analysis(cache_hit, started.elapsed());
         let body = serde_json::to_string(&report)
             .map_err(|err| ApiError::new(500, format!("serialization failed: {err}")))?;
         Ok(Response::json(200, body))
@@ -971,6 +981,21 @@ mod tests {
         let again = router.handle(&Request::new("GET", "/exams/quiz/analysis", ""));
         assert_eq!(again.body, analysis.body);
         assert!(router.state().analyzer.cache_stats().hits >= 1);
+
+        // Both analyses were timed, labeled by cache outcome, and the
+        // scrape refreshes the pool gauges.
+        let snapshot = router.state().metrics.snapshot(0);
+        assert_eq!(snapshot.analysis_cold_count, 1);
+        assert_eq!(snapshot.analysis_hit_count, 1);
+        let scrape = router.handle(&Request::new("GET", "/metrics", ""));
+        assert!(scrape
+            .body
+            .contains("mine_analysis_duration_seconds_count{cache=\"cold\"} 1"));
+        assert!(scrape
+            .body
+            .contains("mine_analysis_duration_seconds_count{cache=\"hit\"} 1"));
+        assert!(scrape.body.contains("mine_pool_workers"));
+        assert!(scrape.body.contains("mine_pool_steals_total"));
     }
 
     #[test]

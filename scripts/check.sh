@@ -36,4 +36,7 @@ timeout 60 cargo test --offline -q -p mine-server --test replication
 echo "==> failover smoke (kill -9 primary, mine promote, byte-identical analysis)"
 timeout 60 scripts/smoke_failover.sh
 
+echo "==> analysis perf smoke (pooled 4t >=1.5x the frozen naive baseline; MINE_SKIP_PERF_SMOKE=1 skips)"
+timeout 120 cargo test --offline -q -p mine-bench --test perf_smoke
+
 echo "All checks passed."

@@ -87,7 +87,10 @@ usage:
              [--replicate ack=leader|ack=quorum]
   mine promote <addr>
   mine recover <dir>
-  mine loadgen <addr> <exam-id> [--clients N] [--seed S] [--ramp SECS]";
+  mine loadgen <addr> <exam-id> [--clients N] [--seed S] [--ramp SECS]
+
+--threads takes 1..=1024 (omit for auto); MINE_THREADS sets the same
+default for every command when the flag is absent.";
 
 type CliResult = Result<(), String>;
 
@@ -321,14 +324,14 @@ fn simulate(args: &[String]) -> CliResult {
 }
 
 fn batch_analyze(args: &[String]) -> CliResult {
-    // Split off a trailing `--threads N` (0 = auto, the default).
-    let (threads, args) = match args {
-        [rest @ .., flag, n] if flag == "--threads" => (
-            n.parse::<usize>().map_err(|_| "--threads needs a number")?,
-            rest,
-        ),
-        _ => (0, args),
+    // Split off a trailing `--threads N`. The flag wins over the
+    // `MINE_THREADS` environment override; both are validated (1..=1024,
+    // no zero), and absent both the pool auto-detects.
+    let (threads_flag, args) = match args {
+        [rest @ .., flag, n] if flag == "--threads" => (Some(n.as_str()), rest),
+        _ => (None, args),
     };
+    let threads = mine_pool::resolve_thread_count(threads_flag).map_err(|err| err.to_string())?;
     let [path, exam_id, cohorts, class, seed] = args else {
         return Err(
             "batch-analyze needs <db> <exam-id> <cohorts> <class-size> <seed> [--threads N]".into(),
@@ -509,10 +512,8 @@ fn serve(args: &[String]) -> CliResult {
     }
     let options = ServeOptions {
         addr: addr.unwrap_or_else(|| "127.0.0.1:7400".to_string()),
-        threads: threads
-            .map(|n| n.parse::<usize>().map_err(|_| "--threads needs a number"))
-            .transpose()?
-            .unwrap_or(0),
+        threads: mine_pool::resolve_thread_count(threads.as_deref())
+            .map_err(|err| err.to_string())?,
         overload,
         ..ServeOptions::default()
     };

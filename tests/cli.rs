@@ -162,3 +162,44 @@ fn cli_errors_are_reported_not_panicked() {
     let out = run(&[]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn thread_counts_are_validated_not_clamped() {
+    let (_dir, db) = temp_db("threads");
+    run(&["init", &db]);
+    run(&["add-tf", &db, "q1", "s", "A", "true", "x"]);
+    run(&["add-tf", &db, "q2", "s", "B", "false", "y"]);
+    run(&["add-exam", &db, "e", "T", "q1", "q2"]);
+
+    // Validation runs before anything touches the database, with a
+    // typed error naming the offending source.
+    for bad in ["0", "lots", "18446744073709551615", "4096"] {
+        let out = run(&["batch-analyze", &db, "e", "1", "8", "1", "--threads", bad]);
+        assert!(!out.status.success(), "--threads {bad} must be rejected");
+        let err = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(err.contains("--threads"), "error names the flag: {err}");
+    }
+
+    // The MINE_THREADS environment override is validated the same way…
+    let out = Command::new(mine_bin())
+        .args(["batch-analyze", &db, "e", "1", "8", "1"])
+        .env("MINE_THREADS", "0")
+        .output()
+        .expect("mine binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("MINE_THREADS"));
+
+    // …and an explicit --threads flag wins over a bad environment.
+    let out = Command::new(mine_bin())
+        .args(["batch-analyze", &db, "e", "1", "8", "1", "--threads", "2"])
+        .env("MINE_THREADS", "0")
+        .output()
+        .expect("mine binary runs");
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("batch: 1 sittings"));
+
+    // `serve` validates through the same path.
+    let out = run(&["serve", &db, "--threads", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads"));
+}

@@ -2,91 +2,34 @@
 //!
 //! Covers the surface the workspace uses: `slice.par_iter().map(f)
 //! .collect::<Vec<_>>()`, [`ThreadPoolBuilder`] → [`ThreadPool::install`],
-//! and [`current_num_threads`]. Work is distributed dynamically — each
-//! worker thread claims the next unclaimed index from a shared atomic
-//! counter, so skewed per-item costs balance like rayon's stealing —
-//! and results are returned in input order, so output is deterministic
-//! regardless of scheduling.
+//! and [`current_num_threads`]. Scheduling is delegated to
+//! [`mine_pool`], the workspace's persistent work-stealing pool: one
+//! process-wide set of long-lived workers with per-worker Chase–Lev
+//! deques and an injector queue for external submissions.
 //!
-//! Unlike real rayon there is no persistent pool: each parallel
-//! operation spawns scoped worker threads. Spawn cost (~tens of µs) is
-//! noise against the per-exam analysis this repo parallelizes.
+//! [`ThreadPool`] is therefore purely a *budget*: `install` scopes a
+//! thread count (plus helper permits) over the enclosed parallel
+//! operations without spawning anything — exactly rayon's semantics of
+//! limiting parallelism, minus per-pool threads. Nested operations
+//! inherit the innermost budget and feed the same deques, so nesting a
+//! `par_iter` inside a pooled task composes instead of oversubscribing.
+//! Results are written into pre-sized slots by input index, so output
+//! order is deterministic regardless of scheduling.
 
-use std::cell::Cell;
 use std::error::Error;
 use std::fmt;
-use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod prelude {
     //! Glob-import target mirroring `rayon::prelude`.
     pub use crate::IntoParallelRefIterator;
 }
 
-thread_local! {
-    /// Thread count forced by an enclosing [`ThreadPool::install`].
-    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
-}
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
 /// The number of worker threads parallel operations started from this
 /// thread will use.
 #[must_use]
 pub fn current_num_threads() -> usize {
-    INSTALLED_THREADS
-        .with(Cell::get)
-        .unwrap_or_else(default_threads)
+    mine_pool::current_num_threads()
 }
-
-/// Runs `f(&items[i])` for every index with `threads` workers pulling
-/// indices off a shared counter; returns results in input order.
-fn parallel_map<'a, T, R, F>(items: &'a [T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&'a T) -> R + Sync,
-{
-    let threads = threads.clamp(1, items.len().max(1));
-    if threads == 1 {
-        return items.iter().map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::new();
-    slots.resize_with(items.len(), || None);
-    let slot_ptr = SendPtr(slots.as_mut_ptr());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let (next, f, slot_ptr) = (&next, &f, &slot_ptr);
-            scope.spawn(move || loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= items.len() {
-                    break;
-                }
-                let value = f(&items[index]);
-                // Safety: each index is claimed by exactly one worker
-                // (fetch_add), slots outlives the scope, and disjoint
-                // indices are disjoint memory.
-                unsafe { slot_ptr.0.add(index).write(Some(value)) };
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every index was claimed by a worker"))
-        .collect()
-}
-
-struct SendPtr<R>(*mut Option<R>);
-
-// Safety: workers write disjoint indices behind this pointer; the
-// referent (`slots`) outlives the thread scope.
-unsafe impl<R: Send> Sync for SendPtr<R> {}
-unsafe impl<R: Send> Send for SendPtr<R> {}
 
 /// Borrowing conversion into a parallel iterator (`.par_iter()`).
 pub trait IntoParallelRefIterator<'a> {
@@ -144,11 +87,10 @@ where
     R: Send,
     F: Fn(&'a T) -> R + Sync,
 {
-    /// Runs the map on the current thread budget and collects results
-    /// in input order.
+    /// Runs the map on the pool under the current thread budget and
+    /// collects results in input order.
     pub fn collect<C: FromParallelIterator<R>>(self) -> C {
-        let threads = current_num_threads();
-        C::from_ordered_vec(parallel_map(self.items, threads, &self.f))
+        C::from_ordered_vec(mine_pool::map_slice(self.items, self.f))
     }
 }
 
@@ -187,7 +129,7 @@ impl ThreadPoolBuilder {
     /// Builds the pool.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let threads = if self.num_threads == 0 {
-            default_threads()
+            mine_pool::default_threads()
         } else {
             self.num_threads
         };
@@ -196,7 +138,9 @@ impl ThreadPoolBuilder {
 }
 
 /// A logical pool: a thread budget that [`install`](ThreadPool::install)
-/// applies to parallel operations started inside it.
+/// applies to parallel operations started inside it. The worker threads
+/// themselves live in the process-wide [`mine_pool`] registry and are
+/// shared by every `ThreadPool`.
 #[derive(Debug)]
 pub struct ThreadPool {
     threads: usize,
@@ -205,10 +149,7 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Runs `f` with this pool's thread budget active.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        let previous = INSTALLED_THREADS.with(|cell| cell.replace(Some(self.threads)));
-        let result = f();
-        INSTALLED_THREADS.with(|cell| cell.set(previous));
-        result
+        mine_pool::install(self.threads, f)
     }
 
     /// This pool's thread budget.
@@ -245,17 +186,20 @@ mod tests {
 
     #[test]
     fn skewed_workloads_still_ordered() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         let items: Vec<u64> = (0..64).collect();
-        let out: Vec<u64> = items
-            .par_iter()
-            .map(|&x| {
-                // Make early items much slower than late ones.
-                if x < 4 {
-                    std::thread::sleep(std::time::Duration::from_millis(5));
-                }
-                x
-            })
-            .collect();
+        let out: Vec<u64> = pool.install(|| {
+            items
+                .par_iter()
+                .map(|&x| {
+                    // Make early items much slower than late ones.
+                    if x < 4 {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    x
+                })
+                .collect()
+        });
         assert_eq!(out, items);
     }
 
@@ -283,5 +227,26 @@ mod tests {
         let empty: Vec<u8> = Vec::new();
         let collected: Vec<u8> = empty.par_iter().map(|&x| x).collect();
         assert!(collected.is_empty());
+    }
+
+    #[test]
+    fn nested_par_iter_inherits_the_budget() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let outer: Vec<u64> = (0..8).collect();
+        let out: Vec<u64> = pool.install(|| {
+            outer
+                .par_iter()
+                .map(|&o| {
+                    assert_eq!(current_num_threads(), 4);
+                    let inner: Vec<u64> = (0..32).collect();
+                    inner
+                        .par_iter()
+                        .map(|&i| o * 100 + i)
+                        .collect::<Vec<_>>()
+                        .len() as u64
+                })
+                .collect()
+        });
+        assert_eq!(out, vec![32; 8]);
     }
 }
