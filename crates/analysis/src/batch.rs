@@ -51,6 +51,17 @@ pub struct BatchReport {
     pub summary: BatchSummary,
 }
 
+impl BatchReport {
+    /// Assembles a report from analyses computed elsewhere (e.g. the
+    /// streaming engine), running the same summary aggregation
+    /// [`BatchAnalyzer::analyze_batch`] performs.
+    #[must_use]
+    pub fn from_analyses(analyses: Vec<ExamAnalysis>) -> Self {
+        let summary = summarize(&analyses);
+        Self { analyses, summary }
+    }
+}
+
 /// Cross-exam aggregates over a [`BatchReport`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BatchSummary {

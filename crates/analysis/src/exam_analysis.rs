@@ -280,7 +280,13 @@ impl ExamAnalysis {
         } else {
             (scores[n / 2 - 1] + scores[n / 2]) / 2.0
         };
-        let variance = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        // Moment form rather than the two-pass fold: computable from
+        // running sums (Σs, Σs²), which is what lets the streaming
+        // engine reproduce this value bit-for-bit without touching the
+        // rows. Exact-integer scores make both forms exact; the clamp
+        // absorbs the one-ulp negative a constant class can round to.
+        let variance =
+            (scores.iter().map(|s| s * s).sum::<f64>() / n as f64 - mean * mean).max(0.0);
         let max_score = record
             .students
             .first()

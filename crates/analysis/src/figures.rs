@@ -166,10 +166,18 @@ pub fn score_difficulty_scatter(
 
 /// Figure (3): the cognition-level × subject counts.
 #[must_use]
-pub fn cognition_subject_matrix(
-    problems: &[Problem],
+pub fn cognition_subject_matrix<'a>(
+    problems: impl IntoIterator<Item = &'a Problem>,
 ) -> Vec<(String, [usize; CognitionLevel::COUNT])> {
-    let table = TwoWayTable::from_problems(problems);
+    cognition_subject_matrix_from(&TwoWayTable::from_problems(problems))
+}
+
+/// [`cognition_subject_matrix`] over an already-built two-way table,
+/// for callers that need the table itself as well.
+#[must_use]
+pub fn cognition_subject_matrix_from(
+    table: &TwoWayTable,
+) -> Vec<(String, [usize; CognitionLevel::COUNT])> {
     table
         .concepts()
         .into_iter()

@@ -84,6 +84,31 @@ impl ScoreGroups {
         })
     }
 
+    /// Reassembles a split computed elsewhere — e.g. by the streaming
+    /// engine's incremental ranking, which maintains the same total
+    /// order (score descending, id ascending) without re-sorting.
+    /// Both groups must be in ranking order (each group's best student
+    /// first) and equally sized, like [`ScoreGroups::split`] produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the groups differ in size.
+    #[must_use]
+    pub fn from_parts(
+        high: Vec<StudentId>,
+        low: Vec<StudentId>,
+        class_size: usize,
+        fraction: GroupFraction,
+    ) -> Self {
+        assert_eq!(high.len(), low.len(), "groups must be the same size");
+        Self {
+            high,
+            low,
+            class_size,
+            fraction,
+        }
+    }
+
     /// The high-score group, best first.
     #[must_use]
     pub fn high(&self) -> &[StudentId] {

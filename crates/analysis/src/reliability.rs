@@ -66,7 +66,11 @@ pub fn cronbach_alpha(record: &ExamRecord) -> Result<Reliability, AnalysisError>
 
     let nf = n as f64;
     let total_mean = totals.iter().sum::<f64>() / nf;
-    let score_variance = totals.iter().map(|t| (t - total_mean).powi(2)).sum::<f64>() / nf;
+    // Moment form (Σt²/n − mean²): the same value the streaming
+    // engine's running sums produce, so live reports match batch
+    // bit-for-bit. See `ExamAnalysis::statistics` for the rationale.
+    let score_variance =
+        (totals.iter().map(|t| t * t).sum::<f64>() / nf - total_mean * total_mean).max(0.0);
 
     if k < 2 || score_variance == 0.0 {
         return Ok(Reliability {
@@ -125,7 +129,9 @@ pub(crate) fn cronbach_alpha_indexed(record: &ExamRecord, index: &RecordIndex<'_
 
     let nf = n as f64;
     let total_mean = totals.iter().sum::<f64>() / nf;
-    let score_variance = totals.iter().map(|t| (t - total_mean).powi(2)).sum::<f64>() / nf;
+    // Moment form, mirroring `cronbach_alpha` exactly.
+    let score_variance =
+        (totals.iter().map(|t| t * t).sum::<f64>() / nf - total_mean * total_mean).max(0.0);
 
     if k < 2 || score_variance == 0.0 {
         return Reliability {

@@ -187,7 +187,8 @@ fn statistics(record: &ExamRecord, config: &AnalysisConfig) -> ExamStatistics {
     } else {
         (scores[n / 2 - 1] + scores[n / 2]) / 2.0
     };
-    let variance = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+    // Moment form, matching the live `ExamAnalysis::statistics`.
+    let variance = (scores.iter().map(|s| s * s).sum::<f64>() / n as f64 - mean * mean).max(0.0);
     let max_score = record
         .students
         .first()

@@ -37,6 +37,7 @@ use mine_core::{Answer, ExamId, StudentId, StudentRecord};
 use mine_delivery::{DeliveryOptions, ExamSession, SessionCheckpoint, SessionImage};
 use mine_itembank::Repository;
 use mine_store::{EventStore, Recovered, StoreError, StoreOptions};
+use mine_streamstats::StreamEngine;
 
 use crate::registry::{FinishedStore, SessionRegistry};
 use crate::router::ServerState;
@@ -148,7 +149,11 @@ impl ServerImage {
         }
     }
 
-    /// Restores this image into an (empty) registry and finished store.
+    /// Restores this image into an (empty) registry, finished store,
+    /// and streaming engine. Every restored record is folded into the
+    /// engine through the same `apply` the live finish path uses, so a
+    /// restarted (or bootstrapped) node's streaming report converges on
+    /// the origin's.
     ///
     /// # Errors
     ///
@@ -158,6 +163,7 @@ impl ServerImage {
         self,
         registry: &SessionRegistry,
         finished: &FinishedStore,
+        stream: &StreamEngine,
     ) -> Result<(), String> {
         for slot in self.sessions {
             let id = slot.session.id.as_str().to_string();
@@ -174,6 +180,7 @@ impl ServerImage {
         }
         for exam in self.finished {
             for record in exam.records {
+                stream.apply(&exam.exam, &record);
                 finished.push(&exam.exam, record);
             }
         }
@@ -327,6 +334,7 @@ pub(crate) fn apply_event(
     repository: &Repository,
     registry: &SessionRegistry,
     finished: &FinishedStore,
+    stream: &StreamEngine,
     event: SessionEvent,
 ) -> Option<String> {
     match event {
@@ -382,7 +390,13 @@ pub(crate) fn apply_event(
             });
             match outcome {
                 Ok(Ok((exam, record))) => {
-                    finished.push(&exam, record);
+                    // Mirror the live finish path: file and fold under
+                    // the engine's per-exam lock so replay produces the
+                    // same engine state the origin built incrementally.
+                    stream.with_exam(&exam, |exam_stream| {
+                        finished.push(&exam, record.clone());
+                        exam_stream.apply(&record);
+                    });
                     let _ = registry.remove(&session);
                     None
                 }
@@ -423,7 +437,7 @@ pub fn open_journaled_state(
             .map_err(|err| format!("snapshot failed to decode: {err}"))?;
         report.snapshot_sessions = image.sessions.len();
         report.snapshot_records = image.finished.iter().map(|e| e.records.len()).sum();
-        image.restore(&state.registry, &state.finished)?;
+        image.restore(&state.registry, &state.finished, &state.stream)?;
     }
 
     for record in recovered.events {
@@ -431,8 +445,13 @@ pub fn open_journaled_state(
             .map_err(|_| format!("event seq {} is not UTF-8", record.seq))?;
         let event: SessionEvent = serde_json::from_str(&text)
             .map_err(|err| format!("event seq {} failed to decode: {err}", record.seq))?;
-        if let Some(note) = apply_event(&state.repository, &state.registry, &state.finished, event)
-        {
+        if let Some(note) = apply_event(
+            &state.repository,
+            &state.registry,
+            &state.finished,
+            &state.stream,
+            event,
+        ) {
             report.notes.push(format!("seq {}: {note}", record.seq));
         }
         report.events_replayed += 1;

@@ -89,6 +89,15 @@ impl Route {
 /// final bucket is unbounded.
 pub const LATENCY_BUCKETS_US: [u64; 8] = [100, 250, 500, 1_000, 5_000, 25_000, 100_000, 1_000_000];
 
+/// Index of the histogram bucket a `us`-microsecond observation lands
+/// in (the last index is the overflow bucket).
+fn bucket_index(us: u64) -> usize {
+    LATENCY_BUCKETS_US
+        .iter()
+        .position(|&bound| us <= bound)
+        .unwrap_or(LATENCY_BUCKETS_US.len())
+}
+
 /// Shared metric counters. Cheap to update from any worker thread.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -132,13 +141,24 @@ pub struct Metrics {
     repl_quorum_timeouts_total: AtomicU64,
     /// Writes refused with `421` and redirected to the leader.
     redirected_total: AtomicU64,
-    /// Analysis wall time, cold (cache miss → full pipeline) vs hit.
+    /// Batch-mode analysis wall time, cold (cache miss → full
+    /// pipeline) vs hit.
     analysis_cold_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     analysis_cold_sum_us: AtomicU64,
     analysis_cold_count: AtomicU64,
     analysis_hit_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     analysis_hit_sum_us: AtomicU64,
     analysis_hit_count: AtomicU64,
+    /// Streaming-mode analysis wall time (report assembled from the
+    /// engine's running counters, no record replay).
+    analysis_streaming_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    analysis_streaming_sum_us: AtomicU64,
+    analysis_streaming_count: AtomicU64,
+    /// Per-finish streaming engine updates (counter doubles as the
+    /// histogram count).
+    streaming_update_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    streaming_update_sum_us: AtomicU64,
+    streaming_update_count: AtomicU64,
     /// Work-stealing pool gauges, refreshed from [`mine_pool::stats`]
     /// by the metrics handler like the replication gauges.
     pool_workers: AtomicU64,
@@ -161,11 +181,7 @@ impl Metrics {
             _ => self.status_4xx.fetch_add(1, Ordering::Relaxed),
         };
         let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        let bucket = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&bound| us <= bound)
-            .unwrap_or(LATENCY_BUCKETS_US.len());
-        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
         self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
         self.latency_count.fetch_add(1, Ordering::Relaxed);
     }
@@ -255,14 +271,11 @@ impl Metrics {
         self.redirected_total.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one analysis: `cache_hit` distinguishes a cached report
-    /// from a cold run of the full pipeline.
+    /// Records one batch-mode analysis: `cache_hit` distinguishes a
+    /// cached report from a cold run of the full pipeline.
     pub fn record_analysis(&self, cache_hit: bool, latency: Duration) {
         let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        let bucket = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&bound| us <= bound)
-            .unwrap_or(LATENCY_BUCKETS_US.len());
+        let bucket = bucket_index(us);
         let (buckets, sum, count) = if cache_hit {
             (
                 &self.analysis_hit_buckets,
@@ -279,6 +292,26 @@ impl Metrics {
         buckets[bucket].fetch_add(1, Ordering::Relaxed);
         sum.fetch_add(us, Ordering::Relaxed);
         count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one streaming-mode analysis read (report assembled from
+    /// the engine's counters).
+    pub fn record_streaming_analysis(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.analysis_streaming_buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.analysis_streaming_sum_us
+            .fetch_add(us, Ordering::Relaxed);
+        self.analysis_streaming_count
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one finish-time streaming engine update.
+    pub fn record_streaming_update(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.streaming_update_buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.streaming_update_sum_us
+            .fetch_add(us, Ordering::Relaxed);
+        self.streaming_update_count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Publishes the work-stealing pool gauges (refreshed by the
@@ -341,6 +374,20 @@ impl Metrics {
                 .collect(),
             analysis_hit_sum_us: self.analysis_hit_sum_us.load(Ordering::Relaxed),
             analysis_hit_count: self.analysis_hit_count.load(Ordering::Relaxed),
+            analysis_streaming_buckets: self
+                .analysis_streaming_buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            analysis_streaming_sum_us: self.analysis_streaming_sum_us.load(Ordering::Relaxed),
+            analysis_streaming_count: self.analysis_streaming_count.load(Ordering::Relaxed),
+            streaming_update_buckets: self
+                .streaming_update_buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            streaming_update_sum_us: self.streaming_update_sum_us.load(Ordering::Relaxed),
+            streaming_updates_total: self.streaming_update_count.load(Ordering::Relaxed),
             pool_workers: self.pool_workers.load(Ordering::Relaxed),
             pool_steals_total: self.pool_steals_total.load(Ordering::Relaxed),
         }
@@ -410,6 +457,18 @@ pub struct MetricsSnapshot {
     pub analysis_hit_sum_us: u64,
     /// Number of cache-hit analyses.
     pub analysis_hit_count: u64,
+    /// Streaming-mode analysis duration histogram.
+    pub analysis_streaming_buckets: Vec<u64>,
+    /// Sum of streaming-mode analysis durations in microseconds.
+    pub analysis_streaming_sum_us: u64,
+    /// Number of streaming-mode analyses.
+    pub analysis_streaming_count: u64,
+    /// Finish-time streaming update duration histogram.
+    pub streaming_update_buckets: Vec<u64>,
+    /// Sum of streaming update durations in microseconds.
+    pub streaming_update_sum_us: u64,
+    /// Finish-time streaming engine updates ever applied.
+    pub streaming_updates_total: u64,
     /// Worker threads spawned by the work-stealing pool.
     pub pool_workers: u64,
     /// Tasks executed by a worker other than the one that queued them.
@@ -478,7 +537,27 @@ impl Serialize for MetricsSnapshot {
                             self.analysis_hit_count,
                         ),
                     ),
+                    (
+                        "streaming".to_string(),
+                        histogram(
+                            &self.analysis_streaming_buckets,
+                            self.analysis_streaming_sum_us,
+                            self.analysis_streaming_count,
+                        ),
+                    ),
                 ]),
+            ),
+            (
+                "streaming_update_us".to_string(),
+                histogram(
+                    &self.streaming_update_buckets,
+                    self.streaming_update_sum_us,
+                    self.streaming_updates_total,
+                ),
+            ),
+            (
+                "streaming_updates_total".to_string(),
+                self.streaming_updates_total.to_value(),
             ),
             ("pool_workers".to_string(), self.pool_workers.to_value()),
             (
@@ -585,21 +664,27 @@ impl MetricsSnapshot {
         ));
 
         out.push_str(
-            "# HELP mine_analysis_duration_seconds Analysis wall time, cold run vs cache hit.\n",
+            "# HELP mine_analysis_duration_seconds Analysis wall time by mode (batch runs carry the cache outcome).\n",
         );
         out.push_str("# TYPE mine_analysis_duration_seconds histogram\n");
-        for (cache, buckets, sum_us, count) in [
+        for (labels, buckets, sum_us, count) in [
             (
-                "cold",
+                "mode=\"batch\",cache=\"cold\"",
                 &self.analysis_cold_buckets,
                 self.analysis_cold_sum_us,
                 self.analysis_cold_count,
             ),
             (
-                "hit",
+                "mode=\"batch\",cache=\"hit\"",
                 &self.analysis_hit_buckets,
                 self.analysis_hit_sum_us,
                 self.analysis_hit_count,
+            ),
+            (
+                "mode=\"streaming\"",
+                &self.analysis_streaming_buckets,
+                self.analysis_streaming_sum_us,
+                self.analysis_streaming_count,
             ),
         ] {
             let mut cumulative = 0_u64;
@@ -610,17 +695,49 @@ impl MetricsSnapshot {
                     |&us| format!("{}", us as f64 / 1_000_000.0),
                 );
                 out.push_str(&format!(
-                    "mine_analysis_duration_seconds_bucket{{cache=\"{cache}\",le=\"{le}\"}} {cumulative}\n"
+                    "mine_analysis_duration_seconds_bucket{{{labels},le=\"{le}\"}} {cumulative}\n"
                 ));
             }
             out.push_str(&format!(
-                "mine_analysis_duration_seconds_sum{{cache=\"{cache}\"}} {}\n",
+                "mine_analysis_duration_seconds_sum{{{labels}}} {}\n",
                 sum_us as f64 / 1_000_000.0
             ));
             out.push_str(&format!(
-                "mine_analysis_duration_seconds_count{{cache=\"{cache}\"}} {count}\n"
+                "mine_analysis_duration_seconds_count{{{labels}}} {count}\n"
             ));
         }
+
+        out.push_str(
+            "# HELP mine_streaming_update_seconds Finish-time streaming statistics update.\n",
+        );
+        out.push_str("# TYPE mine_streaming_update_seconds histogram\n");
+        let mut cumulative = 0_u64;
+        for (i, bucket_count) in self.streaming_update_buckets.iter().enumerate() {
+            cumulative += bucket_count;
+            let le = LATENCY_BUCKETS_US.get(i).map_or_else(
+                || "+Inf".to_string(),
+                |&us| format!("{}", us as f64 / 1_000_000.0),
+            );
+            out.push_str(&format!(
+                "mine_streaming_update_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "mine_streaming_update_seconds_sum {}\n",
+            self.streaming_update_sum_us as f64 / 1_000_000.0
+        ));
+        out.push_str(&format!(
+            "mine_streaming_update_seconds_count {}\n",
+            self.streaming_updates_total
+        ));
+        out.push_str(
+            "# HELP mine_streaming_updates_total Finish-time streaming engine updates applied.\n",
+        );
+        out.push_str("# TYPE mine_streaming_updates_total counter\n");
+        out.push_str(&format!(
+            "mine_streaming_updates_total {}\n",
+            self.streaming_updates_total
+        ));
 
         for (name, help, value) in [
             (
@@ -867,31 +984,43 @@ mod tests {
     }
 
     #[test]
-    fn analysis_histogram_is_labeled_by_cache_outcome() {
+    fn analysis_histogram_is_labeled_by_mode_and_cache_outcome() {
         let metrics = Metrics::new();
         metrics.record_analysis(false, Duration::from_millis(20));
         metrics.record_analysis(false, Duration::from_millis(90));
         metrics.record_analysis(true, Duration::from_micros(40));
+        metrics.record_streaming_analysis(Duration::from_micros(60));
         metrics.set_pool(4, 17);
 
         let snapshot = metrics.snapshot(0);
         assert_eq!(snapshot.analysis_cold_count, 2);
         assert_eq!(snapshot.analysis_hit_count, 1);
+        assert_eq!(snapshot.analysis_streaming_count, 1);
         // 40 µs lands in the first hit bucket; cold times stay separate.
         assert_eq!(snapshot.analysis_hit_buckets[0], 1);
         assert_eq!(snapshot.analysis_cold_buckets[0], 0);
+        assert_eq!(snapshot.analysis_streaming_buckets[0], 1);
         assert_eq!(snapshot.pool_workers, 4);
         assert_eq!(snapshot.pool_steals_total, 17);
 
         let text = snapshot.to_prometheus();
         assert!(text.contains("# TYPE mine_analysis_duration_seconds histogram"));
-        assert!(text.contains("mine_analysis_duration_seconds_count{cache=\"cold\"} 2"));
-        assert!(text.contains("mine_analysis_duration_seconds_count{cache=\"hit\"} 1"));
-        // Cumulative buckets per label: both cold observations are ≤ 0.1 s.
-        assert!(text.contains("mine_analysis_duration_seconds_bucket{cache=\"cold\",le=\"0.1\"} 2"));
         assert!(
-            text.contains("mine_analysis_duration_seconds_bucket{cache=\"hit\",le=\"0.0001\"} 1")
+            text.contains("mine_analysis_duration_seconds_count{mode=\"batch\",cache=\"cold\"} 2")
         );
+        assert!(
+            text.contains("mine_analysis_duration_seconds_count{mode=\"batch\",cache=\"hit\"} 1")
+        );
+        assert!(text.contains("mine_analysis_duration_seconds_count{mode=\"streaming\"} 1"));
+        // Cumulative buckets per label: both cold observations are ≤ 0.1 s.
+        assert!(text.contains(
+            "mine_analysis_duration_seconds_bucket{mode=\"batch\",cache=\"cold\",le=\"0.1\"} 2"
+        ));
+        assert!(text.contains(
+            "mine_analysis_duration_seconds_bucket{mode=\"batch\",cache=\"hit\",le=\"0.0001\"} 1"
+        ));
+        assert!(text
+            .contains("mine_analysis_duration_seconds_bucket{mode=\"streaming\",le=\"0.0001\"} 1"));
         assert!(text.contains("# TYPE mine_pool_workers gauge"));
         assert!(text.contains("mine_pool_workers 4"));
         assert!(text.contains("# TYPE mine_pool_steals_total counter"));
@@ -902,8 +1031,43 @@ mod tests {
         let analysis = value.get("analysis_duration_us").unwrap();
         assert!(analysis.get("cold").is_some());
         assert!(analysis.get("hit").is_some());
+        assert!(analysis.get("streaming").is_some());
         assert_eq!(value.get("pool_workers").unwrap().kind(), "number");
         assert_eq!(value.get("pool_steals_total").unwrap().kind(), "number");
+    }
+
+    #[test]
+    fn streaming_updates_fill_counter_and_histogram() {
+        let metrics = Metrics::new();
+        metrics.record_streaming_update(Duration::from_micros(80));
+        metrics.record_streaming_update(Duration::from_micros(400));
+        metrics.record_streaming_update(Duration::from_millis(30));
+
+        let snapshot = metrics.snapshot(0);
+        assert_eq!(snapshot.streaming_updates_total, 3);
+        assert_eq!(snapshot.streaming_update_buckets[0], 1);
+        assert_eq!(snapshot.streaming_update_buckets[2], 1);
+        assert_eq!(snapshot.streaming_update_sum_us, 80 + 400 + 30_000);
+
+        let text = snapshot.to_prometheus();
+        assert!(text.contains("# TYPE mine_streaming_update_seconds histogram"));
+        assert!(text.contains("mine_streaming_update_seconds_bucket{le=\"0.0001\"} 1"));
+        assert!(text.contains("mine_streaming_update_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("mine_streaming_update_seconds_count 3"));
+        assert!(text.contains("# TYPE mine_streaming_updates_total counter"));
+        assert!(text.contains("mine_streaming_updates_total 3"));
+
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let value: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            value.get("streaming_updates_total").unwrap().kind(),
+            "number"
+        );
+        assert!(value
+            .get("streaming_update_us")
+            .unwrap()
+            .get("buckets")
+            .is_some());
     }
 
     #[test]

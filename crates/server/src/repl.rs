@@ -780,8 +780,9 @@ fn follow_once(primary_addr: &str, router: &Router) -> Result<(), ReplError> {
             .map_err(repl_io)?;
         state.registry.clear();
         state.finished.clear();
+        state.stream.clear();
         image
-            .restore(&state.registry, &state.finished)
+            .restore(&state.registry, &state.finished, &state.stream)
             .map_err(|reason| ReplError::Frame { reason })?;
     }
     write_message(&mut writer, &Message::Ack { seq: last_seq })?;
@@ -824,8 +825,13 @@ fn follow_once(primary_addr: &str, router: &Router) -> Result<(), ReplError> {
                         })?;
                     // Deterministic rejections replay identically on
                     // every replica; nothing to do with the note.
-                    let _note =
-                        apply_event(&state.repository, &state.registry, &state.finished, event);
+                    let _note = apply_event(
+                        &state.repository,
+                        &state.registry,
+                        &state.finished,
+                        &state.stream,
+                        event,
+                    );
                 }
                 write_message(&mut writer, &Message::Ack { seq })?;
                 writer.flush()?;

@@ -15,6 +15,7 @@ use mine_analysis::{AnalysisConfig, BatchAnalyzer};
 use mine_core::{Answer, ExamRecord};
 use mine_delivery::{DeliveryError, DeliveryOptions, ExamSession, SessionState};
 use mine_itembank::{Problem, ProblemBody, Repository};
+use mine_streamstats::StreamEngine;
 
 use crate::drain::Lifecycle;
 use crate::http::{Request, Response};
@@ -32,8 +33,15 @@ pub struct ServerState {
     pub registry: SessionRegistry,
     /// Finished records, grouped per exam for live analysis.
     pub finished: FinishedStore,
-    /// The §4 pipeline with its fingerprint-keyed cache.
+    /// The §4 pipeline with its fingerprint-keyed cache (the
+    /// `?mode=batch` escape hatch and the fallback for unstreamable
+    /// inputs).
     pub analyzer: BatchAnalyzer,
+    /// Running sufficient statistics per exam: finish-time updates in
+    /// O(1 + re-assignments), analysis reads assembled from counters.
+    /// Must share the analyzer's [`AnalysisConfig`] so both modes
+    /// compute the same report.
+    pub stream: Arc<StreamEngine>,
     /// Service counters.
     pub metrics: Metrics,
     /// The write-ahead log, when `--data-dir` durability is on.
@@ -57,11 +65,13 @@ impl ServerState {
     /// journal).
     #[must_use]
     pub fn new(repository: Repository) -> Self {
+        let config = AnalysisConfig::default();
         Self {
             repository,
             registry: SessionRegistry::default(),
             finished: FinishedStore::new(),
-            analyzer: BatchAnalyzer::new(AnalysisConfig::default()),
+            analyzer: BatchAnalyzer::new(config),
+            stream: Arc::new(StreamEngine::new(config)),
             metrics: Metrics::new(),
             journal: None,
             repl: None,
@@ -267,7 +277,7 @@ impl Router {
             ("POST", ["sessions", id, "pause"]) => (Route::Pause, self.pause(id)),
             ("POST", ["sessions", id, "resume"]) => (Route::Resume, self.resume(id)),
             ("POST", ["sessions", id, "finish"]) => (Route::Finish, self.finish(id)),
-            ("GET", ["exams", id, "analysis"]) => (Route::Analysis, self.analysis(id)),
+            ("GET", ["exams", id, "analysis"]) => (Route::Analysis, self.analysis(id, request)),
             (_, ["healthz" | "metrics"])
             | (_, ["admin", ..])
             | (_, ["sessions", ..])
@@ -575,16 +585,35 @@ impl Router {
             let record = slot.session.finish().map_err(ApiError::from)?;
             Ok::<_, ApiError>((slot.session.exam_id().as_str().to_string(), record))
         })??;
-        // The sitting is over: file the record and free the slot.
-        self.state.finished.push(&exam_id, record.clone());
+        // The sitting is over: file the record, fold it into the
+        // streaming statistics, and free the slot. Filing and folding
+        // happen under the engine's per-exam lock so the finished store
+        // and the engine always agree on the row set (two racing
+        // finishes of the same student cannot land in opposite orders).
+        self.state.stream.with_exam(&exam_id, |stream| {
+            self.state.finished.push(&exam_id, record.clone());
+            let update_started = Instant::now();
+            stream.apply(&record);
+            self.state
+                .metrics
+                .record_streaming_update(update_started.elapsed());
+        });
         let _ = self.state.registry.remove(id);
         self.state.metrics.session_finished();
         Ok(ok_json(200, record.to_value()))
     }
 
-    fn analysis(&self, exam_id: &str) -> ApiResult {
-        let records = self.state.finished.records(exam_id);
-        if records.is_empty() {
+    /// `GET /exams/{id}/analysis`: the full §4 report. Served from the
+    /// streaming engine's counters by default; `?mode=batch` forces the
+    /// batch pipeline, and inputs the engine cannot reproduce exactly
+    /// fall back to batch silently (both produce identical bytes when
+    /// both succeed). `?indices=alt` answers with the option-wise
+    /// alternative discrimination view instead of the full report.
+    fn analysis(&self, exam_id: &str, request: &Request) -> ApiResult {
+        let query = request.query.as_deref().unwrap_or("");
+        let force_batch = query.split('&').any(|pair| pair == "mode=batch");
+        let wants_alt = query.split('&').any(|pair| pair == "indices=alt");
+        if self.state.finished.count(exam_id) == 0 {
             return Err(ApiError::conflict(format!(
                 "no finished sittings for exam {exam_id}"
             )));
@@ -597,6 +626,24 @@ impl Router {
             .repository
             .resolve_exam(&parsed)
             .map_err(|err| ApiError::not_found(err.to_string()))?;
+        if !force_batch {
+            let started = Instant::now();
+            if let Ok(report) = self.state.stream.report(exam_id, &problems) {
+                self.state
+                    .metrics
+                    .record_streaming_analysis(started.elapsed());
+                return respond_with_report(&report, wants_alt);
+            }
+            // Unstreamable (mixed problem sets, duplicate in-row
+            // problems, non-finite scores, class too small): the batch
+            // pipeline below reproduces the exact report or error.
+        }
+        let records = self.state.finished.records(exam_id);
+        if records.is_empty() {
+            return Err(ApiError::conflict(format!(
+                "no finished sittings for exam {exam_id}"
+            )));
+        }
         let class = ExamRecord::new(parsed, records);
         let hits_before = self.state.analyzer.cache_stats().hits;
         let started = std::time::Instant::now();
@@ -609,10 +656,24 @@ impl Router {
         self.state
             .metrics
             .record_analysis(cache_hit, started.elapsed());
-        let body = serde_json::to_string(&report)
-            .map_err(|err| ApiError::new(500, format!("serialization failed: {err}")))?;
-        Ok(Response::json(200, body))
+        respond_with_report(&report, wants_alt)
     }
+}
+
+/// Serializes an assembled report (or its alternative-indices view —
+/// a pure function of the report, so both modes answer identically).
+fn respond_with_report(report: &mine_analysis::BatchReport, wants_alt: bool) -> ApiResult {
+    let body = if wants_alt {
+        let analysis = report
+            .analyses
+            .first()
+            .ok_or_else(|| ApiError::new(500, "analysis produced no report".to_string()))?;
+        serde_json::to_string(&mine_streamstats::alt_indices(analysis))
+    } else {
+        serde_json::to_string(report)
+    };
+    body.map(|text| Response::json(200, text))
+        .map_err(|err| ApiError::new(500, format!("serialization failed: {err}")))
 }
 
 /// Serializes a value tree as a JSON response.
@@ -971,29 +1032,52 @@ mod tests {
             sit_student(&router, index);
         }
         assert_eq!(router.state().finished.count("quiz"), 8);
+        // Every finish updated the streaming engine.
+        assert_eq!(router.state().stream.sittings("quiz"), 8);
         let analysis = router.handle(&Request::new("GET", "/exams/quiz/analysis", ""));
         assert_eq!(analysis.status, 200, "{}", analysis.body);
         let report: Value = serde_json::from_str(&analysis.body).unwrap();
         assert!(report.get("analyses").is_some());
         assert!(report.get("summary").is_some());
 
-        // A second request is answered from the analyzer's cache.
+        // The default mode streams from counters — the batch pipeline
+        // was never invoked.
+        assert_eq!(router.state().analyzer.cache_stats().hits, 0);
         let again = router.handle(&Request::new("GET", "/exams/quiz/analysis", ""));
         assert_eq!(again.body, analysis.body);
+
+        // `?mode=batch` forces the full pipeline and produces the very
+        // same bytes; a second batch read hits the analyzer's cache.
+        let batch = router.handle(&Request::new("GET", "/exams/quiz/analysis?mode=batch", ""));
+        assert_eq!(batch.status, 200, "{}", batch.body);
+        assert_eq!(batch.body, analysis.body);
+        let batch_again =
+            router.handle(&Request::new("GET", "/exams/quiz/analysis?mode=batch", ""));
+        assert_eq!(batch_again.body, analysis.body);
         assert!(router.state().analyzer.cache_stats().hits >= 1);
 
-        // Both analyses were timed, labeled by cache outcome, and the
-        // scrape refreshes the pool gauges.
+        // All four analyses were timed, labeled by mode (and cache
+        // outcome for batch), the finish-time updates were counted, and
+        // the scrape refreshes the pool gauges.
         let snapshot = router.state().metrics.snapshot(0);
+        assert_eq!(snapshot.analysis_streaming_count, 2);
         assert_eq!(snapshot.analysis_cold_count, 1);
         assert_eq!(snapshot.analysis_hit_count, 1);
+        assert_eq!(snapshot.streaming_updates_total, 8);
         let scrape = router.handle(&Request::new("GET", "/metrics", ""));
         assert!(scrape
             .body
-            .contains("mine_analysis_duration_seconds_count{cache=\"cold\"} 1"));
+            .contains("mine_analysis_duration_seconds_count{mode=\"streaming\"} 2"));
         assert!(scrape
             .body
-            .contains("mine_analysis_duration_seconds_count{cache=\"hit\"} 1"));
+            .contains("mine_analysis_duration_seconds_count{mode=\"batch\",cache=\"cold\"} 1"));
+        assert!(scrape
+            .body
+            .contains("mine_analysis_duration_seconds_count{mode=\"batch\",cache=\"hit\"} 1"));
+        assert!(scrape.body.contains("mine_streaming_updates_total 8"));
+        assert!(scrape
+            .body
+            .contains("mine_streaming_update_seconds_count 8"));
         assert!(scrape.body.contains("mine_pool_workers"));
         assert!(scrape.body.contains("mine_pool_steals_total"));
     }

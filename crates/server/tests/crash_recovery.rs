@@ -193,9 +193,17 @@ fn kill_nine_mid_sitting_then_restart_serves_byte_identical_analysis() {
     let router = Router::with_state(state);
 
     // The acceptance bar: byte-identical analysis after the crash.
+    // The default mode is streaming, so this also proves the engine
+    // rebuilt from WAL replay matches the dead server's live counters.
     let served = router.handle(&Request::new("GET", "/exams/final/analysis", ""));
     assert_eq!(served.status, 200, "{}", served.body);
     assert_eq!(served.body, control.body, "analysis must be byte-identical");
+    let served_batch = router.handle(&Request::new("GET", "/exams/final/analysis?mode=batch", ""));
+    assert_eq!(served_batch.status, 200, "{}", served_batch.body);
+    assert_eq!(
+        served_batch.body, control.body,
+        "batch recomputation must agree with the replayed streaming report"
+    );
 
     // The mid-flight sitting survived with its answer intact and can be
     // driven to completion on the restarted server.

@@ -198,9 +198,20 @@ fn concurrent_clients_complete_sittings_and_analysis_matches_direct_run() {
     let direct = serde_json::to_string(&direct).expect("serialize report");
     assert_eq!(served.body, direct);
 
-    // Asking again is answered from the analyzer's cache — same bytes.
+    // Asking again is answered from the streaming engine — same bytes.
     let again = client.get("/exams/final/analysis").expect("analysis again");
     assert_eq!(again.body, served.body);
+
+    // Forcing batch recomputes the identical bytes, and a second batch
+    // read is answered from the analyzer's cache.
+    let batch = client
+        .get("/exams/final/analysis?mode=batch")
+        .expect("batch analysis");
+    assert_eq!(batch.body, served.body);
+    let batch_again = client
+        .get("/exams/final/analysis?mode=batch")
+        .expect("batch analysis again");
+    assert_eq!(batch_again.body, served.body);
     assert!(router.state().analyzer.cache_stats().hits >= 1);
 
     server.shutdown();

@@ -250,12 +250,22 @@ fn kill_nine_primary_promote_follower_loses_no_acked_event() {
         .expect("mid answer");
     assert_eq!(answered.status, 200, "{}", answered.body);
 
-    // Control: the analysis the primary serves right now, and its
-    // applied position. Wait until the follower has applied everything.
+    // Control: the analysis the primary serves right now — streamed
+    // from its live counters by default, and cross-checked against the
+    // batch pipeline — and its applied position. Wait until the
+    // follower has applied everything.
     let control = client
         .get("/exams/final/analysis")
         .expect("control analysis");
     assert_eq!(control.status, 200, "{}", control.body);
+    let control_batch = client
+        .get("/exams/final/analysis?mode=batch")
+        .expect("control batch analysis");
+    assert_eq!(control_batch.status, 200, "{}", control_batch.body);
+    assert_eq!(
+        control_batch.body, control.body,
+        "streaming and batch reports must agree on the primary"
+    );
     let primary_health = healthz(&primary.http);
     let head = healthz_u64(&primary_health, "last_applied_seq");
     assert!(head > 0);
@@ -315,13 +325,28 @@ fn kill_nine_primary_promote_follower_loses_no_acked_event() {
     assert_eq!(healthz_u64(&health, "epoch"), new_epoch);
 
     // The acceptance bar: every acked event is present. The promoted
-    // node serves the same six-student analysis byte for byte…
+    // node serves the same six-student analysis byte for byte — its
+    // streaming engine was rebuilt through the same apply path
+    // (bootstrap snapshot + shipped records), so the default streaming
+    // report reproduces the dead primary's exactly…
     let mut follower_client = HttpClient::connect(&follower.http).expect("reconnect");
     let served = follower_client
         .get("/exams/final/analysis")
         .expect("promoted analysis");
     assert_eq!(served.status, 200, "{}", served.body);
-    assert_eq!(served.body, control.body, "analysis must be byte-identical");
+    assert_eq!(
+        served.body, control.body,
+        "streaming analysis must be byte-identical"
+    );
+    // …and so does its batch pipeline over the replicated records.
+    let served_batch = follower_client
+        .get("/exams/final/analysis?mode=batch")
+        .expect("promoted batch analysis");
+    assert_eq!(served_batch.status, 200, "{}", served_batch.body);
+    assert_eq!(
+        served_batch.body, control.body,
+        "batch analysis must be byte-identical"
+    );
 
     // …and the mid-flight sitting survived with its acked answer and
     // can be driven to completion on the new primary.

@@ -1,0 +1,249 @@
+//! Server-level acceptance for the streaming engine (PR 7): random
+//! interleavings of start/answer/pause/resume/finish — including
+//! abandoned sittings and resits — driven through a journaled router
+//! must produce a streaming `/exams/{id}/analysis` report that is
+//! byte-identical to the batch analyzer's, and reopening the journal
+//! directory must replay to the same bytes in both modes.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+
+use mine_core::OptionKey;
+use mine_itembank::{ChoiceOption, Exam, Problem, Repository};
+use mine_server::http::Request;
+use mine_server::{open_journaled_state, Router};
+use mine_store::StoreOptions;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir() -> PathBuf {
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("mine-streamparity-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Replay resolves events against the repository, so the reopened
+/// state must be built over the same problems as the live one.
+fn repository() -> Repository {
+    let repo = Repository::new();
+    repo.insert_problem(
+        Problem::multiple_choice(
+            "q1",
+            "Pick C.",
+            [
+                ChoiceOption::new(OptionKey::A, "alpha"),
+                ChoiceOption::new(OptionKey::B, "beta"),
+                ChoiceOption::new(OptionKey::C, "gamma"),
+                ChoiceOption::new(OptionKey::D, "delta"),
+            ],
+            OptionKey::C,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    repo.insert_problem(Problem::true_false("q2", "Is the sky blue?", true).unwrap())
+        .unwrap();
+    repo.insert_problem(
+        Problem::multiple_choice(
+            "q3",
+            "Pick A.",
+            [
+                ChoiceOption::new(OptionKey::A, "one"),
+                ChoiceOption::new(OptionKey::B, "two"),
+                ChoiceOption::new(OptionKey::C, "three"),
+            ],
+            OptionKey::A,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    repo.insert_exam(
+        Exam::builder("quiz")
+            .unwrap()
+            .entry("q1".parse().unwrap())
+            .entry("q2".parse().unwrap())
+            .entry("q3".parse().unwrap())
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    repo
+}
+
+/// Answer for `problem`, varied by student and sitting so resits
+/// change the score the second sitting must overwrite.
+fn answer_json(problem: &str, student: usize, sitting: usize) -> String {
+    let salt = student * 3 + sitting * 5;
+    match problem {
+        "q1" => format!("{{\"Choice\":\"{}\"}}", char::from(b'A' + (salt % 4) as u8)),
+        "q2" => format!("{{\"TrueFalse\":{}}}", salt % 3 != 1),
+        "q3" => format!("{{\"Choice\":\"{}\"}}", char::from(b'A' + (salt % 3) as u8)),
+        other => panic!("unexpected problem {other}"),
+    }
+}
+
+/// One scripted step of one student's sitting.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Start { sitting: usize },
+    Answer { index: usize, sitting: usize },
+    Pause,
+    Resume,
+    Finish,
+}
+
+/// Builds the per-student script: one or two sittings, each either
+/// finished or abandoned mid-flight, with an optional pause/resume
+/// wedged between answers.
+fn script(flags: u8) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let sittings = if flags & 0b100 != 0 { 2 } else { 1 };
+    for sitting in 0..sittings {
+        ops.push(Op::Start { sitting });
+        ops.push(Op::Answer { index: 0, sitting });
+        if flags & 0b1 != 0 {
+            ops.push(Op::Pause);
+            ops.push(Op::Resume);
+        }
+        ops.push(Op::Answer { index: 1, sitting });
+        // Abandon only the final sitting (an earlier one must finish
+        // before the resit can start); bit 1 set means it finishes.
+        if sitting + 1 < sittings || flags & 0b10 != 0 {
+            ops.push(Op::Answer { index: 2, sitting });
+            ops.push(Op::Finish);
+        }
+    }
+    ops
+}
+
+fn handle_ok(router: &Router, method: &str, path: &str, body: &str) -> String {
+    let response = router.handle(&Request::new(method, path, body));
+    assert!(
+        (200..300).contains(&response.status),
+        "{method} {path}: {} {}",
+        response.status,
+        response.body
+    );
+    response.body
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    #[test]
+    fn random_interleavings_replay_to_identical_reports(
+        students in 4usize..9,
+        flags in proptest::collection::vec(any::<u8>(), 9),
+        picks in proptest::collection::vec(any::<u16>(), 64..192),
+    ) {
+        let dir = temp_dir();
+        let repo = repository();
+        let (state, _) = open_journaled_state(repo, &dir, StoreOptions::default(), 8)
+            .expect("open journal");
+        let router = Router::with_state(state);
+
+        // Students 0..4 always run the plain finishing script so the
+        // class is large enough for 25% groups; the rest follow their
+        // random flags (pause, abandon, resit).
+        let mut scripts: Vec<std::collections::VecDeque<Op>> = (0..students)
+            .map(|s| {
+                let f = if s < 4 { 0b10 } else { flags[s] };
+                script(f).into()
+            })
+            .collect();
+        let mut sessions: Vec<Option<(String, Vec<String>)>> = vec![None; students];
+        let mut step = 0usize;
+        loop {
+            let pending: Vec<usize> = (0..students)
+                .filter(|&s| !scripts[s].is_empty())
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            let student = pending[picks[step % picks.len()] as usize % pending.len()];
+            step += 1;
+            let op = scripts[student].pop_front().unwrap();
+            match op {
+                Op::Start { sitting } => {
+                    let body = format!(
+                        "{{\"exam\":\"quiz\",\"student\":\"s{student:02}\",\"seed\":{}}}",
+                        student * 10 + sitting
+                    );
+                    let started = handle_ok(&router, "POST", "/sessions", &body);
+                    let started: serde::Value =
+                        serde_json::from_str(&started).expect("start body");
+                    let session = started
+                        .get("session")
+                        .and_then(serde::Value::as_str)
+                        .expect("session id")
+                        .to_string();
+                    let order = started
+                        .get("problems")
+                        .and_then(serde::Value::as_array)
+                        .expect("problems")
+                        .iter()
+                        .map(|p| {
+                            p.get("id")
+                                .and_then(serde::Value::as_str)
+                                .unwrap()
+                                .to_string()
+                        })
+                        .collect();
+                    sessions[student] = Some((session, order));
+                }
+                Op::Answer { index, sitting } => {
+                    let (session, order) = sessions[student].as_ref().unwrap();
+                    let body = format!(
+                        "{{\"answer\":{},\"time_spent_secs\":{}}}",
+                        answer_json(&order[index], student, sitting),
+                        5 + (student + index) % 9
+                    );
+                    let path = format!("/sessions/{session}/answers");
+                    handle_ok(&router, "POST", &path, &body);
+                }
+                Op::Pause => {
+                    let (session, _) = sessions[student].as_ref().unwrap();
+                    handle_ok(&router, "POST", &format!("/sessions/{session}/pause"), "");
+                }
+                Op::Resume => {
+                    let (session, _) = sessions[student].as_ref().unwrap();
+                    handle_ok(&router, "POST", &format!("/sessions/{session}/resume"), "");
+                }
+                Op::Finish => {
+                    let (session, _) = sessions[student].as_ref().unwrap();
+                    handle_ok(&router, "POST", &format!("/sessions/{session}/finish"), "");
+                }
+            }
+        }
+
+        // Live parity: the default (streaming) report must be
+        // byte-identical to the forced batch recomputation.
+        let streaming = handle_ok(&router, "GET", "/exams/quiz/analysis", "");
+        let batch = handle_ok(&router, "GET", "/exams/quiz/analysis?mode=batch", "");
+        prop_assert_eq!(&streaming, &batch, "streaming must match batch on the live server");
+
+        // Replay determinism: reopening the journal directory rebuilds
+        // the engine through the same apply path and must serve the
+        // same bytes in both modes.
+        drop(router);
+        let (state, report) = open_journaled_state(repository(), &dir, StoreOptions::default(), 8)
+            .expect("reopen journal");
+        prop_assert!(
+            report.notes.is_empty(),
+            "every journaled event must replay cleanly: {:?}",
+            report.notes
+        );
+        let reopened = Router::with_state(state);
+        let replayed = handle_ok(&reopened, "GET", "/exams/quiz/analysis", "");
+        prop_assert_eq!(&replayed, &streaming, "replayed streaming report must be byte-identical");
+        let replayed_batch =
+            handle_ok(&reopened, "GET", "/exams/quiz/analysis?mode=batch", "");
+        prop_assert_eq!(&replayed_batch, &streaming, "replayed batch report must be byte-identical");
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

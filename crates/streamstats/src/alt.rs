@@ -1,0 +1,180 @@
+//! Option-wise alternative discrimination indices.
+//!
+//! Joshi et al. ("A novel alternative to analyzing multiple choice
+//! questions via discrimination index", arXiv:1906.07941) argue the
+//! classical `D = PH − PL` collapses too much: it only watches the
+//! correct option, so a question whose *distractors* systematically
+//! attract the high group still looks healthy. The alternative view
+//! scores every option from the same high/low counters Table 1 already
+//! holds:
+//!
+//! * per option `o`: `d_o = (H_o − L_o) / k` — the option-level
+//!   discrimination (positive = preferred by the strong group) — and
+//!   `preference_o = (H_o + L_o) / 2k`, the option's overall allure;
+//! * per question: `D* = d_correct − max(d_distractor)` — the classical
+//!   index penalized by the most high-group-attracting distractor. For
+//!   a healthy item every distractor has `d_o ≤ 0` and `D*` is at least
+//!   the classical `D`; a distractor popular with strong students drags
+//!   `D*` below it.
+//!
+//! Everything here is a pure function of an assembled report (streaming
+//! or batch produce identical ones), so both `?mode=` paths expose
+//! identical alternative indices.
+
+use serde::Serialize;
+
+use mine_analysis::{ExamAnalysis, OptionMatrix};
+use mine_core::{OptionKey, ProblemId};
+
+/// The alternative-index view of one exam analysis.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AltIndices {
+    /// Students per score group (the `k` every fraction divides by).
+    pub group_size: usize,
+    /// Per analyzed question, exam order.
+    pub questions: Vec<AltQuestion>,
+}
+
+/// Alternative indices for one question.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AltQuestion {
+    /// 1-based question number (matching the main report).
+    pub number: usize,
+    /// The problem.
+    pub problem: ProblemId,
+    /// Classical `D = PH − PL`.
+    pub discrimination: f64,
+    /// `D* = d_correct − max(d_distractor)`; `None` for non-choice
+    /// questions (no option counters to derive it from).
+    pub alt_discrimination: Option<f64>,
+    /// Per-option breakdown; empty for non-choice questions.
+    pub options: Vec<AltOption>,
+}
+
+/// One option's counters and derived indices.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AltOption {
+    /// The option key.
+    pub option: OptionKey,
+    /// Whether this is the correct option.
+    pub correct: bool,
+    /// High-group students choosing it.
+    pub high: usize,
+    /// Low-group students choosing it.
+    pub low: usize,
+    /// `d_o = (H_o − L_o) / k`.
+    pub discrimination: f64,
+    /// `(H_o + L_o) / 2k` — the option's overall allure.
+    pub preference: f64,
+}
+
+/// Derives the alternative indices from an assembled analysis.
+#[must_use]
+pub fn alt_indices(analysis: &ExamAnalysis) -> AltIndices {
+    let group_size = analysis.groups.group_size();
+    let questions = analysis
+        .questions
+        .iter()
+        .map(|question| {
+            let (alt_discrimination, options) = match &question.matrix {
+                Some(matrix) => {
+                    let options = option_rows(matrix, group_size);
+                    (Some(alt_of(&options)), options)
+                }
+                None => (None, Vec::new()),
+            };
+            AltQuestion {
+                number: question.indices.number,
+                problem: question.indices.problem.clone(),
+                discrimination: question.indices.discrimination.value(),
+                alt_discrimination,
+                options,
+            }
+        })
+        .collect();
+    AltIndices {
+        group_size,
+        questions,
+    }
+}
+
+fn option_rows(matrix: &OptionMatrix, group_size: usize) -> Vec<AltOption> {
+    let k = group_size as f64;
+    OptionKey::first(matrix.option_count())
+        .map(|key| {
+            let high = matrix.high_count(key);
+            let low = matrix.low_count(key);
+            AltOption {
+                option: key,
+                correct: key == matrix.correct,
+                high,
+                low,
+                discrimination: (high as f64 - low as f64) / k,
+                preference: (high + low) as f64 / (2.0 * k),
+            }
+        })
+        .collect()
+}
+
+fn alt_of(options: &[AltOption]) -> f64 {
+    let correct = options
+        .iter()
+        .find(|o| o.correct)
+        .map_or(0.0, |o| o.discrimination);
+    let worst_distractor = options
+        .iter()
+        .filter(|o| !o.correct)
+        .map(|o| o.discrimination)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if worst_distractor.is_finite() {
+        correct - worst_distractor.max(0.0)
+    } else {
+        // Single-option question: nothing to penalize with.
+        correct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(high: Vec<usize>, low: Vec<usize>) -> OptionMatrix {
+        OptionMatrix {
+            problem: "q0".parse().unwrap(),
+            correct: OptionKey::A,
+            high,
+            low,
+        }
+    }
+
+    #[test]
+    fn healthy_item_keeps_classical_discrimination() {
+        // Correct option splits 9/3, distractors all lean low.
+        let rows = option_rows(&matrix(vec![9, 1, 0], vec![3, 4, 3]), 10);
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].discrimination - 0.6).abs() < 1e-12);
+        assert!(rows[1].discrimination < 0.0);
+        // No distractor attracts the high group, so D* == d_correct.
+        assert!((alt_of(&rows) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_group_attracting_distractor_is_penalized() {
+        // Option B pulls 4 more high than low students.
+        let rows = option_rows(&matrix(vec![5, 5, 0], vec![4, 1, 5]), 10);
+        let alt = alt_of(&rows);
+        let classical = rows[0].discrimination;
+        assert!(
+            alt < classical,
+            "D*={alt} must undercut D={classical} when a distractor leans high"
+        );
+        assert!((alt - (0.1 - 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preference_is_the_mean_allure() {
+        let rows = option_rows(&matrix(vec![6, 4], vec![2, 8]), 10);
+        assert!((rows[0].preference - 0.4).abs() < 1e-12);
+        assert!((rows[1].preference - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,498 @@
+//! Report assembly: the running statistics → the exact `BatchReport`
+//! the batch pipeline produces.
+//!
+//! Counters answer everything in O(questions + distinct scores): group
+//! membership, per-option tallies and time multisets directly, and the
+//! floating-point statistics through the exactness argument in the
+//! engine docs — the batch pipeline's folds over integer points are
+//! exact, so dividing the engine's running i64 sums through the same
+//! moment-form expressions reproduces every batch value bit for bit.
+//! Only the score–difficulty scatter still walks the row map, because
+//! its *output* is one point per row (shared `BTreeMap` ordering keeps
+//! that walk byte-identical too).
+//! Anything the counters cannot reproduce exactly returns
+//! [`Unstreamable`] and the caller falls back to the batch path, which
+//! then reproduces the batch pipeline's exact output *or its exact
+//! error*.
+
+use std::collections::HashMap;
+
+use mine_analysis::distraction::analyze_distractors;
+use mine_analysis::exam_analysis::{ExamAnalysis, ExamStatistics, QuestionAnalysis};
+use mine_analysis::figures::{cognition_subject_matrix_from, FigurePoint, Figures};
+use mine_analysis::reliability::Reliability;
+use mine_analysis::rules::evaluate_rules;
+use mine_analysis::status::StatusFlags;
+use mine_analysis::two_way::TwoWayTable;
+use mine_analysis::{BatchReport, OptionMatrix, QuestionIndices, ScoreGroups};
+use mine_core::{ProblemId, StudentId};
+use mine_itembank::{Problem, ProblemBody};
+use mine_metadata::{DifficultyIndex, DiscriminationIndex, QuestionStyle};
+
+use crate::engine::{time_bucket, ExamStream, OPTION_SLOTS};
+use crate::Unstreamable;
+
+/// Assembles the full report; see the module docs.
+pub(crate) fn assemble(
+    stream: &ExamStream,
+    problems: &[Problem],
+) -> Result<BatchReport, Unstreamable> {
+    if let Some(reason) = stream.anomaly() {
+        return Err(Unstreamable::new(reason));
+    }
+    let canonical = stream
+        .canonical_cells()
+        .expect("anomaly() rejects empty streams");
+    let n = stream.rows.len();
+
+    // Problem definitions, first-wins by id like `RecordIndex::build`;
+    // a canonical problem without a definition is the batch pipeline's
+    // `UnknownProblem` error — fall back and let it say so.
+    let mut by_id: HashMap<&str, &Problem> = HashMap::with_capacity(problems.len());
+    for problem in problems {
+        by_id.entry(problem.id().as_str()).or_insert(problem);
+    }
+    let mut resolved: Vec<&Problem> = Vec::with_capacity(canonical.cells.len());
+    for cell in &canonical.cells {
+        let id = &stream.problem_ids[cell.problem as usize];
+        match by_id.get(id.as_str()) {
+            Some(problem) => resolved.push(problem),
+            None => {
+                return Err(Unstreamable::new(
+                    "a streamed problem has no supplied definition",
+                ))
+            }
+        }
+    }
+
+    // Group split from the membership sets: ascending `RankKey` order is
+    // the ranking order (best first), exactly how `ScoreGroups::split`
+    // orders both groups.
+    let high: Vec<StudentId> = stream.high.iter().map(|k| k.student().clone()).collect();
+    let low: Vec<StudentId> = stream.low.iter().map(|k| k.student().clone()).collect();
+    let group_size = high.len();
+    let groups = ScoreGroups::from_parts(high, low, n, stream.config.group_fraction);
+
+    // Per-question analyses from the group counters, numbering exactly
+    // like the batch loop (questionnaires excluded, numbers stay
+    // consecutive).
+    let canonical_interns: Vec<u32> = canonical.cells.iter().map(|c| c.problem).collect();
+    let mut questions = Vec::with_capacity(canonical.cells.len());
+    let mut surveys: Vec<ProblemId> = Vec::new();
+    let mut number = 0usize;
+    // Difficulty by interned problem, dense (NaN = questionnaire, i.e.
+    // not analyzed), filled as each analysis is produced so the scatter
+    // figure needs no id lookups. The batch scatter keys a map by id
+    // string with first-entry-wins; analyzed problems are unique under
+    // the no-duplicate gate, so both resolve to the same value.
+    let mut difficulty_of: Vec<f64> = vec![f64::NAN; stream.problem_ids.len()];
+    for (pos, problem) in resolved.iter().enumerate() {
+        let intern = canonical_interns[pos] as usize;
+        let problem_id = &stream.problem_ids[intern];
+        if problem.style() == QuestionStyle::Questionnaire {
+            surveys.push(problem_id.clone());
+            continue;
+        }
+        number += 1;
+        let analysis = question_analysis(stream, problem, problem_id, intern, number, group_size);
+        difficulty_of[intern] = analysis.indices.difficulty.value();
+        questions.push(analysis);
+    }
+
+    let statistics = statistics(stream, n);
+    let ta = time_answered(stream, n, 20);
+    let sd = score_difficulty(
+        stream,
+        &difficulty_of,
+        questions.len() == canonical_interns.len(),
+    );
+    let two_way = TwoWayTable::from_problems(resolved.iter().copied());
+    let figures = Figures {
+        time_answered: ta,
+        score_difficulty: sd,
+        cognition_subject: cognition_subject_matrix_from(&two_way),
+        score_histogram: score_histogram(stream, n, 10),
+    };
+    let reliability = reliability(stream, &canonical_interns, n);
+    let analysis = ExamAnalysis {
+        groups,
+        questions,
+        statistics,
+        figures,
+        two_way,
+        reliability,
+        surveys,
+    };
+    Ok(BatchReport::from_analyses(vec![analysis]))
+}
+
+/// One question's §4.1 pipeline, fed from the counters instead of group
+/// tallies; arithmetic order matches `analyze_question_indexed`.
+fn question_analysis(
+    stream: &ExamStream,
+    problem: &Problem,
+    problem_id: &ProblemId,
+    intern: usize,
+    number: usize,
+    group_size: usize,
+) -> QuestionAnalysis {
+    let choice = match problem.body() {
+        ProblemBody::MultipleChoice {
+            options, correct, ..
+        } => Some((options.len(), *correct)),
+        _ => None,
+    };
+    let stat = &stream.qstats[intern];
+    let matrix = choice.map(|(option_count, correct)| {
+        // Out-of-range chosen options are dropped exactly like the
+        // batch tally's `key.index() < counts.len()` guard: the engine
+        // counts every slot, the report truncates to the real options.
+        let collect = |slots: &[u64; OPTION_SLOTS]| -> Vec<usize> {
+            (0..option_count)
+                .map(|i| slots.get(i).copied().unwrap_or(0) as usize)
+                .collect()
+        };
+        OptionMatrix {
+            problem: problem_id.clone(),
+            correct,
+            high: collect(&stat.high_options),
+            low: collect(&stat.low_options),
+        }
+    });
+
+    let group_size = group_size as f64;
+    let ph = stat.high_correct as f64 / group_size;
+    let pl = stat.low_correct as f64 / group_size;
+    let indices = QuestionIndices {
+        number,
+        problem: problem_id.clone(),
+        ph,
+        pl,
+        discrimination: DiscriminationIndex::new(ph - pl)
+            .expect("difference of fractions is in [-1, 1]"),
+        difficulty: DifficultyIndex::new((ph + pl) / 2.0).expect("mean of fractions is in [0, 1]"),
+    };
+
+    let findings = matrix
+        .as_ref()
+        .map(|m| evaluate_rules(m, stream.config.flatness))
+        .unwrap_or_default();
+    let status = StatusFlags::from_rules(&findings);
+    let distractors = matrix.as_ref().map(analyze_distractors).unwrap_or_default();
+    let signal = stream.config.signal.classify(indices.discrimination);
+    let advice = stream
+        .config
+        .signal
+        .advice(indices.discrimination, &findings);
+    QuestionAnalysis {
+        indices,
+        matrix,
+        findings,
+        status,
+        distractors,
+        signal,
+        advice,
+    }
+}
+
+/// The `idx`-th smallest score (0-based) from the score multiset —
+/// the value `scores[idx]` of the batch pipeline's sorted vector.
+fn nth_score(scores: &std::collections::BTreeMap<i64, u64>, mut idx: u64) -> f64 {
+    for (&score, &count) in scores {
+        if idx < count {
+            return score as f64;
+        }
+        idx -= count;
+    }
+    debug_assert!(false, "order statistic {idx} beyond multiset");
+    0.0
+}
+
+/// `ExamAnalysis::statistics` from the moment sums and the score
+/// multiset: every value is the same bit pattern the batch fold
+/// produces (integer sums are exact in both, and the divisions,
+/// products and clamps are written identically), in O(distinct scores)
+/// instead of O(n log n).
+fn statistics(stream: &ExamStream, n: usize) -> ExamStatistics {
+    let nf = n as f64;
+    let mean = stream.score_sum as f64 / nf;
+    let median = if n % 2 == 1 {
+        nth_score(&stream.scores, (n / 2) as u64)
+    } else {
+        (nth_score(&stream.scores, (n / 2 - 1) as u64) + nth_score(&stream.scores, (n / 2) as u64))
+            / 2.0
+    };
+    let variance = (stream.score_sq_sum as f64 / nf - mean * mean).max(0.0);
+    let max_score = stream
+        .rows
+        .values()
+        .next()
+        .map(|r| r.max_score)
+        .unwrap_or(0.0);
+    let pass_line = max_score * stream.config.pass_mark;
+    let passed: u64 = stream
+        .scores
+        .iter()
+        .filter(|&(&score, _)| score as f64 >= pass_line)
+        .map(|(_, &count)| count)
+        .sum();
+    let pass_rate = passed as f64 / nf;
+    let mean_attempted = stream.attempted_sum as f64 / nf;
+    ExamStatistics {
+        class_size: n,
+        mean_score: mean,
+        median_score: median,
+        std_dev: variance.sqrt(),
+        max_score,
+        pass_rate,
+        average_time: stream.total_time_sum / n as u32,
+        mean_attempted,
+    }
+}
+
+/// `figures::time_answered_series` from the bucketed `answered_times`
+/// multiset: each sample needs the exact `answered_at <= t` count. The
+/// sample times are increasing, so one cumulative pass over the
+/// per-second buckets serves them all (a bucket strictly below a
+/// threshold's second holds only times below the threshold), and only
+/// the boundary second is resolved exactly, by a binary search of its
+/// sorted bucket — O(seconds + samples·log) instead of touching every
+/// response time.
+fn time_answered(stream: &ExamStream, n: usize, samples: usize) -> Vec<FigurePoint> {
+    let max_time = stream
+        .total_times
+        .keys()
+        .next_back()
+        .copied()
+        .unwrap_or(std::time::Duration::ZERO);
+    if n == 0 || samples == 0 || max_time.is_zero() {
+        return Vec::new();
+    }
+    let mut full = 0u64;
+    let mut cursor = 0usize;
+    (1..=samples)
+        .map(|i| {
+            let t = max_time.mul_f64(i as f64 / samples as f64);
+            let cut = time_bucket(t).min(stream.answered_times.len());
+            full += stream.answered_counts[cursor..cut]
+                .iter()
+                .map(|&count| u64::from(count))
+                .sum::<u64>();
+            cursor = cut;
+            let residual = stream
+                .answered_times
+                .get(cut)
+                .map_or(0, |bucket| bucket.partition_point(|&at| at <= t) as u64);
+            FigurePoint {
+                x: t.as_secs_f64(),
+                y: (full + residual) as f64 / n as f64,
+            }
+        })
+        .collect()
+}
+
+/// `figures::score_difficulty_scatter`: per row, mean difficulty of the
+/// correctly answered analyzed questions, summed in presentation order.
+fn score_difficulty(
+    stream: &ExamStream,
+    difficulty_of: &[f64],
+    all_analyzed: bool,
+) -> Vec<FigurePoint> {
+    // Each row's sum is a serial f64 dependency chain whose order is
+    // fixed by byte-identity, so the passes below fold several rows'
+    // (independent) chains in lockstep to keep the FPU busy; each chain
+    // still adds its own values in presentation order.
+    //
+    // With no questionnaires every correct response has a difficulty, so
+    // the common case skips the per-response NaN test and the count
+    // bookkeeping entirely (the count is the span length).
+    if all_analyzed {
+        return scatter_all_analyzed(stream, difficulty_of);
+    }
+    let fold = |row: &crate::engine::ScatterRow| -> (f64, usize) {
+        let span = row.offset as usize..(row.offset + row.len) as usize;
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for &intern in &stream.scatter_arena[span] {
+            let p = difficulty_of[intern as usize];
+            if !p.is_nan() {
+                sum += p;
+                count += 1;
+            }
+        }
+        (sum, count)
+    };
+    let mut points = Vec::with_capacity(stream.scatter_rows.len());
+    let mut push = |row: &crate::engine::ScatterRow, sum: f64, count: usize| {
+        if count > 0 {
+            points.push(FigurePoint {
+                x: row.score,
+                y: sum / count as f64,
+            });
+        }
+    };
+    let mut pairs = stream.scatter_rows.chunks_exact(2);
+    for pair in &mut pairs {
+        let (a, b) = (&pair[0], &pair[1]);
+        let (sa, sb) = (
+            &stream.scatter_arena[a.offset as usize..(a.offset + a.len) as usize],
+            &stream.scatter_arena[b.offset as usize..(b.offset + b.len) as usize],
+        );
+        let shared = sa.len().min(sb.len());
+        let (mut sum_a, mut count_a) = (0.0f64, 0usize);
+        let (mut sum_b, mut count_b) = (0.0f64, 0usize);
+        for j in 0..shared {
+            let pa = difficulty_of[sa[j] as usize];
+            let pb = difficulty_of[sb[j] as usize];
+            if !pa.is_nan() {
+                sum_a += pa;
+                count_a += 1;
+            }
+            if !pb.is_nan() {
+                sum_b += pb;
+                count_b += 1;
+            }
+        }
+        for &intern in &sa[shared..] {
+            let p = difficulty_of[intern as usize];
+            if !p.is_nan() {
+                sum_a += p;
+                count_a += 1;
+            }
+        }
+        for &intern in &sb[shared..] {
+            let p = difficulty_of[intern as usize];
+            if !p.is_nan() {
+                sum_b += p;
+                count_b += 1;
+            }
+        }
+        push(a, sum_a, count_a);
+        push(b, sum_b, count_b);
+    }
+    for row in pairs.remainder() {
+        let (sum, count) = fold(row);
+        push(row, sum, count);
+    }
+    points
+}
+
+/// [`score_difficulty`] when every analyzed-or-not lookup is known to
+/// resolve: a pure gather-and-add, eight independent row chains folded
+/// in lockstep (each still in its own presentation order) so the adds
+/// overlap instead of serializing on one chain's fadd latency.
+fn scatter_all_analyzed(stream: &ExamStream, difficulty_of: &[f64]) -> Vec<FigurePoint> {
+    const LANES: usize = 8;
+    let arena = &stream.scatter_arena;
+    let span_of = |row: &crate::engine::ScatterRow| {
+        &arena[row.offset as usize..(row.offset + row.len) as usize]
+    };
+    let mut points = Vec::with_capacity(stream.scatter_rows.len());
+    let mut blocks = stream.scatter_rows.chunks_exact(LANES);
+    for block in &mut blocks {
+        let spans: [&[u32]; LANES] = std::array::from_fn(|lane| span_of(&block[lane]));
+        let shared = spans.iter().map(|span| span.len()).min().unwrap_or(0);
+        let mut sums = [0.0f64; LANES];
+        for j in 0..shared {
+            for lane in 0..LANES {
+                sums[lane] += difficulty_of[spans[lane][j] as usize];
+            }
+        }
+        for (row, (span, mut sum)) in block.iter().zip(spans.into_iter().zip(sums)) {
+            for &intern in &span[shared..] {
+                sum += difficulty_of[intern as usize];
+            }
+            if !span.is_empty() {
+                points.push(FigurePoint {
+                    x: row.score,
+                    y: sum / span.len() as f64,
+                });
+            }
+        }
+    }
+    for row in blocks.remainder() {
+        let span = span_of(row);
+        let mut sum = 0.0f64;
+        for &intern in span {
+            sum += difficulty_of[intern as usize];
+        }
+        if !span.is_empty() {
+            points.push(FigurePoint {
+                x: row.score,
+                y: sum / span.len() as f64,
+            });
+        }
+    }
+    points
+}
+
+/// `figures::score_histogram` from the score multiset (same max-score
+/// fold, same bucketing — equal scores land in the same bucket, so the
+/// multiset walk counts exactly what the per-row loop counts).
+fn score_histogram(stream: &ExamStream, n: usize, buckets: usize) -> Vec<(f64, usize)> {
+    if n == 0 || buckets == 0 {
+        return Vec::new();
+    }
+    let max_score = stream
+        .rows
+        .values()
+        .map(|r| r.max_score)
+        .fold(0.0f64, f64::max);
+    if max_score <= 0.0 {
+        return Vec::new();
+    }
+    let width = max_score / buckets as f64;
+    let mut counts = vec![0usize; buckets];
+    for (&score, &count) in &stream.scores {
+        let index = ((score as f64 / width).floor() as usize).min(buckets - 1);
+        counts[index] += count as usize;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, count)| (i as f64 * width, count))
+        .collect()
+}
+
+/// `cronbach_alpha_indexed` from the running sums: under the exactness
+/// gate every batch accumulator (per-item point sums, squared sums,
+/// row totals) is an exact integer fold, and the uniform-rows gate
+/// makes each row's canonical-item total equal its score — so dividing
+/// the engine's i64 sums through the batch moment-form expressions
+/// reproduces the batch result bit for bit in O(items), no row loop.
+fn reliability(stream: &ExamStream, canonical_interns: &[u32], n: usize) -> Reliability {
+    let k = canonical_interns.len();
+    let nf = n as f64;
+    let total_mean = stream.score_sum as f64 / nf;
+    let score_variance = (stream.score_sq_sum as f64 / nf - total_mean * total_mean).max(0.0);
+
+    if k < 2 || score_variance == 0.0 {
+        return Reliability {
+            alpha: None,
+            items: k,
+            score_variance,
+            sem: None,
+        };
+    }
+
+    let item_variance_sum: f64 = canonical_interns
+        .iter()
+        .map(|&intern| {
+            let mean = stream.item_sums[intern as usize] as f64 / nf;
+            stream.item_sq_sums[intern as usize] as f64 / nf - mean * mean
+        })
+        .sum();
+    let kf = k as f64;
+    let alpha = kf / (kf - 1.0) * (1.0 - item_variance_sum / score_variance);
+    let sem = if (0.0..=1.0).contains(&alpha) {
+        Some(score_variance.sqrt() * (1.0 - alpha).sqrt())
+    } else {
+        None
+    };
+    Reliability {
+        alpha: Some(alpha),
+        items: k,
+        score_variance,
+        sem,
+    }
+}

@@ -1,0 +1,274 @@
+//! A Fenwick (binary indexed) tree over a fixed number of buckets,
+//! used as the counting layer of the order-statistic ranking.
+//!
+//! The ranking spreads students over [`crate::ranking::BUCKETS`] score
+//! buckets; this tree answers "how many students sit in buckets
+//! `0..=b`" and "which bucket holds the k-th ranked student" in
+//! `O(log buckets)`, independent of class size. Both are exact counts —
+//! the in-bucket order is resolved by the ranking's per-bucket sets.
+
+/// Fenwick tree of `u64` counts over a fixed bucket range.
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    /// 1-indexed partial sums; `tree[i]` covers `i - lowbit(i) + 1..=i`.
+    tree: Vec<u64>,
+    /// Number of addressable buckets.
+    len: usize,
+    /// Largest power of two `<= len`, the starting stride of `select`.
+    top: usize,
+}
+
+impl Fenwick {
+    /// An empty tree over `len` buckets.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        let top = if len == 0 {
+            0
+        } else {
+            1 << (usize::BITS - 1 - len.leading_zeros())
+        };
+        Self {
+            tree: vec![0; len + 1],
+            len,
+            top,
+        }
+    }
+
+    /// Number of addressable buckets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no counts at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Adds one count to `bucket`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bucket >= len`.
+    pub fn add(&mut self, bucket: usize) {
+        assert!(bucket < self.len, "bucket {bucket} out of {}", self.len);
+        let mut i = bucket + 1;
+        while i <= self.len {
+            self.tree[i] += 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Removes one count from `bucket`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bucket >= len` or the bucket is already empty
+    /// (checked via the prefix sums, so corruption is caught early).
+    pub fn remove(&mut self, bucket: usize) {
+        assert!(bucket < self.len, "bucket {bucket} out of {}", self.len);
+        assert!(self.count(bucket) > 0, "bucket {bucket} underflow");
+        let mut i = bucket + 1;
+        while i <= self.len {
+            self.tree[i] -= 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Total count in buckets `0..=bucket`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bucket >= len`.
+    #[must_use]
+    pub fn prefix(&self, bucket: usize) -> u64 {
+        assert!(bucket < self.len, "bucket {bucket} out of {}", self.len);
+        let mut sum = 0;
+        let mut i = bucket + 1;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Total count across all buckets.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        if self.len == 0 {
+            0
+        } else {
+            self.prefix(self.len - 1)
+        }
+    }
+
+    /// Count in `bucket` alone.
+    #[must_use]
+    pub fn count(&self, bucket: usize) -> u64 {
+        let below = if bucket == 0 {
+            0
+        } else {
+            self.prefix(bucket - 1)
+        };
+        self.prefix(bucket) - below
+    }
+
+    /// Locates the 0-based `k`-th count in bucket order: returns the
+    /// bucket holding it and the 0-based offset within that bucket, or
+    /// `None` when fewer than `k + 1` counts are stored.
+    ///
+    /// This is the classic Fenwick binary descent: walk strides from the
+    /// largest power of two down, keeping the invariant that `pos`
+    /// covers a prefix with at most `k` counts.
+    #[must_use]
+    pub fn select(&self, k: u64) -> Option<(usize, u64)> {
+        if k >= self.total() {
+            return None;
+        }
+        let mut pos = 0usize; // number of buckets confirmed before the target
+        let mut remaining = k + 1; // 1-based rank still to find
+        let mut stride = self.top;
+        while stride > 0 {
+            let next = pos + stride;
+            if next <= self.len && self.tree[next] < remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            stride >>= 1;
+        }
+        // `pos` full buckets precede the target, so it lives in bucket
+        // `pos` (0-indexed) at offset `remaining - 1`.
+        Some((pos, remaining - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_tree_has_no_counts() {
+        let tree = Fenwick::new(16);
+        assert!(tree.is_empty());
+        assert_eq!(tree.total(), 0);
+        assert_eq!(tree.select(0), None);
+    }
+
+    #[test]
+    fn prefix_sums_match_naive_accumulation() {
+        let mut tree = Fenwick::new(10);
+        let adds = [3usize, 3, 0, 9, 5, 5, 5, 1];
+        for &bucket in &adds {
+            tree.add(bucket);
+        }
+        let mut naive = [0u64; 10];
+        for &bucket in &adds {
+            naive[bucket] += 1;
+        }
+        let mut running = 0;
+        for (bucket, &count) in naive.iter().enumerate() {
+            running += count;
+            assert_eq!(tree.prefix(bucket), running, "prefix({bucket})");
+            assert_eq!(tree.count(bucket), count, "count({bucket})");
+        }
+        assert_eq!(tree.total(), adds.len() as u64);
+    }
+
+    #[test]
+    fn kth_order_queries_walk_the_buckets() {
+        let mut tree = Fenwick::new(8);
+        for bucket in [1usize, 4, 4, 7] {
+            tree.add(bucket);
+        }
+        assert_eq!(tree.select(0), Some((1, 0)));
+        assert_eq!(tree.select(1), Some((4, 0)));
+        assert_eq!(tree.select(2), Some((4, 1)));
+        assert_eq!(tree.select(3), Some((7, 0)));
+        assert_eq!(tree.select(4), None);
+    }
+
+    #[test]
+    fn boundary_ties_resolve_by_offset_within_the_bucket() {
+        // Five counts piled on one bucket: every rank maps to the same
+        // bucket with ascending offsets, which the ranking layer then
+        // resolves through its ordered per-bucket set.
+        let mut tree = Fenwick::new(4);
+        for _ in 0..5 {
+            tree.add(2);
+        }
+        for k in 0..5 {
+            assert_eq!(tree.select(k), Some((2, k)));
+        }
+        // Edge buckets work too.
+        tree.add(0);
+        tree.add(3);
+        assert_eq!(tree.select(0), Some((0, 0)));
+        assert_eq!(tree.select(6), Some((3, 0)));
+    }
+
+    #[test]
+    fn remove_undoes_add() {
+        let mut tree = Fenwick::new(6);
+        tree.add(2);
+        tree.add(2);
+        tree.add(5);
+        tree.remove(2);
+        assert_eq!(tree.count(2), 1);
+        assert_eq!(tree.total(), 2);
+        assert_eq!(tree.select(1), Some((5, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn removing_from_an_empty_bucket_panics() {
+        let mut tree = Fenwick::new(4);
+        tree.remove(1);
+    }
+
+    #[test]
+    fn single_bucket_tree_works() {
+        let mut tree = Fenwick::new(1);
+        tree.add(0);
+        tree.add(0);
+        assert_eq!(tree.prefix(0), 2);
+        assert_eq!(tree.select(1), Some((0, 1)));
+    }
+
+    proptest! {
+        /// Against a naive sorted-vec oracle: a random interleaving of
+        /// adds and removes keeps every prefix sum and every k-th order
+        /// query identical to re-sorting the live multiset.
+        #[test]
+        fn matches_naive_sorted_vec_oracle(
+            ops in proptest::collection::vec((any::<bool>(), 0usize..32), 1..200)
+        ) {
+            let mut tree = Fenwick::new(32);
+            let mut oracle: Vec<usize> = Vec::new();
+            for (remove, bucket) in ops {
+                if remove {
+                    if let Some(at) = oracle.iter().position(|&b| b == bucket) {
+                        oracle.remove(at);
+                        tree.remove(bucket);
+                    }
+                } else {
+                    oracle.push(bucket);
+                    tree.add(bucket);
+                }
+                oracle.sort_unstable();
+                prop_assert_eq!(tree.total(), oracle.len() as u64);
+                let mut running = 0u64;
+                for bucket in 0..32 {
+                    running += oracle.iter().filter(|&&b| b == bucket).count() as u64;
+                    prop_assert_eq!(tree.prefix(bucket), running);
+                }
+                for (k, &bucket) in oracle.iter().enumerate() {
+                    let offset = oracle[..k].iter().filter(|&&b| b == bucket).count() as u64;
+                    prop_assert_eq!(tree.select(k as u64), Some((bucket, offset)));
+                }
+                prop_assert_eq!(tree.select(oracle.len() as u64), None);
+            }
+        }
+    }
+}

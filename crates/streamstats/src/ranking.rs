@@ -1,0 +1,216 @@
+//! The order-statistic ranking: every finished student under the
+//! analysis total order (score descending, student id ascending), with
+//! `O(log n)`-ish rank selection for the moving group boundary.
+//!
+//! Scores are mapped to monotone integer keys ([`RankKey`]) and spread
+//! over [`BUCKETS`] Fenwick-counted buckets by their top bits; the k-th
+//! ranked student is found by a Fenwick binary descent to the right
+//! bucket followed by an in-order walk of that bucket's set. Real score
+//! distributions span many buckets, so the walk is short; adversarially
+//! identical scores degrade to a linear walk of one bucket but stay
+//! correct (and the per-finish repair only ever selects ranks adjacent
+//! to the group boundaries).
+
+use mine_core::StudentId;
+
+use crate::fenwick::Fenwick;
+
+/// Number of score buckets backing the Fenwick tree.
+pub const BUCKETS: usize = 1024;
+
+/// A student's position in the analysis total order.
+///
+/// Ordering is lexicographic on `(inverted score bits, student id)`:
+/// ascending `RankKey` order is exactly the batch pipeline's ranking of
+/// score descending with ties broken by ascending id.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RankKey {
+    /// Monotone-inverted IEEE-754 bits: ascending `ibits` is descending
+    /// score.
+    ibits: u64,
+    /// Tie break: ascending student id.
+    student: StudentId,
+}
+
+impl RankKey {
+    /// Builds the key for a finite `score`; `None` for NaN/±∞, which
+    /// have no defined rank (the batch comparator treats them as equal
+    /// to everything, so such records are unstreamable).
+    #[must_use]
+    pub fn new(score: f64, student: StudentId) -> Option<Self> {
+        if !score.is_finite() {
+            return None;
+        }
+        // Collapse -0.0 onto +0.0: the batch comparator sees them as
+        // equal, so they must map to one integer key.
+        let score = if score == 0.0 { 0.0 } else { score };
+        let bits = score.to_bits();
+        // Standard order-preserving map: flip all bits for negatives,
+        // flip the sign bit for positives — ascending integer order is
+        // then ascending score order. Invert for descending.
+        let monotone = if score.is_sign_negative() {
+            !bits
+        } else {
+            bits | 0x8000_0000_0000_0000
+        };
+        Some(Self {
+            ibits: !monotone,
+            student,
+        })
+    }
+
+    /// The student this key ranks.
+    #[must_use]
+    pub fn student(&self) -> &StudentId {
+        &self.student
+    }
+
+    /// The Fenwick bucket this key counts under.
+    #[must_use]
+    pub fn bucket(&self) -> usize {
+        (self.ibits >> 54) as usize
+    }
+}
+
+/// The full ranking: Fenwick counts per bucket plus ordered per-bucket
+/// sets resolving exact order within a bucket.
+#[derive(Debug)]
+pub struct Ranking {
+    counts: Fenwick,
+    buckets: Vec<std::collections::BTreeSet<RankKey>>,
+}
+
+impl Default for Ranking {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ranking {
+    /// An empty ranking.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: Fenwick::new(BUCKETS),
+            buckets: vec![std::collections::BTreeSet::new(); BUCKETS],
+        }
+    }
+
+    /// Ranked students.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.total() as usize
+    }
+
+    /// Whether nobody is ranked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a key. Returns `false` when it was already present.
+    pub fn insert(&mut self, key: RankKey) -> bool {
+        let bucket = key.bucket();
+        let fresh = self.buckets[bucket].insert(key);
+        if fresh {
+            self.counts.add(bucket);
+        }
+        fresh
+    }
+
+    /// Removes a key. Returns `false` when it was not present.
+    pub fn remove(&mut self, key: &RankKey) -> bool {
+        let bucket = key.bucket();
+        let present = self.buckets[bucket].remove(key);
+        if present {
+            self.counts.remove(bucket);
+        }
+        present
+    }
+
+    /// The 0-based `rank`-th key (rank 0 = best score, ties by id).
+    #[must_use]
+    pub fn select(&self, rank: usize) -> Option<&RankKey> {
+        let (bucket, offset) = self.counts.select(rank as u64)?;
+        self.buckets[bucket].iter().nth(offset as usize)
+    }
+
+    /// The per-bucket occupancy histogram `(bucket, count)` for
+    /// non-empty buckets — the engine's score-histogram backing state,
+    /// exposed for observability.
+    #[must_use]
+    pub fn bucket_histogram(&self) -> Vec<(usize, u64)> {
+        (0..BUCKETS)
+            .filter_map(|b| {
+                let count = self.counts.count(b);
+                (count > 0).then_some((b, count))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sid(s: &str) -> StudentId {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn rank_order_is_score_descending_then_id_ascending() {
+        let mut ranking = Ranking::new();
+        ranking.insert(RankKey::new(5.0, sid("carol")).unwrap());
+        ranking.insert(RankKey::new(9.0, sid("bob")).unwrap());
+        ranking.insert(RankKey::new(5.0, sid("alice")).unwrap());
+        ranking.insert(RankKey::new(-2.0, sid("dan")).unwrap());
+        let order: Vec<&str> = (0..4)
+            .map(|r| ranking.select(r).unwrap().student().as_str())
+            .collect();
+        assert_eq!(order, ["bob", "alice", "carol", "dan"]);
+        assert_eq!(ranking.select(4), None);
+    }
+
+    #[test]
+    fn negative_zero_ties_with_positive_zero() {
+        let a = RankKey::new(0.0, sid("a")).unwrap();
+        let b = RankKey::new(-0.0, sid("b")).unwrap();
+        assert_eq!(a.bucket(), b.bucket());
+        assert!(a < b, "tie resolves by id");
+    }
+
+    #[test]
+    fn non_finite_scores_have_no_key() {
+        assert!(RankKey::new(f64::NAN, sid("x")).is_none());
+        assert!(RankKey::new(f64::INFINITY, sid("x")).is_none());
+        assert!(RankKey::new(f64::NEG_INFINITY, sid("x")).is_none());
+    }
+
+    proptest! {
+        /// The ranking's select agrees with sorting (score desc, id asc)
+        /// the way `ScoreGroups::split` does.
+        #[test]
+        fn select_matches_full_sort(
+            scores in proptest::collection::vec(-1000.0f64..1000.0, 1..60)
+        ) {
+            let mut ranking = Ranking::new();
+            let mut oracle: Vec<(StudentId, f64)> = Vec::new();
+            for (i, &score) in scores.iter().enumerate() {
+                // Duplicate every third score to force bucket ties.
+                let score = if i % 3 == 0 { score.trunc() } else { score };
+                let student = sid(&format!("s{i:03}"));
+                ranking.insert(RankKey::new(score, student.clone()).unwrap());
+                oracle.push((student, score));
+            }
+            oracle.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            for (rank, (student, _)) in oracle.iter().enumerate() {
+                prop_assert_eq!(ranking.select(rank).unwrap().student(), student);
+            }
+        }
+    }
+}
