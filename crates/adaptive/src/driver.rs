@@ -6,6 +6,7 @@ use std::fmt;
 
 use mine_core::ProblemId;
 use mine_simulator::ItemParams;
+use serde::{Deserialize, Serialize};
 
 use crate::estimate::{eap_estimate, AbilityEstimate};
 use crate::select::{max_information, random_item, randomesque, SelectionStrategy};
@@ -85,7 +86,7 @@ impl FromIterator<(ProblemId, ItemParams)> for ItemPool {
 }
 
 /// When the adaptive test stops.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StopRule {
     /// Never ask fewer than this many items.
     pub min_items: usize,

@@ -1,9 +1,10 @@
 //! Ability estimation from scored responses.
 
 use mine_simulator::ItemParams;
+use serde::{Deserialize, Serialize};
 
 /// An ability estimate with its uncertainty.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AbilityEstimate {
     /// The estimated latent ability θ.
     pub theta: f64,

@@ -42,9 +42,11 @@
 pub mod driver;
 pub mod estimate;
 pub mod feedback;
+pub mod options;
 pub mod select;
 
 pub use driver::{AdaptiveError, AdaptiveTest, ItemPool, StopRule};
 pub use estimate::{eap_estimate, mle_estimate, AbilityEstimate};
 pub use feedback::{generate_feedback, StudentFeedback};
+pub use options::{AdaptiveOptions, InvalidAdaptiveOptions};
 pub use select::{max_information, random_item, SelectionStrategy};

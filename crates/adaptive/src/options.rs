@@ -1,0 +1,174 @@
+//! Typed validation of adaptive sitting parameters.
+//!
+//! Mirrors `DeliveryOptions::validate` in `mine-delivery`: a served
+//! adaptive sitting is configured by client-supplied numbers, and every
+//! rejection names the offending field so an HTTP layer can surface a
+//! 422 with a precise error instead of a generic "bad request".
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::driver::StopRule;
+
+/// Parameters of a served adaptive (CAT) sitting.
+///
+/// `seed` does not influence maximum-information selection (which is
+/// deterministic); it distinguishes repeat sittings by the same student
+/// in the session identifier, exactly as fixed-form delivery does.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveOptions {
+    /// Seed folded into the session identifier.
+    pub seed: u64,
+    /// Never ask fewer than this many items.
+    pub min_items: usize,
+    /// Never ask more than this many items.
+    pub max_items: usize,
+    /// Stop once the ability standard error drops to this value.
+    pub se_threshold: f64,
+}
+
+impl AdaptiveOptions {
+    /// Default stop parameters for a bank of `bank_size` calibrated
+    /// items: ask 1–20 items (clamped to the bank), SE target 0.35.
+    #[must_use]
+    pub fn for_bank(bank_size: usize) -> Self {
+        Self {
+            seed: 0,
+            min_items: 1,
+            max_items: bank_size.clamp(1, 20),
+            se_threshold: 0.35,
+        }
+    }
+
+    /// Validates the parameters against a bank of `bank_size` calibrated
+    /// items.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidAdaptiveOptions`] naming the first offending
+    /// field: `se_threshold` must be finite and positive, `max_items`
+    /// must lie in `1..=bank_size`, and `min_items` must not exceed
+    /// `max_items`.
+    pub fn validate(&self, bank_size: usize) -> Result<(), InvalidAdaptiveOptions> {
+        if !(self.se_threshold.is_finite() && self.se_threshold > 0.0) {
+            return Err(InvalidAdaptiveOptions {
+                field: "se_threshold",
+                reason: format!(
+                    "se_threshold must be finite and > 0, got {}",
+                    self.se_threshold
+                ),
+            });
+        }
+        if self.max_items == 0 || self.max_items > bank_size {
+            return Err(InvalidAdaptiveOptions {
+                field: "max_items",
+                reason: format!(
+                    "max_items must be in 1..={bank_size} (the calibrated bank size), got {}",
+                    self.max_items
+                ),
+            });
+        }
+        if self.min_items > self.max_items {
+            return Err(InvalidAdaptiveOptions {
+                field: "min_items",
+                reason: format!(
+                    "min_items ({}) must not exceed max_items ({})",
+                    self.min_items, self.max_items
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The driver stopping rule these options describe.
+    #[must_use]
+    pub fn stop_rule(&self) -> StopRule {
+        StopRule {
+            min_items: self.min_items,
+            max_items: self.max_items,
+            se_target: self.se_threshold,
+        }
+    }
+}
+
+/// A rejected adaptive parameter, naming the field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidAdaptiveOptions {
+    /// The offending field (`"se_threshold"`, `"max_items"`, …).
+    pub field: &'static str,
+    /// Human-readable explanation including the rejected value.
+    pub reason: String,
+}
+
+impl fmt::Display for InvalidAdaptiveOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid adaptive option {}: {}", self.field, self.reason)
+    }
+}
+
+impl StdError for InvalidAdaptiveOptions {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate_for_any_nonempty_bank() {
+        for bank in [1, 2, 5, 20, 500] {
+            let options = AdaptiveOptions::for_bank(bank);
+            options.validate(bank).unwrap();
+            assert!(options.max_items <= bank);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_se_threshold() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let options = AdaptiveOptions {
+                se_threshold: bad,
+                ..AdaptiveOptions::for_bank(10)
+            };
+            let err = options.validate(10).unwrap_err();
+            assert_eq!(err.field, "se_threshold", "{bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_max_items_outside_bank() {
+        for bad in [0, 11, usize::MAX] {
+            let options = AdaptiveOptions {
+                max_items: bad,
+                ..AdaptiveOptions::for_bank(10)
+            };
+            let err = options.validate(10).unwrap_err();
+            assert_eq!(err.field, "max_items", "{bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_min_items_above_max() {
+        let options = AdaptiveOptions {
+            min_items: 9,
+            max_items: 4,
+            ..AdaptiveOptions::for_bank(10)
+        };
+        let err = options.validate(10).unwrap_err();
+        assert_eq!(err.field, "min_items");
+    }
+
+    #[test]
+    fn stop_rule_maps_fields() {
+        let options = AdaptiveOptions {
+            seed: 7,
+            min_items: 2,
+            max_items: 9,
+            se_threshold: 0.25,
+        };
+        let rule = options.stop_rule();
+        assert_eq!(rule.min_items, 2);
+        assert_eq!(rule.max_items, 9);
+        assert!((rule.se_target - 0.25).abs() < f64::EPSILON);
+    }
+}

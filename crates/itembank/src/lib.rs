@@ -52,7 +52,7 @@ pub use assemble::{assemble_from_blueprint, assemble_parallel_forms, Blueprint};
 pub use error::BankError;
 pub use exam::{Exam, ExamBuilder, ExamEntry, GroupStyle, PresentationGroup};
 pub use persist::RepositorySnapshot;
-pub use problem::{ChoiceOption, Grade, MatchPairs, Problem, ProblemBody};
+pub use problem::{Calibration, ChoiceOption, Grade, MatchPairs, Problem, ProblemBody};
 pub use repository::Repository;
 pub use search::{Query, QueryBuilder, SearchHit, SearchIndex};
 pub use template::{LayoutSlot, Position, Template};

@@ -200,6 +200,45 @@ impl Grade {
     }
 }
 
+/// Calibrated 3PL item-response-theory parameters for a problem.
+///
+/// Stored as plain numbers so the item bank stays independent of the
+/// estimation crates; consumers clamp/validate when converting into
+/// their own parameter types. `None` on a problem means the item has
+/// never been calibrated and cannot be served adaptively.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Discrimination (slope) parameter `a`.
+    pub discrimination: f64,
+    /// Difficulty (location) parameter `b`.
+    pub difficulty: f64,
+    /// Pseudo-guessing (lower asymptote) parameter `c`.
+    pub guessing: f64,
+}
+
+impl Calibration {
+    /// Creates a calibration triple.
+    #[must_use]
+    pub fn new(discrimination: f64, difficulty: f64, guessing: f64) -> Self {
+        Self {
+            discrimination,
+            difficulty,
+            guessing,
+        }
+    }
+
+    /// Whether every parameter is finite and the triple is usable for
+    /// 3PL estimation (`a > 0`, `c` in `[0, 1)`).
+    #[must_use]
+    pub fn is_usable(&self) -> bool {
+        self.discrimination.is_finite()
+            && self.discrimination > 0.0
+            && self.difficulty.is_finite()
+            && self.guessing.is_finite()
+            && (0.0..1.0).contains(&self.guessing)
+    }
+}
+
 /// A problem: identifier, typed body, MINE metadata, and point value.
 ///
 /// # Examples
@@ -228,6 +267,7 @@ pub struct Problem {
     metadata: MineMetadata,
     points: f64,
     template: Option<TemplateRef>,
+    calibration: Option<Calibration>,
 }
 
 impl Problem {
@@ -255,6 +295,7 @@ impl Problem {
             metadata,
             points: Self::DEFAULT_POINTS,
             template: None,
+            calibration: None,
         };
         problem.validate()?;
         Ok(problem)
@@ -497,6 +538,24 @@ impl Problem {
     /// Attaches a presentation template reference.
     pub fn set_template(&mut self, template: Option<TemplateRef>) {
         self.template = template;
+    }
+
+    /// The calibrated 3PL parameters, if the item has been calibrated.
+    #[must_use]
+    pub fn calibration(&self) -> Option<Calibration> {
+        self.calibration
+    }
+
+    /// Sets (or clears) the calibrated 3PL parameters.
+    pub fn set_calibration(&mut self, calibration: Option<Calibration>) {
+        self.calibration = calibration;
+    }
+
+    /// Builder-style calibration setter.
+    #[must_use]
+    pub fn with_calibration(mut self, calibration: Calibration) -> Self {
+        self.calibration = Some(calibration);
+        self
     }
 
     /// Validates the body invariants.

@@ -209,7 +209,7 @@ pub fn pause_and_snapshot(state: &ServerState) -> DrainReport {
         // mid-request, making the captured image consistent with the
         // log even when the drain deadline expired with work running.
         let _gate = journal.gate_write();
-        let image = ServerImage::capture(&state.registry, &state.finished);
+        let image = ServerImage::capture(&state.registry, &state.finished, &state.adaptive);
         match journal.write_snapshot(&image) {
             Ok(()) => {
                 report.snapshot_written = true;

@@ -33,12 +33,14 @@ use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use serde::{Deserialize, Serialize};
 
+use mine_adaptive::AdaptiveOptions;
 use mine_core::{Answer, ExamId, StudentId, StudentRecord};
 use mine_delivery::{DeliveryOptions, ExamSession, SessionCheckpoint, SessionImage};
 use mine_itembank::Repository;
 use mine_store::{EventStore, Recovered, StoreError, StoreOptions};
 use mine_streamstats::StreamEngine;
 
+use crate::adaptive::{AdaptiveImage, AdaptiveRegistry, AdaptiveSitting};
 use crate::registry::{FinishedStore, SessionRegistry};
 use crate::router::ServerState;
 
@@ -84,6 +86,34 @@ pub enum SessionEvent {
         /// The session finished.
         session: String,
     },
+    /// `POST /sessions` with `"mode": "adaptive"` — a CAT sitting was
+    /// started. Like `Created`, the session id derives from exam,
+    /// student, and seed.
+    AdaptiveCreated {
+        /// The exam sat.
+        exam: ExamId,
+        /// The learner.
+        student: StudentId,
+        /// Stop-rule parameters and seed.
+        options: AdaptiveOptions,
+    },
+    /// One adaptive step: the answer submitted for the pending item.
+    /// The estimator state delta is *implied* — replaying the answer
+    /// through the deterministic grade → record → EAP → max-information
+    /// pipeline reproduces the posterior and the next item bit-for-bit.
+    AdaptiveStep {
+        /// The sitting stepped.
+        session: String,
+        /// The submitted answer.
+        answer: Answer,
+        /// Reported time on the item.
+        time_spent: std::time::Duration,
+    },
+    /// `POST /sessions/{id}/finish` on an adaptive sitting.
+    AdaptiveFinished {
+        /// The sitting finished.
+        session: String,
+    },
 }
 
 impl SessionEvent {
@@ -96,6 +126,9 @@ impl SessionEvent {
             SessionEvent::Paused { .. } => "paused",
             SessionEvent::Resumed { .. } => "resumed",
             SessionEvent::Finished { .. } => "finished",
+            SessionEvent::AdaptiveCreated { .. } => "adaptive-created",
+            SessionEvent::AdaptiveStep { .. } => "adaptive-step",
+            SessionEvent::AdaptiveFinished { .. } => "adaptive-finished",
         }
     }
 }
@@ -126,12 +159,19 @@ pub struct ServerImage {
     pub sessions: Vec<SlotImage>,
     /// Finished records, ordered by exam id.
     pub finished: Vec<ExamRecords>,
+    /// Live adaptive sittings, ordered by session id. `Option` so
+    /// snapshots written before adaptive serving existed still decode.
+    pub adaptive: Option<Vec<AdaptiveImage>>,
 }
 
 impl ServerImage {
-    /// Captures the current registry and finished store.
+    /// Captures the current registries and finished store.
     #[must_use]
-    pub fn capture(registry: &SessionRegistry, finished: &FinishedStore) -> Self {
+    pub fn capture(
+        registry: &SessionRegistry,
+        finished: &FinishedStore,
+        adaptive: &AdaptiveRegistry,
+    ) -> Self {
         Self {
             sessions: registry
                 .capture()
@@ -146,6 +186,7 @@ impl ServerImage {
                 .into_iter()
                 .map(|(exam, records)| ExamRecords { exam, records })
                 .collect(),
+            adaptive: Some(adaptive.capture()),
         }
     }
 
@@ -164,6 +205,7 @@ impl ServerImage {
         registry: &SessionRegistry,
         finished: &FinishedStore,
         stream: &StreamEngine,
+        adaptive: &AdaptiveRegistry,
     ) -> Result<(), String> {
         for slot in self.sessions {
             let id = slot.session.id.as_str().to_string();
@@ -183,6 +225,13 @@ impl ServerImage {
                 stream.apply(&exam.exam, &record);
                 finished.push(&exam.exam, record);
             }
+        }
+        for image in self.adaptive.unwrap_or_default() {
+            let sitting = image.restore()?;
+            let id = sitting.id().to_string();
+            adaptive
+                .insert(sitting)
+                .map_err(|err| format!("adaptive sitting {id} failed to re-register: {err:?}"))?;
         }
         Ok(())
     }
@@ -335,6 +384,7 @@ pub(crate) fn apply_event(
     registry: &SessionRegistry,
     finished: &FinishedStore,
     stream: &StreamEngine,
+    adaptive: &AdaptiveRegistry,
     event: SessionEvent,
 ) -> Option<String> {
     match event {
@@ -404,6 +454,54 @@ pub(crate) fn apply_event(
                 Err(err) => Some(format!("finished: {err}")),
             }
         }
+        SessionEvent::AdaptiveCreated {
+            exam,
+            student,
+            options,
+        } => {
+            let (exam, problems) = match repository.resolve_exam(&exam) {
+                Ok(resolved) => resolved,
+                Err(err) => return Some(format!("adaptive-created: {err}")),
+            };
+            let sitting =
+                match AdaptiveSitting::start(exam.id().clone(), problems, student, options) {
+                    Ok(sitting) => sitting,
+                    Err(err) => return Some(format!("adaptive-created: {err}")),
+                };
+            adaptive
+                .insert(sitting)
+                .err()
+                .map(|err| format!("adaptive-created: {err:?}"))
+        }
+        SessionEvent::AdaptiveStep {
+            session,
+            answer,
+            time_spent,
+        } => match adaptive.with(&session, |sitting| sitting.answer(answer, time_spent)) {
+            // A step the live server rejected (a grading error after the
+            // append) replays as the same deterministic rejection.
+            Ok(_) => None,
+            Err(err) => Some(format!("adaptive-step: {err:?}")),
+        },
+        SessionEvent::AdaptiveFinished { session } => {
+            let outcome = adaptive.with(&session, |sitting| {
+                sitting
+                    .finish()
+                    .map(|record| (sitting.exam().as_str().to_string(), record))
+            });
+            match outcome {
+                Ok(Ok((exam, record))) => {
+                    stream.with_exam(&exam, |exam_stream| {
+                        finished.push(&exam, record.clone());
+                        exam_stream.apply(&record);
+                    });
+                    adaptive.remove(&session);
+                    None
+                }
+                Ok(Err(err)) => Some(format!("adaptive-finished: {err}")),
+                Err(err) => Some(format!("adaptive-finished: {err:?}")),
+            }
+        }
     }
 }
 
@@ -435,9 +533,15 @@ pub fn open_journaled_state(
             .map_err(|_| "snapshot payload is not UTF-8".to_string())?;
         let image: ServerImage = serde_json::from_str(&text)
             .map_err(|err| format!("snapshot failed to decode: {err}"))?;
-        report.snapshot_sessions = image.sessions.len();
+        report.snapshot_sessions =
+            image.sessions.len() + image.adaptive.as_ref().map_or(0, Vec::len);
         report.snapshot_records = image.finished.iter().map(|e| e.records.len()).sum();
-        image.restore(&state.registry, &state.finished, &state.stream)?;
+        image.restore(
+            &state.registry,
+            &state.finished,
+            &state.stream,
+            &state.adaptive,
+        )?;
     }
 
     for record in recovered.events {
@@ -450,6 +554,7 @@ pub fn open_journaled_state(
             &state.registry,
             &state.finished,
             &state.stream,
+            &state.adaptive,
             event,
         ) {
             report.notes.push(format!("seq {}: {note}", record.seq));
@@ -511,6 +616,24 @@ mod tests {
             },
             SessionEvent::Finished {
                 session: "quiz#s1@7".to_string(),
+            },
+            SessionEvent::AdaptiveCreated {
+                exam: "quiz".parse().unwrap(),
+                student: "s1".parse().unwrap(),
+                options: AdaptiveOptions {
+                    seed: 3,
+                    min_items: 1,
+                    max_items: 8,
+                    se_threshold: 0.3,
+                },
+            },
+            SessionEvent::AdaptiveStep {
+                session: "quiz~s1@3".to_string(),
+                answer: Answer::TrueFalse(false),
+                time_spent: Duration::from_secs(4),
+            },
+            SessionEvent::AdaptiveFinished {
+                session: "quiz~s1@3".to_string(),
             },
         ];
         for event in events {

@@ -9,8 +9,8 @@
 //!
 //! | Endpoint | Purpose |
 //! |---|---|
-//! | `POST /sessions` | start a sitting from an exam in the repository |
-//! | `GET /sessions/{id}` | session status |
+//! | `POST /sessions` | start a sitting (`"mode": "adaptive"` for CAT) |
+//! | `GET /sessions/{id}` | session status (adaptive: current item, θ̂, SE, steps) |
 //! | `POST /sessions/{id}/answers` | answer the current question |
 //! | `POST /sessions/{id}/pause` | pause, returning a checkpoint |
 //! | `POST /sessions/{id}/resume` | reactivate a paused sitting |
@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod client;
 pub mod drain;
 pub mod http;
@@ -63,6 +64,9 @@ pub mod repl;
 pub mod router;
 pub mod serve;
 
+pub use adaptive::{
+    AdaptiveImage, AdaptiveLookup, AdaptiveRegistry, AdaptiveSitting, AdaptiveStep,
+};
 pub use client::{
     backoff_delay, ClientResponse, HttpClient, ResilientClient, RetryPolicy, DEFAULT_CLIENT_TIMEOUT,
 };
@@ -72,7 +76,7 @@ pub use journal::{
     decode_events, open_journaled_state, Journal, RecoveryReport, ServerImage, SessionEvent,
     SlotImage,
 };
-pub use loadgen::{run_loadgen, LoadGenOptions, LoadGenReport};
+pub use loadgen::{run_loadgen, AnswerKey, LoadGenOptions, LoadGenReport, LoadMode};
 pub use metrics::{Metrics, MetricsSnapshot, Route};
 pub use overload::{OverloadOptions, PeerLimiter, RateLimit, TokenBucket};
 pub use registry::{FinishedStore, RegistryError, SessionRegistry, SessionSlot};

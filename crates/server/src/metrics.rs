@@ -163,6 +163,14 @@ pub struct Metrics {
     /// by the metrics handler like the replication gauges.
     pool_workers: AtomicU64,
     pool_steals_total: AtomicU64,
+    /// Adaptive (CAT) sitting lifecycle counters.
+    adaptive_sessions_started: AtomicU64,
+    adaptive_sessions_finished: AtomicU64,
+    /// Adaptive steps (answer → re-estimate → next-item selection); the
+    /// counter doubles as the histogram count.
+    adaptive_steps_total: AtomicU64,
+    adaptive_step_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    adaptive_step_sum_us: AtomicU64,
 }
 
 impl Metrics {
@@ -314,6 +322,27 @@ impl Metrics {
         self.streaming_update_count.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts an adaptive sitting start.
+    pub fn adaptive_session_started(&self) {
+        self.adaptive_sessions_started
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an adaptive sitting finish.
+    pub fn adaptive_session_closed(&self) {
+        self.adaptive_sessions_finished
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one adaptive step: grade, ability re-estimate, and
+    /// next-item selection for a single answer.
+    pub fn record_adaptive_step(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.adaptive_step_buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.adaptive_step_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.adaptive_steps_total.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Publishes the work-stealing pool gauges (refreshed by the
     /// metrics handler from [`mine_pool::stats`]).
     pub fn set_pool(&self, workers: u64, steals: u64) {
@@ -323,7 +352,7 @@ impl Metrics {
 
     /// Takes a consistent-enough snapshot for rendering.
     #[must_use]
-    pub fn snapshot(&self, active_sessions: usize) -> MetricsSnapshot {
+    pub fn snapshot(&self, active_sessions: usize, adaptive_active: usize) -> MetricsSnapshot {
         MetricsSnapshot {
             requests: Route::ALL
                 .iter()
@@ -390,6 +419,16 @@ impl Metrics {
             streaming_updates_total: self.streaming_update_count.load(Ordering::Relaxed),
             pool_workers: self.pool_workers.load(Ordering::Relaxed),
             pool_steals_total: self.pool_steals_total.load(Ordering::Relaxed),
+            adaptive_sessions_started: self.adaptive_sessions_started.load(Ordering::Relaxed),
+            adaptive_sessions_finished: self.adaptive_sessions_finished.load(Ordering::Relaxed),
+            adaptive_sessions_active: adaptive_active,
+            adaptive_steps_total: self.adaptive_steps_total.load(Ordering::Relaxed),
+            adaptive_step_buckets: self
+                .adaptive_step_buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            adaptive_step_sum_us: self.adaptive_step_sum_us.load(Ordering::Relaxed),
         }
     }
 }
@@ -473,6 +512,19 @@ pub struct MetricsSnapshot {
     pub pool_workers: u64,
     /// Tasks executed by a worker other than the one that queued them.
     pub pool_steals_total: u64,
+    /// Adaptive (CAT) sittings ever started.
+    pub adaptive_sessions_started: u64,
+    /// Adaptive sittings ever finished.
+    pub adaptive_sessions_finished: u64,
+    /// Adaptive sittings currently resident in the registry.
+    pub adaptive_sessions_active: usize,
+    /// Adaptive steps ever served (doubles as the histogram count).
+    pub adaptive_steps_total: u64,
+    /// Adaptive step duration histogram (same bucket bounds as
+    /// [`LATENCY_BUCKETS_US`], last entry is the overflow bucket).
+    pub adaptive_step_buckets: Vec<u64>,
+    /// Sum of adaptive step durations in microseconds.
+    pub adaptive_step_sum_us: u64,
 }
 
 impl Serialize for MetricsSnapshot {
@@ -563,6 +615,30 @@ impl Serialize for MetricsSnapshot {
             (
                 "pool_steals_total".to_string(),
                 self.pool_steals_total.to_value(),
+            ),
+            (
+                "adaptive_step_us".to_string(),
+                histogram(
+                    &self.adaptive_step_buckets,
+                    self.adaptive_step_sum_us,
+                    self.adaptive_steps_total,
+                ),
+            ),
+            (
+                "adaptive_steps_total".to_string(),
+                self.adaptive_steps_total.to_value(),
+            ),
+            (
+                "adaptive_sessions_started".to_string(),
+                self.adaptive_sessions_started.to_value(),
+            ),
+            (
+                "adaptive_sessions_finished".to_string(),
+                self.adaptive_sessions_finished.to_value(),
+            ),
+            (
+                "adaptive_sessions_active".to_string(),
+                (self.adaptive_sessions_active as u64).to_value(),
             ),
             (
                 "sessions_started".to_string(),
@@ -739,6 +815,36 @@ impl MetricsSnapshot {
             self.streaming_updates_total
         ));
 
+        out.push_str(
+            "# HELP mine_adaptive_step_seconds Adaptive step: grade, re-estimate, next item.\n",
+        );
+        out.push_str("# TYPE mine_adaptive_step_seconds histogram\n");
+        let mut cumulative = 0_u64;
+        for (i, bucket_count) in self.adaptive_step_buckets.iter().enumerate() {
+            cumulative += bucket_count;
+            let le = LATENCY_BUCKETS_US.get(i).map_or_else(
+                || "+Inf".to_string(),
+                |&us| format!("{}", us as f64 / 1_000_000.0),
+            );
+            out.push_str(&format!(
+                "mine_adaptive_step_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "mine_adaptive_step_seconds_sum {}\n",
+            self.adaptive_step_sum_us as f64 / 1_000_000.0
+        ));
+        out.push_str(&format!(
+            "mine_adaptive_step_seconds_count {}\n",
+            self.adaptive_steps_total
+        ));
+        out.push_str("# HELP mine_adaptive_steps_total Adaptive steps ever served.\n");
+        out.push_str("# TYPE mine_adaptive_steps_total counter\n");
+        out.push_str(&format!(
+            "mine_adaptive_steps_total {}\n",
+            self.adaptive_steps_total
+        ));
+
         for (name, help, value) in [
             (
                 "mine_sessions_started_total",
@@ -749,6 +855,16 @@ impl MetricsSnapshot {
                 "mine_sessions_finished_total",
                 "Sessions ever finished.",
                 self.sessions_finished,
+            ),
+            (
+                "mine_adaptive_sessions_started_total",
+                "Adaptive (CAT) sittings ever started.",
+                self.adaptive_sessions_started,
+            ),
+            (
+                "mine_adaptive_sessions_finished_total",
+                "Adaptive (CAT) sittings ever finished.",
+                self.adaptive_sessions_finished,
             ),
             (
                 "mine_shed_total",
@@ -769,6 +885,11 @@ impl MetricsSnapshot {
                 "mine_active_sessions",
                 "Sessions currently resident in the registry.",
                 self.active_sessions as u64,
+            ),
+            (
+                "mine_adaptive_sessions_active",
+                "Adaptive (CAT) sittings currently resident in the registry.",
+                self.adaptive_sessions_active as u64,
             ),
             (
                 "mine_queue_depth",
@@ -868,7 +989,7 @@ mod tests {
         metrics.session_started();
         metrics.session_finished();
 
-        let snapshot = metrics.snapshot(3);
+        let snapshot = metrics.snapshot(3, 0);
         let by_label: std::collections::HashMap<_, _> = snapshot.requests.iter().copied().collect();
         assert_eq!(by_label["healthz"], 1);
         assert_eq!(by_label["answer"], 1);
@@ -895,7 +1016,7 @@ mod tests {
         metrics.record(Route::Answer, 200, Duration::from_micros(80));
         metrics.record(Route::Answer, 422, Duration::from_micros(300));
         metrics.record(Route::Analysis, 500, Duration::from_secs(2));
-        let text = metrics.snapshot(2).to_prometheus();
+        let text = metrics.snapshot(2, 0).to_prometheus();
 
         assert!(text.contains("# TYPE mine_requests_total counter"));
         assert!(text.contains("mine_requests_total{route=\"answer\"} 2"));
@@ -925,7 +1046,7 @@ mod tests {
         metrics.inflight_enter();
         metrics.set_drain_state(1);
 
-        let snapshot = metrics.snapshot(0);
+        let snapshot = metrics.snapshot(0, 0);
         assert_eq!(snapshot.shed_total, 2);
         assert_eq!(snapshot.rate_limited_total, 1);
         assert_eq!(snapshot.queue_depth, 1);
@@ -959,7 +1080,7 @@ mod tests {
         metrics.redirected();
         metrics.redirected();
 
-        let snapshot = metrics.snapshot(0);
+        let snapshot = metrics.snapshot(0, 0);
         assert_eq!(snapshot.repl_role, 1);
         assert_eq!(snapshot.repl_epoch, 3);
         assert_eq!(snapshot.repl_last_applied_seq, 41);
@@ -992,7 +1113,7 @@ mod tests {
         metrics.record_streaming_analysis(Duration::from_micros(60));
         metrics.set_pool(4, 17);
 
-        let snapshot = metrics.snapshot(0);
+        let snapshot = metrics.snapshot(0, 0);
         assert_eq!(snapshot.analysis_cold_count, 2);
         assert_eq!(snapshot.analysis_hit_count, 1);
         assert_eq!(snapshot.analysis_streaming_count, 1);
@@ -1043,7 +1164,7 @@ mod tests {
         metrics.record_streaming_update(Duration::from_micros(400));
         metrics.record_streaming_update(Duration::from_millis(30));
 
-        let snapshot = metrics.snapshot(0);
+        let snapshot = metrics.snapshot(0, 0);
         assert_eq!(snapshot.streaming_updates_total, 3);
         assert_eq!(snapshot.streaming_update_buckets[0], 1);
         assert_eq!(snapshot.streaming_update_buckets[2], 1);
@@ -1071,10 +1192,47 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_counters_and_histogram_render_everywhere() {
+        let metrics = Metrics::new();
+        metrics.adaptive_session_started();
+        metrics.adaptive_session_started();
+        metrics.adaptive_session_closed();
+        metrics.record_adaptive_step(Duration::from_micros(90));
+        metrics.record_adaptive_step(Duration::from_millis(40));
+
+        let snapshot = metrics.snapshot(0, 1);
+        assert_eq!(snapshot.adaptive_sessions_started, 2);
+        assert_eq!(snapshot.adaptive_sessions_finished, 1);
+        assert_eq!(snapshot.adaptive_sessions_active, 1);
+        assert_eq!(snapshot.adaptive_steps_total, 2);
+        assert_eq!(snapshot.adaptive_step_buckets[0], 1);
+        assert_eq!(snapshot.adaptive_step_sum_us, 90 + 40_000);
+
+        let text = snapshot.to_prometheus();
+        assert!(text.contains("# TYPE mine_adaptive_step_seconds histogram"));
+        assert!(text.contains("mine_adaptive_step_seconds_bucket{le=\"0.0001\"} 1"));
+        assert!(text.contains("mine_adaptive_step_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("mine_adaptive_steps_total 2"));
+        assert!(text.contains("# TYPE mine_adaptive_sessions_active gauge"));
+        assert!(text.contains("mine_adaptive_sessions_active 1"));
+        assert!(text.contains("mine_adaptive_sessions_started_total 2"));
+        assert!(text.contains("mine_adaptive_sessions_finished_total 1"));
+
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let value: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value.get("adaptive_steps_total").unwrap().kind(), "number");
+        assert!(value
+            .get("adaptive_step_us")
+            .unwrap()
+            .get("buckets")
+            .is_some());
+    }
+
+    #[test]
     fn snapshot_renders_as_json() {
         let metrics = Metrics::new();
         metrics.record(Route::Metrics, 200, Duration::from_micros(10));
-        let json = serde_json::to_string(&metrics.snapshot(0)).unwrap();
+        let json = serde_json::to_string(&metrics.snapshot(0, 0)).unwrap();
         let value: Value = serde_json::from_str(&json).unwrap();
         assert!(value.get("requests").is_some());
         assert!(value.get("latency_us").is_some());

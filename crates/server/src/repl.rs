@@ -530,7 +530,7 @@ fn serve_follower(stream: TcpStream, router: &Router) -> Result<(), ReplError> {
     // exactly `last_seq + 1`.
     let (snapshot_frame, last_seq, receiver, acked, id) = {
         let _gate = journal.gate_write();
-        let image = ServerImage::capture(&state.registry, &state.finished);
+        let image = ServerImage::capture(&state.registry, &state.finished, &state.adaptive);
         let payload = serde_json::to_string(&image)
             .map_err(|err| ReplError::Frame {
                 reason: format!("image failed to serialize: {err}"),
@@ -781,8 +781,14 @@ fn follow_once(primary_addr: &str, router: &Router) -> Result<(), ReplError> {
         state.registry.clear();
         state.finished.clear();
         state.stream.clear();
+        state.adaptive.clear();
         image
-            .restore(&state.registry, &state.finished, &state.stream)
+            .restore(
+                &state.registry,
+                &state.finished,
+                &state.stream,
+                &state.adaptive,
+            )
             .map_err(|reason| ReplError::Frame { reason })?;
     }
     write_message(&mut writer, &Message::Ack { seq: last_seq })?;
@@ -830,6 +836,7 @@ fn follow_once(primary_addr: &str, router: &Router) -> Result<(), ReplError> {
                         &state.registry,
                         &state.finished,
                         &state.stream,
+                        &state.adaptive,
                         event,
                     );
                 }

@@ -11,12 +11,16 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Number, Serialize, Value};
 
+use mine_adaptive::AdaptiveOptions;
 use mine_analysis::{AnalysisConfig, BatchAnalyzer};
 use mine_core::{Answer, ExamRecord};
 use mine_delivery::{DeliveryError, DeliveryOptions, ExamSession, SessionState};
 use mine_itembank::{Problem, ProblemBody, Repository};
 use mine_streamstats::StreamEngine;
 
+use crate::adaptive::{
+    AdaptiveAnswerError, AdaptiveLookup, AdaptiveRegistry, AdaptiveSitting, AdaptiveStartError,
+};
 use crate::drain::Lifecycle;
 use crate::http::{Request, Response};
 use crate::journal::{Journal, ServerImage, SessionEvent};
@@ -31,6 +35,12 @@ pub struct ServerState {
     pub repository: Repository,
     /// Live sessions.
     pub registry: SessionRegistry,
+    /// Live adaptive (CAT) sittings — a separate registry because the
+    /// lifecycle (one item at a time, no pause, estimator on the hot
+    /// path) shares nothing with `ExamSession` slots. Session-id
+    /// formats are disjoint (`~` vs `#`), so shared `/sessions/{id}`
+    /// routes dispatch by which registry claims the id.
+    pub adaptive: AdaptiveRegistry,
     /// Finished records, grouped per exam for live analysis.
     pub finished: FinishedStore,
     /// The §4 pipeline with its fingerprint-keyed cache (the
@@ -69,6 +79,7 @@ impl ServerState {
         Self {
             repository,
             registry: SessionRegistry::default(),
+            adaptive: AdaptiveRegistry::new(),
             finished: FinishedStore::new(),
             analyzer: BatchAnalyzer::new(config),
             stream: Arc::new(StreamEngine::new(config)),
@@ -143,6 +154,29 @@ impl From<RegistryError> for ApiError {
     }
 }
 
+impl From<AdaptiveLookup> for ApiError {
+    fn from(err: AdaptiveLookup) -> Self {
+        match err {
+            AdaptiveLookup::Missing => Self::not_found("no adaptive sitting with that id"),
+            AdaptiveLookup::Gone => Self::new(410, "adaptive sitting already finished"),
+            AdaptiveLookup::Duplicate => {
+                Self::conflict("an adaptive sitting with that id already exists")
+            }
+        }
+    }
+}
+
+impl From<AdaptiveAnswerError> for ApiError {
+    fn from(err: AdaptiveAnswerError) -> Self {
+        match err {
+            AdaptiveAnswerError::Complete => Self::conflict(
+                "the stop rule has fired; the sitting only accepts POST /sessions/{id}/finish",
+            ),
+            AdaptiveAnswerError::Grading(message) => Self::new(422, message),
+        }
+    }
+}
+
 type ApiResult = Result<Response, ApiError>;
 
 impl Router {
@@ -208,7 +242,11 @@ impl Router {
         if !journal.due_for_snapshot() {
             return;
         }
-        let image = ServerImage::capture(&self.state.registry, &self.state.finished);
+        let image = ServerImage::capture(
+            &self.state.registry,
+            &self.state.finished,
+            &self.state.adaptive,
+        );
         if let Err(err) = journal.write_snapshot(&image) {
             // A failed snapshot is not fatal: the log is intact and
             // compaction will be retried after the next mutation.
@@ -338,7 +376,10 @@ impl Router {
         self.state
             .metrics
             .set_pool(pool.workers as u64, pool.steals);
-        let snapshot = self.state.metrics.snapshot(self.state.registry.len());
+        let snapshot = self
+            .state
+            .metrics
+            .snapshot(self.state.registry.len(), self.state.adaptive.len());
         let wants_json = request
             .query
             .as_deref()
@@ -438,14 +479,32 @@ impl Router {
         ))
     }
 
+    /// `POST /sessions` — dispatches on the optional `"mode"` field:
+    /// absent or `"fixed"` starts a fixed-form sitting, `"adaptive"` a
+    /// CAT sitting.
     fn start_session(&self, request: &Request) -> ApiResult {
         let body = parse_body(request)?;
-        let exam_id = require_str(&body, "exam")?;
-        let student = require_str(&body, "student")?;
+        match body.get("mode") {
+            None | Some(Value::Null) => self.start_fixed(&body),
+            Some(Value::String(mode)) if mode == "fixed" => self.start_fixed(&body),
+            Some(Value::String(mode)) if mode == "adaptive" => self.start_adaptive(&body),
+            Some(Value::String(mode)) => Err(ApiError::bad_request(format!(
+                "unknown session mode {mode:?} (expected \"fixed\" or \"adaptive\")"
+            ))),
+            Some(other) => Err(ApiError::bad_request(format!(
+                "field `mode` must be a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn start_fixed(&self, body: &Value) -> ApiResult {
+        let exam_id = require_str(body, "exam")?;
+        let student = require_str(body, "student")?;
         let options = DeliveryOptions {
-            seed: optional_u64(&body, "seed")?.unwrap_or(0),
-            resumable: optional_bool(&body, "resumable")?.unwrap_or(true),
-            time_accommodation: optional_f64(&body, "time_accommodation")?.unwrap_or(1.0),
+            seed: optional_u64(body, "seed")?.unwrap_or(0),
+            resumable: optional_bool(body, "resumable")?.unwrap_or(true),
+            time_accommodation: optional_f64(body, "time_accommodation")?.unwrap_or(1.0),
         };
         let (exam, problems) = self
             .state
@@ -487,7 +546,66 @@ impl Router {
         Ok(ok_json(201, body))
     }
 
+    /// `POST /sessions` with `"mode": "adaptive"`: starts a CAT sitting
+    /// serving one item at a time. Parameter or calibration problems
+    /// answer `422` with the offending field named in the body.
+    fn start_adaptive(&self, body: &Value) -> ApiResult {
+        let exam_id = require_str(body, "exam")?;
+        let student = require_str(body, "student")?;
+        let (exam, problems) = self
+            .state
+            .repository
+            .resolve_exam(
+                &exam_id
+                    .parse()
+                    .map_err(|err| ApiError::bad_request(format!("bad exam id: {err}")))?,
+            )
+            .map_err(|err| ApiError::not_found(err.to_string()))?;
+        let defaults = AdaptiveOptions::for_bank(problems.len());
+        let as_count = |value: u64| usize::try_from(value).unwrap_or(usize::MAX);
+        let options = AdaptiveOptions {
+            seed: optional_u64(body, "seed")?.unwrap_or(defaults.seed),
+            min_items: optional_u64(body, "min_items")?.map_or(defaults.min_items, as_count),
+            max_items: optional_u64(body, "max_items")?.map_or(defaults.max_items, as_count),
+            se_threshold: optional_f64(body, "se_threshold")?.unwrap_or(defaults.se_threshold),
+        };
+        let student = student
+            .parse()
+            .map_err(|err| ApiError::bad_request(format!("bad student id: {err}")))?;
+        let mut sitting =
+            match AdaptiveSitting::start(exam.id().clone(), problems, student, options) {
+                Ok(sitting) => sitting,
+                Err(err) => return Ok(adaptive_rejection(&err)),
+            };
+        let started_body = adaptive_started_body(&mut sitting);
+        match &self.state.journal {
+            Some(journal) => {
+                let _gate = journal.gate_read();
+                // Same ordering guarantee as fixed-form Created events.
+                let _create = self.state.create_lock.lock();
+                self.journal_event(
+                    journal,
+                    &SessionEvent::AdaptiveCreated {
+                        exam: exam.id().clone(),
+                        student: sitting.student().clone(),
+                        options,
+                    },
+                )?;
+                self.state.adaptive.insert(sitting)?;
+            }
+            None => {
+                self.state.adaptive.insert(sitting)?;
+            }
+        }
+        self.state.metrics.adaptive_session_started();
+        Ok(ok_json(201, started_body))
+    }
+
     fn session_status(&self, id: &str) -> ApiResult {
+        if self.state.adaptive.routes(id) {
+            let status = self.state.adaptive.with(id, adaptive_status_body)?;
+            return Ok(ok_json(200, status));
+        }
         let status = self
             .state
             .registry
@@ -495,7 +613,88 @@ impl Router {
         Ok(ok_json(200, status))
     }
 
+    /// `POST /sessions/{id}/answers` on an adaptive sitting: journal
+    /// the step WAL-first, grade, re-estimate, select the next item.
+    fn adaptive_answer(&self, id: &str, request: &Request) -> ApiResult {
+        let body = parse_body(request)?;
+        let answer_value = body
+            .get("answer")
+            .ok_or_else(|| ApiError::bad_request("missing field `answer`"))?;
+        let answer = Answer::from_value(answer_value)
+            .map_err(|err| ApiError::bad_request(format!("bad answer: {err}")))?;
+        let secs = optional_f64(&body, "time_spent_secs")?.unwrap_or(0.0);
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(ApiError::bad_request(format!(
+                "time_spent_secs must be a non-negative finite number, got {secs}"
+            )));
+        }
+        let time_spent = Duration::try_from_secs_f64(secs)
+            .map_err(|err| ApiError::bad_request(format!("bad time_spent_secs: {err}")))?;
+        let journal = self.state.journal.as_ref();
+        let _gate = journal.map(Journal::gate_read);
+        let step_started = Instant::now();
+        let status = self.state.adaptive.with(id, |sitting| {
+            if sitting.is_done() {
+                // Rejected before journaling: a complete sitting's log
+                // must end at its last accepted step.
+                return Err(ApiError::from(AdaptiveAnswerError::Complete));
+            }
+            if let Some(journal) = journal {
+                self.journal_event(
+                    journal,
+                    &SessionEvent::AdaptiveStep {
+                        session: id.to_string(),
+                        answer: answer.clone(),
+                        time_spent,
+                    },
+                )?;
+            }
+            sitting
+                .answer(answer.clone(), time_spent)
+                .map_err(ApiError::from)?;
+            Ok::<_, ApiError>(adaptive_status_body(sitting))
+        })??;
+        self.state
+            .metrics
+            .record_adaptive_step(step_started.elapsed());
+        Ok(ok_json(200, status))
+    }
+
+    /// `POST /sessions/{id}/finish` on an adaptive sitting: grades the
+    /// record over the full exam problem set (skipped padding), files
+    /// it into the same store/stream path fixed-form sittings use.
+    fn adaptive_finish(&self, id: &str) -> ApiResult {
+        let journal = self.state.journal.as_ref();
+        let _gate = journal.map(Journal::gate_read);
+        let (exam_id, record) = self.state.adaptive.with(id, |sitting| {
+            if let Some(journal) = journal {
+                self.journal_event(
+                    journal,
+                    &SessionEvent::AdaptiveFinished {
+                        session: id.to_string(),
+                    },
+                )?;
+            }
+            let record = sitting.finish().map_err(|err| ApiError::new(500, err))?;
+            Ok::<_, ApiError>((sitting.exam().as_str().to_string(), record))
+        })??;
+        self.state.stream.with_exam(&exam_id, |stream| {
+            self.state.finished.push(&exam_id, record.clone());
+            let update_started = Instant::now();
+            stream.apply(&record);
+            self.state
+                .metrics
+                .record_streaming_update(update_started.elapsed());
+        });
+        self.state.adaptive.remove(id);
+        self.state.metrics.adaptive_session_closed();
+        Ok(ok_json(200, record.to_value()))
+    }
+
     fn answer(&self, id: &str, request: &Request) -> ApiResult {
+        if self.state.adaptive.routes(id) {
+            return self.adaptive_answer(id, request);
+        }
         let body = parse_body(request)?;
         let answer_value = body
             .get("answer")
@@ -534,6 +733,11 @@ impl Router {
     }
 
     fn pause(&self, id: &str) -> ApiResult {
+        if self.state.adaptive.routes(id) {
+            return Err(ApiError::conflict(
+                "adaptive sittings cannot pause; answer the pending item or finish",
+            ));
+        }
         let journal = self.state.journal.as_ref();
         let _gate = journal.map(Journal::gate_read);
         let checkpoint = self.state.registry.with(id, |slot| {
@@ -553,6 +757,11 @@ impl Router {
     }
 
     fn resume(&self, id: &str) -> ApiResult {
+        if self.state.adaptive.routes(id) {
+            return Err(ApiError::conflict(
+                "adaptive sittings cannot pause or resume; they are always live",
+            ));
+        }
         let journal = self.state.journal.as_ref();
         let _gate = journal.map(Journal::gate_read);
         let status = self.state.registry.with(id, |slot| {
@@ -571,6 +780,9 @@ impl Router {
     }
 
     fn finish(&self, id: &str) -> ApiResult {
+        if self.state.adaptive.routes(id) {
+            return self.adaptive_finish(id);
+        }
         let journal = self.state.journal.as_ref();
         let _gate = journal.map(Journal::gate_read);
         let (exam_id, record) = self.state.registry.with(id, |slot| {
@@ -845,6 +1057,97 @@ fn session_status_body(session: &ExamSession) -> Value {
     ])
 }
 
+/// The `422` response for a rejected adaptive start, naming the
+/// offending field (mirrors `DeliveryOptions::validate` semantics).
+fn adaptive_rejection(err: &AdaptiveStartError) -> Response {
+    let field = match err {
+        AdaptiveStartError::InvalidOptions(inner) => inner.field,
+        AdaptiveStartError::Uncalibrated { .. } => "item_bank",
+    };
+    ok_json(
+        422,
+        Value::Object(vec![
+            ("error".to_string(), Value::String(err.to_string())),
+            ("field".to_string(), Value::String(field.to_string())),
+        ]),
+    )
+}
+
+/// The shared tail of every adaptive response body: ability estimate,
+/// SE, step count, stop state, and the pending item's summary.
+fn adaptive_progress_fields(sitting: &mut AdaptiveSitting) -> Vec<(String, Value)> {
+    let estimate = sitting.estimate();
+    let done = sitting.is_done();
+    vec![
+        (
+            "state".to_string(),
+            Value::String(if done { "complete" } else { "active" }.to_string()),
+        ),
+        (
+            "steps".to_string(),
+            (sitting.step_count() as u64).to_value(),
+        ),
+        ("theta".to_string(), estimate.theta.to_value()),
+        ("se".to_string(), estimate.se.to_value()),
+        (
+            "elapsed_secs".to_string(),
+            sitting.elapsed().as_secs_f64().to_value(),
+        ),
+        ("done".to_string(), Value::Bool(done)),
+        (
+            "current".to_string(),
+            sitting
+                .current_problem()
+                .map_or(Value::Null, problem_summary),
+        ),
+    ]
+}
+
+/// The adaptive `GET /sessions/{id}` / answer-response body.
+fn adaptive_status_body(sitting: &mut AdaptiveSitting) -> Value {
+    let mut fields = vec![
+        (
+            "session".to_string(),
+            Value::String(sitting.id().to_string()),
+        ),
+        ("mode".to_string(), Value::String("adaptive".to_string())),
+    ];
+    fields.extend(adaptive_progress_fields(sitting));
+    Value::Object(fields)
+}
+
+/// The adaptive `POST /sessions` response: identity, stop rule, and
+/// the first item.
+fn adaptive_started_body(sitting: &mut AdaptiveSitting) -> Value {
+    let options = sitting.options();
+    let mut fields = vec![
+        (
+            "session".to_string(),
+            Value::String(sitting.id().to_string()),
+        ),
+        (
+            "exam".to_string(),
+            Value::String(sitting.exam().as_str().to_string()),
+        ),
+        (
+            "student".to_string(),
+            Value::String(sitting.student().as_str().to_string()),
+        ),
+        ("mode".to_string(), Value::String("adaptive".to_string())),
+        (
+            "min_items".to_string(),
+            (options.min_items as u64).to_value(),
+        ),
+        (
+            "max_items".to_string(),
+            (options.max_items as u64).to_value(),
+        ),
+        ("se_threshold".to_string(), options.se_threshold.to_value()),
+    ];
+    fields.extend(adaptive_progress_fields(sitting));
+    Value::Object(fields)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1059,7 +1362,7 @@ mod tests {
         // All four analyses were timed, labeled by mode (and cache
         // outcome for batch), the finish-time updates were counted, and
         // the scrape refreshes the pool gauges.
-        let snapshot = router.state().metrics.snapshot(0);
+        let snapshot = router.state().metrics.snapshot(0, 0);
         assert_eq!(snapshot.analysis_streaming_count, 2);
         assert_eq!(snapshot.analysis_cold_count, 1);
         assert_eq!(snapshot.analysis_hit_count, 1);
@@ -1209,7 +1512,7 @@ mod tests {
         assert_eq!(shed.status, 503);
         assert_eq!(shed.retry_after, Some(5));
         assert!(shed.body.contains("draining"));
-        let snapshot = router.state().metrics.snapshot(0);
+        let snapshot = router.state().metrics.snapshot(0, 0);
         assert_eq!(snapshot.shed_total, 1);
         assert_eq!(snapshot.retry_after_secs, 5);
         // The session itself was left untouched mid-flight.
@@ -1277,7 +1580,7 @@ mod tests {
         let health = router.handle(&Request::new("GET", "/healthz", ""));
         let health: Value = serde_json::from_str(&health.body).unwrap();
         assert_eq!(health.get("role").unwrap().as_str(), Some("follower"));
-        let snapshot = router.state().metrics.snapshot(0);
+        let snapshot = router.state().metrics.snapshot(0, 0);
         assert_eq!(snapshot.redirected_total, 3);
     }
 

@@ -104,7 +104,7 @@ fn overload_sheds_at_the_edge_with_retry_after() {
     )
     .expect("bind loopback");
     let addr = server.local_addr().to_string();
-    let metrics = || server.router().state().metrics.snapshot(0);
+    let metrics = || server.router().state().metrics.snapshot(0, 0);
 
     // Two stalled clients pin both workers. Each completes one real
     // keep-alive exchange first, which proves a worker is committed to
@@ -204,7 +204,7 @@ fn rate_limit_sheds_bursty_peer_with_wait_hint() {
                 .router()
                 .state()
                 .metrics
-                .snapshot(0)
+                .snapshot(0, 0)
                 .rate_limited_total
                 > 0
                 || {
@@ -220,7 +220,7 @@ fn rate_limit_sheds_bursty_peer_with_wait_hint() {
     assert!(reply.contains("retry-after: 1\r\n"), "{reply:?}");
     drop(first);
     drop(second);
-    let snapshot = server.router().state().metrics.snapshot(0);
+    let snapshot = server.router().state().metrics.snapshot(0, 0);
     assert!(snapshot.rate_limited_total >= 1);
 
     // Honoring the advertised wait admits the peer again.
@@ -323,6 +323,7 @@ fn drain_mid_storm_loses_no_finished_sitting_and_analysis_survives_restart() {
                     base: Duration::from_millis(30),
                     cap: Duration::from_millis(120),
                 },
+                ..LoadGenOptions::default()
             })
         })
     };
@@ -456,14 +457,14 @@ fn drain_deadline_expiry_still_pauses_and_snapshots() {
     let _stall = TcpStream::connect(&addr).expect("stall");
     assert!(
         wait_until(Duration::from_secs(5), || {
-            server.router().state().metrics.snapshot(0).queue_depth == 0
+            server.router().state().metrics.snapshot(0, 0).queue_depth == 0
         }),
         "worker never picked up the stall"
     );
     let _queued = TcpStream::connect(&addr).expect("queued");
     assert!(
         wait_until(Duration::from_secs(5), || {
-            server.router().state().metrics.snapshot(0).queue_depth == 1
+            server.router().state().metrics.snapshot(0, 0).queue_depth == 1
         }),
         "second connection never queued"
     );

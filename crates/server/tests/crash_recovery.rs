@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Number, Value};
 
-use mine_itembank::{ChoiceOption, Exam, Problem, Repository};
+use mine_itembank::{Calibration, ChoiceOption, Exam, Problem, Repository};
 use mine_server::http::Request;
 use mine_server::{open_journaled_state, HttpClient, Router, ServeOptions, Server};
 use mine_store::{StoreOptions, SyncPolicy};
@@ -37,11 +37,16 @@ fn repository() -> Repository {
             ],
             mine_core::OptionKey::C,
         )
-        .unwrap(),
+        .unwrap()
+        .with_calibration(Calibration::new(1.1, -0.4, 0.2)),
     )
     .unwrap();
-    repo.insert_problem(Problem::true_false("q2", "Is the sky blue?", true).unwrap())
-        .unwrap();
+    repo.insert_problem(
+        Problem::true_false("q2", "Is the sky blue?", true)
+            .unwrap()
+            .with_calibration(Calibration::new(0.9, 0.6, 0.25)),
+    )
+    .unwrap();
     repo.insert_exam(
         Exam::builder("final")
             .unwrap()
@@ -52,6 +57,15 @@ fn repository() -> Repository {
     )
     .unwrap();
     repo
+}
+
+/// The right answer for each bank item, for adaptive steps.
+fn correct_answer_json(problem: &str) -> &'static str {
+    match problem {
+        "q1" => "{\"Choice\":\"C\"}",
+        "q2" => "{\"TrueFalse\":true}",
+        other => panic!("unexpected problem {other}"),
+    }
 }
 
 fn answer_json(problem: &str, index: usize) -> String {
@@ -173,11 +187,49 @@ fn kill_nine_mid_sitting_then_restart_serves_byte_identical_analysis() {
         .expect("mid answer");
     assert_eq!(answered.status, 200, "{}", answered.body);
 
-    // Control: the analysis the uncrashed server serves right now.
+    // An adaptive (CAT) sitting is also mid-flight: one step journaled,
+    // the estimator state live only in memory when the power goes out.
+    let cat_started = client
+        .post(
+            "/sessions",
+            "{\"exam\":\"final\",\"student\":\"cat1\",\"seed\":7,\"mode\":\"adaptive\",\
+             \"max_items\":2,\"se_threshold\":0.001}",
+        )
+        .expect("start adaptive");
+    assert_eq!(cat_started.status, 201, "{}", cat_started.body);
+    let cat_status: Value = cat_started.json().expect("adaptive start body");
+    let cat_session = cat_status
+        .get("session")
+        .and_then(Value::as_str)
+        .expect("adaptive session id")
+        .to_string();
+    let cat_first = cat_status
+        .get("current")
+        .and_then(|c| c.get("id"))
+        .and_then(Value::as_str)
+        .expect("adaptive current item")
+        .to_string();
+    let cat_answered = client
+        .post(
+            &format!("/sessions/{cat_session}/answers"),
+            &format!(
+                "{{\"answer\":{},\"time_spent_secs\":11}}",
+                correct_answer_json(&cat_first)
+            ),
+        )
+        .expect("adaptive answer");
+    assert_eq!(cat_answered.status, 200, "{}", cat_answered.body);
+
+    // Controls: the analysis and the adaptive status (θ̂, SE, next item)
+    // the uncrashed server serves right now.
     let control = client
         .get("/exams/final/analysis")
         .expect("control analysis");
     assert_eq!(control.status, 200, "{}", control.body);
+    let cat_control = client
+        .get(&format!("/sessions/{cat_session}"))
+        .expect("control adaptive status");
+    assert_eq!(cat_control.status, 200, "{}", cat_control.body);
 
     child.kill().unwrap(); // SIGKILL: no destructors, no flushes
     child.wait().unwrap();
@@ -238,9 +290,47 @@ fn kill_nine_mid_sitting_then_restart_serves_byte_identical_analysis() {
     ));
     assert_eq!(finished.status, 200, "{}", finished.body);
 
-    // With the seventh record filed the report covers seven students.
+    // The adaptive sitting replayed to the exact pre-crash state: the
+    // status body — ability estimate, SE, step count, next item — is
+    // byte-identical to what the dead server was serving.
+    let cat_replayed = router.handle(&Request::new(
+        "GET",
+        &format!("/sessions/{cat_session}"),
+        "",
+    ));
+    assert_eq!(cat_replayed.status, 200, "{}", cat_replayed.body);
+    assert_eq!(
+        cat_replayed.body, cat_control.body,
+        "replayed adaptive status must be byte-identical"
+    );
+
+    // …and it is still live: the second step and the finish succeed.
+    let cat_replayed: Value = serde_json::from_str(&cat_replayed.body).expect("status body");
+    let cat_next = cat_replayed
+        .get("current")
+        .and_then(|c| c.get("id"))
+        .and_then(Value::as_str)
+        .expect("next adaptive item")
+        .to_string();
+    let cat_answered = router.handle(&Request::new(
+        "POST",
+        &format!("/sessions/{cat_session}/answers"),
+        format!(
+            "{{\"answer\":{},\"time_spent_secs\":8}}",
+            correct_answer_json(&cat_next)
+        ),
+    ));
+    assert_eq!(cat_answered.status, 200, "{}", cat_answered.body);
+    let cat_finished = router.handle(&Request::new(
+        "POST",
+        &format!("/sessions/{cat_session}/finish"),
+        "",
+    ));
+    assert_eq!(cat_finished.status, 200, "{}", cat_finished.body);
+
+    // With both mid-flight records filed the report covers them all.
     let after = router.handle(&Request::new("GET", "/exams/final/analysis", ""));
     assert_eq!(after.status, 200);
-    assert!(after.body.contains("m06"), "{}", after.body);
+    assert!(after.body.contains("\"class_size\":8"), "{}", after.body);
     std::fs::remove_dir_all(&dir).unwrap();
 }

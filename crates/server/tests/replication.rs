@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use serde::{Number, Value};
 
-use mine_itembank::{ChoiceOption, Exam, Problem, Repository};
+use mine_itembank::{Calibration, ChoiceOption, Exam, Problem, Repository};
 use mine_server::{
     open_journaled_state, AckMode, HttpClient, ReplListener, ReplState, Role, Router, ServeOptions,
     Server,
@@ -42,11 +42,16 @@ fn repository() -> Repository {
             ],
             mine_core::OptionKey::C,
         )
-        .unwrap(),
+        .unwrap()
+        .with_calibration(Calibration::new(1.1, -0.4, 0.2)),
     )
     .unwrap();
-    repo.insert_problem(Problem::true_false("q2", "Is the sky blue?", true).unwrap())
-        .unwrap();
+    repo.insert_problem(
+        Problem::true_false("q2", "Is the sky blue?", true)
+            .unwrap()
+            .with_calibration(Calibration::new(0.9, 0.6, 0.25)),
+    )
+    .unwrap();
     repo.insert_exam(
         Exam::builder("final")
             .unwrap()
@@ -57,6 +62,15 @@ fn repository() -> Repository {
     )
     .unwrap();
     repo
+}
+
+/// The right answer for each bank item, for adaptive steps.
+fn correct_answer_json(problem: &str) -> &'static str {
+    match problem {
+        "q1" => "{\"Choice\":\"C\"}",
+        "q2" => "{\"TrueFalse\":true}",
+        other => panic!("unexpected problem {other}"),
+    }
 }
 
 fn answer_json(problem: &str, index: usize) -> String {
@@ -250,6 +264,43 @@ fn kill_nine_primary_promote_follower_loses_no_acked_event() {
         .expect("mid answer");
     assert_eq!(answered.status, 200, "{}", answered.body);
 
+    // An adaptive (CAT) sitting is also mid-flight on the primary: one
+    // step acked and shipped when the power goes out.
+    let cat_started = client
+        .post(
+            "/sessions",
+            "{\"exam\":\"final\",\"student\":\"cat1\",\"seed\":7,\"mode\":\"adaptive\",\
+             \"max_items\":2,\"se_threshold\":0.001}",
+        )
+        .expect("start adaptive");
+    assert_eq!(cat_started.status, 201, "{}", cat_started.body);
+    let cat_status: Value = cat_started.json().expect("adaptive start body");
+    let cat_session = cat_status
+        .get("session")
+        .and_then(Value::as_str)
+        .expect("adaptive session id")
+        .to_string();
+    let cat_first = cat_status
+        .get("current")
+        .and_then(|c| c.get("id"))
+        .and_then(Value::as_str)
+        .expect("adaptive current item")
+        .to_string();
+    let cat_answered = client
+        .post(
+            &format!("/sessions/{cat_session}/answers"),
+            &format!(
+                "{{\"answer\":{},\"time_spent_secs\":11}}",
+                correct_answer_json(&cat_first)
+            ),
+        )
+        .expect("adaptive answer");
+    assert_eq!(cat_answered.status, 200, "{}", cat_answered.body);
+    let cat_control = client
+        .get(&format!("/sessions/{cat_session}"))
+        .expect("control adaptive status");
+    assert_eq!(cat_control.status, 200, "{}", cat_control.body);
+
     // Control: the analysis the primary serves right now — streamed
     // from its live counters by default, and cross-checked against the
     // batch pipeline — and its applied position. Wait until the
@@ -375,6 +426,40 @@ fn kill_nine_primary_promote_follower_loses_no_acked_event() {
         .expect("finish on new primary");
     assert_eq!(finished.status, 200, "{}", finished.body);
 
+    // The adaptive sitting replicated to the exact acked state: the
+    // promoted node serves a byte-identical status — same ability
+    // estimate, SE, step count, and next-item choice — and the sitting
+    // finishes there.
+    let cat_promoted = follower_client
+        .get(&format!("/sessions/{cat_session}"))
+        .expect("promoted adaptive status");
+    assert_eq!(cat_promoted.status, 200, "{}", cat_promoted.body);
+    assert_eq!(
+        cat_promoted.body, cat_control.body,
+        "replicated adaptive status must be byte-identical"
+    );
+    let cat_promoted: Value = serde_json::from_str(&cat_promoted.body).unwrap();
+    let cat_next = cat_promoted
+        .get("current")
+        .and_then(|c| c.get("id"))
+        .and_then(Value::as_str)
+        .expect("next adaptive item")
+        .to_string();
+    let cat_answered = follower_client
+        .post(
+            &format!("/sessions/{cat_session}/answers"),
+            &format!(
+                "{{\"answer\":{},\"time_spent_secs\":8}}",
+                correct_answer_json(&cat_next)
+            ),
+        )
+        .expect("adaptive answer on new primary");
+    assert_eq!(cat_answered.status, 200, "{}", cat_answered.body);
+    let cat_finished = follower_client
+        .post(&format!("/sessions/{cat_session}/finish"), "")
+        .expect("adaptive finish on new primary");
+    assert_eq!(cat_finished.status, 200, "{}", cat_finished.body);
+
     // Epoch fencing: restart the deposed primary from its own data
     // directory as a replica of the new leader. It must adopt the
     // higher epoch (demote), resync, and redirect writes to the new
@@ -395,7 +480,11 @@ fn kill_nine_primary_promote_follower_loses_no_acked_event() {
         .get("/exams/final/analysis")
         .expect("resynced analysis");
     assert_eq!(resynced.status, 200, "{}", resynced.body);
-    assert!(resynced.body.contains("r06"), "{}", resynced.body);
+    assert!(
+        resynced.body.contains("\"class_size\":8"),
+        "{}",
+        resynced.body
+    );
     let stale_write = deposed_client
         .post("/sessions", "{\"exam\":\"final\",\"student\":\"stale\"}")
         .expect("stale write");

@@ -1,125 +1,129 @@
-//! The §6 future-work extension in action: calibrate an item pool, run
-//! computerized-adaptive tests against simulated students, compare
-//! max-information selection with a random baseline, and emit learner
-//! feedback.
+//! The §6 adaptive-testing extension served over HTTP: calibrate an
+//! item bank, start the delivery micro-service in-process, and drive
+//! computerized-adaptive sittings for a simulated cohort through
+//! `HttpClient` — one item at a time, the ability estimate refined
+//! after every answer, stopping on the SE threshold or the item
+//! budget — then pull the §4 analysis over the finished population.
 //!
 //! ```bash
 //! cargo run --example adaptive_testing
 //! ```
 
-use mine_assessment::adaptive::{
-    generate_feedback, AdaptiveTest, ItemPool, SelectionStrategy, StopRule,
-};
-use mine_assessment::core::{CognitionLevel, OptionKey, StudentId};
-use mine_assessment::itembank::{ChoiceOption, Problem};
+use std::collections::BTreeMap;
+
+use mine_assessment::core::OptionKey;
+use mine_assessment::itembank::{Calibration, ChoiceOption, Exam, Problem, Repository};
+use mine_assessment::server::{HttpClient, Router, ServeOptions, Server};
 use mine_assessment::simulator::{CohortSpec, ItemParams};
 use rand::Rng;
 use rand::SeedableRng;
+use serde_json::Value;
+
+fn as_f64(value: &Value, field: &str) -> f64 {
+    let field = value
+        .get(field)
+        .unwrap_or_else(|| panic!("missing field {field}: {value:?}"));
+    serde_json::to_string(field)
+        .ok()
+        .and_then(|text| text.parse().ok())
+        .unwrap_or_else(|| panic!("field is not a number: {field:?}"))
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. A calibrated bank: 60 choice items laddered across difficulty.
-    let mut pool = ItemPool::new();
-    let mut problems = Vec::new();
-    for i in 0..60 {
-        let b = (i as f64 / 59.0) * 5.0 - 2.5;
-        let id: mine_assessment::core::ProblemId = format!("item{i:02}").parse()?;
-        pool.add(id.clone(), ItemParams::multiple_choice(1.4, b, 4));
-        problems.push(
+    // 1. A calibrated bank: 40 four-option items laddered across
+    //    difficulty, each carrying its 3PL parameters, collected into
+    //    the exam `cat`. Option A is always the keyed answer.
+    let repo = Repository::new();
+    let mut builder = Exam::builder("cat")?;
+    let mut params = BTreeMap::new();
+    for i in 0..40 {
+        let b = (i as f64 / 39.0) * 5.0 - 2.5;
+        let id = format!("item{i:02}");
+        params.insert(id.clone(), ItemParams::new(1.4, b, 0.25));
+        repo.insert_problem(
             Problem::multiple_choice(
                 id.as_str(),
                 format!("Calibrated item {i} (b = {b:.2})"),
                 OptionKey::first(4).map(|k| ChoiceOption::new(k, format!("{k}"))),
                 OptionKey::A,
             )?
-            .with_subject(if i % 2 == 0 { "algorithms" } else { "systems" })
-            .with_cognition_level(if i % 3 == 0 {
-                CognitionLevel::Knowledge
-            } else {
-                CognitionLevel::Application
-            }),
-        );
+            .with_calibration(Calibration::new(1.4, b, 0.25)),
+        )?;
+        builder = builder.entry(id.parse()?);
     }
+    repo.insert_exam(builder.build()?)?;
 
-    // 2. Adaptive sittings for a spread of simulated students.
+    // 2. Serve it. The same process is client and server here, but the
+    //    wire format is the real one: loopback TCP, HTTP/1.1, JSON.
+    let server = Server::start(Router::new(repo), &ServeOptions::default())?;
+    let addr = server.local_addr().to_string();
+    let mut client = HttpClient::connect(&addr)?;
+
+    // 3. Adaptive sittings for a spread of simulated students, each
+    //    driven over HTTP: answer the served item with probability
+    //    p(θ) from the 3PL model, read back θ̂ and SE, repeat until
+    //    the server says the stop rule fired.
     let cohort = CohortSpec::new(6).ability(0.0, 1.2).seed(11).generate();
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     println!("student   true θ   est. θ   SE     items");
-    for student in &cohort {
-        let mut test = AdaptiveTest::new(pool.clone(), StopRule::default());
-        while let Some((item, params)) = test.next_item() {
-            let correct = rng.gen_bool(params.p_correct(student.ability));
-            test.record(item, correct)?;
+    for (index, student) in cohort.iter().enumerate() {
+        let started = client.post(
+            "/sessions",
+            &format!(
+                "{{\"exam\":\"cat\",\"student\":\"{}\",\"seed\":{index},\
+                 \"mode\":\"adaptive\",\"max_items\":12,\"se_threshold\":0.35}}",
+                student.id.as_str()
+            ),
+        )?;
+        assert_eq!(started.status, 201, "{}", started.body);
+        let mut status: Value = started.json()?;
+        let session = status
+            .get("session")
+            .and_then(Value::as_str)
+            .expect("session id")
+            .to_string();
+        while !matches!(status.get("done"), Some(Value::Bool(true))) {
+            let item = status
+                .get("current")
+                .and_then(|c| c.get("id"))
+                .and_then(Value::as_str)
+                .expect("active sitting serves an item");
+            let p = params[item].p_correct(student.ability);
+            let option = if rng.gen_bool(p) { "A" } else { "B" };
+            let answered = client.post(
+                &format!("/sessions/{session}/answers"),
+                &format!("{{\"answer\":{{\"Choice\":\"{option}\"}},\"time_spent_secs\":9}}"),
+            )?;
+            assert_eq!(answered.status, 200, "{}", answered.body);
+            status = answered.json()?;
         }
-        let estimate = test.estimate();
         println!(
             "{:<9} {:+.2}    {:+.2}    {:.2}   {}",
             student.id.as_str(),
             student.ability,
-            estimate.theta,
-            estimate.se,
-            test.administered().len(),
+            as_f64(&status, "theta"),
+            as_f64(&status, "se"),
+            as_f64(&status, "steps"),
         );
+        let finished = client.post(&format!("/sessions/{session}/finish"), "")?;
+        assert_eq!(finished.status, 200, "{}", finished.body);
     }
 
-    // 3. Ablation: adaptive vs. random selection at a fixed 12-item
-    //    budget, averaged over a cohort.
-    let budget = StopRule {
-        min_items: 12,
-        max_items: 12,
-        se_target: 0.0,
-    };
-    let eval_cohort = CohortSpec::new(40).seed(5).generate();
-    let mut adaptive_err = 0.0;
-    let mut random_err = 0.0;
-    for (i, student) in eval_cohort.iter().enumerate() {
-        for (strategy, err) in [
-            (SelectionStrategy::MaxInformation, &mut adaptive_err),
-            (
-                SelectionStrategy::Random { seed: i as u64 },
-                &mut random_err,
-            ),
-        ] {
-            let mut test = AdaptiveTest::with_strategy(pool.clone(), budget, strategy);
-            let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + i as u64);
-            while let Some((item, params)) = test.next_item() {
-                let correct = rng.gen_bool(params.p_correct(student.ability));
-                test.record(item, correct)?;
-            }
-            *err += (test.estimate().theta - student.ability).powi(2);
-        }
-    }
+    // 4. Every finished sitting was filed into the same store the
+    //    fixed-form path uses, so the live §4 report covers the cohort.
+    let analysis = client.get("/exams/cat/analysis")?;
+    assert_eq!(analysis.status, 200, "{}", analysis.body);
+    let analysis: Value = analysis.json()?;
+    let summary = analysis.get("summary").expect("summary");
     println!(
-        "\n12-item budget RMSE: max-information {:.3} vs random {:.3}",
-        (adaptive_err / eval_cohort.len() as f64).sqrt(),
-        (random_err / eval_cohort.len() as f64).sqrt(),
+        "\nanalysis: {} students, {} questions ({} green / {} yellow / {} red)",
+        as_f64(summary, "students"),
+        as_f64(summary, "questions"),
+        as_f64(summary, "green"),
+        as_f64(summary, "yellow"),
+        as_f64(summary, "red"),
     );
 
-    // 4. Learner feedback from a fixed-form sitting.
-    let student: StudentId = "alice".parse()?;
-    let responses: Vec<mine_assessment::core::ItemResponse> = problems
-        .iter()
-        .take(20)
-        .enumerate()
-        .map(|(i, p)| {
-            // alice is strong on algorithms, weak on systems.
-            let correct = p.subject().as_str() == "algorithms" || i % 4 == 0;
-            if correct {
-                mine_assessment::core::ItemResponse::correct(
-                    p.id().clone(),
-                    mine_assessment::core::Answer::Choice(OptionKey::A),
-                    1.0,
-                )
-            } else {
-                mine_assessment::core::ItemResponse::incorrect(
-                    p.id().clone(),
-                    mine_assessment::core::Answer::Choice(OptionKey::B),
-                    1.0,
-                )
-            }
-        })
-        .collect();
-    let record = mine_assessment::core::StudentRecord::new(student, responses);
-    let feedback = generate_feedback(&record, &problems, &pool);
-    println!("\n{}", feedback.render());
+    server.shutdown();
     Ok(())
 }

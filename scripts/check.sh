@@ -30,6 +30,12 @@ timeout 60 cargo test --offline -q -p mine-server --test chaos
 echo "==> chaos smoke (real SIGTERM drain over the CLI)"
 timeout 60 scripts/smoke_chaos.sh
 
+echo "==> adaptive delivery tests (CAT over HTTP, 422 validation, replay parity)"
+cargo test --offline -q -p mine-server --test adaptive
+
+echo "==> adaptive smoke (calibrate, CAT loadgen, kill -9, byte-identical resume)"
+timeout 60 scripts/smoke_adaptive.sh
+
 echo "==> server replication tests (kill -9 primary, promote, epoch fencing)"
 timeout 60 cargo test --offline -q -p mine-server --test replication
 

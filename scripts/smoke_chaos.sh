@@ -57,7 +57,8 @@ serve
 echo "==> baseline load (finished sittings the drain must not lose)"
 "$MINE" loadgen "$ADDR" quiz --clients 6 --seed 7 \
   || fail "baseline loadgen failed"
-curl -sf "http://$ADDR/exams/quiz/analysis" | grep -q '"analyses"' \
+curl -sf "http://$ADDR/exams/quiz/analysis" > "$WORKDIR/baseline.json"
+grep -q '"analyses"' "$WORKDIR/baseline.json" \
   || fail "no analysis after baseline load"
 
 echo "==> storm past capacity, SIGTERM mid-storm"

@@ -78,11 +78,15 @@ curl -sf "http://$PRIMARY_ADDR/exams/quiz/analysis" > "$WORKDIR/before.json"
 grep -q '"analyses"' "$WORKDIR/before.json" || fail "no analysis before the crash"
 
 echo "==> replication gauges visible in /metrics"
-curl -sf "http://$PRIMARY_ADDR/metrics" | grep -q 'mine_repl_role{role="primary"} 1' \
+# Fetch to a file, then grep: `curl | grep -q` under pipefail races
+# grep's early exit against curl's last write (EPIPE, exit 23).
+curl -sf "http://$PRIMARY_ADDR/metrics" > "$WORKDIR/primary_metrics.txt"
+grep -q 'mine_repl_role{role="primary"} 1' "$WORKDIR/primary_metrics.txt" \
   || fail "primary does not report its role gauge"
-curl -sf "http://$PRIMARY_ADDR/metrics" | grep -q 'mine_repl_followers 1' \
+grep -q 'mine_repl_followers 1' "$WORKDIR/primary_metrics.txt" \
   || fail "primary does not report its connected follower"
-curl -sf "http://$FOLLOWER_ADDR/metrics" | grep -q 'mine_repl_role{role="follower"} 1' \
+curl -sf "http://$FOLLOWER_ADDR/metrics" > "$WORKDIR/follower_metrics.txt"
+grep -q 'mine_repl_role{role="follower"} 1' "$WORKDIR/follower_metrics.txt" \
   || fail "follower does not report its role gauge"
 
 echo "==> wait for the follower to catch up"
@@ -111,7 +115,8 @@ echo "==> mine promote $FOLLOWER_ADDR"
   || fail "promoted node does not report role=primary"
 [[ "$(healthz_field "$FOLLOWER_ADDR" epoch)" == "2" ]] \
   || fail "promoted node does not report the bumped epoch"
-curl -sf "http://$FOLLOWER_ADDR/metrics" | grep -q 'mine_repl_epoch 2' \
+curl -sf "http://$FOLLOWER_ADDR/metrics" > "$WORKDIR/promoted_metrics.txt"
+grep -q 'mine_repl_epoch 2' "$WORKDIR/promoted_metrics.txt" \
   || fail "promoted node does not expose the bumped epoch gauge"
 
 echo "==> promoted node serves the same analysis byte for byte"

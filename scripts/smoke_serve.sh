@@ -47,7 +47,10 @@ METRICS="$(curl -sf "http://$ADDR/metrics?format=json")"
 echo "$METRICS"
 
 # The default /metrics rendering is Prometheus text exposition format.
-curl -sf "http://$ADDR/metrics" | grep -q '# TYPE mine_requests_total counter' \
+# Fetch to a variable, then grep: `curl | grep -q` under pipefail races
+# grep's early exit against curl's last write (EPIPE, exit 23).
+PROM="$(curl -sf "http://$ADDR/metrics")"
+echo "$PROM" | grep -q '# TYPE mine_requests_total counter' \
   || { echo "smoke_serve: /metrics is not Prometheus text format" >&2; exit 1; }
 
 fail() { echo "smoke_serve: $1" >&2; exit 1; }
@@ -61,7 +64,8 @@ echo "$METRICS" | grep -q "\"sessions_finished\":$WANT" || fail "expected $WANT 
 echo "$METRICS" | grep -q "\"active_sessions\":0" || fail "sessions still active"
 
 # The live analysis endpoint serves a report over the finished sittings.
-curl -sf "http://$ADDR/exams/quiz/analysis" | grep -q '"analyses"' \
+ANALYSIS="$(curl -sf "http://$ADDR/exams/quiz/analysis")"
+echo "$ANALYSIS" | grep -q '"analyses"' \
   || fail "analysis endpoint did not return a report"
 
 echo "smoke_serve: OK ($WANT sittings, clean metrics)"

@@ -36,9 +36,16 @@
 //! mine recover <dir>                           inspect a journal directory offline:
 //!                                              replay the log, repair torn tails,
 //!                                              print the event summary
+//! mine calibrate <db> <problem-id> <a> <b> <c> attach 3PL item parameters to a problem
+//! mine calibrate <db> --auto                   calibrate the whole bank with a spread
+//!                                              of difficulties (adaptive delivery needs
+//!                                              every served item calibrated)
 //! mine loadgen <addr> <exam-id> [--clients N] [--seed S] [--ramp SECS]
+//!              [--mode fixed|adaptive|mixed] [--db DB]
 //!                                              drive a running server with concurrent
-//!                                              deterministic clients
+//!                                              deterministic clients; adaptive/mixed
+//!                                              modes simulate IRT respondents and need
+//!                                              --db to build the answer key
 //! ```
 
 use std::process::ExitCode;
@@ -46,12 +53,13 @@ use std::process::ExitCode;
 use mine_assessment::analysis::{render_full_report, AnalysisConfig, BatchAnalyzer, ExamAnalysis};
 use mine_assessment::core::{CognitionLevel, OptionKey};
 use mine_assessment::itembank::{
-    ChoiceOption, Exam, Problem, Query, Repository, RepositorySnapshot,
+    Calibration, ChoiceOption, Exam, Problem, Query, Repository, RepositorySnapshot,
 };
 use mine_assessment::scorm::ContentPackage;
 use mine_assessment::server::{
-    decode_events, open_journaled_state, run_loadgen, start_follower, AckMode, HttpClient,
-    LoadGenOptions, RateLimit, ReplListener, ReplState, Role, Router, ServeOptions, Server,
+    decode_events, open_journaled_state, run_loadgen, start_follower, AckMode, AnswerKey,
+    HttpClient, LoadGenOptions, LoadMode, RateLimit, ReplListener, ReplState, Role, Router,
+    ServeOptions, Server,
 };
 use mine_assessment::simulator::{CohortSpec, Simulation};
 use mine_assessment::store::{EventStore, StoreOptions, SyncPolicy};
@@ -87,7 +95,10 @@ usage:
              [--replicate ack=leader|ack=quorum]
   mine promote <addr>
   mine recover <dir>
+  mine calibrate <db> <problem-id> <a> <b> <c>
+  mine calibrate <db> --auto
   mine loadgen <addr> <exam-id> [--clients N] [--seed S] [--ramp SECS]
+               [--mode fixed|adaptive|mixed] [--db DB]
 
 --threads takes 1..=1024 (omit for auto); MINE_THREADS sets the same
 default for every command when the flag is absent.";
@@ -117,6 +128,7 @@ fn run(args: &[String]) -> CliResult {
         "serve" => serve(rest),
         "promote" => promote(rest),
         "recover" => recover(rest),
+        "calibrate" => calibrate(rest),
         "loadgen" => loadgen(rest),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -677,12 +689,102 @@ fn recover(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Attaches 3PL item parameters to one problem, or (`--auto`) sweeps
+/// the whole bank with a spread of difficulties so an exam can be
+/// served adaptively without hand-calibrating every item.
+fn calibrate(args: &[String]) -> CliResult {
+    match args {
+        [path, auto] if auto == "--auto" => {
+            let repository = load(path)?;
+            let ids = repository.problem_ids();
+            let n = ids.len();
+            if n == 0 {
+                return Err("calibrate --auto needs a non-empty bank".into());
+            }
+            for (i, id) in ids.iter().enumerate() {
+                // Constant discrimination and guessing, difficulties
+                // spread evenly over [-2, 2]: a usable default sweep.
+                let difficulty = if n == 1 {
+                    0.0
+                } else {
+                    -2.0 + 4.0 * i as f64 / (n - 1) as f64
+                };
+                repository
+                    .update_problem(id, |problem| {
+                        problem.set_calibration(Some(Calibration::new(1.2, difficulty, 0.15)));
+                        Ok(())
+                    })
+                    .map_err(|err| err.to_string())?;
+            }
+            save(&repository, path)?;
+            println!("calibrated {n} problem(s): a=1.2, b spread over [-2, 2], c=0.15");
+            Ok(())
+        }
+        [path, id, a, b, c] => {
+            let parse = |name: &str, text: &str| -> Result<f64, String> {
+                text.parse::<f64>()
+                    .map_err(|_| format!("{name} must be a number, got {text:?}"))
+            };
+            let calibration = Calibration::new(
+                parse("a (discrimination)", a)?,
+                parse("b (difficulty)", b)?,
+                parse("c (guessing)", c)?,
+            );
+            if !calibration.is_usable() {
+                return Err("calibration must have finite a > 0, finite b, and c in [0, 1)".into());
+            }
+            let repository = load(path)?;
+            repository
+                .update_problem(&id.parse().map_err(|err| format!("{err}"))?, |problem| {
+                    problem.set_calibration(Some(calibration));
+                    Ok(())
+                })
+                .map_err(|err| err.to_string())?;
+            save(&repository, path)?;
+            println!(
+                "calibrated {id}: a={}, b={}, c={}",
+                calibration.discrimination, calibration.difficulty, calibration.guessing
+            );
+            Ok(())
+        }
+        _ => Err("calibrate needs <db> <problem-id> <a> <b> <c> or <db> --auto".into()),
+    }
+}
+
 fn loadgen(args: &[String]) -> CliResult {
     let (clients, args) = take_flag(args, "--clients")?;
     let (seed, args) = take_flag(&args, "--seed")?;
     let (ramp, args) = take_flag(&args, "--ramp")?;
+    let (mode, args) = take_flag(&args, "--mode")?;
+    let (db, args) = take_flag(&args, "--db")?;
     let [addr, exam] = args.as_slice() else {
-        return Err("loadgen needs <addr> <exam-id> [--clients N] [--seed S] [--ramp SECS]".into());
+        return Err(
+            "loadgen needs <addr> <exam-id> [--clients N] [--seed S] [--ramp SECS] \
+             [--mode fixed|adaptive|mixed] [--db DB]"
+                .into(),
+        );
+    };
+    let mode = mode
+        .as_deref()
+        .map(LoadMode::parse)
+        .transpose()?
+        .unwrap_or_default();
+    let key = match (mode, db) {
+        (LoadMode::Fixed, _) => None,
+        (_, Some(path)) => {
+            let key = AnswerKey::from_repository(&load(&path)?);
+            if key.calibrated() == 0 {
+                return Err(format!(
+                    "{path} has no calibrated problems; run `mine calibrate {path} --auto` first"
+                ));
+            }
+            Some(std::sync::Arc::new(key))
+        }
+        (_, None) => {
+            return Err(
+                "loadgen --mode adaptive|mixed needs --db DB to build the answer key".into(),
+            )
+        }
     };
     let options = LoadGenOptions {
         addr: addr.clone(),
@@ -704,6 +806,8 @@ fn loadgen(args: &[String]) -> CliResult {
                     .ok_or("--ramp needs a non-negative number of seconds")
             })
             .transpose()?,
+        mode,
+        key,
         ..LoadGenOptions::default()
     };
     let report = run_loadgen(&options)?;
