@@ -229,6 +229,14 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Ceiling on leader moves (distinct `421` redirects) within one
+/// logical request. During a failover two nodes can briefly *each*
+/// believe the other is the leader; a client following every referral
+/// would bounce between them burning its whole retry budget. Past this
+/// many moves the chain is declared a loop and surfaced as a typed
+/// error.
+pub const MAX_LEADER_MOVES: u32 = 4;
+
 /// The exponential-backoff-with-full-jitter delay before retry number
 /// `attempt` (0-based): uniform over `[0, min(cap, base · 2^attempt)]`.
 ///
@@ -327,6 +335,7 @@ impl ResilientClient {
 
     fn send(&mut self, path: &str, body: Option<&str>) -> std::io::Result<ClientResponse> {
         let mut outcome = Err(std::io::ErrorKind::NotConnected.into());
+        let mut leader_moves: u32 = 0;
         for attempt in 0..self.policy.max_attempts {
             if attempt > 0 {
                 self.retries += 1;
@@ -370,8 +379,18 @@ impl ResilientClient {
                     outcome = Ok(response);
                     match leader {
                         // The leader is known: go straight there, no
-                        // backoff needed.
-                        Some(leader) if leader != self.addr => self.addr = leader,
+                        // backoff needed — unless the referrals have
+                        // started to loop.
+                        Some(leader) if leader != self.addr => {
+                            leader_moves += 1;
+                            if leader_moves > MAX_LEADER_MOVES {
+                                return Err(std::io::Error::other(format!(
+                                    "421 redirect loop: followed {MAX_LEADER_MOVES} leader \
+                                     referrals and {leader} still redirects elsewhere"
+                                )));
+                            }
+                            self.addr = leader;
+                        }
                         // Pointed at ourselves or no leader yet
                         // (failover in progress): wait it out.
                         _ => self.sleep_before_retry(attempt, None),
@@ -524,6 +543,62 @@ mod tests {
         let response = client.post("/sessions", "{}").unwrap();
         assert_eq!(response.status, 200, "{}", response.body);
         assert_eq!(client.addr(), leader_addr);
+    }
+
+    /// A server that answers every connection with the same canned
+    /// exchange until its listener is dropped.
+    fn repeating_server(listener: std::net::TcpListener, status_line: &'static str, body: String) {
+        std::thread::spawn(move || {
+            while let Ok((mut stream, _)) = listener.accept() {
+                let mut buf = [0_u8; 4096];
+                let _ = stream.read(&mut buf);
+                let response = format!(
+                    "HTTP/1.1 {status_line}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+                    body.len()
+                );
+                let _ = stream.write_all(response.as_bytes());
+            }
+        });
+    }
+
+    #[test]
+    fn resilient_client_caps_a_421_redirect_loop() {
+        // Two nodes, mid-failover, each convinced the *other* is the
+        // leader: a client following every referral would ping-pong
+        // forever (or burn its whole retry budget). The chain cap turns
+        // that into a typed error after MAX_LEADER_MOVES hops.
+        let a = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let a_addr = a.local_addr().unwrap().to_string();
+        let b = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let b_addr = b.local_addr().unwrap().to_string();
+        repeating_server(
+            a,
+            "421 Misdirected Request",
+            format!("{{\"error\":\"not leader\",\"leader\":\"{b_addr}\"}}"),
+        );
+        repeating_server(
+            b,
+            "421 Misdirected Request",
+            format!("{{\"error\":\"not leader\",\"leader\":\"{a_addr}\"}}"),
+        );
+
+        let mut client = ResilientClient::with_timeout(
+            &a_addr,
+            Duration::from_secs(5),
+            RetryPolicy {
+                // More attempts than the chain cap: the cap must fire
+                // first, not attempt exhaustion.
+                max_attempts: MAX_LEADER_MOVES + 8,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+            },
+            1,
+        );
+        let err = client.post("/sessions", "{}").unwrap_err();
+        assert!(
+            err.to_string().contains("redirect loop"),
+            "expected the typed loop error, got: {err}"
+        );
     }
 
     proptest! {

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod audit;
 pub mod client;
 pub mod drain;
 pub mod http;
@@ -67,8 +68,10 @@ pub mod serve;
 pub use adaptive::{
     AdaptiveImage, AdaptiveLookup, AdaptiveRegistry, AdaptiveSitting, AdaptiveStep,
 };
+pub use audit::{audit_dirs, AuditReport, NodeAudit};
 pub use client::{
-    backoff_delay, ClientResponse, HttpClient, ResilientClient, RetryPolicy, DEFAULT_CLIENT_TIMEOUT,
+    backoff_delay, ClientResponse, HttpClient, ResilientClient, RetryPolicy,
+    DEFAULT_CLIENT_TIMEOUT, MAX_LEADER_MOVES,
 };
 pub use drain::{DrainReport, DrainState, Lifecycle};
 pub use http::ParseLimits;
@@ -80,6 +83,9 @@ pub use loadgen::{run_loadgen, AnswerKey, LoadGenOptions, LoadGenReport, LoadMod
 pub use metrics::{Metrics, MetricsSnapshot, Route};
 pub use overload::{OverloadOptions, PeerLimiter, RateLimit, TokenBucket};
 pub use registry::{FinishedStore, RegistryError, SessionRegistry, SessionSlot};
-pub use repl::{start_follower, AckMode, FollowerPuller, ReplListener, ReplState, Role};
+pub use repl::{
+    start_follower, AckMode, FailoverConfig, FollowerPuller, ReplListener, ReplState, Role,
+    DEFAULT_FAILOVER_TIMEOUT,
+};
 pub use router::{ApiError, Router, ServerState};
 pub use serve::{ServeOptions, Server};

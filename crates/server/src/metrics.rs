@@ -34,6 +34,8 @@ pub enum Route {
     Analysis,
     /// `POST /admin/promote`.
     Promote,
+    /// `POST /admin/demote`.
+    Demote,
     /// A write redirected away from a follower with `421`.
     Redirected,
     /// A request shed at the routing layer (server draining).
@@ -44,7 +46,7 @@ pub enum Route {
 
 impl Route {
     /// All distinguishable routes, in render order.
-    pub const ALL: [Route; 13] = [
+    pub const ALL: [Route; 14] = [
         Route::Healthz,
         Route::Metrics,
         Route::SessionStart,
@@ -55,6 +57,7 @@ impl Route {
         Route::Finish,
         Route::Analysis,
         Route::Promote,
+        Route::Demote,
         Route::Redirected,
         Route::Shed,
         Route::Unmatched,
@@ -74,6 +77,7 @@ impl Route {
             Route::Finish => "finish",
             Route::Analysis => "analysis",
             Route::Promote => "promote",
+            Route::Demote => "demote",
             Route::Redirected => "redirected",
             Route::Shed => "shed",
             Route::Unmatched => "unmatched",
@@ -141,6 +145,17 @@ pub struct Metrics {
     repl_quorum_timeouts_total: AtomicU64,
     /// Writes refused with `421` and redirected to the leader.
     redirected_total: AtomicU64,
+    /// Unsupervised promotions performed by the failure detector.
+    repl_failovers_total: AtomicU64,
+    /// Times the failure detector suspected the leader (missed
+    /// heartbeats past the timeout); a suspicion may or may not end in
+    /// a promotion.
+    repl_suspicions_total: AtomicU64,
+    /// Follower reconnection attempts after a broken stream.
+    repl_reconnects_total: AtomicU64,
+    /// Microseconds since the follower last heard from its leader
+    /// (refreshed by the metrics handler; 0 on a primary).
+    repl_heartbeat_age_us: AtomicU64,
     /// Batch-mode analysis wall time, cold (cache miss → full
     /// pipeline) vs hit.
     analysis_cold_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
@@ -279,6 +294,28 @@ impl Metrics {
         self.redirected_total.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one unsupervised promotion by the failure detector.
+    pub fn failover(&self) {
+        self.repl_failovers_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one leader suspicion (heartbeat silence past the
+    /// detection timeout).
+    pub fn suspicion(&self) {
+        self.repl_suspicions_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one follower reconnection attempt.
+    pub fn repl_reconnect(&self) {
+        self.repl_reconnects_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes how long ago the follower last heard from its leader
+    /// (microseconds; 0 on a primary).
+    pub fn set_repl_heartbeat_age(&self, age_us: u64) {
+        self.repl_heartbeat_age_us.store(age_us, Ordering::Relaxed);
+    }
+
     /// Records one batch-mode analysis: `cache_hit` distinguishes a
     /// cached report from a cold run of the full pipeline.
     pub fn record_analysis(&self, cache_hit: bool, latency: Duration) {
@@ -389,6 +426,10 @@ impl Metrics {
             repl_followers: self.repl_followers.load(Ordering::Relaxed),
             repl_quorum_timeouts_total: self.repl_quorum_timeouts_total.load(Ordering::Relaxed),
             redirected_total: self.redirected_total.load(Ordering::Relaxed),
+            repl_failovers_total: self.repl_failovers_total.load(Ordering::Relaxed),
+            repl_suspicions_total: self.repl_suspicions_total.load(Ordering::Relaxed),
+            repl_reconnects_total: self.repl_reconnects_total.load(Ordering::Relaxed),
+            repl_heartbeat_age_us: self.repl_heartbeat_age_us.load(Ordering::Relaxed),
             analysis_cold_buckets: self
                 .analysis_cold_buckets
                 .iter()
@@ -483,6 +524,15 @@ pub struct MetricsSnapshot {
     pub repl_quorum_timeouts_total: u64,
     /// Writes refused with `421` and pointed at the leader.
     pub redirected_total: u64,
+    /// Unsupervised promotions performed by the failure detector.
+    pub repl_failovers_total: u64,
+    /// Leader suspicions raised by the failure detector.
+    pub repl_suspicions_total: u64,
+    /// Follower reconnection attempts after a broken stream.
+    pub repl_reconnects_total: u64,
+    /// Microseconds since the follower last heard from its leader
+    /// (0 on a primary).
+    pub repl_heartbeat_age_us: u64,
     /// Cold-analysis duration histogram (same bucket bounds as
     /// [`LATENCY_BUCKETS_US`], last entry is the overflow bucket).
     pub analysis_cold_buckets: Vec<u64>,
@@ -682,6 +732,22 @@ impl Serialize for MetricsSnapshot {
             (
                 "redirected_total".to_string(),
                 self.redirected_total.to_value(),
+            ),
+            (
+                "repl_failovers_total".to_string(),
+                self.repl_failovers_total.to_value(),
+            ),
+            (
+                "repl_suspicions_total".to_string(),
+                self.repl_suspicions_total.to_value(),
+            ),
+            (
+                "repl_reconnects_total".to_string(),
+                self.repl_reconnects_total.to_value(),
+            ),
+            (
+                "repl_heartbeat_age_us".to_string(),
+                self.repl_heartbeat_age_us.to_value(),
             ),
         ])
     }
@@ -952,6 +1018,14 @@ impl MetricsSnapshot {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
             out.push_str(&format!("{name} {value}\n"));
         }
+        out.push_str(
+            "# HELP mine_repl_heartbeat_age_seconds Time since the follower last heard from its leader (0 on a primary).\n",
+        );
+        out.push_str("# TYPE mine_repl_heartbeat_age_seconds gauge\n");
+        out.push_str(&format!(
+            "mine_repl_heartbeat_age_seconds {}\n",
+            self.repl_heartbeat_age_us as f64 / 1_000_000.0
+        ));
         for (name, help, value) in [
             (
                 "mine_repl_quorum_timeouts_total",
@@ -967,6 +1041,21 @@ impl MetricsSnapshot {
                 "mine_pool_steals_total",
                 "Pool tasks executed by a worker other than the one that queued them.",
                 self.pool_steals_total,
+            ),
+            (
+                "mine_repl_failovers_total",
+                "Unsupervised promotions performed by the failure detector.",
+                self.repl_failovers_total,
+            ),
+            (
+                "mine_repl_suspicions_total",
+                "Leader suspicions raised by the failure detector.",
+                self.repl_suspicions_total,
+            ),
+            (
+                "mine_repl_reconnects_total",
+                "Follower reconnection attempts after a broken stream.",
+                self.repl_reconnects_total,
             ),
         ] {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
@@ -1079,6 +1168,13 @@ mod tests {
         metrics.quorum_timeout();
         metrics.redirected();
         metrics.redirected();
+        metrics.suspicion();
+        metrics.suspicion();
+        metrics.failover();
+        metrics.repl_reconnect();
+        metrics.repl_reconnect();
+        metrics.repl_reconnect();
+        metrics.set_repl_heartbeat_age(2_500_000);
 
         let snapshot = metrics.snapshot(0, 0);
         assert_eq!(snapshot.repl_role, 1);
@@ -1087,6 +1183,10 @@ mod tests {
         assert_eq!(snapshot.repl_lag, 2);
         assert_eq!(snapshot.repl_quorum_timeouts_total, 1);
         assert_eq!(snapshot.redirected_total, 2);
+        assert_eq!(snapshot.repl_suspicions_total, 2);
+        assert_eq!(snapshot.repl_failovers_total, 1);
+        assert_eq!(snapshot.repl_reconnects_total, 3);
+        assert_eq!(snapshot.repl_heartbeat_age_us, 2_500_000);
 
         let text = snapshot.to_prometheus();
         assert!(text.contains("mine_repl_role{role=\"primary\"} 0"));
@@ -1097,11 +1197,19 @@ mod tests {
         assert!(text.contains("mine_repl_lag 2"));
         assert!(text.contains("mine_repl_quorum_timeouts_total 1"));
         assert!(text.contains("mine_redirected_total 2"));
+        assert!(text.contains("# TYPE mine_repl_failovers_total counter"));
+        assert!(text.contains("mine_repl_failovers_total 1"));
+        assert!(text.contains("mine_repl_suspicions_total 2"));
+        assert!(text.contains("mine_repl_reconnects_total 3"));
+        assert!(text.contains("# TYPE mine_repl_heartbeat_age_seconds gauge"));
+        assert!(text.contains("mine_repl_heartbeat_age_seconds 2.5"));
 
         let json = serde_json::to_string(&snapshot).unwrap();
         let value: Value = serde_json::from_str(&json).unwrap();
         assert_eq!(value.get("repl_epoch").unwrap().kind(), "number");
         assert_eq!(value.get("redirected_total").unwrap().kind(), "number");
+        assert_eq!(value.get("repl_failovers_total").unwrap().kind(), "number");
+        assert_eq!(value.get("repl_heartbeat_age_us").unwrap().kind(), "number");
     }
 
     #[test]

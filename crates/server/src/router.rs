@@ -303,6 +303,7 @@ impl Router {
                 (Route::Shed, Ok(Response::shed("server is draining", secs)))
             }
             ("POST", ["admin", "promote"]) => (Route::Promote, self.promote()),
+            ("POST", ["admin", "demote"]) => (Route::Demote, self.demote(request)),
             // A follower is a read replica: every write is answered
             // with 421 naming the leader. Reads fall through.
             ("POST", ["sessions", ..]) if self.not_leader() => {
@@ -412,6 +413,53 @@ impl Router {
         self.state
             .metrics
             .set_repl(role.gauge(), journal.store().epoch(), head, lag, followers);
+        // Heartbeat age: 0 on the primary (it is its own leader), time
+        // since the last leader frame on a follower.
+        let age_us = if role == Role::Primary {
+            0
+        } else {
+            repl.leader_contact_age()
+                .map_or(0, |age| u64::try_from(age.as_micros()).unwrap_or(u64::MAX))
+        };
+        self.state.metrics.set_repl_heartbeat_age(age_us);
+    }
+
+    /// The epoch-fenced promotion sequence shared by `POST
+    /// /admin/promote` (supervised) and the auto-failover detector
+    /// (unsupervised): stop following, bump the durable epoch past the
+    /// old leader's, start serving writes. Returns the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when replication/journaling is not configured,
+    /// this node is already the primary, or the epoch bump fails to
+    /// persist (the role is restored to follower in that last case, so
+    /// a node that cannot fence itself never serves writes).
+    pub fn promote_follower(&self) -> Result<u64, String> {
+        let Some(repl) = &self.state.repl else {
+            return Err("replication is not enabled".to_string());
+        };
+        let Some(journal) = &self.state.journal else {
+            return Err("replication requires a journal".to_string());
+        };
+        if repl.role() == Role::Primary {
+            return Err("already the primary".to_string());
+        }
+        // Candidate first: the write guard starts refusing writes as
+        // "not yet the leader" rather than racing the epoch bump.
+        repl.set_role(Role::Candidate);
+        repl.stop_puller();
+        // The puller applies records under the read gate; taking the
+        // write gate waits out any in-flight apply, so nothing from the
+        // old stream lands after the bump.
+        let _gate = journal.gate_write();
+        let epoch = journal.store().epoch() + 1;
+        if let Err(err) = journal.store().set_epoch(epoch) {
+            repl.set_role(Role::Follower);
+            return Err(format!("epoch bump failed: {err}"));
+        }
+        repl.set_role(Role::Primary);
+        Ok(epoch)
     }
 
     /// `POST /admin/promote`: supervised failover. Stops following,
@@ -420,29 +468,20 @@ impl Router {
     /// primary — its records and its `Welcome` now carry a lower epoch
     /// and are refused everywhere.
     fn promote(&self) -> ApiResult {
-        let Some(repl) = &self.state.repl else {
+        if self.state.repl.is_none() {
             return Err(ApiError::conflict("replication is not enabled"));
-        };
-        let Some(journal) = &self.state.journal else {
-            return Err(ApiError::new(500, "replication requires a journal"));
-        };
-        if repl.role() == Role::Primary {
-            return Err(ApiError::conflict("already the primary"));
         }
-        // Candidate first: the write guard above starts refusing writes
-        // as "not yet the leader" rather than racing the epoch bump.
-        repl.set_role(Role::Candidate);
-        repl.stop_puller();
-        // The puller applies records under the read gate; taking the
-        // write gate waits out any in-flight apply, so nothing from the
-        // old stream lands after the bump.
-        let _gate = journal.gate_write();
-        let epoch = journal.store().epoch() + 1;
-        journal
-            .store()
-            .set_epoch(epoch)
-            .map_err(|err| ApiError::new(500, format!("epoch bump failed: {err}")))?;
-        repl.set_role(Role::Primary);
+        if self.state.journal.is_none() {
+            return Err(ApiError::new(500, "replication requires a journal"));
+        }
+        let epoch = self.promote_follower().map_err(|reason| {
+            if reason == "already the primary" {
+                ApiError::conflict(reason)
+            } else {
+                ApiError::new(500, reason)
+            }
+        })?;
+        let journal = self.state.journal.as_ref().expect("checked above");
         Ok(ok_json(
             200,
             Value::Object(vec![
@@ -452,6 +491,58 @@ impl Router {
                     "last_applied_seq".to_string(),
                     (journal.store().next_seq() - 1).to_value(),
                 ),
+            ]),
+        ))
+    }
+
+    /// `POST /admin/demote`: stand down behind a newer epoch. Sent by a
+    /// freshly auto-promoted primary to its peers (best-effort); also
+    /// usable by a supervisor. The body names the fencing epoch and the
+    /// new leader: `{"epoch": N, "leader": "host:port"}`. A demote
+    /// carrying an epoch at or below the local one is refused with
+    /// `409` — only genuinely newer leadership can depose a node, so a
+    /// delayed or replayed demote from an older failover is harmless.
+    fn demote(&self, request: &Request) -> ApiResult {
+        let Some(repl) = &self.state.repl else {
+            return Err(ApiError::conflict("replication is not enabled"));
+        };
+        let Some(journal) = &self.state.journal else {
+            return Err(ApiError::new(500, "replication requires a journal"));
+        };
+        let body = parse_body(request)?;
+        let epoch = match body.get("epoch") {
+            Some(Value::Number(Number::PosInt(n))) => *n,
+            _ => return Err(ApiError::bad_request("field `epoch` must be a number")),
+        };
+        let leader = body
+            .get("leader")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_string();
+        // Same fencing discipline as promotion: the write gate waits
+        // out in-flight appends, so no write straddles the epoch flip.
+        let _gate = journal.gate_write();
+        let local = journal.store().epoch();
+        if epoch <= local {
+            return Err(ApiError::conflict(format!(
+                "refusing demote: epoch {epoch} is not ahead of local {local}"
+            )));
+        }
+        journal
+            .store()
+            .set_epoch(epoch)
+            .map_err(|err| ApiError::new(500, format!("epoch adopt failed: {err}")))?;
+        repl.set_role(Role::Follower);
+        if !leader.is_empty() {
+            repl.set_leader_addr(leader);
+        }
+        // The new leader just spoke to us; re-arm the failure detector.
+        repl.note_leader_contact();
+        Ok(ok_json(
+            200,
+            Value::Object(vec![
+                ("role".to_string(), Value::String("follower".to_string())),
+                ("epoch".to_string(), epoch.to_value()),
             ]),
         ))
     }
@@ -1641,5 +1732,62 @@ mod tests {
         // Non-POST methods on admin routes are 405, not 404.
         let response = router.handle(&Request::new("GET", "/admin/promote", ""));
         assert_eq!(response.status, 405);
+    }
+
+    #[test]
+    fn demote_fences_behind_newer_epochs_only() {
+        use crate::repl::AckMode;
+        let dir = std::env::temp_dir().join(format!("mine-router-demote-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (mut state, _) = crate::journal::open_journaled_state(
+            repository(),
+            &dir,
+            mine_store::StoreOptions::default(),
+            64,
+        )
+        .unwrap();
+        state.repl = Some(Arc::new(ReplState::new(Role::Primary, AckMode::Leader)));
+        let router = Router::with_state(state);
+        let local = router.state().journal.as_ref().unwrap().store().epoch();
+
+        // A stale (or equal) epoch cannot depose: replayed demotes from
+        // an older failover are harmless.
+        let stale = router.handle(&Request::new(
+            "POST",
+            "/admin/demote",
+            format!(r#"{{"epoch":{local},"leader":"127.0.0.1:7500"}}"#),
+        ));
+        assert_eq!(stale.status, 409, "{}", stale.body);
+        assert_eq!(router.state().repl.as_ref().unwrap().role(), Role::Primary);
+
+        // A genuinely newer epoch demotes, durably adopts it, and
+        // records the new leader for redirects.
+        let newer = local + 3;
+        let demoted = router.handle(&Request::new(
+            "POST",
+            "/admin/demote",
+            format!(r#"{{"epoch":{newer},"leader":"127.0.0.1:7500"}}"#),
+        ));
+        assert_eq!(demoted.status, 200, "{}", demoted.body);
+        let repl = router.state().repl.as_ref().unwrap();
+        assert_eq!(repl.role(), Role::Follower);
+        assert_eq!(repl.leader_addr().as_deref(), Some("127.0.0.1:7500"));
+        assert_eq!(
+            router.state().journal.as_ref().unwrap().store().epoch(),
+            newer
+        );
+        // Writes now redirect to the named leader.
+        let refused = router.handle(&Request::new(
+            "POST",
+            "/sessions",
+            r#"{"exam":"quiz","student":"s1"}"#,
+        ));
+        assert_eq!(refused.status, 421, "{}", refused.body);
+
+        // Malformed bodies are a 400, not a silent no-op.
+        let bad = router.handle(&Request::new("POST", "/admin/demote", r#"{"epoch":"x"}"#));
+        assert_eq!(bad.status, 400, "{}", bad.body);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

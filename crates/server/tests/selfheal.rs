@@ -1,0 +1,482 @@
+//! The self-healing acceptance test: a three-node cluster runs under a
+//! seeded fault schedule (`MINE_FAULT_PLAN=seed=42` on the primary's
+//! replication transport), the primary is SIGKILLed mid-sitting, and
+//! with **no operator action** exactly one follower suspects the
+//! silence, surveys its peer, wins the deterministic succession, and
+//! promotes itself through the epoch-fenced path. Every acked event
+//! must survive: the new primary serves a byte-identical analysis,
+//! finishes the sitting that was mid-flight at the crash, and accepts
+//! fresh work. Afterwards `audit_dirs` over all three data directories
+//! must come back clean, and the same seed must reproduce the same
+//! canonical fault schedule.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Number, Value};
+
+use mine_itembank::{Calibration, ChoiceOption, Exam, Problem, Repository};
+use mine_server::{
+    audit_dirs, open_journaled_state, AckMode, FailoverConfig, HttpClient, ReplListener, ReplState,
+    Role, Router, ServeOptions, Server,
+};
+use mine_store::{FaultPlan, StoreOptions, SyncPolicy};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mine-selfheal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The same exam everywhere: replication replays events against the
+/// repository, so every node and the parent must agree.
+fn repository() -> Repository {
+    let repo = Repository::new();
+    repo.insert_problem(
+        Problem::multiple_choice(
+            "q1",
+            "Pick C.",
+            [
+                ChoiceOption::new(mine_core::OptionKey::A, "alpha"),
+                ChoiceOption::new(mine_core::OptionKey::B, "beta"),
+                ChoiceOption::new(mine_core::OptionKey::C, "gamma"),
+                ChoiceOption::new(mine_core::OptionKey::D, "delta"),
+            ],
+            mine_core::OptionKey::C,
+        )
+        .unwrap()
+        .with_calibration(Calibration::new(1.1, -0.4, 0.2)),
+    )
+    .unwrap();
+    repo.insert_problem(
+        Problem::true_false("q2", "Is the sky blue?", true)
+            .unwrap()
+            .with_calibration(Calibration::new(0.9, 0.6, 0.25)),
+    )
+    .unwrap();
+    repo.insert_exam(
+        Exam::builder("final")
+            .unwrap()
+            .entry("q1".parse().unwrap())
+            .entry("q2".parse().unwrap())
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    repo
+}
+
+fn answer_json(problem: &str, index: usize) -> String {
+    match problem {
+        "q1" => format!(
+            "{{\"Choice\":\"{}\"}}",
+            char::from(b'A' + (index % 4) as u8)
+        ),
+        "q2" => format!("{{\"TrueFalse\":{}}}", index.is_multiple_of(3)),
+        other => panic!("unexpected problem {other}"),
+    }
+}
+
+fn start_sitting(client: &mut HttpClient, index: usize) -> (String, Vec<String>) {
+    let started = client
+        .post(
+            "/sessions",
+            &format!("{{\"exam\":\"final\",\"student\":\"h{index:02}\",\"seed\":{index}}}"),
+        )
+        .expect("start");
+    assert_eq!(started.status, 201, "{}", started.body);
+    let started: Value = started.json().expect("start body");
+    let session = started
+        .get("session")
+        .and_then(Value::as_str)
+        .expect("session id")
+        .to_string();
+    let order = started
+        .get("problems")
+        .and_then(Value::as_array)
+        .expect("problems")
+        .iter()
+        .map(|p| p.get("id").and_then(Value::as_str).unwrap().to_string())
+        .collect();
+    (session, order)
+}
+
+fn run_full_sitting(addr: &str, index: usize) {
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let (session, order) = start_sitting(&mut client, index);
+    for problem in &order {
+        let body = format!(
+            "{{\"answer\":{},\"time_spent_secs\":{}}}",
+            answer_json(problem, index),
+            10 + index % 7
+        );
+        let answered = client
+            .post(&format!("/sessions/{session}/answers"), &body)
+            .expect("answer");
+        assert_eq!(answered.status, 200, "{}", answered.body);
+    }
+    let finished = client
+        .post(&format!("/sessions/{session}/finish"), "")
+        .expect("finish");
+    assert_eq!(finished.status, 200, "{}", finished.body);
+}
+
+fn healthz(addr: &str) -> Value {
+    let mut client = HttpClient::connect(addr).expect("connect healthz");
+    let response = client.get("/healthz").expect("healthz");
+    response.json().expect("healthz json")
+}
+
+fn healthz_u64(value: &Value, field: &str) -> u64 {
+    match value.get(field) {
+        Some(Value::Number(Number::PosInt(n))) => *n,
+        other => panic!("healthz field {field} missing or not a number: {other:?}"),
+    }
+}
+
+fn role_of(addr: &str) -> Option<String> {
+    let health = healthz(addr);
+    health
+        .get("role")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+}
+
+/// Re-exec helper: with `MINE_SELFHEAL_DIR` set this "test" becomes a
+/// replicating server wired exactly as `mine serve` wires one —
+/// `MINE_FAULT_PLAN` arms the seeded chaos schedule on both the store
+/// and the replication transport, `MINE_SELFHEAL_PRIMARY` makes it a
+/// follower, and `MINE_SELFHEAL_FAILOVER_MS` + `MINE_SELFHEAL_PEERS`
+/// arm the unsupervised failure detector. It publishes
+/// `"<http addr>\n<repl addr>"` at `<dir>/addr.txt` atomically via
+/// rename and runs until SIGKILLed.
+#[test]
+fn selfheal_child() {
+    let Some(dir) = std::env::var_os("MINE_SELFHEAL_DIR") else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    let primary = std::env::var("MINE_SELFHEAL_PRIMARY").ok();
+    let http_addr =
+        std::env::var("MINE_SELFHEAL_HTTP").unwrap_or_else(|_| "127.0.0.1:0".to_string());
+    let fault_plan = FaultPlan::from_env()
+        .expect("MINE_FAULT_PLAN")
+        .map(Arc::new);
+    let options = StoreOptions {
+        // `Never` maximizes the unflushed window: the kill must still
+        // lose no acked event because a follower holds a copy.
+        sync: SyncPolicy::Never,
+        fault_plan: fault_plan.clone(),
+        ..StoreOptions::default()
+    };
+    let (mut state, _) = open_journaled_state(repository(), &dir, options, 8).expect("open");
+    let role = if primary.is_some() {
+        Role::Follower
+    } else {
+        Role::Primary
+    };
+    let repl = Arc::new(ReplState::new(role, AckMode::Leader));
+    state.repl = Some(Arc::clone(&repl));
+    let router = Router::with_state(state);
+    let serve_options = ServeOptions {
+        addr: http_addr,
+        ..ServeOptions::default()
+    };
+    let server = Server::start(router.clone(), &serve_options).expect("bind http");
+    repl.set_advertise(server.local_addr().to_string());
+    if let Some(plan) = &fault_plan {
+        repl.set_fault_plan(Arc::clone(plan));
+    }
+    if let Ok(ms) = std::env::var("MINE_SELFHEAL_FAILOVER_MS") {
+        let timeout = Duration::from_millis(ms.parse().expect("failover ms"));
+        let peers: Vec<String> = std::env::var("MINE_SELFHEAL_PEERS")
+            .unwrap_or_default()
+            .split(',')
+            .map(str::trim)
+            .filter(|peer| !peer.is_empty())
+            .map(str::to_string)
+            .collect();
+        repl.set_auto_failover(FailoverConfig { timeout, peers });
+    }
+    let listener = ReplListener::start("127.0.0.1:0", router.clone()).expect("bind repl");
+    let _puller = primary.map(|addr| mine_server::start_follower(addr, router.clone()));
+    let tmp = dir.join(".addr.tmp");
+    std::fs::write(
+        &tmp,
+        format!("{}\n{}", server.local_addr(), listener.local_addr()),
+    )
+    .expect("write addr");
+    std::fs::rename(&tmp, dir.join("addr.txt")).expect("publish addr");
+    server.join();
+}
+
+struct ChildNode {
+    child: Child,
+    http: String,
+}
+
+fn spawn_node(dir: &PathBuf, envs: &[(&str, &str)]) -> (ChildNode, String) {
+    let exe = std::env::current_exe().unwrap();
+    let mut command = Command::new(exe);
+    command
+        .args(["selfheal_child", "--exact", "--nocapture"])
+        .env("MINE_SELFHEAL_DIR", dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    for (key, value) in envs {
+        command.env(key, value);
+    }
+    let addr_path = dir.join("addr.txt");
+    let _ = std::fs::remove_file(&addr_path);
+    let child = command.spawn().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !addr_path.exists() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let published = std::fs::read_to_string(&addr_path).expect("child never came up");
+    let (http, repl) = published.split_once('\n').expect("two addresses");
+    (
+        ChildNode {
+            child,
+            http: http.to_string(),
+        },
+        repl.to_string(),
+    )
+}
+
+/// Reserves a loopback port by binding and immediately releasing it, so
+/// follower peers can know each other's HTTP addresses before launch.
+fn reserve_addr() -> String {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    drop(listener);
+    addr
+}
+
+/// Polls until `check` passes or the deadline expires, returning the
+/// last healthz body either way.
+fn wait_for(addr: &str, what: &str, check: impl Fn(&Value) -> bool) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let health = healthz(addr);
+        if check(&health) {
+            return health;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last healthz: {health:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn seeded_chaos_kill_nine_auto_failover_audits_clean() {
+    let a_dir = temp_dir("a");
+    let b_dir = temp_dir("b");
+    let c_dir = temp_dir("c");
+
+    // The primary ships every replication frame through a seeded fault
+    // schedule: drops, duplicates, delays, and partition windows, all
+    // derived from seed 42. Followers must absorb all of it.
+    let (mut node_a, a_repl) = spawn_node(&a_dir, &[("MINE_FAULT_PLAN", "seed=42")]);
+    let b_http = reserve_addr();
+    let c_http = reserve_addr();
+    let (mut node_b, _) = spawn_node(
+        &b_dir,
+        &[
+            ("MINE_SELFHEAL_PRIMARY", a_repl.as_str()),
+            ("MINE_SELFHEAL_HTTP", b_http.as_str()),
+            ("MINE_SELFHEAL_FAILOVER_MS", "1500"),
+            ("MINE_SELFHEAL_PEERS", c_http.as_str()),
+        ],
+    );
+    let (mut node_c, _) = spawn_node(
+        &c_dir,
+        &[
+            ("MINE_SELFHEAL_PRIMARY", a_repl.as_str()),
+            ("MINE_SELFHEAL_HTTP", c_http.as_str()),
+            ("MINE_SELFHEAL_FAILOVER_MS", "1500"),
+            ("MINE_SELFHEAL_PEERS", b_http.as_str()),
+        ],
+    );
+    assert_eq!(node_b.http, b_http, "follower must bind its reserved port");
+    assert_eq!(node_c.http, c_http, "follower must bind its reserved port");
+
+    wait_for(&node_b.http, "b bootstraps as follower", |health| {
+        health.get("role").and_then(Value::as_str) == Some("follower")
+    });
+    wait_for(&node_c.http, "c bootstraps as follower", |health| {
+        health.get("role").and_then(Value::as_str) == Some("follower")
+    });
+
+    // Four complete sittings through the chaotic stream, then a fifth
+    // left mid-flight: one of two problems answered at the crash.
+    for index in 0..4 {
+        run_full_sitting(&node_a.http, index);
+    }
+    let mut client = HttpClient::connect(&node_a.http).expect("connect");
+    let (mid_session, mid_order) = start_sitting(&mut client, 4);
+    let first_answer = format!(
+        "{{\"answer\":{},\"time_spent_secs\":12}}",
+        answer_json(&mid_order[0], 4)
+    );
+    let answered = client
+        .post(&format!("/sessions/{mid_session}/answers"), &first_answer)
+        .expect("mid answer");
+    assert_eq!(answered.status, 200, "{}", answered.body);
+
+    // Control: the analysis the primary serves right now, and its
+    // applied position. Both followers must fully absorb the faulty
+    // stream before the power goes out.
+    let control = client
+        .get("/exams/final/analysis")
+        .expect("control analysis");
+    assert_eq!(control.status, 200, "{}", control.body);
+    let head = healthz_u64(&healthz(&node_a.http), "last_applied_seq");
+    assert!(head > 0);
+    wait_for(&node_b.http, "b catch-up through faults", |health| {
+        healthz_u64(health, "last_applied_seq") >= head
+    });
+    wait_for(&node_c.http, "c catch-up through faults", |health| {
+        healthz_u64(health, "last_applied_seq") >= head
+    });
+
+    node_a.child.kill().unwrap(); // SIGKILL: no flushes, no goodbyes
+    node_a.child.wait().unwrap();
+
+    // Unsupervised failover: exactly one follower must promote itself.
+    // The succession is deterministic — both are caught up, so the
+    // higher advertise address wins the (seq, addr) comparison and the
+    // other re-arms its detector.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let (winner, loser) = loop {
+        let b_role = role_of(&node_b.http);
+        let c_role = role_of(&node_c.http);
+        match (b_role.as_deref(), c_role.as_deref()) {
+            (Some("primary"), Some("primary")) => {
+                panic!("split brain: both followers promoted themselves")
+            }
+            (Some("primary"), _) => break (&node_b, &node_c),
+            (_, Some("primary")) => break (&node_c, &node_b),
+            _ => {}
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no follower promoted itself; roles {b_role:?} / {c_role:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let winner_health = healthz(&winner.http);
+    assert_eq!(
+        healthz_u64(&winner_health, "epoch"),
+        mine_store::INITIAL_EPOCH + 1,
+        "promotion must fence exactly one epoch ahead"
+    );
+
+    // The winner demotes its peer by epoch: the loser adopts the new
+    // epoch and stays a follower — at most one primary per epoch.
+    wait_for(&loser.http, "loser adopts the winner's epoch", |health| {
+        health.get("role").and_then(Value::as_str) == Some("follower")
+            && healthz_u64(health, "epoch") == mine_store::INITIAL_EPOCH + 1
+    });
+
+    // Zero acked loss: the promoted node serves the dead primary's
+    // analysis byte for byte…
+    let mut winner_client = HttpClient::connect(&winner.http).expect("connect winner");
+    let served = winner_client
+        .get("/exams/final/analysis")
+        .expect("promoted analysis");
+    assert_eq!(served.status, 200, "{}", served.body);
+    assert_eq!(
+        served.body, control.body,
+        "analysis must be byte-identical after auto-failover"
+    );
+
+    // …the mid-flight sitting survived with its acked answer and
+    // finishes on the new primary…
+    let status = winner_client
+        .get(&format!("/sessions/{mid_session}"))
+        .expect("mid status");
+    assert_eq!(status.status, 200, "{}", status.body);
+    let status: Value = status.json().unwrap();
+    assert!(
+        matches!(
+            status.get("answered"),
+            Some(Value::Number(Number::PosInt(1)))
+        ),
+        "{status:?}"
+    );
+    let second_answer = format!(
+        "{{\"answer\":{},\"time_spent_secs\":9}}",
+        answer_json(&mid_order[1], 4)
+    );
+    let answered = winner_client
+        .post(&format!("/sessions/{mid_session}/answers"), &second_answer)
+        .expect("answer on new primary");
+    assert_eq!(answered.status, 200, "{}", answered.body);
+    let finished = winner_client
+        .post(&format!("/sessions/{mid_session}/finish"), "")
+        .expect("finish on new primary");
+    assert_eq!(finished.status, 200, "{}", finished.body);
+
+    // …and fresh work is accepted.
+    run_full_sitting(&winner.http, 5);
+
+    // The detector's work is visible in the metrics.
+    let mut scrape = HttpClient::connect(&winner.http).expect("scrape winner");
+    let metrics = scrape.get("/metrics").expect("winner metrics");
+    assert!(
+        metrics.body.contains("mine_repl_role{role=\"primary\"} 1"),
+        "{}",
+        metrics.body
+    );
+    assert!(
+        metrics.body.contains("mine_repl_failovers_total 1"),
+        "{}",
+        metrics.body
+    );
+    assert!(
+        !metrics.body.contains("mine_repl_suspicions_total 0\n"),
+        "at least one suspicion must precede the failover: {}",
+        metrics.body
+    );
+
+    node_b.child.kill().unwrap();
+    node_b.child.wait().unwrap();
+    node_c.child.kill().unwrap();
+    node_c.child.wait().unwrap();
+
+    // The auditor must find the three journals internally sound, every
+    // overlapping acked prefix byte-identical, and the replayed state
+    // deterministic — even after seeded chaos and two SIGKILLs.
+    let dirs = [a_dir.clone(), b_dir.clone(), c_dir.clone()];
+    let loader = || Ok(repository());
+    let report = audit_dirs(&dirs, Some(&loader)).expect("audit runs");
+    assert!(
+        report.is_clean(),
+        "audit must be clean after the chaos run:\n{}",
+        report.render()
+    );
+
+    // The same seed reproduces the same canonical fault schedule: the
+    // chaos run is replayable from `seed=42` alone.
+    let plan_a = FaultPlan::parse("seed=42").expect("parse seed");
+    let plan_b = FaultPlan::parse("seed=42").expect("parse seed again");
+    assert!(!plan_a.is_empty(), "a bare seed must derive a schedule");
+    assert_eq!(plan_a.to_string(), plan_b.to_string());
+    assert_eq!(
+        FaultPlan::parse(&plan_a.to_string())
+            .expect("round trip")
+            .to_string(),
+        plan_a.to_string(),
+        "the canonical rendering must round-trip"
+    );
+
+    std::fs::remove_dir_all(&a_dir).unwrap();
+    std::fs::remove_dir_all(&b_dir).unwrap();
+    std::fs::remove_dir_all(&c_dir).unwrap();
+}

@@ -25,11 +25,11 @@ pub enum StoreError {
         /// The limit it exceeded.
         limit: usize,
     },
-    /// A previous append failed mid-write (`ENOSPC`, `EIO`, …) and the
-    /// segment writer refused further appends. The on-disk tail was
-    /// truncated back to the last intact frame, so nothing half-written
-    /// is ever visible to recovery or replication; reopening the store
-    /// clears the poison.
+    /// A previous append failed mid-write (`ENOSPC`, `EIO`, …) or an
+    /// fsync failed, and the segment writer refused further appends.
+    /// The on-disk tail was truncated back to the last intact frame, so
+    /// nothing half-written is ever visible to recovery or replication;
+    /// reopening the store clears the poison.
     Poisoned {
         /// Display form of the I/O error that poisoned the writer.
         cause: String,

@@ -30,11 +30,13 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod log;
 pub mod replicate;
 
 pub use error::StoreError;
+pub use fault::{DiskFault, FaultPlan, NetAction, NetFault};
 pub use log::{
     AppendFault, EventStore, Record, Recovered, Snapshot, StoreOptions, SyncPolicy, INITIAL_EPOCH,
 };

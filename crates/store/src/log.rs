@@ -35,6 +35,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::error::StoreError;
+use crate::fault::{DiskFault, FaultPlan};
 use crate::frame::{self, ScanEnd, MAX_PAYLOAD_BYTES};
 
 /// When appended records are flushed to stable storage.
@@ -86,6 +87,9 @@ pub struct StoreOptions {
     /// Fault injection for tests: fail one append mid-frame. `None` in
     /// production.
     pub append_fault: Option<AppendFault>,
+    /// A seeded, replayable fault schedule (see [`FaultPlan`]) shared
+    /// with the replication layer. `None` in production.
+    pub fault_plan: Option<std::sync::Arc<FaultPlan>>,
 }
 
 impl Default for StoreOptions {
@@ -94,6 +98,7 @@ impl Default for StoreOptions {
             sync: SyncPolicy::Always,
             max_segment_bytes: 8 * 1024 * 1024,
             append_fault: None,
+            fault_plan: None,
         }
     }
 }
@@ -432,7 +437,9 @@ impl EventStore {
         if inner.segment_records > 0
             && inner.segment_bytes + frame.len() as u64 > self.options.max_segment_bytes
         {
-            self.rotate(&mut inner, seq)?;
+            if let Err(err) = self.rotate(&mut inner, seq) {
+                return Err(self.poison(&mut inner, err));
+            }
         }
         if let Err(err) = self.write_frame(&mut inner, seq, &frame) {
             return Err(self.poison(&mut inner, err));
@@ -444,7 +451,7 @@ impl EventStore {
         inner.dirty = true;
         match self.options.sync {
             SyncPolicy::Always => {
-                if let Err(err) = inner.file.sync_data() {
+                if let Err(err) = self.segment_sync(&mut inner) {
                     return Err(self.poison(&mut inner, err));
                 }
                 inner.last_sync = Instant::now();
@@ -452,7 +459,7 @@ impl EventStore {
             }
             SyncPolicy::Interval(window) => {
                 if inner.last_sync.elapsed() >= window {
-                    if let Err(err) = inner.file.sync_data() {
+                    if let Err(err) = self.segment_sync(&mut inner) {
                         return Err(self.poison(&mut inner, err));
                     }
                     inner.last_sync = Instant::now();
@@ -464,20 +471,49 @@ impl EventStore {
         Ok(seq)
     }
 
-    /// Writes one encoded frame, honouring the fault-injection knob.
+    /// Flushes the current segment's data, honouring any scheduled
+    /// fsync fault. Every segment-data sync must go through here so a
+    /// failure can poison the writer at its caller.
+    fn segment_sync(&self, inner: &mut Inner) -> std::io::Result<()> {
+        if let Some(plan) = &self.options.fault_plan {
+            if plan.fsync_fails() {
+                return Err(std::io::Error::other("injected fsync failure"));
+            }
+        }
+        inner.file.sync_data()
+    }
+
+    /// Writes one encoded frame, honouring the fault-injection knobs.
     fn write_frame(&self, inner: &mut Inner, seq: u64, frame: &[u8]) -> std::io::Result<()> {
         if let Some(fault) = self.options.append_fault {
             if fault.at_seq == seq {
-                let cut = fault.partial_bytes.min(frame.len());
-                inner.file.write_all(&frame[..cut])?;
-                let _ = inner.file.sync_data(); // make the half-frame durable, like a real torn write
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::StorageFull,
-                    "injected append fault (disk full)",
-                ));
+                return Self::torn_write(inner, frame, fault.partial_bytes);
+            }
+        }
+        if let Some(plan) = &self.options.fault_plan {
+            match plan.disk_fault(seq) {
+                Some(DiskFault::AppendError) => {
+                    return Err(std::io::Error::other("injected append error (EIO)"));
+                }
+                Some(DiskFault::TornWrite { bytes }) => {
+                    return Self::torn_write(inner, frame, bytes);
+                }
+                None => {}
             }
         }
         inner.file.write_all(frame)
+    }
+
+    /// Lands `partial_bytes` of the frame, makes the damage durable the
+    /// way a real torn write would be, and fails as if the disk filled.
+    fn torn_write(inner: &mut Inner, frame: &[u8], partial_bytes: usize) -> std::io::Result<()> {
+        let cut = partial_bytes.min(frame.len());
+        inner.file.write_all(&frame[..cut])?;
+        let _ = inner.file.sync_data(); // make the half-frame durable, like a real torn write
+        Err(std::io::Error::new(
+            std::io::ErrorKind::StorageFull,
+            "injected append fault (disk full)",
+        ))
     }
 
     /// Rolls the segment back to its last intact frame and marks the
@@ -496,11 +532,11 @@ impl EventStore {
     }
 
     /// Rotates to a fresh segment starting at `first_seq`.
-    fn rotate(&self, inner: &mut Inner, first_seq: u64) -> Result<(), StoreError> {
+    fn rotate(&self, inner: &mut Inner, first_seq: u64) -> std::io::Result<()> {
         // Seal the old segment: flush it unless the caller opted out of
         // durability entirely.
         if !matches!(self.options.sync, SyncPolicy::Never) {
-            inner.file.sync_data()?;
+            self.segment_sync(inner)?;
         }
         let path = self.dir.join(segment_name(first_seq));
         inner.file = OpenOptions::new().create(true).append(true).open(&path)?;
@@ -513,10 +549,16 @@ impl EventStore {
 
     /// Forces everything appended so far to stable storage.
     ///
+    /// A failed fsync is sticky: the writer is poisoned exactly as for
+    /// a failed append, because records appended since the last
+    /// successful flush are in doubt — an acked write must never be
+    /// allowed to follow a silently-failed flush. Reopening the store
+    /// clears the poison.
+    ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Io`] on sync failure and
-    /// [`StoreError::Poisoned`] after a failed append.
+    /// Returns [`StoreError::Io`] on sync failure (and poisons the
+    /// writer) and [`StoreError::Poisoned`] after an earlier failure.
     pub fn sync(&self) -> Result<(), StoreError> {
         let mut inner = self.inner.lock().expect("store mutex");
         if let Some(cause) = &inner.poisoned {
@@ -524,7 +566,9 @@ impl EventStore {
                 cause: cause.clone(),
             });
         }
-        inner.file.sync_data()?;
+        if let Err(err) = self.segment_sync(&mut inner) {
+            return Err(self.poison(&mut inner, err));
+        }
         inner.last_sync = Instant::now();
         inner.dirty = false;
         Ok(())
@@ -917,6 +961,82 @@ mod tests {
         assert_eq!(payloads(&recovered), ["tail-42"]);
         assert_eq!(recovered.events[0].seq, 42);
         assert_eq!(store.next_seq(), 43);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_fsync_is_sticky_and_poisons_the_writer() {
+        let dir = temp_dir("fsync-poison");
+        let options = StoreOptions {
+            sync: SyncPolicy::Never, // only the explicit sync() below counts
+            fault_plan: Some(std::sync::Arc::new(
+                FaultPlan::parse("disk.fsync_err@1").unwrap(),
+            )),
+            ..StoreOptions::default()
+        };
+        let (store, _) = EventStore::open(&dir, options).unwrap();
+        store.append(b"acked-before-flush").unwrap();
+        let err = store.sync().unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err}");
+        // The failure is sticky: no acked write can follow the
+        // silently-failed flush.
+        assert!(matches!(
+            store.append(b"never-acked"),
+            Err(StoreError::Poisoned { .. })
+        ));
+        assert!(matches!(store.sync(), Err(StoreError::Poisoned { .. })));
+        drop(store);
+        // Reopening clears the poison; the record whose flush failed is
+        // still on disk (the page cache survived this process).
+        let (store, recovered) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(payloads(&recovered), ["acked-before-flush"]);
+        assert_eq!(store.append(b"after-reopen").unwrap(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_plan_append_error_poisons_without_a_half_frame() {
+        let dir = temp_dir("plan-append-err");
+        let options = StoreOptions {
+            fault_plan: Some(std::sync::Arc::new(
+                FaultPlan::parse("disk.append_err@2").unwrap(),
+            )),
+            ..StoreOptions::default()
+        };
+        let (store, _) = EventStore::open(&dir, options).unwrap();
+        store.append(b"one").unwrap();
+        let err = store.append(b"doomed").unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err}");
+        assert!(matches!(
+            store.append(b"after"),
+            Err(StoreError::Poisoned { .. })
+        ));
+        drop(store);
+        let (store, recovered) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(payloads(&recovered), ["one"]);
+        assert!(recovered.warnings.is_empty(), "{:?}", recovered.warnings);
+        assert_eq!(store.append(b"two").unwrap(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_plan_torn_write_matches_the_legacy_append_fault() {
+        let dir = temp_dir("plan-torn");
+        let options = StoreOptions {
+            fault_plan: Some(std::sync::Arc::new(
+                FaultPlan::parse("disk.torn@3:9").unwrap(),
+            )),
+            ..StoreOptions::default()
+        };
+        let (store, _) = EventStore::open(&dir, options).unwrap();
+        store.append(b"one").unwrap();
+        store.append(b"two").unwrap();
+        assert!(matches!(store.append(b"doomed"), Err(StoreError::Io(_))));
+        drop(store);
+        // The half-frame was truncated at fault time: recovery is clean.
+        let (_, recovered) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(payloads(&recovered), ["one", "two"]);
+        assert!(recovered.warnings.is_empty(), "{:?}", recovered.warnings);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

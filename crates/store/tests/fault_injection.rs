@@ -285,7 +285,7 @@ fn crash_child_appender() {
         // the kill lands mid-frame.
         sync: SyncPolicy::Never,
         max_segment_bytes: 4096,
-        append_fault: None,
+        ..StoreOptions::default()
     };
     let (store, _) = EventStore::open(PathBuf::from(dir), options).unwrap();
     loop {

@@ -42,6 +42,12 @@ timeout 60 cargo test --offline -q -p mine-server --test replication
 echo "==> failover smoke (kill -9 primary, mine promote, byte-identical analysis)"
 timeout 60 scripts/smoke_failover.sh
 
+echo "==> self-healing tests (seeded fault schedule, kill -9, auto-failover, in-process audit)"
+timeout 60 cargo test --offline -q -p mine-server --test selfheal
+
+echo "==> self-healing smoke (seeded chaos, kill -9 primary, unsupervised failover, mine audit)"
+timeout 60 scripts/smoke_selfheal.sh
+
 echo "==> analysis perf smoke (pooled 4t >=1.5x the frozen naive baseline; MINE_SKIP_PERF_SMOKE=1 skips)"
 timeout 120 cargo test --offline -q -p mine-bench --test perf_smoke
 

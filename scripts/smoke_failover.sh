@@ -129,4 +129,11 @@ CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
   -d '{"exam":"quiz","student":"post-failover"}' "http://$FOLLOWER_ADDR/sessions")"
 [[ "$CODE" == "201" ]] || fail "promoted node refused a write with $CODE"
 
-echo "smoke_failover: OK (zero acked events lost, analysis byte-identical across failover)"
+echo "==> quiesce the survivor and audit both journals"
+kill "$FOLLOWER_PID"
+wait "$FOLLOWER_PID" 2>/dev/null || true
+FOLLOWER_PID=""
+"$MINE" audit "$WORKDIR/primary" "$WORKDIR/follower" --db "$DB" \
+  || fail "cross-node audit found violations"
+
+echo "smoke_failover: OK (zero acked events lost, analysis byte-identical, audit clean)"

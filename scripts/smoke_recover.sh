@@ -71,4 +71,10 @@ curl -sf "http://$ADDR/exams/quiz/analysis" > "$WORKDIR/after.json"
 cmp "$WORKDIR/before.json" "$WORKDIR/after.json" \
   || fail "analysis changed across the crash"
 
-echo "smoke_recover: OK (analysis byte-identical across kill -9)"
+echo "==> quiesce and audit the journal"
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+"$MINE" audit "$DATA" --db "$DB" || fail "journal audit found violations"
+
+echo "smoke_recover: OK (analysis byte-identical across kill -9, audit clean)"

@@ -36,6 +36,11 @@
 //! mine recover <dir>                           inspect a journal directory offline:
 //!                                              replay the log, repair torn tails,
 //!                                              print the event summary
+//! mine audit <dir>... [--db DB]                offline invariant check over one or more
+//!                                              journal directories: per-node CRC/sequence/
+//!                                              epoch integrity, cross-node acked-prefix
+//!                                              containment, and (with --db) replay
+//!                                              equality; non-zero exit on any violation
 //! mine calibrate <db> <problem-id> <a> <b> <c> attach 3PL item parameters to a problem
 //! mine calibrate <db> --auto                   calibrate the whole bank with a spread
 //!                                              of difficulties (adaptive delivery needs
@@ -57,12 +62,12 @@ use mine_assessment::itembank::{
 };
 use mine_assessment::scorm::ContentPackage;
 use mine_assessment::server::{
-    decode_events, open_journaled_state, run_loadgen, start_follower, AckMode, AnswerKey,
-    HttpClient, LoadGenOptions, LoadMode, RateLimit, ReplListener, ReplState, Role, Router,
-    ServeOptions, Server,
+    audit_dirs, decode_events, open_journaled_state, run_loadgen, start_follower, AckMode,
+    AnswerKey, FailoverConfig, HttpClient, LoadGenOptions, LoadMode, RateLimit, ReplListener,
+    ReplState, Role, Router, ServeOptions, Server, DEFAULT_FAILOVER_TIMEOUT,
 };
 use mine_assessment::simulator::{CohortSpec, Simulation};
-use mine_assessment::store::{EventStore, StoreOptions, SyncPolicy};
+use mine_assessment::store::{EventStore, FaultPlan, StoreOptions, SyncPolicy};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -93,8 +98,10 @@ usage:
              [--queue-depth N] [--rate-limit RPS[:BURST]] [--drain-deadline SECS]
              [--repl-addr HOST:PORT] [--replica-of HOST:PORT]
              [--replicate ack=leader|ack=quorum]
+             [--auto-failover[=TIMEOUT_MS]] [--peers HOST:PORT,...]
   mine promote <addr>
   mine recover <dir>
+  mine audit <dir>... [--db DB]
   mine calibrate <db> <problem-id> <a> <b> <c>
   mine calibrate <db> --auto
   mine loadgen <addr> <exam-id> [--clients N] [--seed S] [--ramp SECS]
@@ -128,6 +135,7 @@ fn run(args: &[String]) -> CliResult {
         "serve" => serve(rest),
         "promote" => promote(rest),
         "recover" => recover(rest),
+        "audit" => audit(rest),
         "calibrate" => calibrate(rest),
         "loadgen" => loadgen(rest),
         other => Err(format!("unknown command {other:?}")),
@@ -464,6 +472,24 @@ fn take_flag(args: &[String], name: &str) -> Result<(Option<String>, Vec<String>
     Ok((value, rest))
 }
 
+/// Pulls a `--name` / `--name=value` flag out of `args`. The outer
+/// `Option` is presence; the inner one is whether a value was attached.
+fn take_optional_value_flag(args: &[String], name: &str) -> (Option<Option<String>>, Vec<String>) {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut value = None;
+    let prefix = format!("{name}=");
+    for arg in args {
+        if arg == name {
+            value = Some(None);
+        } else if let Some(attached) = arg.strip_prefix(&prefix) {
+            value = Some(Some(attached.to_string()));
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    (value, rest)
+}
+
 fn serve(args: &[String]) -> CliResult {
     let (addr, args) = take_flag(args, "--addr")?;
     let (threads, args) = take_flag(&args, "--threads")?;
@@ -476,13 +502,16 @@ fn serve(args: &[String]) -> CliResult {
     let (repl_addr, args) = take_flag(&args, "--repl-addr")?;
     let (replica_of, args) = take_flag(&args, "--replica-of")?;
     let (replicate, args) = take_flag(&args, "--replicate")?;
+    let (auto_failover, args) = take_optional_value_flag(&args, "--auto-failover");
+    let (peers, args) = take_flag(&args, "--peers")?;
     let [path] = args.as_slice() else {
         return Err(
             "serve needs <db> [--addr HOST:PORT] [--threads N] [--data-dir DIR] \
              [--fsync POLICY] [--snapshot-every N] [--queue-depth N] \
              [--rate-limit RPS[:BURST]] [--drain-deadline SECS] \
              [--repl-addr HOST:PORT] [--replica-of HOST:PORT] \
-             [--replicate ack=leader|ack=quorum]"
+             [--replicate ack=leader|ack=quorum] \
+             [--auto-failover[=TIMEOUT_MS]] [--peers HOST:PORT,...]"
                 .into(),
         );
     };
@@ -497,6 +526,32 @@ fn serve(args: &[String]) -> CliResult {
     if replicate.is_some() && repl_addr.is_none() {
         return Err("--replicate requires --repl-addr".into());
     }
+    if auto_failover.is_some() && replica_of.is_none() {
+        return Err(
+            "--auto-failover requires --replica-of (only followers run the detector)".into(),
+        );
+    }
+    if peers.is_some() && auto_failover.is_none() {
+        return Err("--peers requires --auto-failover".into());
+    }
+    let failover_timeout = auto_failover
+        .map(|value| match value {
+            None => Ok(DEFAULT_FAILOVER_TIMEOUT),
+            Some(ms) => ms
+                .parse::<u64>()
+                .map(std::time::Duration::from_millis)
+                .map_err(|_| "--auto-failover takes whole milliseconds".to_string()),
+        })
+        .transpose()?;
+    let peer_list: Vec<String> = peers
+        .map(|list| {
+            list.split(',')
+                .map(str::trim)
+                .filter(|peer| !peer.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
     let ack_mode = replicate
         .as_deref()
         .map(AckMode::parse)
@@ -535,6 +590,13 @@ fn serve(args: &[String]) -> CliResult {
         repository.problem_count(),
         repository.exam_count()
     );
+    // A seeded chaos schedule (tests, smoke scripts): one spec drives
+    // both the disk seam and the replication-shipping seam. Echo the
+    // canonical form so any run can be reproduced from its log.
+    let fault_plan = FaultPlan::from_env()?.map(std::sync::Arc::new);
+    if let Some(plan) = &fault_plan {
+        eprintln!("fault injection armed from MINE_FAULT_PLAN: {plan}");
+    }
     let router = match data_dir {
         None => Router::new(repository),
         Some(dir) => {
@@ -544,6 +606,7 @@ fn serve(args: &[String]) -> CliResult {
                     .map(SyncPolicy::parse)
                     .transpose()?
                     .unwrap_or(SyncPolicy::Interval(std::time::Duration::from_millis(100))),
+                fault_plan: fault_plan.clone(),
                 ..StoreOptions::default()
             };
             let snapshot_every = snapshot_every
@@ -590,6 +653,20 @@ fn serve(args: &[String]) -> CliResult {
         let repl = router.state().repl.as_ref().expect("just checked");
         // What follower redirects will name as the leader.
         repl.set_advertise(server.local_addr().to_string());
+        if let Some(plan) = &fault_plan {
+            repl.set_fault_plan(std::sync::Arc::clone(plan));
+        }
+        if let Some(timeout) = failover_timeout {
+            repl.set_auto_failover(FailoverConfig {
+                timeout,
+                peers: peer_list.clone(),
+            });
+            println!(
+                "auto-failover armed: leader-silence timeout {}ms (+ up to 25% jitter), {} peer(s)",
+                timeout.as_millis(),
+                peer_list.len()
+            );
+        }
         if let Some(bind) = &repl_addr {
             let listener = ReplListener::start(bind, router.clone())
                 .map_err(|err| format!("binding replication listener {bind}: {err}"))?;
@@ -687,6 +764,42 @@ fn recover(args: &[String]) -> CliResult {
     }
     print_block(&out);
     Ok(())
+}
+
+/// Offline invariant check over journal directories: per-node
+/// CRC/sequence/epoch integrity, cross-node acked-prefix containment,
+/// and (with `--db`) replay equality. Exits non-zero on any violation,
+/// so chaos and smoke scenarios can end with `mine audit` as their
+/// verdict.
+fn audit(args: &[String]) -> CliResult {
+    let (db, args) = take_flag(args, "--db")?;
+    if args.is_empty() {
+        return Err("audit needs <dir>... [--db DB]".into());
+    }
+    let dirs: Vec<std::path::PathBuf> = args.iter().map(std::path::PathBuf::from).collect();
+    for dir in &dirs {
+        if !dir.is_dir() {
+            return Err(format!("audit: {} is not a directory", dir.display()));
+        }
+    }
+    let report = match db {
+        Some(path) => {
+            let loader = move || load(&path);
+            audit_dirs(&dirs, Some(&loader))?
+        }
+        None => audit_dirs(&dirs, None)?,
+    };
+    print_block(&report.render());
+    if report.is_clean() {
+        Ok(())
+    } else {
+        // The violations are already in the rendered report; the error
+        // line is the machine-checkable verdict.
+        Err(format!(
+            "audit found {} violation(s)",
+            report.violations().len()
+        ))
+    }
 }
 
 /// Attaches 3PL item parameters to one problem, or (`--auto`) sweeps
