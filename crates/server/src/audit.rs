@@ -36,6 +36,7 @@ use std::path::{Path, PathBuf};
 
 use mine_itembank::Repository;
 use mine_store::{EventStore, StoreOptions, INITIAL_EPOCH};
+use serde::{Serialize, Value};
 
 use crate::journal::{open_journaled_state, ServerImage, SessionEvent};
 
@@ -97,6 +98,45 @@ impl AuditReport {
         all
     }
 
+    /// The machine-readable form of the report (`mine audit --json`):
+    /// the overall verdict, per-node head positions and repairs, and
+    /// every violation family.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let nodes = Value::Array(
+            self.nodes
+                .iter()
+                .map(|node| {
+                    Value::Object(vec![
+                        (
+                            "dir".to_string(),
+                            Value::String(node.dir.display().to_string()),
+                        ),
+                        ("epoch".to_string(), node.epoch.to_value()),
+                        ("snapshot_seq".to_string(), node.snapshot_seq.to_value()),
+                        ("head_seq".to_string(), node.head_seq.to_value()),
+                        ("events".to_string(), (node.events as u64).to_value()),
+                        ("repairs".to_string(), string_array(&node.repairs)),
+                        ("violations".to_string(), string_array(&node.violations)),
+                    ])
+                })
+                .collect(),
+        );
+        Value::Object(vec![
+            ("clean".to_string(), Value::Bool(self.is_clean())),
+            ("nodes".to_string(), nodes),
+            (
+                "cross_violations".to_string(),
+                string_array(&self.cross_violations),
+            ),
+            (
+                "replay_violations".to_string(),
+                string_array(&self.replay_violations),
+            ),
+            ("violations".to_string(), string_array(&self.violations())),
+        ])
+    }
+
     /// Human-readable report: one block per node, then the verdict.
     #[must_use]
     pub fn render(&self) -> String {
@@ -133,6 +173,16 @@ impl AuditReport {
         }
         out
     }
+}
+
+/// Renders a list of messages as a JSON string array.
+fn string_array(items: &[String]) -> Value {
+    Value::Array(
+        items
+            .iter()
+            .map(|item| Value::String(item.clone()))
+            .collect(),
+    )
 }
 
 /// Copies the regular files of a flat journal directory into `scratch`
@@ -426,6 +476,14 @@ mod tests {
         assert_eq!(report.nodes.len(), 2);
         assert_eq!(report.nodes[0].head_seq, 2);
         assert!(report.render().contains("audit: clean"));
+        let value = report.to_value();
+        assert_eq!(value.get("clean"), Some(&Value::Bool(true)));
+        assert_eq!(
+            value.get("nodes").and_then(Value::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        let first = &value.get("nodes").and_then(Value::as_array).unwrap()[0];
+        assert_eq!(first.get("head_seq"), Some(&2u64.to_value()));
         let _ = std::fs::remove_dir_all(&a);
         let _ = std::fs::remove_dir_all(&b);
     }

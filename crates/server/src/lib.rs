@@ -63,6 +63,7 @@ pub mod overload;
 pub mod registry;
 pub mod repl;
 pub mod router;
+pub mod scrub;
 pub mod serve;
 
 pub use adaptive::{
@@ -87,5 +88,6 @@ pub use repl::{
     start_follower, AckMode, FailoverConfig, FollowerPuller, ReplListener, ReplState, Role,
     DEFAULT_FAILOVER_TIMEOUT,
 };
-pub use router::{ApiError, Router, ServerState};
+pub use router::{ApiError, Router, ServerState, StorageHealth};
+pub use scrub::{scrub_pass, IntegrityTable, Scrubber, DEFAULT_SCRUB_INTERVAL};
 pub use serve::{ServeOptions, Server};

@@ -36,6 +36,8 @@ pub enum Route {
     Promote,
     /// `POST /admin/demote`.
     Demote,
+    /// `GET /admin/ranges`.
+    AdminRanges,
     /// A write redirected away from a follower with `421`.
     Redirected,
     /// A request shed at the routing layer (server draining).
@@ -46,7 +48,7 @@ pub enum Route {
 
 impl Route {
     /// All distinguishable routes, in render order.
-    pub const ALL: [Route; 14] = [
+    pub const ALL: [Route; 15] = [
         Route::Healthz,
         Route::Metrics,
         Route::SessionStart,
@@ -58,6 +60,7 @@ impl Route {
         Route::Analysis,
         Route::Promote,
         Route::Demote,
+        Route::AdminRanges,
         Route::Redirected,
         Route::Shed,
         Route::Unmatched,
@@ -78,6 +81,7 @@ impl Route {
             Route::Analysis => "analysis",
             Route::Promote => "promote",
             Route::Demote => "demote",
+            Route::AdminRanges => "admin_ranges",
             Route::Redirected => "redirected",
             Route::Shed => "shed",
             Route::Unmatched => "unmatched",
@@ -186,6 +190,16 @@ pub struct Metrics {
     adaptive_steps_total: AtomicU64,
     adaptive_step_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     adaptive_step_sum_us: AtomicU64,
+    /// Completed anti-entropy scrub passes.
+    scrub_passes_total: AtomicU64,
+    /// Sealed segments a scrub pass found corrupt (CRC/framing/sequence
+    /// damage or range-hash divergence from the leader).
+    scrub_corrupt_segments_total: AtomicU64,
+    /// Segments quarantined and re-fetched from a healthy peer.
+    repair_segments_total: AtomicU64,
+    /// Storage health gauge: 1 while the local WAL refuses writes
+    /// (degraded read-only serving), 0 while healthy.
+    storage_degraded: AtomicU64,
 }
 
 impl Metrics {
@@ -380,6 +394,29 @@ impl Metrics {
         self.adaptive_steps_total.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one completed scrub pass.
+    pub fn scrub_pass(&self) {
+        self.scrub_passes_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `segments` sealed segments found corrupt by a scrub pass.
+    pub fn scrub_corruption(&self, segments: u64) {
+        self.scrub_corrupt_segments_total
+            .fetch_add(segments, Ordering::Relaxed);
+    }
+
+    /// Counts one segment quarantined and repaired from a peer.
+    pub fn repair_segment(&self) {
+        self.repair_segments_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the storage health gauge: `true` while the WAL is
+    /// refusing writes and the node serves degraded (read-only).
+    pub fn set_storage_degraded(&self, degraded: bool) {
+        self.storage_degraded
+            .store(u64::from(degraded), Ordering::Relaxed);
+    }
+
     /// Publishes the work-stealing pool gauges (refreshed by the
     /// metrics handler from [`mine_pool::stats`]).
     pub fn set_pool(&self, workers: u64, steals: u64) {
@@ -470,6 +507,10 @@ impl Metrics {
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
             adaptive_step_sum_us: self.adaptive_step_sum_us.load(Ordering::Relaxed),
+            scrub_passes_total: self.scrub_passes_total.load(Ordering::Relaxed),
+            scrub_corrupt_segments_total: self.scrub_corrupt_segments_total.load(Ordering::Relaxed),
+            repair_segments_total: self.repair_segments_total.load(Ordering::Relaxed),
+            storage_degraded: self.storage_degraded.load(Ordering::Relaxed),
         }
     }
 }
@@ -575,6 +616,14 @@ pub struct MetricsSnapshot {
     pub adaptive_step_buckets: Vec<u64>,
     /// Sum of adaptive step durations in microseconds.
     pub adaptive_step_sum_us: u64,
+    /// Completed anti-entropy scrub passes.
+    pub scrub_passes_total: u64,
+    /// Sealed segments found corrupt by scrub passes.
+    pub scrub_corrupt_segments_total: u64,
+    /// Segments quarantined and repaired from a healthy peer.
+    pub repair_segments_total: u64,
+    /// Storage health: 1 degraded (read-only), 0 healthy.
+    pub storage_degraded: u64,
 }
 
 impl Serialize for MetricsSnapshot {
@@ -748,6 +797,22 @@ impl Serialize for MetricsSnapshot {
             (
                 "repl_heartbeat_age_us".to_string(),
                 self.repl_heartbeat_age_us.to_value(),
+            ),
+            (
+                "scrub_passes_total".to_string(),
+                self.scrub_passes_total.to_value(),
+            ),
+            (
+                "scrub_corrupt_segments_total".to_string(),
+                self.scrub_corrupt_segments_total.to_value(),
+            ),
+            (
+                "repair_segments_total".to_string(),
+                self.repair_segments_total.to_value(),
+            ),
+            (
+                "storage_degraded".to_string(),
+                self.storage_degraded.to_value(),
             ),
         ])
     }
@@ -982,6 +1047,11 @@ impl MetricsSnapshot {
                 "Worker threads spawned by the work-stealing analysis pool.",
                 self.pool_workers,
             ),
+            (
+                "mine_storage_degraded",
+                "Storage health: 1 while the WAL refuses writes (degraded read-only), 0 healthy.",
+                self.storage_degraded,
+            ),
         ] {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
             out.push_str(&format!("{name} {value}\n"));
@@ -1056,6 +1126,21 @@ impl MetricsSnapshot {
                 "mine_repl_reconnects_total",
                 "Follower reconnection attempts after a broken stream.",
                 self.repl_reconnects_total,
+            ),
+            (
+                "mine_scrub_passes_total",
+                "Completed anti-entropy scrub passes.",
+                self.scrub_passes_total,
+            ),
+            (
+                "mine_scrub_corrupt_segments_total",
+                "Sealed segments a scrub pass found corrupt.",
+                self.scrub_corrupt_segments_total,
+            ),
+            (
+                "mine_repair_segments_total",
+                "Segments quarantined and repaired from a healthy peer.",
+                self.repair_segments_total,
             ),
         ] {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
@@ -1210,6 +1295,45 @@ mod tests {
         assert_eq!(value.get("redirected_total").unwrap().kind(), "number");
         assert_eq!(value.get("repl_failovers_total").unwrap().kind(), "number");
         assert_eq!(value.get("repl_heartbeat_age_us").unwrap().kind(), "number");
+    }
+
+    #[test]
+    fn scrub_and_degraded_metrics_render_everywhere() {
+        let metrics = Metrics::new();
+        metrics.scrub_pass();
+        metrics.scrub_pass();
+        metrics.scrub_corruption(3);
+        metrics.repair_segment();
+        metrics.set_storage_degraded(true);
+
+        let snapshot = metrics.snapshot(0, 0);
+        assert_eq!(snapshot.scrub_passes_total, 2);
+        assert_eq!(snapshot.scrub_corrupt_segments_total, 3);
+        assert_eq!(snapshot.repair_segments_total, 1);
+        assert_eq!(snapshot.storage_degraded, 1);
+
+        let text = snapshot.to_prometheus();
+        assert!(text.contains("# TYPE mine_scrub_passes_total counter"));
+        assert!(text.contains("mine_scrub_passes_total 2"));
+        assert!(text.contains("mine_scrub_corrupt_segments_total 3"));
+        assert!(text.contains("# TYPE mine_repair_segments_total counter"));
+        assert!(text.contains("mine_repair_segments_total 1"));
+        assert!(text.contains("# TYPE mine_storage_degraded gauge"));
+        assert!(text.contains("mine_storage_degraded 1"));
+
+        metrics.set_storage_degraded(false);
+        let text = metrics.snapshot(0, 0).to_prometheus();
+        assert!(text.contains("mine_storage_degraded 0"));
+
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let value: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value.get("scrub_passes_total").unwrap().kind(), "number");
+        assert_eq!(
+            value.get("scrub_corrupt_segments_total").unwrap().kind(),
+            "number"
+        );
+        assert_eq!(value.get("repair_segments_total").unwrap().kind(), "number");
+        assert_eq!(value.get("storage_degraded").unwrap().kind(), "number");
     }
 
     #[test]

@@ -322,6 +322,14 @@ pub struct ReplState {
     /// The failure detector's configuration; `None` keeps failover
     /// supervised (`mine promote` only).
     failover: Mutex<Option<FailoverConfig>>,
+    /// Set by the scrubber after quarantining corrupt sealed segments:
+    /// tells the puller to break its live stream and re-bootstrap from
+    /// the leader's snapshot (the repair path). The count is how many
+    /// segments the re-bootstrap repairs.
+    resync: AtomicBool,
+    /// Quarantined segments awaiting repair; folded into
+    /// `mine_repair_segments_total` once a bootstrap completes.
+    repair_pending: AtomicU64,
 }
 
 impl ReplState {
@@ -341,7 +349,32 @@ impl ReplState {
             fault_plan: Mutex::new(None),
             leader_contact: Mutex::new(None),
             failover: Mutex::new(None),
+            resync: AtomicBool::new(false),
+            repair_pending: AtomicU64::new(0),
         }
+    }
+
+    /// Asks the puller to abandon its live stream and re-bootstrap from
+    /// the leader (called by the scrubber after quarantining `segments`
+    /// corrupt sealed segments). The bootstrap snapshot replaces the
+    /// whole local log — quarantined evidence files survive, the
+    /// divergent or rotted history does not.
+    pub fn request_resync(&self, segments: u64) {
+        self.repair_pending.fetch_add(segments, Ordering::AcqRel);
+        self.resync.store(true, Ordering::Release);
+    }
+
+    /// Whether a resync has been requested and not yet completed.
+    #[must_use]
+    pub fn resync_requested(&self) -> bool {
+        self.resync.load(Ordering::Acquire)
+    }
+
+    /// Marks the requested resync complete (a bootstrap snapshot was
+    /// installed); returns how many quarantined segments it repaired.
+    pub fn resync_complete(&self) -> u64 {
+        self.resync.store(false, Ordering::Release);
+        self.repair_pending.swap(0, Ordering::AcqRel)
     }
 
     /// Installs a seeded fault schedule for the shipping loop to
@@ -618,6 +651,20 @@ fn serve_follower(stream: TcpStream, router: &Router) -> Result<(), ReplError> {
         writer.flush()?;
         return Ok(());
     }
+    if state.storage.is_degraded() {
+        // A degraded primary cannot journal new writes, so it must not
+        // keep followers warm either: refusing the stream silences its
+        // heartbeats and lets the followers' failure detector promote
+        // past it.
+        write_message(
+            &mut writer,
+            &Message::Reject {
+                reason: "storage degraded: not shipping".to_string(),
+            },
+        )?;
+        writer.flush()?;
+        return Ok(());
+    }
     if follower_epoch > local_epoch {
         // The connecting node has seen a newer epoch than ours: *we*
         // are the deposed primary. Adopt the higher epoch durably and
@@ -744,6 +791,12 @@ fn ship(
     let result = loop {
         if repl.role() != Role::Primary {
             break Ok(()); // deposed mid-stream: stop shipping
+        }
+        if state.storage.is_degraded() {
+            // Stop heartbeating the moment the WAL refuses writes: to
+            // the followers' failure detector a degraded primary is a
+            // failed primary, and silence is what makes them promote.
+            break Ok(());
         }
         match receiver.recv_timeout(HEARTBEAT_INTERVAL) {
             Ok(frame) => {
@@ -931,7 +984,7 @@ fn follow_once(primary_addr: &str, router: &Router) -> Result<(), ReplError> {
     )?;
     writer.flush()?;
 
-    let leader_epoch = match read_and_poll(&mut reader, router)? {
+    let leader_epoch = match read_and_poll(&mut reader, router, false)? {
         Some(Message::Welcome { epoch, advertise }) => {
             let local = store.epoch();
             if epoch < local {
@@ -962,7 +1015,8 @@ fn follow_once(primary_addr: &str, router: &Router) -> Result<(), ReplError> {
         None => return Ok(()), // stopped while waiting
     };
 
-    let Some(Message::Snapshot { last_seq, payload }) = read_and_poll(&mut reader, router)? else {
+    let Some(Message::Snapshot { last_seq, payload }) = read_and_poll(&mut reader, router, false)?
+    else {
         return Err(ReplError::Frame {
             reason: "expected a bootstrap Snapshot".to_string(),
         });
@@ -996,10 +1050,19 @@ fn follow_once(primary_addr: &str, router: &Router) -> Result<(), ReplError> {
     write_message(&mut writer, &Message::Ack { seq: last_seq })?;
     writer.flush()?;
     repl.set_leader_head(last_seq.max(repl.leader_head()));
+    // The bootstrap replaced the whole local log with the leader's
+    // authoritative image: any quarantined segments are now repaired.
+    let repaired = repl.resync_complete();
+    if repaired > 0 {
+        for _ in 0..repaired {
+            state.metrics.repair_segment();
+        }
+        eprintln!("[mine-repl] repaired {repaired} quarantined segment(s) via re-bootstrap");
+    }
 
     let mut cursor = StreamCursor::new(leader_epoch, last_seq + 1);
     loop {
-        let Some(message) = read_and_poll(&mut reader, router)? else {
+        let Some(message) = read_and_poll(&mut reader, router, true)? else {
             return Ok(()); // stopped
         };
         match message {
@@ -1069,15 +1132,26 @@ fn follow_once(primary_addr: &str, router: &Router) -> Result<(), ReplError> {
 /// detector decide whether the leader has been silent too long (which
 /// covers the half-open case: a connection that stays up but carries
 /// nothing). Returns `None` when the puller was told to stop.
+///
+/// When `interruptible` (the live record loop, not the handshake), a
+/// pending resync request breaks the stream with an error so the
+/// reconnect path re-bootstraps from the leader's snapshot.
 fn read_and_poll(
     reader: &mut BufReader<TcpStream>,
     router: &Router,
+    interruptible: bool,
 ) -> Result<Option<Message>, ReplError> {
     let state = router.state();
     let repl = state.repl.as_deref().expect("repl configured");
     loop {
         if repl.stopped() || repl.role() != Role::Follower {
             return Ok(None);
+        }
+        if interruptible && repl.resync_requested() {
+            return Err(ReplError::Frame {
+                reason: "resync requested: re-bootstrapping to repair quarantined segments"
+                    .to_string(),
+            });
         }
         match read_message(reader) {
             Ok(message) => {
@@ -1121,14 +1195,27 @@ fn maybe_auto_promote(router: &Router) {
     if age < repl.effective_failover_timeout(&config) {
         return;
     }
+    if state.storage.is_degraded() {
+        // A node whose own WAL refuses writes must never promote
+        // itself: it could not journal a single write as leader.
+        return;
+    }
     state.metrics.suspicion();
     let our_seq = journal.store().next_seq() - 1;
     let our_id = repl.advertise();
     for peer in &config.peers {
-        let Some((role, peer_seq)) = probe_peer(peer) else {
+        let Some(probe) = probe_peer(peer) else {
             continue; // unreachable peers cannot veto
         };
+        let (role, peer_seq) = (probe.role, probe.last_applied_seq);
         if role == "primary" {
+            if probe.storage_degraded {
+                // A degraded primary is a failed primary to the
+                // detector: it is shedding writes and not shipping, so
+                // it neither counts as live leadership nor vetoes the
+                // succession — promote past it.
+                continue;
+            }
             // A live primary exists (we were partitioned from it, or a
             // sibling already won): adopt it and re-arm the detector.
             repl.set_leader_addr(peer.clone());
@@ -1159,18 +1246,36 @@ fn maybe_auto_promote(router: &Router) {
     }
 }
 
-/// Asks a peer's `/healthz` for its role and applied position. `None`
-/// when the peer is unreachable or answers nonsense.
-fn probe_peer(addr: &str) -> Option<(String, u64)> {
+/// What one `/healthz` probe of a peer reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PeerProbe {
+    role: String,
+    last_applied_seq: u64,
+    /// Whether the peer's WAL is refusing writes (serving degraded
+    /// read-only). Absent in the body — old peers — reads as healthy.
+    storage_degraded: bool,
+}
+
+/// Asks a peer's `/healthz` for its role, applied position, and storage
+/// health. `None` when the peer is unreachable or answers nonsense.
+fn probe_peer(addr: &str) -> Option<PeerProbe> {
     let mut client = HttpClient::with_timeout(addr, PROBE_TIMEOUT).ok()?;
     let response = client.get("/healthz").ok()?;
     let body: Value = response.json().ok()?;
     let role = body.get("role").and_then(Value::as_str)?.to_string();
-    let seq = match body.get("last_applied_seq") {
+    let last_applied_seq = match body.get("last_applied_seq") {
         Some(Value::Number(Number::PosInt(n))) => *n,
         _ => return None,
     };
-    Some((role, seq))
+    let storage_degraded = body
+        .get("storage")
+        .and_then(Value::as_str)
+        .is_some_and(|storage| storage == "degraded");
+    Some(PeerProbe {
+        role,
+        last_applied_seq,
+        storage_degraded,
+    })
 }
 
 /// Best-effort notification that a new epoch has a leader: tells `peer`

@@ -28,6 +28,68 @@ use crate::metrics::{Metrics, Route};
 use crate::registry::{FinishedStore, RegistryError, SessionRegistry};
 use crate::repl::{ReplState, Role};
 
+/// Retry-After advertised on writes shed while storage is degraded:
+/// long enough that clients back off, short enough that a healed node
+/// picks traffic back up promptly.
+const DEGRADED_RETRY_SECS: u64 = 2;
+
+/// Storage health shared by the handlers, the replication shipper, and
+/// the background healer. Degraded means the WAL refused a write
+/// (ENOSPC, fsync failure): the node keeps serving reads but sheds
+/// writes with `503 + Retry-After` until [`mine_store::EventStore::try_heal`]
+/// succeeds. Deliberately separate from [`Lifecycle`]: draining sheds
+/// *everything* and never comes back; degraded sheds only writes and
+/// self-recovers.
+#[derive(Debug, Default)]
+pub struct StorageHealth {
+    /// Lock-free flag for the hot paths (dispatch gate, ship loop).
+    degraded: std::sync::atomic::AtomicBool,
+    /// Why the storage is degraded (the store error text), for
+    /// `/healthz` and shed bodies.
+    reason: parking_lot::Mutex<Option<String>>,
+    /// Guards the single background healer thread.
+    healer: std::sync::atomic::AtomicBool,
+}
+
+impl StorageHealth {
+    /// Whether the WAL is currently refusing writes.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// The degradation cause, when degraded.
+    #[must_use]
+    pub fn reason(&self) -> Option<String> {
+        self.reason.lock().clone()
+    }
+
+    /// Flags the storage degraded with `reason`. Returns whether this
+    /// call flipped the flag (first observer spawns the healer).
+    pub fn degrade(&self, reason: String) -> bool {
+        *self.reason.lock() = Some(reason);
+        !self
+            .degraded
+            .swap(true, std::sync::atomic::Ordering::AcqRel)
+    }
+
+    /// Clears the degraded flag after a successful heal.
+    pub fn clear(&self) {
+        *self.reason.lock() = None;
+        self.degraded
+            .store(false, std::sync::atomic::Ordering::Release);
+    }
+
+    fn claim_healer(&self) -> bool {
+        !self.healer.swap(true, std::sync::atomic::Ordering::AcqRel)
+    }
+
+    fn release_healer(&self) {
+        self.healer
+            .store(false, std::sync::atomic::Ordering::Release);
+    }
+}
+
 /// Everything the handlers share.
 #[derive(Debug)]
 pub struct ServerState {
@@ -63,6 +125,12 @@ pub struct ServerState {
     /// route except `/healthz` and `/metrics` is shed with
     /// `503 + Retry-After`.
     pub lifecycle: Lifecycle,
+    /// Whether the WAL currently accepts writes; degraded sheds writes
+    /// (read-only) until the healer clears it.
+    pub storage: StorageHealth,
+    /// The scrubber's most recent pass (per-window range hashes and
+    /// segment verdicts).
+    pub integrity: crate::scrub::IntegrityTable,
     /// Serializes `Created` journaling with registry insertion so a
     /// session's `Created` event always precedes its other events in
     /// the log (two racing starts of the same id would otherwise be
@@ -87,6 +155,8 @@ impl ServerState {
             journal: None,
             repl: None,
             lifecycle: Lifecycle::new(),
+            storage: StorageHealth::default(),
+            integrity: crate::scrub::IntegrityTable::default(),
             create_lock: parking_lot::Mutex::new(()),
         }
     }
@@ -208,14 +278,23 @@ impl Router {
         let started = Instant::now();
         let (route, result) = self.dispatch(request);
         let response = result.unwrap_or_else(|err| {
-            Response::json(
+            // The very request whose journal append degraded the store
+            // gets the same `Retry-After` contract as every later
+            // write shed at dispatch.
+            let retry_after = (err.status == 503 && self.state.storage.is_degraded())
+                .then_some(DEGRADED_RETRY_SECS);
+            let mut response = Response::json(
                 err.status,
                 serde_json::to_string(&Value::Object(vec![(
                     "error".to_string(),
                     Value::String(err.message),
                 )]))
                 .expect("error body serializes"),
-            )
+            );
+            if let Some(secs) = retry_after {
+                response = response.with_retry_after(secs);
+            }
+            response
         });
         self.state
             .metrics
@@ -254,10 +333,56 @@ impl Router {
         }
     }
 
-    /// Maps a journal append failure to a 500 (the mutation is not
-    /// applied — WAL-first means memory never runs ahead of the log).
-    fn journal_failed(err: mine_store::StoreError) -> ApiError {
-        ApiError::new(500, format!("journal append failed: {err}"))
+    /// Maps a journal append failure to a `503` and flips the node into
+    /// degraded (read-only) serving: the mutation is not applied —
+    /// WAL-first means memory never runs ahead of the log — and
+    /// subsequent writes are shed at the dispatch gate until the
+    /// background healer gets the WAL to accept a truncate + flush
+    /// again. A disk that fills up no longer takes the node down with
+    /// it; reads, `/metrics`, and `/healthz` stay live throughout.
+    fn journal_failed(&self, err: &mine_store::StoreError) -> ApiError {
+        let reason = format!("journal append failed: {err}");
+        if self.state.storage.degrade(reason.clone()) {
+            self.state.metrics.set_storage_degraded(true);
+            eprintln!("[mine-serve] storage degraded (read-only): {reason}");
+            self.spawn_healer();
+        }
+        ApiError::new(503, format!("storage degraded: {reason}"))
+    }
+
+    /// Starts the self-recovery loop: retry the append seam
+    /// ([`mine_store::EventStore::try_heal`]) with exponential backoff
+    /// until the disk accepts writes again, then clear the degraded
+    /// flag so the dispatch gate resumes admitting writes. At most one
+    /// healer runs at a time.
+    fn spawn_healer(&self) {
+        if !self.state.storage.claim_healer() {
+            return;
+        }
+        let router = self.clone();
+        std::thread::spawn(move || loop {
+            let mut backoff = Duration::from_millis(50);
+            while router.state.storage.is_degraded() {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+                let Some(journal) = &router.state.journal else {
+                    break;
+                };
+                if journal.store().try_heal().is_ok() {
+                    break;
+                }
+            }
+            router.state.storage.clear();
+            router.state.metrics.set_storage_degraded(false);
+            eprintln!("[mine-serve] storage healed: resuming writes");
+            router.state.storage.release_healer();
+            // A failure between the clear and the release could have
+            // lost the claim race; re-claim and keep healing.
+            if router.state.storage.is_degraded() && router.state.storage.claim_healer() {
+                continue;
+            }
+            break;
+        });
     }
 
     /// Journals one event and ships it to connected followers. Under
@@ -269,12 +394,12 @@ impl Router {
         match &self.state.repl {
             Some(repl) => {
                 repl.append_and_publish(journal, payload.as_bytes(), &self.state.metrics)
-                    .map_err(Self::journal_failed)?;
+                    .map_err(|err| self.journal_failed(&err))?;
             }
             None => {
                 journal
                     .append_raw(payload.as_bytes())
-                    .map_err(Self::journal_failed)?;
+                    .map_err(|err| self.journal_failed(&err))?;
             }
         }
         Ok(())
@@ -304,6 +429,27 @@ impl Router {
             }
             ("POST", ["admin", "promote"]) => (Route::Promote, self.promote()),
             ("POST", ["admin", "demote"]) => (Route::Demote, self.demote(request)),
+            ("GET", ["admin", "ranges"]) => (Route::AdminRanges, self.admin_ranges()),
+            // While storage is degraded the node serves read-only:
+            // writes are shed with `503 + Retry-After` naming the
+            // cause, reads and observability stay live, and the
+            // background healer lifts the gate once the WAL accepts
+            // writes again.
+            ("POST", ["sessions", ..]) if self.state.storage.is_degraded() => {
+                let reason = self
+                    .state
+                    .storage
+                    .reason()
+                    .unwrap_or_else(|| "storage degraded".to_string());
+                self.state.metrics.shed(DEGRADED_RETRY_SECS);
+                (
+                    Route::Shed,
+                    Ok(Response::shed(
+                        &format!("storage degraded (read-only): {reason}"),
+                        DEGRADED_RETRY_SECS,
+                    )),
+                )
+            }
             // A follower is a read replica: every write is answered
             // with 421 naming the leader. Reads fall through.
             ("POST", ["sessions", ..]) if self.not_leader() => {
@@ -355,6 +501,11 @@ impl Router {
             Some(journal) => (journal.store().epoch(), journal.store().next_seq() - 1),
             None => (mine_store::INITIAL_EPOCH, 0),
         };
+        let storage = if self.state.storage.is_degraded() {
+            "degraded"
+        } else {
+            "ok"
+        };
         Ok(ok_json(
             status,
             Value::Object(vec![
@@ -365,6 +516,7 @@ impl Router {
                 ("role".to_string(), Value::String(role.label().to_string())),
                 ("epoch".to_string(), epoch.to_value()),
                 ("last_applied_seq".to_string(), last_applied.to_value()),
+                ("storage".to_string(), Value::String(storage.to_string())),
             ]),
         ))
     }
@@ -545,6 +697,34 @@ impl Router {
                 ("epoch".to_string(), epoch.to_value()),
             ]),
         ))
+    }
+
+    /// `GET /admin/ranges`: the anti-entropy integrity table — the
+    /// node's per-window range hashes over its sealed WAL segments,
+    /// plus the coordinates a peer needs to compare safely (`epoch` for
+    /// fencing, `head_seq` to bound the comparison to the acked
+    /// prefix). A follower whose hashes disagree with its leader's
+    /// inside the shared prefix quarantines the divergent segment and
+    /// re-syncs through the bootstrap snapshot path.
+    fn admin_ranges(&self) -> ApiResult {
+        let Some(journal) = &self.state.journal else {
+            return Err(ApiError::conflict(
+                "durability is not enabled (no --data-dir)",
+            ));
+        };
+        let store = journal.store();
+        // The read gate admits concurrent handlers but excludes the
+        // compactor, so segments cannot be deleted mid-scan; the active
+        // segment is excluded from hashing by construction.
+        let _gate = journal.gate_read();
+        let report = mine_store::scrub_dir(store.dir(), Some(&store.active_segment()))
+            .map_err(|err| ApiError::new(500, format!("scrub failed: {err}")))?;
+        let role = self
+            .state
+            .repl
+            .as_ref()
+            .map_or(Role::Primary, |repl| repl.role());
+        Ok(ok_json(200, ranges_body(&report, store, role)))
     }
 
     /// The 421 answer a follower gives every write: the client should
@@ -977,6 +1157,37 @@ fn respond_with_report(report: &mine_analysis::BatchReport, wants_alt: bool) -> 
     };
     body.map(|text| Response::json(200, text))
         .map_err(|err| ApiError::new(500, format!("serialization failed: {err}")))
+}
+
+/// The `GET /admin/ranges` body: fencing coordinates plus the range
+/// hashes a peer compares against its own.
+fn ranges_body(
+    report: &mine_store::ScrubReport,
+    store: &mine_store::EventStore,
+    role: Role,
+) -> Value {
+    let ranges = report
+        .ranges
+        .iter()
+        .map(|range| {
+            Value::Object(vec![
+                ("first_seq".to_string(), range.first_seq.to_value()),
+                ("last_seq".to_string(), range.last_seq.to_value()),
+                ("count".to_string(), range.count.to_value()),
+                ("hash".to_string(), range.hash.to_value()),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("role".to_string(), Value::String(role.label().to_string())),
+        ("epoch".to_string(), store.epoch().to_value()),
+        ("head_seq".to_string(), (store.next_seq() - 1).to_value()),
+        (
+            "corrupt_segments".to_string(),
+            (report.corrupt_segments().len() as u64).to_value(),
+        ),
+        ("ranges".to_string(), Value::Array(ranges)),
+    ])
 }
 
 /// Serializes a value tree as a JSON response.

@@ -1,0 +1,379 @@
+//! Online anti-entropy: the background scrubber and the peer repair
+//! path.
+//!
+//! Every [`Scrubber`] pass re-verifies the CRCs and framing of the
+//! sealed WAL segments and the latest snapshot
+//! ([`mine_store::scrub_dir`]), publishes the per-window range hashes
+//! into the node's in-memory [`IntegrityTable`], and acts on what it
+//! finds:
+//!
+//! - **Local rot** (a sealed segment whose CRCs or sequence run no
+//!   longer verify): the segment is quarantined — renamed to
+//!   `*.log.quarantine`, never deleted, so the evidence survives — and
+//!   repaired. A follower repairs by re-bootstrapping from its leader's
+//!   snapshot (the existing shipping path; the install wipes `wal-*.log`
+//!   but not quarantine files). A primary repairs from its own live
+//!   in-memory state by writing a fresh compacting snapshot — the state
+//!   every acked write already reached.
+//! - **Silent divergence** (every CRC intact, but a follower's range
+//!   hashes disagree with its leader's inside the acked prefix): the
+//!   overlapping segments are quarantined and the same re-bootstrap
+//!   repair runs. The comparison is epoch-fenced — a leader whose
+//!   `/admin/ranges` carries an older epoch is a deposed primary, and
+//!   its hashes are ignored so repair can never resurrect a divergent
+//!   suffix.
+//!
+//! The scrubber is also the **injection seam** for scheduled bit rot
+//! (`MINE_FAULT_PLAN=disk.bitrot@SEQ:BYTES`): scheduled flips are
+//! struck before the scan, modelling damage that happened at rest.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::{Number, Value};
+
+use mine_store::{
+    diverging_windows, inject_bitrot, scrub_dir, RangeHash, ScrubReport, RANGE_WINDOW,
+};
+
+use crate::client::HttpClient;
+use crate::journal::{Journal, ServerImage};
+use crate::repl::Role;
+use crate::router::Router;
+
+/// Default pass cadence for `mine serve` (override with
+/// `--scrub-interval <ms>`; `0` disables the scrubber).
+pub const DEFAULT_SCRUB_INTERVAL: Duration = Duration::from_secs(5);
+
+/// I/O timeout for one `/admin/ranges` fetch from the leader.
+const RANGES_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// The most recent scrub pass's findings, shared so `/healthz`
+/// consumers, tests, and the repair path read one consistent view.
+#[derive(Debug, Default)]
+pub struct IntegrityTable {
+    latest: parking_lot::Mutex<Option<ScrubReport>>,
+}
+
+impl IntegrityTable {
+    /// Publishes a completed pass.
+    pub fn publish(&self, report: ScrubReport) {
+        *self.latest.lock() = Some(report);
+    }
+
+    /// The most recent pass, if one has completed.
+    #[must_use]
+    pub fn latest(&self) -> Option<ScrubReport> {
+        self.latest.lock().clone()
+    }
+}
+
+/// A running background scrubber.
+#[derive(Debug)]
+pub struct Scrubber {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Scrubber {
+    /// Starts a scrub pass every `interval` in a background thread.
+    /// The interval is the pass *cadence*, which doubles as the IO
+    /// budget: one directory scan per interval, nothing in between.
+    #[must_use]
+    pub fn start(router: Router, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !flag.load(Ordering::Acquire) {
+                // Sleep in slices so shutdown is prompt even with a
+                // long cadence.
+                let deadline = Instant::now() + interval;
+                loop {
+                    if flag.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    std::thread::sleep(remaining.min(Duration::from_millis(50)));
+                }
+                scrub_pass(&router);
+            }
+        });
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the scrubber and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One full scrub pass over the node's journal directory. Public so
+/// tests (and `mine scrub` through the offline path) can drive a pass
+/// synchronously instead of waiting out the cadence.
+pub fn scrub_pass(router: &Router) {
+    let state = router.state();
+    let Some(journal) = &state.journal else {
+        return; // memory-only node: nothing durable to scrub
+    };
+    let store = journal.store();
+
+    // Injection seam: strike any scheduled bit rot before scanning, so
+    // the very pass that "caused" the damage is the one that must
+    // detect it.
+    if let Some(plan) = store.fault_plan() {
+        let _gate = journal.gate_read();
+        match inject_bitrot(store.dir(), Some(&store.active_segment()), &plan) {
+            Ok(struck) if !struck.is_empty() => {
+                eprintln!("[mine-scrub] injected bit rot into records {struck:?}");
+            }
+            Ok(_) => {}
+            Err(err) => eprintln!("[mine-scrub] bit-rot injection failed: {err}"),
+        }
+    }
+
+    let report = {
+        // The read gate admits handlers but excludes the compactor, so
+        // segments cannot vanish mid-scan; the active segment is
+        // excluded from verification by construction.
+        let _gate = journal.gate_read();
+        match scrub_dir(store.dir(), Some(&store.active_segment())) {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("[mine-scrub] pass failed: {err}");
+                return;
+            }
+        }
+    };
+    state.metrics.scrub_pass();
+
+    let corrupt: Vec<u64> = report
+        .corrupt_segments()
+        .iter()
+        .map(|segment| segment.first_seq)
+        .collect();
+    for segment in report.corrupt_segments() {
+        eprintln!(
+            "[mine-scrub] corrupt sealed segment {}: {}",
+            segment.file,
+            segment.corrupt.as_deref().unwrap_or("unknown damage")
+        );
+    }
+    if let Some(snapshot) = &report.snapshot {
+        if let Some(reason) = &snapshot.corrupt {
+            eprintln!(
+                "[mine-scrub] snapshot {} failed verification: {reason}",
+                snapshot.file
+            );
+        }
+    }
+
+    // Silent divergence: a follower compares its range hashes against
+    // its leader's, bounded to the acked prefix and epoch-fenced.
+    let mut divergent: Vec<u64> = Vec::new();
+    if let Some(repl) = &state.repl {
+        if repl.role() == Role::Follower && !report.ranges.is_empty() {
+            if let Some(leader) = repl.leader_addr() {
+                if let Some(remote) = fetch_ranges(&leader) {
+                    let local_epoch = store.epoch();
+                    if remote.epoch < local_epoch {
+                        // A deposed primary is still answering: its
+                        // hashes describe a fenced-off history and must
+                        // never drive a repair.
+                        eprintln!(
+                            "[mine-scrub] ignoring ranges from {leader}: epoch {} behind local {}",
+                            remote.epoch, local_epoch
+                        );
+                    } else {
+                        let acked = (store.next_seq() - 1).min(remote.head_seq);
+                        let windows = diverging_windows(&report.ranges, &remote.ranges, acked);
+                        if !windows.is_empty() {
+                            divergent = segments_for_windows(&report, &windows);
+                            eprintln!(
+                                "[mine-scrub] range hashes diverge from {leader} in windows \
+                                 {windows:?} (acked prefix {acked})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut damaged: BTreeSet<u64> = corrupt.into_iter().collect();
+    damaged.extend(divergent);
+    if !damaged.is_empty() {
+        state.metrics.scrub_corruption(damaged.len() as u64);
+        let mut quarantined: u64 = 0;
+        {
+            let _gate = journal.gate_read();
+            for first_seq in &damaged {
+                match store.quarantine_segment(*first_seq) {
+                    Ok(path) => {
+                        quarantined += 1;
+                        eprintln!("[mine-scrub] quarantined {}", path.display());
+                    }
+                    Err(err) => {
+                        eprintln!("[mine-scrub] quarantine of segment {first_seq} failed: {err}");
+                    }
+                }
+            }
+        }
+        if quarantined > 0 {
+            repair(router, journal, quarantined);
+        }
+    }
+
+    state.integrity.publish(report);
+}
+
+/// Repairs `quarantined` segments: a follower asks its puller to break
+/// the live stream and re-bootstrap from the leader's snapshot (the
+/// install replaces every `wal-*.log`, leaving the quarantine files as
+/// evidence); a primary re-seals its history from its own live state —
+/// the state every acked write already reached — by writing a fresh
+/// compacting snapshot.
+fn repair(router: &Router, journal: &Journal, quarantined: u64) {
+    let state = router.state();
+    if let Some(repl) = &state.repl {
+        if repl.role() == Role::Follower {
+            repl.request_resync(quarantined);
+            eprintln!("[mine-scrub] requested re-bootstrap from the leader to repair");
+            return;
+        }
+    }
+    // Primary (or standalone): self-repair by compaction.
+    let _gate = journal.gate_write();
+    let image = ServerImage::capture(&state.registry, &state.finished, &state.adaptive);
+    match journal.write_snapshot(&image) {
+        Ok(()) => {
+            for _ in 0..quarantined {
+                state.metrics.repair_segment();
+            }
+            eprintln!(
+                "[mine-scrub] re-sealed history from live state ({quarantined} segment(s) repaired)"
+            );
+        }
+        Err(err) => {
+            // The log is short a quarantined segment; recovery now leans
+            // on the previous snapshot. Keep trying each pass.
+            eprintln!("[mine-scrub] self-repair snapshot failed: {err}");
+        }
+    }
+}
+
+/// What a peer's `/admin/ranges` reported.
+#[derive(Debug)]
+struct RemoteRanges {
+    epoch: u64,
+    head_seq: u64,
+    ranges: Vec<RangeHash>,
+}
+
+/// Fetches and decodes a peer's integrity table. `None` when the peer
+/// is unreachable or answers nonsense (both mean "skip this pass").
+fn fetch_ranges(addr: &str) -> Option<RemoteRanges> {
+    let mut client = HttpClient::with_timeout(addr, RANGES_TIMEOUT).ok()?;
+    let response = client.get("/admin/ranges").ok()?;
+    let body: Value = response.json().ok()?;
+    let epoch = as_u64(body.get("epoch")?)?;
+    let head_seq = as_u64(body.get("head_seq")?)?;
+    let Value::Array(entries) = body.get("ranges")? else {
+        return None;
+    };
+    let mut ranges = Vec::with_capacity(entries.len());
+    for entry in entries {
+        ranges.push(RangeHash {
+            first_seq: as_u64(entry.get("first_seq")?)?,
+            last_seq: as_u64(entry.get("last_seq")?)?,
+            count: as_u64(entry.get("count")?)?,
+            hash: as_u64(entry.get("hash")?)?,
+        });
+    }
+    Some(RemoteRanges {
+        epoch,
+        head_seq,
+        ranges,
+    })
+}
+
+fn as_u64(value: &Value) -> Option<u64> {
+    match value {
+        Value::Number(Number::PosInt(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Maps diverging window indices back to the sealed segments whose
+/// records fall inside them (a window can span segments and vice
+/// versa). Returns the segments' first sequence numbers.
+fn segments_for_windows(report: &ScrubReport, windows: &[u64]) -> Vec<u64> {
+    let mut hits = BTreeSet::new();
+    for window in windows {
+        let window_first = window * RANGE_WINDOW + 1;
+        let window_last = (window + 1) * RANGE_WINDOW;
+        for segment in &report.segments {
+            if segment.records == 0 {
+                continue;
+            }
+            let last = segment.first_seq + segment.records - 1;
+            if segment.first_seq <= window_last && last >= window_first {
+                hits.insert(segment.first_seq);
+            }
+        }
+    }
+    hits.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrity_table_publishes_latest_pass() {
+        let table = IntegrityTable::default();
+        assert!(table.latest().is_none());
+        table.publish(ScrubReport::default());
+        assert!(table.latest().is_some());
+    }
+
+    #[test]
+    fn windows_map_back_to_overlapping_segments() {
+        let segment = |first_seq: u64, records: u64| mine_store::SegmentReport {
+            file: format!("wal-{first_seq:020}.log"),
+            first_seq,
+            records,
+            bytes: 0,
+            corrupt: None,
+        };
+        let report = ScrubReport {
+            // Window 0 covers seqs 1..=1024; window 1 covers 1025..=2048.
+            segments: vec![segment(1, 1000), segment(1001, 500), segment(1501, 1000)],
+            ranges: Vec::new(),
+            snapshot: None,
+        };
+        // Window 0 overlaps the first two segments.
+        assert_eq!(segments_for_windows(&report, &[0]), vec![1, 1001]);
+        // Window 1 overlaps the last two.
+        assert_eq!(segments_for_windows(&report, &[1]), vec![1001, 1501]);
+        // Both windows: all three, deduplicated.
+        assert_eq!(segments_for_windows(&report, &[0, 1]), vec![1, 1001, 1501]);
+    }
+
+    #[test]
+    fn as_u64_rejects_non_numbers() {
+        assert_eq!(as_u64(&Value::String("7".to_string())), None);
+        assert_eq!(as_u64(&Value::Number(Number::PosInt(7))), Some(7));
+    }
+}

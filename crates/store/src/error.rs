@@ -28,8 +28,11 @@ pub enum StoreError {
     /// A previous append failed mid-write (`ENOSPC`, `EIO`, …) or an
     /// fsync failed, and the segment writer refused further appends.
     /// The on-disk tail was truncated back to the last intact frame, so
-    /// nothing half-written is ever visible to recovery or replication;
-    /// reopening the store clears the poison.
+    /// nothing half-written is ever visible to recovery or replication.
+    /// The poison clears as soon as a truncate + flush of the segment
+    /// succeeds again — retried automatically by the next append, or
+    /// explicitly via `EventStore::try_heal` — so a transient disk
+    /// failure degrades the store rather than killing it.
     Poisoned {
         /// Display form of the I/O error that poisoned the writer.
         cause: String,
@@ -53,7 +56,7 @@ impl fmt::Display for StoreError {
             StoreError::Poisoned { cause } => {
                 write!(
                     f,
-                    "segment writer poisoned by an earlier failed append ({cause}); reopen the store to resume"
+                    "segment writer poisoned by an earlier failed append ({cause}); heals when the disk accepts writes again"
                 )
             }
         }

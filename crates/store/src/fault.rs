@@ -5,7 +5,9 @@
 //! injected behind two seams:
 //!
 //! - **disk** — [`crate::EventStore`] consults it on every append and
-//!   segment fsync (`disk.append_err`, `disk.torn`, `disk.fsync_err`);
+//!   segment fsync (`disk.append_err`, `disk.torn`, `disk.fsync_err`),
+//!   and the scrubber's injection seam consults it for data-at-rest
+//!   corruption (`disk.bitrot`);
 //! - **network** — the replication shipper consults it before every
 //!   outgoing frame (`net.drop`, `net.dup`, `net.delay`,
 //!   `net.partition`, `net.half_open`).
@@ -26,7 +28,7 @@
 //! assert_eq!(plan.to_string(), again.to_string());
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -100,11 +102,20 @@ struct Blackout {
 pub struct FaultPlan {
     seed: u64,
     disk: BTreeMap<u64, DiskFault>,
+    /// Bit-rot schedule: flip `bytes` payload bytes of record `seq`
+    /// once it sits in an *already-sealed* segment. Applied lazily by
+    /// the scrubber's injection seam, not by the append path, because
+    /// real bit rot strikes data at rest. The schedule is immutable so
+    /// [`fmt::Display`] stays canonical; claims are tracked separately.
+    bitrot: BTreeMap<u64, usize>,
     fsync_err_calls: BTreeMap<u64, ()>,
     net: BTreeMap<u64, NetFault>,
     fsync_calls: AtomicU64,
     frames: AtomicU64,
     blackout: Mutex<Option<Blackout>>,
+    /// Sequence numbers whose bit-rot injection has already fired, so
+    /// each scheduled flip strikes exactly once per process.
+    bitrot_claimed: Mutex<BTreeSet<u64>>,
 }
 
 /// SplitMix64: a tiny, high-quality mixing step. Used to derive the
@@ -128,11 +139,13 @@ impl FaultPlan {
         Self {
             seed,
             disk: BTreeMap::new(),
+            bitrot: BTreeMap::new(),
             fsync_err_calls: BTreeMap::new(),
             net: BTreeMap::new(),
             fsync_calls: AtomicU64::new(0),
             frames: AtomicU64::new(0),
             blackout: Mutex::new(None),
+            bitrot_claimed: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -173,6 +186,7 @@ impl FaultPlan {
     /// | `seed=N` | record the seed; alone, derive the seeded schedule |
     /// | `disk.append_err@SEQ` | append of seq `SEQ` fails, no bytes land |
     /// | `disk.torn@SEQ:BYTES` | append of seq `SEQ` tears after `BYTES` bytes |
+    /// | `disk.bitrot@SEQ:BYTES` | flip `BYTES` payload bytes of sealed record `SEQ` at rest |
     /// | `disk.fsync_err@CALL` | the `CALL`-th segment fsync fails |
     /// | `net.drop@FRAME` | outgoing frame `FRAME` vanishes |
     /// | `net.dup@FRAME` | outgoing frame `FRAME` is sent twice |
@@ -252,6 +266,13 @@ impl FaultPlan {
                 let bytes = usize::try_from(num(arg)?).map_err(|_| bad())?;
                 self.disk.insert(at, DiskFault::TornWrite { bytes });
             }
+            "disk.bitrot" => {
+                let bytes = usize::try_from(num(arg)?).map_err(|_| bad())?;
+                if bytes == 0 {
+                    return Err(bad());
+                }
+                self.bitrot.insert(at, bytes);
+            }
             "disk.fsync_err" => {
                 self.fsync_err_calls.insert(at, ());
             }
@@ -287,13 +308,39 @@ impl FaultPlan {
     /// True when the plan schedules no fault at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.disk.is_empty() && self.fsync_err_calls.is_empty() && self.net.is_empty()
+        self.disk.is_empty()
+            && self.bitrot.is_empty()
+            && self.fsync_err_calls.is_empty()
+            && self.net.is_empty()
     }
 
     /// The disk fault scheduled for the append of `seq`, if any.
     #[must_use]
     pub fn disk_fault(&self, seq: u64) -> Option<DiskFault> {
         self.disk.get(&seq).copied()
+    }
+
+    /// The full bit-rot schedule: `(seq, bytes)` pairs, including ones
+    /// already claimed. The injection seam iterates this to find
+    /// records it can strike.
+    #[must_use]
+    pub fn bitrot_faults(&self) -> Vec<(u64, usize)> {
+        self.bitrot
+            .iter()
+            .map(|(&seq, &bytes)| (seq, bytes))
+            .collect()
+    }
+
+    /// Claims the bit-rot fault scheduled for `seq`: returns the byte
+    /// count the first time, `None` on every later call (or when none
+    /// is scheduled), so each scheduled flip fires exactly once.
+    pub fn claim_bitrot(&self, seq: u64) -> Option<usize> {
+        let bytes = *self.bitrot.get(&seq)?;
+        let mut claimed = self.bitrot_claimed.lock().expect("fault plan mutex");
+        if !claimed.insert(seq) {
+            return None;
+        }
+        Some(bytes)
     }
 
     /// Counts one segment fsync and reports whether this one is
@@ -354,6 +401,9 @@ impl fmt::Display for FaultPlan {
                 DiskFault::TornWrite { bytes } => parts.push(format!("disk.torn@{seq}:{bytes}")),
             }
         }
+        for (seq, bytes) in &self.bitrot {
+            parts.push(format!("disk.bitrot@{seq}:{bytes}"));
+        }
         for call in self.fsync_err_calls.keys() {
             parts.push(format!("disk.fsync_err@{call}"));
         }
@@ -411,8 +461,29 @@ mod tests {
     fn bad_directives_are_rejected_with_a_message() {
         assert!(FaultPlan::parse("seed=x").is_err());
         assert!(FaultPlan::parse("disk.torn@5").is_err());
+        assert!(FaultPlan::parse("disk.bitrot@5").is_err());
+        assert!(FaultPlan::parse("disk.bitrot@5:0").is_err());
         assert!(FaultPlan::parse("net.warp@3").is_err());
         assert!(FaultPlan::parse("net.delay@3:abc").is_err());
+    }
+
+    #[test]
+    fn bitrot_round_trips_and_is_claimed_exactly_once() {
+        let plan = FaultPlan::parse("seed=3;disk.bitrot@7:2;disk.bitrot@4:1;net.drop@2").unwrap();
+        assert_eq!(plan.bitrot_faults(), vec![(4, 1), (7, 2)]);
+        let rendered = plan.to_string();
+        assert_eq!(
+            rendered,
+            "seed=3;disk.bitrot@4:1;disk.bitrot@7:2;net.drop@2"
+        );
+        let reparsed = FaultPlan::parse(&rendered).unwrap();
+        assert_eq!(rendered, reparsed.to_string());
+        // Each scheduled flip fires exactly once.
+        assert_eq!(plan.claim_bitrot(7), Some(2));
+        assert_eq!(plan.claim_bitrot(7), None);
+        assert_eq!(plan.claim_bitrot(5), None, "nothing scheduled for seq 5");
+        // Claiming does not change the canonical rendering.
+        assert_eq!(plan.to_string(), rendered);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod fault;
 pub mod frame;
 pub mod log;
 pub mod replicate;
+pub mod scrub;
 
 pub use error::StoreError;
 pub use fault::{DiskFault, FaultPlan, NetAction, NetFault};
@@ -41,3 +42,7 @@ pub use log::{
     AppendFault, EventStore, Record, Recovered, Snapshot, StoreOptions, SyncPolicy, INITIAL_EPOCH,
 };
 pub use replicate::{Message, ReplError, StreamCursor};
+pub use scrub::{
+    diverging_windows, inject_bitrot, scrub_dir, RangeHash, ScrubReport, SegmentReport,
+    SnapshotReport, RANGE_WINDOW,
+};

@@ -183,15 +183,15 @@ impl std::fmt::Debug for EventStore {
     }
 }
 
-fn segment_name(first_seq: u64) -> String {
+pub(crate) fn segment_name(first_seq: u64) -> String {
     format!("wal-{first_seq:020}.log")
 }
 
-fn snapshot_name(last_seq: u64) -> String {
+pub(crate) fn snapshot_name(last_seq: u64) -> String {
     format!("snapshot-{last_seq:020}.snap")
 }
 
-fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+pub(crate) fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
     name.strip_prefix(prefix)?
         .strip_suffix(suffix)?
         .parse()
@@ -405,20 +405,30 @@ impl EventStore {
         &self.dir
     }
 
+    /// The configured fault schedule, if any (the scrubber's bit-rot
+    /// injection seam consults it).
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<std::sync::Arc<FaultPlan>> {
+        self.options.fault_plan.clone()
+    }
+
     /// Appends one record, returning its sequence number. Durability
     /// depends on the configured [`SyncPolicy`].
     ///
     /// A write failure (`ENOSPC`, `EIO`, …) truncates the segment back
     /// to the last intact frame and poisons the writer: the half-frame
-    /// is never visible to recovery or replication, and every later
-    /// append returns [`StoreError::Poisoned`] until the store is
-    /// reopened.
+    /// is never visible to recovery or replication, and no record is
+    /// left behind for the failed sequence number. The poison is *not*
+    /// permanent: the next append first re-runs the truncate-and-flush
+    /// recovery (see [`EventStore::try_heal`]) and proceeds normally
+    /// when the disk has healed, so a transient `ENOSPC` degrades the
+    /// store instead of killing it.
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::RecordTooLarge`] for oversized payloads,
     /// [`StoreError::Io`] on write failure, and [`StoreError::Poisoned`]
-    /// after an earlier failed append.
+    /// when an earlier failure could not be healed.
     pub fn append(&self, payload: &[u8]) -> Result<u64, StoreError> {
         if payload.len() > MAX_PAYLOAD_BYTES {
             return Err(StoreError::RecordTooLarge {
@@ -427,11 +437,7 @@ impl EventStore {
             });
         }
         let mut inner = self.inner.lock().expect("store mutex");
-        if let Some(cause) = &inner.poisoned {
-            return Err(StoreError::Poisoned {
-                cause: cause.clone(),
-            });
-        }
+        self.heal_locked(&mut inner)?;
         let seq = inner.next_seq;
         let frame = frame::encode(seq, payload);
         if inner.segment_records > 0
@@ -452,6 +458,7 @@ impl EventStore {
         match self.options.sync {
             SyncPolicy::Always => {
                 if let Err(err) = self.segment_sync(&mut inner) {
+                    Self::roll_back_append(&mut inner, frame.len());
                     return Err(self.poison(&mut inner, err));
                 }
                 inner.last_sync = Instant::now();
@@ -460,6 +467,7 @@ impl EventStore {
             SyncPolicy::Interval(window) => {
                 if inner.last_sync.elapsed() >= window {
                     if let Err(err) = self.segment_sync(&mut inner) {
+                        Self::roll_back_append(&mut inner, frame.len());
                         return Err(self.poison(&mut inner, err));
                     }
                     inner.last_sync = Instant::now();
@@ -469,6 +477,20 @@ impl EventStore {
             SyncPolicy::Never => {}
         }
         Ok(seq)
+    }
+
+    /// Undoes the bookkeeping of the append in flight after its flush
+    /// failed, so a failed append uniformly leaves no record behind:
+    /// the sequence number is reused by the next attempt and the
+    /// frame's bytes fall inside the range [`Self::poison`] truncates
+    /// away. Without this, a sync-failed append would strand an
+    /// un-acked record on disk and open a gap between what the caller
+    /// believes exists and what followers are shipped.
+    fn roll_back_append(inner: &mut Inner, frame_len: usize) {
+        inner.segment_bytes -= frame_len as u64;
+        inner.segment_records -= 1;
+        inner.next_seq -= 1;
+        inner.since_snapshot -= 1;
     }
 
     /// Flushes the current segment's data, honouring any scheduled
@@ -518,6 +540,10 @@ impl EventStore {
 
     /// Rolls the segment back to its last intact frame and marks the
     /// writer poisoned. Returns the error to hand the caller.
+    ///
+    /// The poison is cleared again by [`Self::heal_locked`] once a
+    /// truncate + flush of the segment succeeds — it marks "the disk is
+    /// currently untrustworthy", not "this store is dead".
     fn poison(&self, inner: &mut Inner, err: std::io::Error) -> StoreError {
         // Cut away whatever fraction of the frame (or sync state) is in
         // doubt. If even the truncate fails, recovery's torn-tail repair
@@ -529,6 +555,97 @@ impl EventStore {
         })();
         inner.poisoned = Some(err.to_string());
         StoreError::Io(err)
+    }
+
+    /// Attempts to clear the poison: truncates the segment back to the
+    /// last intact frame and flushes, proving the disk accepts writes
+    /// again. A no-op when the writer is healthy. Because the segment
+    /// file is open in append mode, the next write after a successful
+    /// `set_len` lands at the new end of file — no repositioning needed.
+    fn heal_locked(&self, inner: &mut Inner) -> Result<(), StoreError> {
+        if inner.poisoned.is_none() {
+            return Ok(());
+        }
+        let attempt = (|| -> std::io::Result<()> {
+            inner.file.set_len(inner.segment_bytes)?;
+            self.segment_sync(inner)
+        })();
+        match attempt {
+            Ok(()) => {
+                inner.poisoned = None;
+                inner.last_sync = Instant::now();
+                inner.dirty = false;
+                Ok(())
+            }
+            Err(err) => {
+                let cause = err.to_string();
+                inner.poisoned = Some(cause.clone());
+                Err(StoreError::Poisoned { cause })
+            }
+        }
+    }
+
+    /// Whether the writer is poisoned, and by what. `None` means
+    /// appends are being accepted.
+    #[must_use]
+    pub fn poisoned(&self) -> Option<String> {
+        self.inner.lock().expect("store mutex").poisoned.clone()
+    }
+
+    /// Tries to recover a poisoned writer without reopening the store:
+    /// truncates the active segment back to the last intact frame and
+    /// flushes it. Returns `Ok(false)` when the writer was not poisoned,
+    /// `Ok(true)` when the poison was cleared.
+    ///
+    /// This is the self-recovery seam degraded-mode serving retries
+    /// with backoff until the disk heals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Poisoned`] when the disk still refuses the
+    /// truncate or flush; the writer stays poisoned.
+    pub fn try_heal(&self) -> Result<bool, StoreError> {
+        let mut inner = self.inner.lock().expect("store mutex");
+        if inner.poisoned.is_none() {
+            return Ok(false);
+        }
+        self.heal_locked(&mut inner)?;
+        Ok(true)
+    }
+
+    /// Path of the segment currently being appended to. Everything else
+    /// matching `wal-*.log` in the directory is sealed — safe for the
+    /// scrubber to read and, if damaged, quarantine.
+    #[must_use]
+    pub fn active_segment(&self) -> PathBuf {
+        self.inner.lock().expect("store mutex").segment_path.clone()
+    }
+
+    /// Quarantines the sealed segment whose first record is `first_seq`:
+    /// renames `wal-{first_seq}.log` to `wal-{first_seq}.log.quarantine`
+    /// and flushes the directory. The quarantined file is invisible to
+    /// recovery, compaction, and snapshot installs (all of which match
+    /// the `.log` suffix exactly), so the evidence of what was on disk
+    /// is never deleted — repair replaces the history *around* it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the segment is the active one
+    /// (quarantining the write head would corrupt the log) or the
+    /// rename fails.
+    pub fn quarantine_segment(&self, first_seq: u64) -> Result<PathBuf, StoreError> {
+        let inner = self.inner.lock().expect("store mutex");
+        let path = self.dir.join(segment_name(first_seq));
+        if path == inner.segment_path {
+            return Err(StoreError::Io(std::io::Error::other(format!(
+                "refusing to quarantine the active segment {}",
+                path.display()
+            ))));
+        }
+        let quarantined = path.with_extension("log.quarantine");
+        std::fs::rename(&path, &quarantined)?;
+        sync_dir(&self.dir)?;
+        Ok(quarantined)
     }
 
     /// Rotates to a fresh segment starting at `first_seq`.
@@ -549,11 +666,11 @@ impl EventStore {
 
     /// Forces everything appended so far to stable storage.
     ///
-    /// A failed fsync is sticky: the writer is poisoned exactly as for
-    /// a failed append, because records appended since the last
-    /// successful flush are in doubt — an acked write must never be
-    /// allowed to follow a silently-failed flush. Reopening the store
-    /// clears the poison.
+    /// A failed fsync poisons the writer exactly as a failed append
+    /// does, because records appended since the last successful flush
+    /// are in doubt — an acked write must never be allowed to follow a
+    /// silently-failed flush. The poison clears once a later append (or
+    /// [`EventStore::try_heal`]) truncates and flushes successfully.
     ///
     /// # Errors
     ///
@@ -921,16 +1038,17 @@ mod tests {
         store.append(b"two").unwrap();
         let err = store.append(b"doomed").unwrap_err();
         assert!(matches!(err, StoreError::Io(_)), "{err}");
-        // Poisoned: appends, sync, and snapshot all refuse.
-        assert!(matches!(
-            store.append(b"after"),
-            Err(StoreError::Poisoned { .. })
-        ));
+        // While poisoned, sync and snapshot refuse.
+        assert!(store.poisoned().is_some());
         assert!(matches!(store.sync(), Err(StoreError::Poisoned { .. })));
         assert!(matches!(
             store.snapshot(b"img"),
             Err(StoreError::Poisoned { .. })
         ));
+        // A retried append heals the writer first, then re-hits the
+        // (persistent, seq-keyed) fault — the caller sees the fresh I/O
+        // error each time, never a stale poison.
+        assert!(matches!(store.append(b"after"), Err(StoreError::Io(_))));
         drop(store);
         // Recovery sees exactly the two intact records — the half-frame
         // was truncated away, so there is no torn-tail warning either.
@@ -965,7 +1083,7 @@ mod tests {
     }
 
     #[test]
-    fn failed_fsync_is_sticky_and_poisons_the_writer() {
+    fn failed_fsync_poisons_the_writer_until_a_later_append_heals_it() {
         let dir = temp_dir("fsync-poison");
         let options = StoreOptions {
             sync: SyncPolicy::Never, // only the explicit sync() below counts
@@ -978,19 +1096,58 @@ mod tests {
         store.append(b"acked-before-flush").unwrap();
         let err = store.sync().unwrap_err();
         assert!(matches!(err, StoreError::Io(_)), "{err}");
-        // The failure is sticky: no acked write can follow the
-        // silently-failed flush.
+        // Poisoned: no acked write can follow the silently-failed
+        // flush until the disk proves itself again.
+        assert!(store.poisoned().is_some());
         assert!(matches!(
-            store.append(b"never-acked"),
+            store.snapshot(b"img"),
             Err(StoreError::Poisoned { .. })
         ));
-        assert!(matches!(store.sync(), Err(StoreError::Poisoned { .. })));
+        // The next append re-runs the truncate-and-flush recovery; only
+        // fsync #1 was scheduled to fail, so the poison clears and the
+        // append lands.
+        assert_eq!(store.append(b"after-heal").unwrap(), 2);
+        assert!(store.poisoned().is_none());
+        store.sync().unwrap();
         drop(store);
-        // Reopening clears the poison; the record whose flush failed is
-        // still on disk (the page cache survived this process).
         let (store, recovered) = EventStore::open(&dir, StoreOptions::default()).unwrap();
-        assert_eq!(payloads(&recovered), ["acked-before-flush"]);
-        assert_eq!(store.append(b"after-reopen").unwrap(), 2);
+        assert_eq!(payloads(&recovered), ["acked-before-flush", "after-heal"]);
+        assert_eq!(store.append(b"after-reopen").unwrap(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_failure_under_always_rolls_back_the_append_and_self_heals() {
+        // The regression for the permanent-poison bug: with
+        // `SyncPolicy::Always`, an append whose *flush* fails must
+        // (a) not ack, (b) leave no record behind for its sequence
+        // number, and (c) not poison the store forever once the disk
+        // heals.
+        let dir = temp_dir("fsync-rollback");
+        let options = StoreOptions {
+            sync: SyncPolicy::Always,
+            fault_plan: Some(std::sync::Arc::new(
+                FaultPlan::parse("disk.fsync_err@1").unwrap(),
+            )),
+            ..StoreOptions::default()
+        };
+        let (store, _) = EventStore::open(&dir, options).unwrap();
+        let err = store.append(b"doomed").unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err}");
+        assert!(store.poisoned().is_some());
+        // Explicit heal (the degraded-mode retry seam): fsync #2
+        // succeeds, so the poison clears.
+        assert!(store.try_heal().unwrap());
+        assert!(store.poisoned().is_none());
+        assert!(!store.try_heal().unwrap(), "already healthy: no-op");
+        // The failed append was rolled back — seq 1 is reused.
+        assert_eq!(store.append(b"first").unwrap(), 1);
+        drop(store);
+        // No half-frame and no phantom record: recovery sees exactly
+        // the one acked append, with nothing to repair.
+        let (_, recovered) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(payloads(&recovered), ["first"]);
+        assert!(recovered.warnings.is_empty(), "{:?}", recovered.warnings);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1007,10 +1164,9 @@ mod tests {
         store.append(b"one").unwrap();
         let err = store.append(b"doomed").unwrap_err();
         assert!(matches!(err, StoreError::Io(_)), "{err}");
-        assert!(matches!(
-            store.append(b"after"),
-            Err(StoreError::Poisoned { .. })
-        ));
+        // The retry heals, reuses seq 2, and re-hits the seq-keyed
+        // fault: a fresh I/O error, not a stale poison.
+        assert!(matches!(store.append(b"after"), Err(StoreError::Io(_))));
         drop(store);
         let (store, recovered) = EventStore::open(&dir, StoreOptions::default()).unwrap();
         assert_eq!(payloads(&recovered), ["one"]);
@@ -1037,6 +1193,42 @@ mod tests {
         let (_, recovered) = EventStore::open(&dir, StoreOptions::default()).unwrap();
         assert_eq!(payloads(&recovered), ["one", "two"]);
         assert!(recovered.warnings.is_empty(), "{:?}", recovered.warnings);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_renames_sealed_segments_and_refuses_the_active_one() {
+        let dir = temp_dir("quarantine");
+        let options = StoreOptions {
+            max_segment_bytes: 64,
+            ..StoreOptions::default()
+        };
+        let (store, _) = EventStore::open(&dir, options).unwrap();
+        for i in 0..10 {
+            store.append(format!("record-{i}").as_bytes()).unwrap();
+        }
+        let active = store.active_segment();
+        let active_first = parse_numbered(
+            &active.file_name().unwrap().to_string_lossy(),
+            "wal-",
+            ".log",
+        )
+        .unwrap();
+        assert!(active_first > 1, "rotation sealed at least one segment");
+        // Sealed segment 1 quarantines by rename: evidence kept.
+        let quarantined = store.quarantine_segment(1).unwrap();
+        assert!(quarantined.exists());
+        assert!(!dir.join(segment_name(1)).exists());
+        // The active segment is refused.
+        assert!(store.quarantine_segment(active_first).is_err());
+        // A snapshot install (the repair path) wipes `.log` segments
+        // but leaves the quarantined evidence alone.
+        store.install_snapshot(b"repaired-image", 20).unwrap();
+        assert!(quarantined.exists(), "quarantine survives repair");
+        drop(store);
+        let (store, recovered) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(recovered.snapshot.as_ref().unwrap().last_seq, 20);
+        assert_eq!(store.next_seq(), 21);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

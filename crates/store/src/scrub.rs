@@ -1,0 +1,492 @@
+//! Integrity scrubbing: re-verifies the CRCs and framing of sealed WAL
+//! segments and the newest snapshot, and condenses intact history into
+//! comparable *range hashes*.
+//!
+//! A scrub pass is the read-only half of anti-entropy. It never
+//! mutates the store; it reports, per sealed segment, whether every
+//! frame still decodes and checksums, and folds each `(seq, payload)`
+//! pair into a fixed-width sequence window ([`RANGE_WINDOW`] records
+//! per window, FNV-1a over `seq ‖ payload`). Two nodes whose windows
+//! cover the same sequence range with the same record count but hash
+//! differently have byte-divergent history there — the signature of
+//! silent corruption that frame CRCs alone cannot place, because both
+//! sides' frames may be internally consistent.
+//!
+//! The same pass runs in three places:
+//!
+//! - online, from the server's background scrubber (the active segment
+//!   is excluded — the write head moves under a live scan);
+//! - offline, from `mine scrub <dir>` (no active segment: the last
+//!   segment's torn tail is tolerated exactly like recovery does);
+//! - on demand, from `GET /admin/ranges`, to serve the integrity table
+//!   peers compare against.
+//!
+//! Scrubbing races benignly with compaction: a snapshot install may
+//! delete a segment between the directory listing and the read, so a
+//! vanished file is skipped, never reported as damage.
+
+use std::collections::BTreeMap;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::error::StoreError;
+use crate::fault::FaultPlan;
+use crate::frame::{self, ScanEnd};
+use crate::log::{parse_numbered, segment_name};
+
+/// Records per range-hash window. Window `w` covers sequence numbers
+/// `[w·WINDOW + 1, (w+1)·WINDOW]`, so windows computed independently on
+/// two nodes line up without coordination.
+pub const RANGE_WINDOW: u64 = 1024;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// First sequence number of the window containing `seq`.
+#[must_use]
+pub fn window_first(seq: u64) -> u64 {
+    ((seq - 1) / RANGE_WINDOW) * RANGE_WINDOW + 1
+}
+
+/// The incremental hash of one sequence window's `(seq, payload)`
+/// records, plus the exact range it covers so peers only compare
+/// like with like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeHash {
+    /// First sequence number of the window (inclusive).
+    pub first_seq: u64,
+    /// Last sequence number actually folded in (inclusive).
+    pub last_seq: u64,
+    /// Records folded into the hash.
+    pub count: u64,
+    /// FNV-1a 64-bit over each record's `seq (LE) ‖ payload`, in
+    /// sequence order.
+    pub hash: u64,
+}
+
+/// The verdict on one sealed WAL segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentReport {
+    /// File name (`wal-….log`).
+    pub file: String,
+    /// First sequence number encoded in the name.
+    pub first_seq: u64,
+    /// Intact records decoded.
+    pub records: u64,
+    /// Segment size in bytes.
+    pub bytes: u64,
+    /// `None` when every frame verified; otherwise what failed.
+    pub corrupt: Option<String>,
+}
+
+/// The verdict on the newest snapshot file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotReport {
+    /// File name (`snapshot-….snap`).
+    pub file: String,
+    /// The sequence number the snapshot claims to cover.
+    pub last_seq: u64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// `None` when the payload read back fully; otherwise the error.
+    pub corrupt: Option<String>,
+}
+
+/// Everything one scrub pass found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Per-segment verdicts, in sequence order.
+    pub segments: Vec<SegmentReport>,
+    /// Range hashes over every intact record seen, in window order.
+    pub ranges: Vec<RangeHash>,
+    /// The newest snapshot's verdict, when one exists.
+    pub snapshot: Option<SnapshotReport>,
+}
+
+impl ScrubReport {
+    /// True when no segment and no snapshot failed verification.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_segments().is_empty()
+            && self.snapshot.as_ref().is_none_or(|s| s.corrupt.is_none())
+    }
+
+    /// The segments that failed verification.
+    #[must_use]
+    pub fn corrupt_segments(&self) -> Vec<&SegmentReport> {
+        self.segments
+            .iter()
+            .filter(|s| s.corrupt.is_some())
+            .collect()
+    }
+}
+
+/// Runs one scrub pass over the store directory at `dir`.
+///
+/// `active` names the segment currently being appended to; it is
+/// skipped entirely (online mode). With `active = None` (offline mode,
+/// no writer) every segment is scanned, and a torn tail on the *last*
+/// one is tolerated — that is the shape a crash leaves and recovery
+/// repairs, not corruption.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] only for directory-level failures;
+/// per-file damage is reported in the result, and files that vanish
+/// mid-pass (compaction won the race) are skipped.
+pub fn scrub_dir(dir: &Path, active: Option<&Path>) -> Result<ScrubReport, StoreError> {
+    let mut segment_seqs = Vec::new();
+    let mut snapshot_seqs = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name().to_string_lossy().into_owned();
+        if let Some(seq) = parse_numbered(&name, "wal-", ".log") {
+            segment_seqs.push(seq);
+        } else if let Some(seq) = parse_numbered(&name, "snapshot-", ".snap") {
+            snapshot_seqs.push(seq);
+        }
+    }
+    segment_seqs.sort_unstable();
+    snapshot_seqs.sort_unstable();
+
+    let mut report = ScrubReport::default();
+    let mut windows: BTreeMap<u64, RangeHash> = BTreeMap::new();
+    let scanned: Vec<u64> = segment_seqs
+        .iter()
+        .copied()
+        .filter(|&first_seq| active.is_none_or(|a| a != dir.join(segment_name(first_seq))))
+        .collect();
+    for (index, &first_seq) in scanned.iter().enumerate() {
+        let file = segment_name(first_seq);
+        let path = dir.join(&file);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            // Compaction deleted it between listing and read.
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(err) => return Err(err.into()),
+        };
+        let (frames, end) = frame::scan(&bytes);
+        let tail_tolerated = active.is_none() && index == scanned.len() - 1;
+        let corrupt = match end {
+            ScanEnd::Clean => None,
+            ScanEnd::Torn { .. } if tail_tolerated => None,
+            ScanEnd::Torn { offset, reason } => Some(format!("torn at offset {offset}: {reason}")),
+            ScanEnd::Corrupt { offset, reason } => {
+                Some(format!("corrupt at offset {offset}: {reason}"))
+            }
+        };
+        // Framing intact: also require in-segment sequence continuity
+        // starting at the sequence number the file name promises.
+        let continuity = corrupt.is_none().then(|| {
+            for (expected, frame) in (first_seq..).zip(frames.iter()) {
+                if frame.seq != expected {
+                    return Some(format!(
+                        "sequence gap at offset {}: expected {expected}, found {}",
+                        frame.end_offset, frame.seq
+                    ));
+                }
+            }
+            None
+        });
+        let corrupt = corrupt.or(continuity.flatten());
+        if corrupt.is_none() {
+            for frame in &frames {
+                let first = window_first(frame.seq);
+                let entry = windows.entry(first).or_insert(RangeHash {
+                    first_seq: first,
+                    last_seq: 0,
+                    count: 0,
+                    hash: FNV_OFFSET,
+                });
+                entry.hash = fnv1a(entry.hash, &frame.seq.to_le_bytes());
+                entry.hash = fnv1a(entry.hash, &frame.payload);
+                entry.last_seq = frame.seq;
+                entry.count += 1;
+            }
+        }
+        report.segments.push(SegmentReport {
+            file,
+            first_seq,
+            records: frames.len() as u64,
+            bytes: bytes.len() as u64,
+            corrupt,
+        });
+    }
+    report.ranges = windows.into_values().collect();
+
+    if let Some(&last_seq) = snapshot_seqs.last() {
+        let file = crate::log::snapshot_name(last_seq);
+        match std::fs::read(dir.join(&file)) {
+            Ok(payload) => {
+                report.snapshot = Some(SnapshotReport {
+                    file,
+                    last_seq,
+                    bytes: payload.len() as u64,
+                    corrupt: None,
+                });
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+            Err(err) => {
+                report.snapshot = Some(SnapshotReport {
+                    file,
+                    last_seq,
+                    bytes: 0,
+                    corrupt: Some(err.to_string()),
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Window starts where `local` and `remote` disagree *inside the acked
+/// prefix*: both sides cover the identical range (`first_seq`,
+/// `last_seq`, `count` all equal, `last_seq ≤ acked`) yet hash
+/// differently. Shape mismatches are never flagged — differing
+/// compaction horizons legitimately leave one side with a partial
+/// window — so a divergence verdict is always byte-level.
+#[must_use]
+pub fn diverging_windows(local: &[RangeHash], remote: &[RangeHash], acked: u64) -> Vec<u64> {
+    let remote_by_first: BTreeMap<u64, &RangeHash> =
+        remote.iter().map(|r| (r.first_seq, r)).collect();
+    local
+        .iter()
+        .filter(|ours| {
+            remote_by_first.get(&ours.first_seq).is_some_and(|theirs| {
+                ours.last_seq <= acked
+                    && theirs.last_seq == ours.last_seq
+                    && theirs.count == ours.count
+                    && theirs.hash != ours.hash
+            })
+        })
+        .map(|ours| ours.first_seq)
+        .collect()
+}
+
+/// The deterministic data-at-rest corruption seam: for every
+/// `disk.bitrot@SEQ:BYTES` directive in `plan` whose record sits in a
+/// *sealed* segment (never `active`), claims the fault and XOR-flips
+/// `BYTES` payload bytes of that record in place. Returns the sequence
+/// numbers struck.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when a flip fails mid-way; claimed
+/// faults do not re-fire on retry, mirroring how real bit rot strikes
+/// once.
+pub fn inject_bitrot(
+    dir: &Path,
+    active: Option<&Path>,
+    plan: &FaultPlan,
+) -> std::io::Result<Vec<u64>> {
+    let faults = plan.bitrot_faults();
+    if faults.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut segment_seqs = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name().to_string_lossy().into_owned();
+        if let Some(seq) = parse_numbered(&name, "wal-", ".log") {
+            segment_seqs.push(seq);
+        }
+    }
+    segment_seqs.sort_unstable();
+    let mut struck = Vec::new();
+    for &first_seq in &segment_seqs {
+        let path = dir.join(segment_name(first_seq));
+        if active.is_some_and(|a| a == path) {
+            continue;
+        }
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(err) => return Err(err),
+        };
+        let (frames, _) = frame::scan(&bytes);
+        for frame in &frames {
+            let Some((_, flip)) = faults.iter().find(|(seq, _)| *seq == frame.seq) else {
+                continue;
+            };
+            if frame.payload.is_empty() {
+                continue; // nothing to flip without breaking framing
+            }
+            if plan.claim_bitrot(frame.seq).is_none() {
+                continue; // already struck in an earlier pass
+            }
+            let payload_start = frame.end_offset - frame.payload.len() as u64;
+            let span = (*flip).min(frame.payload.len());
+            let mut flipped = frame.payload[..span].to_vec();
+            for byte in &mut flipped {
+                *byte ^= 0xFF;
+            }
+            let mut file = std::fs::OpenOptions::new().write(true).open(&path)?;
+            file.seek(SeekFrom::Start(payload_start))?;
+            file.write_all(&flipped)?;
+            file.sync_data()?;
+            struck.push(frame.seq);
+        }
+    }
+    struck.sort_unstable();
+    Ok(struck)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{EventStore, StoreOptions};
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mine-scrub-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_segments() -> StoreOptions {
+        StoreOptions {
+            max_segment_bytes: 64,
+            ..StoreOptions::default()
+        }
+    }
+
+    #[test]
+    fn clean_store_scrubs_clean_online_and_offline() {
+        let dir = temp_dir("clean");
+        let (store, _) = EventStore::open(&dir, small_segments()).unwrap();
+        for i in 0..12 {
+            store.append(format!("record-{i}").as_bytes()).unwrap();
+        }
+        let online = scrub_dir(&dir, Some(&store.active_segment())).unwrap();
+        assert!(online.is_clean(), "{online:?}");
+        assert!(online.segments.len() > 1, "rotation sealed segments");
+        let total: u64 = online.ranges.iter().map(|r| r.count).sum();
+        let sealed: u64 = online.segments.iter().map(|s| s.records).sum();
+        assert_eq!(total, sealed);
+        drop(store);
+        let offline = scrub_dir(&dir, None).unwrap();
+        assert!(offline.is_clean(), "{offline:?}");
+        assert_eq!(
+            offline.ranges.iter().map(|r| r.count).sum::<u64>(),
+            12,
+            "offline pass hashes every record"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bitrot_in_a_sealed_segment_is_detected_and_struck_once() {
+        let dir = temp_dir("bitrot");
+        let (store, _) = EventStore::open(&dir, small_segments()).unwrap();
+        for i in 0..12 {
+            store.append(format!("record-{i}").as_bytes()).unwrap();
+        }
+        let active = store.active_segment();
+        let clean = scrub_dir(&dir, Some(&active)).unwrap();
+        assert!(clean.is_clean());
+
+        let plan = FaultPlan::parse("disk.bitrot@2:3").unwrap();
+        let struck = inject_bitrot(&dir, Some(&active), &plan).unwrap();
+        assert_eq!(struck, vec![2]);
+        // Claimed: a second pass does not strike again.
+        assert!(inject_bitrot(&dir, Some(&active), &plan)
+            .unwrap()
+            .is_empty());
+
+        let dirty = scrub_dir(&dir, Some(&active)).unwrap();
+        let corrupt = dirty.corrupt_segments();
+        assert_eq!(corrupt.len(), 1, "{dirty:?}");
+        assert_eq!(corrupt[0].first_seq, 1);
+        // The corrupt segment contributes no range hashes.
+        assert!(
+            dirty.ranges.iter().map(|r| r.count).sum::<u64>()
+                < clean.ranges.iter().map(|r| r.count).sum::<u64>()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn offline_scrub_tolerates_a_torn_tail_like_recovery_does() {
+        let dir = temp_dir("torn-tail");
+        let (store, _) = EventStore::open(&dir, StoreOptions::default()).unwrap();
+        store.append(b"one").unwrap();
+        store.append(b"two").unwrap();
+        let active = store.active_segment();
+        drop(store);
+        // Chop the last frame mid-payload: the crash signature.
+        let len = std::fs::metadata(&active).unwrap().len();
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&active)
+            .unwrap();
+        file.set_len(len - 2).unwrap();
+        drop(file);
+        let offline = scrub_dir(&dir, None).unwrap();
+        assert!(offline.is_clean(), "{offline:?}");
+        // Online, the same segment (now sealed from the scrubber's view)
+        // is damage.
+        let online = scrub_dir(&dir, Some(Path::new("/nonexistent"))).unwrap();
+        assert!(!online.is_clean());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn range_hashes_agree_iff_ranges_are_byte_equal() {
+        let dir_a = temp_dir("ranges-a");
+        let dir_b = temp_dir("ranges-b");
+        for dir in [&dir_a, &dir_b] {
+            let (store, _) = EventStore::open(dir, small_segments()).unwrap();
+            for i in 0..10 {
+                store.append(format!("record-{i}").as_bytes()).unwrap();
+            }
+        }
+        let a = scrub_dir(&dir_a, None).unwrap();
+        let b = scrub_dir(&dir_b, None).unwrap();
+        assert_eq!(a.ranges, b.ranges);
+        assert!(diverging_windows(&a.ranges, &b.ranges, 10).is_empty());
+
+        // Re-encode record 5 with a different payload of equal length:
+        // internally consistent frames, byte-divergent history — the
+        // damage frame CRCs cannot see and range hashes exist to catch.
+        let mut seg = None;
+        for entry in std::fs::read_dir(&dir_b).unwrap() {
+            let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+            if name.starts_with("wal-") && name.ends_with(".log") {
+                let bytes = std::fs::read(dir_b.join(&name)).unwrap();
+                let (frames, _) = frame::scan(&bytes);
+                if frames.iter().any(|f| f.seq == 5) {
+                    seg = Some((dir_b.join(&name), frames));
+                }
+            }
+        }
+        let (path, frames) = seg.expect("segment holding seq 5");
+        let mut rebuilt = Vec::new();
+        for f in &frames {
+            let payload = if f.seq == 5 {
+                b"recorD-4".to_vec() // same length, different bytes
+            } else {
+                f.payload.clone()
+            };
+            rebuilt.extend_from_slice(&frame::encode(f.seq, &payload));
+        }
+        std::fs::write(&path, &rebuilt).unwrap();
+        let b = scrub_dir(&dir_b, None).unwrap();
+        assert!(b.is_clean(), "valid CRCs: frame scan cannot see this");
+        assert_ne!(a.ranges, b.ranges, "range hashes can");
+        assert_eq!(diverging_windows(&b.ranges, &a.ranges, 10), vec![1]);
+        // Outside the acked prefix nothing is flagged.
+        assert!(diverging_windows(&b.ranges, &a.ranges, 0).is_empty());
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+}

@@ -238,10 +238,12 @@ fn disk_full_mid_append_never_exposes_a_half_frame() {
     }
     let err = store.append(b"lost-to-enospc").unwrap_err();
     assert!(matches!(err, StoreError::Io(_)), "typed I/O error: {err}");
-    // The writer is poisoned: no append can sneak past the damage.
+    // The retried append heals the truncated tail first, then re-hits
+    // the persistent seq-keyed fault: a fresh I/O error each time, and
+    // still no half-frame sneaks past the damage.
     assert!(matches!(
         store.append(b"after-the-fault"),
-        Err(StoreError::Poisoned { .. })
+        Err(StoreError::Io(_))
     ));
     drop(store);
 

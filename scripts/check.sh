@@ -48,6 +48,12 @@ timeout 60 cargo test --offline -q -p mine-server --test selfheal
 echo "==> self-healing smoke (seeded chaos, kill -9 primary, unsupervised failover, mine audit)"
 timeout 60 scripts/smoke_selfheal.sh
 
+echo "==> anti-entropy tests (online bitrot quarantine + repair, degraded primary promoted past)"
+timeout 60 cargo test --offline -q -p mine-server --test antientropy
+
+echo "==> anti-entropy smoke (degrade on fsync failure, self-heal, offline scrub verdicts)"
+timeout 60 scripts/smoke_scrub.sh
+
 echo "==> analysis perf smoke (pooled 4t >=1.5x the frozen naive baseline; MINE_SKIP_PERF_SMOKE=1 skips)"
 timeout 120 cargo test --offline -q -p mine-bench --test perf_smoke
 

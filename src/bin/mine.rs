@@ -20,6 +20,7 @@
 //!            [--fsync POLICY] [--snapshot-every N] [--queue-depth N]
 //!            [--rate-limit RPS[:BURST]] [--drain-deadline SECS]
 //!            [--repl-addr H:P] [--replica-of H:P] [--replicate ack=leader|quorum]
+//!            [--scrub-interval MS]
 //!                                              serve the sitting lifecycle over HTTP;
 //!                                              with --data-dir every session event is
 //!                                              journaled to a durable WAL and replayed
@@ -36,11 +37,18 @@
 //! mine recover <dir>                           inspect a journal directory offline:
 //!                                              replay the log, repair torn tails,
 //!                                              print the event summary
-//! mine audit <dir>... [--db DB]                offline invariant check over one or more
+//! mine audit <dir>... [--db DB] [--json]       offline invariant check over one or more
 //!                                              journal directories: per-node CRC/sequence/
 //!                                              epoch integrity, cross-node acked-prefix
 //!                                              containment, and (with --db) replay
-//!                                              equality; non-zero exit on any violation
+//!                                              equality; non-zero exit on any violation;
+//!                                              --json prints the machine-readable report
+//! mine scrub <dir> [--json]                    offline anti-entropy pass: re-verify the
+//!                                              CRC and framing of every WAL segment and
+//!                                              the newest snapshot, print per-segment
+//!                                              verdicts and the per-window range hashes;
+//!                                              non-zero exit on corruption (same contract
+//!                                              as audit)
 //! mine calibrate <db> <problem-id> <a> <b> <c> attach 3PL item parameters to a problem
 //! mine calibrate <db> --auto                   calibrate the whole bank with a spread
 //!                                              of difficulties (adaptive delivery needs
@@ -64,10 +72,14 @@ use mine_assessment::scorm::ContentPackage;
 use mine_assessment::server::{
     audit_dirs, decode_events, open_journaled_state, run_loadgen, start_follower, AckMode,
     AnswerKey, FailoverConfig, HttpClient, LoadGenOptions, LoadMode, RateLimit, ReplListener,
-    ReplState, Role, Router, ServeOptions, Server, DEFAULT_FAILOVER_TIMEOUT,
+    ReplState, Role, Router, Scrubber, ServeOptions, Server, DEFAULT_FAILOVER_TIMEOUT,
+    DEFAULT_SCRUB_INTERVAL,
 };
 use mine_assessment::simulator::{CohortSpec, Simulation};
-use mine_assessment::store::{EventStore, FaultPlan, StoreOptions, SyncPolicy};
+use mine_assessment::store::{
+    scrub_dir, EventStore, FaultPlan, ScrubReport, StoreOptions, SyncPolicy,
+};
+use serde::{Serialize, Value};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -99,9 +111,11 @@ usage:
              [--repl-addr HOST:PORT] [--replica-of HOST:PORT]
              [--replicate ack=leader|ack=quorum]
              [--auto-failover[=TIMEOUT_MS]] [--peers HOST:PORT,...]
+             [--scrub-interval MS]
   mine promote <addr>
   mine recover <dir>
-  mine audit <dir>... [--db DB]
+  mine audit <dir>... [--db DB] [--json]
+  mine scrub <dir> [--json]
   mine calibrate <db> <problem-id> <a> <b> <c>
   mine calibrate <db> --auto
   mine loadgen <addr> <exam-id> [--clients N] [--seed S] [--ramp SECS]
@@ -136,6 +150,7 @@ fn run(args: &[String]) -> CliResult {
         "promote" => promote(rest),
         "recover" => recover(rest),
         "audit" => audit(rest),
+        "scrub" => scrub(rest),
         "calibrate" => calibrate(rest),
         "loadgen" => loadgen(rest),
         other => Err(format!("unknown command {other:?}")),
@@ -504,6 +519,7 @@ fn serve(args: &[String]) -> CliResult {
     let (replicate, args) = take_flag(&args, "--replicate")?;
     let (auto_failover, args) = take_optional_value_flag(&args, "--auto-failover");
     let (peers, args) = take_flag(&args, "--peers")?;
+    let (scrub_interval, args) = take_flag(&args, "--scrub-interval")?;
     let [path] = args.as_slice() else {
         return Err(
             "serve needs <db> [--addr HOST:PORT] [--threads N] [--data-dir DIR] \
@@ -511,13 +527,27 @@ fn serve(args: &[String]) -> CliResult {
              [--rate-limit RPS[:BURST]] [--drain-deadline SECS] \
              [--repl-addr HOST:PORT] [--replica-of HOST:PORT] \
              [--replicate ack=leader|ack=quorum] \
-             [--auto-failover[=TIMEOUT_MS]] [--peers HOST:PORT,...]"
+             [--auto-failover[=TIMEOUT_MS]] [--peers HOST:PORT,...] \
+             [--scrub-interval MS]"
                 .into(),
         );
     };
     if data_dir.is_none() && (fsync.is_some() || snapshot_every.is_some()) {
         return Err("--fsync and --snapshot-every require --data-dir".into());
     }
+    // The scrubber re-reads sealed WAL segments; without a journal there
+    // is nothing to scrub.
+    if scrub_interval.is_some() && data_dir.is_none() {
+        return Err("--scrub-interval requires --data-dir".into());
+    }
+    let scrub_interval = scrub_interval
+        .map(|ms| {
+            ms.parse::<u64>()
+                .map(std::time::Duration::from_millis)
+                .map_err(|_| "--scrub-interval takes whole milliseconds (0 disables)".to_string())
+        })
+        .transpose()?
+        .unwrap_or(DEFAULT_SCRUB_INTERVAL);
     // Replication rides on the journal: a follower must journal what it
     // applies, a primary must have a log to ship.
     if data_dir.is_none() && (repl_addr.is_some() || replica_of.is_some()) {
@@ -597,6 +627,7 @@ fn serve(args: &[String]) -> CliResult {
     if let Some(plan) = &fault_plan {
         eprintln!("fault injection armed from MINE_FAULT_PLAN: {plan}");
     }
+    let journaled = data_dir.is_some();
     let router = match data_dir {
         None => Router::new(repository),
         Some(dir) => {
@@ -678,12 +709,24 @@ fn serve(args: &[String]) -> CliResult {
             puller = Some(start_follower(primary, router.clone()));
         }
     }
+    let scrubber = (journaled && !scrub_interval.is_zero()).then(|| {
+        println!(
+            "anti-entropy scrubber armed: pass every {}ms",
+            scrub_interval.as_millis()
+        );
+        Scrubber::start(router.clone(), scrub_interval)
+    });
     // Poll the signal flag; everything non-trivial happens here, not in
     // handler context.
     while !signals::REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     eprintln!("signal received: draining");
+    // Stop the scrubber first: a repair snapshot mid-drain would race
+    // the drain's own final snapshot.
+    if let Some(scrubber) = scrubber {
+        scrubber.shutdown();
+    }
     // Wind replication down before the drain writes its final events:
     // the puller stops applying, the listener stops accepting.
     if let Some(repl) = router.state().repl.as_ref() {
@@ -772,9 +815,13 @@ fn recover(args: &[String]) -> CliResult {
 /// so chaos and smoke scenarios can end with `mine audit` as their
 /// verdict.
 fn audit(args: &[String]) -> CliResult {
-    let (db, args) = take_flag(args, "--db")?;
+    let (json, args) = take_optional_value_flag(args, "--json");
+    if json.as_ref().is_some_and(|value| value.is_some()) {
+        return Err("--json takes no value".into());
+    }
+    let (db, args) = take_flag(&args, "--db")?;
     if args.is_empty() {
-        return Err("audit needs <dir>... [--db DB]".into());
+        return Err("audit needs <dir>... [--db DB] [--json]".into());
     }
     let dirs: Vec<std::path::PathBuf> = args.iter().map(std::path::PathBuf::from).collect();
     for dir in &dirs {
@@ -789,7 +836,12 @@ fn audit(args: &[String]) -> CliResult {
         }
         None => audit_dirs(&dirs, None)?,
     };
-    print_block(&report.render());
+    if json.is_some() {
+        let rendered = serde_json::to_string(&report.to_value()).map_err(|err| err.to_string())?;
+        print_block(&format!("{rendered}\n"));
+    } else {
+        print_block(&report.render());
+    }
     if report.is_clean() {
         Ok(())
     } else {
@@ -800,6 +852,136 @@ fn audit(args: &[String]) -> CliResult {
             report.violations().len()
         ))
     }
+}
+
+/// Offline anti-entropy pass over one journal directory: re-verify the
+/// CRC and framing of every WAL segment and the newest snapshot, and
+/// print per-segment verdicts plus the per-window range hashes. The
+/// exit-code contract matches `mine audit`: non-zero when corruption is
+/// found, so scripts can end with `mine scrub` as their verdict.
+fn scrub(args: &[String]) -> CliResult {
+    let (json, args) = take_optional_value_flag(args, "--json");
+    if json.as_ref().is_some_and(|value| value.is_some()) {
+        return Err("--json takes no value".into());
+    }
+    let [dir] = args.as_slice() else {
+        return Err("scrub needs <dir> [--json]".into());
+    };
+    let path = std::path::Path::new(dir);
+    if !path.is_dir() {
+        return Err(format!("scrub: {dir} is not a directory"));
+    }
+    // Offline: no active segment to skip — the torn-tail tolerance for
+    // the newest segment lives inside `scrub_dir`.
+    let report = scrub_dir(path, None).map_err(|err| format!("scrubbing {dir}: {err}"))?;
+    if json.is_some() {
+        let rendered =
+            serde_json::to_string(&scrub_value(&report)).map_err(|err| err.to_string())?;
+        print_block(&format!("{rendered}\n"));
+    } else {
+        print_block(&render_scrub(&report));
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        let corrupt = report.corrupt_segments().len()
+            + usize::from(
+                report
+                    .snapshot
+                    .as_ref()
+                    .is_some_and(|snapshot| snapshot.corrupt.is_some()),
+            );
+        Err(format!("scrub found {corrupt} corrupt file(s)"))
+    }
+}
+
+/// Human-readable `mine scrub` output: one line per file, then the
+/// range-hash summary and the verdict.
+fn render_scrub(report: &ScrubReport) -> String {
+    let mut out = String::new();
+    for segment in &report.segments {
+        match &segment.corrupt {
+            None => out.push_str(&format!(
+                "segment {}: {} record(s) from seq {}, {} byte(s), clean\n",
+                segment.file, segment.records, segment.first_seq, segment.bytes
+            )),
+            Some(reason) => out.push_str(&format!("segment {}: CORRUPT: {reason}\n", segment.file)),
+        }
+    }
+    match &report.snapshot {
+        Some(snapshot) => match &snapshot.corrupt {
+            None => out.push_str(&format!(
+                "snapshot {}: through seq {}, {} byte(s), clean\n",
+                snapshot.file, snapshot.last_seq, snapshot.bytes
+            )),
+            Some(reason) => {
+                out.push_str(&format!("snapshot {}: CORRUPT: {reason}\n", snapshot.file));
+            }
+        },
+        None => out.push_str("snapshot: none\n"),
+    }
+    out.push_str(&format!(
+        "range hashes: {} window(s)\n",
+        report.ranges.len()
+    ));
+    if report.is_clean() {
+        out.push_str("scrub: clean\n");
+    } else {
+        out.push_str("scrub: corruption found\n");
+    }
+    out
+}
+
+/// The machine-readable form of a scrub report (`mine scrub --json`).
+fn scrub_value(report: &ScrubReport) -> Value {
+    let optional_reason = |reason: &Option<String>| {
+        reason
+            .as_ref()
+            .map_or(Value::Null, |reason| Value::String(reason.clone()))
+    };
+    let segments = Value::Array(
+        report
+            .segments
+            .iter()
+            .map(|segment| {
+                Value::Object(vec![
+                    ("file".to_string(), Value::String(segment.file.clone())),
+                    ("first_seq".to_string(), segment.first_seq.to_value()),
+                    ("records".to_string(), segment.records.to_value()),
+                    ("bytes".to_string(), segment.bytes.to_value()),
+                    ("corrupt".to_string(), optional_reason(&segment.corrupt)),
+                ])
+            })
+            .collect(),
+    );
+    let ranges = Value::Array(
+        report
+            .ranges
+            .iter()
+            .map(|range| {
+                Value::Object(vec![
+                    ("first_seq".to_string(), range.first_seq.to_value()),
+                    ("last_seq".to_string(), range.last_seq.to_value()),
+                    ("count".to_string(), range.count.to_value()),
+                    ("hash".to_string(), range.hash.to_value()),
+                ])
+            })
+            .collect(),
+    );
+    let snapshot = report.snapshot.as_ref().map_or(Value::Null, |snapshot| {
+        Value::Object(vec![
+            ("file".to_string(), Value::String(snapshot.file.clone())),
+            ("last_seq".to_string(), snapshot.last_seq.to_value()),
+            ("bytes".to_string(), snapshot.bytes.to_value()),
+            ("corrupt".to_string(), optional_reason(&snapshot.corrupt)),
+        ])
+    });
+    Value::Object(vec![
+        ("clean".to_string(), Value::Bool(report.is_clean())),
+        ("segments".to_string(), segments),
+        ("ranges".to_string(), ranges),
+        ("snapshot".to_string(), snapshot),
+    ])
 }
 
 /// Attaches 3PL item parameters to one problem, or (`--auto`) sweeps
